@@ -1,0 +1,93 @@
+"""Experiment A2 — ablation of the deterministic test-set library.
+
+DESIGN.md design choice 2: the library's regularity-based pattern sets
+(carry chains, per-bit logic combinations, sign corners, one-in-many shift
+values) vs *equal-count pseudorandom* operands applied by the very same
+routines.
+
+Anchor: at identical program structure and pattern counts, the library sets
+match or beat random operands — most visibly on the random-pattern-
+resistant corners (SLT sign logic, carry chain ends, the shifter's
+arithmetic fill).
+"""
+
+import random
+
+from conftest import cached_campaign, run_once, write_result
+
+from repro.core.campaign import grade_program
+from repro.core.methodology import SelfTestProgram
+from repro.core.routines.alu_routine import AluRoutine
+from repro.core.routines.bsh_routine import ShifterRoutine
+from repro.core.testlib import ALU_OPERAND_PAIRS, SHIFTER_VALUES
+from repro.isa.assembler import assemble
+
+COMPONENTS = ("ALU", "BSH")
+
+
+def build_program(alu_pairs, bsh_values) -> SelfTestProgram:
+    text = [".text", "t_start:"]
+    data = []
+    resp = 0x4000
+    for index, routine in enumerate(
+        (AluRoutine(pairs=alu_pairs), ShifterRoutine(values=bsh_values))
+    ):
+        result = routine.generate(f"t{index}", resp)
+        text.append(result.text)
+        if result.data:
+            data.append(result.data)
+        resp += 4 * result.response_words
+    text += ["t_halt: j t_halt", "    nop"]
+    if data:
+        text.append(".data")
+        text.extend(data)
+    source = "\n".join(text) + "\n"
+    return SelfTestProgram(phases="ablation", source=source,
+                           program=assemble(source))
+
+
+def run_variant(alu_pairs, bsh_values):
+    return grade_program(
+        build_program(alu_pairs, bsh_values), components=list(COMPONENTS)
+    )
+
+
+def test_testlib_ablation(benchmark):
+    rng = random.Random(1234)
+    random_pairs = tuple(
+        (rng.getrandbits(32), rng.getrandbits(32))
+        for _ in ALU_OPERAND_PAIRS
+    )
+    random_values = tuple(
+        rng.getrandbits(32) for _ in SHIFTER_VALUES
+    )
+
+    deterministic, randomised = run_once(
+        benchmark,
+        lambda: (
+            run_variant(ALU_OPERAND_PAIRS, SHIFTER_VALUES),
+            run_variant(random_pairs, random_values),
+        ),
+    )
+
+    lines = [f"{'operand tables':>16s} {'ALU FC%':>8s} {'BSH FC%':>8s}"]
+    for label, outcome in (
+        ("library", deterministic), ("random", randomised)
+    ):
+        lines.append(
+            f"{label:>16s} "
+            f"{outcome.results['ALU'].fault_coverage:>8.2f} "
+            f"{outcome.results['BSH'].fault_coverage:>8.2f}"
+        )
+    text = "\n".join(lines)
+    write_result("ablation_a2_testlib.txt", text)
+    print("\n" + text)
+
+    det_alu = deterministic.results["ALU"].fault_coverage
+    rnd_alu = randomised.results["ALU"].fault_coverage
+    det_bsh = deterministic.results["BSH"].fault_coverage
+    rnd_bsh = randomised.results["BSH"].fault_coverage
+    # The library never loses, and wins on at least one component.
+    assert det_alu >= rnd_alu - 0.5
+    assert det_bsh >= rnd_bsh - 0.5
+    assert det_alu > rnd_alu or det_bsh > rnd_bsh

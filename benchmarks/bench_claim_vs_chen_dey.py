@@ -1,0 +1,67 @@
+"""Experiment C2 — deterministic routines vs Chen&Dey-style LFSR expansion.
+
+The paper reports (on Parwan, vs [6]) roughly 20x smaller test programs,
+75x smaller test data and 90x fewer test-application cycles at equal
+coverage.  Absolute ratios depend on the processor; the reproduction anchor
+is the *shape*: at comparable coverage on the combinational functional
+components, the software-LFSR methodology needs an order of magnitude more
+execution cycles, because every pseudorandom pattern word costs tens of
+cycles of on-chip LFSR emulation and pseudorandom patterns need long
+sequences for random-pattern-resistant structures.
+"""
+
+from conftest import cached_campaign, run_once, write_result
+
+from repro.baselines.chen_dey import ChenDeySelfTest, ComponentSignature
+from repro.core.campaign import grade_program
+
+COMPONENTS = ("ALU", "BSH")
+
+
+def grade_chen_dey():
+    st = ChenDeySelfTest(
+        signatures=[
+            ComponentSignature("ALU", 0xACE1ACE1, 192),
+            ComponentSignature("BSH", 0xB5B5B5B5, 192),
+        ]
+    ).build_program()
+    return grade_program(st, components=list(COMPONENTS))
+
+
+def test_vs_chen_dey(benchmark):
+    chen_dey = run_once(benchmark, grade_chen_dey)
+    deterministic = cached_campaign("A", COMPONENTS)
+
+    def stats(outcome):
+        return dict(
+            code=outcome.self_test.code_words,
+            data=outcome.self_test.data_words,
+            cycles=outcome.cpu_result.cycles,
+            alu=outcome.results["ALU"].fault_coverage,
+            bsh=outcome.results["BSH"].fault_coverage,
+        )
+
+    det = stats(deterministic)
+    cd = stats(chen_dey)
+    lines = [
+        f"{'':24s} {'deterministic':>14s} {'chen-dey LFSR':>14s} {'ratio':>7s}",
+        f"{'Test program (words)':24s} {det['code']:>14,} {cd['code']:>14,} "
+        f"{cd['code'] / det['code']:>7.2f}",
+        f"{'Test data (words)':24s} {det['data']:>14,} {cd['data']:>14,}",
+        f"{'Clock cycles':24s} {det['cycles']:>14,} {cd['cycles']:>14,} "
+        f"{cd['cycles'] / det['cycles']:>7.1f}",
+        f"{'ALU FC %':24s} {det['alu']:>14.2f} {cd['alu']:>14.2f}",
+        f"{'BSH FC %':24s} {det['bsh']:>14.2f} {cd['bsh']:>14.2f}",
+    ]
+    text = "\n".join(lines)
+    write_result("claim_c2_vs_chen_dey.txt", text)
+    print("\n" + text)
+
+    # Shape anchors: order-of-magnitude more cycles for the LFSR flow at
+    # coverage no better than the deterministic routines.
+    assert cd["cycles"] > 5 * det["cycles"]
+    assert cd["alu"] <= det["alu"] + 1.0
+    assert cd["bsh"] <= det["bsh"] + 1.0
+    # Note: the deterministic program carries its operand tables as data,
+    # while chen-dey downloads only seeds; the paper's 75x data claim is
+    # against [6]'s stored-pattern variant (see EXPERIMENTS.md).

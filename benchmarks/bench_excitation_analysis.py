@@ -1,0 +1,59 @@
+"""Experiment X1 — excitation analysis of the undetected faults.
+
+The paper's methodology deliberately stops once coverage is acceptable;
+the interesting question for the low-coverage control components is *why*
+their residual faults survive.  The differential engine classifies every
+undetected fault:
+
+* **never excited** — the stimulus never drove the fault site to the
+  opposite value; no observability improvement can help (e.g. the high PC
+  and address bits in a processor whose test footprint is a few KB — a
+  structural property of embedded self-test, not a methodology defect);
+* **excited but unobserved** — a candidate for more observability or a
+  dedicated Phase B/C routine.
+
+Anchor: PCL's residue is dominated by never-excited faults (the
+32-bit PC in a small memory), while MCTRL's is dominated by
+excited-but-unobserved faults (the hold-protocol latch enables) — matching
+the qualitative discussion in DESIGN.md §7.
+"""
+
+from conftest import cached_campaign, run_once, write_result
+
+COMPONENTS = ("MCTRL", "PCL", "CTRL", "BMUX", "PLN", "GL")
+
+
+def test_excitation_analysis(benchmark):
+    outcome = run_once(benchmark, lambda: cached_campaign("AB"))
+
+    lines = [
+        f"{'component':>10s} {'FC %':>7s} {'undetected':>11s} "
+        f"{'never-excited':>14s} {'excited-unobs':>14s}"
+    ]
+    stats = {}
+    for name in COMPONENTS:
+        result = outcome.results[name]
+        undetected = result.n_faults - result.n_detected
+        stats[name] = (result.n_never_excited, result.n_excited_unobserved)
+        lines.append(
+            f"{name:>10s} {result.fault_coverage:>7.2f} {undetected:>11,} "
+            f"{result.n_never_excited:>14,} "
+            f"{result.n_excited_unobserved:>14,}"
+        )
+    text = "\n".join(lines)
+    write_result("excitation_x1_analysis.txt", text)
+    print("\n" + text)
+
+    # PCL: mostly never-excited (high PC/address bits cannot toggle).
+    pcl_never, pcl_unobs = stats["PCL"]
+    assert pcl_never > pcl_unobs
+    # MCTRL: mostly excited-but-unobserved (hold-protocol enables).
+    mctrl_never, mctrl_unobs = stats["MCTRL"]
+    assert mctrl_unobs > mctrl_never
+    # The partition is exact for every component.
+    for name in COMPONENTS:
+        result = outcome.results[name]
+        assert (
+            result.n_never_excited + result.n_excited_unobserved
+            == result.n_faults - result.n_detected
+        )

@@ -1,0 +1,25 @@
+"""Experiment T2 — regenerate the paper's Table 2 (component classes)."""
+
+from conftest import write_result
+
+from repro.core.classification import classification_table
+from repro.reporting.tables import render_table2
+
+
+def test_table2_classification(benchmark):
+    table = benchmark(classification_table)
+    text = render_table2()
+    write_result("table2_classification.txt", text)
+    print("\n" + text)
+
+    classes = dict(table)
+    # Paper anchors: four functional, four control, one hidden component.
+    assert classes["Register File"] == "functional"
+    assert classes["Multiplier/Divider"] == "functional"
+    assert classes["Arithmetic-Logic Unit"] == "functional"
+    assert classes["Barrel Shifter"] == "functional"
+    assert classes["Memory Control"] == "control"
+    assert classes["Program Counter Logic"] == "control"
+    assert classes["Control Logic"] == "control"
+    assert classes["Bus Multiplexer"] == "control"
+    assert classes["Pipeline"] == "hidden"

@@ -1,0 +1,44 @@
+"""Experiment T4 — regenerate the paper's Table 4 (program statistics).
+
+Paper anchors: the Phase A self-test program executes in 3,393 cycles and
+Phase A+B in 3,552 (same order of magnitude here); the whole download is
+around 1K words; moving from Phase A to A+B adds only a small increment of
+code and cycles.
+"""
+
+from conftest import write_result
+
+from repro.core.campaign import execute_self_test
+from repro.core.methodology import SelfTestMethodology
+
+
+def build_and_run(phases: str):
+    methodology = SelfTestMethodology()
+    self_test = methodology.build_program(phases)
+    result, _tracer, _memory = execute_self_test(self_test)
+    return self_test, result
+
+
+def test_table4_program_stats(benchmark):
+    (st_a, run_a) = benchmark.pedantic(
+        build_and_run, args=("A",), rounds=1, iterations=1
+    )
+    st_ab, run_ab = build_and_run("AB")
+
+    lines = [
+        f"{'':24s} {'Phase A':>10s} {'Phase A+B':>10s} {'paper A':>9s} {'paper A+B':>10s}",
+        f"{'Test program (words)':24s} {st_a.code_words:>10,} {st_ab.code_words:>10,} {'~1K':>9s} {'~1K':>10s}",
+        f"{'Test data (words)':24s} {st_a.data_words:>10,} {st_ab.data_words:>10,}",
+        f"{'Total download (words)':24s} {st_a.total_words:>10,} {st_ab.total_words:>10,}",
+        f"{'Clock cycles':24s} {run_a.cycles:>10,} {run_ab.cycles:>10,} {3393:>9,} {3552:>10,}",
+    ]
+    text = "\n".join(lines)
+    write_result("table4_program_stats.txt", text)
+    print("\n" + text)
+
+    # Paper anchors.
+    assert st_ab.total_words < 1200  # "approximately 1K words"
+    assert st_a.code_words < st_ab.code_words  # B adds a small routine
+    # Cycle counts in the paper's ballpark (same order, within ~2x).
+    assert 1700 < run_a.cycles < 7000
+    assert 0 < run_ab.cycles - run_a.cycles < 1500

@@ -1,0 +1,64 @@
+"""Experiment V2 — the self-test program executed on gates alone.
+
+The strongest end-to-end validation in the repository: the complete
+Phase A+B self-test program runs on the *composed gate-level processor*
+(every component netlist wired together; no behavioural shortcut anywhere
+in the loop) and must produce a response stream bit-identical to the
+behavioural model's.
+
+This simultaneously validates the ISA substrate, every component netlist,
+the composition, the pipeline/pause/interlock micro-architecture, and the
+self-test program itself.
+"""
+
+from conftest import run_once, write_result
+
+from repro.core.methodology import SelfTestMethodology
+from repro.plasma.cosim import GateLevelPlasma
+from repro.plasma.cpu import PlasmaCPU
+from repro.netlist.stats import gate_count
+from repro.plasma.toplevel import build_plasma_top
+
+
+def cosim_self_test():
+    self_test = SelfTestMethodology().build_program("AB")
+    top = build_plasma_top()
+    gate = GateLevelPlasma(top)
+    gate.load_program(self_test.program)
+    gate_result = gate.run(max_cycles=60_000)
+
+    cpu = PlasmaCPU()
+    cpu.load_program(self_test.program)
+    beh_result = cpu.run()
+
+    gate_words = gate.dump_words(self_test.response_base,
+                                 self_test.response_words)
+    beh_words = cpu.memory.dump_words(self_test.response_base,
+                                      self_test.response_words)
+    return self_test, top, gate_result, beh_result, gate_words, beh_words
+
+
+def test_self_test_on_gate_level_processor(benchmark):
+    (self_test, top, gate_result, beh_result,
+     gate_words, beh_words) = run_once(benchmark, cosim_self_test)
+
+    stats = gate_count(top)
+    mismatches = sum(1 for g, b in zip(gate_words, beh_words) if g != b)
+    lines = [
+        f"composed processor : {stats.n_gates:,} gates, "
+        f"{stats.n_dffs:,} DFFs, {stats.nand2:,} NAND2 eq",
+        f"self-test program  : {self_test.total_words} words (Phase A+B)",
+        f"gate-level run     : {gate_result.cycles:,} cycles, "
+        f"halted={gate_result.halted}",
+        f"behavioural run    : {beh_result.cycles:,} cycles",
+        f"response stream    : {len(gate_words)} words, "
+        f"{mismatches} mismatches",
+    ]
+    text = "\n".join(lines)
+    write_result("validation_v2_gate_level.txt", text)
+    print("\n" + text)
+
+    assert gate_result.halted
+    assert mismatches == 0
+    # Cycle counts agree up to the halt-detection window.
+    assert abs(gate_result.cycles - beh_result.cycles) < 20

@@ -1,0 +1,82 @@
+"""Shared infrastructure for the benchmark harness.
+
+Campaign outcomes are expensive (the full Table 5 run fault-grades ~40k
+collapsed faults), so they are computed once per session and shared across
+benches.  Every bench also writes its rendered table to
+``benchmarks/results/`` so the regenerated artefacts survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import pytest
+
+from repro.core.campaign import CampaignOutcome, run_campaign
+
+#: Components that grade in a few seconds (combinational + small seq).
+FAST_COMPONENTS = ("ALU", "BSH", "CTRL", "BMUX", "GL")
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@lru_cache(maxsize=None)
+def cached_campaign(
+    phases: str, components: tuple[str, ...] | None = None
+) -> CampaignOutcome:
+    """Session-cached campaign run."""
+    return run_campaign(
+        phases, components=list(components) if components else None
+    )
+
+
+def write_result(name: str, text: str) -> str:
+    """Persist a rendered table under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+def run_once(benchmark, func):
+    """Run an expensive campaign exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def build_subset_program(names, label_prefix: str = "sub"):
+    """A self-test program containing only the named routines, in order."""
+    from repro.core.methodology import SelfTestProgram
+    from repro.core.routines import ROUTINES
+    from repro.isa.assembler import assemble
+
+    text = [".text", f"{label_prefix}_start:"]
+    data = []
+    resp = 0x4000
+    for index, name in enumerate(names):
+        result = ROUTINES[name]().generate(
+            f"{label_prefix}{index}{name.lower()}", resp
+        )
+        text.append(result.text)
+        if result.data:
+            data.append(result.data)
+        resp += 4 * result.response_words
+    text += [f"{label_prefix}_halt: j {label_prefix}_halt", "    nop"]
+    if data:
+        text.append(".data")
+        text.extend(data)
+    source = "\n".join(text) + "\n"
+    return SelfTestProgram(
+        phases="+".join(names), source=source, program=assemble(source)
+    )
+
+
+@pytest.fixture(scope="session")
+def full_phase_a() -> CampaignOutcome:
+    return cached_campaign("A")
+
+
+@pytest.fixture(scope="session")
+def full_phase_ab() -> CampaignOutcome:
+    return cached_campaign("AB")

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Diagnosing a defective part from its self-test responses.
+
+After the tester flags a failing chip (see ``tester_session.py``), a fault
+dictionary narrows the defect down: for every stuck-at fault it records
+exactly which self-test responses the fault corrupts; matching the
+observed failures against those signatures ranks the candidate defect
+locations.
+
+This example builds the ALU dictionary from the very patterns the Phase A
+self-test applies, "manufactures" a defective chip with a randomly chosen
+stuck-at fault, and diagnoses it from the failing responses alone.
+
+Run with::
+
+    python examples/diagnose_defect.py [seed]
+"""
+
+import random
+import sys
+
+from repro.core.campaign import execute_self_test
+from repro.core.methodology import SelfTestMethodology
+from repro.faultsim.diagnosis import FaultDictionary
+from repro.plasma.components import build_component
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
+
+    # The test patterns are whatever Phase A actually applies to the ALU.
+    self_test = SelfTestMethodology().build_program("A")
+    _, tracer, _ = execute_self_test(self_test)
+    patterns, observe = tracer.finalize()["ALU"]
+    print(f"building ALU fault dictionary over {len(patterns)} traced "
+          f"patterns ...")
+    dictionary = FaultDictionary(
+        build_component("ALU"), patterns, observe
+    ).build()
+    detected = sum(1 for s in dictionary.signatures.values() if s)
+    print(f"dictionary: {len(dictionary.signatures)} fault classes, "
+          f"{detected} detectable, "
+          f"diagnostic resolution "
+          f"{dictionary.distinguishable_pairs():.3f}")
+
+    # Manufacture a defective chip: one random *detectable* fault.
+    rng = random.Random(seed)
+    injected = rng.choice(
+        [rep for rep, sig in dictionary.signatures.items() if sig]
+    )
+    true_location = dictionary.fault_list.fault(injected).describe(
+        dictionary.netlist
+    )
+    failing = dictionary.signature_of(injected)
+    print(f"\ninjected defect : {true_location}")
+    print(f"tester observes : {len(failing)} failing responses "
+          f"(of {len(patterns)})")
+
+    # Diagnose from the failing set alone.
+    candidates = dictionary.diagnose(failing, top=5)
+    print("\ndiagnosis (top candidates):")
+    for rank, candidate in enumerate(candidates, start=1):
+        marker = " <== injected" if candidate.fault_index == injected else ""
+        print(f"  {rank}. {candidate.description:28s} "
+              f"score={candidate.score:.3f} "
+              f"exact={candidate.exact}{marker}")
+
+    exact = [c for c in candidates if c.exact]
+    assert exact, "the injected fault's signature must match exactly"
+    print(f"\n{len(exact)} exact-signature candidate(s); any of them is an "
+          f"equivalent explanation of the observed failures.")
+
+
+if __name__ == "__main__":
+    main()

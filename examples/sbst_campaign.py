@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The paper's full flow: classification, priority, Phase A/B programs,
+fault-grading campaign, Tables 2-5.
+
+By default the expensive sequential components are skipped so the demo
+finishes in seconds; pass ``--full`` for the complete ten-component run
+(a few minutes — this is what the Table 5 benchmark does).
+
+Run with::
+
+    python examples/sbst_campaign.py [--full] [--phases A|AB|ABC]
+"""
+
+import argparse
+
+from repro.core.campaign import run_campaign
+from repro.core.priority import accessibility, test_development_order
+from repro.reporting.tables import (
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+FAST_COMPONENTS = ["ALU", "BSH", "CTRL", "BMUX", "GL"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="grade all ten components (minutes)")
+    parser.add_argument("--phases", default="AB",
+                        help="final phase configuration (A, AB or ABC)")
+    args = parser.parse_args()
+    components = None if args.full else FAST_COMPONENTS
+
+    print("=" * 64)
+    print("Step 1 - component classification (Table 2)")
+    print("=" * 64)
+    print(render_table2())
+
+    print()
+    print("=" * 64)
+    print("Step 2 - gate counts and test priority (Table 3 + Table 1)")
+    print("=" * 64)
+    print(render_table3())
+    print("\ntest development order (class, size, accessibility):")
+    for info in test_development_order():
+        scores = accessibility(info.name)
+        print(f"  {info.name:6s} {info.component_class.value:10s} "
+              f"accessibility={scores.grade}")
+
+    print()
+    print("=" * 64)
+    print("Step 3 - self-test programs + fault grading "
+          f"(components: {'all' if args.full else ','.join(components)})")
+    print("=" * 64)
+    outcomes = {}
+    for phases in ("A", args.phases) if args.phases != "A" else ("A",):
+        print(f"\nPhase {phases} campaign:")
+        outcomes[phases] = run_campaign(
+            phases, components=components, verbose=True
+        )
+
+    print()
+    print("=" * 64)
+    print("Table 4 - self-test program statistics")
+    print("=" * 64)
+    print(render_table4(outcomes))
+
+    print()
+    print("=" * 64)
+    print("Table 5 - fault coverage / MOFC per phase")
+    print("=" * 64)
+    print(render_table5(outcomes))
+    if not args.full:
+        print("\n(note: subset run; use --full for the complete Table 5)")
+
+
+if __name__ == "__main__":
+    main()

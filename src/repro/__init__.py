@@ -1,0 +1,26 @@
+"""repro — reproduction of "Low-Cost Software-Based Self-Testing of RISC
+Processor Cores" (Kranitis, Xenoulis, Gizopoulos, Paschalis, Zorian;
+DATE 2003).
+
+The package provides:
+
+* :mod:`repro.isa` — the Plasma-supported MIPS I subset (assembler,
+  encoder/decoder, disassembler);
+* :mod:`repro.netlist` / :mod:`repro.library` — a gate-level netlist
+  substrate with structural generators for datapath components;
+* :mod:`repro.plasma` — the Plasma/MIPS RT-level processor model with
+  component-boundary tracing;
+* :mod:`repro.faultsim` — a single-stuck-at fault simulator
+  (collapsing, pattern-parallel good simulation, event-driven faulty
+  simulation with dropping);
+* :mod:`repro.core` — the paper's contribution: component classification,
+  test-priority ordering, the deterministic component test-set library,
+  self-test routine generators, and the Phase A/B/C methodology;
+* :mod:`repro.baselines` — pseudorandom-instruction SBST and a
+  Chen&Dey-style software-LFSR component SBST baseline;
+* :mod:`repro.reporting` — renderers that regenerate the paper's tables.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

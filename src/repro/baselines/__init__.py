@@ -1,0 +1,21 @@
+"""Baselines the paper compares against.
+
+* :mod:`~repro.baselines.random_instructions` — functional self-test with
+  pseudorandom instruction/operand sequences (the [2]-[5] family of prior
+  work): large programs, low structural coverage per downloaded word.
+* :mod:`~repro.baselines.chen_dey` — the Chen & Dey [6] software-based
+  self-test style: per-component *self-test signatures* expanded on-chip by
+  a software-emulated LFSR into pseudorandom patterns, applied by
+  component-specific test-application loops.  Small-ish download, very
+  large execution time — the trade-off the paper's deterministic routines
+  beat.
+
+Both baselines produce the same campaign artefacts as the methodology
+(program statistics + per-component fault coverage) so the comparison
+benches can report the paper's relative claims.
+"""
+
+from repro.baselines.random_instructions import RandomInstructionSelfTest
+from repro.baselines.chen_dey import ChenDeySelfTest
+
+__all__ = ["RandomInstructionSelfTest", "ChenDeySelfTest"]

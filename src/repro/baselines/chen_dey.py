@@ -1,0 +1,261 @@
+"""Chen & Dey [6]-style software-based self-test baseline.
+
+Per-component **self-test signatures** (LFSR seed, tap configuration,
+pattern count — a few downloaded data words) are expanded on-chip by a
+software-emulated LFSR into pseudorandom patterns stored in an embedded
+memory buffer; component-specific **test application programs** then loop
+the buffered patterns through the component and store the responses.
+
+This reproduces the methodology's cost structure faithfully:
+
+* downloaded words — expansion routine + application loops + signatures;
+* execution time — dominated by the software LFSR emulation (tens of
+  cycles per generated pattern word) and the long pseudorandom sequences
+  that random-pattern-resistant components need.
+
+The deterministic methodology beats it on both axes at equal coverage,
+which is exactly the paper's comparison argument (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.methodology import SelfTestProgram
+from repro.errors import MethodologyError
+from repro.isa.assembler import assemble
+
+#: Default tap mask for the emulated 32-bit Fibonacci LFSR.  Taps
+#: (32,30,26,25) in output-side numbering: mask bit = 32 - tap, so the
+#: shifted-out bit (mask bit 0) always feeds back (maximal-length m-sequence,
+#: same convention as :class:`repro.utils.lfsr.LFSR`).
+DEFAULT_TAPS = 0x000000C5
+
+#: Pattern buffer location (generated on-chip; NOT part of the download).
+PATTERN_BUFFER = 0x3000
+
+
+@dataclass
+class ComponentSignature:
+    """One component's self-test signature (the downloaded test data)."""
+
+    component: str
+    seed: int
+    n_patterns: int  # pattern *words* expanded for this component
+    taps: int = DEFAULT_TAPS
+
+
+@dataclass
+class ChenDeySelfTest:
+    """Software-LFSR expansion self-test program generator.
+
+    Args:
+        signatures: per-component signatures; defaults to a standard set
+            covering the four functional components.
+        steps_per_word: LFSR shifts per generated pattern word (more steps
+            decorrelate consecutive patterns at proportional cycle cost).
+    """
+
+    signatures: list[ComponentSignature] = field(default_factory=list)
+    steps_per_word: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.signatures:
+            self.signatures = [
+                ComponentSignature("ALU", 0xACE1ACE1, 64),
+                ComponentSignature("BSH", 0xB5B5B5B5, 64),
+                ComponentSignature("RegF", 0xC0FFEE11, 62),
+                ComponentSignature("MulD", 0xD1CED1CE, 16),
+            ]
+
+    # ----------------------------------------------------------- helpers
+
+    def _generator_routine(self) -> list[str]:
+        """The shared software-LFSR expansion subroutine.
+
+        Calling convention: ``$a0`` word count, ``$a1`` destination
+        pointer, ``$a2`` seed, ``$a3`` tap mask; clobbers ``$t1``, ``$t2``,
+        ``$t3``, ``$s0``.
+        """
+        lines = [
+            "cd_gen:",
+            "    move $s0, $a2",
+            "cd_gen_word:",
+            f"    li $t3, {self.steps_per_word}",
+            "cd_gen_step:",
+            "    and $t1, $s0, $a3",
+            # XOR-fold $t1 down to its parity bit.
+            "    srl $t2, $t1, 16",
+            "    xor $t1, $t1, $t2",
+            "    srl $t2, $t1, 8",
+            "    xor $t1, $t1, $t2",
+            "    srl $t2, $t1, 4",
+            "    xor $t1, $t1, $t2",
+            "    srl $t2, $t1, 2",
+            "    xor $t1, $t1, $t2",
+            "    srl $t2, $t1, 1",
+            "    xor $t1, $t1, $t2",
+            "    andi $t1, $t1, 1",
+            # Shift the feedback bit in.
+            "    srl $s0, $s0, 1",
+            "    sll $t2, $t1, 31",
+            "    or $s0, $s0, $t2",
+            "    addiu $t3, $t3, -1",
+            "    bnez $t3, cd_gen_step",
+            "    nop",
+            "    sw $s0, 0($a1)",
+            "    addiu $a1, $a1, 4",
+            "    addiu $a0, $a0, -1",
+            "    bnez $a0, cd_gen_word",
+            "    nop",
+            "    jr $ra",
+            "    nop",
+        ]
+        return lines
+
+    @staticmethod
+    def _expand_call(sig_label: str, n_words: int) -> list[str]:
+        """Expand one signature into the pattern buffer."""
+        return [
+            f"    li $a0, {n_words}",
+            f"    li $a1, {PATTERN_BUFFER}",
+            f"    la $t0, {sig_label}",
+            "    lw $a2, 0($t0)",
+            "    lw $a3, 4($t0)",
+            "    jal cd_gen",
+            "    nop",
+        ]
+
+    def _application(
+        self, sig: ComponentSignature, resp: int, prefix: str
+    ) -> tuple[list[str], int]:
+        """Test-application loop for one component; returns (lines, words)."""
+        lines: list[str] = []
+        if sig.component == "ALU":
+            n_pairs = sig.n_patterns // 2
+            ops = ("addu", "subu", "and", "or", "xor", "nor", "slt", "sltu")
+            stride = 4 * len(ops)
+            lines += [
+                f"    li $s1, {resp}",
+                f"    li $t8, {PATTERN_BUFFER}",
+                f"    li $t9, {n_pairs}",
+                f"{prefix}_loop:",
+                "    lw $t0, 0($t8)",
+                "    lw $t1, 4($t8)",
+            ]
+            for k, op in enumerate(ops):
+                lines.append(f"    {op} $t2, $t0, $t1")
+                lines.append(f"    sw $t2, {4 * k}($s1)")
+            lines += [
+                f"    addiu $s1, $s1, {stride}",
+                "    addiu $t8, $t8, 8",
+                "    addiu $t9, $t9, -1",
+                f"    bnez $t9, {prefix}_loop",
+                "    nop",
+            ]
+            return lines, n_pairs * len(ops)
+        if sig.component == "BSH":
+            n_pairs = sig.n_patterns // 2
+            stride = 12
+            lines += [
+                f"    li $s1, {resp}",
+                f"    li $t8, {PATTERN_BUFFER}",
+                f"    li $t9, {n_pairs}",
+                f"{prefix}_loop:",
+                "    lw $t0, 0($t8)",
+                "    lw $t1, 4($t8)",
+                "    andi $t1, $t1, 31",
+                "    sllv $t2, $t0, $t1",
+                "    sw $t2, 0($s1)",
+                "    srlv $t2, $t0, $t1",
+                "    sw $t2, 4($s1)",
+                "    srav $t2, $t0, $t1",
+                "    sw $t2, 8($s1)",
+                f"    addiu $s1, $s1, {stride}",
+                "    addiu $t8, $t8, 8",
+                "    addiu $t9, $t9, -1",
+                f"    bnez $t9, {prefix}_loop",
+                "    nop",
+            ]
+            return lines, n_pairs * 3
+        if sig.component == "RegF":
+            # The sweep touches every register (including the usual pointer
+            # registers), so it uses absolute $0-based addressing only.
+            rounds = sig.n_patterns // 31
+            if rounds < 1:
+                raise MethodologyError("RegF signature needs >= 31 patterns")
+            words = 0
+            for r in range(rounds):
+                base = PATTERN_BUFFER + 4 * 31 * r
+                for reg in range(1, 32):
+                    lines.append(f"    lw ${reg}, {base + 4 * (reg - 1)}($0)")
+                for reg in range(1, 32):
+                    lines.append(
+                        f"    sw ${reg}, {resp + 4 * words + 4 * (reg - 1)}($0)"
+                    )
+                words += 31
+            return lines, words
+        if sig.component == "MulD":
+            n_pairs = sig.n_patterns // 2
+            ops = ("mult", "multu", "div", "divu")
+            stride = 8 * len(ops)
+            lines += [
+                f"    li $s1, {resp}",
+                f"    li $t8, {PATTERN_BUFFER}",
+                f"    li $t9, {n_pairs}",
+                f"{prefix}_loop:",
+                "    lw $t0, 0($t8)",
+                "    lw $t1, 4($t8)",
+            ]
+            offset = 0
+            for op in ops:
+                lines += [
+                    f"    {op} $t0, $t1",
+                    "    mfhi $t2",
+                    "    mflo $t3",
+                    f"    sw $t2, {offset}($s1)",
+                    f"    sw $t3, {offset + 4}($s1)",
+                ]
+                offset += 8
+            lines += [
+                f"    addiu $s1, $s1, {stride}",
+                "    addiu $t8, $t8, 8",
+                "    addiu $t9, $t9, -1",
+                f"    bnez $t9, {prefix}_loop",
+                "    nop",
+            ]
+            return lines, n_pairs * 8
+        raise MethodologyError(
+            f"no Chen&Dey application loop for {sig.component!r}"
+        )
+
+    # ------------------------------------------------------------- build
+
+    def generate_source(self, resp_base: int = 0x4800) -> str:
+        text = [".text", "cd_start:"]
+        data = [".data"]
+        resp = resp_base
+        for index, sig in enumerate(self.signatures):
+            prefix = f"cd_{sig.component.lower()}{index}"
+            sig_label = f"{prefix}_sig"
+            text.append(f"    # {sig.component}: expand + apply")
+            text += self._expand_call(sig_label, sig.n_patterns)
+            app_lines, words = self._application(sig, resp, prefix)
+            text += app_lines
+            resp += 4 * words
+            data.append(f"{sig_label}:")
+            data.append(f"    .word {sig.seed:#010x}, {sig.taps:#010x}")
+        text += ["cd_halt: j cd_halt", "    nop"]
+        # The generator subroutine sits after the halt (reached via jal).
+        text += self._generator_routine()
+        return "\n".join(text + data) + "\n"
+
+    def build_program(self, resp_base: int = 0x4800) -> SelfTestProgram:
+        source = self.generate_source(resp_base)
+        program = assemble(source)
+        return SelfTestProgram(
+            phases="chen-dey",
+            source=source,
+            program=program,
+            response_base=resp_base,
+        )

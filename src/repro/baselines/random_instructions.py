@@ -1,0 +1,118 @@
+"""Pseudorandom-instruction self-test baseline (refs [2]-[5] style).
+
+Generates a straight-line program of pseudorandom computation instructions
+over pseudorandom register contents, storing an accumulated response
+register to memory at a fixed period so results stay observable.  This is
+the classic functional approach the paper's introduction criticises:
+structural coverage saturates while program size (and thus tester download
+time) keeps growing linearly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.methodology import SelfTestProgram
+from repro.isa.assembler import assemble
+
+#: Instruction population (mnemonic, kind) the generator samples from.
+_RTYPE = ("addu", "subu", "and", "or", "xor", "nor", "slt", "sltu")
+_ITYPE = ("addiu", "andi", "ori", "xori", "slti", "sltiu")
+_SHIFT_IMM = ("sll", "srl", "sra")
+_SHIFT_VAR = ("sllv", "srlv", "srav")
+
+#: Registers the generator uses as a working set.
+_WORK_REGS = tuple(range(2, 16))
+
+
+@dataclass
+class RandomInstructionSelfTest:
+    """Pseudorandom-instruction program generator.
+
+    Args:
+        n_instructions: number of random compute instructions.
+        seed: PRNG seed (deterministic output for a given seed).
+        store_period: emit an observability store every N instructions.
+        include_muldiv: mix in MULT/DIV (+HI/LO reads); costs many cycles.
+    """
+
+    n_instructions: int = 1000
+    seed: int = 2003
+    store_period: int = 8
+    include_muldiv: bool = False
+
+    def generate_source(self, resp_base: int = 0x4000) -> str:
+        rng = random.Random(self.seed)
+        lines = [".text", "rand_start:"]
+        # Random initial register contents.
+        for reg in _WORK_REGS:
+            lines.append(f"    li ${reg}, {rng.getrandbits(32):#010x}")
+        resp = resp_base
+
+        def pick_reg() -> int:
+            return rng.choice(_WORK_REGS)
+
+        emitted = 0
+        while emitted < self.n_instructions:
+            kind = rng.random()
+            rd, rs, rt = pick_reg(), pick_reg(), pick_reg()
+            if kind < 0.40:
+                op = rng.choice(_RTYPE)
+                lines.append(f"    {op} ${rd}, ${rs}, ${rt}")
+            elif kind < 0.65:
+                op = rng.choice(_ITYPE)
+                imm = rng.getrandbits(16)
+                if op in ("addiu", "slti", "sltiu") and imm > 0x7FFF:
+                    imm -= 0x10000
+                lines.append(f"    {op} ${rd}, ${rs}, {imm}")
+            elif kind < 0.80:
+                op = rng.choice(_SHIFT_IMM)
+                lines.append(f"    {op} ${rd}, ${rs}, {rng.randrange(32)}")
+            elif kind < 0.90:
+                op = rng.choice(_SHIFT_VAR)
+                lines.append(f"    {op} ${rd}, ${rs}, ${rt}")
+            elif self.include_muldiv and kind < 0.93:
+                op = rng.choice(("mult", "multu", "div", "divu"))
+                lines.append(f"    {op} ${rs}, ${rt}")
+                lines.append(f"    mflo ${rd}")
+                emitted += 1
+            else:
+                op = rng.choice(_RTYPE)
+                lines.append(f"    {op} ${rd}, ${rs}, ${rt}")
+            emitted += 1
+            if emitted % self.store_period == 0:
+                lines.append(f"    sw ${rd}, {resp}($0)")
+                resp += 4
+
+        # Final dump of the whole working set.
+        for reg in _WORK_REGS:
+            lines.append(f"    sw ${reg}, {resp}($0)")
+            resp += 4
+        lines += ["rand_halt: j rand_halt", "    nop"]
+        return "\n".join(lines) + "\n"
+
+    def build_program(self, resp_base: int = 0x4000) -> SelfTestProgram:
+        """Assemble into the same container the methodology produces.
+
+        Large programs would overlap a fixed response window, so the window
+        is moved above the code when needed (keeping ``sw addr($0)``
+        absolute addressing encodable).
+        """
+        program = assemble(self.generate_source(resp_base))
+        code_end = max(s.end for s in program.segments if s.is_code)
+        if code_end > resp_base:
+            resp_base = (code_end + 0x100) & ~0xFF
+            if resp_base > 0x7000:
+                raise ValueError(
+                    f"program too large for $0-relative responses "
+                    f"({code_end:#x} bytes of code)"
+                )
+            program = assemble(self.generate_source(resp_base))
+        source = self.generate_source(resp_base)
+        return SelfTestProgram(
+            phases=f"random({self.n_instructions})",
+            source=source,
+            program=program,
+            response_base=resp_base,
+        )

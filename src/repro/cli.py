@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``asm FILE``       — assemble a MIPS source file, print statistics and
+  (optionally) a listing or a memory image.
+* ``run FILE``       — assemble and execute on the Plasma model.
+* ``selftest``       — generate a Phase A/AB/ABC self-test program.
+* ``campaign``       — run the fault-grading campaign and print the tables.
+* ``inventory``      — print the component classification and gate counts
+  (Tables 2 and 3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.campaign import run_campaign
+from repro.core.methodology import SelfTestMethodology
+from repro.errors import ReproError
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble_program
+from repro.plasma.cpu import PlasmaCPU
+from repro.reporting.tables import (
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        program = assemble(handle.read())
+    print(
+        f"{args.file}: {program.code_words} code words, "
+        f"{program.data_words} data words"
+    )
+    if args.listing:
+        for line in disassemble_program(program):
+            print(line)
+    if args.image:
+        for addr, word in sorted(program.to_image().items()):
+            print(f"{addr:08x} {word:08x}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    with open(args.file) as handle:
+        program = assemble(handle.read())
+    cpu = PlasmaCPU()
+    cpu.load_program(program)
+    result = cpu.run(max_instructions=args.max_instructions)
+    print(
+        f"halted at pc={result.pc:#010x} after {result.instructions} "
+        f"instructions / {result.cycles} cycles"
+    )
+    if args.dump:
+        base, count = args.dump
+        for i, word in enumerate(cpu.memory.dump_words(base, count)):
+            print(f"{base + 4 * i:08x} {word:08x}")
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    self_test = SelfTestMethodology().build_program(args.phases)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(self_test.source)
+        print(f"wrote {args.output}")
+    else:
+        print(self_test.source)
+    print(
+        f"# phases={args.phases}: {self_test.code_words} code words, "
+        f"{self_test.data_words} data words, "
+        f"{self_test.response_words} response words",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    components = args.components.split(",") if args.components else None
+    outcomes = {}
+    for phases in args.phases.split(","):
+        print(f"== campaign: phases {phases} ==")
+        outcomes[phases] = run_campaign(
+            phases, components=components, verbose=True
+        )
+    print()
+    print(render_table4(outcomes))
+    print()
+    print(render_table5(outcomes))
+    return 0
+
+
+def _cmd_inventory(_args: argparse.Namespace) -> int:
+    print(render_table2())
+    print()
+    print(render_table3())
+    return 0
+
+
+def _parse_dump(text: str) -> tuple[int, int]:
+    try:
+        base, count = text.split(":")
+        return int(base, 0), int(count, 0)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected BASE:COUNT (e.g. 0x4000:16), got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_asm = sub.add_parser("asm", help="assemble a MIPS source file")
+    p_asm.add_argument("file")
+    p_asm.add_argument("--listing", action="store_true",
+                       help="print a disassembly listing")
+    p_asm.add_argument("--image", action="store_true",
+                       help="print the memory image (addr word per line)")
+    p_asm.set_defaults(func=_cmd_asm)
+
+    p_run = sub.add_parser("run", help="assemble and execute a program")
+    p_run.add_argument("file")
+    p_run.add_argument("--max-instructions", type=int, default=2_000_000)
+    p_run.add_argument("--dump", type=_parse_dump, metavar="BASE:COUNT",
+                       help="dump memory words after the run")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_st = sub.add_parser("selftest", help="generate a self-test program")
+    p_st.add_argument("--phases", default="AB")
+    p_st.add_argument("-o", "--output")
+    p_st.set_defaults(func=_cmd_selftest)
+
+    p_c = sub.add_parser("campaign", help="run the fault-grading campaign")
+    p_c.add_argument("--phases", default="A",
+                     help="comma-separated phase configs (e.g. A,AB)")
+    p_c.add_argument("--components",
+                     help="comma-separated subset (e.g. ALU,BSH)")
+    p_c.set_defaults(func=_cmd_campaign)
+
+    p_inv = sub.add_parser("inventory", help="print Tables 2 and 3")
+    p_inv.set_defaults(func=_cmd_inventory)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early — not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

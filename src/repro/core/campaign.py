@@ -1,0 +1,188 @@
+"""End-to-end fault-grading campaign (produces Tables 4 and 5).
+
+The pipeline (DESIGN.md Section 4):
+
+1. build the self-test program for the requested phases;
+2. execute it on the traced behavioural CPU (cycle accounting = Table 4);
+3. replay every component's traced stimulus against its gate netlist with
+   the stuck-at fault simulator, honouring the taint-derived observability;
+4. aggregate per-component FC / MOFC and the overall processor coverage
+   (= Table 5).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.methodology import SelfTestMethodology, SelfTestProgram
+from repro.faultsim.coverage import CoverageSummary
+from repro.faultsim.harness import (
+    CampaignResult,
+    CombinationalCampaign,
+    SequentialCampaign,
+)
+from repro.netlist.stats import gate_count
+from repro.plasma.components import COMPONENTS, ComponentInfo
+from repro.plasma.cpu import CPUResult, PlasmaCPU
+from repro.plasma.memory import Memory
+from repro.plasma.tracer import ComponentTracer
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything a table renderer or benchmark needs from one campaign."""
+
+    phases: str
+    self_test: SelfTestProgram
+    cpu_result: CPUResult
+    results: dict[str, CampaignResult] = field(default_factory=dict)
+    summary: CoverageSummary = field(default_factory=CoverageSummary)
+    grading_seconds: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ tables
+
+    def table4(self) -> dict[str, int]:
+        """Self-test program statistics (paper Table 4)."""
+        return {
+            "code_words": self.self_test.code_words,
+            "data_words": self.self_test.data_words,
+            "total_words": self.self_test.total_words,
+            "clock_cycles": self.cpu_result.cycles,
+        }
+
+    def table5(self) -> list[dict]:
+        """Per-component FC and MOFC rows plus the overall row."""
+        rows = []
+        for cov in self.summary.components:
+            rows.append(
+                {
+                    "name": cov.name,
+                    "faults": cov.n_faults,
+                    "detected": cov.n_detected,
+                    "fc": cov.fault_coverage,
+                    "mofc": self.summary.mofc(cov.name),
+                }
+            )
+        rows.append(
+            {
+                "name": "Plasma",
+                "faults": self.summary.total_faults,
+                "detected": self.summary.total_detected,
+                "fc": self.summary.overall_coverage,
+                "mofc": 100.0 - self.summary.overall_coverage,
+            }
+        )
+        return rows
+
+
+def grade_component(
+    info: ComponentInfo,
+    stimulus: list,
+    observe: list,
+    netlist_transform=None,
+) -> CampaignResult:
+    """Fault-grade one component against its traced stimulus.
+
+    Args:
+        netlist_transform: optional netlist -> netlist rewrite applied
+            before grading (e.g. a technology remap for experiment C3).
+    """
+    netlist = info.builder()
+    if netlist_transform is not None:
+        netlist = netlist_transform(netlist)
+    if not stimulus:
+        # The program never excited this component (e.g. a prefix program
+        # without its routine): everything stays undetected.
+        from repro.faultsim.faults import build_fault_list
+
+        return CampaignResult(info.name, build_fault_list(netlist))
+    if info.sequential:
+        campaign = SequentialCampaign(
+            netlist, stimulus, observe, name=info.name
+        )
+    else:
+        campaign = CombinationalCampaign(
+            netlist, stimulus, observe, name=info.name
+        )
+    return campaign.run()
+
+
+def execute_self_test(
+    self_test: SelfTestProgram,
+) -> tuple[CPUResult, ComponentTracer, Memory]:
+    """Run a self-test program on the traced CPU."""
+    tracer = ComponentTracer()
+    cpu = PlasmaCPU(tracer=tracer)
+    cpu.load_program(self_test.program)
+    result = cpu.run()
+    return result, tracer, cpu.memory
+
+
+def grade_program(
+    self_test: SelfTestProgram,
+    components: list[str] | None = None,
+    verbose: bool = False,
+    netlist_transform=None,
+) -> CampaignOutcome:
+    """Execute any program on the traced CPU and fault-grade components.
+
+    This is the shared back half of :func:`run_campaign`; the baselines
+    (pseudorandom / Chen&Dey programs) are graded through it too, so every
+    comparison uses identical machinery.
+    """
+    cpu_result, tracer, _memory = execute_self_test(self_test)
+    specs = tracer.finalize()
+
+    outcome = CampaignOutcome(
+        phases=self_test.phases, self_test=self_test, cpu_result=cpu_result
+    )
+    wanted = set(components) if components is not None else None
+    for info in COMPONENTS:
+        if wanted is not None and info.name not in wanted:
+            continue
+        stimulus, observe = specs[info.name]
+        started = time.perf_counter()
+        result = grade_component(info, stimulus, observe, netlist_transform)
+        elapsed = time.perf_counter() - started
+        outcome.results[info.name] = result
+        outcome.grading_seconds[info.name] = elapsed
+        nand2 = gate_count(info.builder()).nand2
+        outcome.summary.add(result.to_component_coverage(nand2))
+        if verbose:
+            print(
+                f"  {info.name:6s} FC={result.fault_coverage:6.2f}% "
+                f"({result.n_detected}/{result.n_faults} faults, "
+                f"{len(stimulus)} stimulus entries, {elapsed:.1f}s)"
+            )
+    return outcome
+
+
+def run_campaign(
+    phases: str = "A",
+    components: list[str] | None = None,
+    methodology: SelfTestMethodology | None = None,
+    verbose: bool = False,
+    netlist_transform=None,
+) -> CampaignOutcome:
+    """Full pipeline for one phase configuration.
+
+    Args:
+        phases: ``"A"``, ``"AB"`` or ``"ABC"``.
+        components: short names to grade (default: all ten).  Components
+            outside the subset are skipped entirely (useful for fast tests);
+            the summary then only aggregates the graded subset.
+        methodology: custom methodology instance (for ablations).
+        verbose: print per-component progress with timings.
+
+    Returns:
+        The campaign outcome with Table 4/5 data attached.
+    """
+    methodology = methodology or SelfTestMethodology()
+    self_test = methodology.build_program(phases)
+    return grade_program(
+        self_test,
+        components=components,
+        verbose=verbose,
+        netlist_transform=netlist_transform,
+    )

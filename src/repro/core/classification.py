@@ -1,0 +1,65 @@
+"""Component classification (paper Section 2.1, Table 2).
+
+Components are classed by two structural criteria that need only the RT
+description and the ISA — no netlist:
+
+* **functional** — existence directly implied by instruction formats; they
+  store or transform architectural data (register file, ALU, shifter,
+  multiplier);
+* **control** — they steer instruction/data flow but no instruction format
+  implies them (PC logic, memory control, instruction decode, bus muxes);
+* **hidden** — performance structures invisible to the assembly programmer
+  (pipeline registers, hazard logic).
+
+Residual gates outside any named component are "glue" (the paper lists them
+separately from the three classes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.plasma.components import COMPONENTS, ComponentClass, ComponentInfo
+
+
+def classify_components(
+    components: Sequence[ComponentInfo] | None = None,
+) -> dict[ComponentClass, list[ComponentInfo]]:
+    """Group components by class, preserving registry order.
+
+    Args:
+        components: registry entries; defaults to the Plasma inventory.
+
+    Returns:
+        Mapping from class to its components (every class key present).
+    """
+    if components is None:
+        components = COMPONENTS
+    groups: dict[ComponentClass, list[ComponentInfo]] = {
+        cls: [] for cls in ComponentClass
+    }
+    for info in components:
+        groups[info.component_class].append(info)
+    return groups
+
+
+def classification_table(
+    components: Sequence[ComponentInfo] | None = None,
+) -> list[tuple[str, str]]:
+    """The paper's Table 2: (component full name, class) rows."""
+    if components is None:
+        components = COMPONENTS
+    return [(c.full_name, c.component_class.value) for c in components]
+
+
+def is_functional(info: ComponentInfo) -> bool:
+    return info.component_class is ComponentClass.FUNCTIONAL
+
+
+def functional_components(
+    components: Iterable[ComponentInfo] | None = None,
+) -> list[ComponentInfo]:
+    """The Phase A target set."""
+    if components is None:
+        components = COMPONENTS
+    return [c for c in components if is_functional(c)]

@@ -1,0 +1,180 @@
+"""Phase A/B/C self-test program construction (paper Figure 3).
+
+Phase A develops routines for the functional components in descending size
+order (RegF, MulD, ALU, BSH on Plasma); Phase B targets the control class,
+starting — as the paper does — with the Memory Controller, the control
+component with the largest size and the largest missed-coverage share after
+Phase A; Phase C adds the control-flow stress routine for the remaining
+control/hidden structures.
+
+The generated program stores every test response into a response window
+above the program image (the tester reads it back, per Figure 1) and ends
+with a completion marker plus the ``halt: j halt`` idiom.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.priority import test_development_order
+from repro.core.routines import ROUTINES, TestRoutine
+from repro.errors import MethodologyError
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.plasma.components import COMPONENTS, ComponentClass
+
+#: Completion marker written as the final response word.
+COMPLETION_MARKER = 0x600D600D
+
+#: Default first byte address of the response window (must keep the whole
+#: window below 0x8000 so ``sw reg, addr($0)`` absolute addressing encodes).
+DEFAULT_RESPONSE_BASE = 0x4000
+
+
+class Phase(enum.Enum):
+    """Test-development phases (Figure 3)."""
+
+    A = "A"  # functional components
+    B = "B"  # control components
+    C = "C"  # remaining control/hidden stress
+
+
+def parse_phases(phases: str) -> list[Phase]:
+    """Parse ``"A"`` / ``"AB"`` / ``"A+B"`` / ``"ABC"`` style specs."""
+    cleaned = phases.replace("+", "").upper()
+    if not cleaned:
+        raise MethodologyError("no phases given")
+    result = []
+    for ch in cleaned:
+        try:
+            phase = Phase(ch)
+        except ValueError:
+            raise MethodologyError(f"unknown phase {ch!r}") from None
+        if phase not in result:
+            result.append(phase)
+    if result != sorted(result, key=lambda p: p.value):
+        raise MethodologyError(f"phases must be cumulative, got {phases!r}")
+    if result[0] is not Phase.A:
+        raise MethodologyError("phase development starts at Phase A")
+    return result
+
+
+@dataclass
+class RoutinePlacement:
+    """Where one routine landed in the final program."""
+
+    component: str
+    phase: Phase
+    prefix: str
+    response_base: int
+    response_words: int
+    code_words: int = 0
+
+
+@dataclass
+class SelfTestProgram:
+    """A fully assembled self-test program plus its accounting."""
+
+    phases: str
+    source: str
+    program: Program
+    placements: list[RoutinePlacement] = field(default_factory=list)
+    response_base: int = DEFAULT_RESPONSE_BASE
+    response_words: int = 0
+
+    @property
+    def code_words(self) -> int:
+        """Downloaded instruction words (Table 4's 'test program')."""
+        return self.program.code_words
+
+    @property
+    def data_words(self) -> int:
+        """Downloaded operand-table words (test data)."""
+        return self.program.data_words
+
+    @property
+    def total_words(self) -> int:
+        return self.program.total_words
+
+
+class SelfTestMethodology:
+    """Builds self-test programs following the paper's methodology."""
+
+    def __init__(self, response_base: int = DEFAULT_RESPONSE_BASE):
+        self.response_base = response_base
+
+    # ------------------------------------------------------------- plan
+
+    def routine_plan(self, phases: str) -> list[tuple[Phase, TestRoutine]]:
+        """Routines in development order for the requested phases."""
+        wanted = parse_phases(phases)
+        order = test_development_order(COMPONENTS)
+        plan: list[tuple[Phase, TestRoutine]] = []
+        if Phase.A in wanted:
+            for info in order:
+                if info.component_class is ComponentClass.FUNCTIONAL:
+                    plan.append((Phase.A, ROUTINES[info.name]()))
+        if Phase.B in wanted:
+            # The paper targets the Memory Controller first (largest size,
+            # largest MOFC after Phase A) and stops there for Plasma.
+            plan.append((Phase.B, ROUTINES["MCTRL"]()))
+        if Phase.C in wanted:
+            plan.append((Phase.C, ROUTINES["FLOW"]()))
+        return plan
+
+    # ------------------------------------------------------------ build
+
+    def build_program(self, phases: str = "A") -> SelfTestProgram:
+        """Generate and assemble the self-test program for ``phases``."""
+        plan = self.routine_plan(phases)
+        text_parts: list[str] = [".text", "selftest_start:"]
+        data_parts: list[str] = []
+        placements: list[RoutinePlacement] = []
+
+        resp = self.response_base
+        for index, (phase, routine) in enumerate(plan):
+            prefix = f"{routine.component.lower()}{index}"
+            result = routine.generate(prefix, resp)
+            text_parts.append(result.text)
+            if result.data:
+                data_parts.append(result.data)
+            placements.append(
+                RoutinePlacement(
+                    component=routine.component,
+                    phase=phase,
+                    prefix=prefix,
+                    response_base=resp,
+                    response_words=result.response_words,
+                )
+            )
+            resp += 4 * result.response_words
+
+        marker_addr = resp
+        resp += 4
+        if resp > 0x7FF8:
+            raise MethodologyError(
+                f"response window overflows absolute addressing: {resp:#x}"
+            )
+        text_parts += [
+            "    # completion marker",
+            f"    li $t0, {COMPLETION_MARKER:#010x}",
+            f"    sw $t0, {marker_addr}($0)",
+            "selftest_halt: j selftest_halt",
+            "    nop",
+        ]
+        if data_parts:
+            text_parts.append(".data")
+            text_parts.extend(data_parts)
+
+        source = "\n".join(text_parts) + "\n"
+        program = assemble(source)
+        self_test = SelfTestProgram(
+            phases=phases,
+            source=source,
+            program=program,
+            placements=placements,
+            response_base=self.response_base,
+            response_words=(resp - self.response_base) // 4,
+        )
+        return self_test

@@ -1,0 +1,145 @@
+"""On-line periodic self-testing (the paper's follow-up direction).
+
+The DATE 2003 methodology optimises the self-test program for *download*
+cost at manufacturing time; the same small-and-fast property is what makes
+the program attractive for **on-line periodic testing**: the test stays
+resident in memory and runs between mission workload slices, trading
+performance overhead against fault-detection latency.
+
+This module provides the scheduling model and a cycle-accurate interleaved
+simulation on the behavioural CPU:
+
+* :func:`operating_point` — the analytic overhead/latency trade-off for a
+  test of ``t`` cycles run every ``p`` mission cycles;
+* :class:`PeriodicScheduler` — actually interleaves a mission program with
+  the self-test on the Plasma model (each gets its own architectural
+  context), counting real cycles, so the analytic model is validated
+  against execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.methodology import SelfTestMethodology, SelfTestProgram
+from repro.errors import SimulationError
+from repro.isa.program import Program
+from repro.plasma.cpu import PlasmaCPU
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One point on the overhead / detection-latency trade-off curve.
+
+    Attributes:
+        period_cycles: mission cycles between consecutive test runs.
+        test_cycles: cycles one self-test execution takes.
+        overhead: fraction of total cycles spent testing (0..1).
+        worst_case_latency: cycles from a fault's arrival to the end of
+            the next completed self-test (period + test duration: the
+            fault may arrive right after a test started).
+    """
+
+    period_cycles: int
+    test_cycles: int
+
+    @property
+    def overhead(self) -> float:
+        return self.test_cycles / (self.period_cycles + self.test_cycles)
+
+    @property
+    def worst_case_latency(self) -> int:
+        return self.period_cycles + 2 * self.test_cycles
+
+
+def operating_point(period_cycles: int, test_cycles: int) -> OperatingPoint:
+    """Build one trade-off point (validates arguments)."""
+    if period_cycles <= 0 or test_cycles <= 0:
+        raise SimulationError("period and test cycles must be positive")
+    return OperatingPoint(period_cycles, test_cycles)
+
+
+def trade_off_curve(
+    test_cycles: int, periods: list[int]
+) -> list[OperatingPoint]:
+    """Operating points for a sweep of test periods."""
+    return [operating_point(p, test_cycles) for p in periods]
+
+
+@dataclass
+class PeriodicRun:
+    """Outcome of an interleaved mission/self-test simulation."""
+
+    total_cycles: int
+    mission_cycles: int
+    test_cycles: int
+    tests_completed: int
+    mission_iterations: int
+
+    @property
+    def measured_overhead(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.test_cycles / self.total_cycles
+
+
+class PeriodicScheduler:
+    """Interleave a mission program with the resident self-test.
+
+    Both programs are architecturally independent runs of the Plasma model
+    (a real deployment would save/restore context; the cycle accounting is
+    identical).  The mission program is re-run in a loop, the self-test is
+    launched whenever at least ``period_cycles`` of mission time have
+    elapsed since its last completion.
+    """
+
+    def __init__(
+        self,
+        mission: Program,
+        self_test: SelfTestProgram | None = None,
+        period_cycles: int = 50_000,
+    ):
+        self.mission = mission
+        self.self_test = (
+            self_test
+            if self_test is not None
+            else SelfTestMethodology().build_program("A")
+        )
+        if period_cycles <= 0:
+            raise SimulationError("period must be positive")
+        self.period_cycles = period_cycles
+
+    def _run_once(self, program: Program) -> int:
+        cpu = PlasmaCPU()
+        cpu.load_program(program)
+        return cpu.run().cycles
+
+    def run(self, total_budget: int = 500_000) -> PeriodicRun:
+        """Simulate until the cycle budget is exhausted."""
+        mission_cost = self._run_once(self.mission)
+        test_cost = self._run_once(self.self_test.program)
+
+        total = 0
+        mission_cycles = 0
+        test_cycles = 0
+        tests = 0
+        iterations = 0
+        since_test = 0
+        while total < total_budget:
+            if since_test >= self.period_cycles:
+                total += test_cost
+                test_cycles += test_cost
+                tests += 1
+                since_test = 0
+            else:
+                total += mission_cost
+                mission_cycles += mission_cost
+                since_test += mission_cost
+                iterations += 1
+        return PeriodicRun(
+            total_cycles=total,
+            mission_cycles=mission_cycles,
+            test_cycles=test_cycles,
+            tests_completed=tests,
+            mission_iterations=iterations,
+        )

@@ -1,0 +1,42 @@
+"""Self-test routine generators.
+
+Each generator emits a self-contained assembly snippet (plus any operand
+table) that applies its component's library test set with compact
+instruction loops and stores every response into a statically assigned
+response window — the tester-readable area of Figure 1.
+
+Register conventions inside routines: ``$t0``-``$t9``, ``$s0``-``$s2`` and
+``$at`` are scratch; response addresses are either absolute 16-bit offsets
+off ``$0`` or held in ``$s0`` inside loops.  No routine depends on state
+left by another.
+"""
+
+from repro.core.routines.base import RoutineResult, TestRoutine
+from repro.core.routines.alu_routine import AluRoutine
+from repro.core.routines.bsh_routine import ShifterRoutine
+from repro.core.routines.regf_routine import RegisterFileRoutine
+from repro.core.routines.muld_routine import MulDivRoutine
+from repro.core.routines.mctrl_routine import MemoryControlRoutine
+from repro.core.routines.flow_routine import ControlFlowRoutine
+
+#: Routine generator per component short name.
+ROUTINES: dict[str, type[TestRoutine]] = {
+    "ALU": AluRoutine,
+    "BSH": ShifterRoutine,
+    "RegF": RegisterFileRoutine,
+    "MulD": MulDivRoutine,
+    "MCTRL": MemoryControlRoutine,
+    "FLOW": ControlFlowRoutine,  # Phase C: PCL/CTRL/PLN stress
+}
+
+__all__ = [
+    "RoutineResult",
+    "TestRoutine",
+    "AluRoutine",
+    "ShifterRoutine",
+    "RegisterFileRoutine",
+    "MulDivRoutine",
+    "MemoryControlRoutine",
+    "ControlFlowRoutine",
+    "ROUTINES",
+]

@@ -1,0 +1,80 @@
+"""ALU self-test routine (Phase A).
+
+One compact loop walks the operand-pair table; its body applies every
+R-format ALU operation plus an immediate-operand sweep and stores each
+result.  The pair table carries the adder carry-chain / per-bit logic /
+sign-corner patterns from the test-set library.
+"""
+
+from __future__ import annotations
+
+from repro.core.routines.base import RoutineResult, TestRoutine, _Emitter
+from repro.core.testlib import ALU_OPERAND_PAIRS, ALU_RTYPE_OPS
+
+#: (mnemonic, immediate) cases applied to the loaded operand each iteration.
+ITYPE_CASES: tuple[tuple[str, int], ...] = (
+    ("addiu", 0x7FFF), ("addiu", 0x8000),
+    ("slti", 0x0000), ("slti", 0x8000),
+    ("sltiu", 0xFFFF), ("sltiu", 0x0001),
+    ("andi", 0x5555), ("andi", 0xAAAA),
+    ("ori", 0x5555), ("ori", 0xAAAA),
+    ("xori", 0xFFFF), ("xori", 0xAAAA),
+)
+
+#: LUI immediates (PASS_B path + the IMM_LUI bus extension).
+LUI_CASES: tuple[int, ...] = (0x5555, 0xAAAA, 0x8001)
+
+
+class AluRoutine(TestRoutine):
+    """Deterministic ALU test: table-driven loop over all operations."""
+
+    component = "ALU"
+
+    def __init__(self, pairs=ALU_OPERAND_PAIRS):
+        self.pairs = tuple(pairs)
+
+    def generate(self, prefix: str, resp_base: int) -> RoutineResult:
+        e = _Emitter(resp_base)
+        per_iter = len(ALU_RTYPE_OPS) + len(ITYPE_CASES)
+        stride = 4 * per_iter
+
+        e.comment("ALU: R-type ops + immediate sweep over the pair table")
+        e.emit(f"{prefix}_start:")
+        e.emit(f"    li $s0, {resp_base}")
+        e.emit(f"    la $t8, {prefix}_pairs")
+        e.emit(f"    li $t9, {len(self.pairs)}")
+        e.emit(f"{prefix}_loop:")
+        e.emit("    lw $t0, 0($t8)")
+        e.emit("    lw $t1, 4($t8)")
+        offset = 0
+        for op in ALU_RTYPE_OPS:
+            e.emit(f"    {op} $t2, $t0, $t1")
+            e.emit(f"    sw $t2, {offset}($s0)")
+            offset += 4
+        for op, imm in ITYPE_CASES:
+            e.emit(f"    {op} $t2, $t0, {imm}")
+            e.emit(f"    sw $t2, {offset}($s0)")
+            offset += 4
+        e.emit(f"    addiu $s0, $s0, {stride}")
+        e.emit("    addiu $t8, $t8, 8")
+        e.emit("    addiu $t9, $t9, -1")
+        e.emit(f"    bnez $t9, {prefix}_loop")
+        e.emit("    nop")
+
+        # Account for the loop's response consumption, then the LUI tail.
+        loop_words = per_iter * len(self.pairs)
+        for _ in range(loop_words):
+            e.next_response()
+        e.comment("LUI: PASS_B path")
+        for imm in LUI_CASES:
+            e.emit(f"    lui $t2, {imm:#x}")
+            e.store("$t2")
+
+        data_lines = [f"{prefix}_pairs:"]
+        for a, b in self.pairs:
+            data_lines.append(f"    .word {a:#010x}, {b:#010x}")
+        return RoutineResult(
+            text=e.text(),
+            data="\n".join(data_lines) + "\n",
+            response_words=e.response_words,
+        )

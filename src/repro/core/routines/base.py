@@ -1,0 +1,75 @@
+"""Shared infrastructure for self-test routine generators."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass
+class RoutineResult:
+    """A generated routine.
+
+    Attributes:
+        text: assembly for the ``.text`` section (ends in ordinary fallthrough).
+        data: assembly for the ``.data`` section ('' if no operand table).
+        response_words: 32-bit response words the routine writes, i.e. the
+            size of its reserved window starting at ``resp_base``.
+    """
+
+    text: str
+    data: str
+    response_words: int
+
+
+class _Emitter:
+    """Tiny assembly-line accumulator with a response-address allocator."""
+
+    def __init__(self, resp_base: int):
+        self.lines: list[str] = []
+        self._resp = resp_base
+        self._resp_base = resp_base
+
+    def emit(self, line: str = "") -> None:
+        self.lines.append(line)
+
+    def comment(self, text: str) -> None:
+        self.lines.append(f"    # {text}")
+
+    def next_response(self) -> int:
+        """Allocate the next response word address (absolute)."""
+        addr = self._resp
+        self._resp += 4
+        return addr
+
+    def store(self, reg: str) -> None:
+        """Store ``reg`` to the next response word via a $0-based address."""
+        self.emit(f"    sw {reg}, {self.next_response()}($0)")
+
+    @property
+    def response_words(self) -> int:
+        return (self._resp - self._resp_base) // 4
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class TestRoutine(ABC):
+    """Base class for per-component self-test routine generators."""
+
+    #: Short component name this routine targets (registry key).
+    component: str = ""
+
+    @abstractmethod
+    def generate(self, prefix: str, resp_base: int) -> RoutineResult:
+        """Emit the routine.
+
+        Args:
+            prefix: unique label prefix (labels must be ``{prefix}_*``).
+            resp_base: first byte address of this routine's response
+                window.  Must stay within the signed-16-bit range so
+                ``sw reg, addr($0)`` addressing works.
+
+        Returns:
+            The generated text/data and the number of response words used.
+        """

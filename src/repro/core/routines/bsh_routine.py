@@ -1,0 +1,59 @@
+"""Barrel-shifter self-test routine (Phase A).
+
+A single loop sweeps the variable shift amount 0..31 and applies all three
+shift types to both library values (sign-corner and alternating); a short
+unrolled tail samples fixed-amount (shamt-field) shifts.
+"""
+
+from __future__ import annotations
+
+from repro.core.routines.base import RoutineResult, TestRoutine, _Emitter
+from repro.core.testlib import SHIFTER_FIXED_CASES, SHIFTER_VALUES
+
+
+class ShifterRoutine(TestRoutine):
+    """Exhaustive-shamt sweep via a compact SLLV/SRLV/SRAV loop."""
+
+    component = "BSH"
+
+    def __init__(self, values=SHIFTER_VALUES, fixed_cases=SHIFTER_FIXED_CASES):
+        self.values = tuple(values)
+        self.fixed_cases = tuple(fixed_cases)
+
+    def generate(self, prefix: str, resp_base: int) -> RoutineResult:
+        e = _Emitter(resp_base)
+        per_iter = 3 * len(self.values)
+        stride = 4 * per_iter
+
+        e.comment("BSH: all shift amounts x all directions x library values")
+        e.emit(f"{prefix}_start:")
+        e.emit(f"    li $s0, {resp_base}")
+        for i, value in enumerate(self.values):
+            e.emit(f"    li $s{i + 1}, {value:#010x}")
+        e.emit("    move $t3, $0")
+        e.emit("    li $t9, 32")
+        e.emit(f"{prefix}_loop:")
+        offset = 0
+        for i in range(len(self.values)):
+            src = f"$s{i + 1}"
+            for op in ("sllv", "srlv", "srav"):
+                e.emit(f"    {op} $t2, {src}, $t3")
+                e.emit(f"    sw $t2, {offset}($s0)")
+                offset += 4
+        e.emit(f"    addiu $s0, $s0, {stride}")
+        e.emit("    addiu $t3, $t3, 1")
+        e.emit(f"    bne $t3, $t9, {prefix}_loop")
+        e.emit("    nop")
+
+        for _ in range(per_iter * 32):
+            e.next_response()
+
+        e.comment("fixed shift amounts (shamt-field path)")
+        e.emit(f"    li $t0, {self.values[0]:#010x}")
+        for op, shamt in self.fixed_cases:
+            e.emit(f"    {op} $t2, $t0, {shamt}")
+            e.store("$t2")
+
+        return RoutineResult(
+            text=e.text(), data="", response_words=e.response_words
+        )

@@ -1,0 +1,110 @@
+"""Control-flow self-test routine (Phase C).
+
+Stresses the remaining control/hidden structures beyond what Phases A+B
+already exercise: every branch type in both its taken and not-taken
+direction (with positive, negative and zero operands), plus the JAL / JALR
+/ JR linkage path.  Path markers stored to the response window make every
+decision tester-visible.
+
+The paper found Plasma's hidden component (the pipeline) already tested
+satisfactorily after Phase A+B; this routine exists to let the phase-C
+trade-off be measured.
+"""
+
+from __future__ import annotations
+
+from repro.core.routines.base import RoutineResult, TestRoutine, _Emitter
+
+#: (branch mnemonic, rs value, rt value or None, expected taken)
+BRANCH_CASES: tuple[tuple[str, int, int | None, bool], ...] = (
+    ("beq", 5, 5, True),
+    ("beq", 5, -5, False),
+    ("bne", 7, 3, True),
+    ("bne", 7, 7, False),
+    ("blez", 0, None, True),
+    ("blez", -3, None, True),
+    ("blez", 9, None, False),
+    ("bgtz", 9, None, True),
+    ("bgtz", -9, None, False),
+    ("bltz", -1, None, True),
+    ("bltz", 1, None, False),
+    ("bgez", 0, None, True),
+    ("bgez", -8, None, False),
+)
+
+
+class ControlFlowRoutine(TestRoutine):
+    """Branch/jump decision sweep with tester-visible path markers."""
+
+    component = "FLOW"
+
+    def generate(self, prefix: str, resp_base: int) -> RoutineResult:
+        e = _Emitter(resp_base)
+        e.comment("control-flow: every branch type, both directions")
+        e.emit(f"{prefix}_start:")
+
+        for idx, (op, rs, rt, taken) in enumerate(BRANCH_CASES):
+            label = f"{prefix}_b{idx}"
+            e.emit(f"    li $t0, {rs}")
+            if rt is None:
+                operands = f"$t0, {label}_t"
+            else:
+                e.emit(f"    li $t1, {rt}")
+                operands = f"$t0, $t1, {label}_t"
+            e.emit(f"    {op} {operands}")
+            e.emit("    nop")
+            # Fallthrough (not-taken) marker.
+            e.emit(f"    ori $t2, $0, {0x100 + idx}")
+            e.emit(f"    b {label}_d")
+            e.emit("    nop")
+            e.emit(f"{label}_t:")
+            # Taken marker.
+            e.emit(f"    ori $t2, $0, {0x200 + idx}")
+            e.emit(f"{label}_d:")
+            e.store("$t2")
+            del taken  # expectation is checked by the harness, not here
+
+        e.comment("walking-bit equality sweep (PCL comparator tree)")
+        # For every bit k and both data polarities, compare x against
+        # x ^ (1 << k): a single-bit difference isolates one XNOR of the
+        # equality comparator and one AND-tree path; a wrong taken/not-taken
+        # decision corrupts the counted marker.
+        for base in (0x5A5A5A5A, 0xA5A5A5A5):
+            e.emit(f"    li $s0, {base:#010x}")
+            e.emit("    li $t0, 1")
+            e.emit("    li $t9, 32")
+            e.emit("    move $t2, $0")
+            label = f"{prefix}_cmp{base & 1 or base % 7}"
+            e.emit(f"{label}_loop:")
+            e.emit("    xor $t1, $s0, $t0")
+            e.emit(f"    beq $s0, $t1, {label}_skip")
+            e.emit("    nop")
+            e.emit("    addiu $t2, $t2, 1")
+            e.emit(f"{label}_skip:")
+            e.emit("    addu $t0, $t0, $t0")
+            e.emit("    addiu $t9, $t9, -1")
+            e.emit(f"    bnez $t9, {label}_loop")
+            e.emit("    nop")
+            e.store("$t2")  # 32 iff every single-bit compare decided right
+
+        e.comment("JAL / JR / JALR linkage")
+        e.emit(f"    jal {prefix}_sub")
+        e.emit("    nop")
+        e.store("$v0")  # value produced by the subroutine
+        e.store("$ra")  # link address itself is a response
+        e.emit("    ori $v0, $0, 0")
+        e.emit(f"    la $t7, {prefix}_sub")
+        e.emit("    jalr $t7")
+        e.emit("    nop")
+        e.store("$v0")
+        e.emit(f"    b {prefix}_done")
+        e.emit("    nop")
+        e.emit(f"{prefix}_sub:")
+        e.emit("    ori $v0, $0, 0x3C3")
+        e.emit("    jr $ra")
+        e.emit("    nop")
+        e.emit(f"{prefix}_done:")
+
+        return RoutineResult(
+            text=e.text(), data="", response_words=e.response_words
+        )

@@ -1,0 +1,60 @@
+"""Memory-controller self-test routine (Phase B).
+
+Phase B's first (and, for Plasma, only needed) target: MCTRL has the
+largest size and the biggest missed-coverage share after Phase A (paper
+Section 4).  The routine sweeps:
+
+* every load size at every byte lane, signed and unsigned, over data words
+  whose byte sign bits alternate (extension-fill coverage);
+* every store size at every byte lane, writing straight into the response
+  window (sub-word stores leave their neighbours' zeroes visible);
+* word read-back of the stored lanes (store-then-load path).
+"""
+
+from __future__ import annotations
+
+from repro.core.routines.base import RoutineResult, TestRoutine, _Emitter
+from repro.core.testlib import (
+    MCTRL_DATA_WORDS,
+    MCTRL_LOAD_CASES,
+    MCTRL_STORE_CASES,
+)
+
+
+class MemoryControlRoutine(TestRoutine):
+    """Load/store size/lane/sign sweep."""
+
+    component = "MCTRL"
+
+    def generate(self, prefix: str, resp_base: int) -> RoutineResult:
+        e = _Emitter(resp_base)
+
+        e.comment("MCTRL: load extraction sweep (size x lane x sign)")
+        e.emit(f"{prefix}_start:")
+        e.emit(f"    la $t8, {prefix}_data")
+        for word_index in range(len(MCTRL_DATA_WORDS)):
+            base = 4 * word_index
+            for op, off in MCTRL_LOAD_CASES:
+                e.emit(f"    {op} $t0, {base + off}($t8)")
+                e.store("$t0")
+
+        e.comment("store steering sweep (writes land in the response area)")
+        for op, off, value in MCTRL_STORE_CASES:
+            target = e.next_response()  # one clean response word per case
+            e.emit(f"    li $t1, {value:#x}")
+            e.emit(f"    {op} $t1, {(target & ~3) + off}($0)")
+
+        e.comment("word read-back of the stored lanes")
+        read_back_base = e._resp - 4 * len(MCTRL_STORE_CASES)
+        for i in range(len(MCTRL_STORE_CASES)):
+            e.emit(f"    lw $t2, {read_back_base + 4 * i}($0)")
+            e.store("$t2")
+
+        data_lines = [f"{prefix}_data:"]
+        for word in MCTRL_DATA_WORDS:
+            data_lines.append(f"    .word {word:#010x}")
+        return RoutineResult(
+            text=e.text(),
+            data="\n".join(data_lines) + "\n",
+            response_words=e.response_words,
+        )

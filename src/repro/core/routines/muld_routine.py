@@ -1,0 +1,74 @@
+"""Multiplier/divider self-test routine (Phase A).
+
+One loop walks the operand-pair table and issues all four operations,
+reading HI and LO back after each (the read interlocks on the 32-cycle
+iteration, so this routine dominates the self-test execution time — as the
+paper notes for its MulD tests).  A short tail exercises the MTHI/MTLO
+direct-write path.
+"""
+
+from __future__ import annotations
+
+from repro.core.routines.base import RoutineResult, TestRoutine, _Emitter
+from repro.core.testlib import MULDIV_HILO_VALUES, MULDIV_OPERAND_PAIRS
+
+OPS: tuple[str, ...] = ("mult", "multu", "div", "divu")
+
+
+class MulDivRoutine(TestRoutine):
+    """Corner-operand sweep over MULT/MULTU/DIV/DIVU plus MTHI/MTLO."""
+
+    component = "MulD"
+
+    def __init__(self, pairs=MULDIV_OPERAND_PAIRS):
+        self.pairs = tuple(pairs)
+
+    def generate(self, prefix: str, resp_base: int) -> RoutineResult:
+        e = _Emitter(resp_base)
+        per_iter = 2 * len(OPS)
+        stride = 4 * per_iter
+
+        e.comment("MulD: all operations over the corner-operand table")
+        e.emit(f"{prefix}_start:")
+        e.emit(f"    li $s0, {resp_base}")
+        e.emit(f"    la $t8, {prefix}_pairs")
+        e.emit(f"    li $t9, {len(self.pairs)}")
+        e.emit(f"{prefix}_loop:")
+        e.emit("    lw $t0, 0($t8)")
+        e.emit("    lw $t1, 4($t8)")
+        offset = 0
+        for op in OPS:
+            e.emit(f"    {op} $t0, $t1")
+            e.emit("    mfhi $t2")
+            e.emit("    mflo $t3")
+            e.emit(f"    sw $t2, {offset}($s0)")
+            e.emit(f"    sw $t3, {offset + 4}($s0)")
+            offset += 8
+        e.emit(f"    addiu $s0, $s0, {stride}")
+        e.emit("    addiu $t8, $t8, 8")
+        e.emit("    addiu $t9, $t9, -1")
+        e.emit(f"    bnez $t9, {prefix}_loop")
+        e.emit("    nop")
+
+        for _ in range(per_iter * len(self.pairs)):
+            e.next_response()
+
+        e.comment("MTHI/MTLO direct writes")
+        hi_val, lo_val = MULDIV_HILO_VALUES
+        e.emit(f"    li $t0, {hi_val:#010x}")
+        e.emit("    mthi $t0")
+        e.emit(f"    li $t1, {lo_val:#010x}")
+        e.emit("    mtlo $t1")
+        e.emit("    mfhi $t2")
+        e.store("$t2")
+        e.emit("    mflo $t3")
+        e.store("$t3")
+
+        data_lines = [f"{prefix}_pairs:"]
+        for a, b in self.pairs:
+            data_lines.append(f"    .word {a:#010x}, {b:#010x}")
+        return RoutineResult(
+            text=e.text(),
+            data="\n".join(data_lines) + "\n",
+            response_words=e.response_words,
+        )

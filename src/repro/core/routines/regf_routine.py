@@ -1,0 +1,88 @@
+"""Register-file self-test routine (Phase A).
+
+A March-style test adapted to instruction-level access (the paper's
+memory-element-array recipe), with three backgrounds chosen for the
+DFF-array-plus-read-mux-tree structure:
+
+1. **pattern march** — write the alternating background ascending; read it
+   on port A (``nor`` also writes the complement back), store the
+   complement through port B descending; read the complement on port A
+   (restoring the pattern), store the pattern through port B descending.
+   Every cell is read with both values through *both* read ports.
+2. **parity background** — register *r* holds all-ones iff popcount(r) is
+   odd.  Any two registers whose indices differ in one address bit then
+   differ in *every* bit column, so every select-pin fault of the two
+   32:1 read mux trees (and any single-bit decoder fault) flips an
+   observed readback word.
+3. **register-unique values** — distinguishes registers of equal index
+   parity (multi-bit addressing faults).
+
+Register indices are instruction fields, so the sweep is necessarily
+unrolled — still compact because each march element is one instruction.
+The routine clobbers every register; it runs self-contained.
+"""
+
+from __future__ import annotations
+
+from repro.core.routines.base import RoutineResult, TestRoutine, _Emitter
+from repro.core.testlib import REGFILE_PATTERNS
+
+
+def unique16(reg: int) -> int:
+    """Register-unique 16-bit value for the decoder pass."""
+    return (reg * 257) & 0x7FFF
+
+
+def parity_background(reg: int) -> int:
+    """All-ones for odd-popcount register indices, zero otherwise."""
+    return 0xFFFFFFFF if bin(reg).count("1") & 1 else 0
+
+
+class RegisterFileRoutine(TestRoutine):
+    """March-like write/read sweep over all 31 writable registers."""
+
+    component = "RegF"
+
+    def __init__(self, pattern: int = REGFILE_PATTERNS[0]):
+        self.pattern = pattern
+
+    def generate(self, prefix: str, resp_base: int) -> RoutineResult:
+        e = _Emitter(resp_base)
+        p = self.pattern
+
+        e.comment("RegF march: write pattern ascending")
+        e.emit(f"{prefix}_start:")
+        e.emit(f"    li $1, {p:#010x}")
+        for reg in range(2, 32):
+            e.emit(f"    or ${reg}, $1, $0")
+
+        e.comment("port-A read of pattern, complement written in place")
+        for reg in range(1, 32):
+            e.emit(f"    nor ${reg}, ${reg}, $0")
+        e.comment("port-B read of complement, descending")
+        for reg in range(31, 0, -1):
+            e.store(f"${reg}")
+
+        e.comment("port-A read of complement, pattern restored in place")
+        for reg in range(1, 32):
+            e.emit(f"    nor ${reg}, ${reg}, $0")
+        e.comment("port-B read of pattern, descending")
+        for reg in range(31, 0, -1):
+            e.store(f"${reg}")
+
+        e.comment("parity background (read-mux select / decoder faults)")
+        for reg in range(1, 32):
+            value = parity_background(reg)
+            e.emit(f"    addiu ${reg}, $0, {-1 if value else 0}")
+        for reg in range(1, 32):
+            e.store(f"${reg}")
+
+        e.comment("register-unique values (multi-bit addressing faults)")
+        for reg in range(1, 32):
+            e.emit(f"    addiu ${reg}, $0, {unique16(reg)}")
+        for reg in range(1, 32):
+            e.store(f"${reg}")
+
+        return RoutineResult(
+            text=e.text(), data="", response_words=e.response_words
+        )

@@ -1,0 +1,139 @@
+"""The component test-set library (paper Section 2.3, Figure 4).
+
+Small deterministic pattern sets that exploit each component's regular or
+semi-regular structure.  These are the *data* of the methodology; the
+routine generators in :mod:`repro.core.routines` wrap them in compact
+instruction loops.
+
+Rationale per set:
+
+* **Adder/logic operand pairs** — a ripple-carry adder is an iterative
+  array: all-propagate chains (``FFFF…+1``), alternate-generate patterns
+  (``5555…+5555…``) and the sign corners test every full-adder cell and the
+  carry chain; the same pairs put each bit of a two-input logic array
+  through all four input combinations (00/01/10/11 via the 0/F/5/A masks).
+* **Shift values** — a one-in-many pattern with the sign bit set plus an
+  alternating pattern, swept across *every* shift amount and direction,
+  toggles each mux level of the logarithmic shifter both ways.
+* **Register-file march** — write/read-back of a pattern and its complement
+  over all registers (cell stuck-ats) plus a register-unique value pass
+  (address-decoder faults), the March-like test the paper describes for
+  memory-element arrays.
+* **Multiplier/divider operands** — corners (0, ±1, INT_MIN, INT_MAX) plus
+  alternating patterns exercise the shared adder/subtractor, the sign
+  pre/post-negation stages and the iteration control for every operation.
+* **Memory-access cases** — every access size at every byte lane with
+  sign-boundary data covers the byte-steering and extension muxes.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bits import MASK32
+
+#: Operand pairs for the ALU routine (adder carry chains, per-bit logic
+#: combinations, set-less-than sign corners).
+ALU_OPERAND_PAIRS: tuple[tuple[int, int], ...] = (
+    (0x00000000, 0x00000000),
+    (0xFFFFFFFF, 0x00000001),  # full-length carry propagate
+    (0x00000001, 0xFFFFFFFF),
+    (0x55555555, 0x55555555),  # generate at every even stage
+    (0xAAAAAAAA, 0xAAAAAAAA),
+    (0xFFFFFFFF, 0xFFFFFFFF),
+    (0x00000000, 0xFFFFFFFF),
+    (0x55555555, 0xAAAAAAAA),  # logic 01/10 in every bit
+    (0x80000000, 0x80000000),  # sign corner / overflow wrap
+    (0x7FFFFFFF, 0x00000001),
+    (0x7FFFFFFF, 0x80000000),  # SLT sign-differs corners
+    (0x80000000, 0x7FFFFFFF),
+    (0x0F0F0F0F, 0xF0F0F0F0),
+    (0x33333333, 0xCCCCCCCC),
+    (0xFFFF0000, 0x0000FFFF),
+    (0x76543210, 0x89ABCDEF),
+)
+
+#: Immediates for the I-format ALU instructions (16-bit field corners).
+ALU_IMMEDIATES: tuple[int, ...] = (0x0000, 0xFFFF, 0x5555, 0xAAAA, 0x8000, 0x7FFF)
+
+#: R-format ALU instructions covered by the operand-pair loop.
+ALU_RTYPE_OPS: tuple[str, ...] = (
+    "addu", "subu", "and", "or", "xor", "nor", "slt", "sltu",
+)
+
+#: I-format ALU instructions covered by the immediate sweep.
+ALU_ITYPE_OPS: tuple[str, ...] = (
+    "addiu", "slti", "sltiu", "andi", "ori", "xori",
+)
+
+#: Values swept across every shift amount and direction by the shifter
+#: routine.  A select-pin fault in mux stage *k* of the logarithmic
+#: shifter is visible only when bits ``j`` and ``j + 2^k`` of the operand
+#: differ, so the set combines:
+#:
+#: * 0x80000001 — sign/fill path and the end bits;
+#: * a de Bruijn B(2,5) word and its complement — every 5-bit window
+#:   distinct, so the word differs from *any* shifted copy of itself in
+#:   many positions (covers the deep stages; a periodic pattern like
+#:   0xA5A5A5A5 is invariant under 8/16-bit shifts and masks them);
+#: * 0x0000FFFF — anti-palindromic (bit reversal equals complement), so
+#:   the input/output reversal muxes see differing inputs in every column;
+#: * 0x55555555 / 0x33333333 — adjacent bits (k=0) and bit pairs (k=1)
+#:   differ in every column, covering the first two stages' select pins.
+SHIFTER_VALUES: tuple[int, ...] = (
+    0x80000001, 0x077CB531, 0xF8834ACE, 0x0000FFFF, 0x55555555, 0x33333333,
+)
+
+#: Fixed-amount shifts sampled in addition to the variable-shift sweep
+#: (exercises the shamt-field path through CTRL/BSH).
+SHIFTER_FIXED_CASES: tuple[tuple[str, int], ...] = (
+    ("sll", 1), ("sll", 31), ("srl", 1), ("srl", 31), ("sra", 1), ("sra", 31),
+    ("sll", 16), ("srl", 16), ("sra", 16), ("sra", 0),
+)
+
+#: March-style background patterns for the register file (pattern, then
+#: complement, catches cell and data-line stuck-ats both ways).
+REGFILE_PATTERNS: tuple[int, ...] = (0x55555555, 0xAAAAAAAA)
+
+#: Multiplier/divider operand pairs (each run through MULT/MULTU/DIV/DIVU).
+MULDIV_OPERAND_PAIRS: tuple[tuple[int, int], ...] = (
+    (0x00000000, 0x00000001),
+    (0x00000001, 0x00000000),  # division by zero (restoring-array case)
+    (0xFFFFFFFF, 0xFFFFFFFF),  # -1 x -1 / -1 div -1
+    (0x80000000, 0xFFFFFFFF),  # INT_MIN corners
+    (0x7FFFFFFF, 0x7FFFFFFF),
+    (0x55555555, 0xAAAAAAAA),
+    (0xAAAAAAAA, 0x00000003),
+    (0x00010002, 0x00030004),
+    (0xFFFF0001, 0x0000FFFF),
+    (0x12345678, 0x000ABCDE),
+)
+
+#: HI/LO direct-write values for the MTHI/MTLO path.
+MULDIV_HILO_VALUES: tuple[int, ...] = (0x5A5A5A5A, 0xA5A5A5A5)
+
+#: Data word stored/loaded by the memory-control routine; byte values have
+#: distinct sign bits to exercise both extension fills.
+MCTRL_DATA_WORDS: tuple[int, ...] = (0x807F017E, 0x00FF7E81)
+
+#: (instruction, byte offset) cases for the load-extraction sweep.
+MCTRL_LOAD_CASES: tuple[tuple[str, int], ...] = (
+    ("lb", 0), ("lb", 1), ("lb", 2), ("lb", 3),
+    ("lbu", 0), ("lbu", 1), ("lbu", 2), ("lbu", 3),
+    ("lh", 0), ("lh", 2), ("lhu", 0), ("lhu", 2),
+    ("lw", 0),
+)
+
+#: (instruction, byte offset, value) cases for the store-steering sweep.
+MCTRL_STORE_CASES: tuple[tuple[str, int, int], ...] = (
+    ("sb", 0, 0x81), ("sb", 1, 0x7E), ("sb", 2, 0x01), ("sb", 3, 0xFE),
+    ("sh", 0, 0x8001), ("sh", 2, 0x7FFE),
+    ("sw", 0, 0xC3A55A3C),
+)
+
+
+def regfile_unique_value(reg: int) -> int:
+    """Register-unique background for the address-decoder pass.
+
+    Distinct per register and with both halves populated, so any decoder
+    fault that reads/writes the wrong register is visible on readback.
+    """
+    return ((reg * 0x01010101) ^ 0x0000FFFF) & MASK32

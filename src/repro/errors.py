@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so a
+caller can catch one type to handle any library failure.  Subpackages raise
+the most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AssemblyError(ReproError):
+    """An assembly-language source could not be assembled.
+
+    Carries the offending source line number (1-based) when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded or decoded."""
+
+
+class NetlistError(ReproError):
+    """A gate-level netlist is malformed or an operation on it is invalid."""
+
+
+class SimulationError(ReproError):
+    """The CPU or logic simulator reached an invalid state."""
+
+
+class FaultSimError(ReproError):
+    """The fault simulator was misused or reached an invalid state."""
+
+
+class MethodologyError(ReproError):
+    """The SBST methodology was applied to an unsupported configuration."""

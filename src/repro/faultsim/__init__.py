@@ -1,0 +1,47 @@
+"""Single-stuck-at fault simulation engine.
+
+The engine mirrors what a commercial tool (the paper used Mentor FlexTest)
+does for fault grading:
+
+* :mod:`~repro.faultsim.faults` — fault universe (stem faults on every net,
+  branch faults on fanout gate pins) with structural equivalence collapsing;
+* :mod:`~repro.faultsim.simulator` — pattern-parallel good-machine logic
+  simulation over levelized netlists (one Python bitwise op evaluates a gate
+  under every pattern at once);
+* :mod:`~repro.faultsim.differential` — per-fault event-driven faulty
+  simulation against stored good values, with fault dropping;
+* :mod:`~repro.faultsim.harness` — component campaigns: apply a pattern set
+  or a traced cycle sequence, honouring per-pattern/per-cycle observability;
+* :mod:`~repro.faultsim.coverage` — FC / MOFC reports (the paper's Table 5
+  quantities).
+"""
+
+from repro.faultsim.diagnosis import Candidate, FaultDictionary
+from repro.faultsim.faults import Fault, FaultKind, FaultList, build_fault_list
+from repro.faultsim.simulator import LogicSimulator, SimState
+from repro.faultsim.differential import DifferentialFaultSimulator
+from repro.faultsim.coverage import ComponentCoverage, CoverageSummary
+from repro.faultsim.harness import (
+    CombinationalCampaign,
+    SequentialCampaign,
+    run_combinational,
+    run_sequential,
+)
+
+__all__ = [
+    "Candidate",
+    "FaultDictionary",
+    "Fault",
+    "FaultKind",
+    "FaultList",
+    "build_fault_list",
+    "LogicSimulator",
+    "SimState",
+    "DifferentialFaultSimulator",
+    "ComponentCoverage",
+    "CoverageSummary",
+    "CombinationalCampaign",
+    "SequentialCampaign",
+    "run_combinational",
+    "run_sequential",
+]

@@ -1,0 +1,84 @@
+"""Fault-coverage bookkeeping: FC and MOFC (the paper's Table 5 metrics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ComponentCoverage:
+    """Coverage of one processor component.
+
+    Attributes:
+        name: component name (e.g. ``"ALU"``).
+        n_faults: collapsed stuck-at fault classes in the component.
+        n_detected: classes detected by the applied test.
+        nand2: component area (for Table 3 cross-reference; 0 if unknown).
+    """
+
+    name: str
+    n_faults: int
+    n_detected: int
+    nand2: int = 0
+
+    @property
+    def n_undetected(self) -> int:
+        return self.n_faults - self.n_detected
+
+    @property
+    def fault_coverage(self) -> float:
+        """Component fault coverage in percent."""
+        if self.n_faults == 0:
+            return 100.0
+        return 100.0 * self.n_detected / self.n_faults
+
+
+@dataclass
+class CoverageSummary:
+    """Processor-wide aggregation across components.
+
+    ``MOFC`` (missed overall fault coverage) for a component is the share of
+    the *processor's* total faults that remain undetected inside that
+    component — the paper's prioritisation signal for the next test phase.
+    """
+
+    components: list[ComponentCoverage] = field(default_factory=list)
+
+    def add(self, coverage: ComponentCoverage) -> None:
+        self.components.append(coverage)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(c.n_faults for c in self.components)
+
+    @property
+    def total_detected(self) -> int:
+        return sum(c.n_detected for c in self.components)
+
+    @property
+    def overall_coverage(self) -> float:
+        """Processor overall fault coverage in percent."""
+        total = self.total_faults
+        if total == 0:
+            return 100.0
+        return 100.0 * self.total_detected / total
+
+    def mofc(self, name: str) -> float:
+        """Missed overall fault coverage contributed by one component (%)."""
+        total = self.total_faults
+        if total == 0:
+            return 0.0
+        component = self.component(name)
+        return 100.0 * component.n_undetected / total
+
+    def component(self, name: str) -> ComponentCoverage:
+        for c in self.components:
+            if c.name == name:
+                return c
+        raise KeyError(f"no component named {name!r}")
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """(name, FC%, MOFC%) per component — Table 5's layout."""
+        return [
+            (c.name, c.fault_coverage, self.mofc(c.name)) for c in self.components
+        ]

@@ -1,0 +1,158 @@
+"""Fault dictionaries and response-based diagnosis.
+
+Once the self-test response stream flags a defective part, the natural next
+question is *which* fault explains the observed failures.  A fault
+dictionary records, for every collapsed fault, the complete set of test
+patterns whose observed response it corrupts; diagnosis then ranks faults
+by how well their failure signatures match the tester's observation.
+
+This implementation targets pattern-set (combinational) campaigns, where a
+signature is simply the set of failing pattern indices — the classic
+full-response dictionary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import FaultSimError
+from repro.faultsim.differential import DifferentialFaultSimulator
+from repro.faultsim.faults import FaultList, build_fault_list
+from repro.faultsim.simulator import LogicSimulator
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One diagnosis candidate.
+
+    Attributes:
+        fault_index: representative fault index in the dictionary's list.
+        description: human-readable fault location.
+        score: Jaccard similarity between the fault's signature and the
+            observed failing set (1.0 = exact match).
+        exact: True when the signatures are identical.
+    """
+
+    fault_index: int
+    description: str
+    score: float
+    exact: bool
+
+
+@dataclass
+class FaultDictionary:
+    """Full-response fault dictionary for a combinational pattern set.
+
+    Attributes:
+        netlist: circuit the dictionary describes.
+        patterns: the applied pattern set (order defines pattern indices).
+        observe: per-pattern observed output ports (None = all).
+    """
+
+    netlist: Netlist
+    patterns: Sequence[Mapping[str, int]]
+    observe: Sequence[Sequence[str]] | None = None
+    fault_list: FaultList | None = None
+    signatures: dict[int, frozenset[int]] = field(default_factory=dict)
+
+    def build(self) -> "FaultDictionary":
+        """Simulate every collapsed fault to completion and store its
+        failing-pattern signature.  Undetected faults get the empty set."""
+        if self.netlist.dffs:
+            raise FaultSimError(
+                "fault dictionaries are built over pattern sets; "
+                f"{self.netlist.name!r} is sequential"
+            )
+        if not self.patterns:
+            raise FaultSimError("no patterns to build the dictionary from")
+        if self.fault_list is None:
+            self.fault_list = build_fault_list(self.netlist)
+        sim = LogicSimulator(self.netlist)
+        trace = sim.run_parallel_sessions([[dict(p)] for p in self.patterns])
+        diff = DifferentialFaultSimulator(self.netlist)
+        observe_nets = None
+        if self.observe is not None:
+            if len(self.observe) != len(self.patterns):
+                raise FaultSimError("observe list must match pattern count")
+            port_masks: dict[str, int] = {}
+            for lane, ports in enumerate(self.observe):
+                for port in ports:
+                    port_masks[port] = port_masks.get(port, 0) | (1 << lane)
+            observe_nets = diff.observe_nets_for(
+                [port_masks], trace.n_cycles, trace.lanes.mask
+            )
+        for rep in self.fault_list.class_representatives():
+            fault = self.fault_list.fault(rep)
+            detection = diff.simulate_fault(
+                fault, trace, observe_nets, stop_at_first=False
+            )
+            failing = frozenset(
+                trace.lanes.set_lanes(detection.lanes)
+            ) if detection.detected else frozenset()
+            self.signatures[rep] = failing
+        return self
+
+    # ------------------------------------------------------------ queries
+
+    def signature_of(self, fault_index: int) -> frozenset[int]:
+        try:
+            return self.signatures[fault_index]
+        except KeyError:
+            raise FaultSimError(
+                f"fault {fault_index} not in dictionary (not a class "
+                f"representative, or build() not called)"
+            ) from None
+
+    def distinguishable_pairs(self) -> float:
+        """Diagnostic resolution: fraction of detected-fault pairs whose
+        signatures differ (1.0 = every pair distinguishable)."""
+        detected = [s for s in self.signatures.values() if s]
+        if len(detected) < 2:
+            return 1.0
+        from collections import Counter
+
+        sizes = Counter(detected)
+        total = len(detected) * (len(detected) - 1) // 2
+        same = sum(n * (n - 1) // 2 for n in sizes.values())
+        return 1.0 - same / total
+
+    def diagnose(
+        self, failing_patterns: Iterable[int], top: int = 10
+    ) -> list[Candidate]:
+        """Rank candidate faults against an observed failing-pattern set.
+
+        Args:
+            failing_patterns: pattern indices the tester saw fail.
+            top: maximum number of candidates returned.
+
+        Returns:
+            Candidates sorted by descending Jaccard score (exact matches
+            first).  An empty observation returns no candidates.
+        """
+        observed = frozenset(failing_patterns)
+        if not observed:
+            return []
+        assert self.fault_list is not None
+        candidates: list[Candidate] = []
+        for rep, signature in self.signatures.items():
+            if not signature:
+                continue
+            union = len(signature | observed)
+            inter = len(signature & observed)
+            if inter == 0:
+                continue
+            score = inter / union
+            candidates.append(
+                Candidate(
+                    fault_index=rep,
+                    description=self.fault_list.fault(rep).describe(
+                        self.netlist
+                    ),
+                    score=score,
+                    exact=signature == observed,
+                )
+            )
+        candidates.sort(key=lambda c: (-c.exact, -c.score, c.fault_index))
+        return candidates[:top]

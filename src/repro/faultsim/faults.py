@@ -1,0 +1,219 @@
+"""Single-stuck-at fault universe and structural equivalence collapsing.
+
+Fault sites follow standard practice:
+
+* a **stem** fault on every net (gate outputs, DFF Q outputs, input-port
+  nets) stuck at 0 and stuck at 1;
+* a **branch** fault on every gate input pin (and DFF D pin) whose driving
+  net fans out to more than one reader — with fanout 1 the branch is the
+  stem.
+
+Structural equivalence collapsing merges faults that no test can ever
+distinguish (AND input s-a-0 with its output s-a-0, inverter pin inversions,
+buffer pass-through), using a union-find over fault sites.  Coverage is
+reported over the collapsed classes, which is how fault simulators
+conventionally report FC.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+
+
+class FaultKind(enum.Enum):
+    STEM = "stem"  # fault on a net (affects all readers)
+    BRANCH = "branch"  # fault on one gate input pin
+    DFF_D = "dff_d"  # fault on one DFF's D pin
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One single-stuck-at fault.
+
+    Attributes:
+        kind: stem / branch / DFF-D-pin.
+        net: the faulted net (stem) or the net feeding the pin (branch).
+        stuck: the stuck value, 0 or 1.
+        gate: reading gate index for branch faults (-1 otherwise).
+        pin: input pin position within the gate (-1 otherwise); for
+            ``DFF_D`` the DFF index is stored in ``gate``.
+    """
+
+    kind: FaultKind
+    net: int
+    stuck: int
+    gate: int = -1
+    pin: int = -1
+
+    def describe(self, netlist: Netlist) -> str:
+        name = netlist.net_names.get(self.net, f"n{self.net}")
+        if self.kind is FaultKind.STEM:
+            return f"{name} s-a-{self.stuck}"
+        if self.kind is FaultKind.DFF_D:
+            return f"dff{self.gate}.D({name}) s-a-{self.stuck}"
+        return f"g{self.gate}.in{self.pin}({name}) s-a-{self.stuck}"
+
+
+class _UnionFind:
+    """Union-find over fault ids for equivalence collapsing."""
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:  # path compression
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+#: For each collapsible gate type: (input stuck value, output stuck value)
+#: pairs that are structurally equivalent.  A controlling value on any input
+#: forces the output; XOR-family gates have no such pairs.
+_EQUIVALENCE: dict[GateType, tuple[tuple[int, int], ...]] = {
+    GateType.AND: ((0, 0),),
+    GateType.NAND: ((0, 1),),
+    GateType.OR: ((1, 1),),
+    GateType.NOR: ((1, 0),),
+    GateType.NOT: ((0, 1), (1, 0)),
+    GateType.BUF: ((0, 0), (1, 1)),
+}
+
+
+@dataclass
+class FaultList:
+    """The fault universe of one netlist.
+
+    Attributes:
+        netlist: circuit the faults live in.
+        faults: every prime (uncollapsed) fault.
+        representative: for each fault index, the index of its equivalence
+            class representative.
+        classes: representative index -> member indices.
+    """
+
+    netlist: Netlist
+    faults: list[Fault]
+    representative: list[int]
+    classes: dict[int, list[int]]
+
+    @property
+    def n_prime(self) -> int:
+        """Total faults before collapsing."""
+        return len(self.faults)
+
+    @property
+    def n_collapsed(self) -> int:
+        """Number of equivalence classes (the FC denominator)."""
+        return len(self.classes)
+
+    def class_representatives(self) -> list[int]:
+        return sorted(self.classes.keys())
+
+    def fault(self, index: int) -> Fault:
+        return self.faults[index]
+
+
+def build_fault_list(netlist: Netlist, collapse: bool = True) -> FaultList:
+    """Enumerate and (optionally) collapse the stuck-at fault universe."""
+    faults: list[Fault] = []
+    index_of: dict[tuple, int] = {}
+
+    def add(fault: Fault) -> int:
+        key = (fault.kind, fault.net, fault.stuck, fault.gate, fault.pin)
+        if key in index_of:
+            return index_of[key]
+        index_of[key] = len(faults)
+        faults.append(fault)
+        return index_of[key]
+
+    fanout_count: dict[int, int] = {}
+    for gate in netlist.gates:
+        for net in gate.inputs:
+            fanout_count[net] = fanout_count.get(net, 0) + 1
+    for dff in netlist.dffs:
+        fanout_count[dff.d] = fanout_count.get(dff.d, 0) + 1
+    for port in netlist.output_ports():
+        for net in port.nets:
+            fanout_count[net] = fanout_count.get(net, 0) + 1
+
+    # Stem faults on every real net that is actually part of the circuit
+    # (driven and/or read); skip the constant nets.
+    live_nets: set[int] = set(fanout_count)
+    for gate in netlist.gates:
+        live_nets.add(gate.output)
+    for dff in netlist.dffs:
+        live_nets.add(dff.q)
+    for port in netlist.input_ports():
+        live_nets.update(port.nets)
+    live_nets.discard(CONST0)
+    live_nets.discard(CONST1)
+
+    for net in sorted(live_nets):
+        for stuck in (0, 1):
+            add(Fault(FaultKind.STEM, net, stuck))
+
+    # Branch faults on fanout pins.
+    for gate in netlist.gates:
+        for pin, net in enumerate(gate.inputs):
+            if net in (CONST0, CONST1):
+                continue
+            if fanout_count.get(net, 0) > 1:
+                for stuck in (0, 1):
+                    add(Fault(FaultKind.BRANCH, net, stuck, gate=gate.index, pin=pin))
+    for dff in netlist.dffs:
+        net = dff.d
+        if net in (CONST0, CONST1):
+            continue
+        if fanout_count.get(net, 0) > 1:
+            for stuck in (0, 1):
+                add(Fault(FaultKind.DFF_D, net, stuck, gate=dff.index))
+
+    uf = _UnionFind(len(faults))
+    if collapse:
+        _collapse(netlist, faults, index_of, fanout_count, uf)
+
+    representative = [uf.find(i) for i in range(len(faults))]
+    classes: dict[int, list[int]] = {}
+    for i, rep in enumerate(representative):
+        classes.setdefault(rep, []).append(i)
+    return FaultList(netlist, faults, representative, classes)
+
+
+def _collapse(netlist, faults, index_of, fanout_count, uf) -> None:
+    """Apply gate-local structural equivalences."""
+
+    def stem(net: int, stuck: int) -> int | None:
+        return index_of.get((FaultKind.STEM, net, stuck, -1, -1))
+
+    def branch(gate: int, pin: int, net: int, stuck: int) -> int | None:
+        return index_of.get((FaultKind.BRANCH, net, stuck, gate, pin))
+
+    for gate in netlist.gates:
+        pairs = _EQUIVALENCE.get(gate.gtype)
+        if not pairs:
+            continue
+        for in_stuck, out_stuck in pairs:
+            out_fault = stem(gate.output, out_stuck)
+            if out_fault is None:
+                continue
+            for pin, net in enumerate(gate.inputs):
+                if net in (CONST0, CONST1):
+                    continue
+                if fanout_count.get(net, 0) > 1:
+                    pin_fault = branch(gate.index, pin, net, in_stuck)
+                else:
+                    pin_fault = stem(net, in_stuck)
+                if pin_fault is not None:
+                    uf.union(out_fault, pin_fault)

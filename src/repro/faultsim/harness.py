@@ -1,0 +1,228 @@
+"""Component-level fault-grading campaigns.
+
+A campaign takes a component netlist plus the stimulus that reaches it
+during self-test execution (either an unordered pattern set for a
+combinational component, or the exact traced cycle sequence for a sequential
+one), runs the good machine once, then grades every collapsed fault class
+with the differential simulator, honouring observability restrictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import FaultSimError
+from repro.faultsim.coverage import ComponentCoverage
+from repro.faultsim.differential import Detection, DifferentialFaultSimulator
+from repro.faultsim.faults import Fault, FaultList, build_fault_list
+from repro.faultsim.simulator import GoodTrace, LogicSimulator
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class CampaignResult:
+    """Detailed outcome of grading one component.
+
+    Attributes:
+        name: campaign label.
+        fault_list: the component's fault universe.
+        detected: representative fault indices that were detected.
+        detections: per representative index, the Detection record.
+        n_patterns: number of patterns / cycles applied.
+    """
+
+    name: str
+    fault_list: FaultList
+    detected: set[int] = field(default_factory=set)
+    detections: dict[int, Detection] = field(default_factory=dict)
+    n_patterns: int = 0
+
+    @property
+    def n_faults(self) -> int:
+        return self.fault_list.n_collapsed
+
+    @property
+    def n_detected(self) -> int:
+        return len(self.detected)
+
+    @property
+    def fault_coverage(self) -> float:
+        if self.n_faults == 0:
+            return 100.0
+        return 100.0 * self.n_detected / self.n_faults
+
+    def undetected_faults(self) -> list[Fault]:
+        """Representative faults that survived the test (for diagnosis)."""
+        return [
+            self.fault_list.fault(rep)
+            for rep in self.fault_list.class_representatives()
+            if rep not in self.detected
+        ]
+
+    @property
+    def n_never_excited(self) -> int:
+        """Undetected faults whose site never took the opposite value.
+
+        These cannot be detected by *any* observability improvement — the
+        stimulus never drives them (e.g. high PC/address bits in a small
+        test footprint).  The remainder of the undetected set was excited
+        but failed to propagate to an observed output.
+        """
+        return sum(
+            1
+            for rep, detection in self.detections.items()
+            if not detection.detected and not detection.excited
+        )
+
+    @property
+    def n_excited_unobserved(self) -> int:
+        """Undetected faults that were excited but never observed."""
+        return (self.n_faults - self.n_detected) - self.n_never_excited
+
+    def excitation_report(self) -> str:
+        """One-line FC breakdown used by verbose campaigns and analyses."""
+        return (
+            f"{self.name}: FC {self.fault_coverage:.2f}% "
+            f"({self.n_detected}/{self.n_faults}); undetected: "
+            f"{self.n_never_excited} never excited, "
+            f"{self.n_excited_unobserved} excited-but-unobserved"
+        )
+
+    def to_component_coverage(self, nand2: int = 0) -> ComponentCoverage:
+        return ComponentCoverage(
+            name=self.name,
+            n_faults=self.n_faults,
+            n_detected=self.n_detected,
+            nand2=nand2,
+        )
+
+
+def _grade(
+    name: str,
+    netlist: Netlist,
+    trace: GoodTrace,
+    observe: Sequence[Mapping[str, int]] | None,
+    fault_list: FaultList | None,
+    n_patterns: int,
+) -> CampaignResult:
+    """Shared grading loop over the collapsed fault classes."""
+    if fault_list is None:
+        fault_list = build_fault_list(netlist)
+    diff_sim = DifferentialFaultSimulator(netlist)
+    observe_nets = diff_sim.observe_nets_for(
+        observe, trace.n_cycles, trace.lanes.mask
+    )
+    result = CampaignResult(name, fault_list, n_patterns=n_patterns)
+    for rep in fault_list.class_representatives():
+        fault = fault_list.fault(rep)
+        detection = diff_sim.simulate_fault(fault, trace, observe_nets)
+        result.detections[rep] = detection
+        if detection.detected:
+            result.detected.add(rep)
+    return result
+
+
+@dataclass
+class CombinationalCampaign:
+    """Grade a combinational component with an unordered pattern set.
+
+    Attributes:
+        netlist: component circuit (must be DFF-free).
+        patterns: per pattern, ``{input port: value}``.
+        observe: per pattern, set/iterable of observed output port names;
+            None observes every output for every pattern.
+    """
+
+    netlist: Netlist
+    patterns: Sequence[Mapping[str, int]]
+    observe: Sequence[Sequence[str]] | None = None
+    name: str = ""
+
+    def run(self, fault_list: FaultList | None = None) -> CampaignResult:
+        if self.netlist.dffs:
+            raise FaultSimError(
+                f"{self.netlist.name!r} has flip-flops; use SequentialCampaign"
+            )
+        if not self.patterns:
+            raise FaultSimError("no patterns to apply")
+        sim = LogicSimulator(self.netlist)
+        sessions = [[dict(p)] for p in self.patterns]
+        trace = sim.run_parallel_sessions(sessions)
+        observe = None
+        if self.observe is not None:
+            if len(self.observe) != len(self.patterns):
+                raise FaultSimError("observe list must match pattern count")
+            # Build the single-cycle {port: lane mask} map.
+            port_masks: dict[str, int] = {}
+            for lane, ports in enumerate(self.observe):
+                for port in ports:
+                    port_masks[port] = port_masks.get(port, 0) | (1 << lane)
+            observe = [port_masks]
+        return _grade(
+            self.name or self.netlist.name,
+            self.netlist,
+            trace,
+            observe,
+            fault_list,
+            n_patterns=len(self.patterns),
+        )
+
+
+@dataclass
+class SequentialCampaign:
+    """Grade a sequential component with a traced cycle sequence.
+
+    Attributes:
+        netlist: component circuit.
+        cycle_inputs: per cycle, ``{input port: value}`` — typically the
+            boundary trace captured while the CPU executed the self-test
+            program.
+        observe: per cycle, iterable of observed output port names (None =
+            all outputs every cycle).
+    """
+
+    netlist: Netlist
+    cycle_inputs: Sequence[Mapping[str, int]]
+    observe: Sequence[Sequence[str]] | None = None
+    name: str = ""
+
+    def run(self, fault_list: FaultList | None = None) -> CampaignResult:
+        if not self.cycle_inputs:
+            raise FaultSimError("no cycles to apply")
+        sim = LogicSimulator(self.netlist)
+        _, trace = sim.run_sequence(self.cycle_inputs, record=True)
+        assert trace is not None
+        observe = None
+        if self.observe is not None:
+            if len(self.observe) != len(self.cycle_inputs):
+                raise FaultSimError("observe list must match cycle count")
+            observe = [{port: 1 for port in ports} for ports in self.observe]
+        return _grade(
+            self.name or self.netlist.name,
+            self.netlist,
+            trace,
+            observe,
+            fault_list,
+            n_patterns=len(self.cycle_inputs),
+        )
+
+
+def run_combinational(
+    netlist: Netlist,
+    patterns: Sequence[Mapping[str, int]],
+    observe: Sequence[Sequence[str]] | None = None,
+    name: str = "",
+) -> CampaignResult:
+    """Convenience wrapper around :class:`CombinationalCampaign`."""
+    return CombinationalCampaign(netlist, patterns, observe, name).run()
+
+
+def run_sequential(
+    netlist: Netlist,
+    cycle_inputs: Sequence[Mapping[str, int]],
+    observe: Sequence[Sequence[str]] | None = None,
+    name: str = "",
+) -> CampaignResult:
+    """Convenience wrapper around :class:`SequentialCampaign`."""
+    return SequentialCampaign(netlist, cycle_inputs, observe, name).run()

@@ -1,0 +1,285 @@
+"""Pattern-parallel good-machine logic simulation.
+
+The simulator evaluates a levelized netlist with one arbitrary-precision
+lane word per net: bit *i* of a net's word is the net's value under test
+pattern *i* (see :mod:`repro.utils.lanes`).  A combinational pass therefore
+costs one Python bitwise expression per gate regardless of how many patterns
+are applied.
+
+Sequential circuits are stepped cycle by cycle; lanes then represent
+*independent parallel sessions* advancing in lockstep (used to fault-grade
+combinational components with hundreds of patterns at once, and with a
+single lane for traced sequential test application).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.netlist.gates import GateType
+from repro.netlist.levelize import levelize, levels
+from repro.netlist.netlist import CONST1, Netlist, PortDirection
+from repro.utils.lanes import LaneSet, pack_vectors, unpack_vectors
+
+
+@dataclass
+class SimState:
+    """Flip-flop state: one lane word per DFF (indexed like Netlist.dffs)."""
+
+    q: list[int]
+
+    def copy(self) -> "SimState":
+        return SimState(list(self.q))
+
+
+@dataclass
+class GoodTrace:
+    """Recorded good-machine trajectory used by the differential simulator.
+
+    Attributes:
+        lanes: lane configuration of the run.
+        values: per cycle, the full net-value array (index = net id).
+        states: per cycle, the DFF state *entering* that cycle; has one
+            extra final entry (the state after the last cycle).
+    """
+
+    lanes: LaneSet
+    values: list[list[int]]
+    states: list[SimState]
+
+    @property
+    def n_cycles(self) -> int:
+        return len(self.values)
+
+
+class LogicSimulator:
+    """Levelized event-free logic simulator for one netlist."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.order = levelize(netlist)
+        self.gate_levels = levels(netlist)
+        self._input_nets: dict[str, tuple[int, ...]] = {
+            p.name: p.nets
+            for p in netlist.ports.values()
+            if p.direction is PortDirection.INPUT
+        }
+        self._output_nets: dict[str, tuple[int, ...]] = {
+            p.name: p.nets
+            for p in netlist.ports.values()
+            if p.direction is PortDirection.OUTPUT
+        }
+
+    # ---------------------------------------------------------- plumbing
+
+    def initial_state(self, lanes: LaneSet) -> SimState:
+        """Reset state: every DFF holds its init value in every lane."""
+        return SimState([lanes.broadcast(d.init) for d in self.netlist.dffs])
+
+    def pack_inputs(
+        self, patterns: Sequence[Mapping[str, int]], lanes: LaneSet
+    ) -> dict[str, list[int]]:
+        """Transpose per-pattern port values into per-bit lane words.
+
+        Args:
+            patterns: one ``{port: value}`` mapping per pattern (lane).
+            lanes: lane configuration (``lanes.count == len(patterns)``).
+
+        Returns:
+            ``{port: [lane word per bit, LSB first]}``.
+        """
+        if lanes.count != len(patterns):
+            raise SimulationError(
+                f"{len(patterns)} patterns but {lanes.count} lanes"
+            )
+        packed: dict[str, list[int]] = {}
+        for name, nets in self._input_nets.items():
+            values = [p.get(name, 0) for p in patterns]
+            packed[name] = pack_vectors(values, len(nets))
+        return packed
+
+    # -------------------------------------------------------- evaluation
+
+    def evaluate(
+        self,
+        inputs: Mapping[str, Sequence[int]],
+        state: SimState,
+        lanes: LaneSet,
+    ) -> list[int]:
+        """One combinational settle: compute every net's lane word.
+
+        Args:
+            inputs: per input port, lane words per bit (LSB first).
+            state: current DFF state.
+            lanes: lane configuration.
+
+        Returns:
+            Net-value array indexed by net id.
+        """
+        values = [0] * self.netlist.n_nets
+        values[CONST1] = lanes.mask
+
+        for name, nets in self._input_nets.items():
+            words = inputs.get(name)
+            if words is None:
+                raise SimulationError(f"missing input port {name!r}")
+            if len(words) != len(nets):
+                raise SimulationError(
+                    f"port {name!r} expects {len(nets)} bit words, "
+                    f"got {len(words)}"
+                )
+            for net, word in zip(nets, words):
+                values[net] = word & lanes.mask
+
+        for dff, q_word in zip(self.netlist.dffs, state.q):
+            values[dff.q] = q_word & lanes.mask
+
+        mask = lanes.mask
+        for gate in self.order:
+            ins = gate.inputs
+            gt = gate.gtype
+            # Inline the hot gate types; fall back to eval_gate otherwise.
+            if gt is GateType.MUX2:
+                a, b, sel = values[ins[0]], values[ins[1]], values[ins[2]]
+                out = (a & ~sel) | (b & sel)
+            elif gt is GateType.AND:
+                out = values[ins[0]]
+                for n in ins[1:]:
+                    out &= values[n]
+            elif gt is GateType.XOR:
+                out = values[ins[0]]
+                for n in ins[1:]:
+                    out ^= values[n]
+            elif gt is GateType.NOT:
+                out = ~values[ins[0]]
+            elif gt is GateType.OR:
+                out = values[ins[0]]
+                for n in ins[1:]:
+                    out |= values[n]
+            elif gt is GateType.NAND:
+                out = values[ins[0]]
+                for n in ins[1:]:
+                    out &= values[n]
+                out = ~out
+            elif gt is GateType.NOR:
+                out = values[ins[0]]
+                for n in ins[1:]:
+                    out |= values[n]
+                out = ~out
+            elif gt is GateType.XNOR:
+                out = values[ins[0]]
+                for n in ins[1:]:
+                    out ^= values[n]
+                out = ~out
+            elif gt is GateType.BUF:
+                out = values[ins[0]]
+            elif gt is GateType.AOI21:
+                out = ~((values[ins[0]] & values[ins[1]]) | values[ins[2]])
+            else:  # pragma: no cover - all types handled above
+                raise SimulationError(f"unhandled gate type {gt}")
+            values[gate.output] = out & mask
+        return values
+
+    def next_state(self, values: list[int], lanes: LaneSet) -> SimState:
+        """Latch DFF inputs from a settled net-value array."""
+        return SimState([values[d.d] & lanes.mask for d in self.netlist.dffs])
+
+    def step(
+        self,
+        inputs: Mapping[str, Sequence[int]],
+        state: SimState,
+        lanes: LaneSet,
+    ) -> tuple[list[int], SimState]:
+        """Settle combinational logic, then clock the DFFs."""
+        values = self.evaluate(inputs, state, lanes)
+        return values, self.next_state(values, lanes)
+
+    # ------------------------------------------------------- conveniences
+
+    def outputs_from_values(
+        self, values: list[int], lanes: LaneSet, count: int
+    ) -> dict[str, list[int]]:
+        """Extract per-pattern output port values from a net-value array."""
+        result: dict[str, list[int]] = {}
+        for name, nets in self._output_nets.items():
+            words = [values[n] for n in nets]
+            result[name] = unpack_vectors(words, count)
+        return result
+
+    def run_combinational(
+        self, patterns: Sequence[Mapping[str, int]]
+    ) -> dict[str, list[int]]:
+        """Evaluate a combinational netlist over many patterns at once.
+
+        Raises:
+            SimulationError: if the netlist has flip-flops.
+        """
+        if self.netlist.dffs:
+            raise SimulationError(
+                f"{self.netlist.name!r} is sequential; use run_sequence"
+            )
+        lanes = LaneSet(len(patterns))
+        inputs = self.pack_inputs(patterns, lanes)
+        values = self.evaluate(inputs, self.initial_state(lanes), lanes)
+        return self.outputs_from_values(values, lanes, len(patterns))
+
+    def run_sequence(
+        self,
+        cycle_inputs: Sequence[Mapping[str, int]],
+        record: bool = False,
+    ) -> tuple[list[dict[str, int]], GoodTrace | None]:
+        """Single-lane sequential run over a list of per-cycle input values.
+
+        Args:
+            cycle_inputs: per cycle, ``{port: value}``.
+            record: also return the full :class:`GoodTrace` (needed for
+                differential fault simulation).
+
+        Returns:
+            ``(per-cycle output values, trace-or-None)``.
+        """
+        lanes = LaneSet(1)
+        state = self.initial_state(lanes)
+        outputs: list[dict[str, int]] = []
+        trace_values: list[list[int]] = []
+        trace_states: list[SimState] = [state.copy()]
+        for cycle in cycle_inputs:
+            packed = self.pack_inputs([cycle], lanes)
+            values, state = self.step(packed, state, lanes)
+            out = {
+                name: unpack_vectors([values[n] for n in nets], 1)[0]
+                for name, nets in self._output_nets.items()
+            }
+            outputs.append(out)
+            if record:
+                trace_values.append(values)
+                trace_states.append(state.copy())
+        trace = GoodTrace(lanes, trace_values, trace_states) if record else None
+        return outputs, trace
+
+    def run_parallel_sessions(
+        self, sessions: Sequence[Sequence[Mapping[str, int]]]
+    ) -> GoodTrace:
+        """Run many equal-length input sequences in parallel lanes.
+
+        All sessions must have the same cycle count; lane *i* carries
+        session *i*.  Used to fault-grade sequential components under many
+        independent pattern sessions at once.
+        """
+        if not sessions:
+            raise SimulationError("no sessions given")
+        length = len(sessions[0])
+        if any(len(s) != length for s in sessions):
+            raise SimulationError("sessions must have equal length")
+        lanes = LaneSet(len(sessions))
+        state = self.initial_state(lanes)
+        trace_values: list[list[int]] = []
+        trace_states: list[SimState] = [state.copy()]
+        for t in range(length):
+            packed = self.pack_inputs([s[t] for s in sessions], lanes)
+            values, state = self.step(packed, state, lanes)
+            trace_values.append(values)
+            trace_states.append(state.copy())
+        return GoodTrace(lanes, trace_values, trace_states)

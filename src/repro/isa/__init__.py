@@ -1,0 +1,37 @@
+"""MIPS I instruction-set substrate.
+
+This subpackage implements the subset of the MIPS I user-mode architecture
+supported by the Plasma CPU core (everything except unaligned load/store and
+exceptions): instruction specifications, binary encoding/decoding, a two-pass
+assembler with labels/pseudo-instructions/data directives, a disassembler,
+and a :class:`~repro.isa.program.Program` container that the CPU model loads.
+"""
+
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.disassembler import disassemble, disassemble_program
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import (
+    INSTRUCTION_SET,
+    Format,
+    InstructionSpec,
+    lookup_mnemonic,
+)
+from repro.isa.program import Program
+from repro.isa.registers import REGISTER_ALIASES, REGISTER_NAMES, register_number
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "disassemble",
+    "disassemble_program",
+    "decode",
+    "encode",
+    "INSTRUCTION_SET",
+    "Format",
+    "InstructionSpec",
+    "lookup_mnemonic",
+    "Program",
+    "REGISTER_ALIASES",
+    "REGISTER_NAMES",
+    "register_number",
+]

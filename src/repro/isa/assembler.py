@@ -1,0 +1,616 @@
+"""Two-pass MIPS assembler.
+
+Supports the full Plasma instruction subset plus the pseudo-instructions and
+data directives the self-test routine generators rely on:
+
+* labels, ``#``/``;``/``//`` comments, ``.equ`` constants;
+* segments: ``.text [addr]`` / ``.data [addr]`` / ``.org addr`` /
+  ``.align n`` / ``.word ...`` / ``.space bytes``;
+* expressions: decimal/hex/binary literals, symbols, ``+``/``-``,
+  ``%hi(expr)`` / ``%lo(expr)``;
+* pseudo-instructions: ``nop``, ``move``, ``li``, ``la``, ``b``, ``beqz``,
+  ``bnez``, ``not``, ``neg``, ``clear``, ``blt``/``bge``/``bgt``/``ble``
+  (expanded with ``$at``).
+
+The assembler is deliberately strict: unknown mnemonics, out-of-range fields
+and overlapping segments raise :class:`~repro.errors.AssemblyError` instead
+of silently producing a wrong image.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import AssemblyError
+from repro.isa.encoding import encode
+from repro.isa.instruction import (
+    INSTRUCTION_SET,
+    SIGN_EXTENDED_IMM,
+    Syntax,
+    lookup_mnemonic,
+)
+from repro.isa.program import Program, Segment
+from repro.isa.registers import register_number
+from repro.utils.bits import mask
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_HI_LO_RE = re.compile(r"%(hi|lo)\(([^()]*)\)")
+
+#: Default memory layout: code at 0, data at 8 KiB (Plasma's small on-chip
+#: RAM is a unified address space; the split just keeps the two apart).
+DEFAULT_TEXT_BASE = 0x0000
+DEFAULT_DATA_BASE = 0x2000
+
+PSEUDO_MNEMONICS = frozenset(
+    {"nop", "move", "li", "la", "b", "beqz", "bnez", "not", "neg", "clear",
+     "blt", "bge", "bgt", "ble"}
+)
+
+
+@dataclass
+class _Statement:
+    """One source line after lexing."""
+
+    line: int
+    label: str | None = None
+    op: str | None = None  # mnemonic or directive (with leading '.')
+    args: str = ""
+
+
+@dataclass
+class _Location:
+    """Location counter during a layout pass."""
+
+    addr: int
+    is_code: bool
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`~repro.isa.program.Program`.
+
+    Args:
+        text_base: default byte address of the first ``.text`` segment.
+        data_base: default byte address of the first ``.data`` segment.
+    """
+
+    def __init__(
+        self, text_base: int = DEFAULT_TEXT_BASE, data_base: int = DEFAULT_DATA_BASE
+    ):
+        self.text_base = text_base
+        self.data_base = data_base
+
+    # ------------------------------------------------------------- lexing
+
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        for marker in ("#", ";", "//"):
+            idx = line.find(marker)
+            if idx >= 0:
+                line = line[:idx]
+        return line.strip()
+
+    def _lex(self, source: str) -> list[_Statement]:
+        statements: list[_Statement] = []
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            text = self._strip_comment(raw)
+            if not text:
+                continue
+            label = None
+            if ":" in text:
+                head, _, rest = text.partition(":")
+                head = head.strip()
+                if not _LABEL_RE.match(head):
+                    raise AssemblyError(f"invalid label {head!r}", line_no)
+                label = head
+                text = rest.strip()
+            if not text:
+                statements.append(_Statement(line_no, label=label))
+                continue
+            parts = text.split(None, 1)
+            op = parts[0].lower()
+            args = parts[1].strip() if len(parts) > 1 else ""
+            statements.append(_Statement(line_no, label=label, op=op, args=args))
+        return statements
+
+    # -------------------------------------------------------- expressions
+
+    def _eval_expr(
+        self, expr: str, symbols: dict[str, int], line: int, strict: bool
+    ) -> int | None:
+        """Evaluate an assembler expression.
+
+        Returns None if a symbol is unresolved and ``strict`` is False.
+        """
+        expr = expr.strip()
+        if not expr:
+            raise AssemblyError("empty expression", line)
+
+        # %hi/%lo operators first (they wrap a sub-expression).
+        m = _HI_LO_RE.fullmatch(expr)
+        if m:
+            inner = self._eval_expr(m.group(2), symbols, line, strict)
+            if inner is None:
+                return None
+            inner &= mask(32)
+            if m.group(1) == "hi":
+                # Plain (non-carry-adjusted) %hi: pairs with ori, not addiu.
+                return (inner >> 16) & 0xFFFF
+            return inner & 0xFFFF
+
+        # Split on top-level + and - (no parentheses in plain expressions).
+        tokens = re.split(r"([+-])", expr)
+        total = 0
+        sign = 1
+        expecting_term = True
+        for tok in tokens:
+            tok = tok.strip()
+            if tok == "":
+                continue
+            if tok in "+-":
+                if expecting_term and tok == "-":
+                    sign = -sign
+                elif expecting_term:
+                    raise AssemblyError(f"misplaced {tok!r} in {expr!r}", line)
+                else:
+                    sign = 1 if tok == "+" else -1
+                    expecting_term = True
+                continue
+            value = self._eval_atom(tok, symbols, line, strict)
+            if value is None:
+                return None
+            total += sign * value
+            sign = 1
+            expecting_term = False
+        if expecting_term:
+            raise AssemblyError(f"dangling operator in {expr!r}", line)
+        return total
+
+    def _eval_atom(
+        self, tok: str, symbols: dict[str, int], line: int, strict: bool
+    ) -> int | None:
+        try:
+            return int(tok, 0)
+        except ValueError:
+            pass
+        if _LABEL_RE.match(tok):
+            if tok in symbols:
+                return symbols[tok]
+            if strict:
+                raise AssemblyError(f"undefined symbol {tok!r}", line)
+            return None
+        raise AssemblyError(f"cannot parse expression atom {tok!r}", line)
+
+    # ----------------------------------------------------- operand parsing
+
+    @staticmethod
+    def _split_args(args: str, line: int, expected: int) -> list[str]:
+        parts = [p.strip() for p in args.split(",")] if args else []
+        if len(parts) != expected or any(not p for p in parts):
+            raise AssemblyError(
+                f"expected {expected} comma-separated operand(s), got {args!r}", line
+            )
+        return parts
+
+    @staticmethod
+    def _parse_mem_operand(operand: str, line: int) -> tuple[str, str]:
+        """Split ``offset($base)`` into (offset_expr, base_register_token)."""
+        m = re.fullmatch(r"(.*)\((\$\w+)\)", operand.strip())
+        if not m:
+            raise AssemblyError(f"expected offset($base), got {operand!r}", line)
+        offset = m.group(1).strip() or "0"
+        return offset, m.group(2)
+
+    # ---------------------------------------------------------- pseudo-ops
+
+    def _pseudo_size(
+        self, op: str, args: str, symbols: dict[str, int], line: int
+    ) -> int:
+        """Number of machine words a pseudo-instruction expands to (pass 1)."""
+        if op in ("nop", "move", "b", "beqz", "bnez", "not", "neg", "clear"):
+            return 1
+        if op in ("blt", "bge", "bgt", "ble"):
+            return 2
+        if op == "la":
+            return 2
+        if op == "li":
+            parts = self._split_args(args, line, 2)
+            value = self._eval_expr(parts[1], symbols, line, strict=False)
+            if value is None:
+                return 2
+            return 1 if self._li_fits_one(value) else 2
+        raise AssemblyError(f"unknown pseudo-instruction {op!r}", line)
+
+    @staticmethod
+    def _li_fits_one(value: int) -> bool:
+        return -32768 <= value <= 32767 or 0 <= value <= 0xFFFF
+
+    def _expand_pseudo(
+        self,
+        op: str,
+        args: str,
+        symbols: dict[str, int],
+        line: int,
+        forced_size: int,
+    ) -> list[tuple[str, str]]:
+        """Expand a pseudo-op into (mnemonic, args) pairs of real instructions.
+
+        ``forced_size`` pins the expansion length chosen in pass 1 so label
+        addresses cannot shift between passes.
+        """
+        if op == "nop":
+            if args:
+                raise AssemblyError("nop takes no operands", line)
+            return [("sll", "$0, $0, 0")]
+        if op == "move":
+            rd, rs = self._split_args(args, line, 2)
+            return [("addu", f"{rd}, {rs}, $0")]
+        if op == "clear":
+            (rt,) = self._split_args(args, line, 1)
+            return [("addu", f"{rt}, $0, $0")]
+        if op == "not":
+            rd, rs = self._split_args(args, line, 2)
+            return [("nor", f"{rd}, {rs}, $0")]
+        if op == "neg":
+            rd, rs = self._split_args(args, line, 2)
+            return [("subu", f"{rd}, $0, {rs}")]
+        if op == "b":
+            (label,) = self._split_args(args, line, 1)
+            return [("beq", f"$0, $0, {label}")]
+        if op == "beqz":
+            rs, label = self._split_args(args, line, 2)
+            return [("beq", f"{rs}, $0, {label}")]
+        if op == "bnez":
+            rs, label = self._split_args(args, line, 2)
+            return [("bne", f"{rs}, $0, {label}")]
+        if op in ("blt", "bge", "bgt", "ble"):
+            rs, rt, label = self._split_args(args, line, 3)
+            if op in ("blt", "bge"):
+                cmp_args = f"$at, {rs}, {rt}"
+            else:
+                cmp_args = f"$at, {rt}, {rs}"
+            branch = "bne" if op in ("blt", "bgt") else "beq"
+            return [("slt", cmp_args), (branch, f"$at, $0, {label}")]
+        if op == "la":
+            rt, sym = self._split_args(args, line, 2)
+            return [
+                ("lui", f"{rt}, %hi({sym})"),
+                ("ori", f"{rt}, {rt}, %lo({sym})"),
+            ]
+        if op == "li":
+            rt, expr = self._split_args(args, line, 2)
+            value = self._eval_expr(expr, symbols, line, strict=True)
+            assert value is not None
+            value &= mask(32)
+            if forced_size == 1:
+                if value >= 0x8000 and value <= 0xFFFF:
+                    return [("ori", f"{rt}, $0, {value}")]
+                return [("addiu", f"{rt}, $0, {self._as_signed16(value)}")]
+            return [
+                ("lui", f"{rt}, {(value >> 16) & 0xFFFF}"),
+                ("ori", f"{rt}, {rt}, {value & 0xFFFF}"),
+            ]
+        raise AssemblyError(f"unknown pseudo-instruction {op!r}", line)
+
+    @staticmethod
+    def _as_signed16(value: int) -> int:
+        value &= mask(32)
+        if value & 0x8000_0000:
+            return value - (1 << 32)
+        return value
+
+    # ------------------------------------------------------------ encoding
+
+    def _encode_real(
+        self,
+        mnemonic: str,
+        args: str,
+        pc: int,
+        symbols: dict[str, int],
+        line: int,
+        strict: bool,
+    ) -> int:
+        """Encode one real instruction at address ``pc``."""
+        spec = lookup_mnemonic(mnemonic)
+        if spec is None:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line)
+        syn = spec.syntax
+        fields: dict[str, int] = {}
+
+        def expr(text: str) -> int:
+            value = self._eval_expr(text, symbols, line, strict)
+            return 0 if value is None else value
+
+        def imm16(value: int, signed_ok: bool) -> int:
+            if signed_ok and -32768 <= value < 0:
+                return value & 0xFFFF
+            if 0 <= value <= 0xFFFF:
+                return value
+            raise AssemblyError(
+                f"immediate {value} out of 16-bit range for {mnemonic}", line
+            )
+
+        def branch_offset(label: str) -> int:
+            target = self._eval_expr(label, symbols, line, strict)
+            if target is None:
+                return 0
+            delta = target - (pc + 4)
+            if delta % 4:
+                raise AssemblyError(f"branch target {label!r} not word aligned", line)
+            words = delta // 4
+            if not -32768 <= words <= 32767:
+                raise AssemblyError(f"branch to {label!r} out of range", line)
+            return words & 0xFFFF
+
+        if syn is Syntax.RD_RS_RT:
+            rd, rs, rt = self._split_args(args, line, 3)
+            fields = dict(rd=register_number(rd), rs=register_number(rs),
+                          rt=register_number(rt))
+        elif syn is Syntax.RD_RT_SA:
+            rd, rt, sa = self._split_args(args, line, 3)
+            shamt = expr(sa)
+            if not 0 <= shamt <= 31:
+                raise AssemblyError(f"shift amount {shamt} out of range", line)
+            fields = dict(rd=register_number(rd), rt=register_number(rt), shamt=shamt)
+        elif syn is Syntax.RD_RT_RS:
+            rd, rt, rs = self._split_args(args, line, 3)
+            fields = dict(rd=register_number(rd), rt=register_number(rt),
+                          rs=register_number(rs))
+        elif syn is Syntax.RS_RT:
+            rs, rt = self._split_args(args, line, 2)
+            fields = dict(rs=register_number(rs), rt=register_number(rt))
+        elif syn is Syntax.RD:
+            (rd,) = self._split_args(args, line, 1)
+            fields = dict(rd=register_number(rd))
+        elif syn is Syntax.RS:
+            (rs,) = self._split_args(args, line, 1)
+            fields = dict(rs=register_number(rs))
+        elif syn is Syntax.RD_RS:
+            parts = [p.strip() for p in args.split(",") if p.strip()]
+            if len(parts) == 1:  # "jalr $rs" defaults rd = $ra
+                fields = dict(rd=31, rs=register_number(parts[0]))
+            elif len(parts) == 2:
+                fields = dict(rd=register_number(parts[0]),
+                              rs=register_number(parts[1]))
+            else:
+                raise AssemblyError(f"bad operands for {mnemonic}: {args!r}", line)
+        elif syn is Syntax.RT_RS_IMM:
+            rt, rs, imm = self._split_args(args, line, 3)
+            signed = mnemonic in SIGN_EXTENDED_IMM
+            fields = dict(rt=register_number(rt), rs=register_number(rs),
+                          imm=imm16(expr(imm), signed_ok=signed))
+        elif syn is Syntax.RT_IMM:
+            rt, imm = self._split_args(args, line, 2)
+            fields = dict(rt=register_number(rt), imm=imm16(expr(imm), False))
+        elif syn is Syntax.RS_RT_LABEL:
+            rs, rt, label = self._split_args(args, line, 3)
+            fields = dict(rs=register_number(rs), rt=register_number(rt),
+                          imm=branch_offset(label))
+        elif syn is Syntax.RS_LABEL:
+            rs, label = self._split_args(args, line, 2)
+            fields = dict(rs=register_number(rs), imm=branch_offset(label))
+        elif syn is Syntax.RT_OFF_RS:
+            rt, mem = self._split_args(args, line, 2)
+            offset, base = self._parse_mem_operand(mem, line)
+            fields = dict(rt=register_number(rt), rs=register_number(base),
+                          imm=imm16(expr(offset), signed_ok=True))
+        elif syn is Syntax.TARGET:
+            (label,) = self._split_args(args, line, 1)
+            addr = expr(label)
+            if addr % 4:
+                raise AssemblyError(f"jump target {label!r} not word aligned", line)
+            fields = dict(target=(addr >> 2) & mask(26))
+        else:  # pragma: no cover - NONE has no real instruction
+            raise AssemblyError(f"unsupported syntax for {mnemonic}", line)
+
+        return encode(mnemonic, **fields)
+
+    # --------------------------------------------------------------- pass
+
+    def _layout(
+        self,
+        statements: list[_Statement],
+        symbols: dict[str, int],
+        pseudo_sizes: dict[int, int],
+        strict: bool,
+    ) -> Program:
+        """Run one layout pass.
+
+        In the first pass (``strict=False``) symbols may be unresolved:
+        placeholder words are emitted, symbol addresses and pseudo expansion
+        sizes are recorded.  The second pass encodes for real.
+        """
+        program = Program(entry=self.text_base)
+        segment: Segment | None = None
+        loc = _Location(self.text_base, is_code=True)
+        data_loc = self.data_base
+        text_loc = self.text_base
+
+        def new_segment(addr: int, is_code: bool) -> None:
+            nonlocal segment
+            segment = Segment(base=addr, is_code=is_code)
+            program.segments.append(segment)
+            loc.addr = addr
+            loc.is_code = is_code
+
+        def emit(word: int) -> None:
+            nonlocal segment
+            if segment is None:
+                new_segment(loc.addr, loc.is_code)
+            assert segment is not None
+            segment.words.append(word & mask(32))
+            loc.addr += 4
+
+        for idx, stmt in enumerate(statements):
+            if stmt.label is not None:
+                if strict:
+                    # Pass 1 already defined it; just sanity-check stability.
+                    if symbols.get(stmt.label) != loc.addr:
+                        raise AssemblyError(
+                            f"label {stmt.label!r} moved between passes "
+                            f"({symbols.get(stmt.label)} -> {loc.addr})",
+                            stmt.line,
+                        )
+                else:
+                    if stmt.label in symbols:
+                        raise AssemblyError(
+                            f"duplicate label {stmt.label!r}", stmt.line
+                        )
+                    symbols[stmt.label] = loc.addr
+            if stmt.op is None:
+                continue
+
+            op = stmt.op
+            if op.startswith("."):
+                if op in (".text", ".data", ".org"):
+                    # Save the current mode's resume point before switching.
+                    if loc.is_code:
+                        text_loc = loc.addr
+                    else:
+                        data_loc = loc.addr
+                self._directive(
+                    op, stmt, symbols, strict, emit, new_segment, loc,
+                    lambda: (text_loc, data_loc),
+                )
+                continue
+
+            if op in PSEUDO_MNEMONICS:
+                if strict:
+                    size = pseudo_sizes[idx]
+                    for mnem, sub_args in self._expand_pseudo(
+                        op, stmt.args, symbols, stmt.line, size
+                    ):
+                        emit(
+                            self._encode_real(
+                                mnem, sub_args, loc.addr, symbols, stmt.line, strict
+                            )
+                        )
+                else:
+                    size = self._pseudo_size(op, stmt.args, symbols, stmt.line)
+                    pseudo_sizes[idx] = size
+                    for _ in range(size):
+                        emit(0)
+                continue
+
+            if op in INSTRUCTION_SET:
+                if strict:
+                    emit(
+                        self._encode_real(
+                            op, stmt.args, loc.addr, symbols, stmt.line, strict
+                        )
+                    )
+                else:
+                    # Still parse operands (cheap syntax check), emit filler.
+                    self._encode_real(op, stmt.args, loc.addr, symbols,
+                                      stmt.line, strict=False)
+                    emit(0)
+                continue
+
+            raise AssemblyError(f"unknown mnemonic or directive {op!r}", stmt.line)
+
+        program.symbols = dict(symbols)
+        self._check_overlaps(program)
+        return program
+
+    def _directive(
+        self, op, stmt, symbols, strict, emit, new_segment, loc, bases
+    ) -> None:
+        text_loc, data_loc = bases()
+        if op == ".text":
+            addr = (
+                self._require(stmt.args, symbols, stmt.line, strict)
+                if stmt.args
+                else text_loc
+            )
+            new_segment(addr, is_code=True)
+        elif op == ".data":
+            addr = (
+                self._require(stmt.args, symbols, stmt.line, strict)
+                if stmt.args
+                else data_loc
+            )
+            new_segment(addr, is_code=False)
+        elif op == ".org":
+            addr = self._require(stmt.args, symbols, stmt.line, strict)
+            new_segment(addr, loc.is_code)
+        elif op == ".align":
+            power = self._require(stmt.args, symbols, stmt.line, strict)
+            step = 1 << power
+            while loc.addr % step:
+                emit(0)
+        elif op == ".word":
+            if not stmt.args:
+                raise AssemblyError(".word needs at least one value", stmt.line)
+            for part in stmt.args.split(","):
+                value = self._eval_expr(part, symbols, stmt.line, strict)
+                emit(0 if value is None else value)
+        elif op == ".space":
+            nbytes = self._require(stmt.args, symbols, stmt.line, strict)
+            if nbytes % 4:
+                raise AssemblyError(".space size must be a multiple of 4", stmt.line)
+            for _ in range(nbytes // 4):
+                emit(0)
+        elif op == ".equ":
+            parts = stmt.args.split(",", 1)
+            if len(parts) != 2:
+                raise AssemblyError(".equ needs NAME, VALUE", stmt.line)
+            name = parts[0].strip()
+            if not _LABEL_RE.match(name):
+                raise AssemblyError(f"invalid .equ name {name!r}", stmt.line)
+            value = self._eval_expr(parts[1], symbols, stmt.line, strict)
+            if value is not None:
+                symbols[name] = value
+            elif strict:
+                raise AssemblyError(f"unresolved .equ {name!r}", stmt.line)
+        elif op == ".globl":
+            pass  # accepted for compatibility; symbols are all global here
+        else:
+            raise AssemblyError(f"unknown directive {op!r}", stmt.line)
+
+    def _require(self, expr: str, symbols, line: int, strict: bool) -> int:
+        """Evaluate an expression that must resolve even in pass 1.
+
+        Segment placement cannot depend on forward references.
+        """
+        value = self._eval_expr(expr, symbols, line, strict=True)
+        assert value is not None
+        return value
+
+    @staticmethod
+    def _check_overlaps(program: Program) -> None:
+        placed: list[Segment] = []
+        for seg in program.segments:
+            if not seg.words:
+                continue
+            for other in placed:
+                if seg.overlaps(other):
+                    raise AssemblyError(
+                        f"segment at {seg.base:#x}..{seg.end:#x} overlaps "
+                        f"segment at {other.base:#x}..{other.end:#x}"
+                    )
+            placed.append(seg)
+
+    # ----------------------------------------------------------------- API
+
+    def assemble(self, source: str) -> Program:
+        """Assemble MIPS source text into a :class:`Program`.
+
+        Raises:
+            AssemblyError: on any syntax, range or layout problem.
+        """
+        statements = self._lex(source)
+        symbols: dict[str, int] = {}
+        pseudo_sizes: dict[int, int] = {}
+        # Pass 1: define symbols, fix pseudo expansion sizes.
+        self._layout(statements, symbols, pseudo_sizes, strict=False)
+        # Pass 2: real encoding with the complete symbol table.
+        return self._layout(statements, symbols, pseudo_sizes, strict=True)
+
+
+def assemble(
+    source: str,
+    text_base: int = DEFAULT_TEXT_BASE,
+    data_base: int = DEFAULT_DATA_BASE,
+) -> Program:
+    """Convenience wrapper: assemble ``source`` with default bases."""
+    return Assembler(text_base=text_base, data_base=data_base).assemble(source)

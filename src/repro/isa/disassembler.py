@@ -1,0 +1,87 @@
+"""Disassembler: 32-bit words back to assembly text.
+
+The output round-trips through the assembler (modulo label names: branch and
+jump targets are rendered as absolute hex addresses, which the assembler
+accepts as expressions).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.encoding import Decoded, decode
+from repro.isa.instruction import Syntax, ZERO_EXTENDED_IMM
+from repro.isa.program import Program
+from repro.isa.registers import register_name
+from repro.utils.bits import to_signed
+
+
+def _fmt_imm_signed(imm: int) -> str:
+    return str(to_signed(imm, 16))
+
+
+def disassemble(word: int, pc: int = 0) -> str:
+    """Disassemble one instruction word fetched from address ``pc``.
+
+    Returns:
+        Assembly text such as ``addu $t0, $t1, $t2``.  Unknown encodings
+        are rendered as ``.word 0x...`` rather than raising, so a full
+        memory image (which may contain data) can be dumped.
+    """
+    try:
+        d = decode(word)
+    except EncodingError:
+        return f".word {word:#010x}"
+    return _render(d, pc)
+
+
+def _render(d: Decoded, pc: int) -> str:
+    syn = d.spec.syntax
+    name = d.spec.mnemonic
+    rs, rt, rd = register_name(d.rs), register_name(d.rt), register_name(d.rd)
+    if syn is Syntax.RD_RS_RT:
+        return f"{name} {rd}, {rs}, {rt}"
+    if syn is Syntax.RD_RT_SA:
+        return f"{name} {rd}, {rt}, {d.shamt}"
+    if syn is Syntax.RD_RT_RS:
+        return f"{name} {rd}, {rt}, {rs}"
+    if syn is Syntax.RS_RT:
+        return f"{name} {rs}, {rt}"
+    if syn is Syntax.RD:
+        return f"{name} {rd}"
+    if syn is Syntax.RS:
+        return f"{name} {rs}"
+    if syn is Syntax.RD_RS:
+        return f"{name} {rd}, {rs}"
+    if syn is Syntax.RT_RS_IMM:
+        if name in ZERO_EXTENDED_IMM:
+            return f"{name} {rt}, {rs}, {d.imm:#x}"
+        return f"{name} {rt}, {rs}, {_fmt_imm_signed(d.imm)}"
+    if syn is Syntax.RT_IMM:
+        return f"{name} {rt}, {d.imm:#x}"
+    if syn is Syntax.RS_RT_LABEL:
+        target = (pc + 4 + 4 * to_signed(d.imm, 16)) & 0xFFFF_FFFF
+        return f"{name} {rs}, {rt}, {target:#x}"
+    if syn is Syntax.RS_LABEL:
+        target = (pc + 4 + 4 * to_signed(d.imm, 16)) & 0xFFFF_FFFF
+        return f"{name} {rs}, {target:#x}"
+    if syn is Syntax.RT_OFF_RS:
+        return f"{name} {rt}, {_fmt_imm_signed(d.imm)}({rs})"
+    if syn is Syntax.TARGET:
+        return f"{name} {d.target << 2:#x}"
+    raise EncodingError(f"unsupported syntax {syn}")  # pragma: no cover
+
+
+def disassemble_program(program: Program) -> list[str]:
+    """Disassemble every code segment of a program with addresses.
+
+    Returns:
+        Lines like ``0x00000010: beq $t0, $zero, 0x24``.
+    """
+    lines: list[str] = []
+    for seg in program.segments:
+        if not seg.is_code:
+            continue
+        for i, word in enumerate(seg.words):
+            addr = seg.base + 4 * i
+            lines.append(f"{addr:#010x}: {disassemble(word, pc=addr)}")
+    return lines

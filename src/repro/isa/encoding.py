@@ -1,0 +1,133 @@
+"""Binary encoding and decoding of MIPS I instructions.
+
+:func:`encode` assembles field values into a 32-bit word according to the
+instruction's format; :func:`decode` is its exact inverse and returns a
+:class:`Decoded` record the CPU model executes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EncodingError
+from repro.isa.instruction import (
+    BY_OPCODE,
+    Format,
+    InstructionSpec,
+    R_BY_FUNCT,
+    REGIMM_BY_RT,
+    lookup_mnemonic,
+)
+from repro.utils.bits import extract, mask
+
+
+def _check_field(name: str, value: int, width: int) -> int:
+    if not 0 <= value <= mask(width):
+        raise EncodingError(f"{name}={value} does not fit in {width} bits")
+    return value
+
+
+def encode(
+    mnemonic: str,
+    rs: int = 0,
+    rt: int = 0,
+    rd: int = 0,
+    shamt: int = 0,
+    imm: int = 0,
+    target: int = 0,
+) -> int:
+    """Encode an instruction to its 32-bit machine word.
+
+    Args:
+        mnemonic: real instruction mnemonic (pseudo-ops are expanded by the
+            assembler before encoding).
+        rs, rt, rd: register field values (0..31).
+        shamt: shift amount (0..31) for immediate shifts.
+        imm: 16-bit immediate *bit pattern* (callers sign-encode negatives
+            with :func:`repro.utils.bits.from_signed` first).
+        target: 26-bit jump target field (word address within the region).
+
+    Raises:
+        EncodingError: unknown mnemonic or field out of range.
+    """
+    spec = lookup_mnemonic(mnemonic)
+    if spec is None:
+        raise EncodingError(f"unknown mnemonic {mnemonic!r}")
+    _check_field("rs", rs, 5)
+    _check_field("rt", rt, 5)
+    _check_field("rd", rd, 5)
+    _check_field("shamt", shamt, 5)
+
+    if spec.fmt is Format.R:
+        assert spec.funct is not None
+        return (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | spec.funct
+    if spec.fmt is Format.REGIMM:
+        assert spec.regimm_rt is not None
+        _check_field("imm", imm, 16)
+        return (spec.opcode << 26) | (rs << 21) | (spec.regimm_rt << 16) | imm
+    if spec.fmt is Format.I:
+        _check_field("imm", imm, 16)
+        return (spec.opcode << 26) | (rs << 21) | (rt << 16) | imm
+    if spec.fmt is Format.J:
+        _check_field("target", target, 26)
+        return (spec.opcode << 26) | target
+    raise EncodingError(f"unhandled format {spec.fmt}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class Decoded:
+    """A decoded instruction word.
+
+    Attributes mirror the raw bit fields; ``spec`` identifies the
+    instruction.  ``imm`` is the raw (not sign-extended) 16-bit field and
+    ``target`` the raw 26-bit field; extension is the executor's job because
+    it depends on the instruction.
+    """
+
+    word: int
+    spec: InstructionSpec
+    rs: int
+    rt: int
+    rd: int
+    shamt: int
+    imm: int
+    target: int
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+
+def decode(word: int) -> Decoded:
+    """Decode a 32-bit machine word.
+
+    Raises:
+        EncodingError: the word is not a supported instruction.
+    """
+    if not 0 <= word <= mask(32):
+        raise EncodingError(f"word {word:#x} is not a 32-bit value")
+    opcode = extract(word, 31, 26)
+    rs = extract(word, 25, 21)
+    rt = extract(word, 20, 16)
+    rd = extract(word, 15, 11)
+    shamt = extract(word, 10, 6)
+    funct = extract(word, 5, 0)
+    imm = extract(word, 15, 0)
+    target = extract(word, 25, 0)
+
+    if opcode == 0:
+        spec = R_BY_FUNCT.get(funct)
+        if spec is None:
+            raise EncodingError(f"unknown R-format funct {funct:#04x} in {word:#010x}")
+    elif opcode == 1:
+        spec = REGIMM_BY_RT.get(rt)
+        if spec is None:
+            raise EncodingError(f"unknown REGIMM rt {rt:#04x} in {word:#010x}")
+    else:
+        spec = BY_OPCODE.get(opcode)
+        if spec is None:
+            raise EncodingError(f"unknown opcode {opcode:#04x} in {word:#010x}")
+
+    return Decoded(
+        word=word, spec=spec, rs=rs, rt=rt, rd=rd, shamt=shamt, imm=imm, target=target
+    )

@@ -1,0 +1,197 @@
+"""Instruction specifications for the Plasma-supported MIPS I subset.
+
+Each :class:`InstructionSpec` describes one real machine instruction: its
+format (R/I/J), the fixed opcode/funct fields and the assembly operand
+syntax.  The table :data:`INSTRUCTION_SET` is the single source of truth used
+by the encoder, decoder, assembler and the CPU model's control unit.
+
+The Plasma core supports all MIPS I user-mode instructions except unaligned
+load/store (LWL/LWR/SWL/SWR, patented at the time) and exceptions — the same
+subset the paper tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Format(enum.Enum):
+    """MIPS instruction encoding formats."""
+
+    R = "R"  # opcode | rs | rt | rd | shamt | funct
+    I = "I"  # opcode | rs | rt | imm16
+    J = "J"  # opcode | target26
+    REGIMM = "REGIMM"  # opcode=1 | rs | rt=selector | imm16
+
+
+class Syntax(enum.Enum):
+    """Assembly operand syntax classes.
+
+    The value strings are documentation; parsing logic keys off the member.
+    """
+
+    RD_RS_RT = "rd, rs, rt"  # add $1, $2, $3
+    RD_RT_SA = "rd, rt, sa"  # sll $1, $2, 4
+    RD_RT_RS = "rd, rt, rs"  # sllv $1, $2, $3
+    RS_RT = "rs, rt"  # mult $2, $3
+    RD = "rd"  # mfhi $2
+    RS = "rs"  # jr $31 / mthi $2
+    RD_RS = "rd, rs"  # jalr $1, $2
+    RT_RS_IMM = "rt, rs, imm"  # addi $1, $2, 100
+    RT_IMM = "rt, imm"  # lui $1, 0x1234
+    RS_RT_LABEL = "rs, rt, label"  # beq $1, $2, loop
+    RS_LABEL = "rs, label"  # blez $1, done / bltz
+    RT_OFF_RS = "rt, offset(rs)"  # lw $1, 4($2)
+    TARGET = "target"  # j label
+    NONE = ""  # (pseudo nop only)
+
+
+class Kind(enum.Enum):
+    """Functional grouping used by the control unit and test generators."""
+
+    ALU = "alu"  # arithmetic/logic through the ALU
+    SHIFT = "shift"  # barrel shifter operations
+    MULDIV = "muldiv"  # multiply/divide unit operations
+    HILO = "hilo"  # HI/LO register moves
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one machine instruction.
+
+    Attributes:
+        mnemonic: lower-case assembly mnemonic.
+        fmt: encoding format.
+        opcode: bits [31:26].
+        funct: bits [5:0] for R-format instructions (None otherwise).
+        regimm_rt: rt selector field for REGIMM-format branches.
+        syntax: operand syntax class.
+        kind: functional grouping (which component executes it).
+        signed_overflow: True for ADD/ADDI/SUB which trap on overflow in
+            real MIPS; Plasma has no exceptions so they behave like the
+            unsigned variants, but the flag is kept for documentation and
+            for ISA-compliance tests.
+    """
+
+    mnemonic: str
+    fmt: Format
+    opcode: int
+    syntax: Syntax
+    kind: Kind
+    funct: int | None = None
+    regimm_rt: int | None = None
+    signed_overflow: bool = False
+
+
+def _r(mnemonic: str, funct: int, syntax: Syntax, kind: Kind, **kw) -> InstructionSpec:
+    return InstructionSpec(mnemonic, Format.R, 0, syntax, kind, funct=funct, **kw)
+
+
+def _i(mnemonic: str, opcode: int, syntax: Syntax, kind: Kind, **kw) -> InstructionSpec:
+    return InstructionSpec(mnemonic, Format.I, opcode, syntax, kind, **kw)
+
+
+_SPECS: tuple[InstructionSpec, ...] = (
+    # --- R-format shifts (barrel shifter) ---
+    _r("sll", 0x00, Syntax.RD_RT_SA, Kind.SHIFT),
+    _r("srl", 0x02, Syntax.RD_RT_SA, Kind.SHIFT),
+    _r("sra", 0x03, Syntax.RD_RT_SA, Kind.SHIFT),
+    _r("sllv", 0x04, Syntax.RD_RT_RS, Kind.SHIFT),
+    _r("srlv", 0x06, Syntax.RD_RT_RS, Kind.SHIFT),
+    _r("srav", 0x07, Syntax.RD_RT_RS, Kind.SHIFT),
+    # --- R-format jumps ---
+    _r("jr", 0x08, Syntax.RS, Kind.JUMP),
+    _r("jalr", 0x09, Syntax.RD_RS, Kind.JUMP),
+    # --- HI/LO moves ---
+    _r("mfhi", 0x10, Syntax.RD, Kind.HILO),
+    _r("mthi", 0x11, Syntax.RS, Kind.HILO),
+    _r("mflo", 0x12, Syntax.RD, Kind.HILO),
+    _r("mtlo", 0x13, Syntax.RS, Kind.HILO),
+    # --- multiply / divide ---
+    _r("mult", 0x18, Syntax.RS_RT, Kind.MULDIV),
+    _r("multu", 0x19, Syntax.RS_RT, Kind.MULDIV),
+    _r("div", 0x1A, Syntax.RS_RT, Kind.MULDIV),
+    _r("divu", 0x1B, Syntax.RS_RT, Kind.MULDIV),
+    # --- R-format ALU ---
+    _r("add", 0x20, Syntax.RD_RS_RT, Kind.ALU, signed_overflow=True),
+    _r("addu", 0x21, Syntax.RD_RS_RT, Kind.ALU),
+    _r("sub", 0x22, Syntax.RD_RS_RT, Kind.ALU, signed_overflow=True),
+    _r("subu", 0x23, Syntax.RD_RS_RT, Kind.ALU),
+    _r("and", 0x24, Syntax.RD_RS_RT, Kind.ALU),
+    _r("or", 0x25, Syntax.RD_RS_RT, Kind.ALU),
+    _r("xor", 0x26, Syntax.RD_RS_RT, Kind.ALU),
+    _r("nor", 0x27, Syntax.RD_RS_RT, Kind.ALU),
+    _r("slt", 0x2A, Syntax.RD_RS_RT, Kind.ALU),
+    _r("sltu", 0x2B, Syntax.RD_RS_RT, Kind.ALU),
+    # --- REGIMM branches ---
+    InstructionSpec(
+        "bltz", Format.REGIMM, 0x01, Syntax.RS_LABEL, Kind.BRANCH, regimm_rt=0x00
+    ),
+    InstructionSpec(
+        "bgez", Format.REGIMM, 0x01, Syntax.RS_LABEL, Kind.BRANCH, regimm_rt=0x01
+    ),
+    # --- J-format ---
+    InstructionSpec("j", Format.J, 0x02, Syntax.TARGET, Kind.JUMP),
+    InstructionSpec("jal", Format.J, 0x03, Syntax.TARGET, Kind.JUMP),
+    # --- I-format branches ---
+    _i("beq", 0x04, Syntax.RS_RT_LABEL, Kind.BRANCH),
+    _i("bne", 0x05, Syntax.RS_RT_LABEL, Kind.BRANCH),
+    _i("blez", 0x06, Syntax.RS_LABEL, Kind.BRANCH),
+    _i("bgtz", 0x07, Syntax.RS_LABEL, Kind.BRANCH),
+    # --- I-format ALU ---
+    _i("addi", 0x08, Syntax.RT_RS_IMM, Kind.ALU, signed_overflow=True),
+    _i("addiu", 0x09, Syntax.RT_RS_IMM, Kind.ALU),
+    _i("slti", 0x0A, Syntax.RT_RS_IMM, Kind.ALU),
+    _i("sltiu", 0x0B, Syntax.RT_RS_IMM, Kind.ALU),
+    _i("andi", 0x0C, Syntax.RT_RS_IMM, Kind.ALU),
+    _i("ori", 0x0D, Syntax.RT_RS_IMM, Kind.ALU),
+    _i("xori", 0x0E, Syntax.RT_RS_IMM, Kind.ALU),
+    _i("lui", 0x0F, Syntax.RT_IMM, Kind.ALU),
+    # --- aligned loads/stores (no LWL/LWR/SWL/SWR: not in Plasma) ---
+    _i("lb", 0x20, Syntax.RT_OFF_RS, Kind.LOAD),
+    _i("lh", 0x21, Syntax.RT_OFF_RS, Kind.LOAD),
+    _i("lw", 0x23, Syntax.RT_OFF_RS, Kind.LOAD),
+    _i("lbu", 0x24, Syntax.RT_OFF_RS, Kind.LOAD),
+    _i("lhu", 0x25, Syntax.RT_OFF_RS, Kind.LOAD),
+    _i("sb", 0x28, Syntax.RT_OFF_RS, Kind.STORE),
+    _i("sh", 0x29, Syntax.RT_OFF_RS, Kind.STORE),
+    _i("sw", 0x2B, Syntax.RT_OFF_RS, Kind.STORE),
+)
+
+#: All supported instructions, keyed by mnemonic.
+INSTRUCTION_SET: dict[str, InstructionSpec] = {s.mnemonic: s for s in _SPECS}
+
+#: R-format lookup: funct -> spec.
+R_BY_FUNCT: dict[int, InstructionSpec] = {
+    s.funct: s for s in _SPECS if s.fmt is Format.R
+}
+
+#: REGIMM lookup: rt selector -> spec.
+REGIMM_BY_RT: dict[int, InstructionSpec] = {
+    s.regimm_rt: s for s in _SPECS if s.fmt is Format.REGIMM
+}
+
+#: I/J-format lookup: opcode -> spec.
+BY_OPCODE: dict[int, InstructionSpec] = {
+    s.opcode: s for s in _SPECS if s.fmt in (Format.I, Format.J)
+}
+
+
+def lookup_mnemonic(mnemonic: str) -> InstructionSpec | None:
+    """Return the spec for a real (non-pseudo) mnemonic, or None."""
+    return INSTRUCTION_SET.get(mnemonic.lower())
+
+
+#: Immediates of these instructions are sign-extended by the hardware.
+SIGN_EXTENDED_IMM: frozenset[str] = frozenset(
+    {"addi", "addiu", "slti", "sltiu", "lb", "lh", "lw", "lbu", "lhu",
+     "sb", "sh", "sw", "beq", "bne", "blez", "bgtz", "bltz", "bgez"}
+)
+
+#: Immediates of these instructions are zero-extended by the hardware.
+ZERO_EXTENDED_IMM: frozenset[str] = frozenset({"andi", "ori", "xori", "lui"})

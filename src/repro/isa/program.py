@@ -1,0 +1,75 @@
+"""Program container produced by the assembler and loaded by the CPU model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Segment:
+    """A contiguous run of initialized 32-bit words in memory.
+
+    Attributes:
+        base: byte address of the first word (word aligned).
+        words: initialized 32-bit values.
+        is_code: True for text segments (counted as "test program" size),
+            False for data segments (counted as "test data" size).
+    """
+
+    base: int
+    words: list[int] = field(default_factory=list)
+    is_code: bool = True
+
+    @property
+    def end(self) -> int:
+        """Byte address one past the last word."""
+        return self.base + 4 * len(self.words)
+
+    def overlaps(self, other: "Segment") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+@dataclass
+class Program:
+    """An assembled program: segments, symbols and size accounting.
+
+    The paper's cost metric is the number of 32-bit words downloaded from the
+    tester (test program + test data); :attr:`code_words` and
+    :attr:`data_words` report exactly that split.
+    """
+
+    segments: list[Segment] = field(default_factory=list)
+    symbols: dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+    listing: list[str] = field(default_factory=list)
+
+    @property
+    def code_words(self) -> int:
+        """Total 32-bit words in text segments (the paper's Table 4 metric)."""
+        return sum(len(s.words) for s in self.segments if s.is_code)
+
+    @property
+    def data_words(self) -> int:
+        """Total 32-bit words in initialized data segments."""
+        return sum(len(s.words) for s in self.segments if not s.is_code)
+
+    @property
+    def total_words(self) -> int:
+        """Everything the tester must download."""
+        return self.code_words + self.data_words
+
+    def to_image(self) -> dict[int, int]:
+        """Flatten segments into a word-addressed memory image.
+
+        Returns:
+            Mapping from byte address (word aligned) to 32-bit word value.
+        """
+        image: dict[int, int] = {}
+        for seg in self.segments:
+            for i, word in enumerate(seg.words):
+                image[seg.base + 4 * i] = word
+        return image
+
+    def symbol(self, name: str) -> int:
+        """Look up a symbol's address/value; raises KeyError if undefined."""
+        return self.symbols[name]

@@ -1,0 +1,72 @@
+"""MIPS register names and the conventional ABI aliases."""
+
+from __future__ import annotations
+
+from repro.errors import AssemblyError
+
+#: Canonical numeric register names $0..$31.
+REGISTER_NAMES: tuple[str, ...] = tuple(f"${i}" for i in range(32))
+
+#: Conventional ABI aliases mapped to register numbers.
+REGISTER_ALIASES: dict[str, int] = {
+    "$zero": 0,
+    "$at": 1,
+    "$v0": 2,
+    "$v1": 3,
+    "$a0": 4,
+    "$a1": 5,
+    "$a2": 6,
+    "$a3": 7,
+    "$t0": 8,
+    "$t1": 9,
+    "$t2": 10,
+    "$t3": 11,
+    "$t4": 12,
+    "$t5": 13,
+    "$t6": 14,
+    "$t7": 15,
+    "$s0": 16,
+    "$s1": 17,
+    "$s2": 18,
+    "$s3": 19,
+    "$s4": 20,
+    "$s5": 21,
+    "$s6": 22,
+    "$s7": 23,
+    "$t8": 24,
+    "$t9": 25,
+    "$k0": 26,
+    "$k1": 27,
+    "$gp": 28,
+    "$sp": 29,
+    "$fp": 30,
+    "$ra": 31,
+}
+
+#: Reverse map for the disassembler (prefer ABI names).
+ALIAS_BY_NUMBER: dict[int, str] = {num: name for name, num in REGISTER_ALIASES.items()}
+
+
+def register_number(token: str) -> int:
+    """Parse a register token (``$5``, ``$t0``) to its number.
+
+    Raises:
+        AssemblyError: if the token is not a valid register name.
+    """
+    token = token.strip().lower()
+    if token in REGISTER_ALIASES:
+        return REGISTER_ALIASES[token]
+    if token.startswith("$"):
+        body = token[1:]
+        if body.isdigit():
+            num = int(body)
+            if 0 <= num < 32:
+                return num
+    raise AssemblyError(f"invalid register {token!r}")
+
+
+def register_name(number: int) -> str:
+    """Render a register number using its ABI alias (``8`` -> ``$t0``)."""
+    if not 0 <= number < 32:
+        raise ValueError(f"register number {number} out of range")
+    return ALIAS_BY_NUMBER[number]

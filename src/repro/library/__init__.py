@@ -1,0 +1,33 @@
+"""Structural gate-level generators for datapath building blocks.
+
+Each generator composes gates inside a caller-supplied
+:class:`~repro.netlist.builder.NetlistBuilder`, so blocks nest into larger
+components.  The Plasma component netlists in :mod:`repro.plasma` are built
+from these.
+"""
+
+from repro.library.adders import (
+    adder_subtractor,
+    equality_comparator,
+    incrementer,
+    ripple_carry_adder,
+)
+from repro.library.alu import ALU_OPS, AluOp, build_alu
+from repro.library.shifter import build_barrel_shifter
+from repro.library.multiplier import MULDIV_OPS, MulDivOp, build_muldiv
+from repro.library.regfile import build_register_file
+
+__all__ = [
+    "adder_subtractor",
+    "equality_comparator",
+    "incrementer",
+    "ripple_carry_adder",
+    "ALU_OPS",
+    "AluOp",
+    "build_alu",
+    "build_barrel_shifter",
+    "MULDIV_OPS",
+    "MulDivOp",
+    "build_muldiv",
+    "build_register_file",
+]

@@ -1,0 +1,78 @@
+"""Adder family: ripple-carry adder, adder/subtractor, incrementer,
+equality comparator.
+
+The ripple-carry structure is deliberate: it is the regular, semi-iterative
+array structure the paper's deterministic test-set library exploits (a small
+pattern set propagates carries through every stage).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder, Word
+from repro.netlist.netlist import CONST0, CONST1
+
+
+def ripple_carry_adder(
+    b: NetlistBuilder, a: Word, x: Word, cin: int = CONST0
+) -> tuple[Word, int]:
+    """Classic ripple-carry adder.
+
+    Args:
+        b: builder to emit gates into.
+        a, x: addend words (equal width, LSB first).
+        cin: carry-in net.
+
+    Returns:
+        ``(sum word, carry-out net)``.
+    """
+    if len(a) != len(x):
+        raise NetlistError(f"adder width mismatch: {len(a)} vs {len(x)}")
+    total: Word = []
+    carry = cin
+    for ai, xi in zip(a, x):
+        axb = b.xor(ai, xi)
+        total.append(b.xor(axb, carry))
+        # carry-out = ai*xi + (ai^xi)*carry
+        carry = b.or_(b.and_(ai, xi), b.and_(axb, carry))
+    return total, carry
+
+
+def adder_subtractor(
+    b: NetlistBuilder, a: Word, x: Word, subtract: int
+) -> tuple[Word, int]:
+    """Adder/subtractor: computes ``a + x`` or ``a - x`` (two's complement).
+
+    Args:
+        subtract: control net; 1 selects subtraction.
+
+    Returns:
+        ``(result word, carry-out net)``.  For subtraction the carry-out is
+        the *not-borrow* flag (1 when ``a >= x`` unsigned).
+    """
+    x_conditioned = [b.xor(xi, subtract) for xi in x]
+    return ripple_carry_adder(b, a, x_conditioned, cin=subtract)
+
+
+def incrementer(b: NetlistBuilder, a: Word, step_bit: int = 0) -> Word:
+    """Add the constant ``1 << step_bit`` using a half-adder chain.
+
+    Used by the PC logic (+4 increment with ``step_bit=2``); bits below
+    ``step_bit`` pass through.
+    """
+    if not 0 <= step_bit < len(a):
+        raise NetlistError(f"step_bit {step_bit} out of range for width {len(a)}")
+    out: Word = list(a[:step_bit])
+    carry = CONST1
+    for ai in a[step_bit:]:
+        out.append(b.xor(ai, carry))
+        carry = b.and_(ai, carry)
+    return out
+
+
+def equality_comparator(b: NetlistBuilder, a: Word, x: Word) -> int:
+    """1 when the two words are equal (XNOR reduce)."""
+    if len(a) != len(x):
+        raise NetlistError(f"comparator width mismatch: {len(a)} vs {len(x)}")
+    bits = [b.xnor(ai, xi) for ai, xi in zip(a, x)]
+    return b.reduce_and(bits)

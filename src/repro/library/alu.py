@@ -1,0 +1,137 @@
+"""Arithmetic-logic unit generator (the Plasma ALU component).
+
+One shared adder/subtractor serves ADD, SUB and both flavours of
+set-less-than; the bitwise operations are computed in parallel and a one-hot
+AND-OR network selects the result.  The structure is the regular bit-sliced
+array the paper's deterministic ALU test set targets.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.library.adders import adder_subtractor
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import CONST0, Netlist
+
+
+class AluOp(enum.IntEnum):
+    """ALU function encoding (the ``func`` input port).
+
+    ``PASS_A`` (= 0) is the idle encoding used by instructions that do not
+    consume an ALU result; the hardware produces 0 for it (there is no
+    pass-through path — it would be dead logic no instruction can observe,
+    and Plasma's ALU has none either).
+    """
+
+    PASS_A = 0
+    ADD = 1
+    SUB = 2
+    AND = 3
+    OR = 4
+    XOR = 5
+    NOR = 6
+    SLT = 7
+    SLTU = 8
+    PASS_B = 9
+
+
+#: All operations, in encoding order (used by test generators).
+ALU_OPS: tuple[AluOp, ...] = tuple(AluOp)
+
+FUNC_WIDTH = 4
+
+
+def build_alu(width: int = 32, name: str = "ALU") -> Netlist:
+    """Build the ALU netlist.
+
+    Ports:
+        * ``a``, ``b`` (in, ``width``): operands.
+        * ``func`` (in, 4): operation select (:class:`AluOp` encoding).
+        * ``result`` (out, ``width``).
+    """
+    b = NetlistBuilder(name)
+    a_in = b.input("a", width)
+    b_in = b.input("b", width)
+    func = b.input("func", FUNC_WIDTH)
+
+    # Subtraction is active for SUB / SLT / SLTU.  No decode term exists
+    # for the idle PASS_A encoding (its result is the inactive 0).
+    sel = {
+        op: b.equals_const(func, int(op))
+        for op in AluOp
+        if op is not AluOp.PASS_A
+    }
+    subtract = b.or_(sel[AluOp.SUB], b.or_(sel[AluOp.SLT], sel[AluOp.SLTU]))
+
+    total, carry_out = adder_subtractor(b, a_in, b_in, subtract)
+
+    and_w = b.and_word(a_in, b_in)
+    or_w = b.or_word(a_in, b_in)
+    xor_w = b.xor_word(a_in, b_in)
+    nor_w = b.nor_word(a_in, b_in)
+
+    # Signed less-than: different signs -> sign of a; same signs -> sign of
+    # the difference.  Unsigned less-than: no carry out of a - b.
+    a_sign, b_sign = a_in[-1], b_in[-1]
+    diff_sign = total[-1]
+    signs_differ = b.xor(a_sign, b_sign)
+    lt_signed = b.mux(signs_differ, diff_sign, a_sign)
+    lt_unsigned = b.not_(carry_out)
+
+    slt_word = [lt_signed] + [CONST0] * (width - 1)
+    sltu_word = [lt_unsigned] + [CONST0] * (width - 1)
+
+    choices = (
+        (sel[AluOp.ADD], total),
+        (sel[AluOp.SUB], total),
+        (sel[AluOp.AND], and_w),
+        (sel[AluOp.OR], or_w),
+        (sel[AluOp.XOR], xor_w),
+        (sel[AluOp.NOR], nor_w),
+        (sel[AluOp.SLT], slt_word),
+        (sel[AluOp.SLTU], sltu_word),
+        (sel[AluOp.PASS_B], b_in),
+    )
+
+    result = []
+    for i in range(width):
+        terms = []
+        for enable, word in choices:
+            if word[i] == CONST0:
+                continue
+            terms.append(b.and_(enable, word[i]))
+        result.append(b.reduce_or(terms) if terms else CONST0)
+    b.output("result", result)
+    return b.build()
+
+
+def alu_reference(op: AluOp, a: int, b: int, width: int = 32) -> int:
+    """Bit-true reference model of the ALU (used by tests and the CPU)."""
+    m = (1 << width) - 1
+    a &= m
+    b &= m
+    if op is AluOp.PASS_A:
+        return 0  # idle encoding: no pass-through path exists
+    if op is AluOp.PASS_B:
+        return b
+    if op is AluOp.ADD:
+        return (a + b) & m
+    if op is AluOp.SUB:
+        return (a - b) & m
+    if op is AluOp.AND:
+        return a & b
+    if op is AluOp.OR:
+        return a | b
+    if op is AluOp.XOR:
+        return a ^ b
+    if op is AluOp.NOR:
+        return m & ~(a | b)
+    sign = 1 << (width - 1)
+    if op is AluOp.SLT:
+        sa = a - (1 << width) if a & sign else a
+        sb = b - (1 << width) if b & sign else b
+        return 1 if sa < sb else 0
+    if op is AluOp.SLTU:
+        return 1 if a < b else 0
+    raise ValueError(f"unhandled op {op}")  # pragma: no cover

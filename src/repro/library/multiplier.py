@@ -1,0 +1,251 @@
+"""Sequential multiplier/divider generator (the Plasma MulD component).
+
+The unit implements the Plasma scheme: one 64-bit accumulator register, one
+shared 33-bit adder/subtractor, and a 32-iteration sequencer.
+
+* **Multiply** — shift-add: the multiplier sits in the accumulator's lower
+  half; each cycle the multiplicand is conditionally added to the upper half
+  and the 65-bit result shifts right.
+* **Divide** — restoring: the dividend sits in the lower half; each cycle
+  the pair shifts left, the divisor is trial-subtracted from the upper half,
+  and the quotient bit enters at the bottom.
+* **Signed variants** — operands pass through conditional-negate stages on
+  load; the result is conditionally negated on the final iteration
+  (quotient by ``sign(a) ^ sign(b)``, remainder by ``sign(a)``, and the full
+  64-bit product by ``sign(a) ^ sign(b)``).
+* **MTHI/MTLO** — direct writes into the accumulator halves.
+
+Division by zero follows the restoring-array behaviour (quotient all-ones,
+remainder = dividend), which :func:`muldiv_reference` mirrors exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.library.adders import adder_subtractor
+from repro.netlist.builder import NetlistBuilder, Word
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import DFF, Netlist
+
+
+class MulDivOp(enum.IntEnum):
+    """Operation strobe encoding for the ``op`` input port."""
+
+    IDLE = 0
+    MULT = 1
+    MULTU = 2
+    DIV = 3
+    DIVU = 4
+    MTHI = 5
+    MTLO = 6
+
+
+MULDIV_OPS: tuple[MulDivOp, ...] = tuple(MulDivOp)
+
+OP_WIDTH = 3
+
+#: Iterations a multiply/divide takes (also the CPU stall model's figure).
+MULDIV_CYCLES = 32
+
+
+def _cond_negate(
+    b: NetlistBuilder, word: Word, cond: int, carry_in: int | None = None
+) -> Word:
+    """Two's-complement negate ``word`` when ``cond`` is 1.
+
+    ``carry_in`` (default: ``cond``) supplies the +1; passing the
+    lower-half-is-zero signal chains a 64-bit negation through its upper
+    half.
+    """
+    inverted = [b.xor(bit, cond) for bit in word]
+    carry = cond if carry_in is None else b.and_(cond, carry_in)
+    out: Word = []
+    for bit in inverted:
+        out.append(b.xor(bit, carry))
+        carry = b.and_(bit, carry)
+    return out
+
+
+def build_muldiv(width: int = 32, name: str = "MulD") -> Netlist:
+    """Build the multiplier/divider netlist.
+
+    Ports:
+        * ``a``, ``b`` (in, ``width``): operands (``a`` is the
+          multiplier/dividend, ``b`` the multiplicand/divisor).
+        * ``op`` (in, 3): :class:`MulDivOp` strobe; sampled every cycle,
+          must be IDLE while ``busy``.
+        * ``hi``, ``lo`` (out, ``width``): result registers.
+        * ``busy`` (out, 1): high while iterating.
+    """
+    b = NetlistBuilder(name)
+    a_in = b.input("a", width)
+    b_in = b.input("b", width)
+    op = b.input("op", OP_WIDTH)
+
+    sel = {o: b.equals_const(op, int(o)) for o in MulDivOp if o is not MulDivOp.IDLE}
+    start = b.or_(
+        b.or_(sel[MulDivOp.MULT], sel[MulDivOp.MULTU]),
+        b.or_(sel[MulDivOp.DIV], sel[MulDivOp.DIVU]),
+    )
+    signed_op = b.or_(sel[MulDivOp.MULT], sel[MulDivOp.DIV])
+    div_start = b.or_(sel[MulDivOp.DIV], sel[MulDivOp.DIVU])
+
+    # ------------------------------------------------------ control state
+    a_sign, b_sign = a_in[width - 1], b_in[width - 1]
+    signs_differ = b.xor(a_sign, b_sign)
+    # Quotient / 64-bit product negate when input signs differ; remainder
+    # negates with the dividend's sign.  Both only for the signed ops.
+    neg_lo_now = b.and_(signed_op, signs_differ)
+    neg_hi_now = b.mux(div_start, neg_lo_now, b.and_(signed_op, a_sign))
+
+    is_div = b.dff(div_start, enable=start)
+    neg_lo = b.dff(neg_lo_now, enable=start)
+    neg_hi = b.dff(neg_hi_now, enable=start)
+
+    # Down counter: loads the iteration count on start, decrements to 0.
+    counter_bits = MULDIV_CYCLES.bit_length()  # e.g. 6 bits to hold 32
+    counter_q: Word = []
+    counter_d: Word = []
+    for i in range(counter_bits):
+        counter_q.append(b.netlist.new_net(f"cnt[{i}]"))
+    busy = b.reduce_or(counter_q)
+    # Decrement chain (half subtractor per bit).
+    borrow = busy  # subtract 1 only while busy
+    dec: Word = []
+    for i in range(counter_bits):
+        dec.append(b.xor(counter_q[i], borrow))
+        if i + 1 < counter_bits:
+            borrow = b.and_(b.not_(counter_q[i]), borrow)
+    load_value = b.constant(MULDIV_CYCLES, counter_bits)
+    for i in range(counter_bits):
+        counter_d.append(b.mux(start, dec[i], load_value[i]))
+    # Wire the counter DFFs manually (q nets were pre-allocated).
+    for i in range(counter_bits):
+        b.netlist.dffs.append(
+            DFF(len(b.netlist.dffs), counter_d[i], counter_q[i], 0)
+        )
+    final = b.and_(busy, b.equals_const(counter_q, 1))
+
+    # ----------------------------------------------------------- operands
+    # Absolute values for the signed operations.
+    abs_a = _cond_negate(b, a_in, b.and_(signed_op, a_sign))
+    abs_b = _cond_negate(b, b_in, b.and_(signed_op, b_sign))
+
+    divisor_or_multiplicand = b.register_word(abs_b, enable=start)
+
+    # --------------------------------------------------------- datapath
+    # Accumulator: pre-allocate Q nets so next-state logic can reference
+    # them before the DFFs are wired.
+    acc_q: Word = [b.netlist.new_net(f"acc[{i}]") for i in range(2 * width)]
+    acc_lower = acc_q[:width]
+    acc_upper = acc_q[width:]
+
+    # Shared adder/subtractor (33 bits).
+    # Multiply: P = upper, Q = multiplicand when acc[0].
+    # Divide:   P = (acc << 1) upper = acc[2w-2 : w-1], Q = divisor, minus.
+    shifted_upper = acc_q[width - 1 : 2 * width - 1]
+    p_word = b.mux_word(is_div, list(acc_upper), list(shifted_upper))
+    q_enable = b.or_(is_div, acc_q[0])
+    q_word = [b.and_(bit, q_enable) for bit in divisor_or_multiplicand]
+    sum_word, sum_carry = adder_subtractor(b, p_word, q_word, subtract=is_div)
+    # For addition the carry-out is product bit 2w-1; for subtraction it is
+    # the not-borrow flag (P >= Q).
+    not_borrow = sum_carry
+
+    # Next accumulator value per mode.
+    mul_next: Word = (
+        list(acc_q[1:width])  # bits 0 .. w-2: lower half shifts right
+        + sum_word  # bits w-1 .. 2w-2: the 33-bit sum slides in
+        + [sum_carry]  # bit 2w-1
+    )
+
+    div_next = (
+        [not_borrow]  # quotient bit enters at the bottom
+        + list(acc_q[0 : width - 1])  # shifted lower half
+        + [b.mux(not_borrow, acc_q[width - 1 + k], sum_word[k]) for k in range(width)]
+    )
+
+    step_next = b.mux_word(is_div, mul_next, div_next)
+
+    # Final-iteration conditional negation of the result.
+    step_lower, step_upper = step_next[:width], step_next[width:]
+    lower_neg = _cond_negate(b, step_lower, neg_lo)
+    lower_is_zero = b.is_zero(step_lower)
+    hi_carry = b.mux(is_div, lower_is_zero, b.constant(1, 1)[0])
+    upper_neg = _cond_negate(b, step_upper, neg_hi, carry_in=hi_carry)
+    negated = lower_neg + upper_neg
+    step_or_neg = b.mux_word(final, step_next, negated)
+
+    # Load value on start: {0, |a|}; direct writes for MTHI/MTLO.
+    load_word = abs_a + b.constant(0, width)
+    d_word = b.mux_word(start, step_or_neg, load_word)
+    lower_d = b.mux_word(sel[MulDivOp.MTLO], d_word[:width], a_in)
+    upper_d = b.mux_word(sel[MulDivOp.MTHI], d_word[width:], a_in)
+
+    write_lower = b.or_(b.or_(start, busy), sel[MulDivOp.MTLO])
+    write_upper = b.or_(b.or_(start, busy), sel[MulDivOp.MTHI])
+
+    for i in range(width):
+        _wire_enabled_dff(b, lower_d[i], acc_q[i], write_lower)
+    for i in range(width):
+        _wire_enabled_dff(b, upper_d[i], acc_q[width + i], write_upper)
+
+    b.output("lo", acc_lower)
+    b.output("hi", acc_upper)
+    b.output("busy", busy)
+    return b.build()
+
+
+def _wire_enabled_dff(b: NetlistBuilder, d: int, q: int, enable: int) -> None:
+    """DFF with write enable whose Q net was pre-allocated."""
+    held = b.netlist.add_gate(GateType.MUX2, [q, d, enable])
+    b.netlist.dffs.append(DFF(len(b.netlist.dffs), held, q, 0))
+
+
+# --------------------------------------------------------------- reference
+
+
+def _abs32(value: int, width: int) -> int:
+    m = (1 << width) - 1
+    if value & (1 << (width - 1)):
+        return (-value) & m
+    return value & m
+
+
+def muldiv_reference(
+    op: MulDivOp, a: int, b: int, width: int = 32
+) -> tuple[int, int]:
+    """Bit-true reference for one completed operation.
+
+    Returns:
+        ``(hi, lo)`` after the operation finishes.  Division by zero
+        mirrors the restoring array: quotient all-ones, remainder equal to
+        the (absolute) dividend, before sign fixing.
+    """
+    m = (1 << width) - 1
+    a &= m
+    b &= m
+    if op in (MulDivOp.MULT, MulDivOp.MULTU):
+        signed = op is MulDivOp.MULT
+        ua = _abs32(a, width) if signed else a
+        ub = _abs32(b, width) if signed else b
+        product = ua * ub
+        if signed and ((a ^ b) & (1 << (width - 1))):
+            product = (-product) & ((1 << (2 * width)) - 1)
+        return (product >> width) & m, product & m
+    if op in (MulDivOp.DIV, MulDivOp.DIVU):
+        signed = op is MulDivOp.DIV
+        ua = _abs32(a, width) if signed else a
+        ub = _abs32(b, width) if signed else b
+        if ub == 0:
+            quotient, remainder = m, ua
+        else:
+            quotient, remainder = ua // ub, ua % ub
+        if signed:
+            if (a ^ b) & (1 << (width - 1)):
+                quotient = (-quotient) & m
+            if a & (1 << (width - 1)):
+                remainder = (-remainder) & m
+        return remainder & m, quotient & m
+    raise ValueError(f"{op} is not a complete-result operation")

@@ -1,0 +1,44 @@
+"""Register-file generator (the Plasma RegF component).
+
+A load/store RISC register file: 31 writable 32-bit registers (``$0`` is
+hardwired to zero, as in Plasma), one write port with a 5-to-32 decoder, and
+two read ports realised as 32:1 word mux trees.  The DFF-array-plus-mux-tree
+regularity is exactly what the paper's March-style register-file test set
+exploits.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import NetlistBuilder, Word
+from repro.netlist.netlist import Netlist
+
+
+def build_register_file(
+    n_registers: int = 32, width: int = 32, name: str = "RegF"
+) -> Netlist:
+    """Build the register file netlist.
+
+    Ports:
+        * ``wr_addr`` (in, 5), ``wr_data`` (in, ``width``), ``wr_en`` (in, 1).
+        * ``rd_addr_a`` / ``rd_addr_b`` (in, 5): read selects.
+        * ``rd_data_a`` / ``rd_data_b`` (out, ``width``).
+
+    Register 0 reads as zero and ignores writes.
+    """
+    addr_bits = (n_registers - 1).bit_length()
+    b = NetlistBuilder(name)
+    wr_addr = b.input("wr_addr", addr_bits)
+    wr_data = b.input("wr_data", width)
+    wr_en = b.input("wr_en", 1)[0]
+    rd_addr_a = b.input("rd_addr_a", addr_bits)
+    rd_addr_b = b.input("rd_addr_b", addr_bits)
+
+    write_lines = b.decoder(wr_addr, enable=wr_en)
+
+    words: list[Word] = [b.constant(0, width)]  # $0 is hardwired zero
+    for reg in range(1, n_registers):
+        words.append(b.register_word(wr_data, enable=write_lines[reg]))
+
+    b.output("rd_data_a", b.mux_tree(rd_addr_a, words))
+    b.output("rd_data_b", b.mux_tree(rd_addr_b, words))
+    return b.build()

@@ -1,0 +1,76 @@
+"""Logarithmic barrel shifter generator (the Plasma BSH component).
+
+The core is a 5-stage right-shift network; left shifts reuse it through
+input/output bit-reversal muxes (the classic area-saving trick, which also
+gives the regular mux-tree structure the deterministic shifter test set
+exploits).  Arithmetic right shifts fill with the sign bit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist
+
+
+def build_barrel_shifter(width: int = 32, name: str = "BSH") -> Netlist:
+    """Build the barrel shifter netlist.
+
+    Ports:
+        * ``value`` (in, ``width``): operand.
+        * ``shamt`` (in, log2(width)): shift amount.
+        * ``left`` (in, 1): 1 = shift left, 0 = shift right.
+        * ``arith`` (in, 1): 1 = arithmetic right shift (fill with sign).
+        * ``result`` (out, ``width``).
+    """
+    if width & (width - 1):
+        raise NetlistError("shifter width must be a power of two")
+    stages = width.bit_length() - 1
+
+    b = NetlistBuilder(name)
+    value = b.input("value", width)
+    shamt = b.input("shamt", stages)
+    left = b.input("left", 1)[0]
+    arith = b.input("arith", 1)[0]
+
+    # Fill bit: sign bit for arithmetic right shifts, else 0.  Left shifts
+    # always fill with 0 (and the reversal makes the right-shift core's fill
+    # land at the correct end).
+    not_left = b.not_(left)
+    fill = b.and_(arith, b.and_(value[width - 1], not_left))
+
+    # Input reversal for left shifts (mux per bit).
+    current = [
+        b.mux(left, value[i], value[width - 1 - i]) for i in range(width)
+    ]
+
+    # Right-shift core: stage k shifts by 2**k when shamt[k] is set.
+    for k in range(stages):
+        step = 1 << k
+        sel = shamt[k]
+        nxt = []
+        for i in range(width):
+            shifted = current[i + step] if i + step < width else fill
+            nxt.append(b.mux(sel, current[i], shifted))
+        current = nxt
+
+    # Output reversal for left shifts.
+    result = [
+        b.mux(left, current[i], current[width - 1 - i]) for i in range(width)
+    ]
+    b.output("result", result)
+    return b.build()
+
+
+def shifter_reference(
+    value: int, shamt: int, left: bool, arith: bool, width: int = 32
+) -> int:
+    """Bit-true reference model of the shifter."""
+    m = (1 << width) - 1
+    value &= m
+    shamt &= width - 1
+    if left:
+        return (value << shamt) & m
+    if arith and value & (1 << (width - 1)):
+        return ((value | (~m)) >> shamt) & m
+    return value >> shamt

@@ -1,0 +1,34 @@
+"""Gate-level netlist substrate.
+
+A :class:`~repro.netlist.netlist.Netlist` is a flat structural circuit:
+nets (integer ids), combinational gates, D flip-flops and named ports.  The
+:class:`~repro.netlist.builder.NetlistBuilder` layers a word-level (bus)
+construction API on top, :mod:`~repro.netlist.levelize` orders gates for
+single-pass evaluation, :mod:`~repro.netlist.stats` reports NAND2-equivalent
+gate counts (the paper's Table 3 area unit) and :mod:`~repro.netlist.verify`
+lints a finished netlist.
+"""
+
+from repro.netlist.gates import GATE_COSTS, GateType, eval_gate
+from repro.netlist.netlist import DFF, Gate, Netlist, Port, PortDirection
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.levelize import levelize
+from repro.netlist.stats import NetlistStats, gate_count, nand2_equivalents
+from repro.netlist.verify import lint
+
+__all__ = [
+    "GATE_COSTS",
+    "GateType",
+    "eval_gate",
+    "DFF",
+    "Gate",
+    "Netlist",
+    "Port",
+    "PortDirection",
+    "NetlistBuilder",
+    "levelize",
+    "NetlistStats",
+    "gate_count",
+    "nand2_equivalents",
+    "lint",
+]

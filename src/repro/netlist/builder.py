@@ -1,0 +1,294 @@
+"""Word-level construction API over :class:`~repro.netlist.netlist.Netlist`.
+
+A *word* is a list of net ids, LSB first.  The builder provides bitwise bus
+operators, mux trees, decoders and registered words; arithmetic circuits
+(adders, shifters, multipliers) live in :mod:`repro.library` and are built on
+these primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import CONST0, CONST1, DFF, Netlist
+
+Word = list[int]
+
+
+class NetlistBuilder:
+    """Fluent word-level builder bound to one netlist."""
+
+    def __init__(self, name: str):
+        self.netlist = Netlist(name)
+
+    # ------------------------------------------------------------ ports
+
+    def input(self, name: str, width: int = 1) -> Word:
+        return self.netlist.add_input(name, width)
+
+    def output(self, name: str, word: Word | int) -> None:
+        if isinstance(word, int):
+            word = [word]
+        self.netlist.add_output(name, list(word))
+
+    def constant(self, value: int, width: int) -> Word:
+        """A word of constant nets encoding ``value``."""
+        return [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+
+    # ------------------------------------------------------- bit helpers
+    #
+    # The helpers fold constants the way synthesis would (AND with 0 is 0,
+    # a mux with a constant select is a wire, ...), so generated circuits
+    # carry no dead logic — which would otherwise show up as structurally
+    # untestable faults in every coverage figure.
+
+    def gate(self, gtype: GateType, *inputs: int) -> int:
+        """Emit a raw gate with no folding (used for exact structures)."""
+        return self.netlist.add_gate(gtype, list(inputs))
+
+    def not_(self, a: int) -> int:
+        if a == CONST0:
+            return CONST1
+        if a == CONST1:
+            return CONST0
+        return self.gate(GateType.NOT, a)
+
+    def _fold_and_or(self, ins, dominant: int, neutral: int):
+        """Shared constant folding for AND (dominant 0) / OR (dominant 1).
+
+        Returns (folded scalar or None, remaining variable nets).
+        """
+        remaining = []
+        for net in ins:
+            if net == dominant:
+                return dominant, []
+            if net != neutral:
+                remaining.append(net)
+        if not remaining:
+            return neutral, []
+        return None, remaining
+
+    def and_(self, *ins: int) -> int:
+        folded, rest = self._fold_and_or(ins, CONST0, CONST1)
+        if folded is not None:
+            return folded
+        if len(rest) == 1:
+            return rest[0]
+        return self.gate(GateType.AND, *rest)
+
+    def nand(self, *ins: int) -> int:
+        folded, rest = self._fold_and_or(ins, CONST0, CONST1)
+        if folded is not None:
+            return self.not_(folded)
+        if len(rest) == 1:
+            return self.not_(rest[0])
+        return self.gate(GateType.NAND, *rest)
+
+    def or_(self, *ins: int) -> int:
+        folded, rest = self._fold_and_or(ins, CONST1, CONST0)
+        if folded is not None:
+            return folded
+        if len(rest) == 1:
+            return rest[0]
+        return self.gate(GateType.OR, *rest)
+
+    def nor(self, *ins: int) -> int:
+        folded, rest = self._fold_and_or(ins, CONST1, CONST0)
+        if folded is not None:
+            return self.not_(folded)
+        if len(rest) == 1:
+            return self.not_(rest[0])
+        return self.gate(GateType.NOR, *rest)
+
+    def _fold_xor(self, ins):
+        """Returns (parity of constant inputs, remaining variable nets)."""
+        parity = 0
+        remaining = []
+        for net in ins:
+            if net == CONST1:
+                parity ^= 1
+            elif net != CONST0:
+                remaining.append(net)
+        return parity, remaining
+
+    def xor(self, *ins: int) -> int:
+        parity, rest = self._fold_xor(ins)
+        if not rest:
+            return CONST1 if parity else CONST0
+        if len(rest) == 1:
+            return self.not_(rest[0]) if parity else rest[0]
+        out = self.gate(GateType.XOR, *rest)
+        return self.not_(out) if parity else out
+
+    def xnor(self, *ins: int) -> int:
+        parity, rest = self._fold_xor(ins)
+        if not rest:
+            return CONST0 if parity else CONST1
+        if len(rest) == 1:
+            return rest[0] if parity else self.not_(rest[0])
+        out = self.gate(GateType.XNOR, *rest)
+        return self.not_(out) if parity else out
+
+    def mux(self, sel: int, a: int, b: int) -> int:
+        """2:1 bit mux: returns ``b`` when ``sel`` is 1, else ``a``."""
+        if sel == CONST0:
+            return a
+        if sel == CONST1:
+            return b
+        if a == b:
+            return a
+        if a == CONST0 and b == CONST1:
+            return sel
+        if a == CONST1 and b == CONST0:
+            return self.not_(sel)
+        if a == CONST0:
+            return self.and_(sel, b)
+        if b == CONST0:
+            return self.and_(self.not_(sel), a)
+        if a == CONST1:
+            return self.or_(self.not_(sel), b)
+        if b == CONST1:
+            return self.or_(sel, a)
+        return self.gate(GateType.MUX2, a, b, sel)
+
+    def dff(self, d: int, init: int = 0, enable: int | None = None) -> int:
+        """Registered bit; with ``enable`` the DFF holds when enable is 0."""
+        if enable is None:
+            return self.netlist.add_dff(d, init)
+        q = self.netlist.new_net()
+        mux_out = self.gate(GateType.MUX2, q, d, enable)
+        # Wire the DFF manually so its Q is the pre-allocated feedback net.
+        self.netlist.dffs.append(DFF(len(self.netlist.dffs), mux_out, q, init))
+        return q
+
+    # ------------------------------------------------------- word helpers
+
+    @staticmethod
+    def _check_same_width(a: Word, b: Word) -> None:
+        if len(a) != len(b):
+            raise NetlistError(f"width mismatch: {len(a)} vs {len(b)}")
+
+    def not_word(self, a: Word) -> Word:
+        return [self.not_(bit) for bit in a]
+
+    def and_word(self, a: Word, b: Word) -> Word:
+        self._check_same_width(a, b)
+        return [self.and_(x, y) for x, y in zip(a, b)]
+
+    def or_word(self, a: Word, b: Word) -> Word:
+        self._check_same_width(a, b)
+        return [self.or_(x, y) for x, y in zip(a, b)]
+
+    def xor_word(self, a: Word, b: Word) -> Word:
+        self._check_same_width(a, b)
+        return [self.xor(x, y) for x, y in zip(a, b)]
+
+    def nor_word(self, a: Word, b: Word) -> Word:
+        self._check_same_width(a, b)
+        return [self.nor(x, y) for x, y in zip(a, b)]
+
+    def mux_word(self, sel: int, a: Word, b: Word) -> Word:
+        """Word-wide 2:1 mux (``b`` when sel)."""
+        self._check_same_width(a, b)
+        return [self.mux(sel, x, y) for x, y in zip(a, b)]
+
+    def mux_tree(self, select: Word, choices: Sequence[Word]) -> Word:
+        """N:1 word mux from a binary select bus.
+
+        ``choices[i]`` is selected when the select bus encodes ``i``; the
+        choice list may be shorter than ``2**len(select)``, in which case the
+        tree is pruned (missing branches reuse the last real choice, matching
+        synthesized don't-care behaviour).
+        """
+        if not choices:
+            raise NetlistError("mux_tree needs at least one choice")
+        level = [list(c) for c in choices]
+        for sel_bit in select:
+            nxt: list[Word] = []
+            for i in range(0, len(level), 2):
+                if i + 1 < len(level):
+                    nxt.append(self.mux_word(sel_bit, level[i], level[i + 1]))
+                else:
+                    nxt.append(level[i])
+            level = nxt
+            if len(level) == 1:
+                break
+        return level[0]
+
+    def decoder(self, select: Word, enable: int | None = None) -> Word:
+        """Binary decoder: ``2**len(select)`` one-hot outputs.
+
+        With ``enable``, every output is gated by it.
+        """
+        lines: Word = [CONST1] if enable is None else [enable]
+        # Iterate MSB-first so output index i corresponds to select value i
+        # (adjacent outputs differ in the select LSB).
+        for sel_bit in reversed(select):
+            inv = self.not_(sel_bit)
+            nxt: Word = []
+            for line in lines:
+                nxt.append(self.and_(line, inv))
+                nxt.append(self.and_(line, sel_bit))
+            lines = nxt
+        return lines
+
+    def equals_const(self, word: Word, value: int) -> int:
+        """1 when ``word`` equals the constant ``value``."""
+        terms = []
+        for i, net in enumerate(word):
+            terms.append(net if (value >> i) & 1 else self.not_(net))
+        if len(terms) == 1:
+            return terms[0]
+        return self.and_(*terms)
+
+    def reduce_or(self, word: Word) -> int:
+        """OR-reduce a word as a balanced tree of 2-input ORs."""
+        return self._reduce(GateType.OR, word)
+
+    def reduce_and(self, word: Word) -> int:
+        return self._reduce(GateType.AND, word)
+
+    def reduce_xor(self, word: Word) -> int:
+        return self._reduce(GateType.XOR, word)
+
+    def is_zero(self, word: Word) -> int:
+        """1 when every bit of ``word`` is 0."""
+        return self.not_(self.reduce_or(word))
+
+    def _reduce(self, gtype: GateType, word: Word) -> int:
+        if not word:
+            raise NetlistError("cannot reduce an empty word")
+        level = list(word)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self.gate(gtype, level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def register_word(
+        self, d: Word, init: int = 0, enable: int | None = None
+    ) -> Word:
+        """Register a word; ``init`` encodes per-bit reset values."""
+        return [
+            self.dff(bit, (init >> i) & 1, enable) for i, bit in enumerate(d)
+        ]
+
+    def sign_extend(self, word: Word, width: int) -> Word:
+        """Widen a word by replicating its MSB net (pure wiring)."""
+        if len(word) >= width:
+            return list(word[:width])
+        return list(word) + [word[-1]] * (width - len(word))
+
+    def zero_extend(self, word: Word, width: int) -> Word:
+        if len(word) >= width:
+            return list(word[:width])
+        return list(word) + [CONST0] * (width - len(word))
+
+    def build(self) -> Netlist:
+        """Return the completed netlist."""
+        return self.netlist

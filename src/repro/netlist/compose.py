@@ -1,0 +1,105 @@
+"""Hierarchical composition: instantiate netlists inside a parent netlist.
+
+Used to build multi-component clusters (and ultimately a flat processor)
+out of the per-component generators, so the hierarchical fault-grading
+decomposition can be validated against flat fault simulation of the
+composed circuit.
+
+Instantiation copies the child's gates and flip-flops into the parent with
+fresh net ids; the child's input ports are *bound* to parent nets supplied
+by the caller and its output ports are returned as parent nets.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder, Word
+from repro.netlist.netlist import CONST0, CONST1, DFF, Netlist, PortDirection
+
+
+def instantiate(
+    parent: NetlistBuilder,
+    child: Netlist,
+    connections: Mapping[str, Word | Sequence[int]],
+    name: str | None = None,
+) -> dict[str, Word]:
+    """Copy ``child`` into ``parent``, binding its input ports.
+
+    Args:
+        parent: builder receiving the instance.
+        child: netlist to instantiate (not modified).
+        connections: parent nets per child *input* port (LSB first; widths
+            must match exactly).  Child *output* ports may also be bound to
+            pre-allocated parent nets — used to wire feedback between
+            instances (allocate the nets first, bind them as one instance's
+            output and another's input).
+        name: instance name used to prefix copied net names.
+
+    Returns:
+        Parent nets per child *output* port (pre-bound or fresh).
+
+    Raises:
+        NetlistError: missing/extra connections or width mismatches.
+    """
+    instance = name or child.name.lower()
+    net_map: dict[int, int] = {CONST0: CONST0, CONST1: CONST1}
+
+    inputs = {p.name for p in child.input_ports()}
+    output_names = {p.name for p in child.output_ports()}
+    given = set(connections)
+    if inputs - given:
+        raise NetlistError(
+            f"instance {instance!r}: unconnected inputs {sorted(inputs - given)}"
+        )
+    if given - inputs - output_names:
+        raise NetlistError(
+            f"instance {instance!r}: unknown ports "
+            f"{sorted(given - inputs - output_names)}"
+        )
+
+    for port_name in sorted(given):
+        port = child.port(port_name)
+        word = list(connections[port_name])
+        if len(word) != port.width:
+            raise NetlistError(
+                f"instance {instance!r}: port {port_name!r} expects "
+                f"{port.width} bits, got {len(word)}"
+            )
+        for child_net, parent_net in zip(port.nets, word):
+            parent.netlist._check_net(parent_net)
+            if child_net in (CONST0, CONST1):
+                if port.direction is PortDirection.OUTPUT:
+                    raise NetlistError(
+                        f"instance {instance!r}: output {port_name!r} has a "
+                        f"constant bit; it cannot be bound to a parent net"
+                    )
+                continue  # constant child input bits need no binding
+            net_map[child_net] = parent_net
+
+    def mapped(child_net: int) -> int:
+        out = net_map.get(child_net)
+        if out is None:
+            label = child.net_names.get(child_net)
+            suffix = f"/{label}" if label else f"/n{child_net}"
+            out = parent.netlist.new_net(f"{instance}{suffix}")
+            net_map[child_net] = out
+        return out
+
+    # DFF Q nets first (they may be read by gates copied before them).
+    for dff in child.dffs:
+        mapped(dff.q)
+    for gate in child.gates:
+        parent.netlist.add_gate(
+            gate.gtype, [mapped(n) for n in gate.inputs], output=mapped(gate.output)
+        )
+    for dff in child.dffs:
+        parent.netlist.dffs.append(
+            DFF(len(parent.netlist.dffs), mapped(dff.d), mapped(dff.q), dff.init)
+        )
+
+    outputs: dict[str, Word] = {}
+    for port in child.output_ports():
+        outputs[port.name] = [mapped(n) for n in port.nets]
+    return outputs

@@ -1,0 +1,138 @@
+"""Gate primitives: types, lane-parallel evaluation and area costs.
+
+Evaluation operates on *lane words*: arbitrary-precision ints carrying one
+simulation lane (test pattern) per bit, so a single Python bitwise operation
+evaluates the gate under every pattern simultaneously (see
+:mod:`repro.utils.lanes`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+
+class GateType(enum.Enum):
+    """Combinational gate primitives.
+
+    ``AND/NAND/OR/NOR/XOR/XNOR`` accept 2+ inputs; ``NOT``/``BUF`` exactly
+    one; ``MUX2`` exactly three, ordered ``(a, b, sel)`` with output
+    ``sel ? b : a``; ``AOI21`` is the 2-1 and-or-invert cell
+    ``~((a & b) | c)`` used by the mux-heavy generators.
+    """
+
+    NOT = "not"
+    BUF = "buf"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX2 = "mux2"
+    AOI21 = "aoi21"
+
+
+#: Area cost per gate in 2-input-NAND equivalents, matching the unit of the
+#: paper's Table 3.  The figures are the classic static-CMOS transistor-count
+#: ratios (NAND2 = 4 transistors = 1.0 unit).  N-ary gates are costed as a
+#: tree of 2-input gates: (n-1) * base cost.
+GATE_COSTS: dict[GateType, float] = {
+    GateType.NOT: 0.5,
+    GateType.BUF: 1.0,
+    GateType.AND: 1.5,
+    GateType.NAND: 1.0,
+    GateType.OR: 1.5,
+    GateType.NOR: 1.0,
+    GateType.XOR: 2.5,
+    GateType.XNOR: 2.5,
+    GateType.MUX2: 2.5,
+    GateType.AOI21: 1.5,
+}
+
+#: Area cost of a D flip-flop in NAND2 equivalents (classic 6-NAND DFF).
+DFF_COST: float = 6.0
+
+#: Extra cost for a clock-enable (mux feedback) on a DFF.
+DFF_ENABLE_COST: float = 2.5
+
+_MIN_INPUTS: dict[GateType, int] = {
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.AND: 2,
+    GateType.NAND: 2,
+    GateType.OR: 2,
+    GateType.NOR: 2,
+    GateType.XOR: 2,
+    GateType.XNOR: 2,
+    GateType.MUX2: 3,
+    GateType.AOI21: 3,
+}
+
+_EXACT_INPUTS: frozenset[GateType] = frozenset(
+    {GateType.NOT, GateType.BUF, GateType.MUX2, GateType.AOI21}
+)
+
+
+def validate_arity(gtype: GateType, n_inputs: int) -> None:
+    """Raise ValueError if ``n_inputs`` is invalid for ``gtype``."""
+    minimum = _MIN_INPUTS[gtype]
+    if gtype in _EXACT_INPUTS:
+        if n_inputs != minimum:
+            raise ValueError(f"{gtype.value} takes exactly {minimum} inputs")
+    elif n_inputs < minimum:
+        raise ValueError(f"{gtype.value} takes at least {minimum} inputs")
+
+
+def eval_gate(gtype: GateType, inputs: Sequence[int], lane_mask: int) -> int:
+    """Evaluate a gate over lane words.
+
+    Args:
+        gtype: gate type.
+        inputs: lane word per input, in declaration order.
+        lane_mask: all-live-lanes mask used to bound inversions.
+
+    Returns:
+        Output lane word (already masked to live lanes).
+    """
+    if gtype is GateType.NOT:
+        return lane_mask & ~inputs[0]
+    if gtype is GateType.BUF:
+        return inputs[0] & lane_mask
+    if gtype is GateType.AND:
+        acc = inputs[0]
+        for w in inputs[1:]:
+            acc &= w
+        return acc & lane_mask
+    if gtype is GateType.NAND:
+        acc = inputs[0]
+        for w in inputs[1:]:
+            acc &= w
+        return lane_mask & ~acc
+    if gtype is GateType.OR:
+        acc = inputs[0]
+        for w in inputs[1:]:
+            acc |= w
+        return acc & lane_mask
+    if gtype is GateType.NOR:
+        acc = inputs[0]
+        for w in inputs[1:]:
+            acc |= w
+        return lane_mask & ~acc
+    if gtype is GateType.XOR:
+        acc = inputs[0]
+        for w in inputs[1:]:
+            acc ^= w
+        return acc & lane_mask
+    if gtype is GateType.XNOR:
+        acc = inputs[0]
+        for w in inputs[1:]:
+            acc ^= w
+        return lane_mask & ~acc
+    if gtype is GateType.MUX2:
+        a, b, sel = inputs
+        return ((a & ~sel) | (b & sel)) & lane_mask
+    if gtype is GateType.AOI21:
+        a, b, c = inputs
+        return lane_mask & ~((a & b) | c)
+    raise ValueError(f"unhandled gate type {gtype}")  # pragma: no cover

@@ -1,0 +1,76 @@
+"""Levelization: order gates for single-pass evaluation.
+
+Gates are sorted so every gate appears after all gates driving its inputs.
+Primary inputs, constants and DFF Q outputs are level-0 sources (a DFF's Q
+is last cycle's state, so it never creates a combinational dependency).
+Combinational cycles are reported as errors with the participating gates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import Gate, Netlist
+
+
+def levelize(netlist: Netlist) -> list[Gate]:
+    """Topologically order combinational gates.
+
+    Returns:
+        Gates in an order safe for single-pass evaluation.
+
+    Raises:
+        NetlistError: if the netlist contains a combinational cycle.
+    """
+    driver_gate: dict[int, int] = {}  # net -> index of driving gate
+    for gate in netlist.gates:
+        driver_gate[gate.output] = gate.index
+
+    # In-degree = number of inputs driven by not-yet-scheduled gates.
+    indegree = [0] * len(netlist.gates)
+    dependents: dict[int, list[int]] = {}  # gate index -> reader gate indices
+    for gate in netlist.gates:
+        for net in gate.inputs:
+            src = driver_gate.get(net)
+            if src is not None:
+                indegree[gate.index] += 1
+                dependents.setdefault(src, []).append(gate.index)
+
+    ready = deque(g.index for g in netlist.gates if indegree[g.index] == 0)
+    order: list[Gate] = []
+    while ready:
+        idx = ready.popleft()
+        order.append(netlist.gates[idx])
+        for reader in dependents.get(idx, ()):
+            indegree[reader] -= 1
+            if indegree[reader] == 0:
+                ready.append(reader)
+
+    if len(order) != len(netlist.gates):
+        stuck = [g.index for g in netlist.gates if indegree[g.index] > 0]
+        raise NetlistError(
+            f"combinational cycle in {netlist.name!r}; "
+            f"{len(stuck)} gates involved (e.g. gate indices {stuck[:8]})"
+        )
+    return order
+
+
+def levels(netlist: Netlist) -> dict[int, int]:
+    """Assign each gate its logic depth (longest path from a source)."""
+    order = levelize(netlist)
+    net_level: dict[int, int] = {}
+    gate_level: dict[int, int] = {}
+    for gate in order:
+        lvl = 0
+        for net in gate.inputs:
+            lvl = max(lvl, net_level.get(net, 0))
+        gate_level[gate.index] = lvl + 1
+        net_level[gate.output] = lvl + 1
+    return gate_level
+
+
+def depth(netlist: Netlist) -> int:
+    """Combinational depth of the netlist (0 for wire-only circuits)."""
+    gate_level = levels(netlist)
+    return max(gate_level.values(), default=0)

@@ -1,0 +1,211 @@
+"""Flat structural netlist: nets, gates, flip-flops, ports.
+
+Nets are dense integer ids.  Net 0 is the constant-0 net and net 1 the
+constant-1 net; both always exist.  Every other net must be driven by
+exactly one of: a primary input port, a gate output, or a DFF Q output.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType, validate_arity
+
+CONST0 = 0
+CONST1 = 1
+
+
+class PortDirection(enum.Enum):
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A combinational gate instance.
+
+    Attributes:
+        index: position in :attr:`Netlist.gates` (stable id).
+        gtype: gate primitive type.
+        output: driven net id.
+        inputs: input net ids in declaration order.
+    """
+
+    index: int
+    gtype: GateType
+    output: int
+    inputs: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DFF:
+    """A D flip-flop.
+
+    Attributes:
+        index: position in :attr:`Netlist.dffs`.
+        d: data input net.
+        q: output net (driven by this DFF).
+        init: reset value (0/1).
+    """
+
+    index: int
+    d: int
+    q: int
+    init: int = 0
+
+
+@dataclass(frozen=True)
+class Port:
+    """A named bus port: LSB-first net list."""
+
+    name: str
+    direction: PortDirection
+    nets: tuple[int, ...]
+
+    @property
+    def width(self) -> int:
+        return len(self.nets)
+
+
+@dataclass
+class Netlist:
+    """A flat gate-level circuit.
+
+    Use :class:`~repro.netlist.builder.NetlistBuilder` for word-level
+    construction; this class holds the final structure and the low-level
+    mutation primitives.
+    """
+
+    name: str
+    gates: list[Gate] = field(default_factory=list)
+    dffs: list[DFF] = field(default_factory=list)
+    ports: dict[str, Port] = field(default_factory=dict)
+    net_names: dict[int, str] = field(default_factory=dict)
+    _n_nets: int = 2  # nets 0 and 1 are the constants
+
+    # ------------------------------------------------------------- nets
+
+    @property
+    def n_nets(self) -> int:
+        """Total number of nets, including the two constants."""
+        return self._n_nets
+
+    def new_net(self, name: str | None = None) -> int:
+        """Allocate a fresh net id."""
+        net = self._n_nets
+        self._n_nets += 1
+        if name is not None:
+            self.net_names[net] = name
+        return net
+
+    def new_bus(self, width: int, name: str | None = None) -> list[int]:
+        """Allocate ``width`` fresh nets (LSB first)."""
+        if name is None:
+            return [self.new_net() for _ in range(width)]
+        return [self.new_net(f"{name}[{i}]") for i in range(width)]
+
+    def _check_net(self, net: int) -> None:
+        if not 0 <= net < self._n_nets:
+            raise NetlistError(f"net {net} does not exist in {self.name!r}")
+
+    # ------------------------------------------------------------ gates
+
+    def add_gate(
+        self, gtype: GateType, inputs: list[int] | tuple[int, ...],
+        output: int | None = None, name: str | None = None,
+    ) -> int:
+        """Add a gate; returns the output net (allocated if not given)."""
+        validate_arity(gtype, len(inputs))
+        for net in inputs:
+            self._check_net(net)
+        if output is None:
+            output = self.new_net(name)
+        else:
+            self._check_net(output)
+        self.gates.append(Gate(len(self.gates), gtype, output, tuple(inputs)))
+        return output
+
+    def add_dff(self, d: int, init: int = 0, name: str | None = None) -> int:
+        """Add a D flip-flop clocked by the implicit global clock.
+
+        Returns:
+            The Q output net.
+        """
+        self._check_net(d)
+        if init not in (0, 1):
+            raise NetlistError(f"DFF init must be 0 or 1, got {init}")
+        q = self.new_net(name)
+        self.dffs.append(DFF(len(self.dffs), d, q, init))
+        return q
+
+    # ------------------------------------------------------------ ports
+
+    def add_input(self, name: str, width: int) -> list[int]:
+        """Declare an input port of ``width`` bits; returns its nets."""
+        if name in self.ports:
+            raise NetlistError(f"duplicate port {name!r}")
+        nets = self.new_bus(width, name)
+        self.ports[name] = Port(name, PortDirection.INPUT, tuple(nets))
+        return nets
+
+    def add_output(self, name: str, nets: list[int]) -> None:
+        """Declare an output port made of existing ``nets`` (LSB first)."""
+        if name in self.ports:
+            raise NetlistError(f"duplicate port {name!r}")
+        for net in nets:
+            self._check_net(net)
+        self.ports[name] = Port(name, PortDirection.OUTPUT, tuple(nets))
+
+    def input_ports(self) -> list[Port]:
+        return [p for p in self.ports.values() if p.direction is PortDirection.INPUT]
+
+    def output_ports(self) -> list[Port]:
+        return [p for p in self.ports.values() if p.direction is PortDirection.OUTPUT]
+
+    def port(self, name: str) -> Port:
+        try:
+            return self.ports[name]
+        except KeyError:
+            raise NetlistError(f"no port {name!r} in {self.name!r}") from None
+
+    # ---------------------------------------------------------- queries
+
+    def drivers(self) -> dict[int, str]:
+        """Map each driven net to a description of its driver.
+
+        Used by the linter; constants and input ports are drivers too.
+        """
+        result: dict[int, str] = {CONST0: "const0", CONST1: "const1"}
+        for port in self.input_ports():
+            for net in port.nets:
+                self._note_driver(result, net, f"input {port.name}")
+        for gate in self.gates:
+            self._note_driver(result, gate.output, f"gate {gate.index}")
+        for dff in self.dffs:
+            self._note_driver(result, dff.q, f"dff {dff.index}")
+        return result
+
+    @staticmethod
+    def _note_driver(result: dict[int, str], net: int, who: str) -> None:
+        if net in result:
+            raise NetlistError(f"net {net} driven by both {result[net]} and {who}")
+        result[net] = who
+
+    def fanout_map(self) -> dict[int, list[int]]:
+        """Map net id -> indices of gates that read it."""
+        fanout: dict[int, list[int]] = {}
+        for gate in self.gates:
+            for net in gate.inputs:
+                fanout.setdefault(net, []).append(gate.index)
+        return fanout
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.name}: {len(self.gates)} gates, {len(self.dffs)} DFFs, "
+            f"{self._n_nets} nets, "
+            f"in={[p.name for p in self.input_ports()]}, "
+            f"out={[p.name for p in self.output_ports()]}"
+        )

@@ -1,0 +1,121 @@
+"""Technology remapping: re-express a netlist in a different cell library.
+
+Used by experiment C3 (the paper's "similar fault coverage on a different
+technology library" claim): :func:`remap_to_nand` rewrites every
+combinational gate into the two-cell {NAND2, NOT} library, preserving net
+ids for ports and flip-flops so existing traces replay unchanged.  The
+resulting netlist computes the same function but has a different gate/fault
+population — exactly what a different synthesis target produces.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import DFF, Gate, Netlist
+
+
+class _Rewriter:
+    """Builds the remapped netlist, preserving original net ids."""
+
+    def __init__(self, source: Netlist):
+        self.out = Netlist(f"{source.name}_nand")
+        self.out._n_nets = source.n_nets
+        self.out.net_names = dict(source.net_names)
+        self.out.ports = dict(source.ports)
+        for dff in source.dffs:
+            self.out.dffs.append(DFF(len(self.out.dffs), dff.d, dff.q, dff.init))
+
+    def nand(self, a: int, b: int, output: int | None = None) -> int:
+        return self.out.add_gate(GateType.NAND, [a, b], output)
+
+    def inv(self, a: int, output: int | None = None) -> int:
+        return self.out.add_gate(GateType.NOT, [a], output)
+
+    def and2(self, a: int, b: int, output: int | None = None) -> int:
+        return self.inv(self.nand(a, b), output)
+
+    def or2(self, a: int, b: int, output: int | None = None) -> int:
+        return self.nand(self.inv(a), self.inv(b), output)
+
+    def xor2(self, a: int, b: int, output: int | None = None) -> int:
+        # Classic 4-NAND XOR.
+        nab = self.nand(a, b)
+        return self.nand(self.nand(a, nab), self.nand(b, nab), output)
+
+    def _fold(self, op, inputs: tuple[int, ...]) -> int:
+        """Reduce an n-ary input list with a binary op (balanced tree)."""
+        level = list(inputs)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(op(level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def rewrite(self, gate: Gate) -> None:
+        gt = gate.gtype
+        ins = gate.inputs
+        out = gate.output
+        if gt is GateType.NOT:
+            self.inv(ins[0], out)
+        elif gt is GateType.BUF:
+            self.inv(self.inv(ins[0]), out)
+        elif gt is GateType.NAND:
+            if len(ins) == 2:
+                self.nand(ins[0], ins[1], out)
+            else:
+                self.inv(self._fold(self.and2, ins), out)
+        elif gt is GateType.AND:
+            if len(ins) == 2:
+                self.and2(ins[0], ins[1], out)
+            else:
+                self._fold_into(self.and2, ins, out)
+        elif gt is GateType.OR:
+            if len(ins) == 2:
+                self.or2(ins[0], ins[1], out)
+            else:
+                self._fold_into(self.or2, ins, out)
+        elif gt is GateType.NOR:
+            self.inv(self._fold(self.or2, ins), out)
+        elif gt is GateType.XOR:
+            if len(ins) == 2:
+                self.xor2(ins[0], ins[1], out)
+            else:
+                self._fold_into(self.xor2, ins, out)
+        elif gt is GateType.XNOR:
+            self.inv(self._fold(self.xor2, ins), out)
+        elif gt is GateType.MUX2:
+            a, b, sel = ins
+            self.nand(self.nand(a, self.inv(sel)), self.nand(b, sel), out)
+        elif gt is GateType.AOI21:
+            a, b, c = ins
+            self.inv(self.or2(self.and2(a, b), c), out)
+        else:  # pragma: no cover
+            raise NetlistError(f"cannot remap gate type {gt}")
+
+    def _fold_into(self, op, inputs: tuple[int, ...], output: int) -> None:
+        """Fold n-ary inputs, placing the final result on ``output``."""
+        level = list(inputs)
+        while len(level) > 2:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(op(level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        op(level[0], level[1], output)
+
+
+def remap_to_nand(netlist: Netlist) -> Netlist:
+    """Rewrite a netlist into the {NAND2, NOT} library.
+
+    Net ids of ports, DFF pins and original gate outputs are preserved, so
+    input stimuli and port-level observation apply unchanged.
+    """
+    rewriter = _Rewriter(netlist)
+    for gate in netlist.gates:
+        rewriter.rewrite(gate)
+    return rewriter.out

@@ -1,0 +1,59 @@
+"""Area accounting in 2-input-NAND equivalents (the paper's Table 3 unit)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.netlist.gates import DFF_COST, GATE_COSTS, GateType
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Area summary of one netlist.
+
+    Attributes:
+        name: netlist name.
+        gates_by_type: instance counts per primitive type.
+        n_dffs: flip-flop count.
+        nand2: total area in NAND2 equivalents (rounded to int, as the
+            paper reports).
+    """
+
+    name: str
+    gates_by_type: dict[GateType, int]
+    n_dffs: int
+    nand2: int
+
+    @property
+    def n_gates(self) -> int:
+        return sum(self.gates_by_type.values())
+
+
+def _gate_cost(gtype: GateType, n_inputs: int) -> float:
+    """Cost of one gate; n-ary gates cost as a tree of 2-input gates."""
+    base = GATE_COSTS[gtype]
+    if gtype in (GateType.NOT, GateType.BUF, GateType.MUX2, GateType.AOI21):
+        return base
+    return base * max(1, n_inputs - 1)
+
+
+def nand2_equivalents(netlist: Netlist) -> float:
+    """Exact (unrounded) NAND2-equivalent area of a netlist."""
+    total = 0.0
+    for gate in netlist.gates:
+        total += _gate_cost(gate.gtype, len(gate.inputs))
+    total += DFF_COST * len(netlist.dffs)
+    return total
+
+
+def gate_count(netlist: Netlist) -> NetlistStats:
+    """Full area summary (see :class:`NetlistStats`)."""
+    by_type: Counter[GateType] = Counter(g.gtype for g in netlist.gates)
+    return NetlistStats(
+        name=netlist.name,
+        gates_by_type=dict(by_type),
+        n_dffs=len(netlist.dffs),
+        nand2=round(nand2_equivalents(netlist)),
+    )

@@ -1,0 +1,94 @@
+"""Netlist lint: structural sanity checks run before simulation.
+
+Checks:
+
+* every net has exactly one driver (constant, input port, gate, or DFF Q);
+* every gate/DFF/output-port input net is driven;
+* no combinational cycles (via :func:`~repro.netlist.levelize.levelize`);
+* floating (driven but never read, non-port) nets are reported as warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetlistError
+from repro.netlist.levelize import levelize
+from repro.netlist.netlist import Netlist, PortDirection
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting one netlist."""
+
+    name: str
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def lint(netlist: Netlist, strict: bool = True) -> LintReport:
+    """Lint a netlist.
+
+    Args:
+        netlist: circuit to check.
+        strict: raise :class:`~repro.errors.NetlistError` on errors instead
+            of returning a failing report.
+
+    Returns:
+        The lint report (always returned when ``strict`` is False).
+    """
+    report = LintReport(netlist.name)
+
+    # Single-driver rule (Netlist.drivers raises on double-drive).
+    try:
+        drivers = netlist.drivers()
+    except NetlistError as exc:
+        report.errors.append(str(exc))
+        if strict:
+            raise
+        return report
+
+    # Everything read must be driven.
+    read_nets: set[int] = set()
+    for gate in netlist.gates:
+        for net in gate.inputs:
+            read_nets.add(net)
+            if net not in drivers:
+                report.errors.append(f"gate {gate.index} reads undriven net {net}")
+    for dff in netlist.dffs:
+        read_nets.add(dff.d)
+        if dff.d not in drivers:
+            report.errors.append(f"dff {dff.index} reads undriven net {dff.d}")
+    for port in netlist.ports.values():
+        if port.direction is PortDirection.OUTPUT:
+            for net in port.nets:
+                read_nets.add(net)
+                if net not in drivers:
+                    report.errors.append(
+                        f"output port {port.name} exposes undriven net {net}"
+                    )
+
+    # Combinational cycles.
+    try:
+        levelize(netlist)
+    except NetlistError as exc:
+        report.errors.append(str(exc))
+
+    # Floating nets: driven by a gate but never read and not a port bit.
+    port_nets = {n for p in netlist.ports.values() for n in p.nets}
+    for gate in netlist.gates:
+        net = gate.output
+        if net not in read_nets and net not in port_nets:
+            report.warnings.append(
+                f"gate {gate.index} output net {net} is never read"
+            )
+
+    if strict and report.errors:
+        raise NetlistError(
+            f"lint failed for {netlist.name!r}: " + "; ".join(report.errors[:5])
+        )
+    return report

@@ -1,0 +1,52 @@
+"""Plasma/MIPS processor model.
+
+The Plasma core (opencores ``mips`` project) is a 3-stage-pipeline MIPS I
+CPU supporting all user-mode instructions except unaligned load/store and
+exceptions — the paper's case study.  This package models it at two levels:
+
+* **RT level** — :class:`~repro.plasma.cpu.PlasmaCPU`, an instruction-level
+  behavioural simulator with the Plasma cycle cost model (branch delay slot,
+  memory pause cycles, 32-cycle multiply/divide with HI/LO interlock) and a
+  component-boundary tracer;
+* **gate level** — one structural netlist per RT component
+  (:mod:`~repro.plasma.components` registry), generated from
+  :mod:`repro.library` blocks, with NAND2-equivalent areas comparable to
+  the paper's Table 3.
+"""
+
+from repro.plasma.components import (
+    COMPONENTS,
+    ComponentClass,
+    ComponentInfo,
+    build_component,
+    component_table,
+)
+from repro.plasma.cluster import build_execute_cluster
+from repro.plasma.controls import ControlBundle, decode_controls
+from repro.plasma.cosim import CosimResult, GateLevelPlasma
+from repro.plasma.cpu import CPUResult, PlasmaCPU
+from repro.plasma.flatsim import FlatResult, flat_campaign
+from repro.plasma.memory import Memory
+from repro.plasma.toplevel import build_plasma_top
+from repro.plasma.tracer import ComponentTracer, ObservabilityTracker
+
+__all__ = [
+    "COMPONENTS",
+    "ComponentClass",
+    "ComponentInfo",
+    "build_component",
+    "component_table",
+    "build_execute_cluster",
+    "ControlBundle",
+    "decode_controls",
+    "CosimResult",
+    "GateLevelPlasma",
+    "CPUResult",
+    "PlasmaCPU",
+    "FlatResult",
+    "flat_campaign",
+    "Memory",
+    "build_plasma_top",
+    "ComponentTracer",
+    "ObservabilityTracker",
+]

@@ -1,0 +1,85 @@
+"""CTRL component: the opcode decoder, as two-level shared logic.
+
+The netlist is generated *from the reference decoder*
+(:func:`repro.plasma.controls.decode_controls`): every supported instruction
+gets a detect term (built from shared 3-bit opcode/funct pre-decoders, the
+way synthesis shares product terms), and each control-field output bit is
+the OR of the detects that set it.  This guarantees the gate-level CTRL and
+the behavioural CPU can never disagree.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import INSTRUCTION_SET, Format
+from repro.netlist.builder import NetlistBuilder, Word
+from repro.netlist.netlist import CONST0, Netlist
+from repro.plasma.controls import CONTROL_FIELDS, decode_controls
+
+
+def _shared_equals(b: NetlistBuilder, lo_lines: Word, hi_lines: Word, value: int) -> int:
+    """Equality over 6 bits via two shared 3-bit decoders."""
+    return b.and_(hi_lines[(value >> 3) & 7], lo_lines[value & 7])
+
+
+def build_control(name: str = "CTRL") -> Netlist:
+    """Build the control decoder netlist.
+
+    Ports:
+        * ``instr`` (in, 32): the instruction word.
+        * one output port per entry of
+          :data:`repro.plasma.controls.CONTROL_FIELDS`.
+    """
+    b = NetlistBuilder(name)
+    instr = b.input("instr", 32)
+    opcode = instr[26:32]
+    funct = instr[0:6]
+    rt = instr[16:21]
+
+    # Shared pre-decoders (3+3 split) for the opcode and funct fields.
+    op_lo = b.decoder(opcode[0:3])
+    op_hi = b.decoder(opcode[3:6])
+    fn_lo = b.decoder(funct[0:3])
+    fn_hi = b.decoder(funct[3:6])
+
+    is_rtype = _shared_equals(b, op_lo, op_hi, 0)
+    is_regimm = _shared_equals(b, op_lo, op_hi, 1)
+
+    # One detect net per supported instruction.
+    detects: dict[str, int] = {}
+    for mnemonic, spec in INSTRUCTION_SET.items():
+        if spec.fmt is Format.R:
+            assert spec.funct is not None
+            detects[mnemonic] = b.and_(
+                is_rtype, _shared_equals(b, fn_lo, fn_hi, spec.funct)
+            )
+        elif spec.fmt is Format.REGIMM:
+            assert spec.regimm_rt is not None
+            rt_match = b.equals_const(rt, spec.regimm_rt)
+            detects[mnemonic] = b.and_(is_regimm, rt_match)
+        else:
+            detects[mnemonic] = _shared_equals(b, op_lo, op_hi, spec.opcode)
+
+    # Reference field values per instruction.
+    field_values: dict[str, dict[str, int]] = {}
+    for mnemonic in INSTRUCTION_SET:
+        decoded = decode(encode(mnemonic))
+        field_values[mnemonic] = decode_controls(decoded).to_fields()
+
+    # Each output bit ORs the detects of the instructions that set it.
+    for field, width in CONTROL_FIELDS:
+        bits: Word = []
+        for j in range(width):
+            terms = [
+                detects[m]
+                for m, values in field_values.items()
+                if (values[field] >> j) & 1
+            ]
+            if not terms:
+                bits.append(CONST0)
+            elif len(terms) == 1:
+                bits.append(terms[0])
+            else:
+                bits.append(b.reduce_or(terms))
+        b.output(field, bits)
+    return b.build()

@@ -1,0 +1,304 @@
+"""Control-signal bundle: the interface between CTRL and the datapath.
+
+:func:`decode_controls` is the bit-true reference decoder used by the
+behavioural CPU and by the CTRL netlist's tests; the CTRL netlist
+(:mod:`repro.plasma.control_unit`) implements exactly this mapping as
+two-level logic.  The field layout (:data:`CONTROL_FIELDS`) defines the
+CTRL component's output ports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.isa.encoding import Decoded
+from repro.library.alu import AluOp
+from repro.library.multiplier import MulDivOp
+
+
+class ASource(enum.IntEnum):
+    """ALU A-operand source select."""
+
+    RS = 0
+    PC_PLUS4 = 1
+
+
+class BSource(enum.IntEnum):
+    """ALU B-operand source select."""
+
+    RT = 0
+    IMM_SIGN = 1  # sign-extended 16-bit immediate
+    IMM_ZERO = 2  # zero-extended 16-bit immediate
+    IMM_LUI = 3  # immediate << 16
+    IMM_BRANCH = 4  # sign-extended immediate << 2 (branch offset)
+    CONST_4 = 5  # literal 4: link address = PC+4 + 4 = PC+8 (jal/jalr)
+
+
+class WbSource(enum.IntEnum):
+    """Write-back data source select."""
+
+    ALU = 0
+    SHIFT = 1
+    MEM = 2
+    LO = 3
+    HI = 4
+
+
+class RegDest(enum.IntEnum):
+    """Destination register field select."""
+
+    RD = 0
+    RT = 1
+    RA = 2  # $31 for jal
+
+
+class BranchType(enum.IntEnum):
+    """Branch condition evaluated by the PC logic."""
+
+    NONE = 0
+    EQ = 1
+    NE = 2
+    LEZ = 3
+    GTZ = 4
+    LTZ = 5
+    GEZ = 6
+    ALWAYS = 7
+
+
+class MemSize(enum.IntEnum):
+    BYTE = 0
+    HALF = 1
+    WORD = 2
+
+
+@dataclass(frozen=True)
+class ControlBundle:
+    """One instruction's decoded control signals."""
+
+    alu_func: AluOp = AluOp.PASS_A
+    a_source: ASource = ASource.RS
+    b_source: BSource = BSource.RT
+    use_shifter: bool = False
+    shift_left: bool = False
+    shift_arith: bool = False
+    shift_variable: bool = False  # shamt from rs (SLLV/SRLV/SRAV)
+    muldiv_op: MulDivOp = MulDivOp.IDLE
+    wb_source: WbSource = WbSource.ALU
+    reg_dest: RegDest = RegDest.RD
+    reg_write: bool = False
+    mem_read: bool = False
+    mem_write: bool = False
+    mem_size: MemSize = MemSize.WORD
+    mem_signed: bool = False
+    branch_type: BranchType = BranchType.NONE
+    jump_reg: bool = False  # target from rs (JR/JALR)
+    jump_abs: bool = False  # target from the 26-bit index field (J/JAL)
+
+    def to_fields(self) -> dict[str, int]:
+        """Numeric field values, in :data:`CONTROL_FIELDS` layout."""
+        return {
+            "alu_func": int(self.alu_func),
+            "a_source": int(self.a_source),
+            "b_source": int(self.b_source),
+            "use_shifter": int(self.use_shifter),
+            "shift_left": int(self.shift_left),
+            "shift_arith": int(self.shift_arith),
+            "shift_variable": int(self.shift_variable),
+            "muldiv_op": int(self.muldiv_op),
+            "wb_source": int(self.wb_source),
+            "reg_dest": int(self.reg_dest),
+            "reg_write": int(self.reg_write),
+            "mem_read": int(self.mem_read),
+            "mem_write": int(self.mem_write),
+            "mem_size": int(self.mem_size),
+            "mem_signed": int(self.mem_signed),
+            "branch_type": int(self.branch_type),
+            "jump_reg": int(self.jump_reg),
+            "jump_abs": int(self.jump_abs),
+        }
+
+
+#: CTRL output port layout: (field name, bit width).
+CONTROL_FIELDS: tuple[tuple[str, int], ...] = (
+    ("alu_func", 4),
+    ("a_source", 1),
+    ("b_source", 3),
+    ("use_shifter", 1),
+    ("shift_left", 1),
+    ("shift_arith", 1),
+    ("shift_variable", 1),
+    ("muldiv_op", 3),
+    ("wb_source", 3),
+    ("reg_dest", 2),
+    ("reg_write", 1),
+    ("mem_read", 1),
+    ("mem_write", 1),
+    ("mem_size", 2),
+    ("mem_signed", 1),
+    ("branch_type", 3),
+    ("jump_reg", 1),
+    ("jump_abs", 1),
+)
+
+_ALU_RTYPE = {
+    "add": AluOp.ADD,
+    "addu": AluOp.ADD,
+    "sub": AluOp.SUB,
+    "subu": AluOp.SUB,
+    "and": AluOp.AND,
+    "or": AluOp.OR,
+    "xor": AluOp.XOR,
+    "nor": AluOp.NOR,
+    "slt": AluOp.SLT,
+    "sltu": AluOp.SLTU,
+}
+
+_ALU_ITYPE = {
+    "addi": (AluOp.ADD, BSource.IMM_SIGN),
+    "addiu": (AluOp.ADD, BSource.IMM_SIGN),
+    "slti": (AluOp.SLT, BSource.IMM_SIGN),
+    "sltiu": (AluOp.SLTU, BSource.IMM_SIGN),
+    "andi": (AluOp.AND, BSource.IMM_ZERO),
+    "ori": (AluOp.OR, BSource.IMM_ZERO),
+    "xori": (AluOp.XOR, BSource.IMM_ZERO),
+}
+
+_SHIFTS = {
+    # mnemonic: (left, arith, variable)
+    "sll": (True, False, False),
+    "srl": (False, False, False),
+    "sra": (False, True, False),
+    "sllv": (True, False, True),
+    "srlv": (False, False, True),
+    "srav": (False, True, True),
+}
+
+_MULDIV = {
+    "mult": MulDivOp.MULT,
+    "multu": MulDivOp.MULTU,
+    "div": MulDivOp.DIV,
+    "divu": MulDivOp.DIVU,
+    "mthi": MulDivOp.MTHI,
+    "mtlo": MulDivOp.MTLO,
+}
+
+_LOADS = {
+    # mnemonic: (size, signed)
+    "lb": (MemSize.BYTE, True),
+    "lbu": (MemSize.BYTE, False),
+    "lh": (MemSize.HALF, True),
+    "lhu": (MemSize.HALF, False),
+    "lw": (MemSize.WORD, False),
+}
+
+_STORES = {
+    "sb": MemSize.BYTE,
+    "sh": MemSize.HALF,
+    "sw": MemSize.WORD,
+}
+
+_BRANCHES = {
+    "beq": BranchType.EQ,
+    "bne": BranchType.NE,
+    "blez": BranchType.LEZ,
+    "bgtz": BranchType.GTZ,
+    "bltz": BranchType.LTZ,
+    "bgez": BranchType.GEZ,
+}
+
+
+def decode_controls(decoded: Decoded) -> ControlBundle:
+    """Reference control decoder for every supported instruction."""
+    name = decoded.spec.mnemonic
+
+    if name in _ALU_RTYPE:
+        return ControlBundle(
+            alu_func=_ALU_RTYPE[name], reg_dest=RegDest.RD, reg_write=True
+        )
+    if name in _ALU_ITYPE:
+        func, b_src = _ALU_ITYPE[name]
+        return ControlBundle(
+            alu_func=func, b_source=b_src, reg_dest=RegDest.RT, reg_write=True
+        )
+    if name == "lui":
+        return ControlBundle(
+            alu_func=AluOp.PASS_B,
+            b_source=BSource.IMM_LUI,
+            reg_dest=RegDest.RT,
+            reg_write=True,
+        )
+    if name in _SHIFTS:
+        left, arith, variable = _SHIFTS[name]
+        return ControlBundle(
+            use_shifter=True,
+            shift_left=left,
+            shift_arith=arith,
+            shift_variable=variable,
+            wb_source=WbSource.SHIFT,
+            reg_dest=RegDest.RD,
+            reg_write=True,
+        )
+    if name in _MULDIV:
+        return ControlBundle(muldiv_op=_MULDIV[name])
+    if name == "mfhi":
+        return ControlBundle(
+            wb_source=WbSource.HI, reg_dest=RegDest.RD, reg_write=True
+        )
+    if name == "mflo":
+        return ControlBundle(
+            wb_source=WbSource.LO, reg_dest=RegDest.RD, reg_write=True
+        )
+    if name in _LOADS:
+        size, signed = _LOADS[name]
+        return ControlBundle(
+            alu_func=AluOp.ADD,
+            b_source=BSource.IMM_SIGN,
+            wb_source=WbSource.MEM,
+            reg_dest=RegDest.RT,
+            reg_write=True,
+            mem_read=True,
+            mem_size=size,
+            mem_signed=signed,
+        )
+    if name in _STORES:
+        return ControlBundle(
+            alu_func=AluOp.ADD,
+            b_source=BSource.IMM_SIGN,
+            mem_write=True,
+            mem_size=_STORES[name],
+        )
+    if name in _BRANCHES:
+        # The ALU computes the branch target: PC+4 + (sign imm << 2).
+        return ControlBundle(
+            alu_func=AluOp.ADD,
+            a_source=ASource.PC_PLUS4,
+            b_source=BSource.IMM_BRANCH,
+            branch_type=_BRANCHES[name],
+        )
+    if name == "j":
+        return ControlBundle(branch_type=BranchType.ALWAYS, jump_abs=True)
+    if name == "jal":
+        return ControlBundle(
+            branch_type=BranchType.ALWAYS,
+            jump_abs=True,
+            alu_func=AluOp.ADD,
+            a_source=ASource.PC_PLUS4,
+            b_source=BSource.CONST_4,
+            reg_dest=RegDest.RA,
+            reg_write=True,
+        )
+    if name == "jr":
+        return ControlBundle(branch_type=BranchType.ALWAYS, jump_reg=True)
+    if name == "jalr":
+        return ControlBundle(
+            branch_type=BranchType.ALWAYS,
+            jump_reg=True,
+            alu_func=AluOp.ADD,
+            a_source=ASource.PC_PLUS4,
+            b_source=BSource.CONST_4,
+            reg_dest=RegDest.RD,
+            reg_write=True,
+        )
+    raise SimulationError(f"no control decode for {name!r}")

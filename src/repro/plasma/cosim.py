@@ -1,0 +1,138 @@
+"""Gate-level co-simulation: run programs on the composed processor.
+
+:class:`GateLevelPlasma` closes the memory loop around
+:func:`repro.plasma.toplevel.build_plasma_top`: each cycle it feeds the
+instruction word at the (registered) PC and the data word at the
+(registered) bus address, steps the netlist, and applies any byte-enabled
+store the bus presents.  Programs therefore execute on *gates alone* —
+the behavioural model is only consulted by the tests that co-simulate the
+two and compare architectural results.
+
+Because the PC and the bus address registers are flip-flops, their values
+for the upcoming cycle are read from the simulator *state*, so no
+combinational loop through the external memory exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.faultsim.simulator import LogicSimulator
+from repro.isa.program import Program
+from repro.netlist.netlist import Netlist
+from repro.plasma.toplevel import build_plasma_top
+from repro.utils.bits import MASK32
+from repro.utils.lanes import LaneSet
+
+
+@dataclass
+class CosimResult:
+    """Summary of a gate-level run."""
+
+    cycles: int
+    halted: bool
+    pc: int
+
+
+class GateLevelPlasma:
+    """Memory harness around the composed processor netlist."""
+
+    def __init__(self, netlist: Netlist | None = None):
+        self.netlist = netlist if netlist is not None else build_plasma_top()
+        self.sim = LogicSimulator(self.netlist)
+        self.lanes = LaneSet(1)
+        self.state = self.sim.initial_state(self.lanes)
+        self.ram: dict[int, int] = {}
+        self.cycles = 0
+        # Map registered output ports to their DFF indices so next-cycle
+        # values can be read from the state vector.
+        q_to_dff = {dff.q: i for i, dff in enumerate(self.netlist.dffs)}
+        self._pc_dffs = self._port_dffs("imem_addr", q_to_dff, partial=True)
+        self._addr_dffs = self._port_dffs("mem_addr", q_to_dff, partial=True)
+
+    def _port_dffs(self, port: str, q_to_dff, partial: bool):
+        nets = self.netlist.port(port).nets
+        mapping: list[tuple[int, int | None]] = []
+        for bit, net in enumerate(nets):
+            mapping.append((bit, q_to_dff.get(net)))
+        if not partial and any(d is None for _, d in mapping):
+            raise SimulationError(f"port {port!r} is not fully registered")
+        return mapping
+
+    def _value_from_state(self, mapping) -> int:
+        value = 0
+        for bit, dff_index in mapping:
+            if dff_index is None:
+                continue  # constant-zero bits (e.g. word-aligned address)
+            if self.state.q[dff_index] & 1:
+                value |= 1 << bit
+        return value
+
+    # ------------------------------------------------------------ memory
+
+    def load_program(self, program: Program) -> None:
+        for addr, word in program.to_image().items():
+            self.ram[addr] = word & MASK32
+
+    def read_ram(self, addr: int) -> int:
+        return self.ram.get(addr & ~3 & MASK32, 0)
+
+    def dump_words(self, base: int, count: int) -> list[int]:
+        return [self.ram.get(base + 4 * i, 0) for i in range(count)]
+
+    # -------------------------------------------------------------- run
+
+    def step(self) -> dict[str, int]:
+        """One clock cycle; returns the output-port values."""
+        pc = self._value_from_state(self._pc_dffs)
+        bus_addr = self._value_from_state(self._addr_dffs)
+        inputs = {
+            "imem_data": [
+                (self.read_ram(pc) >> j) & 1 for j in range(32)
+            ],
+            "mem_rdata": [
+                (self.read_ram(bus_addr) >> j) & 1 for j in range(32)
+            ],
+            "irq": [0] * 8,
+        }
+        values, self.state = self.sim.step(inputs, self.state, self.lanes)
+        outputs = self.sim.outputs_from_values(values, self.lanes, 1)
+        out = {name: vals[0] for name, vals in outputs.items()}
+        if out["mem_we"]:
+            self._apply_store(out["mem_addr"], out["mem_wdata"],
+                              out["byte_en"])
+        self.cycles += 1
+        return out
+
+    def _apply_store(self, addr: int, wdata: int, byte_en: int) -> None:
+        base = addr & ~3
+        word = self.ram.get(base, 0)
+        for lane in range(4):
+            if byte_en & (1 << lane):
+                shift = 8 * lane
+                word = (word & ~(0xFF << shift)) | (wdata & (0xFF << shift))
+        self.ram[base] = word
+
+    def run(self, max_cycles: int = 200_000,
+            halt_window: int = 10) -> CosimResult:
+        """Run until the fetch address settles into the halt idiom.
+
+        ``halt: j halt`` plus its delay slot makes the PC alternate between
+        two addresses forever, so the gate-level halt condition is: the
+        last ``halt_window`` un-paused cycles fetched at most two distinct
+        addresses.  (A two-instruction busy loop whose branch does work in
+        its own delay slot would match too — use the canonical halt idiom.)
+        """
+        recent: list[int] = []
+        while self.cycles < max_cycles:
+            out = self.step()
+            if out["debug_pause"]:
+                recent.clear()
+                continue
+            recent.append(out["imem_addr"])
+            if len(recent) > halt_window:
+                recent.pop(0)
+            if len(recent) == halt_window and len(set(recent)) <= 2:
+                return CosimResult(self.cycles, True, min(recent))
+        return CosimResult(self.cycles, False, recent[-1] if recent else 0)

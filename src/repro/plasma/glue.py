@@ -1,0 +1,58 @@
+"""GL component: residual glue logic.
+
+Models the handful of gates and flip-flops that surround the named Plasma
+components (the paper's "Glue Logic" row): the interrupt mask/status
+synchronisers, the reset synchroniser and the CPU pause combiner.  The
+self-test program never raises interrupts, so — as in any real glue block —
+a sizeable share of these faults stays uncovered, which is exactly the
+behaviour the paper's Table 5 shows for small control/glue structures.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import CONST1, Netlist
+
+IRQ_LINES = 8
+
+
+def build_glue(name: str = "GL") -> Netlist:
+    """Build the glue-logic netlist.
+
+    Ports:
+        * in: ``irq`` (8), ``irq_mask_data`` (8), ``irq_mask_we`` (1),
+          ``pause_mem`` (1), ``pause_muldiv`` (1), ``branch_taken`` (1).
+        * out: ``pause_cpu`` (1), ``irq_pending`` (1), ``irq_status`` (8),
+          ``reset_done`` (1).
+    """
+    b = NetlistBuilder(name)
+    irq = b.input("irq", IRQ_LINES)
+    mask_data = b.input("irq_mask_data", IRQ_LINES)
+    mask_we = b.input("irq_mask_we", 1)[0]
+    pause_mem = b.input("pause_mem", 1)[0]
+    pause_muldiv = b.input("pause_muldiv", 1)[0]
+    branch_taken = b.input("branch_taken", 1)[0]
+
+    # Two-stage input synchronisers on the asynchronous IRQ lines.
+    sync1 = b.register_word(irq)
+    sync2 = b.register_word(sync1)
+
+    mask = b.register_word(mask_data, enable=mask_we)
+    status = b.and_word(sync2, mask)
+    pending_now = b.reduce_or(status)
+    # Interrupts are not taken in a branch delay slot (Plasma quirk).
+    pending = b.dff(b.and_(pending_now, b.not_(branch_taken)))
+
+    # Reset synchroniser: two flops fed by constant 1 (observability
+    # output; the pause combiner must stay live from cycle 0 so a memory
+    # access in the very first instruction still stalls correctly).
+    rst1 = b.dff(CONST1)
+    reset_done = b.dff(rst1)
+
+    pause_cpu = b.or_(pause_mem, pause_muldiv)
+
+    b.output("pause_cpu", pause_cpu)
+    b.output("irq_pending", pending)
+    b.output("irq_status", status)
+    b.output("reset_done", reset_done)
+    return b.build()

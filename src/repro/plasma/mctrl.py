@@ -1,0 +1,133 @@
+"""MCTRL component: the data-memory controller.
+
+Handles byte-lane steering for sub-word stores, byte-enable generation,
+load-data extraction with sign/zero extension, and the one-pause-cycle bus
+protocol: an access is presented in cycle *t* (``pause`` asserted, the
+address/write-data/byte-enable output registers latch) and completes in
+cycle *t+1* when the memory's read data is valid.
+
+The CPU holds the request inputs stable across both cycles, exactly like
+Plasma's ``mem_ctrl`` handshake.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import CONST1, DFF, Netlist
+from repro.plasma.controls import MemSize
+from repro.utils.bits import sign_extend
+
+
+def build_mctrl(name: str = "MCTRL") -> Netlist:
+    """Build the memory controller netlist.
+
+    Ports:
+        * in: ``addr`` (32), ``size`` (2, :class:`MemSize`), ``signed`` (1),
+          ``re`` (1), ``we`` (1), ``wr_data`` (32), ``mem_rdata`` (32).
+        * out: ``mem_addr`` (32, registered), ``mem_wdata`` (32, registered),
+          ``byte_en`` (4, registered), ``mem_we`` (1, registered),
+          ``load_result`` (32), ``pause`` (1).
+    """
+    b = NetlistBuilder(name)
+    addr = b.input("addr", 32)
+    size = b.input("size", 2)
+    signed = b.input("signed", 1)[0]
+    re = b.input("re", 1)[0]
+    we = b.input("we", 1)[0]
+    wr_data = b.input("wr_data", 32)
+    mem_rdata = b.input("mem_rdata", 32)
+
+    # --------------------------------------------------- pause handshake
+    access = b.or_(re, we)
+    pending_q = b.netlist.new_net("pending")
+    pause = b.and_(access, b.not_(pending_q))
+    b.netlist.dffs.append(DFF(len(b.netlist.dffs), pause, pending_q, 0))
+
+    # -------------------------------------------- store byte-lane steering
+    byte_rep = wr_data[0:8] * 4
+    half_rep = wr_data[0:16] * 2
+    steer = [
+        b.mux_tree(size, [
+            [byte_rep[i]], [half_rep[i]], [wr_data[i]], [wr_data[i]]
+        ])[0]
+        for i in range(32)
+    ]
+
+    # Byte enables from addr[1:0] and size.
+    lane = b.decoder(addr[0:2])  # one-hot byte lane
+    half_lo = b.not_(addr[1])
+    be_byte = lane
+    be_half = [half_lo, half_lo, addr[1], addr[1]]
+    be_word = [CONST1] * 4
+    byte_en = [
+        b.and_(we, b.mux_tree(size, [
+            [be_byte[i]], [be_half[i]], [be_word[i]], [be_word[i]]
+        ])[0])
+        for i in range(4)
+    ]
+
+    # ----------------------------------------------- registered bus drive
+    latch = pause  # capture the request when the access starts
+    mem_addr = b.register_word(addr[2:] , enable=latch)
+    mem_addr = b.constant(0, 2) + mem_addr  # word-aligned bus address
+    mem_wdata = b.register_word(steer, enable=latch)
+    byte_en_q = b.register_word(byte_en, enable=latch)
+    mem_we = b.dff(b.and_(we, pause))
+
+    # Registered extraction context for the load path.
+    addr_lo_q = b.register_word(addr[0:2], enable=latch)
+    size_q = b.register_word(size, enable=latch)
+    signed_q = b.dff(signed, enable=latch)
+
+    # ------------------------------------------------ load-data extraction
+    bytes_of = [mem_rdata[8 * k : 8 * k + 8] for k in range(4)]
+    byte_sel = b.mux_tree(addr_lo_q, bytes_of)
+    half_sel = b.mux_word(addr_lo_q[1], mem_rdata[0:16], mem_rdata[16:32])
+
+    fill_byte = b.and_(signed_q, byte_sel[7])
+    fill_half = b.and_(signed_q, half_sel[15])
+    byte_ext = list(byte_sel) + [fill_byte] * 24
+    half_ext = list(half_sel) + [fill_half] * 16
+    load_result = b.mux_tree(
+        size_q, [byte_ext, half_ext, list(mem_rdata), list(mem_rdata)]
+    )
+
+    b.output("mem_addr", mem_addr)
+    b.output("mem_wdata", mem_wdata)
+    b.output("byte_en", byte_en_q)
+    b.output("mem_we", mem_we)
+    b.output("load_result", load_result)
+    b.output("pause", pause)
+    return b.build()
+
+
+def mctrl_store_reference(
+    size: int, addr: int, wr_data: int
+) -> tuple[int, int]:
+    """Reference for the store path: (steered word, byte enables)."""
+    lane = addr & 3
+    if size == int(MemSize.BYTE):
+        byte = wr_data & 0xFF
+        word = byte | (byte << 8) | (byte << 16) | (byte << 24)
+        be = 1 << lane
+    elif size == int(MemSize.HALF):
+        half = wr_data & 0xFFFF
+        word = half | (half << 16)
+        be = 0b1100 if addr & 2 else 0b0011
+    else:
+        word = wr_data & 0xFFFF_FFFF
+        be = 0b1111
+    return word, be
+
+
+def mctrl_load_reference(
+    size: int, signed: bool, addr: int, mem_rdata: int
+) -> int:
+    """Reference for the load path: the extracted/extended result."""
+    if size == int(MemSize.BYTE):
+        byte = (mem_rdata >> (8 * (addr & 3))) & 0xFF
+        return sign_extend(byte, 8) if signed else byte
+    if size == int(MemSize.HALF):
+        half = (mem_rdata >> (8 * (addr & 2))) & 0xFFFF
+        return sign_extend(half, 16) if signed else half
+    return mem_rdata & 0xFFFF_FFFF

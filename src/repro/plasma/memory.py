@@ -1,0 +1,98 @@
+"""Byte-addressable memory model with word-granular backing store.
+
+Plasma uses a single unified on-chip RAM for instructions and data; the
+tester downloads the self-test program into it and later reads the test
+responses back out (Figure 1 of the paper).  :meth:`Memory.dump_words`
+is that "tester readback" path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.isa.program import Program
+from repro.utils.bits import MASK32
+
+
+class Memory:
+    """Sparse 32-bit-word memory with byte/half/word access.
+
+    All addresses are byte addresses; halfword and word accesses must be
+    naturally aligned (Plasma has no unaligned accesses — they are the one
+    part of MIPS I it does not implement).
+    """
+
+    def __init__(self) -> None:
+        self._words: dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------ loading
+
+    def load_program(self, program: Program) -> None:
+        """Copy every initialized segment of an assembled program."""
+        for addr, word in program.to_image().items():
+            self._words[addr] = word & MASK32
+
+    def load_image(self, image: dict[int, int]) -> None:
+        for addr, word in image.items():
+            if addr % 4:
+                raise SimulationError(f"image address {addr:#x} not word aligned")
+            self._words[addr] = word & MASK32
+
+    # ------------------------------------------------------------- access
+
+    @staticmethod
+    def _check_alignment(addr: int, size: int) -> None:
+        if size == 2 and addr % 2:
+            raise SimulationError(f"unaligned halfword access at {addr:#x}")
+        if size == 4 and addr % 4:
+            raise SimulationError(f"unaligned word access at {addr:#x}")
+
+    def read_word(self, addr: int) -> int:
+        self._check_alignment(addr, 4)
+        self.reads += 1
+        return self._words.get(addr, 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._check_alignment(addr, 4)
+        self.writes += 1
+        self._words[addr] = value & MASK32
+
+    def read_byte(self, addr: int) -> int:
+        word = self._words.get(addr & ~3, 0)
+        self.reads += 1
+        # Little-endian byte order within the word (Plasma default build).
+        return (word >> (8 * (addr & 3))) & 0xFF
+
+    def read_half(self, addr: int) -> int:
+        self._check_alignment(addr, 2)
+        word = self._words.get(addr & ~3, 0)
+        self.reads += 1
+        return (word >> (8 * (addr & 2))) & 0xFFFF
+
+    def write_byte(self, addr: int, value: int) -> None:
+        base = addr & ~3
+        shift = 8 * (addr & 3)
+        word = self._words.get(base, 0)
+        word = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+        self.writes += 1
+        self._words[base] = word
+
+    def write_half(self, addr: int, value: int) -> None:
+        self._check_alignment(addr, 2)
+        base = addr & ~3
+        shift = 8 * (addr & 2)
+        word = self._words.get(base, 0)
+        word = (word & ~(0xFFFF << shift)) | ((value & 0xFFFF) << shift)
+        self.writes += 1
+        self._words[base] = word
+
+    # ----------------------------------------------------------- readback
+
+    def dump_words(self, base: int, count: int) -> list[int]:
+        """Tester readback: ``count`` words starting at ``base``."""
+        return [self._words.get(base + 4 * i, 0) for i in range(count)]
+
+    def nonzero_words(self) -> dict[int, int]:
+        """All words with a non-zero value (for compact diffing in tests)."""
+        return {a: w for a, w in sorted(self._words.items()) if w}

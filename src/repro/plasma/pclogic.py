@@ -1,0 +1,88 @@
+"""PCL component: program-counter logic.
+
+Holds the PC register, the +4 incrementer, the branch-condition evaluator
+(equality comparator, sign/zero tests) and the next-PC select.  The branch
+*target* arrives pre-computed (the ALU produces ``PC+4 + (imm << 2)``; for
+JR it is the register value, for J the paste-up of the index field) — PCL
+decides whether to take it.
+"""
+
+from __future__ import annotations
+
+from repro.library.adders import equality_comparator, incrementer
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import CONST0, CONST1, DFF, Netlist
+from repro.plasma.controls import BranchType
+from repro.utils.bits import to_signed
+
+
+def build_pclogic(name: str = "PCL") -> Netlist:
+    """Build the PC-logic netlist.
+
+    Ports:
+        * in: ``rs_data`` (32), ``rt_data`` (32), ``branch_type`` (3),
+          ``branch_target`` (32), ``pause`` (1).
+        * out: ``pc`` (32), ``pc_plus4`` (32), ``take_branch`` (1).
+
+    ``pc`` resets to 0 (the Plasma reset vector) and holds while ``pause``.
+    """
+    b = NetlistBuilder(name)
+    rs_data = b.input("rs_data", 32)
+    rt_data = b.input("rt_data", 32)
+    branch_type = b.input("branch_type", 3)
+    branch_target = b.input("branch_target", 32)
+    pause = b.input("pause", 1)[0]
+
+    pc = [b.netlist.new_net(f"pc[{i}]") for i in range(32)]
+    pc_plus4 = incrementer(b, pc, step_bit=2)
+
+    eq = equality_comparator(b, rs_data, rt_data)
+    sign = rs_data[31]
+    zero = b.is_zero(rs_data)
+    lez = b.or_(sign, zero)
+    conditions = [
+        [CONST0],  # NONE
+        [eq],  # EQ
+        [b.not_(eq)],  # NE
+        [lez],  # LEZ
+        [b.not_(lez)],  # GTZ
+        [sign],  # LTZ
+        [b.not_(sign)],  # GEZ
+        [CONST1],  # ALWAYS
+    ]
+    take = b.mux_tree(branch_type, conditions)[0]
+
+    pc_next = b.mux_word(take, pc_plus4, branch_target)
+    not_pause = b.not_(pause)
+    for i in range(32):
+        held = b.netlist.add_gate(GateType.MUX2, [pc[i], pc_next[i], not_pause])
+        b.netlist.dffs.append(DFF(len(b.netlist.dffs), held, pc[i], 0))
+
+    b.output("pc", pc)
+    b.output("pc_plus4", pc_plus4)
+    b.output("take_branch", take)
+    return b.build()
+
+
+def branch_taken_reference(
+    branch_type: int, rs_data: int, rt_data: int
+) -> bool:
+    """Reference for the branch-condition evaluator."""
+    rs = to_signed(rs_data, 32)
+    bt = BranchType(branch_type)
+    if bt is BranchType.NONE:
+        return False
+    if bt is BranchType.EQ:
+        return rs_data == rt_data
+    if bt is BranchType.NE:
+        return rs_data != rt_data
+    if bt is BranchType.LEZ:
+        return rs <= 0
+    if bt is BranchType.GTZ:
+        return rs > 0
+    if bt is BranchType.LTZ:
+        return rs < 0
+    if bt is BranchType.GEZ:
+        return rs >= 0
+    return True  # ALWAYS

@@ -1,0 +1,50 @@
+"""PLN component: the pipeline registers and squash/pause gating.
+
+The Plasma 3-stage pipeline keeps the fetched instruction word, the
+current-instruction PC snapshot, the pending write-back value and its
+destination register in pipeline registers.  A taken branch flushes the
+fetched instruction to the all-zero word (which conveniently *is* the MIPS
+NOP, ``sll $0,$0,0``); a pause freezes every stage.
+
+This is the paper's single *hidden-class* component: invisible to the
+assembly programmer, but exercised by every instruction that flows through.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist
+
+#: Widths of the pipeline registers: (port basename, width).
+PIPELINE_REGS: tuple[tuple[str, int], ...] = (
+    ("instr", 32),
+    ("pc_snapshot", 32),
+    ("wb_value", 32),
+    ("wb_dest", 5),
+    ("ctrl", 8),
+)
+
+
+def build_pipeline(name: str = "PLN") -> Netlist:
+    """Build the pipeline-register netlist.
+
+    Ports:
+        * in: ``<reg>_in`` for each register in :data:`PIPELINE_REGS`,
+          plus ``pause`` (1) and ``flush`` (1).
+        * out: ``<reg>_q`` for each register.
+    """
+    b = NetlistBuilder(name)
+    inputs = {reg: b.input(f"{reg}_in", width) for reg, width in PIPELINE_REGS}
+    pause = b.input("pause", 1)[0]
+    flush = b.input("flush", 1)[0]
+
+    advance = b.not_(pause)
+    keep = b.not_(flush)
+
+    for reg, width in PIPELINE_REGS:
+        word = inputs[reg]
+        if reg == "instr":
+            # Squash to the all-zero word (= NOP) on flush.
+            word = [b.and_(bit, keep) for bit in word]
+        b.output(f"{reg}_q", b.register_word(word, enable=advance))
+    return b.build()

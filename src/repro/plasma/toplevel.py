@@ -1,0 +1,257 @@
+"""The complete gate-level Plasma processor: all ten components composed.
+
+This is the structural top a synthesis flow would see — PCL, CTRL, BMUX,
+ALU, BSH, MulD, RegF, MCTRL, PLN and GL instantiated from their generators
+and wired together, plus a few dozen gates of top-level glue (destination-
+register select, jump-target paste-up, interlock gating).
+
+Micro-architecture (a faithful 2-stage expression of Plasma's pipeline):
+
+* **fetch** — ``imem_addr`` carries the PC; the fetched word is latched
+  into the pipeline's instruction register at the end of the cycle, so an
+  instruction executes one cycle after its fetch.  Branches resolve during
+  their execute cycle, after the next fetch has already been issued —
+  which *is* the MIPS architectural branch delay slot.
+* **execute** — CTRL decodes the instruction register; BMUX routes
+  operands; ALU/BSH/MulD compute; RegF writes back; MCTRL runs its
+  two-cycle data-memory handshake (its pause freezes fetch and the
+  pipeline and suppresses write-back until the data arrives).
+* **interlocks** — HI/LO reads and new mul/div issues stall while the
+  MulD iterator is busy; the op strobe is gated off during stalls so the
+  sequencer starts exactly once per instruction.
+
+External ports: instruction-memory read port (``imem_addr`` out /
+``imem_data`` in), the data-memory bus (MCTRL's registered interface) and
+the interrupt lines into GL.  :mod:`repro.plasma.cosim` closes the memory
+loop and co-simulates against the behavioural CPU.
+"""
+
+from __future__ import annotations
+
+from repro.library import (
+    build_alu,
+    build_barrel_shifter,
+    build_muldiv,
+    build_register_file,
+)
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.compose import instantiate
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import CONST0, Netlist
+from repro.plasma.busmux import build_busmux
+from repro.plasma.control_unit import build_control
+from repro.plasma.controls import WbSource
+from repro.plasma.glue import build_glue
+from repro.plasma.mctrl import build_mctrl
+from repro.plasma.pclogic import build_pclogic
+from repro.plasma.pipeline import build_pipeline
+
+
+def build_plasma_top(name: str = "PlasmaTop") -> Netlist:
+    """Compose the full processor netlist.
+
+    Ports:
+        * in: ``imem_data`` (32), ``mem_rdata`` (32), ``irq`` (8).
+        * out: ``imem_addr`` (32), ``mem_addr`` (32), ``mem_wdata`` (32),
+          ``byte_en`` (4), ``mem_we`` (1), ``debug_pc`` (32),
+          ``debug_wb`` (32).
+    """
+    b = NetlistBuilder(name)
+    imem_data = b.input("imem_data", 32)
+    mem_rdata = b.input("mem_rdata", 32)
+    irq = b.input("irq", 8)
+
+    # Pre-allocated buses for cross-instance feedback; each is later bound
+    # as exactly one instance's output (or driven by a BUF for top-level
+    # pass-through slices).
+    pause_cpu = b.netlist.new_net("pause_cpu")
+    rs_data = b.netlist.new_bus(32, "rs_data")
+    rt_data = b.netlist.new_bus(32, "rt_data")
+    alu_result = b.netlist.new_bus(32, "alu_result")
+    shift_result = b.netlist.new_bus(32, "shift_result")
+    wb_data = b.netlist.new_bus(32, "wb_data")
+    pc_plus4 = b.netlist.new_bus(32, "pc_plus4")
+    muldiv_busy = b.netlist.new_net("muldiv_busy")
+    wb_dest_pre = b.netlist.new_bus(5, "wb_dest_r")
+    ctrl8_pre = b.netlist.new_bus(8, "ctrl8_r")
+
+    # --------------------------------------------------------- pipeline
+    pln = instantiate(
+        b,
+        build_pipeline(),
+        {
+            "instr_in": imem_data,
+            "pc_snapshot_in": pc_plus4,  # executing instruction's PC+4
+            "wb_value_in": wb_data,
+            "wb_dest_in": wb_dest_pre,
+            "ctrl_in": ctrl8_pre,
+            "pause": [pause_cpu],
+            "flush": [CONST0],
+        },
+        name="pln",
+    )
+    instr = pln["instr_q"]
+    snapshot_pc4 = pln["pc_snapshot_q"]
+
+    # ----------------------------------------------------------- decode
+    ctrl = instantiate(b, build_control(), {"instr": instr}, name="ctrl")
+    not_pause = b.not_(pause_cpu)
+
+    # ------------------------------------------------------- registers
+    wb_dest = b.mux_tree(
+        ctrl["reg_dest"], [instr[11:16], instr[16:21], b.constant(31, 5)]
+    )
+    wr_en = b.and_(ctrl["reg_write"][0], not_pause)
+    instantiate(
+        b,
+        build_register_file(),
+        {
+            "wr_addr": wb_dest,
+            "wr_data": wb_data,
+            "wr_en": [wr_en],
+            "rd_addr_a": instr[21:26],
+            "rd_addr_b": instr[16:21],
+            "rd_data_a": rs_data,
+            "rd_data_b": rt_data,
+        },
+        name="regf",
+    )
+
+    # ---------------------------------------------------------- mul/div
+    reads_hilo = b.or_(
+        b.equals_const(ctrl["wb_source"], int(WbSource.LO)),
+        b.equals_const(ctrl["wb_source"], int(WbSource.HI)),
+    )
+    issues_muldiv = b.reduce_or(ctrl["muldiv_op"])
+    muldiv_wait = b.and_(muldiv_busy, b.or_(reads_hilo, issues_muldiv))
+    op_gated = [b.and_(bit, not_pause) for bit in ctrl["muldiv_op"]]
+    muld = instantiate(
+        b,
+        build_muldiv(),
+        {"a": rs_data, "b": rt_data, "op": op_gated, "busy": [muldiv_busy]},
+        name="muld",
+    )
+
+    # ------------------------------------------------------------ memory
+    mctrl = instantiate(
+        b,
+        build_mctrl(),
+        {
+            "addr": alu_result,
+            "size": ctrl["mem_size"],
+            "signed": ctrl["mem_signed"],
+            "re": ctrl["mem_read"],
+            "we": ctrl["mem_write"],
+            "wr_data": rt_data,
+            "mem_rdata": mem_rdata,
+        },
+        name="mctrl",
+    )
+
+    # ---------------------------------------------------------- execute
+    bmux = instantiate(
+        b,
+        build_busmux(),
+        {
+            "rs_data": rs_data,
+            "rt_data": rt_data,
+            "imm": instr[0:16],
+            "pc_plus4": snapshot_pc4,
+            "alu_result": alu_result,
+            "shift_result": shift_result,
+            "mem_data": mctrl["load_result"],
+            "lo": muld["lo"],
+            "hi": muld["hi"],
+            "a_source": ctrl["a_source"],
+            "b_source": ctrl["b_source"],
+            "wb_source": ctrl["wb_source"],
+            "wb_data": wb_data,
+        },
+        name="bmux",
+    )
+    instantiate(
+        b,
+        build_alu(),
+        {
+            "a": bmux["a_bus"],
+            "b": bmux["b_bus"],
+            "func": ctrl["alu_func"],
+            "result": alu_result,
+        },
+        name="alu",
+    )
+    shamt = b.mux_word(ctrl["shift_variable"][0], instr[6:11], rs_data[0:5])
+    instantiate(
+        b,
+        build_barrel_shifter(),
+        {
+            "value": rt_data,
+            "shamt": shamt,
+            "left": ctrl["shift_left"],
+            "arith": ctrl["shift_arith"],
+            "result": shift_result,
+        },
+        name="bsh",
+    )
+
+    # --------------------------------------------------------- branches
+    # Jump-target paste-up: (snapshot PC+4)[31:28] . index . 00
+    j_target = (
+        [CONST0, CONST0] + list(instr[0:26]) + list(snapshot_pc4[28:32])
+    )
+    reg_or_alu = b.mux_word(ctrl["jump_reg"][0], alu_result, rs_data)
+    branch_target = b.mux_word(ctrl["jump_abs"][0], reg_or_alu, j_target)
+
+    pcl = instantiate(
+        b,
+        build_pclogic(),
+        {
+            "rs_data": rs_data,
+            "rt_data": rt_data,
+            "branch_type": ctrl["branch_type"],
+            "branch_target": branch_target,
+            "pause": [pause_cpu],
+            "pc_plus4": pc_plus4,
+        },
+        name="pcl",
+    )
+
+    # -------------------------------------------------------------- glue
+    instantiate(
+        b,
+        build_glue(),
+        {
+            "irq": irq,
+            "irq_mask_data": b.constant(0, 8),
+            "irq_mask_we": [CONST0],
+            "pause_mem": mctrl["pause"],
+            "pause_muldiv": [muldiv_wait],
+            "branch_taken": pcl["take_branch"],
+            "pause_cpu": [pause_cpu],
+        },
+        name="gl",
+    )
+
+    # ------------------------------- top-level pass-through observability
+    ctrl8 = (
+        list(ctrl["alu_func"])
+        + list(ctrl["reg_write"])
+        + list(ctrl["mem_read"])
+        + list(ctrl["mem_write"])
+        + list(ctrl["use_shifter"])
+    )
+    for pre, real in zip(ctrl8_pre, ctrl8):
+        b.netlist.add_gate(GateType.BUF, [real], output=pre)
+    for pre, real in zip(wb_dest_pre, wb_dest):
+        b.netlist.add_gate(GateType.BUF, [real], output=pre)
+
+    # -------------------------------------------------------------- ports
+    b.output("imem_addr", pcl["pc"])
+    b.output("mem_addr", mctrl["mem_addr"])
+    b.output("mem_wdata", mctrl["mem_wdata"])
+    b.output("byte_en", mctrl["byte_en"])
+    b.output("mem_we", mctrl["mem_we"])
+    b.output("debug_pc", pcl["pc"])
+    b.output("debug_wb", pln["wb_value_q"])
+    b.output("debug_pause", [pause_cpu])
+    return b.build()

@@ -1,0 +1,373 @@
+"""Component-boundary tracing and taint-based observability.
+
+While :class:`~repro.plasma.cpu.PlasmaCPU` executes a self-test program it
+feeds this tracer two things:
+
+* **traces** — for every component, the exact input vector applied at its
+  boundary (per instruction for the combinational components, per cycle for
+  the sequential ones);
+* **taint** — every architectural value (register, HI/LO) carries a
+  :class:`TaintNode` recording which component *applications* produced it
+  and which earlier values it derives from.
+
+A value becomes **observed** when it reaches the tester-visible surface:
+a store to data memory (the paper's test-response area), or the control
+flow (a branch/jump decision — corrupting it derails the program, which a
+tester detects; this is the standard functional-observability argument for
+SBST fault grading and is called out in DESIGN.md).  Observing a value
+marks every application in its taint history, and those marks become the
+per-pattern/per-cycle observability masks of the fault-grading campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.plasma.controls import BranchType, ControlBundle, WbSource
+
+#: An application id: (component name, key).  Keys are pattern indices for
+#: combinational components and (cycle, port) pairs for sequential ones.
+AppId = tuple
+
+
+class TaintNode:
+    """A value's provenance: its applications and parent values.
+
+    Each node carries a process-unique serial so the observability walk can
+    memoise visited nodes safely (``id()`` is unusable here: CPython reuses
+    addresses of collected nodes).
+    """
+
+    __slots__ = ("apps", "parents", "serial")
+
+    _next_serial = 0
+
+    def __init__(
+        self,
+        apps: Sequence[AppId] = (),
+        parents: Sequence["TaintNode"] = (),
+    ):
+        self.apps = tuple(apps)
+        self.parents = tuple(p for p in parents if p is not None)
+        self.serial = TaintNode._next_serial
+        TaintNode._next_serial += 1
+
+
+class ObservabilityTracker:
+    """Marks taint histories observed; memoises visited nodes."""
+
+    def __init__(self) -> None:
+        self.observed: set[AppId] = set()
+        self._visited: set[int] = set()
+
+    def node(
+        self,
+        apps: Sequence[AppId] = (),
+        parents: Sequence[TaintNode | None] = (),
+    ) -> TaintNode:
+        return TaintNode(apps, [p for p in parents if p is not None])
+
+    def observe(self, node: TaintNode | None) -> None:
+        """Mark every application reachable from ``node`` as observed."""
+        if node is None:
+            return
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.serial in self._visited:
+                continue
+            self._visited.add(current.serial)
+            self.observed.update(current.apps)
+            stack.extend(current.parents)
+
+    def is_observed(self, app: AppId) -> bool:
+        return app in self.observed
+
+
+def ctrl_sensitive_ports(bundle: ControlBundle) -> list[str]:
+    """CTRL output ports whose corruption is architecturally visible for an
+    instruction decoded as ``bundle`` (given the instruction is observed).
+
+    The always-sensitive set covers fields whose flip corrupts register
+    state, memory state, HI/LO state or the control flow; the conditional
+    entries only matter when the good decode actually routes data through
+    them.
+    """
+    ports = [
+        "reg_write", "mem_write", "mem_read",
+        "branch_type", "jump_reg", "jump_abs", "muldiv_op",
+    ]
+    uses_alu_result = (
+        bundle.mem_read
+        or bundle.mem_write
+        or (bundle.reg_write and bundle.wb_source is WbSource.ALU)
+        or (bundle.branch_type is not BranchType.NONE
+            and not bundle.jump_reg and not bundle.jump_abs)
+    )
+    if uses_alu_result:
+        ports += ["alu_func", "a_source", "b_source"]
+    if bundle.reg_write and bundle.wb_source is WbSource.SHIFT:
+        ports += ["use_shifter", "shift_left", "shift_arith", "shift_variable"]
+    if bundle.mem_read or bundle.mem_write:
+        ports += ["mem_size", "mem_signed"]
+    if bundle.reg_write:
+        ports += ["wb_source", "reg_dest"]
+    return ports
+
+
+@dataclass
+class CombinationalTrace:
+    """Pattern set + per-pattern candidate observe ports for one component."""
+
+    patterns: list[dict[str, int]] = field(default_factory=list)
+    candidate_ports: list[tuple[str, ...]] = field(default_factory=list)
+    apps: list[AppId] = field(default_factory=list)
+
+
+@dataclass
+class SequentialTrace:
+    """Cycle sequence + per-cycle observed ports for one component."""
+
+    cycles: list[dict[str, int]] = field(default_factory=list)
+    observe: list[set[str]] = field(default_factory=list)
+
+
+class ComponentTracer:
+    """Collects every component's boundary stimulus during a CPU run."""
+
+    def __init__(self, tracker: ObservabilityTracker | None = None):
+        self.tracker = tracker or ObservabilityTracker()
+        # Combinational components: unordered pattern sets.
+        self.alu = CombinationalTrace()
+        self.bsh = CombinationalTrace()
+        self.ctrl = CombinationalTrace()
+        self.bmux = CombinationalTrace()
+        # Sequential components: cycle-aligned traces.
+        self.regf = SequentialTrace()
+        self.muld = SequentialTrace()
+        self.pcl = SequentialTrace()
+        self.pln = SequentialTrace()
+        self.gl = SequentialTrace()
+        self.mctrl = SequentialTrace()
+
+    # ---------------------------------------------- combinational tracing
+
+    def trace_alu(self, a: int, b: int, func: int) -> AppId:
+        app: AppId = ("ALU", len(self.alu.patterns))
+        self.alu.patterns.append({"a": a, "b": b, "func": func})
+        self.alu.candidate_ports.append(("result",))
+        self.alu.apps.append(app)
+        return app
+
+    def trace_bsh(self, value: int, shamt: int, left: int, arith: int) -> AppId:
+        app: AppId = ("BSH", len(self.bsh.patterns))
+        self.bsh.patterns.append(
+            {"value": value, "shamt": shamt, "left": left, "arith": arith}
+        )
+        self.bsh.candidate_ports.append(("result",))
+        self.bsh.apps.append(app)
+        return app
+
+    def trace_ctrl(self, instr_word: int, bundle: ControlBundle) -> AppId:
+        app: AppId = ("CTRL", len(self.ctrl.patterns))
+        self.ctrl.patterns.append({"instr": instr_word})
+        self.ctrl.candidate_ports.append(tuple(ctrl_sensitive_ports(bundle)))
+        self.ctrl.apps.append(app)
+        return app
+
+    def trace_bmux(
+        self, inputs: Mapping[str, int], bundle: ControlBundle
+    ) -> AppId:
+        app: AppId = ("BMUX", len(self.bmux.patterns))
+        self.bmux.patterns.append(dict(inputs))
+        ports: list[str] = []
+        uses_alu = (
+            bundle.mem_read
+            or bundle.mem_write
+            or (bundle.reg_write and bundle.wb_source is WbSource.ALU)
+            or (bundle.branch_type is not BranchType.NONE
+                and not bundle.jump_reg and not bundle.jump_abs)
+        )
+        if uses_alu:
+            ports += ["a_bus", "b_bus"]
+        if bundle.reg_write:
+            ports.append("wb_data")
+        self.bmux.candidate_ports.append(tuple(ports))
+        self.bmux.apps.append(app)
+        return app
+
+    # ------------------------------------------------- sequential tracing
+
+    def trace_regf(
+        self, rs: int, rt: int, wr_addr: int, wr_data: int, wr_en: int
+    ) -> tuple[AppId, AppId]:
+        """One register-file cycle; returns the (port A, port B) app ids."""
+        cycle = len(self.regf.cycles)
+        self.regf.cycles.append(
+            {
+                "rd_addr_a": rs,
+                "rd_addr_b": rt,
+                "wr_addr": wr_addr,
+                "wr_data": wr_data,
+                "wr_en": wr_en,
+            }
+        )
+        self.regf.observe.append(set())
+        return ("RegF", (cycle, "rd_data_a")), ("RegF", (cycle, "rd_data_b"))
+
+    def trace_muld_cycle(self, a: int, b: int, op: int) -> int:
+        """Append one MulD cycle; returns its cycle index."""
+        cycle = len(self.muld.cycles)
+        self.muld.cycles.append({"a": a, "b": b, "op": op})
+        self.muld.observe.append(set())
+        return cycle
+
+    def muld_read_app(self, cycle: int, port: str) -> AppId:
+        """App id for reading ``hi``/``lo`` at an existing MulD cycle."""
+        return ("MulD", (cycle, port))
+
+    def trace_pcl_cycle(
+        self,
+        rs_data: int,
+        rt_data: int,
+        branch_type: int,
+        branch_target: int,
+        pause: int,
+    ) -> None:
+        self.pcl.cycles.append(
+            {
+                "rs_data": rs_data,
+                "rt_data": rt_data,
+                "branch_type": branch_type,
+                "branch_target": branch_target,
+                "pause": pause,
+            }
+        )
+        # Control flow is tester-visible: observe the PC (and the decision)
+        # every cycle.
+        self.pcl.observe.append({"pc", "pc_plus4", "take_branch"})
+
+    def trace_pln_cycle(
+        self,
+        instr: int,
+        pc_snapshot: int,
+        wb_value: int,
+        wb_dest: int,
+        ctrl: int,
+        pause: int,
+        flush: int,
+    ) -> None:
+        self.pln.cycles.append(
+            {
+                "instr_in": instr,
+                "pc_snapshot_in": pc_snapshot,
+                "wb_value_in": wb_value,
+                "wb_dest_in": wb_dest,
+                "ctrl_in": ctrl,
+                "pause": pause,
+                "flush": flush,
+            }
+        )
+        self.pln.observe.append(
+            {"instr_q", "pc_snapshot_q", "wb_value_q", "wb_dest_q", "ctrl_q"}
+        )
+
+    def trace_gl_cycle(
+        self, pause_mem: int, pause_muldiv: int, branch_taken: int
+    ) -> None:
+        self.gl.cycles.append(
+            {
+                "irq": 0,
+                "irq_mask_data": 0,
+                "irq_mask_we": 0,
+                "pause_mem": pause_mem,
+                "pause_muldiv": pause_muldiv,
+                "branch_taken": branch_taken,
+            }
+        )
+        self.gl.observe.append(
+            {"pause_cpu", "irq_pending", "irq_status", "reset_done"}
+        )
+
+    def trace_mctrl_access(
+        self,
+        addr: int,
+        size: int,
+        signed: int,
+        re: int,
+        we: int,
+        wr_data: int,
+        mem_rdata: int,
+    ) -> AppId:
+        """One memory access = two MCTRL cycles (request + completion).
+
+        Returns the app id that gates ``load_result`` observability.
+        """
+        request = {
+            "addr": addr,
+            "size": size,
+            "signed": signed,
+            "re": re,
+            "we": we,
+            "wr_data": wr_data,
+            "mem_rdata": 0,
+        }
+        completion = dict(request, mem_rdata=mem_rdata)
+        self.mctrl.cycles.append(request)
+        self.mctrl.observe.append(set())
+        self.mctrl.cycles.append(completion)
+        completion_cycle = len(self.mctrl.cycles) - 1
+        observed: set[str] = {"mem_we"}
+        if we:
+            # Stores land in the tester-readable response area: the bus
+            # address, steered data and byte enables are directly observed.
+            observed |= {"mem_addr", "mem_wdata", "byte_en"}
+        self.mctrl.observe.append(observed)
+        return ("MCTRL", (completion_cycle, "load_result"))
+
+    # ------------------------------------------------------- finalisation
+
+    def _combinational_observe(
+        self, trace: CombinationalTrace
+    ) -> list[tuple[str, ...]]:
+        observed = self.tracker.observed
+        return [
+            ports if app in observed else ()
+            for ports, app in zip(trace.candidate_ports, trace.apps)
+        ]
+
+    def finalize(self) -> dict[str, tuple[list, list]]:
+        """Resolve observability into per-component campaign inputs.
+
+        Returns:
+            ``{component: (patterns-or-cycles, observe)}`` ready to feed
+            :mod:`repro.faultsim.harness` campaigns.
+        """
+        observed = self.tracker.observed
+        # Sequential app marks recorded as (component, (cycle, port)).
+        for app in observed:
+            name, key = app[0], app[1]
+            if name == "RegF" and isinstance(key, tuple):
+                cycle, port = key
+                self.regf.observe[cycle].add(port)
+            elif name == "MulD" and isinstance(key, tuple):
+                cycle, port = key
+                self.muld.observe[cycle].add(port)
+                self.muld.observe[cycle].add("busy")
+            elif name == "MCTRL" and isinstance(key, tuple):
+                cycle, port = key
+                self.mctrl.observe[cycle].add(port)
+
+        return {
+            "ALU": (self.alu.patterns, self._combinational_observe(self.alu)),
+            "BSH": (self.bsh.patterns, self._combinational_observe(self.bsh)),
+            "CTRL": (self.ctrl.patterns, self._combinational_observe(self.ctrl)),
+            "BMUX": (self.bmux.patterns, self._combinational_observe(self.bmux)),
+            "RegF": (self.regf.cycles, [sorted(s) for s in self.regf.observe]),
+            "MulD": (self.muld.cycles, [sorted(s) for s in self.muld.observe]),
+            "PCL": (self.pcl.cycles, [sorted(s) for s in self.pcl.observe]),
+            "PLN": (self.pln.cycles, [sorted(s) for s in self.pln.observe]),
+            "GL": (self.gl.cycles, [sorted(s) for s in self.gl.observe]),
+            "MCTRL": (self.mctrl.cycles, [sorted(s) for s in self.mctrl.observe]),
+        }

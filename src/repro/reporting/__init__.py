@@ -1,0 +1,24 @@
+"""Table renderers and the experiment registry.
+
+:mod:`~repro.reporting.tables` regenerates the paper's Tables 2-5 from live
+model/campaign data; :mod:`~repro.reporting.experiments` is the single
+registry mapping every reproduced table/figure/claim to its workload,
+modules and benchmark target (used by the benches and EXPERIMENTS.md).
+"""
+
+from repro.reporting.tables import (
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+from repro.reporting.experiments import EXPERIMENTS, Experiment
+
+__all__ = [
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "EXPERIMENTS",
+    "Experiment",
+]

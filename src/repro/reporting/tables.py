@@ -1,0 +1,129 @@
+"""Renderers that regenerate the paper's tables from live data."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.campaign import CampaignOutcome
+from repro.plasma.components import component_table
+
+#: Paper Table 3 reference values (NAND2 equivalents) for side-by-side
+#: reporting.  The total is the paper's 17,459.
+PAPER_GATE_COUNTS: dict[str, int] = {
+    "RegF": 9906,
+    "MulD": 3044,
+    "ALU": 491,
+    "BSH": 682,
+    "MCTRL": 1112,
+    "PCL": 444,
+    "CTRL": 223,
+    "BMUX": 453,
+    "PLN": 885,
+    "GL": 219,
+}
+
+#: Paper Table 4 reference values.
+PAPER_PROGRAM_STATS: dict[str, dict[str, int]] = {
+    "A": {"clock_cycles": 3393},
+    "AB": {"clock_cycles": 3552},
+}
+
+
+def _rule(widths: Sequence[int]) -> str:
+    return "-+-".join("-" * w for w in widths)
+
+
+def _row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+
+def render_table2(rows: Sequence[Mapping] | None = None) -> str:
+    """Table 2: component classification."""
+    if rows is None:
+        rows = component_table()
+    widths = (24, 12)
+    out = [_row(("Component Name", "Class"), widths), _rule(widths)]
+    for r in rows:
+        out.append(_row((r["full_name"], r["class"]), widths))
+    return "\n".join(out)
+
+
+def render_table3(rows: Sequence[Mapping] | None = None) -> str:
+    """Table 3: gate counts, measured vs paper."""
+    if rows is None:
+        rows = component_table()
+    widths = (24, 10, 10)
+    out = [
+        _row(("Component Name", "Measured", "Paper"), widths),
+        _rule(widths),
+    ]
+    total = 0
+    for r in rows:
+        total += r["nand2"]
+        out.append(
+            _row(
+                (r["full_name"], f"{r['nand2']:,}",
+                 f"{PAPER_GATE_COUNTS.get(r['name'], 0):,}"),
+                widths,
+            )
+        )
+    out.append(_rule(widths))
+    out.append(
+        _row(("Plasma/MIPS Processor", f"{total:,}",
+              f"{sum(PAPER_GATE_COUNTS.values()):,}"), widths)
+    )
+    return "\n".join(out)
+
+
+def render_table4(outcomes: Mapping[str, CampaignOutcome]) -> str:
+    """Table 4: self-test program statistics per phase configuration.
+
+    Args:
+        outcomes: phase spec (e.g. ``"A"``, ``"AB"``) -> campaign outcome.
+    """
+    widths = (22,) + (12,) * len(outcomes)
+    header = ["", *(f"Phase {k}" for k in outcomes)]
+    out = [_row(header, widths), _rule(widths)]
+    rows = [
+        ("Test Program (words)", "code_words"),
+        ("Test Data (words)", "data_words"),
+        ("Total download (words)", "total_words"),
+        ("Clock Cycles", "clock_cycles"),
+    ]
+    for label, key in rows:
+        cells = [label]
+        for outcome in outcomes.values():
+            cells.append(f"{outcome.table4()[key]:,}")
+        out.append(_row(cells, widths))
+    cells = ["Paper cycles"]
+    for spec in outcomes:
+        paper = PAPER_PROGRAM_STATS.get(spec.replace("+", ""), {})
+        cells.append(f"{paper.get('clock_cycles', 0):,}" if paper else "-")
+    out.append(_row(cells, widths))
+    return "\n".join(out)
+
+
+def render_table5(outcomes: Mapping[str, CampaignOutcome]) -> str:
+    """Table 5: per-component FC / MOFC for successive phases."""
+    specs = list(outcomes)
+    widths = (10,) + (8, 8) * len(specs)
+    header = ["Component"]
+    for spec in specs:
+        header += [f"{spec} FC%", f"{spec} MOFC"]
+    out = [_row(header, widths), _rule(widths)]
+    names = [c.name for c in outcomes[specs[0]].summary.components]
+    for name in names:
+        cells = [name]
+        for spec in specs:
+            summary = outcomes[spec].summary
+            cov = summary.component(name)
+            cells += [f"{cov.fault_coverage:.2f}", f"{summary.mofc(name):.2f}"]
+        out.append(_row(cells, widths))
+    out.append(_rule(widths))
+    cells = ["Plasma"]
+    for spec in specs:
+        summary = outcomes[spec].summary
+        cells += [f"{summary.overall_coverage:.2f}",
+                  f"{100 - summary.overall_coverage:.2f}"]
+    out.append(_row(cells, widths))
+    return "\n".join(out)

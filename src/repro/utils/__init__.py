@@ -1,0 +1,34 @@
+"""Shared low-level utilities: bit manipulation, lane packing, LFSR PRNG."""
+
+from repro.utils.bits import (
+    MASK32,
+    bit,
+    bits_of,
+    extract,
+    from_signed,
+    parity,
+    popcount,
+    rotate_left,
+    sign_extend,
+    to_signed,
+)
+from repro.utils.lanes import LaneSet, pack_lanes, unpack_lanes
+from repro.utils.lfsr import LFSR, STANDARD_TAPS
+
+__all__ = [
+    "MASK32",
+    "bit",
+    "bits_of",
+    "extract",
+    "from_signed",
+    "parity",
+    "popcount",
+    "rotate_left",
+    "sign_extend",
+    "to_signed",
+    "LaneSet",
+    "pack_lanes",
+    "unpack_lanes",
+    "LFSR",
+    "STANDARD_TAPS",
+]

@@ -1,0 +1,126 @@
+"""Bit-manipulation helpers used across the ISA, netlist and fault simulator.
+
+Word values throughout the library are plain Python ints holding *unsigned*
+bit patterns; these helpers convert to/from two's-complement views and slice
+bit fields the way hardware description code does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+MASK32 = 0xFFFF_FFFF
+
+
+def mask(width: int) -> int:
+    """Return a mask of ``width`` ones.  ``mask(3) == 0b111``."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` (0 = LSB) of ``value`` as 0 or 1."""
+    return (value >> index) & 1
+
+
+def bits_of(value: int, width: int) -> list[int]:
+    """Return the low ``width`` bits of ``value`` as a list, LSB first."""
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits(bits: list[int]) -> int:
+    """Inverse of :func:`bits_of`: assemble an int from an LSB-first list."""
+    value = 0
+    for i, b in enumerate(bits):
+        if b:
+            value |= 1 << i
+    return value
+
+
+def extract(value: int, high: int, low: int) -> int:
+    """Extract the inclusive bit field ``value[high:low]`` (hardware order).
+
+    ``extract(0xABCD, 15, 12) == 0xA``.
+    """
+    if high < low:
+        raise ValueError(f"invalid field [{high}:{low}]")
+    return (value >> low) & mask(high - low + 1)
+
+
+def insert(value: int, high: int, low: int, field: int) -> int:
+    """Return ``value`` with bit field ``[high:low]`` replaced by ``field``."""
+    if high < low:
+        raise ValueError(f"invalid field [{high}:{low}]")
+    width = high - low + 1
+    field &= mask(width)
+    return (value & ~(mask(width) << low)) | (field << low)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend the low ``width`` bits of ``value`` to a 32-bit pattern.
+
+    The result is still an unsigned bit pattern (e.g. ``sign_extend(0x80, 8)
+    == 0xFFFF_FF80``).
+    """
+    value &= mask(width)
+    if value & (1 << (width - 1)):
+        value |= MASK32 & ~mask(width)
+    return value
+
+
+def to_signed(value: int, width: int = 32) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement."""
+    value &= mask(width)
+    if value & (1 << (width - 1)):
+        value -= 1 << width
+    return value
+
+
+def from_signed(value: int, width: int = 32) -> int:
+    """Encode a (possibly negative) Python int as a ``width``-bit pattern."""
+    lo = -(1 << (width - 1))
+    hi = (1 << width) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"{value} does not fit in {width} bits")
+    return value & mask(width)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value`` (which must be non-negative)."""
+    if value < 0:
+        raise ValueError("popcount of a negative value is undefined here")
+    return bin(value).count("1")
+
+
+def parity(value: int) -> int:
+    """Even/odd parity (XOR reduction) of the bits of ``value``."""
+    return popcount(value) & 1
+
+
+def rotate_left(value: int, amount: int, width: int = 32) -> int:
+    """Rotate the low ``width`` bits of ``value`` left by ``amount``."""
+    amount %= width
+    value &= mask(width)
+    return ((value << amount) | (value >> (width - amount))) & mask(width)
+
+
+def walking_ones(width: int) -> Iterator[int]:
+    """Yield the ``width`` one-hot patterns 0b...001, 0b...010, ..."""
+    for i in range(width):
+        yield 1 << i
+
+
+def walking_zeros(width: int) -> Iterator[int]:
+    """Yield the ``width`` one-cold patterns ~0b...001, ~0b...010, ..."""
+    m = mask(width)
+    for i in range(width):
+        yield m ^ (1 << i)
+
+
+def checkerboard(width: int) -> tuple[int, int]:
+    """Return the 0b0101... and 0b1010... patterns of ``width`` bits."""
+    a = 0
+    for i in range(0, width, 2):
+        a |= 1 << i
+    return a, mask(width) ^ a

@@ -1,0 +1,115 @@
+"""Pattern-lane packing for pattern-parallel logic simulation.
+
+The fault simulator evaluates a gate once for *all* test patterns by packing
+one bit per pattern into an arbitrary-precision Python int (a "lane word").
+Lane ``i`` of every net holds that net's value under pattern ``i``.  Bitwise
+``& | ^ ~`` on lane words then evaluate a gate across every pattern at once.
+
+Because Python ints are arbitrary precision there is no fixed lane-count
+limit; a :class:`LaneSet` just records how many lanes are live so inversions
+can be masked correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class LaneSet:
+    """Describes a set of parallel simulation lanes.
+
+    Attributes:
+        count: number of live lanes (patterns simulated in parallel).
+    """
+
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"lane count must be positive, got {self.count}")
+
+    @property
+    def mask(self) -> int:
+        """All-lanes-set word: ``count`` ones."""
+        return (1 << self.count) - 1
+
+    def invert(self, word: int) -> int:
+        """Lane-wise logical NOT of ``word``."""
+        return self.mask & ~word
+
+    def broadcast(self, value: int) -> int:
+        """Replicate a scalar bit (0/1) across every lane."""
+        return self.mask if value & 1 else 0
+
+    def lane(self, word: int, index: int) -> int:
+        """Extract the scalar bit of lane ``index`` from ``word``."""
+        if not 0 <= index < self.count:
+            raise IndexError(f"lane {index} out of range [0,{self.count})")
+        return (word >> index) & 1
+
+    def any_set(self, word: int) -> bool:
+        """True if any live lane of ``word`` is 1."""
+        return bool(word & self.mask)
+
+    def set_lanes(self, word: int) -> list[int]:
+        """Indices of lanes that are 1 in ``word``."""
+        out = []
+        word &= self.mask
+        while word:
+            low = word & -word
+            out.append(low.bit_length() - 1)
+            word ^= low
+        return out
+
+
+def pack_lanes(bits: Sequence[int]) -> int:
+    """Pack a sequence of scalar bits into a lane word (lane 0 = bits[0])."""
+    word = 0
+    for i, b in enumerate(bits):
+        if b & 1:
+            word |= 1 << i
+    return word
+
+
+def unpack_lanes(word: int, count: int) -> list[int]:
+    """Inverse of :func:`pack_lanes`."""
+    return [(word >> i) & 1 for i in range(count)]
+
+
+def pack_vectors(values: Iterable[int], width: int) -> list[int]:
+    """Transpose pattern-major vectors into bit-major lane words.
+
+    Args:
+        values: one ``width``-bit value per pattern.
+        width: bit width of each value.
+
+    Returns:
+        ``width`` lane words; word ``j`` holds bit ``j`` of every pattern.
+    """
+    words = [0] * width
+    for lane, value in enumerate(values):
+        v = value
+        while v:
+            low = v & -v
+            j = low.bit_length() - 1
+            if j >= width:
+                break
+            words[j] |= 1 << lane
+            v ^= low
+    return words
+
+
+def unpack_vectors(words: Sequence[int], count: int) -> list[int]:
+    """Inverse of :func:`pack_vectors`: recover per-pattern values."""
+    values = [0] * count
+    for j, word in enumerate(words):
+        w = word
+        while w:
+            low = w & -w
+            lane = low.bit_length() - 1
+            if lane < count:
+                values[lane] |= 1 << j
+            w ^= low
+    return values

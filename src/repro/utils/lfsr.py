@@ -1,0 +1,99 @@
+"""Linear-feedback shift register PRNG.
+
+Used in two places:
+
+* the Chen & Dey baseline (`repro.baselines.chen_dey`), where a software
+  LFSR emulation expands per-component self-test signatures into
+  pseudorandom patterns on-chip, exactly as in that methodology; and
+* pseudorandom pattern generation for ablation benchmarks.
+
+The implementation is a Fibonacci LFSR over GF(2) with configurable taps.
+The polynomials in :data:`STANDARD_TAPS` are maximal-length.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+# Maximal-length tap sets (bit positions, 1-based from LSB as customary in
+# LFSR tables; tap n == output bit).  Source: standard m-sequence tables.
+STANDARD_TAPS: dict[int, tuple[int, ...]] = {
+    4: (4, 3),
+    8: (8, 6, 5, 4),
+    16: (16, 15, 13, 4),
+    24: (24, 23, 22, 17),
+    32: (32, 30, 26, 25),
+}
+
+
+class LFSR:
+    """Fibonacci linear-feedback shift register.
+
+    Args:
+        width: register width in bits.
+        taps: 1-based tap positions; defaults to a maximal-length set for
+            the width when one is known.
+        seed: initial state; must be non-zero.
+    """
+
+    def __init__(self, width: int, seed: int = 1, taps: Sequence[int] | None = None):
+        if width < 2:
+            raise ValueError("LFSR width must be at least 2")
+        if taps is None:
+            if width not in STANDARD_TAPS:
+                raise ValueError(
+                    f"no standard taps for width {width}; pass taps explicitly"
+                )
+            taps = STANDARD_TAPS[width]
+        if any(not 1 <= t <= width for t in taps):
+            raise ValueError(f"taps {taps} out of range for width {width}")
+        seed &= (1 << width) - 1
+        if seed == 0:
+            raise ValueError("LFSR seed must be non-zero")
+        self.width = width
+        self.taps = tuple(sorted(set(taps), reverse=True))
+        self.state = seed
+
+    def step(self) -> int:
+        """Advance one bit; return the output bit (the bit shifted out).
+
+        Tap ``t`` reads bit ``width - t`` (the usual Fibonacci numbering:
+        tap ``width`` is the output bit), so the shifted-out bit always
+        feeds back and the register can never collapse to zero.
+        """
+        feedback = 0
+        for t in self.taps:
+            feedback ^= (self.state >> (self.width - t)) & 1
+        out = self.state & 1
+        self.state = (self.state >> 1) | (feedback << (self.width - 1))
+        return out
+
+    def next_word(self, bits: int) -> int:
+        """Produce ``bits`` output bits assembled LSB-first into a word."""
+        word = 0
+        for i in range(bits):
+            word |= self.step() << i
+        return word
+
+    def words(self, bits: int, count: int) -> Iterator[int]:
+        """Yield ``count`` words of ``bits`` bits each."""
+        for _ in range(count):
+            yield self.next_word(bits)
+
+    def period_is_maximal(self, limit: int | None = None) -> bool:
+        """Check (by exhaustion) that the sequence has period 2^width - 1.
+
+        Only practical for small widths; ``limit`` caps the walk.
+        """
+        expected = (1 << self.width) - 1
+        if limit is not None and expected > limit:
+            raise ValueError("period check limited; width too large")
+        start = self.state
+        seen = 0
+        while True:
+            self.step()
+            seen += 1
+            if self.state == start:
+                return seen == expected
+            if seen > expected:
+                return False

@@ -1,0 +1,92 @@
+"""Unit tests for the Chen & Dey software-LFSR baseline."""
+
+import pytest
+
+from repro.baselines.chen_dey import (
+    ChenDeySelfTest,
+    ComponentSignature,
+    DEFAULT_TAPS,
+    PATTERN_BUFFER,
+)
+from repro.errors import MethodologyError
+from repro.plasma.cpu import PlasmaCPU
+from repro.utils.bits import parity
+from repro.utils.lfsr import LFSR
+
+
+def software_lfsr_words(seed: int, taps: int, count: int, steps: int):
+    """Python model of the emulated LFSR (mask-parity formulation)."""
+    state = seed
+    words = []
+    for _ in range(count):
+        for _ in range(steps):
+            feedback = parity(state & taps)
+            state = (state >> 1) | (feedback << 31)
+        words.append(state)
+    return words
+
+
+class TestLfsrEmulation:
+    def test_assembly_matches_python_model(self):
+        st = ChenDeySelfTest(
+            signatures=[ComponentSignature("ALU", 0xACE1ACE1, 16)],
+            steps_per_word=8,
+        )
+        cpu = PlasmaCPU()
+        cpu.load_program(st.build_program().program)
+        cpu.run(max_instructions=1_000_000)
+        got = cpu.memory.dump_words(PATTERN_BUFFER, 16)
+        want = software_lfsr_words(0xACE1ACE1, DEFAULT_TAPS, 16, 8)
+        assert got == want
+
+    def test_mask_convention_matches_lfsr_class(self):
+        # DEFAULT_TAPS encodes taps (32,30,26,25) as bits (32 - t).
+        lfsr = LFSR(32, seed=0xACE1ACE1, taps=(32, 30, 26, 25))
+        mask = 0
+        for t in (32, 30, 26, 25):
+            mask |= 1 << (32 - t)
+        assert mask == DEFAULT_TAPS
+        state = 0xACE1ACE1
+        lfsr.step()
+        feedback = parity(state & DEFAULT_TAPS)
+        assert lfsr.state == (state >> 1) | (feedback << 31)
+
+
+class TestProgramStructure:
+    def test_signatures_are_the_downloaded_data(self):
+        st = ChenDeySelfTest()
+        program = st.build_program()
+        # Two words (seed + taps) per component signature.
+        assert program.data_words == 2 * len(st.signatures)
+
+    def test_execution_time_dominated_by_expansion(self):
+        st = ChenDeySelfTest().build_program()
+        cpu = PlasmaCPU()
+        cpu.load_program(st.program)
+        result = cpu.run(max_instructions=5_000_000)
+        # The software LFSR costs tens of cycles per generated word: the
+        # whole run is orders of magnitude longer than the program is big.
+        assert result.cycles > 20 * st.code_words
+
+    def test_regfile_signature_minimum(self):
+        bad = ChenDeySelfTest(
+            signatures=[ComponentSignature("RegF", 1, 16)]
+        )
+        with pytest.raises(MethodologyError):
+            bad.build_program()
+
+    def test_unknown_component_rejected(self):
+        bad = ChenDeySelfTest(
+            signatures=[ComponentSignature("FPU", 1, 16)]
+        )
+        with pytest.raises(MethodologyError):
+            bad.build_program()
+
+    def test_responses_written_for_all_components(self):
+        st = ChenDeySelfTest()
+        program = st.build_program()
+        cpu = PlasmaCPU()
+        cpu.load_program(program.program)
+        cpu.run(max_instructions=5_000_000)
+        window = cpu.memory.dump_words(program.response_base, 64)
+        assert any(w != 0 for w in window)

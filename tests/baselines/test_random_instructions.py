@@ -1,0 +1,63 @@
+"""Unit tests for the pseudorandom-instruction baseline."""
+
+from repro.baselines.random_instructions import RandomInstructionSelfTest
+from repro.plasma.cpu import PlasmaCPU
+from repro.plasma.tracer import ComponentTracer
+
+
+def run(st):
+    cpu = PlasmaCPU()
+    cpu.load_program(st.program)
+    result = cpu.run(max_instructions=2_000_000)
+    return cpu, result
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        a = RandomInstructionSelfTest(n_instructions=50, seed=1)
+        b = RandomInstructionSelfTest(n_instructions=50, seed=1)
+        assert a.generate_source() == b.generate_source()
+
+    def test_seeds_differ(self):
+        a = RandomInstructionSelfTest(n_instructions=50, seed=1)
+        b = RandomInstructionSelfTest(n_instructions=50, seed=2)
+        assert a.generate_source() != b.generate_source()
+
+    def test_program_size_scales_linearly(self):
+        small = RandomInstructionSelfTest(n_instructions=100).build_program()
+        large = RandomInstructionSelfTest(n_instructions=400).build_program()
+        assert large.code_words > 3 * small.code_words
+
+
+class TestExecution:
+    def test_runs_and_halts(self):
+        st = RandomInstructionSelfTest(n_instructions=200).build_program()
+        cpu, result = run(st)
+        assert result.halted
+
+    def test_stores_responses(self):
+        st = RandomInstructionSelfTest(
+            n_instructions=64, store_period=8
+        ).build_program()
+        cpu, _ = run(st)
+        window = cpu.memory.dump_words(st.response_base, 8 + 14)
+        assert any(w != 0 for w in window)
+
+    def test_muldiv_variant_runs(self):
+        st = RandomInstructionSelfTest(
+            n_instructions=100, include_muldiv=True
+        ).build_program()
+        cpu, result = run(st)
+        assert result.halted
+        assert result.cycles > 100  # mult/div latency shows up
+
+    def test_traceable(self):
+        st = RandomInstructionSelfTest(n_instructions=100).build_program()
+        tracer = ComponentTracer()
+        cpu = PlasmaCPU(tracer=tracer)
+        cpu.load_program(st.program)
+        cpu.run()
+        specs = tracer.finalize()
+        patterns, observe = specs["ALU"]
+        assert patterns
+        assert any(ports for ports in observe)

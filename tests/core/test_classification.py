@@ -1,0 +1,40 @@
+"""Unit tests for component classification (paper Table 2)."""
+
+from repro.core.classification import (
+    classification_table,
+    classify_components,
+    functional_components,
+)
+from repro.plasma.components import COMPONENTS, ComponentClass
+
+
+class TestClassification:
+    def test_paper_table2_classes(self):
+        table = dict(classification_table())
+        assert table["Register File"] == "functional"
+        assert table["Multiplier/Divider"] == "functional"
+        assert table["Arithmetic-Logic Unit"] == "functional"
+        assert table["Barrel Shifter"] == "functional"
+        assert table["Memory Control"] == "control"
+        assert table["Program Counter Logic"] == "control"
+        assert table["Control Logic"] == "control"
+        assert table["Bus Multiplexer"] == "control"
+        assert table["Pipeline"] == "hidden"
+        assert table["Glue Logic"] == "glue"
+
+    def test_groups_partition_registry(self):
+        groups = classify_components()
+        total = sum(len(v) for v in groups.values())
+        assert total == len(COMPONENTS)
+
+    def test_every_class_key_present(self):
+        groups = classify_components()
+        assert set(groups) == set(ComponentClass)
+
+    def test_functional_components_phase_a_set(self):
+        names = [c.name for c in functional_components()]
+        assert sorted(names) == ["ALU", "BSH", "MulD", "RegF"]
+
+    def test_exactly_one_hidden_component(self):
+        groups = classify_components()
+        assert [c.name for c in groups[ComponentClass.HIDDEN]] == ["PLN"]

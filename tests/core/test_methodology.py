@@ -1,0 +1,119 @@
+"""Unit tests for Phase A/B/C program construction."""
+
+import pytest
+
+from repro.core.methodology import (
+    COMPLETION_MARKER,
+    Phase,
+    SelfTestMethodology,
+    parse_phases,
+)
+from repro.errors import MethodologyError
+from repro.isa.disassembler import disassemble_program
+from repro.plasma.cpu import PlasmaCPU
+
+
+class TestPhaseParsing:
+    def test_single(self):
+        assert parse_phases("A") == [Phase.A]
+
+    def test_cumulative(self):
+        assert parse_phases("AB") == [Phase.A, Phase.B]
+        assert parse_phases("A+B") == [Phase.A, Phase.B]
+        assert parse_phases("abc") == [Phase.A, Phase.B, Phase.C]
+
+    def test_must_start_at_a(self):
+        with pytest.raises(MethodologyError):
+            parse_phases("B")
+
+    def test_must_be_ordered(self):
+        with pytest.raises(MethodologyError):
+            parse_phases("BA")
+
+    def test_unknown_phase(self):
+        with pytest.raises(MethodologyError):
+            parse_phases("AX")
+
+    def test_empty(self):
+        with pytest.raises(MethodologyError):
+            parse_phases("")
+
+
+class TestRoutinePlan:
+    def test_phase_a_targets_functional_by_size(self):
+        plan = SelfTestMethodology().routine_plan("A")
+        assert [r.component for _, r in plan] == ["RegF", "MulD", "ALU", "BSH"]
+        assert all(phase is Phase.A for phase, _ in plan)
+
+    def test_phase_b_adds_mctrl(self):
+        plan = SelfTestMethodology().routine_plan("AB")
+        assert [r.component for _, r in plan][-1] == "MCTRL"
+
+    def test_phase_c_adds_flow(self):
+        plan = SelfTestMethodology().routine_plan("ABC")
+        assert [r.component for _, r in plan][-1] == "FLOW"
+
+
+class TestProgramConstruction:
+    @pytest.fixture(scope="class")
+    def program_ab(self):
+        return SelfTestMethodology().build_program("AB")
+
+    def test_assembles_and_accounts(self, program_ab):
+        assert program_ab.code_words > 300
+        assert program_ab.data_words > 30
+        # The paper's headline: self-test code size ~1K words.
+        assert program_ab.total_words < 1200
+
+    def test_placements_cover_plan(self, program_ab):
+        names = [p.component for p in program_ab.placements]
+        assert names == ["RegF", "MulD", "ALU", "BSH", "MCTRL"]
+
+    def test_response_windows_disjoint_and_ordered(self, program_ab):
+        cursor = program_ab.response_base
+        for placement in program_ab.placements:
+            assert placement.response_base == cursor
+            cursor += 4 * placement.response_words
+        assert program_ab.response_words == (
+            cursor + 4 - program_ab.response_base
+        ) // 4  # +4 for the completion marker
+
+    def test_runs_to_completion_marker(self, program_ab):
+        cpu = PlasmaCPU()
+        cpu.load_program(program_ab.program)
+        result = cpu.run()
+        assert result.halted
+        marker_addr = program_ab.response_base + 4 * (
+            program_ab.response_words - 1
+        )
+        assert cpu.memory.read_word(marker_addr) == COMPLETION_MARKER
+
+    def test_every_response_word_written(self, program_ab):
+        """No reserved response slot may stay untouched (dead window)."""
+        cpu = PlasmaCPU()
+        cpu.load_program(program_ab.program)
+        cpu.run()
+        words = cpu.memory.dump_words(
+            program_ab.response_base, program_ab.response_words
+        )
+        # Some responses are legitimately zero; but each routine's window
+        # must contain non-zero evidence of execution.
+        cursor = 0
+        for placement in program_ab.placements:
+            window = words[cursor : cursor + placement.response_words]
+            assert any(w != 0 for w in window), placement.component
+            cursor += placement.response_words
+
+    def test_source_is_disassemblable(self, program_ab):
+        lines = disassemble_program(program_ab.program)
+        assert len(lines) == program_ab.code_words
+
+    def test_phase_a_smaller_than_ab(self):
+        m = SelfTestMethodology()
+        a = m.build_program("A")
+        ab = m.build_program("AB")
+        assert a.code_words < ab.code_words
+
+    def test_deterministic_output(self):
+        m = SelfTestMethodology()
+        assert m.build_program("A").source == m.build_program("A").source

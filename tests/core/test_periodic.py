@@ -1,0 +1,88 @@
+"""Unit tests for on-line periodic self-testing."""
+
+import pytest
+
+from repro.core.methodology import SelfTestMethodology
+from repro.core.periodic import (
+    OperatingPoint,
+    PeriodicScheduler,
+    operating_point,
+    trade_off_curve,
+)
+from repro.errors import SimulationError
+from repro.isa.assembler import assemble
+
+MISSION = """
+.text
+    li $t0, 20
+    li $t1, 0
+loop:
+    addu $t1, $t1, $t0
+    addiu $t0, $t0, -1
+    bnez $t0, loop
+    nop
+    sw $t1, 0x2000($0)
+halt: j halt
+    nop
+"""
+
+
+class TestOperatingPoint:
+    def test_overhead_formula(self):
+        point = operating_point(period_cycles=9000, test_cycles=1000)
+        assert point.overhead == pytest.approx(0.1)
+
+    def test_latency_covers_worst_case(self):
+        point = operating_point(period_cycles=1000, test_cycles=100)
+        # Fault arriving just after a test begins: that (useless) test plus
+        # a full period plus the next test.
+        assert point.worst_case_latency == 1000 + 200
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            operating_point(0, 10)
+        with pytest.raises(SimulationError):
+            operating_point(10, 0)
+
+    def test_curve_monotone(self):
+        curve = trade_off_curve(1000, [1000, 5000, 20000, 100000])
+        overheads = [p.overhead for p in curve]
+        latencies = [p.worst_case_latency for p in curve]
+        assert overheads == sorted(overheads, reverse=True)
+        assert latencies == sorted(latencies)
+
+
+class TestScheduler:
+    @pytest.fixture(scope="class")
+    def self_test(self):
+        return SelfTestMethodology().build_program("A")
+
+    def test_measured_overhead_matches_analytic(self, self_test):
+        scheduler = PeriodicScheduler(
+            assemble(MISSION), self_test, period_cycles=20_000
+        )
+        run = scheduler.run(total_budget=400_000)
+        test_cost = run.test_cycles // max(run.tests_completed, 1)
+        analytic = operating_point(20_000, test_cost).overhead
+        assert run.measured_overhead == pytest.approx(analytic, rel=0.25)
+
+    def test_shorter_period_costs_more(self, self_test):
+        mission = assemble(MISSION)
+        frequent = PeriodicScheduler(mission, self_test, period_cycles=10_000)
+        rare = PeriodicScheduler(mission, self_test, period_cycles=80_000)
+        assert (
+            frequent.run(300_000).measured_overhead
+            > rare.run(300_000).measured_overhead
+        )
+
+    def test_accounting_consistent(self, self_test):
+        run = PeriodicScheduler(
+            assemble(MISSION), self_test, period_cycles=30_000
+        ).run(200_000)
+        assert run.mission_cycles + run.test_cycles == run.total_cycles
+        assert run.tests_completed >= 1
+        assert run.mission_iterations > run.tests_completed
+
+    def test_invalid_period(self, self_test):
+        with pytest.raises(SimulationError):
+            PeriodicScheduler(assemble(MISSION), self_test, period_cycles=0)

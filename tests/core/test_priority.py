@@ -1,0 +1,68 @@
+"""Unit tests for test-priority ordering (paper Section 2.2 / Table 1)."""
+
+import pytest
+
+from repro.core.priority import (
+    ACCESSIBILITY,
+    accessibility,
+    component_priority,
+)
+from repro.core.priority import test_development_order as development_order
+from repro.plasma.components import COMPONENTS, ComponentClass, component
+
+
+class TestAccessibility:
+    def test_every_component_scored(self):
+        for info in COMPONENTS:
+            assert info.name in ACCESSIBILITY
+
+    def test_functional_grade_high(self):
+        for name in ("RegF", "ALU", "BSH"):
+            assert accessibility(name).grade == "high"
+
+    def test_hidden_and_glue_grade_low(self):
+        assert accessibility("PLN").grade == "low"
+        assert accessibility("GL").grade == "low"
+
+    def test_unknown_component(self):
+        with pytest.raises(KeyError):
+            accessibility("XYZ")
+
+
+class TestOrdering:
+    def test_classes_in_priority_order(self):
+        order = development_order()
+        ranks = [c.component_class for c in order]
+        boundaries = {
+            ComponentClass.FUNCTIONAL: 0,
+            ComponentClass.CONTROL: 1,
+            ComponentClass.HIDDEN: 2,
+            ComponentClass.GLUE: 3,
+        }
+        numeric = [boundaries[r] for r in ranks]
+        assert numeric == sorted(numeric)
+
+    def test_functional_by_descending_size(self):
+        order = [c.name for c in development_order()
+                 if c.component_class is ComponentClass.FUNCTIONAL]
+        # RegF and MulD are the two largest, in that order (paper Sec 2.2).
+        assert order[0] == "RegF"
+        assert order[1] == "MulD"
+
+    def test_mctrl_first_in_control_class(self):
+        order = [c.name for c in development_order()
+                 if c.component_class is ComponentClass.CONTROL]
+        assert order[0] == "MCTRL"
+
+    def test_explicit_sizes_override_measurement(self):
+        sizes = {c.name: 1 for c in COMPONENTS}
+        sizes["BSH"] = 10_000  # pretend the shifter is huge
+        order = [c.name for c in development_order(sizes=sizes)
+                 if c.component_class is ComponentClass.FUNCTIONAL]
+        assert order[0] == "BSH"
+
+    def test_priority_key_shape(self):
+        info = component("ALU")
+        key = component_priority(info, nand2=500)
+        assert key[0] == 0  # functional class rank
+        assert key[1] == -500

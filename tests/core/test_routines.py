@@ -1,0 +1,211 @@
+"""Unit tests for the self-test routine generators.
+
+Each routine is assembled stand-alone, executed on the behavioural CPU and
+checked against independently computed expected responses.
+"""
+
+import pytest
+
+from repro.core.routines import ROUTINES
+from repro.core.routines.alu_routine import AluRoutine, ITYPE_CASES, LUI_CASES
+from repro.core.routines.bsh_routine import ShifterRoutine
+from repro.core.routines.flow_routine import BRANCH_CASES, ControlFlowRoutine
+from repro.core.routines.mctrl_routine import MemoryControlRoutine
+from repro.core.routines.muld_routine import MulDivRoutine, OPS as MULDIV_OPS
+from repro.core.routines.regf_routine import (
+    RegisterFileRoutine,
+    parity_background,
+    unique16,
+)
+from repro.core.testlib import (
+    ALU_OPERAND_PAIRS,
+    ALU_RTYPE_OPS,
+    MCTRL_LOAD_CASES,
+    MULDIV_OPERAND_PAIRS,
+    SHIFTER_VALUES,
+)
+from repro.isa.assembler import assemble
+from repro.library.alu import AluOp, alu_reference
+from repro.library.multiplier import MulDivOp, muldiv_reference
+from repro.library.shifter import shifter_reference
+from repro.plasma.cpu import PlasmaCPU
+
+RESP = 0x4000
+
+
+def execute(routine, prefix="t0") -> tuple[PlasmaCPU, int]:
+    result = routine.generate(prefix, RESP)
+    source = ".text\n" + result.text + "\nhalt: j halt\n    nop\n"
+    if result.data:
+        source += ".data\n" + result.data
+    cpu = PlasmaCPU()
+    cpu.load_program(assemble(source))
+    cpu.run(max_instructions=500_000)
+    return cpu, result.response_words
+
+
+def responses(cpu: PlasmaCPU, count: int) -> list[int]:
+    return cpu.memory.dump_words(RESP, count)
+
+
+_OP_TO_ALUOP = {
+    "addu": AluOp.ADD, "subu": AluOp.SUB, "and": AluOp.AND, "or": AluOp.OR,
+    "xor": AluOp.XOR, "nor": AluOp.NOR, "slt": AluOp.SLT, "sltu": AluOp.SLTU,
+    "addiu": AluOp.ADD, "slti": AluOp.SLT, "sltiu": AluOp.SLTU,
+    "andi": AluOp.AND, "ori": AluOp.OR, "xori": AluOp.XOR,
+}
+
+_SIGN_IMM = {"addiu", "slti", "sltiu"}
+
+
+class TestAluRoutine:
+    def test_responses_match_reference(self):
+        cpu, n = execute(AluRoutine())
+        got = responses(cpu, n)
+        expected = []
+        for a, b in ALU_OPERAND_PAIRS:
+            for op in ALU_RTYPE_OPS:
+                expected.append(alu_reference(_OP_TO_ALUOP[op], a, b))
+            for op, imm in ITYPE_CASES:
+                operand = imm
+                if op in _SIGN_IMM and imm >= 0x8000:
+                    operand = imm | 0xFFFF0000
+                expected.append(alu_reference(_OP_TO_ALUOP[op], a, operand))
+        for imm in LUI_CASES:
+            expected.append(imm << 16)
+        assert got == expected
+
+    def test_response_count_accounting(self):
+        result = AluRoutine().generate("x", RESP)
+        per_iter = len(ALU_RTYPE_OPS) + len(ITYPE_CASES)
+        assert result.response_words == (
+            per_iter * len(ALU_OPERAND_PAIRS) + len(LUI_CASES)
+        )
+
+
+class TestShifterRoutine:
+    def test_responses_match_reference(self):
+        cpu, n = execute(ShifterRoutine())
+        got = responses(cpu, n)
+        expected = []
+        for shamt in range(32):
+            for value in SHIFTER_VALUES:
+                expected.append(shifter_reference(value, shamt, True, False))
+                expected.append(shifter_reference(value, shamt, False, False))
+                expected.append(shifter_reference(value, shamt, False, True))
+        from repro.core.testlib import SHIFTER_FIXED_CASES
+
+        value = SHIFTER_VALUES[0]
+        for op, shamt in SHIFTER_FIXED_CASES:
+            left = op == "sll"
+            arith = op == "sra"
+            expected.append(shifter_reference(value, shamt, left, arith))
+        assert got == expected
+
+
+class TestRegisterFileRoutine:
+    def test_march_responses(self):
+        cpu, n = execute(RegisterFileRoutine())
+        got = responses(cpu, n)
+        pattern = 0x55555555
+        complement = 0xAAAAAAAA
+        expected = []
+        expected += [complement] * 31  # descending complement reads
+        expected += [pattern] * 31  # descending pattern reads
+        expected += [
+            0xFFFFFFFF if parity_background(r) else 0 for r in range(1, 32)
+        ]
+        expected += [unique16(r) for r in range(1, 32)]
+        assert got == expected
+
+    def test_touches_every_register(self):
+        result = RegisterFileRoutine().generate("x", RESP)
+        for reg in range(1, 32):
+            assert f"${reg}," in result.text or f"${reg} " in result.text
+
+
+class TestMulDivRoutine:
+    def test_responses_match_reference(self):
+        cpu, n = execute(MulDivRoutine())
+        got = responses(cpu, n)
+        expected = []
+        mnem_to_op = {
+            "mult": MulDivOp.MULT, "multu": MulDivOp.MULTU,
+            "div": MulDivOp.DIV, "divu": MulDivOp.DIVU,
+        }
+        for a, b in MULDIV_OPERAND_PAIRS:
+            for op in MULDIV_OPS:
+                hi, lo = muldiv_reference(mnem_to_op[op], a, b)
+                expected += [hi, lo]
+        from repro.core.testlib import MULDIV_HILO_VALUES
+
+        expected += list(MULDIV_HILO_VALUES)
+        assert got == expected
+
+
+class TestMemoryControlRoutine:
+    def test_load_sweep_responses(self):
+        from repro.core.testlib import MCTRL_DATA_WORDS
+        from repro.plasma.mctrl import mctrl_load_reference
+
+        cpu, n = execute(MemoryControlRoutine())
+        got = responses(cpu, n)
+        sizes = {"lb": 0, "lbu": 0, "lh": 1, "lhu": 1, "lw": 2}
+        signed = {"lb", "lh"}
+        expected = []
+        for word in MCTRL_DATA_WORDS:
+            for op, off in MCTRL_LOAD_CASES:
+                expected.append(
+                    mctrl_load_reference(sizes[op], op in signed, off, word)
+                )
+        assert got[: len(expected)] == expected
+
+    def test_store_lanes_land_in_response_window(self):
+        from repro.core.testlib import MCTRL_STORE_CASES
+
+        cpu, n = execute(MemoryControlRoutine())
+        got = responses(cpu, n)
+        # The store block occupies the next len(STORE_CASES) words; the
+        # read-back block must equal it exactly.
+        n_loads = 2 * len(MCTRL_LOAD_CASES)
+        stores = got[n_loads : n_loads + len(MCTRL_STORE_CASES)]
+        readback = got[n_loads + len(MCTRL_STORE_CASES):]
+        assert stores == readback
+        assert all(w != 0 for w in stores)
+
+
+class TestControlFlowRoutine:
+    def test_path_markers(self):
+        cpu, n = execute(ControlFlowRoutine())
+        got = responses(cpu, n)
+        markers = got[: len(BRANCH_CASES)]
+        for idx, (_, _, _, taken) in enumerate(BRANCH_CASES):
+            expected = (0x200 if taken else 0x100) + idx
+            assert markers[idx] == expected, idx
+
+    def test_comparator_sweep_markers(self):
+        cpu, n = execute(ControlFlowRoutine())
+        got = responses(cpu, n)
+        sweep = got[len(BRANCH_CASES) : len(BRANCH_CASES) + 2]
+        # Each pass decides 32 single-bit compares, all not-taken.
+        assert sweep == [32, 32]
+
+    def test_linkage_responses(self):
+        cpu, n = execute(ControlFlowRoutine())
+        got = responses(cpu, n)
+        tail = got[len(BRANCH_CASES) + 2:]
+        assert tail[0] == 0x3C3  # jal subroutine value
+        assert tail[1] != 0  # $ra link address
+        assert tail[2] == 0x3C3  # jalr subroutine value
+
+
+class TestRegistry:
+    def test_all_components_with_routines(self):
+        assert set(ROUTINES) == {"ALU", "BSH", "RegF", "MulD", "MCTRL", "FLOW"}
+
+    @pytest.mark.parametrize("name", sorted(ROUTINES))
+    def test_each_routine_assembles_and_halts(self, name):
+        routine = ROUTINES[name]()
+        cpu, n = execute(routine, prefix=f"{name.lower()}9")
+        assert cpu.halted
+        assert n > 0

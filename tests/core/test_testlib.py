@@ -1,0 +1,98 @@
+"""Unit tests for the deterministic component test-set library."""
+
+from repro.core.testlib import (
+    ALU_IMMEDIATES,
+    ALU_OPERAND_PAIRS,
+    ALU_RTYPE_OPS,
+    MCTRL_LOAD_CASES,
+    MCTRL_STORE_CASES,
+    MULDIV_OPERAND_PAIRS,
+    REGFILE_PATTERNS,
+    SHIFTER_VALUES,
+    regfile_unique_value,
+)
+
+
+class TestAluPairs:
+    def test_values_are_32bit(self):
+        for a, b in ALU_OPERAND_PAIRS:
+            assert 0 <= a <= 0xFFFF_FFFF and 0 <= b <= 0xFFFF_FFFF
+
+    def test_full_carry_propagate_present(self):
+        assert (0xFFFFFFFF, 0x00000001) in ALU_OPERAND_PAIRS
+
+    def test_per_bit_logic_combinations_covered(self):
+        """Each bit position must see a/b = 00, 01, 10 and 11 somewhere."""
+        for bit in range(32):
+            seen = set()
+            for a, b in ALU_OPERAND_PAIRS:
+                seen.add(((a >> bit) & 1, (b >> bit) & 1))
+            assert seen == {(0, 0), (0, 1), (1, 0), (1, 1)}, bit
+
+    def test_slt_sign_corners_present(self):
+        assert (0x7FFFFFFF, 0x80000000) in ALU_OPERAND_PAIRS
+        assert (0x80000000, 0x7FFFFFFF) in ALU_OPERAND_PAIRS
+
+    def test_rtype_ops_cover_all_alu_functions(self):
+        assert set(ALU_RTYPE_OPS) == {
+            "addu", "subu", "and", "or", "xor", "nor", "slt", "sltu"
+        }
+
+    def test_immediates_within_16_bits(self):
+        assert all(0 <= i <= 0xFFFF for i in ALU_IMMEDIATES)
+
+
+class TestShifterValues:
+    def test_sign_corner_present(self):
+        assert any(v >> 31 for v in SHIFTER_VALUES)
+        assert any(not (v >> 31) for v in SHIFTER_VALUES)
+
+    def test_every_bit_column_distinguishable(self):
+        """For each bit some pair of library values must differ there."""
+        for bit in range(32):
+            bits = {(v >> bit) & 1 for v in SHIFTER_VALUES}
+            assert bits == {0, 1}, bit
+
+
+class TestRegfilePatterns:
+    def test_complementary(self):
+        a, b = REGFILE_PATTERNS
+        assert a ^ b == 0xFFFF_FFFF
+
+    def test_unique_values_distinct(self):
+        values = [regfile_unique_value(r) for r in range(32)]
+        assert len(set(values)) == 32
+
+
+class TestMulDivPairs:
+    def test_divide_by_zero_case_present(self):
+        assert any(b == 0 for _, b in MULDIV_OPERAND_PAIRS)
+
+    def test_int_min_corner_present(self):
+        assert any(a == 0x80000000 or b == 0x80000000
+                   for a, b in MULDIV_OPERAND_PAIRS)
+
+    def test_all_sign_combinations(self):
+        signs = {(a >> 31, b >> 31) for a, b in MULDIV_OPERAND_PAIRS}
+        assert signs == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+class TestMctrlCases:
+    def test_loads_cover_every_byte_lane(self):
+        byte_lanes = {off for op, off in MCTRL_LOAD_CASES if op in ("lb", "lbu")}
+        assert byte_lanes == {0, 1, 2, 3}
+
+    def test_loads_cover_signed_and_unsigned(self):
+        ops = {op for op, _ in MCTRL_LOAD_CASES}
+        assert {"lb", "lbu", "lh", "lhu", "lw"} <= ops
+
+    def test_stores_cover_every_byte_lane(self):
+        lanes = {off for op, off, _ in MCTRL_STORE_CASES if op == "sb"}
+        assert lanes == {0, 1, 2, 3}
+
+    def test_store_alignment_legal(self):
+        for op, off, _ in MCTRL_STORE_CASES:
+            if op == "sh":
+                assert off % 2 == 0
+            if op == "sw":
+                assert off % 4 == 0

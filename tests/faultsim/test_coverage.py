@@ -1,0 +1,56 @@
+"""Unit tests for FC / MOFC bookkeeping."""
+
+import pytest
+
+from repro.faultsim.coverage import ComponentCoverage, CoverageSummary
+
+
+class TestComponentCoverage:
+    def test_percentages(self):
+        cov = ComponentCoverage("ALU", n_faults=200, n_detected=150)
+        assert cov.fault_coverage == 75.0
+        assert cov.n_undetected == 50
+
+    def test_empty_component_is_full(self):
+        assert ComponentCoverage("X", 0, 0).fault_coverage == 100.0
+
+
+class TestCoverageSummary:
+    def _summary(self) -> CoverageSummary:
+        s = CoverageSummary()
+        s.add(ComponentCoverage("RegF", 1000, 950))
+        s.add(ComponentCoverage("ALU", 200, 190))
+        s.add(ComponentCoverage("GL", 100, 10))
+        return s
+
+    def test_totals(self):
+        s = self._summary()
+        assert s.total_faults == 1300
+        assert s.total_detected == 1150
+        assert s.overall_coverage == pytest.approx(100 * 1150 / 1300)
+
+    def test_mofc(self):
+        s = self._summary()
+        # RegF misses 50 of 1300 total faults.
+        assert s.mofc("RegF") == pytest.approx(100 * 50 / 1300)
+        assert s.mofc("GL") == pytest.approx(100 * 90 / 1300)
+
+    def test_mofc_sums_to_missed_total(self):
+        s = self._summary()
+        total_mofc = sum(s.mofc(c.name) for c in s.components)
+        assert total_mofc == pytest.approx(100 - s.overall_coverage)
+
+    def test_component_lookup(self):
+        s = self._summary()
+        assert s.component("ALU").n_faults == 200
+        with pytest.raises(KeyError):
+            s.component("nope")
+
+    def test_rows_layout(self):
+        rows = self._summary().rows()
+        assert [r[0] for r in rows] == ["RegF", "ALU", "GL"]
+        assert all(len(r) == 3 for r in rows)
+
+    def test_empty_summary(self):
+        s = CoverageSummary()
+        assert s.overall_coverage == 100.0

@@ -1,0 +1,120 @@
+"""Unit tests for fault dictionaries and diagnosis."""
+
+import pytest
+
+from repro.errors import FaultSimError
+from repro.faultsim.diagnosis import FaultDictionary
+from repro.faultsim.faults import FaultKind
+from repro.netlist.builder import NetlistBuilder
+
+
+def adder4():
+    b = NetlistBuilder("adder4")
+    a = b.input("a", 4)
+    x = b.input("x", 4)
+    cin = b.input("cin", 1)[0]
+    from repro.library.adders import ripple_carry_adder
+
+    total, cout = ripple_carry_adder(b, a, x, cin)
+    b.output("sum", total)
+    b.output("cout", cout)
+    return b.build()
+
+
+def exhaustive():
+    return [dict(a=a, x=x, cin=c)
+            for a in range(16) for x in range(16) for c in (0, 1)]
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return FaultDictionary(adder4(), exhaustive()).build()
+
+
+class TestBuild:
+    def test_every_representative_has_signature(self, dictionary):
+        reps = dictionary.fault_list.class_representatives()
+        assert set(dictionary.signatures) == set(reps)
+
+    def test_exhaustive_test_detects_everything(self, dictionary):
+        assert all(sig for sig in dictionary.signatures.values())
+
+    def test_signatures_are_real_failures(self, dictionary):
+        """Re-simulating a faulty netlist must fail exactly the signature."""
+        from tests.faultsim.test_differential import inject_fault_netlist
+        from repro.faultsim.simulator import LogicSimulator
+
+        patterns = exhaustive()
+        good_sim = LogicSimulator(dictionary.netlist)
+        good = good_sim.run_combinational(patterns)
+        for rep in list(dictionary.signatures)[:20]:
+            fault = dictionary.fault_list.fault(rep)
+            faulty_nl = inject_fault_netlist(dictionary.netlist, fault)
+            bad = LogicSimulator(faulty_nl).run_combinational(patterns)
+            failing = {
+                i for i in range(len(patterns))
+                if any(bad[p][i] != good[p][i] for p in good)
+            }
+            assert failing == set(dictionary.signature_of(rep)), rep
+
+    def test_sequential_rejected(self):
+        b = NetlistBuilder("seq")
+        x = b.input("x", 1)
+        b.output("q", b.dff(x[0]))
+        with pytest.raises(FaultSimError):
+            FaultDictionary(b.build(), [dict(x=0)]).build()
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(FaultSimError):
+            FaultDictionary(adder4(), []).build()
+
+    def test_unknown_fault_lookup(self, dictionary):
+        with pytest.raises(FaultSimError):
+            dictionary.signature_of(10**9)
+
+
+class TestDiagnose:
+    def test_exact_signature_ranks_first(self, dictionary):
+        rep = next(iter(dictionary.signatures))
+        observed = dictionary.signature_of(rep)
+        candidates = dictionary.diagnose(observed)
+        assert candidates
+        best = candidates[0]
+        assert best.exact
+        # The true fault is among the exact matches (equivalent-signature
+        # faults are indistinguishable by any response-based diagnosis).
+        exact = [c.fault_index for c in candidates if c.exact]
+        assert rep in exact or dictionary.signature_of(exact[0]) == observed
+
+    def test_partial_observation_still_ranks_superset(self, dictionary):
+        rep = next(iter(dictionary.signatures))
+        full = sorted(dictionary.signature_of(rep))
+        partial = full[: max(1, len(full) // 2)]
+        candidates = dictionary.diagnose(partial, top=50)
+        assert any(c.fault_index == rep for c in candidates)
+
+    def test_empty_observation(self, dictionary):
+        assert dictionary.diagnose([]) == []
+
+    def test_top_limits_results(self, dictionary):
+        rep = next(iter(dictionary.signatures))
+        observed = dictionary.signature_of(rep)
+        assert len(dictionary.diagnose(observed, top=3)) <= 3
+
+    def test_resolution_metric(self, dictionary):
+        resolution = dictionary.distinguishable_pairs()
+        assert 0.5 < resolution <= 1.0
+
+
+class TestObservabilityRestriction:
+    def test_restricted_observation_shrinks_signatures(self):
+        patterns = exhaustive()
+        full = FaultDictionary(adder4(), patterns).build()
+        cout_only = FaultDictionary(
+            adder4(), patterns, observe=[("cout",)] * len(patterns)
+        ).build()
+        # Some faults visible on sum bits disappear entirely.
+        assert any(
+            not cout_only.signatures[rep] and full.signatures[rep]
+            for rep in full.signatures
+        )

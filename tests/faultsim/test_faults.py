@@ -1,0 +1,102 @@
+"""Unit tests for fault enumeration and equivalence collapsing."""
+
+from repro.faultsim.faults import Fault, FaultKind, build_fault_list
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+
+
+def inverter_chain(n=3):
+    b = NetlistBuilder("chain")
+    x = b.input("x", 1)[0]
+    for _ in range(n):
+        x = b.not_(x)
+    b.output("y", x)
+    return b.build()
+
+
+class TestEnumeration:
+    def test_stem_faults_on_every_net(self):
+        nl = inverter_chain(3)
+        fl = build_fault_list(nl, collapse=False)
+        stems = [f for f in fl.faults if f.kind is FaultKind.STEM]
+        # Nets: input + 3 gate outputs = 4 nets, 2 polarities each.
+        assert len(stems) == 8
+
+    def test_no_branch_faults_without_fanout(self):
+        fl = build_fault_list(inverter_chain(), collapse=False)
+        assert all(f.kind is FaultKind.STEM for f in fl.faults)
+
+    def test_branch_faults_on_fanout(self):
+        b = NetlistBuilder("fan")
+        x = b.input("x", 1)[0]
+        b.output("y1", b.not_(x))
+        b.output("y2", b.not_(x))
+        fl = build_fault_list(b.build(), collapse=False)
+        branches = [f for f in fl.faults if f.kind is FaultKind.BRANCH]
+        assert len(branches) == 4  # 2 pins x 2 polarities
+
+    def test_constants_not_faulted(self):
+        b = NetlistBuilder("c")
+        x = b.input("x", 1)[0]
+        b.output("y", b.and_(x, b.constant(1, 1)[0]))
+        fl = build_fault_list(b.build(), collapse=False)
+        assert all(f.net > 1 for f in fl.faults)
+
+    def test_dff_d_pin_faults(self):
+        b = NetlistBuilder("seq")
+        x = b.input("x", 1)[0]
+        inv = b.not_(x)
+        b.output("q1", b.dff(inv))
+        b.output("q2", b.dff(inv))  # inv fans out to two D pins
+        fl = build_fault_list(b.build(), collapse=False)
+        dffd = [f for f in fl.faults if f.kind is FaultKind.DFF_D]
+        assert len(dffd) == 4
+
+    def test_describe_readable(self):
+        nl = inverter_chain()
+        fl = build_fault_list(nl)
+        text = fl.faults[0].describe(nl)
+        assert "s-a-" in text
+
+
+class TestCollapsing:
+    def test_inverter_chain_collapses_fully(self):
+        # All faults in an inverter chain are pairwise equivalent along the
+        # chain: 4 nets x 2 -> exactly 2 classes.
+        fl = build_fault_list(inverter_chain(3))
+        assert fl.n_prime == 8
+        assert fl.n_collapsed == 2
+
+    def test_and_gate_classes(self):
+        b = NetlistBuilder("and2")
+        x = b.input("x", 2)
+        b.output("y", b.and_(x[0], x[1]))
+        fl = build_fault_list(b.build())
+        # Prime: 3 nets x 2 = 6.  a-sa0 == b-sa0 == y-sa0 -> 4 classes.
+        assert fl.n_prime == 6
+        assert fl.n_collapsed == 4
+
+    def test_xor_gate_no_collapse(self):
+        b = NetlistBuilder("xor2")
+        x = b.input("x", 2)
+        b.output("y", b.xor(x[0], x[1]))
+        fl = build_fault_list(b.build())
+        assert fl.n_collapsed == fl.n_prime == 6
+
+    def test_collapse_can_be_disabled(self):
+        nl = inverter_chain(2)
+        fl = build_fault_list(nl, collapse=False)
+        assert fl.n_collapsed == fl.n_prime
+
+    def test_classes_partition_faults(self):
+        from repro.library import build_alu
+
+        fl = build_fault_list(build_alu(width=4))
+        members = sorted(i for m in fl.classes.values() for i in m)
+        assert members == list(range(fl.n_prime))
+
+    def test_representative_self_consistent(self):
+        fl = build_fault_list(inverter_chain(4))
+        for i, rep in enumerate(fl.representative):
+            assert fl.representative[rep] == rep
+            assert i in fl.classes[rep]

@@ -1,0 +1,142 @@
+"""Unit tests for the pattern-parallel logic simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.faultsim.simulator import LogicSimulator
+from repro.library.adders import incrementer
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import DFF
+from repro.utils.lanes import LaneSet
+
+
+def all_gates_circuit():
+    b = NetlistBuilder("allgates")
+    x = b.input("x", 3)
+    a, c, s = x
+    b.output("and_", b.and_(a, c))
+    b.output("nand_", b.nand(a, c))
+    b.output("or_", b.or_(a, c))
+    b.output("nor_", b.nor(a, c))
+    b.output("xor_", b.xor(a, c))
+    b.output("xnor_", b.xnor(a, c))
+    b.output("not_", b.not_(a))
+    b.output("buf_", b.gate(GateType.BUF, a))
+    b.output("mux_", b.gate(GateType.MUX2, a, c, s))
+    b.output("aoi_", b.gate(GateType.AOI21, a, c, s))
+    return b.build()
+
+
+class TestCombinational:
+    def test_all_gate_types_exhaustive(self):
+        sim = LogicSimulator(all_gates_circuit())
+        pats = [dict(x=v) for v in range(8)]
+        out = sim.run_combinational(pats)
+        for i, v in enumerate(range(8)):
+            a, c, s = v & 1, (v >> 1) & 1, (v >> 2) & 1
+            assert out["and_"][i] == (a & c)
+            assert out["nand_"][i] == 1 - (a & c)
+            assert out["or_"][i] == (a | c)
+            assert out["nor_"][i] == 1 - (a | c)
+            assert out["xor_"][i] == (a ^ c)
+            assert out["xnor_"][i] == 1 - (a ^ c)
+            assert out["not_"][i] == 1 - a
+            assert out["buf_"][i] == a
+            assert out["mux_"][i] == (c if s else a)
+            assert out["aoi_"][i] == 1 - ((a & c) | s)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=200))
+    def test_parallel_matches_serial(self, values):
+        """Many lanes at once == one lane at a time (the core invariant)."""
+        sim = LogicSimulator(all_gates_circuit())
+        batch = sim.run_combinational([dict(x=v) for v in values])
+        for i, v in enumerate(values):
+            single = sim.run_combinational([dict(x=v)])
+            for port in batch:
+                assert batch[port][i] == single[port][0]
+
+    def test_missing_input_port_rejected(self):
+        # pack_inputs defaults missing pattern keys to 0, but evaluate()
+        # requires every declared input port to be present.
+        sim = LogicSimulator(all_gates_circuit())
+        lanes = LaneSet(1)
+        with pytest.raises(SimulationError):
+            sim.evaluate({}, sim.initial_state(lanes), lanes)
+
+    def test_sequential_circuit_rejected_in_combinational_mode(self):
+        b = NetlistBuilder("seq")
+        x = b.input("x", 1)
+        b.output("q", b.dff(x[0]))
+        sim = LogicSimulator(b.build())
+        with pytest.raises(SimulationError):
+            sim.run_combinational([dict(x=1)])
+
+
+class TestSequential:
+    def _counter(self, bits=3):
+        """Free-running counter: q' = q + 1."""
+        b = NetlistBuilder("ctr")
+        b.input("tick", 1)
+        q = [b.netlist.new_net() for _ in range(bits)]
+        inc = incrementer(b, q)
+        for i in range(bits):
+            b.netlist.dffs.append(DFF(i, inc[i], q[i], 0))
+        b.output("count", q)
+        return LogicSimulator(b.build())
+
+    def test_counter_counts(self):
+        sim = self._counter()
+        outs, _ = sim.run_sequence([dict(tick=0)] * 10)
+        assert [o["count"] for o in outs] == [i % 8 for i in range(10)]
+
+    def test_initial_state_respects_init(self):
+        b = NetlistBuilder("init")
+        x = b.input("x", 1)
+        b.output("q", b.dff(x[0], init=1))
+        sim = LogicSimulator(b.build())
+        outs, _ = sim.run_sequence([dict(x=0)])
+        assert outs[0]["q"] == 1
+
+    def test_record_produces_trace(self):
+        sim = self._counter()
+        outs, trace = sim.run_sequence([dict(tick=0)] * 4, record=True)
+        assert trace is not None
+        assert trace.n_cycles == 4
+        assert len(trace.states) == 5
+
+    def test_parallel_sessions_lockstep(self):
+        b = NetlistBuilder("acc")
+        x = b.input("x", 4)
+        q = [b.netlist.new_net() for _ in range(4)]
+        xor = b.xor_word(list(x), q)
+        for i in range(4):
+            b.netlist.dffs.append(DFF(i, xor[i], q[i], 0))
+        b.output("acc", q)
+        sim = LogicSimulator(b.build())
+        sessions = [
+            [dict(x=1), dict(x=2)],
+            [dict(x=15), dict(x=15)],
+        ]
+        trace = sim.run_parallel_sessions(sessions)
+        assert trace.lanes.count == 2
+        # Final DFF state per lane must match a serial run of that session.
+        for lane, session in enumerate(sessions):
+            _, serial = sim.run_sequence(session, record=True)
+            assert serial is not None
+            for dff_index in range(4):
+                parallel_bit = (trace.states[-1].q[dff_index] >> lane) & 1
+                assert parallel_bit == serial.states[-1].q[dff_index]
+
+    def test_sessions_must_be_same_length(self):
+        sim = self._counter()
+        with pytest.raises(SimulationError):
+            sim.run_parallel_sessions([[dict(tick=0)], []])
+
+    def test_empty_sessions_rejected(self):
+        sim = self._counter()
+        with pytest.raises(SimulationError):
+            sim.run_parallel_sessions([])

@@ -1,0 +1,257 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.encoding import decode
+
+
+def words_of(source: str) -> list[int]:
+    program = assemble(source)
+    code = [s for s in program.segments if s.is_code and s.words]
+    assert len(code) == 1
+    return code[0].words
+
+
+class TestBasics:
+    def test_single_instruction(self):
+        assert words_of("addu $1, $2, $3") == [0x00430821]
+
+    def test_comments_stripped(self):
+        source = """
+        # full-line comment
+        addu $1, $2, $3   # trailing
+        or $4, $5, $6     ; semicolon style
+        and $7, $8, $9    // c style
+        """
+        assert len(words_of(source)) == 3
+
+    def test_empty_program(self):
+        program = assemble("# nothing\n")
+        assert program.code_words == 0
+
+    def test_case_insensitive_mnemonics(self):
+        assert words_of("ADDU $1, $2, $3") == [0x00430821]
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("bogus $1, $2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("addu $1, $2")
+
+
+class TestLabelsAndBranches:
+    def test_backward_branch(self):
+        words = words_of("""
+        top: addu $1, $2, $3
+        beq $1, $0, top
+        """)
+        d = decode(words[1])
+        # offset relative to PC+4 in words: target 0, pc 4 -> -2.
+        assert d.imm == 0xFFFE
+
+    def test_forward_branch(self):
+        words = words_of("""
+        beq $1, $0, done
+        nop
+        done: nop
+        """)
+        assert decode(words[0]).imm == 1
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("x: nop\nx: nop")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblyError):
+            assemble("beq $0, $0, nowhere")
+
+    def test_label_on_own_line(self):
+        program = assemble("alone:\n    nop\n")
+        assert program.symbol("alone") == 0
+
+    def test_jump_targets_label(self):
+        words = words_of("""
+        nop
+        j entry
+        nop
+        entry: nop
+        """)
+        assert decode(words[1]).target == 3  # 0xC >> 2
+
+    def test_branch_out_of_range(self):
+        body = "nop\n" * 40000
+        with pytest.raises(AssemblyError):
+            assemble(f"beq $0, $0, far\n{body}far: nop")
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        assert words_of("nop") == [0]
+
+    def test_move(self):
+        assert disassemble(words_of("move $t0, $t1")[0]) == "addu $t0, $t1, $zero"
+
+    def test_li_small_positive(self):
+        words = words_of("li $t0, 100")
+        assert len(words) == 1
+        assert decode(words[0]).mnemonic == "addiu"
+
+    def test_li_small_negative(self):
+        words = words_of("li $t0, -5")
+        assert len(words) == 1
+        assert decode(words[0]).imm == 0xFFFB
+
+    def test_li_unsigned_16bit(self):
+        words = words_of("li $t0, 0xFFFF")
+        assert len(words) == 1
+        assert decode(words[0]).mnemonic == "ori"
+
+    def test_li_32bit_expands_to_two(self):
+        words = words_of("li $t0, 0x12345678")
+        assert len(words) == 2
+        assert decode(words[0]).mnemonic == "lui"
+        assert decode(words[0]).imm == 0x1234
+        assert decode(words[1]).imm == 0x5678
+
+    def test_la_always_two_words(self):
+        program = assemble("la $t0, data\n.data\ndata: .word 1")
+        code = [s for s in program.segments if s.is_code][0]
+        assert len(code.words) == 2
+
+    def test_not(self):
+        assert disassemble(words_of("not $t0, $t1")[0]) == "nor $t0, $t1, $zero"
+
+    def test_neg(self):
+        assert disassemble(words_of("neg $t0, $t1")[0]) == "subu $t0, $zero, $t1"
+
+    def test_branch_pseudos(self):
+        words = words_of("""
+        top: beqz $t0, top
+        bnez $t1, top
+        b top
+        """)
+        assert decode(words[0]).mnemonic == "beq"
+        assert decode(words[1]).mnemonic == "bne"
+        assert decode(words[2]).mnemonic == "beq"
+
+    def test_blt_expands_with_at(self):
+        words = words_of("top: blt $t0, $t1, top")
+        assert decode(words[0]).mnemonic == "slt"
+        assert decode(words[0]).rd == 1  # $at
+        assert decode(words[1]).mnemonic == "bne"
+
+    def test_clear(self):
+        d = decode(words_of("clear $t5")[0])
+        assert d.mnemonic == "addu" and d.rs == 0 and d.rt == 0
+
+
+class TestDirectives:
+    def test_word_values(self):
+        program = assemble(".data\nvals: .word 1, -1, 0xABCD")
+        data = [s for s in program.segments if not s.is_code][0]
+        assert data.words == [1, 0xFFFFFFFF, 0xABCD]
+
+    def test_space_zero_fills(self):
+        program = assemble(".data\nbuf: .space 12")
+        data = [s for s in program.segments if not s.is_code][0]
+        assert data.words == [0, 0, 0]
+
+    def test_space_must_be_word_multiple(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\n.space 6")
+
+    def test_align(self):
+        program = assemble(".data\n.word 1\n.align 4\nhere: .word 2")
+        assert program.symbol("here") % 16 == 0
+
+    def test_equ_constant(self):
+        program = assemble(".equ SIZE, 48\nli $t0, SIZE")
+        assert program.symbol("SIZE") == 48
+
+    def test_equ_expression(self):
+        program = assemble(".equ A, 8\n.equ B, A + 4\nnop")
+        assert program.symbol("B") == 12
+
+    def test_org_moves_location(self):
+        program = assemble(".org 0x100\nstart: nop")
+        assert program.symbol("start") == 0x100
+
+    def test_text_data_resume(self):
+        program = assemble("""
+        .text
+        nop
+        .data
+        d1: .word 1
+        .text
+        second: nop
+        .data
+        d2: .word 2
+        """)
+        assert program.symbol("second") == 4
+        assert program.symbol("d2") == program.symbol("d1") + 4
+
+    def test_overlapping_segments_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".org 0\nnop\nnop\n.org 4\nnop")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError):
+            assemble(".frobnicate 3")
+
+
+class TestExpressions:
+    def test_hi_lo(self):
+        program = assemble("""
+        lui $t0, %hi(value)
+        ori $t0, $t0, %lo(value)
+        .data
+        .org 0x2004
+        value: .word 0
+        """)
+        code = [s for s in program.segments if s.is_code][0]
+        assert decode(code.words[0]).imm == 0
+        assert decode(code.words[1]).imm == 0x2004
+
+    def test_symbol_arithmetic(self):
+        program = assemble("""
+        .equ BASE, 0x1000
+        lw $t0, BASE+8($0)
+        """)
+        code = [s for s in program.segments if s.is_code][0]
+        assert decode(code.words[0]).imm == 0x1008
+
+    def test_negative_literal(self):
+        words = words_of("addiu $t0, $0, -32768")
+        assert decode(words[0]).imm == 0x8000
+
+    def test_dangling_operator(self):
+        with pytest.raises(AssemblyError):
+            assemble("addiu $t0, $0, 4+")
+
+
+class TestMemoryOperands:
+    def test_offset_base(self):
+        d = decode(words_of("lw $t0, 16($sp)")[0])
+        assert d.imm == 16 and d.rs == 29
+
+    def test_empty_offset_defaults_zero(self):
+        assert decode(words_of("lw $t0, ($sp)")[0]).imm == 0
+
+    def test_malformed_memory_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("lw $t0, 16[$sp]")
+
+
+class TestErrorsCarryLineNumbers:
+    def test_line_number_in_message(self):
+        try:
+            assemble("nop\nnop\nbogus")
+        except AssemblyError as exc:
+            assert "line 3" in str(exc)
+        else:
+            pytest.fail("expected AssemblyError")

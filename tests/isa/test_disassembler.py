@@ -1,0 +1,88 @@
+"""Unit tests for the disassembler (including assembler roundtrip)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble, disassemble_program
+from repro.isa.encoding import encode
+from repro.isa.instruction import INSTRUCTION_SET, Format, Syntax
+
+
+class TestRendering:
+    def test_addu(self):
+        assert disassemble(0x00430821) == "addu $at, $v0, $v1"
+
+    def test_data_word_fallback(self):
+        assert disassemble(0xFFFF_FFFF).startswith(".word")
+
+    def test_branch_target_absolute(self):
+        word = encode("beq", rs=0, rt=0, imm=0xFFFE)
+        assert disassemble(word, pc=0x10) == "beq $zero, $zero, 0xc"
+
+    def test_jump_target(self):
+        assert disassemble(encode("j", target=0x40)) == "j 0x100"
+
+    def test_memory_operand(self):
+        assert disassemble(encode("lw", rt=8, rs=29, imm=4)) == "lw $t0, 4($sp)"
+
+    def test_negative_offset(self):
+        word = encode("lw", rt=8, rs=29, imm=0xFFFC)
+        assert disassemble(word) == "lw $t0, -4($sp)"
+
+    def test_shift(self):
+        assert disassemble(encode("sll", rd=2, rt=3, shamt=7)) == "sll $v0, $v1, 7"
+
+
+class TestRoundtrip:
+    @given(st.sampled_from(sorted(INSTRUCTION_SET)),
+           st.integers(0, 31), st.integers(0, 31), st.integers(0, 31),
+           st.integers(0, 31), st.integers(0, 0x7FF))
+    def test_disassemble_reassembles(self, mnemonic, rs, rt, rd, shamt, imm):
+        spec = INSTRUCTION_SET[mnemonic]
+        if spec.fmt is Format.J or spec.syntax in (
+            Syntax.RS_RT_LABEL, Syntax.RS_LABEL
+        ):
+            # Absolute targets depend on pc placement; covered separately.
+            return
+        # Zero out fields the syntax does not use: they are don't-cares the
+        # disassembler cannot (and should not) preserve.
+        used = {
+            Syntax.RD_RS_RT: ("rs", "rt", "rd"),
+            Syntax.RD_RT_SA: ("rt", "rd", "shamt"),
+            Syntax.RD_RT_RS: ("rs", "rt", "rd"),
+            Syntax.RS_RT: ("rs", "rt"),
+            Syntax.RD: ("rd",),
+            Syntax.RS: ("rs",),
+            Syntax.RD_RS: ("rd", "rs"),
+            Syntax.RT_RS_IMM: ("rs", "rt", "imm"),
+            Syntax.RT_IMM: ("rt", "imm"),
+            Syntax.RT_OFF_RS: ("rs", "rt", "imm"),
+        }[spec.syntax]
+        fields = {"rs": rs, "rt": rt, "rd": rd, "shamt": shamt, "imm": imm}
+        fields = {k: (v if k in used else 0) for k, v in fields.items()}
+        word = encode(mnemonic, **fields)
+        text = disassemble(word)
+        program = assemble(text)
+        code = [s for s in program.segments if s.is_code][0]
+        assert code.words == [word]
+
+    def test_branch_roundtrip_with_pc(self):
+        word = encode("bne", rs=8, rt=9, imm=3)
+        text = disassemble(word, pc=0)
+        program = assemble(text)
+        assert program.segments[0].words == [word]
+
+
+class TestProgramListing:
+    def test_lists_only_code(self):
+        program = assemble("""
+        nop
+        addu $1, $2, $3
+        .data
+        .word 99
+        """)
+        lines = disassemble_program(program)
+        assert len(lines) == 2
+        assert lines[0].startswith("0x00000000:")
+        assert "addu" in lines[1]

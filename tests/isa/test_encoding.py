@@ -1,0 +1,130 @@
+"""Unit tests for instruction encoding/decoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import INSTRUCTION_SET, Format
+
+reg = st.integers(0, 31)
+imm16 = st.integers(0, 0xFFFF)
+target26 = st.integers(0, (1 << 26) - 1)
+
+
+class TestKnownEncodings:
+    """Golden encodings cross-checked against the MIPS manual."""
+
+    def test_addu(self):
+        # addu $t2($10), $t0($8), $t1($9) = 0x01095021
+        assert encode("addu", rs=8, rt=9, rd=10) == 0x01095021
+
+    def test_nop_is_zero(self):
+        assert encode("sll", rd=0, rt=0, shamt=0) == 0
+
+    def test_lw(self):
+        # lw $t0, 4($sp) = 0x8FA80004
+        assert encode("lw", rt=8, rs=29, imm=4) == 0x8FA80004
+
+    def test_sw(self):
+        assert encode("sw", rt=8, rs=29, imm=8) == 0xAFA80008
+
+    def test_beq(self):
+        assert encode("beq", rs=1, rt=2, imm=0xFFFF) == 0x1022FFFF
+
+    def test_j(self):
+        assert encode("j", target=0x100) == 0x08000100
+
+    def test_lui(self):
+        assert encode("lui", rt=9, imm=0x1234) == 0x3C091234
+
+    def test_bltz_regimm(self):
+        word = encode("bltz", rs=3, imm=0x10)
+        assert word >> 26 == 1
+        assert (word >> 16) & 31 == 0
+
+    def test_bgez_regimm(self):
+        word = encode("bgez", rs=3, imm=0x10)
+        assert (word >> 16) & 31 == 1
+
+    def test_jalr_default_fields(self):
+        word = encode("jalr", rd=31, rs=9)
+        assert word & 0x3F == 0x09
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode("frobnicate")
+
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode("addu", rs=32)
+
+    def test_imm_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode("addiu", rt=1, rs=1, imm=0x10000)
+
+    def test_target_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode("j", target=1 << 26)
+
+    def test_decode_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(0xFC00_0000)  # opcode 0x3F
+
+    def test_decode_unknown_funct(self):
+        with pytest.raises(EncodingError):
+            decode(0x0000_0001)  # R-format funct 1
+
+    def test_decode_unknown_regimm(self):
+        with pytest.raises(EncodingError):
+            decode(0x041F_0000)  # REGIMM rt=31
+
+    def test_decode_oversized_word(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+
+class TestRoundtrip:
+    @given(st.sampled_from(sorted(INSTRUCTION_SET)), reg, reg, reg,
+           st.integers(0, 31), imm16, target26)
+    def test_encode_decode_roundtrip(self, mnemonic, rs, rt, rd, shamt,
+                                     imm, target):
+        spec = INSTRUCTION_SET[mnemonic]
+        word = encode(mnemonic, rs=rs, rt=rt, rd=rd, shamt=shamt,
+                      imm=imm, target=target)
+        decoded = decode(word)
+        assert decoded.mnemonic == mnemonic
+        if spec.fmt is Format.R:
+            assert (decoded.rs, decoded.rt, decoded.rd, decoded.shamt) == (
+                rs, rt, rd, shamt)
+        elif spec.fmt is Format.I:
+            assert (decoded.rs, decoded.rt, decoded.imm) == (rs, rt, imm)
+        elif spec.fmt is Format.REGIMM:
+            assert (decoded.rs, decoded.imm) == (rs, imm)
+        else:
+            assert decoded.target == target
+
+    def test_every_instruction_decodes_to_itself(self):
+        for mnemonic in INSTRUCTION_SET:
+            assert decode(encode(mnemonic)).mnemonic == mnemonic
+
+
+class TestSpecTable:
+    def test_no_duplicate_encoding_slots(self):
+        r_functs = [s.funct for s in INSTRUCTION_SET.values()
+                    if s.fmt is Format.R]
+        assert len(r_functs) == len(set(r_functs))
+        opcodes = [s.opcode for s in INSTRUCTION_SET.values()
+                   if s.fmt in (Format.I, Format.J)]
+        assert len(opcodes) == len(set(opcodes))
+
+    def test_plasma_subset_size(self):
+        # MIPS I user mode minus unaligned accesses and exceptions.
+        assert len(INSTRUCTION_SET) == 50
+
+    def test_no_unaligned_access_instructions(self):
+        for banned in ("lwl", "lwr", "swl", "swr"):
+            assert banned not in INSTRUCTION_SET

@@ -1,0 +1,52 @@
+"""Unit tests for the Program container."""
+
+import pytest
+
+from repro.isa.program import Program, Segment
+
+
+class TestSegment:
+    def test_end(self):
+        seg = Segment(base=0x100, words=[1, 2, 3])
+        assert seg.end == 0x10C
+
+    def test_overlap_detection(self):
+        a = Segment(base=0, words=[0] * 4)
+        b = Segment(base=12, words=[0] * 4)
+        c = Segment(base=16, words=[0] * 4)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert b.overlaps(c)
+
+    def test_empty_segment_never_overlaps(self):
+        a = Segment(base=0, words=[])
+        b = Segment(base=0, words=[1])
+        assert not a.overlaps(b)
+
+
+class TestProgram:
+    def _program(self) -> Program:
+        return Program(
+            segments=[
+                Segment(base=0, words=[10, 11], is_code=True),
+                Segment(base=0x2000, words=[20, 21, 22], is_code=False),
+            ],
+            symbols={"start": 0, "data": 0x2000},
+        )
+
+    def test_word_accounting(self):
+        p = self._program()
+        assert p.code_words == 2
+        assert p.data_words == 3
+        assert p.total_words == 5
+
+    def test_image(self):
+        image = self._program().to_image()
+        assert image[0] == 10
+        assert image[4] == 11
+        assert image[0x2008] == 22
+
+    def test_symbol_lookup(self):
+        assert self._program().symbol("data") == 0x2000
+        with pytest.raises(KeyError):
+            self._program().symbol("missing")

@@ -1,0 +1,58 @@
+"""Unit tests for register name parsing."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.registers import (
+    REGISTER_ALIASES,
+    register_name,
+    register_number,
+)
+
+
+class TestParsing:
+    def test_numeric(self):
+        assert register_number("$0") == 0
+        assert register_number("$31") == 31
+
+    def test_aliases(self):
+        assert register_number("$zero") == 0
+        assert register_number("$at") == 1
+        assert register_number("$sp") == 29
+        assert register_number("$ra") == 31
+
+    def test_case_insensitive(self):
+        assert register_number("$T0") == 8
+
+    def test_whitespace_tolerated(self):
+        assert register_number("  $t1 ") == 9
+
+    def test_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            register_number("$32")
+
+    def test_missing_dollar(self):
+        with pytest.raises(AssemblyError):
+            register_number("t0")
+
+    def test_garbage(self):
+        with pytest.raises(AssemblyError):
+            register_number("$xyz")
+
+
+class TestRendering:
+    def test_roundtrip_all(self):
+        for name, num in REGISTER_ALIASES.items():
+            assert register_number(register_name(num)) == num
+            assert register_number(name) == num
+
+    def test_prefers_abi_names(self):
+        assert register_name(8) == "$t0"
+        assert register_name(0) == "$zero"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            register_name(32)
+
+    def test_alias_map_complete(self):
+        assert sorted(REGISTER_ALIASES.values()) == list(range(32))

@@ -1,0 +1,110 @@
+"""Unit tests for the adder family generators."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faultsim.simulator import LogicSimulator
+from repro.library.adders import (
+    adder_subtractor,
+    equality_comparator,
+    incrementer,
+    ripple_carry_adder,
+)
+from repro.netlist.builder import NetlistBuilder
+
+u16 = st.integers(0, 0xFFFF)
+u32 = st.integers(0, 0xFFFF_FFFF)
+
+
+def build_adder(width: int):
+    b = NetlistBuilder("add")
+    a = b.input("a", width)
+    x = b.input("x", width)
+    cin = b.input("cin", 1)[0]
+    total, cout = ripple_carry_adder(b, a, x, cin)
+    b.output("sum", total)
+    b.output("cout", cout)
+    return LogicSimulator(b.build())
+
+
+class TestRippleCarryAdder:
+    def test_exhaustive_4bit(self):
+        sim = build_adder(4)
+        pats = [dict(a=a, x=x, cin=c)
+                for a in range(16) for x in range(16) for c in (0, 1)]
+        out = sim.run_combinational(pats)
+        for p, s, co in zip(pats, out["sum"], out["cout"]):
+            total = p["a"] + p["x"] + p["cin"]
+            assert s == total & 0xF
+            assert co == total >> 4
+
+    @given(u32, u32, st.integers(0, 1))
+    def test_32bit_property(self, a, x, cin):
+        sim = build_adder(32)
+        out = sim.run_combinational([dict(a=a, x=x, cin=cin)])
+        total = a + x + cin
+        assert out["sum"][0] == total & 0xFFFF_FFFF
+        assert out["cout"][0] == total >> 32
+
+
+class TestAdderSubtractor:
+    def _sim(self, width=16):
+        b = NetlistBuilder("addsub")
+        a = b.input("a", width)
+        x = b.input("x", width)
+        sub = b.input("sub", 1)[0]
+        total, cout = adder_subtractor(b, a, x, sub)
+        b.output("result", total)
+        b.output("cout", cout)
+        return LogicSimulator(b.build())
+
+    @given(u16, u16)
+    def test_add_mode(self, a, x):
+        out = self._sim().run_combinational([dict(a=a, x=x, sub=0)])
+        assert out["result"][0] == (a + x) & 0xFFFF
+
+    @given(u16, u16)
+    def test_sub_mode(self, a, x):
+        out = self._sim().run_combinational([dict(a=a, x=x, sub=1)])
+        assert out["result"][0] == (a - x) & 0xFFFF
+        # Carry-out is the not-borrow flag.
+        assert out["cout"][0] == (1 if a >= x else 0)
+
+
+class TestIncrementer:
+    @given(st.integers(0, 255))
+    def test_plus_one(self, a):
+        b = NetlistBuilder("inc")
+        word = b.input("a", 8)
+        b.output("y", incrementer(b, word))
+        out = LogicSimulator(b.build()).run_combinational([dict(a=a)])
+        assert out["y"][0] == (a + 1) & 0xFF
+
+    @given(u32)
+    def test_plus_four_pc_style(self, a):
+        b = NetlistBuilder("inc4")
+        word = b.input("a", 32)
+        b.output("y", incrementer(b, word, step_bit=2))
+        out = LogicSimulator(b.build()).run_combinational([dict(a=a)])
+        assert out["y"][0] == (a + 4) & 0xFFFF_FFFF
+
+
+class TestEqualityComparator:
+    @given(u16, u16)
+    def test_equality(self, a, x):
+        b = NetlistBuilder("eq")
+        wa = b.input("a", 16)
+        wx = b.input("x", 16)
+        b.output("eq", equality_comparator(b, wa, wx))
+        out = LogicSimulator(b.build()).run_combinational([dict(a=a, x=x)])
+        assert out["eq"][0] == (1 if a == x else 0)
+
+    def test_equal_values(self):
+        b = NetlistBuilder("eq")
+        wa = b.input("a", 16)
+        wx = b.input("x", 16)
+        b.output("eq", equality_comparator(b, wa, wx))
+        out = LogicSimulator(b.build()).run_combinational(
+            [dict(a=0xABCD, x=0xABCD)]
+        )
+        assert out["eq"][0] == 1

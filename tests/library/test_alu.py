@@ -1,0 +1,99 @@
+"""Unit tests for the ALU generator against its reference model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faultsim.simulator import LogicSimulator
+from repro.library.alu import ALU_OPS, AluOp, alu_reference, build_alu
+from repro.utils.bits import to_signed
+
+u32 = st.integers(0, 0xFFFF_FFFF)
+
+# Module-level simulator: the netlist is immutable, build once.
+_SIM = LogicSimulator(build_alu())
+
+
+def run(op: AluOp, a: int, b: int) -> int:
+    out = _SIM.run_combinational([dict(a=a, b=b, func=int(op))])
+    return out["result"][0]
+
+
+class TestReferenceModel:
+    """The reference itself, against plain Python semantics."""
+
+    @given(u32, u32)
+    def test_add_sub(self, a, b):
+        assert alu_reference(AluOp.ADD, a, b) == (a + b) & 0xFFFF_FFFF
+        assert alu_reference(AluOp.SUB, a, b) == (a - b) & 0xFFFF_FFFF
+
+    @given(u32, u32)
+    def test_logic(self, a, b):
+        assert alu_reference(AluOp.AND, a, b) == a & b
+        assert alu_reference(AluOp.OR, a, b) == a | b
+        assert alu_reference(AluOp.XOR, a, b) == a ^ b
+        assert alu_reference(AluOp.NOR, a, b) == 0xFFFF_FFFF & ~(a | b)
+
+    @given(u32, u32)
+    def test_slt(self, a, b):
+        assert alu_reference(AluOp.SLT, a, b) == int(
+            to_signed(a) < to_signed(b)
+        )
+        assert alu_reference(AluOp.SLTU, a, b) == int(a < b)
+
+    def test_pass_through(self):
+        # PASS_A is the idle encoding: no pass path exists, result is 0.
+        assert alu_reference(AluOp.PASS_A, 5, 9) == 0
+        assert alu_reference(AluOp.PASS_B, 5, 9) == 9
+
+
+class TestNetlistMatchesReference:
+    @settings(deadline=None, max_examples=30)
+    @given(st.sampled_from(ALU_OPS), u32, u32)
+    def test_random_property(self, op, a, b):
+        assert run(op, a, b) == alu_reference(op, a, b)
+
+    @pytest.mark.parametrize("op", ALU_OPS)
+    def test_corner_operands(self, op):
+        corners = (0, 1, 0x7FFF_FFFF, 0x8000_0000, 0xFFFF_FFFF, 0x5555_5555)
+        pats = [dict(a=a, b=b, func=int(op)) for a in corners for b in corners]
+        out = _SIM.run_combinational(pats)
+        for p, r in zip(pats, out["result"]):
+            assert r == alu_reference(op, p["a"], p["b"]), p
+
+    def test_carry_chain_propagation(self):
+        assert run(AluOp.ADD, 0xFFFF_FFFF, 1) == 0
+        assert run(AluOp.ADD, 0x7FFF_FFFF, 1) == 0x8000_0000
+
+    def test_sub_wraparound(self):
+        assert run(AluOp.SUB, 0, 1) == 0xFFFF_FFFF
+
+    def test_slt_sign_corners(self):
+        assert run(AluOp.SLT, 0x8000_0000, 0) == 1  # INT_MIN < 0
+        assert run(AluOp.SLT, 0, 0x8000_0000) == 0
+        assert run(AluOp.SLTU, 0x8000_0000, 0) == 0  # big unsigned
+        assert run(AluOp.SLTU, 0, 0x8000_0000) == 1
+
+    def test_undefined_func_is_zero(self):
+        out = _SIM.run_combinational([dict(a=0xFFFF_FFFF, b=0xFFFF_FFFF,
+                                           func=15)])
+        assert out["result"][0] == 0
+
+
+class TestStructure:
+    def test_reasonable_size(self):
+        from repro.netlist.stats import gate_count
+
+        nand2 = gate_count(build_alu()).nand2
+        assert 500 < nand2 < 3000
+
+    def test_parametric_width(self):
+        sim = LogicSimulator(build_alu(width=8))
+        out = sim.run_combinational(
+            [dict(a=0xFF, b=1, func=int(AluOp.ADD))]
+        )
+        assert out["result"][0] == 0
+
+    def test_reference_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            alu_reference("nope", 0, 0)  # type: ignore[arg-type]

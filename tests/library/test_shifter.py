@@ -1,0 +1,85 @@
+"""Unit tests for the barrel shifter generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.faultsim.simulator import LogicSimulator
+from repro.library.shifter import build_barrel_shifter, shifter_reference
+from repro.utils.bits import to_signed
+
+u32 = st.integers(0, 0xFFFF_FFFF)
+shamt = st.integers(0, 31)
+
+_SIM = LogicSimulator(build_barrel_shifter())
+
+
+def run(value: int, amount: int, left: int, arith: int) -> int:
+    out = _SIM.run_combinational(
+        [dict(value=value, shamt=amount, left=left, arith=arith)]
+    )
+    return out["result"][0]
+
+
+class TestReferenceModel:
+    @given(u32, shamt)
+    def test_logical_shifts(self, value, amount):
+        assert shifter_reference(value, amount, True, False) == (
+            (value << amount) & 0xFFFF_FFFF
+        )
+        assert shifter_reference(value, amount, False, False) == value >> amount
+
+    @given(u32, shamt)
+    def test_arithmetic_shift(self, value, amount):
+        expected = (to_signed(value) >> amount) & 0xFFFF_FFFF
+        assert shifter_reference(value, amount, False, True) == expected
+
+
+class TestNetlistMatchesReference:
+    @settings(deadline=None, max_examples=40)
+    @given(u32, shamt, st.booleans(), st.booleans())
+    def test_random_property(self, value, amount, left, arith):
+        assert run(value, amount, int(left), int(arith)) == shifter_reference(
+            value, amount, left, arith
+        )
+
+    def test_all_shift_amounts_exhaustive(self):
+        value = 0x80000001
+        pats = [
+            dict(value=value, shamt=s, left=lf, arith=ar)
+            for s in range(32)
+            for lf in (0, 1)
+            for ar in (0, 1)
+        ]
+        out = _SIM.run_combinational(pats)
+        for p, r in zip(pats, out["result"]):
+            assert r == shifter_reference(
+                value, p["shamt"], p["left"], p["arith"]
+            ), p
+
+    def test_shift_by_zero_identity(self):
+        assert run(0xDEADBEEF, 0, 0, 0) == 0xDEADBEEF
+        assert run(0xDEADBEEF, 0, 1, 0) == 0xDEADBEEF
+
+    def test_sra_fills_sign(self):
+        assert run(0x8000_0000, 31, 0, 1) == 0xFFFF_FFFF
+
+    def test_srl_fills_zero(self):
+        assert run(0x8000_0000, 31, 0, 0) == 1
+
+    def test_sll_drops_high_bits(self):
+        assert run(0xFFFF_FFFF, 16, 1, 0) == 0xFFFF_0000
+
+
+class TestStructure:
+    def test_width_must_be_power_of_two(self):
+        with pytest.raises(NetlistError):
+            build_barrel_shifter(width=12)
+
+    def test_small_width(self):
+        sim = LogicSimulator(build_barrel_shifter(width=8))
+        out = sim.run_combinational(
+            [dict(value=0x81, shamt=1, left=0, arith=1)]
+        )
+        assert out["result"][0] == 0xC0

@@ -1,0 +1,203 @@
+"""Unit tests for the word-level netlist builder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.faultsim.simulator import LogicSimulator
+from repro.netlist.builder import NetlistBuilder
+
+u8 = st.integers(0, 255)
+
+
+def run1(builder: NetlistBuilder, **inputs):
+    """Evaluate a single-pattern combinational circuit."""
+    sim = LogicSimulator(builder.build())
+    outputs = sim.run_combinational([inputs])
+    return {k: v[0] for k, v in outputs.items()}
+
+
+class TestBitOps:
+    def test_basic_gates(self):
+        b = NetlistBuilder("t")
+        x = b.input("x", 1)[0]
+        y = b.input("y", 1)[0]
+        b.output("and_", b.and_(x, y))
+        b.output("or_", b.or_(x, y))
+        b.output("xor_", b.xor(x, y))
+        b.output("nand_", b.nand(x, y))
+        b.output("nor_", b.nor(x, y))
+        b.output("xnor_", b.xnor(x, y))
+        b.output("not_", b.not_(x))
+        sim = LogicSimulator(b.build())
+        pats = [dict(x=xv, y=yv) for xv in (0, 1) for yv in (0, 1)]
+        res = sim.run_combinational(pats)
+        for i, p in enumerate(pats):
+            x, y = p["x"], p["y"]
+            assert res["and_"][i] == (x & y)
+            assert res["or_"][i] == (x | y)
+            assert res["xor_"][i] == (x ^ y)
+            assert res["nand_"][i] == 1 - (x & y)
+            assert res["nor_"][i] == 1 - (x | y)
+            assert res["xnor_"][i] == 1 - (x ^ y)
+            assert res["not_"][i] == 1 - x
+
+    def test_mux_bit(self):
+        b = NetlistBuilder("t")
+        s = b.input("s", 1)[0]
+        x = b.input("x", 1)[0]
+        y = b.input("y", 1)[0]
+        b.output("m", b.mux(s, x, y))
+        sim = LogicSimulator(b.build())
+        pats = [dict(s=s_, x=x_, y=y_)
+                for s_ in (0, 1) for x_ in (0, 1) for y_ in (0, 1)]
+        res = sim.run_combinational(pats)
+        for i, p in enumerate(pats):
+            expected = p["y"] if p["s"] else p["x"]
+            assert res["m"][i] == expected
+
+
+class TestWordOps:
+    @given(u8, u8)
+    def test_bitwise_words(self, x, y):
+        b = NetlistBuilder("t")
+        xs = b.input("x", 8)
+        ys = b.input("y", 8)
+        b.output("and_", b.and_word(xs, ys))
+        b.output("or_", b.or_word(xs, ys))
+        b.output("xor_", b.xor_word(xs, ys))
+        b.output("nor_", b.nor_word(xs, ys))
+        b.output("not_", b.not_word(xs))
+        out = run1(b, x=x, y=y)
+        assert out["and_"] == x & y
+        assert out["or_"] == x | y
+        assert out["xor_"] == x ^ y
+        assert out["nor_"] == 0xFF & ~(x | y)
+        assert out["not_"] == 0xFF & ~x
+
+    def test_width_mismatch(self):
+        b = NetlistBuilder("t")
+        with pytest.raises(NetlistError):
+            b.and_word(b.input("x", 4), b.input("y", 5))
+
+    @given(u8, u8, st.integers(0, 1))
+    def test_mux_word(self, x, y, s):
+        b = NetlistBuilder("t")
+        xs = b.input("x", 8)
+        ys = b.input("y", 8)
+        sel = b.input("s", 1)[0]
+        b.output("m", b.mux_word(sel, xs, ys))
+        assert run1(b, x=x, y=y, s=s)["m"] == (y if s else x)
+
+    def test_constant(self):
+        b = NetlistBuilder("t")
+        b.input("dummy", 1)
+        b.output("k", b.constant(0xA5, 8))
+        assert run1(b, dummy=0)["k"] == 0xA5
+
+    def test_extensions(self):
+        b = NetlistBuilder("t")
+        x = b.input("x", 4)
+        b.output("sx", b.sign_extend(x, 8))
+        b.output("zx", b.zero_extend(x, 8))
+        out = run1(b, x=0b1010)
+        assert out["sx"] == 0b11111010
+        assert out["zx"] == 0b00001010
+
+
+class TestMuxTree:
+    @given(st.integers(0, 7), st.lists(u8, min_size=8, max_size=8))
+    def test_full_tree(self, sel, choices):
+        b = NetlistBuilder("t")
+        s = b.input("s", 3)
+        words = [b.constant(c, 8) for c in choices]
+        b.input("dummy", 1)
+        b.output("y", b.mux_tree(s, words))
+        assert run1(b, s=sel, dummy=0)["y"] == choices[sel]
+
+    @given(st.integers(0, 4), st.lists(u8, min_size=5, max_size=5))
+    def test_pruned_tree_valid_range(self, sel, choices):
+        b = NetlistBuilder("t")
+        s = b.input("s", 3)
+        words = [b.constant(c, 8) for c in choices]
+        b.input("dummy", 1)
+        b.output("y", b.mux_tree(s, words))
+        assert run1(b, s=sel, dummy=0)["y"] == choices[sel]
+
+    def test_empty_choices(self):
+        b = NetlistBuilder("t")
+        with pytest.raises(NetlistError):
+            b.mux_tree(b.input("s", 2), [])
+
+
+class TestDecoder:
+    @given(st.integers(0, 7))
+    def test_one_hot(self, sel):
+        b = NetlistBuilder("t")
+        s = b.input("s", 3)
+        b.output("lines", b.decoder(s))
+        out = run1(b, s=sel)["lines"]
+        assert out == 1 << sel
+
+    @given(st.integers(0, 7), st.integers(0, 1))
+    def test_enable_gates_all_outputs(self, sel, en):
+        b = NetlistBuilder("t")
+        s = b.input("s", 3)
+        enable = b.input("en", 1)[0]
+        b.output("lines", b.decoder(s, enable=enable))
+        out = run1(b, s=sel, en=en)["lines"]
+        assert out == ((1 << sel) if en else 0)
+
+
+class TestReductionsAndCompare:
+    @given(u8)
+    def test_reduce_or_and_xor(self, x):
+        b = NetlistBuilder("t")
+        xs = b.input("x", 8)
+        b.output("ro", b.reduce_or(xs))
+        b.output("ra", b.reduce_and(xs))
+        b.output("rx", b.reduce_xor(xs))
+        b.output("z", b.is_zero(xs))
+        out = run1(b, x=x)
+        assert out["ro"] == (1 if x else 0)
+        assert out["ra"] == (1 if x == 0xFF else 0)
+        assert out["rx"] == bin(x).count("1") % 2
+        assert out["z"] == (1 if x == 0 else 0)
+
+    @given(u8, u8)
+    def test_equals_const(self, x, k):
+        b = NetlistBuilder("t")
+        xs = b.input("x", 8)
+        b.output("eq", b.equals_const(xs, k))
+        assert run1(b, x=x)["eq"] == (1 if x == k else 0)
+
+    def test_reduce_empty(self):
+        b = NetlistBuilder("t")
+        with pytest.raises(NetlistError):
+            b.reduce_or([])
+
+
+class TestRegisters:
+    def test_register_word_holds_with_enable(self):
+        b = NetlistBuilder("t")
+        d = b.input("d", 4)
+        en = b.input("en", 1)[0]
+        b.output("q", b.register_word(d, init=0b0101, enable=en))
+        sim = LogicSimulator(b.build())
+        cycles = [
+            dict(d=0xF, en=0),  # hold: q stays init
+            dict(d=0xF, en=1),  # load F
+            dict(d=0x3, en=0),  # hold F
+            dict(d=0x3, en=1),  # load 3
+        ]
+        outs, _ = sim.run_sequence(cycles)
+        assert [o["q"] for o in outs] == [0b0101, 0b0101, 0xF, 0xF]
+
+    def test_plain_dff_init(self):
+        b = NetlistBuilder("t")
+        d = b.input("d", 1)[0]
+        b.output("q", b.dff(d, init=1))
+        sim = LogicSimulator(b.build())
+        outs, _ = sim.run_sequence([dict(d=0), dict(d=0)])
+        assert [o["q"] for o in outs] == [1, 0]

@@ -1,0 +1,115 @@
+"""Unit tests for hierarchical netlist composition."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.faultsim.simulator import LogicSimulator
+from repro.library import build_alu
+from repro.library.alu import AluOp, alu_reference
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.compose import instantiate
+from repro.netlist.verify import lint
+
+
+def half_adder():
+    b = NetlistBuilder("HA")
+    a = b.input("a", 1)
+    x = b.input("x", 1)
+    b.output("sum", b.xor(a[0], x[0]))
+    b.output("carry", b.and_(a[0], x[0]))
+    return b.build()
+
+
+class TestInstantiate:
+    def test_two_instances_compose_full_adder(self):
+        b = NetlistBuilder("FA")
+        a = b.input("a", 1)
+        x = b.input("x", 1)
+        cin = b.input("cin", 1)
+        ha1 = instantiate(b, half_adder(), {"a": a, "x": x}, name="ha1")
+        ha2 = instantiate(
+            b, half_adder(), {"a": ha1["sum"], "x": cin}, name="ha2"
+        )
+        b.output("sum", ha2["sum"])
+        b.output("cout", b.or_(ha1["carry"][0], ha2["carry"][0]))
+        nl = b.build()
+        lint(nl)
+        sim = LogicSimulator(nl)
+        pats = [dict(a=av, x=xv, cin=cv)
+                for av in (0, 1) for xv in (0, 1) for cv in (0, 1)]
+        out = sim.run_combinational(pats)
+        for i, p in enumerate(pats):
+            total = p["a"] + p["x"] + p["cin"]
+            assert out["sum"][i] == total & 1
+            assert out["cout"][i] == total >> 1
+
+    def test_instantiated_component_equivalent(self):
+        b = NetlistBuilder("wrap")
+        a = b.input("a", 8)
+        x = b.input("x", 8)
+        func = b.input("func", 4)
+        out = instantiate(
+            b, build_alu(width=8), {"a": a, "b": x, "func": func}
+        )
+        b.output("result", out["result"])
+        nl = b.build()
+        lint(nl)
+        sim = LogicSimulator(nl)
+        pats = [dict(a=0xF0, x=0x0F, func=int(op)) for op in AluOp]
+        res = sim.run_combinational(pats)
+        for p, r in zip(pats, res["result"]):
+            assert r == alu_reference(AluOp(p["func"]), 0xF0, 0x0F, width=8)
+
+    def test_output_binding_feedback(self):
+        # Pre-allocate a net, bind it as one instance's output and read it
+        # in the parent.
+        b = NetlistBuilder("fb")
+        a = b.input("a", 1)
+        x = b.input("x", 1)
+        pre = [b.netlist.new_net("pre")]
+        instantiate(b, half_adder(), {"a": a, "x": x, "sum": pre})
+        b.output("y", b.not_(pre[0]))
+        nl = b.build()
+        lint(nl)
+        sim = LogicSimulator(nl)
+        out = sim.run_combinational([dict(a=1, x=0)])
+        assert out["y"][0] == 0  # not(1 xor 0)
+
+    def test_sequential_child(self):
+        child = NetlistBuilder("reg")
+        d = child.input("d", 4)
+        child.output("q", child.register_word(d, init=0x5))
+        b = NetlistBuilder("top")
+        data = b.input("data", 4)
+        out = instantiate(b, child.build(), {"d": data})
+        b.output("q", out["q"])
+        sim = LogicSimulator(b.build())
+        outs, _ = sim.run_sequence([dict(data=0xF), dict(data=0x0)])
+        assert [o["q"] for o in outs] == [0x5, 0xF]
+
+    def test_missing_input_rejected(self):
+        b = NetlistBuilder("t")
+        a = b.input("a", 1)
+        with pytest.raises(NetlistError):
+            instantiate(b, half_adder(), {"a": a})
+
+    def test_unknown_port_rejected(self):
+        b = NetlistBuilder("t")
+        a = b.input("a", 1)
+        with pytest.raises(NetlistError):
+            instantiate(b, half_adder(), {"a": a, "x": a, "bogus": a})
+
+    def test_width_mismatch_rejected(self):
+        b = NetlistBuilder("t")
+        a = b.input("a", 2)
+        with pytest.raises(NetlistError):
+            instantiate(b, half_adder(), {"a": a, "x": a})
+
+    def test_net_names_prefixed(self):
+        b = NetlistBuilder("t")
+        a = b.input("a", 1)
+        x = b.input("x", 1)
+        instantiate(b, half_adder(), {"a": a, "x": x}, name="inst7")
+        assert any(
+            name.startswith("inst7/") for name in b.netlist.net_names.values()
+        )

@@ -1,0 +1,78 @@
+"""Unit tests for levelization and depth analysis."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.netlist.levelize import depth, levelize, levels
+from repro.netlist.netlist import Netlist
+
+
+def chain(n: int) -> Netlist:
+    b = NetlistBuilder("chain")
+    x = b.input("x", 1)[0]
+    for _ in range(n):
+        x = b.not_(x)
+    b.output("y", x)
+    return b.build()
+
+
+class TestLevelize:
+    def test_order_respects_dependencies(self):
+        nl = chain(10)
+        order = levelize(nl)
+        position = {g.index: i for i, g in enumerate(order)}
+        for gate in nl.gates:
+            for net in gate.inputs:
+                for other in nl.gates:
+                    if other.output == net:
+                        assert position[other.index] < position[gate.index]
+
+    def test_all_gates_included(self):
+        nl = chain(5)
+        assert len(levelize(nl)) == 5
+
+    def test_combinational_cycle_detected(self):
+        nl = Netlist("loop")
+        a = nl.add_input("a", 1)[0]
+        fb = nl.new_net()
+        out = nl.add_gate(GateType.AND, [a, fb])
+        nl.add_gate(GateType.NOT, [out], output=fb)
+        with pytest.raises(NetlistError):
+            levelize(nl)
+
+    def test_dff_breaks_cycle(self):
+        # A feedback loop through a DFF is sequential, not combinational.
+        b = NetlistBuilder("tff")
+        q = b.netlist.new_net()
+        d = b.not_(q)
+        from repro.netlist.netlist import DFF
+
+        b.netlist.dffs.append(DFF(0, d, q, 0))
+        b.output("q", q)
+        assert len(levelize(b.netlist)) == 1
+
+
+class TestDepth:
+    def test_chain_depth(self):
+        assert depth(chain(7)) == 7
+
+    def test_empty_depth(self):
+        b = NetlistBuilder("w")
+        x = b.input("x", 1)
+        b.output("y", x)
+        assert depth(b.build()) == 0
+
+    def test_levels_monotone_along_paths(self):
+        b = NetlistBuilder("t")
+        x = b.input("x", 4)
+        s = b.reduce_xor(x)
+        b.output("y", b.not_(s))
+        nl = b.build()
+        lvl = levels(nl)
+        driver = {g.output: g.index for g in nl.gates}
+        for gate in nl.gates:
+            for net in gate.inputs:
+                if net in driver:
+                    assert lvl[driver[net]] < lvl[gate.index]

@@ -1,0 +1,129 @@
+"""Unit tests for the Netlist data structure."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+
+
+class TestNets:
+    def test_constants_preallocated(self):
+        nl = Netlist("t")
+        assert nl.n_nets == 2
+        assert CONST0 == 0 and CONST1 == 1
+
+    def test_new_net_sequential(self):
+        nl = Netlist("t")
+        assert nl.new_net() == 2
+        assert nl.new_net() == 3
+
+    def test_named_nets(self):
+        nl = Netlist("t")
+        net = nl.new_net("foo")
+        assert nl.net_names[net] == "foo"
+
+    def test_new_bus(self):
+        nl = Netlist("t")
+        bus = nl.new_bus(4, "data")
+        assert len(bus) == 4
+        assert nl.net_names[bus[0]] == "data[0]"
+
+
+class TestGates:
+    def test_add_gate_allocates_output(self):
+        nl = Netlist("t")
+        a, b = nl.new_net(), nl.new_net()
+        out = nl.add_gate(GateType.AND, [a, b])
+        assert out == nl.gates[0].output
+
+    def test_arity_enforced(self):
+        nl = Netlist("t")
+        a = nl.new_net()
+        with pytest.raises(ValueError):
+            nl.add_gate(GateType.AND, [a])
+        with pytest.raises(ValueError):
+            nl.add_gate(GateType.NOT, [a, a])
+        with pytest.raises(ValueError):
+            nl.add_gate(GateType.MUX2, [a, a])
+
+    def test_unknown_net_rejected(self):
+        nl = Netlist("t")
+        with pytest.raises(NetlistError):
+            nl.add_gate(GateType.NOT, [99])
+
+    def test_dff_init_validated(self):
+        nl = Netlist("t")
+        d = nl.new_net()
+        with pytest.raises(NetlistError):
+            nl.add_dff(d, init=2)
+
+    def test_dff_q_allocated(self):
+        nl = Netlist("t")
+        d = nl.new_net()
+        q = nl.add_dff(d, init=1)
+        assert nl.dffs[0].q == q
+        assert nl.dffs[0].init == 1
+
+
+class TestPorts:
+    def test_input_port(self):
+        nl = Netlist("t")
+        nets = nl.add_input("a", 4)
+        assert nl.port("a").width == 4
+        assert tuple(nets) == nl.port("a").nets
+
+    def test_duplicate_port(self):
+        nl = Netlist("t")
+        nl.add_input("a", 1)
+        with pytest.raises(NetlistError):
+            nl.add_input("a", 1)
+
+    def test_output_port_requires_existing_nets(self):
+        nl = Netlist("t")
+        with pytest.raises(NetlistError):
+            nl.add_output("x", [57])
+
+    def test_missing_port(self):
+        nl = Netlist("t")
+        with pytest.raises(NetlistError):
+            nl.port("ghost")
+
+    def test_port_direction_filters(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 1)
+        out = nl.add_gate(GateType.NOT, a)
+        nl.add_output("y", [out])
+        assert [p.name for p in nl.input_ports()] == ["a"]
+        assert [p.name for p in nl.output_ports()] == ["y"]
+
+
+class TestDrivers:
+    def test_double_drive_detected(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 1)[0]
+        out = nl.add_gate(GateType.NOT, [a])
+        nl.add_gate(GateType.BUF, [a], output=out)
+        with pytest.raises(NetlistError):
+            nl.drivers()
+
+    def test_drivers_include_all_sources(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 1)[0]
+        g = nl.add_gate(GateType.NOT, [a])
+        q = nl.add_dff(g)
+        drivers = nl.drivers()
+        assert a in drivers and g in drivers and q in drivers
+        assert CONST0 in drivers and CONST1 in drivers
+
+    def test_fanout_map(self):
+        nl = Netlist("t")
+        a = nl.add_input("a", 1)[0]
+        nl.add_gate(GateType.NOT, [a])
+        nl.add_gate(GateType.BUF, [a])
+        assert nl.fanout_map()[a] == [0, 1]
+
+    def test_describe_mentions_counts(self):
+        nl = Netlist("mycirc")
+        text = nl.describe()
+        assert "mycirc" in text and "0 gates" in text

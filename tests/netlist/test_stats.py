@@ -1,0 +1,43 @@
+"""Unit tests for NAND2-equivalent area accounting."""
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import DFF_COST, GATE_COSTS, GateType
+from repro.netlist.stats import gate_count, nand2_equivalents
+
+
+class TestCosts:
+    def test_single_nand_is_unit(self):
+        b = NetlistBuilder("t")
+        x = b.input("x", 2)
+        b.output("y", b.nand(x[0], x[1]))
+        assert nand2_equivalents(b.build()) == 1.0
+
+    def test_inverter_half(self):
+        b = NetlistBuilder("t")
+        x = b.input("x", 1)
+        b.output("y", b.not_(x[0]))
+        assert nand2_equivalents(b.build()) == GATE_COSTS[GateType.NOT]
+
+    def test_nary_gate_costs_as_tree(self):
+        b = NetlistBuilder("t")
+        x = b.input("x", 4)
+        b.output("y", b.netlist.add_gate(GateType.AND, list(x)))
+        # 4-input AND = 3 x 2-input ANDs.
+        assert nand2_equivalents(b.build()) == 3 * GATE_COSTS[GateType.AND]
+
+    def test_dff_cost(self):
+        b = NetlistBuilder("t")
+        x = b.input("x", 1)
+        b.output("q", b.dff(x[0]))
+        assert nand2_equivalents(b.build()) == DFF_COST
+
+    def test_gate_count_summary(self):
+        b = NetlistBuilder("t")
+        x = b.input("x", 2)
+        b.output("y", b.xor(x[0], x[1]))
+        b.output("q", b.dff(x[0]))
+        stats = gate_count(b.build())
+        assert stats.gates_by_type == {GateType.XOR: 1}
+        assert stats.n_dffs == 1
+        assert stats.n_gates == 1
+        assert stats.nand2 == round(GATE_COSTS[GateType.XOR] + DFF_COST)

@@ -1,0 +1,69 @@
+"""Unit tests for the netlist linter."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.netlist.verify import lint
+
+
+class TestLint:
+    def test_clean_circuit_passes(self):
+        b = NetlistBuilder("ok")
+        x = b.input("x", 2)
+        b.output("y", b.and_(x[0], x[1]))
+        report = lint(b.build())
+        assert report.ok
+        assert report.warnings == []
+
+    def test_undriven_gate_input(self):
+        nl = Netlist("bad")
+        floating = nl.new_net()
+        dangling = nl.new_net()
+        out = nl.add_gate(GateType.AND, [floating, dangling])
+        nl.add_output("y", [out])
+        report = lint(nl, strict=False)
+        assert not report.ok
+        assert any("undriven" in e for e in report.errors)
+
+    def test_undriven_output_port(self):
+        nl = Netlist("bad")
+        ghost = nl.new_net()
+        nl.add_output("y", [ghost])
+        report = lint(nl, strict=False)
+        assert any("undriven" in e for e in report.errors)
+
+    def test_strict_raises(self):
+        nl = Netlist("bad")
+        ghost = nl.new_net()
+        nl.add_output("y", [ghost])
+        with pytest.raises(NetlistError):
+            lint(nl)
+
+    def test_floating_gate_output_warns(self):
+        b = NetlistBuilder("warn")
+        x = b.input("x", 2)
+        b.and_(x[0], x[1])  # output never read, not a port
+        b.output("y", x[0])
+        report = lint(b.build(), strict=False)
+        assert report.ok
+        assert any("never read" in w for w in report.warnings)
+
+    def test_cycle_reported(self):
+        nl = Netlist("loop")
+        a = nl.add_input("a", 1)[0]
+        fb = nl.new_net()
+        out = nl.add_gate(GateType.AND, [a, fb])
+        nl.add_gate(GateType.NOT, [out], output=fb)
+        nl.add_output("y", [out])
+        report = lint(nl, strict=False)
+        assert any("cycle" in e for e in report.errors)
+
+    def test_all_plasma_components_lint_clean(self):
+        from repro.plasma.components import COMPONENTS
+
+        for info in COMPONENTS:
+            report = lint(info.builder(), strict=False)
+            assert report.ok, (info.name, report.errors)

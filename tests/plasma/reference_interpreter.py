@@ -1,0 +1,238 @@
+"""An independent, deliberately simple MIPS interpreter for differential
+testing of :class:`repro.plasma.cpu.PlasmaCPU`.
+
+This implementation shares **no code** with the CPU model: it decodes bit
+fields by hand, keeps memory as a byte dict, and implements each
+instruction with plain Python arithmetic.  Anything the two implementations
+disagree on is a bug in one of them.
+
+It executes straight-line programs with branches and delay slots but no
+cycle accounting (architectural state only).
+"""
+
+from __future__ import annotations
+
+M32 = 0xFFFF_FFFF
+
+
+def _s32(v: int) -> int:
+    v &= M32
+    return v - (1 << 32) if v & 0x8000_0000 else v
+
+
+def _sx16(v: int) -> int:
+    v &= 0xFFFF
+    return v | 0xFFFF_0000 if v & 0x8000 else v
+
+
+class ReferenceInterpreter:
+    """Minimal architectural MIPS I interpreter (Plasma subset)."""
+
+    def __init__(self) -> None:
+        self.regs = [0] * 32
+        self.hi = 0
+        self.lo = 0
+        self.pc = 0
+        self.next_pc = 4
+        self.bytes: dict[int, int] = {}
+        self.halted = False
+
+    # ------------------------------------------------------------ memory
+
+    def load_words(self, image: dict[int, int]) -> None:
+        for addr, word in image.items():
+            for k in range(4):
+                self.bytes[addr + k] = (word >> (8 * k)) & 0xFF
+
+    def read_word(self, addr: int) -> int:
+        assert addr % 4 == 0, f"unaligned word read {addr:#x}"
+        return sum(self.bytes.get(addr + k, 0) << (8 * k) for k in range(4))
+
+    def write_word(self, addr: int, value: int) -> None:
+        assert addr % 4 == 0
+        for k in range(4):
+            self.bytes[addr + k] = (value >> (8 * k)) & 0xFF
+
+    # --------------------------------------------------------------- run
+
+    def step(self) -> None:
+        word = self.read_word(self.pc)
+        current_pc = self.pc
+        self.pc = self.next_pc
+        self.next_pc = (self.next_pc + 4) & M32
+
+        op = word >> 26
+        rs = (word >> 21) & 31
+        rt = (word >> 16) & 31
+        rd = (word >> 11) & 31
+        sa = (word >> 6) & 31
+        fn = word & 63
+        imm = word & 0xFFFF
+        target = word & 0x3FF_FFFF
+
+        R = self.regs
+
+        def wr(reg: int, value: int) -> None:
+            if reg:
+                R[reg] = value & M32
+
+        def branch(taken: bool) -> None:
+            if taken:
+                dest = (current_pc + 4 + (_sx16(imm) << 2)) & M32
+                if dest == current_pc:
+                    self.halted = True
+                self.next_pc = dest
+
+        if op == 0:
+            if fn == 0x00:
+                wr(rd, R[rt] << sa)
+            elif fn == 0x02:
+                wr(rd, R[rt] >> sa)
+            elif fn == 0x03:
+                wr(rd, _s32(R[rt]) >> sa)
+            elif fn == 0x04:
+                wr(rd, R[rt] << (R[rs] & 31))
+            elif fn == 0x06:
+                wr(rd, R[rt] >> (R[rs] & 31))
+            elif fn == 0x07:
+                wr(rd, _s32(R[rt]) >> (R[rs] & 31))
+            elif fn == 0x08:
+                if R[rs] == current_pc:
+                    self.halted = True
+                self.next_pc = R[rs]
+            elif fn == 0x09:
+                wr(rd, current_pc + 8)
+                self.next_pc = R[rs]
+            elif fn == 0x10:
+                wr(rd, self.hi)
+            elif fn == 0x11:
+                self.hi = R[rs]
+            elif fn == 0x12:
+                wr(rd, self.lo)
+            elif fn == 0x13:
+                self.lo = R[rs]
+            elif fn in (0x18, 0x19):
+                if fn == 0x18:
+                    product = _s32(R[rs]) * _s32(R[rt])
+                else:
+                    product = R[rs] * R[rt]
+                product &= (1 << 64) - 1
+                self.hi = (product >> 32) & M32
+                self.lo = product & M32
+            elif fn in (0x1A, 0x1B):
+                a, b = R[rs], R[rt]
+                if fn == 0x1A:
+                    sa_, sb_ = _s32(a), _s32(b)
+                    if sb_ == 0:
+                        # Restoring-array semantics (matches the netlist).
+                        q = M32
+                        r = abs(sa_) & M32
+                        if sa_ < 0:
+                            r = (-r) & M32
+                        q_signed_fix = (a ^ b) & 0x8000_0000
+                        if q_signed_fix:
+                            q = (-q) & M32
+                        self.lo, self.hi = q, r
+                    else:
+                        q = abs(sa_) // abs(sb_)
+                        if (sa_ < 0) != (sb_ < 0):
+                            q = -q
+                        r = sa_ - q * sb_
+                        self.lo, self.hi = q & M32, r & M32
+                else:
+                    if b == 0:
+                        self.lo, self.hi = M32, a
+                    else:
+                        self.lo, self.hi = (a // b) & M32, (a % b) & M32
+            elif fn in (0x20, 0x21):
+                wr(rd, R[rs] + R[rt])
+            elif fn in (0x22, 0x23):
+                wr(rd, R[rs] - R[rt])
+            elif fn == 0x24:
+                wr(rd, R[rs] & R[rt])
+            elif fn == 0x25:
+                wr(rd, R[rs] | R[rt])
+            elif fn == 0x26:
+                wr(rd, R[rs] ^ R[rt])
+            elif fn == 0x27:
+                wr(rd, ~(R[rs] | R[rt]))
+            elif fn == 0x2A:
+                wr(rd, int(_s32(R[rs]) < _s32(R[rt])))
+            elif fn == 0x2B:
+                wr(rd, int(R[rs] < R[rt]))
+            else:
+                raise ValueError(f"funct {fn:#x}")
+        elif op == 1:
+            if rt == 0:
+                branch(_s32(R[rs]) < 0)
+            elif rt == 1:
+                branch(_s32(R[rs]) >= 0)
+            else:
+                raise ValueError(f"regimm rt {rt}")
+        elif op == 2 or op == 3:
+            dest = ((current_pc + 4) & 0xF000_0000) | (target << 2)
+            if op == 3:
+                wr(31, current_pc + 8)
+            if dest == current_pc:
+                self.halted = True
+            self.next_pc = dest
+        elif op == 4:
+            branch(R[rs] == R[rt])
+        elif op == 5:
+            branch(R[rs] != R[rt])
+        elif op == 6:
+            branch(_s32(R[rs]) <= 0)
+        elif op == 7:
+            branch(_s32(R[rs]) > 0)
+        elif op == 8 or op == 9:
+            wr(rt, R[rs] + _sx16(imm))
+        elif op == 0x0A:
+            wr(rt, int(_s32(R[rs]) < _s32(_sx16(imm))))
+        elif op == 0x0B:
+            wr(rt, int(R[rs] < (_sx16(imm) & M32)))
+        elif op == 0x0C:
+            wr(rt, R[rs] & imm)
+        elif op == 0x0D:
+            wr(rt, R[rs] | imm)
+        elif op == 0x0E:
+            wr(rt, R[rs] ^ imm)
+        elif op == 0x0F:
+            wr(rt, imm << 16)
+        elif op in (0x20, 0x21, 0x23, 0x24, 0x25):
+            addr = (R[rs] + _sx16(imm)) & M32
+            if op == 0x23:
+                wr(rt, self.read_word(addr))
+            elif op in (0x20, 0x24):
+                byte = self.bytes.get(addr, 0)
+                if op == 0x20 and byte & 0x80:
+                    byte |= 0xFFFF_FF00
+                wr(rt, byte)
+            else:
+                assert addr % 2 == 0
+                half = self.bytes.get(addr, 0) | (
+                    self.bytes.get(addr + 1, 0) << 8
+                )
+                if op == 0x21 and half & 0x8000:
+                    half |= 0xFFFF_0000
+                wr(rt, half)
+        elif op in (0x28, 0x29, 0x2B):
+            addr = (R[rs] + _sx16(imm)) & M32
+            value = R[rt]
+            if op == 0x2B:
+                self.write_word(addr, value)
+            elif op == 0x28:
+                self.bytes[addr] = value & 0xFF
+            else:
+                assert addr % 2 == 0
+                self.bytes[addr] = value & 0xFF
+                self.bytes[addr + 1] = (value >> 8) & 0xFF
+        else:
+            raise ValueError(f"opcode {op:#x}")
+
+    def run(self, max_steps: int = 100_000) -> None:
+        steps = 0
+        while not self.halted:
+            self.step()
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("reference interpreter did not halt")

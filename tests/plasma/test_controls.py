@@ -1,0 +1,124 @@
+"""Unit tests for the reference control decoder."""
+
+import pytest
+
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import INSTRUCTION_SET
+from repro.library.alu import AluOp
+from repro.library.multiplier import MulDivOp
+from repro.plasma.controls import (
+    ASource,
+    BranchType,
+    BSource,
+    CONTROL_FIELDS,
+    MemSize,
+    RegDest,
+    WbSource,
+    decode_controls,
+)
+
+
+def controls_for(mnemonic: str, **fields):
+    return decode_controls(decode(encode(mnemonic, **fields)))
+
+
+class TestEveryInstructionDecodes:
+    def test_all_supported(self):
+        for mnemonic in INSTRUCTION_SET:
+            bundle = decode_controls(decode(encode(mnemonic)))
+            fields = bundle.to_fields()
+            for name, width in CONTROL_FIELDS:
+                assert 0 <= fields[name] < (1 << width), (mnemonic, name)
+
+    def test_field_layout_complete(self):
+        bundle = controls_for("addu")
+        assert set(bundle.to_fields()) == {name for name, _ in CONTROL_FIELDS}
+
+
+class TestAluClass:
+    def test_addu(self):
+        b = controls_for("addu")
+        assert b.alu_func is AluOp.ADD
+        assert b.reg_dest is RegDest.RD
+        assert b.reg_write
+        assert b.b_source is BSource.RT
+
+    def test_immediate_extension_split(self):
+        assert controls_for("addiu").b_source is BSource.IMM_SIGN
+        assert controls_for("andi").b_source is BSource.IMM_ZERO
+        assert controls_for("lui").b_source is BSource.IMM_LUI
+        assert controls_for("lui").alu_func is AluOp.PASS_B
+
+    def test_slt_variants(self):
+        assert controls_for("slt").alu_func is AluOp.SLT
+        assert controls_for("sltiu").alu_func is AluOp.SLTU
+
+
+class TestShifts:
+    def test_immediate_shift(self):
+        b = controls_for("sra")
+        assert b.wb_source is WbSource.SHIFT
+        assert b.shift_arith and not b.shift_left and not b.shift_variable
+
+    def test_variable_shift(self):
+        b = controls_for("sllv")
+        assert b.shift_left and b.shift_variable
+
+
+class TestMulDiv:
+    def test_ops(self):
+        assert controls_for("mult").muldiv_op is MulDivOp.MULT
+        assert controls_for("divu").muldiv_op is MulDivOp.DIVU
+        assert controls_for("mthi").muldiv_op is MulDivOp.MTHI
+
+    def test_hilo_reads(self):
+        assert controls_for("mfhi").wb_source is WbSource.HI
+        assert controls_for("mflo").wb_source is WbSource.LO
+        assert controls_for("mfhi").reg_write
+
+
+class TestMemory:
+    def test_load_variants(self):
+        lb = controls_for("lb")
+        assert lb.mem_read and lb.mem_signed and lb.mem_size is MemSize.BYTE
+        lhu = controls_for("lhu")
+        assert not lhu.mem_signed and lhu.mem_size is MemSize.HALF
+        assert controls_for("lw").mem_size is MemSize.WORD
+
+    def test_store_variants(self):
+        sb = controls_for("sb")
+        assert sb.mem_write and not sb.reg_write
+        assert sb.mem_size is MemSize.BYTE
+
+    def test_address_uses_alu(self):
+        lw = controls_for("lw")
+        assert lw.alu_func is AluOp.ADD
+        assert lw.b_source is BSource.IMM_SIGN
+
+
+class TestBranchesAndJumps:
+    def test_branch_types(self):
+        assert controls_for("beq").branch_type is BranchType.EQ
+        assert controls_for("bne").branch_type is BranchType.NE
+        assert controls_for("blez").branch_type is BranchType.LEZ
+        assert controls_for("bgtz").branch_type is BranchType.GTZ
+        assert controls_for("bltz").branch_type is BranchType.LTZ
+        assert controls_for("bgez").branch_type is BranchType.GEZ
+
+    def test_branch_target_through_alu(self):
+        b = controls_for("beq")
+        assert b.a_source is ASource.PC_PLUS4
+        assert b.b_source is BSource.IMM_BRANCH
+        assert b.alu_func is AluOp.ADD
+
+    def test_jumps(self):
+        assert controls_for("j").jump_abs
+        assert controls_for("jr").jump_reg
+        assert not controls_for("j").reg_write
+
+    def test_linking_jumps(self):
+        jal = controls_for("jal")
+        assert jal.reg_write and jal.reg_dest is RegDest.RA
+        assert jal.b_source is BSource.CONST_4
+        jalr = controls_for("jalr")
+        assert jalr.reg_dest is RegDest.RD

@@ -1,0 +1,430 @@
+"""Behavioural CPU tests: instruction semantics, delay slots, cycle model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.assembler import assemble
+from repro.plasma.cpu import MULDIV_LATENCY, PIPELINE_FILL, PlasmaCPU
+
+
+def run_program(source: str, max_instructions: int = 100_000) -> PlasmaCPU:
+    cpu = PlasmaCPU()
+    cpu.load_program(assemble(source))
+    cpu.run(max_instructions=max_instructions)
+    return cpu
+
+
+def run_and_read(source: str, *symbols: str) -> list[int]:
+    program = assemble(source)
+    cpu = PlasmaCPU()
+    cpu.load_program(program)
+    cpu.run()
+    return [cpu.memory.read_word(program.symbol(s)) for s in symbols]
+
+
+HALT = "halt: j halt\n    nop\n"
+
+
+def harness(body: str, data: str = "out: .word 0, 0, 0, 0") -> str:
+    return f".text\n{body}\n{HALT}.data\n{data}\n"
+
+
+def result_of(body: str) -> int:
+    """Run a snippet that leaves its result in $t2; store and return it."""
+    src = harness(
+        f"{body}\n    la $t9, out\n    sw $t2, 0($t9)"
+    )
+    return run_and_read(src, "out")[0]
+
+
+class TestArithmetic:
+    def test_addu_wraps(self):
+        assert result_of("li $t0, 0xFFFFFFFF\nli $t1, 2\naddu $t2, $t0, $t1") == 1
+
+    def test_subu_wraps(self):
+        assert result_of("li $t0, 0\nli $t1, 1\nsubu $t2, $t0, $t1") == 0xFFFFFFFF
+
+    def test_add_behaves_like_addu_no_exceptions(self):
+        # Plasma has no exceptions: ADD wraps silently.
+        assert result_of(
+            "li $t0, 0x7FFFFFFF\nli $t1, 1\nadd $t2, $t0, $t1"
+        ) == 0x80000000
+
+    def test_addiu_negative_immediate(self):
+        assert result_of("li $t0, 5\naddiu $t2, $t0, -7") == 0xFFFFFFFE
+
+    def test_slt_signed(self):
+        assert result_of("li $t0, -1\nli $t1, 1\nslt $t2, $t0, $t1") == 1
+        assert result_of("li $t0, 1\nli $t1, -1\nslt $t2, $t0, $t1") == 0
+
+    def test_sltu_unsigned(self):
+        assert result_of("li $t0, -1\nli $t1, 1\nsltu $t2, $t0, $t1") == 0
+
+    def test_slti_sltiu(self):
+        assert result_of("li $t0, -5\nslti $t2, $t0, 0") == 1
+        # sltiu sign-extends its immediate, then compares unsigned (MIPS):
+        # 0xFFFFFFFB < 0xFFFFFFFF.
+        assert result_of("li $t0, -5\nsltiu $t2, $t0, 0xFFFF") == 1
+        assert result_of("li $t0, 5\nsltiu $t2, $t0, 4") == 0
+
+
+class TestLogic:
+    def test_bitwise_ops(self):
+        assert result_of(
+            "li $t0, 0xF0F0F0F0\nli $t1, 0x0FF00FF0\nand $t2, $t0, $t1"
+        ) == 0x00F000F0
+        assert result_of(
+            "li $t0, 0xF0F0F0F0\nli $t1, 0x0FF00FF0\nor $t2, $t0, $t1"
+        ) == 0xFFF0FFF0
+        assert result_of(
+            "li $t0, 0xF0F0F0F0\nli $t1, 0x0FF00FF0\nxor $t2, $t0, $t1"
+        ) == 0xFF00FF00
+        assert result_of(
+            "li $t0, 0xF0F0F0F0\nli $t1, 0x0FF00FF0\nnor $t2, $t0, $t1"
+        ) == 0x000F000F
+
+    def test_immediates_zero_extend(self):
+        assert result_of("li $t0, 0\nori $t2, $t0, 0x8000") == 0x8000
+        assert result_of("li $t0, 0xFFFFFFFF\nandi $t2, $t0, 0x8000") == 0x8000
+        assert result_of("li $t0, 0xFFFF0000\nxori $t2, $t0, 0xFFFF") == 0xFFFFFFFF
+
+    def test_lui(self):
+        assert result_of("lui $t2, 0xABCD") == 0xABCD0000
+
+
+class TestShifts:
+    def test_immediate_shifts(self):
+        assert result_of("li $t0, 1\nsll $t2, $t0, 31") == 0x80000000
+        assert result_of("li $t0, 0x80000000\nsrl $t2, $t0, 31") == 1
+        assert result_of("li $t0, 0x80000000\nsra $t2, $t0, 4") == 0xF8000000
+
+    def test_variable_shifts_mask_amount(self):
+        # Shift amount comes from rs[4:0]: 33 & 31 == 1.
+        assert result_of(
+            "li $t0, 33\nli $t1, 1\nsllv $t2, $t1, $t0"
+        ) == 2
+        assert result_of(
+            "li $t0, 4\nli $t1, 0x80000000\nsrav $t2, $t1, $t0"
+        ) == 0xF8000000
+
+
+class TestMulDiv:
+    def test_multu_full_product(self):
+        src = harness("""
+    li $t0, 0xFFFFFFFF
+    li $t1, 0xFFFFFFFF
+    multu $t0, $t1
+    mfhi $t2
+    mflo $t3
+    la $t9, out
+    sw $t2, 0($t9)
+    sw $t3, 4($t9)
+        """)
+        hi, lo = run_and_read(src, "out")[0], None
+        program = assemble(src)
+        cpu = PlasmaCPU()
+        cpu.load_program(program)
+        cpu.run()
+        base = program.symbol("out")
+        assert cpu.memory.read_word(base) == 0xFFFFFFFE
+        assert cpu.memory.read_word(base + 4) == 0x00000001
+
+    def test_mult_signed(self):
+        src = harness("""
+    li $t0, -3
+    li $t1, 7
+    mult $t0, $t1
+    mflo $t2
+    la $t9, out
+    sw $t2, 0($t9)
+        """)
+        assert run_and_read(src, "out")[0] == 0xFFFFFFEB  # -21
+
+    def test_div_quotient_remainder(self):
+        src = harness("""
+    li $t0, -7
+    li $t1, 2
+    div $t0, $t1
+    mflo $t2
+    mfhi $t3
+    la $t9, out
+    sw $t2, 0($t9)
+    sw $t3, 4($t9)
+        """)
+        program = assemble(src)
+        cpu = PlasmaCPU()
+        cpu.load_program(program)
+        cpu.run()
+        base = program.symbol("out")
+        assert cpu.memory.read_word(base) == 0xFFFFFFFD  # -3 (trunc to 0)
+        assert cpu.memory.read_word(base + 4) == 0xFFFFFFFF  # rem -1
+
+    def test_mthi_mtlo(self):
+        src = harness("""
+    li $t0, 0x1111
+    mthi $t0
+    li $t0, 0x2222
+    mtlo $t0
+    mfhi $t2
+    mflo $t3
+    la $t9, out
+    sw $t2, 0($t9)
+    sw $t3, 4($t9)
+        """)
+        program = assemble(src)
+        cpu = PlasmaCPU()
+        cpu.load_program(program)
+        cpu.run()
+        base = program.symbol("out")
+        assert cpu.memory.read_word(base) == 0x1111
+        assert cpu.memory.read_word(base + 4) == 0x2222
+
+    def test_mflo_interlock_costs_cycles(self):
+        with_read = run_program(harness("""
+    li $t0, 3
+    mult $t0, $t0
+    mflo $t2
+        """))
+        without_read = run_program(harness("""
+    li $t0, 3
+    mult $t0, $t0
+    addu $t2, $0, $0
+        """))
+        stall = with_read.cycles - without_read.cycles
+        assert stall > MULDIV_LATENCY - 5  # nearly the whole latency
+
+
+class TestMemoryAccess:
+    def test_word_roundtrip(self):
+        src = harness("""
+    la $t9, out
+    li $t0, 0xCAFEBABE
+    sw $t0, 0($t9)
+    lw $t2, 0($t9)
+    sw $t2, 4($t9)
+        """)
+        values = run_and_read(src, "out")
+        assert values[0] == 0xCAFEBABE
+
+    def test_byte_sign_extension(self):
+        src = harness("""
+    la $t9, out
+    li $t0, 0x80
+    sb $t0, 0($t9)
+    lb $t1, 0($t9)
+    sw $t1, 4($t9)
+    lbu $t2, 0($t9)
+    sw $t2, 8($t9)
+        """)
+        program = assemble(src)
+        cpu = PlasmaCPU()
+        cpu.load_program(program)
+        cpu.run()
+        base = program.symbol("out")
+        assert cpu.memory.read_word(base + 4) == 0xFFFFFF80
+        assert cpu.memory.read_word(base + 8) == 0x80
+
+    def test_half_access_lanes(self):
+        src = harness("""
+    la $t9, out
+    li $t0, 0x8001
+    sh $t0, 2($t9)
+    lh $t1, 2($t9)
+    sw $t1, 4($t9)
+    lhu $t2, 2($t9)
+    sw $t2, 8($t9)
+        """)
+        program = assemble(src)
+        cpu = PlasmaCPU()
+        cpu.load_program(program)
+        cpu.run()
+        base = program.symbol("out")
+        assert cpu.memory.read_word(base) == 0x80010000
+        assert cpu.memory.read_word(base + 4) == 0xFFFF8001
+        assert cpu.memory.read_word(base + 8) == 0x8001
+
+    def test_negative_offset(self):
+        src = harness("""
+    la $t9, out
+    addiu $t9, $t9, 8
+    li $t0, 77
+    sw $t0, -8($t9)
+        """)
+        assert run_and_read(src, "out")[0] == 77
+
+    def test_unaligned_word_access_raises(self):
+        src = harness("""
+    la $t9, out
+    lw $t0, 2($t9)
+        """)
+        cpu = PlasmaCPU()
+        cpu.load_program(assemble(src))
+        with pytest.raises(SimulationError):
+            cpu.run()
+
+
+class TestControlFlow:
+    def test_delay_slot_executes(self):
+        src = harness("""
+    la $t9, out
+    li $t0, 0
+    b skip
+    addiu $t0, $t0, 1   # delay slot: must execute
+    addiu $t0, $t0, 100 # skipped
+skip:
+    sw $t0, 0($t9)
+        """)
+        assert run_and_read(src, "out")[0] == 1
+
+    def test_not_taken_branch_continues(self):
+        src = harness("""
+    la $t9, out
+    li $t0, 1
+    beq $t0, $0, nowhere
+    nop
+    li $t1, 42
+    sw $t1, 0($t9)
+nowhere:
+        """)
+        assert run_and_read(src, "out")[0] == 42
+
+    def test_loop_counts(self):
+        src = harness("""
+    la $t9, out
+    li $t0, 5
+    li $t1, 0
+loop:
+    addiu $t1, $t1, 3
+    addiu $t0, $t0, -1
+    bnez $t0, loop
+    nop
+    sw $t1, 0($t9)
+        """)
+        assert run_and_read(src, "out")[0] == 15
+
+    def test_jal_links_pc_plus_8(self):
+        src = harness("""
+    la $t9, out
+    jal sub
+    nop
+    b done
+    nop
+sub:
+    sw $ra, 0($t9)
+    jr $ra
+    nop
+done:
+        """)
+        # jal at 0x8 (after the two-word la): link = 0x8 + 8.
+        program = assemble(src)
+        cpu = PlasmaCPU()
+        cpu.load_program(program)
+        cpu.run()
+        assert cpu.memory.read_word(program.symbol("out")) == 0x10
+
+    def test_jalr_uses_rd(self):
+        src = harness("""
+    la $t9, out
+    la $t8, sub
+    jalr $t7, $t8
+    nop
+    b done
+    nop
+sub:
+    sw $t7, 0($t9)
+    jr $t7
+    nop
+done:
+    li $t0, 9
+    sw $t0, 4($t9)
+        """)
+        program = assemble(src)
+        cpu = PlasmaCPU()
+        cpu.load_program(program)
+        cpu.run()
+        assert cpu.memory.read_word(program.symbol("out") + 4) == 9
+
+    def test_branch_comparisons(self):
+        src = harness("""
+    la $t9, out
+    li $s0, 0
+    li $t0, -5
+    bltz $t0, L1
+    nop
+    b L2
+    nop
+L1: ori $s0, $s0, 1
+L2: li $t0, 0
+    bgez $t0, L3
+    nop
+    b L4
+    nop
+L3: ori $s0, $s0, 2
+L4: li $t0, 0
+    blez $t0, L5
+    nop
+    b L6
+    nop
+L5: ori $s0, $s0, 4
+L6: li $t0, 1
+    bgtz $t0, L7
+    nop
+    b L8
+    nop
+L7: ori $s0, $s0, 8
+L8: sw $s0, 0($t9)
+        """)
+        assert run_and_read(src, "out")[0] == 0b1111
+
+
+class TestRegisterZero:
+    def test_writes_to_zero_ignored(self):
+        assert result_of("li $t0, 7\naddu $0, $t0, $t0\naddu $t2, $0, $0") == 0
+
+
+class TestCycleModel:
+    def test_pipeline_fill_charged(self):
+        cpu = run_program(harness("nop"))
+        # fill + nop + halting j (its delay slot is never executed).
+        assert cpu.cycles == PIPELINE_FILL + 2
+
+    def test_memory_pause_charged(self):
+        base = run_program(harness("nop\nnop")).cycles
+        with_load = run_program(harness("la $t9, out\nlw $t0, 0($t9)")).cycles
+        # la = 2 instructions (vs the 2 nops); lw adds 1 issue cycle + 1
+        # memory pause cycle.
+        assert with_load == base + 2
+
+    def test_instruction_count(self):
+        cpu = run_program(harness("nop\nnop\nnop"))
+        assert cpu.instructions == 3 + 1  # + the halting jump
+
+
+class TestHalt:
+    def test_j_self_halts(self):
+        cpu = run_program(".text\nhalt: j halt\nnop")
+        assert cpu.halted
+
+    def test_b_self_halts(self):
+        cpu = run_program(".text\nhalt: b halt\nnop")
+        assert cpu.halted
+
+    def test_runaway_raises(self):
+        src = """
+.text
+loop:
+    addiu $t0, $t0, 1
+    b loop
+    nop
+"""
+        cpu = PlasmaCPU()
+        cpu.load_program(assemble(src))
+        with pytest.raises(SimulationError):
+            cpu.run(max_instructions=500)
+
+    def test_max_cycles_raises(self):
+        src = ".text\nloop: b loop2\nnop\nloop2: b loop\nnop"
+        cpu = PlasmaCPU()
+        cpu.load_program(assemble(src))
+        with pytest.raises(SimulationError):
+            cpu.run(max_cycles=100)

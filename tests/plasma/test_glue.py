@@ -1,0 +1,53 @@
+"""Unit tests for the glue-logic netlist."""
+
+from repro.faultsim.simulator import LogicSimulator
+from repro.plasma.glue import IRQ_LINES, build_glue
+
+_SIM = LogicSimulator(build_glue())
+
+
+def cycle(irq=0, mask=0, mask_we=0, pm=0, pmd=0, bt=0):
+    return dict(irq=irq, irq_mask_data=mask, irq_mask_we=mask_we,
+                pause_mem=pm, pause_muldiv=pmd, branch_taken=bt)
+
+
+class TestResetSynchroniser:
+    def test_reset_done_after_two_cycles(self):
+        outs, _ = _SIM.run_sequence([cycle()] * 3)
+        assert [o["reset_done"] for o in outs] == [0, 0, 1]
+
+
+class TestPauseCombiner:
+    def test_pause_sources_ored(self):
+        outs, _ = _SIM.run_sequence([cycle(pm=1), cycle(pmd=1), cycle()])
+        assert outs[0]["pause_cpu"] == 1
+        assert outs[1]["pause_cpu"] == 1
+        assert outs[2]["pause_cpu"] == 0
+
+    def test_pause_live_from_cycle_zero(self):
+        # A memory access in the first instruction must still stall.
+        outs, _ = _SIM.run_sequence([cycle(pm=1)])
+        assert outs[0]["pause_cpu"] == 1
+
+
+class TestInterrupts:
+    def test_masked_irq_ignored(self):
+        outs, _ = _SIM.run_sequence([cycle(irq=0xFF)] * 4)
+        assert all(o["irq_pending"] == 0 for o in outs)
+
+    def test_unmasked_irq_raises_pending(self):
+        cycles = [cycle(mask=0x01, mask_we=1)]
+        cycles += [cycle(irq=0x01)] * 4
+        outs, _ = _SIM.run_sequence(cycles)
+        # irq passes two sync stages, then the pending register.
+        assert outs[-1]["irq_pending"] == 1
+        assert outs[-1]["irq_status"] == 0x01
+
+    def test_pending_suppressed_in_delay_slot(self):
+        cycles = [cycle(mask=0x01, mask_we=1)]
+        cycles += [cycle(irq=0x01, bt=1)] * 4
+        outs, _ = _SIM.run_sequence(cycles)
+        assert outs[-1]["irq_pending"] == 0
+
+    def test_irq_width(self):
+        assert IRQ_LINES == 8

@@ -1,0 +1,114 @@
+"""Unit tests for the MCTRL netlist against its references."""
+
+import random
+
+from repro.faultsim.simulator import LogicSimulator
+from repro.plasma.controls import MemSize
+from repro.plasma.mctrl import (
+    build_mctrl,
+    mctrl_load_reference,
+    mctrl_store_reference,
+)
+
+_SIM = LogicSimulator(build_mctrl())
+
+
+def access(addr, size, signed=0, re=0, we=0, wr_data=0, mem_rdata=0):
+    """One full access: request cycle + completion cycle."""
+    request = dict(addr=addr, size=size, signed=signed, re=re, we=we,
+                   wr_data=wr_data, mem_rdata=0)
+    completion = dict(request, mem_rdata=mem_rdata)
+    outs, _ = _SIM.run_sequence([request, completion])
+    return outs
+
+
+class TestPauseHandshake:
+    def test_two_cycle_protocol(self):
+        outs = access(0x100, int(MemSize.WORD), re=1, mem_rdata=0xAB)
+        assert outs[0]["pause"] == 1
+        assert outs[1]["pause"] == 0
+
+    def test_idle_no_pause(self):
+        outs, _ = _SIM.run_sequence(
+            [dict(addr=0, size=2, signed=0, re=0, we=0, wr_data=0,
+                  mem_rdata=0)]
+        )
+        assert outs[0]["pause"] == 0
+
+    def test_back_to_back_accesses(self):
+        cycles = []
+        for addr in (0x10, 0x20):
+            req = dict(addr=addr, size=int(MemSize.WORD), signed=0, re=1,
+                       we=0, wr_data=0, mem_rdata=0)
+            cycles += [req, dict(req, mem_rdata=addr * 3)]
+        outs, _ = _SIM.run_sequence(cycles)
+        assert [o["pause"] for o in outs] == [1, 0, 1, 0]
+        assert outs[1]["load_result"] == 0x30
+        assert outs[3]["load_result"] == 0x60
+
+
+class TestStorePath:
+    def test_word_store(self):
+        outs = access(0x40, int(MemSize.WORD), we=1, wr_data=0x11223344)
+        assert outs[1]["mem_addr"] == 0x40
+        assert outs[1]["mem_wdata"] == 0x11223344
+        assert outs[1]["byte_en"] == 0b1111
+        assert outs[1]["mem_we"] == 1
+
+    def test_byte_store_all_lanes(self):
+        for lane in range(4):
+            outs = access(0x40 + lane, int(MemSize.BYTE), we=1, wr_data=0xE7)
+            word, be = mctrl_store_reference(
+                int(MemSize.BYTE), 0x40 + lane, 0xE7
+            )
+            assert outs[1]["mem_wdata"] == word
+            assert outs[1]["byte_en"] == be == 1 << lane
+
+    def test_half_store_lanes(self):
+        for offset in (0, 2):
+            outs = access(0x40 + offset, int(MemSize.HALF), we=1,
+                          wr_data=0xBEEF)
+            word, be = mctrl_store_reference(
+                int(MemSize.HALF), 0x40 + offset, 0xBEEF
+            )
+            assert outs[1]["mem_wdata"] == word
+            assert outs[1]["byte_en"] == be
+
+    def test_loads_do_not_assert_we(self):
+        outs = access(0x40, int(MemSize.WORD), re=1, mem_rdata=1)
+        assert outs[1]["mem_we"] == 0
+        assert outs[1]["byte_en"] == 0
+
+    def test_bus_address_word_aligned(self):
+        outs = access(0x43, int(MemSize.BYTE), we=1, wr_data=1)
+        assert outs[1]["mem_addr"] == 0x40
+
+
+class TestLoadPath:
+    def test_random_sweep_matches_reference(self):
+        rng = random.Random(4)
+        for _ in range(60):
+            size = rng.choice(
+                [int(MemSize.BYTE), int(MemSize.HALF), int(MemSize.WORD)]
+            )
+            if size == int(MemSize.BYTE):
+                addr = rng.randrange(0, 0x1000)
+            elif size == int(MemSize.HALF):
+                addr = rng.randrange(0, 0x800) * 2
+            else:
+                addr = rng.randrange(0, 0x400) * 4
+            signed = rng.randrange(2)
+            data = rng.getrandbits(32)
+            outs = access(addr, size, signed=signed, re=1, mem_rdata=data)
+            expected = mctrl_load_reference(size, bool(signed), addr, data)
+            assert outs[1]["load_result"] == expected, (size, addr, signed)
+
+    def test_sign_extension_boundaries(self):
+        # Byte 0x80 at lane 2, signed.
+        outs = access(0x12, int(MemSize.BYTE), signed=1, re=1,
+                      mem_rdata=0x0080_0000)
+        assert outs[1]["load_result"] == 0xFFFF_FF80
+        # Same byte unsigned.
+        outs = access(0x12, int(MemSize.BYTE), signed=0, re=1,
+                      mem_rdata=0x0080_0000)
+        assert outs[1]["load_result"] == 0x80

@@ -1,0 +1,97 @@
+"""Unit tests for the memory model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.assembler import assemble
+from repro.plasma.memory import Memory
+
+
+class TestWordAccess:
+    def test_default_zero(self):
+        assert Memory().read_word(0x100) == 0
+
+    def test_write_read(self):
+        m = Memory()
+        m.write_word(0x10, 0xDEADBEEF)
+        assert m.read_word(0x10) == 0xDEADBEEF
+
+    def test_value_masked_to_32_bits(self):
+        m = Memory()
+        m.write_word(0, 0x1_FFFF_FFFF)
+        assert m.read_word(0) == 0xFFFF_FFFF
+
+    def test_unaligned_word_rejected(self):
+        m = Memory()
+        with pytest.raises(SimulationError):
+            m.read_word(2)
+        with pytest.raises(SimulationError):
+            m.write_word(5, 0)
+
+
+class TestSubWordAccess:
+    def test_little_endian_byte_layout(self):
+        m = Memory()
+        m.write_word(0, 0x44332211)
+        assert [m.read_byte(i) for i in range(4)] == [0x11, 0x22, 0x33, 0x44]
+
+    def test_byte_write_preserves_neighbours(self):
+        m = Memory()
+        m.write_word(0, 0xAABBCCDD)
+        m.write_byte(1, 0x99)
+        assert m.read_word(0) == 0xAABB99DD
+
+    def test_half_access(self):
+        m = Memory()
+        m.write_word(0, 0x44332211)
+        assert m.read_half(0) == 0x2211
+        assert m.read_half(2) == 0x4433
+        m.write_half(2, 0xBEEF)
+        assert m.read_word(0) == 0xBEEF2211
+
+    def test_unaligned_half_rejected(self):
+        m = Memory()
+        with pytest.raises(SimulationError):
+            m.read_half(1)
+        with pytest.raises(SimulationError):
+            m.write_half(3, 0)
+
+    def test_byte_any_alignment_ok(self):
+        m = Memory()
+        for addr in range(4):
+            m.write_byte(addr, addr + 1)
+        assert m.read_word(0) == 0x04030201
+
+
+class TestProgramLoading:
+    def test_load_program(self):
+        program = assemble("nop\n.data\nd: .word 7, 8")
+        m = Memory()
+        m.load_program(program)
+        assert m.read_word(program.symbol("d")) == 7
+        assert m.read_word(program.symbol("d") + 4) == 8
+
+    def test_load_image_alignment(self):
+        m = Memory()
+        with pytest.raises(SimulationError):
+            m.load_image({3: 1})
+
+    def test_dump_words(self):
+        m = Memory()
+        m.write_word(0x40, 5)
+        m.write_word(0x48, 6)
+        assert m.dump_words(0x40, 3) == [5, 0, 6]
+
+    def test_nonzero_words(self):
+        m = Memory()
+        m.write_word(8, 0)
+        m.write_word(4, 9)
+        assert m.nonzero_words() == {4: 9}
+
+    def test_access_counters(self):
+        m = Memory()
+        m.write_word(0, 1)
+        m.read_word(0)
+        m.read_byte(1)
+        assert m.writes == 1
+        assert m.reads == 2

@@ -1,0 +1,72 @@
+"""Unit tests for the PC-logic netlist."""
+
+import random
+
+from repro.faultsim.simulator import LogicSimulator
+from repro.plasma.controls import BranchType
+from repro.plasma.pclogic import branch_taken_reference, build_pclogic
+
+_SIM = LogicSimulator(build_pclogic())
+
+
+def idle(pause=0):
+    return dict(rs_data=0, rt_data=0, branch_type=0, branch_target=0,
+                pause=pause)
+
+
+class TestPcRegister:
+    def test_resets_to_zero(self):
+        outs, _ = _SIM.run_sequence([idle()])
+        assert outs[0]["pc"] == 0
+        assert outs[0]["pc_plus4"] == 4
+
+    def test_advances_by_four(self):
+        outs, _ = _SIM.run_sequence([idle()] * 4)
+        assert [o["pc"] for o in outs] == [0, 4, 8, 12]
+
+    def test_pause_holds(self):
+        outs, _ = _SIM.run_sequence([idle(), idle(pause=1), idle(pause=1),
+                                     idle()])
+        assert [o["pc"] for o in outs] == [0, 4, 4, 4]
+
+    def test_branch_redirects(self):
+        cycles = [idle(),
+                  dict(rs_data=1, rt_data=1, branch_type=int(BranchType.EQ),
+                       branch_target=0x100, pause=0),
+                  idle()]
+        outs, _ = _SIM.run_sequence(cycles)
+        assert outs[1]["take_branch"] == 1
+        assert outs[2]["pc"] == 0x100
+
+    def test_not_taken_falls_through(self):
+        cycles = [dict(rs_data=1, rt_data=2,
+                       branch_type=int(BranchType.EQ),
+                       branch_target=0x100, pause=0), idle()]
+        outs, _ = _SIM.run_sequence(cycles)
+        assert outs[0]["take_branch"] == 0
+        assert outs[1]["pc"] == 4
+
+
+class TestConditionEvaluator:
+    def test_reference_sweep(self):
+        rng = random.Random(13)
+        cases = [(rng.getrandbits(32), rng.getrandbits(32))
+                 for _ in range(20)]
+        cases += [(0, 0), (5, 5), (0x8000_0000, 0), (0xFFFF_FFFF, 1)]
+        for bt in BranchType:
+            for rs, rt in cases:
+                cycles = [dict(rs_data=rs, rt_data=rt, branch_type=int(bt),
+                               branch_target=0x40, pause=0)]
+                outs, _ = _SIM.run_sequence(cycles)
+                expected = branch_taken_reference(int(bt), rs, rt)
+                assert outs[0]["take_branch"] == int(expected), (bt, rs, rt)
+
+    def test_reference_model_semantics(self):
+        assert branch_taken_reference(int(BranchType.LEZ), 0, 0)
+        assert branch_taken_reference(int(BranchType.LEZ), 0xFFFF_FFFF, 0)
+        assert not branch_taken_reference(int(BranchType.LEZ), 1, 0)
+        assert branch_taken_reference(int(BranchType.GTZ), 1, 0)
+        assert branch_taken_reference(int(BranchType.LTZ), 0x8000_0000, 0)
+        assert branch_taken_reference(int(BranchType.GEZ), 0, 0)
+        assert branch_taken_reference(int(BranchType.ALWAYS), 0, 0)
+        assert not branch_taken_reference(int(BranchType.NONE), 0, 0)

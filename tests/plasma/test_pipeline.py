@@ -1,0 +1,46 @@
+"""Unit tests for the pipeline-register netlist."""
+
+from repro.faultsim.simulator import LogicSimulator
+from repro.plasma.pipeline import PIPELINE_REGS, build_pipeline
+
+_SIM = LogicSimulator(build_pipeline())
+
+
+def cycle(instr=0, pc=0, wb=0, dest=0, ctrl=0, pause=0, flush=0):
+    return dict(instr_in=instr, pc_snapshot_in=pc, wb_value_in=wb,
+                wb_dest_in=dest, ctrl_in=ctrl, pause=pause, flush=flush)
+
+
+class TestRegisters:
+    def test_one_cycle_delay(self):
+        outs, _ = _SIM.run_sequence(
+            [cycle(instr=0x1234, pc=0x40, wb=7, dest=3, ctrl=0xA5), cycle()]
+        )
+        assert outs[0]["instr_q"] == 0  # reset values
+        assert outs[1]["instr_q"] == 0x1234
+        assert outs[1]["pc_snapshot_q"] == 0x40
+        assert outs[1]["wb_value_q"] == 7
+        assert outs[1]["wb_dest_q"] == 3
+        assert outs[1]["ctrl_q"] == 0xA5
+
+    def test_pause_freezes_every_stage(self):
+        outs, _ = _SIM.run_sequence(
+            [cycle(instr=0xAAAA), cycle(instr=0xBBBB, pause=1), cycle()]
+        )
+        assert outs[1]["instr_q"] == 0xAAAA
+        assert outs[2]["instr_q"] == 0xAAAA  # held through the pause
+
+    def test_flush_squashes_instruction_to_nop(self):
+        outs, _ = _SIM.run_sequence(
+            [cycle(instr=0xFFFF_FFFF, pc=0x80, flush=1), cycle()]
+        )
+        # Instruction is zeroed (MIPS NOP) but the rest still advances.
+        assert outs[1]["instr_q"] == 0
+        assert outs[1]["pc_snapshot_q"] == 0x80
+
+    def test_register_inventory(self):
+        names = [name for name, _ in PIPELINE_REGS]
+        assert names == ["instr", "pc_snapshot", "wb_value", "wb_dest", "ctrl"]
+        netlist = build_pipeline()
+        expected_bits = sum(width for _, width in PIPELINE_REGS)
+        assert len(netlist.dffs) == expected_bits

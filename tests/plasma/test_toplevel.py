@@ -1,0 +1,200 @@
+"""Gate-level processor co-simulation tests.
+
+Programs execute on the composed netlist (gates + flip-flops only) and the
+architectural results must match the behavioural CPU.
+"""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.netlist.stats import gate_count
+from repro.netlist.verify import lint
+from repro.plasma.cosim import GateLevelPlasma
+from repro.plasma.cpu import PlasmaCPU
+from repro.plasma.toplevel import build_plasma_top
+
+
+@pytest.fixture(scope="module")
+def top_netlist():
+    return build_plasma_top()
+
+
+def cosim(source: str, top, out_symbol: str = "out", words: int = 4):
+    program = assemble(source)
+    gate = GateLevelPlasma(top)
+    gate.load_program(program)
+    gate_result = gate.run(max_cycles=100_000)
+    assert gate_result.halted, "gate-level run did not reach the halt idiom"
+    cpu = PlasmaCPU()
+    cpu.load_program(program)
+    cpu.run()
+    base = program.symbol(out_symbol)
+    return gate.dump_words(base, words), cpu.memory.dump_words(base, words)
+
+
+HALT = "halt: j halt\n    nop\n"
+
+
+class TestStructure:
+    def test_lints_clean(self, top_netlist):
+        assert lint(top_netlist, strict=False).ok
+
+    def test_size_near_component_sum(self, top_netlist):
+        from repro.plasma.components import component_table
+
+        parts = sum(r["nand2"] for r in component_table())
+        total = gate_count(top_netlist).nand2
+        # Composition adds only top glue (muxes, interlocks, buffers).
+        assert parts <= total <= parts + 400
+
+    def test_register_count(self, top_netlist):
+        assert gate_count(top_netlist).n_dffs > 1300  # RegF + MulD + ...
+
+
+class TestCosim:
+    def test_arithmetic_loop(self, top_netlist):
+        gate, beh = cosim(f"""
+.text
+    li $t0, 10
+    li $t1, 0
+loop:
+    addu $t1, $t1, $t0
+    addiu $t0, $t0, -1
+    bnez $t0, loop
+    nop
+    la $t9, out
+    sw $t1, 0($t9)
+{HALT}
+.data
+out: .word 0
+""", top_netlist, words=1)
+        assert gate == beh == [55]
+
+    def test_muldiv_interlock(self, top_netlist):
+        gate, beh = cosim(f"""
+.text
+    li $t0, 1234
+    li $t1, 77
+    mult $t0, $t1
+    mflo $t2
+    mfhi $t3
+    divu $t0, $t1
+    mflo $t4
+    mfhi $t5
+    la $t9, out
+    sw $t2, 0($t9)
+    sw $t3, 4($t9)
+    sw $t4, 8($t9)
+    sw $t5, 12($t9)
+{HALT}
+.data
+out: .word 0, 0, 0, 0
+""", top_netlist)
+        assert gate == beh
+        assert gate[0] == 1234 * 77
+
+    def test_subword_memory(self, top_netlist):
+        gate, beh = cosim(f"""
+.text
+    la $t9, out
+    li $t0, 0x80FF7E01
+    sw $t0, 0($t9)
+    lb $t1, 3($t9)
+    sw $t1, 4($t9)
+    lbu $t2, 3($t9)
+    sw $t2, 8($t9)
+    lh $t3, 0($t9)
+    sh $t3, 12($t9)
+{HALT}
+.data
+out: .word 0, 0, 0, 0
+""", top_netlist)
+        assert gate == beh
+        assert gate[1] == 0xFFFFFF80
+
+    def test_jal_jr_linkage(self, top_netlist):
+        gate, beh = cosim(f"""
+.text
+    la $t9, out
+    jal sub
+    nop
+    sw $v0, 0($t9)
+    b fin
+    nop
+sub:
+    ori $v0, $0, 0x515
+    jr $ra
+    nop
+fin:
+{HALT}
+.data
+out: .word 0
+""", top_netlist, words=1)
+        assert gate == beh == [0x515]
+
+    def test_branch_delay_slot_semantics(self, top_netlist):
+        gate, beh = cosim(f"""
+.text
+    la $t9, out
+    li $t0, 0
+    b skip
+    addiu $t0, $t0, 1    # delay slot executes
+    addiu $t0, $t0, 100  # skipped
+skip:
+    sw $t0, 0($t9)
+{HALT}
+.data
+out: .word 0
+""", top_netlist, words=1)
+        assert gate == beh == [1]
+
+    def test_shift_all_types(self, top_netlist):
+        gate, beh = cosim(f"""
+.text
+    la $t9, out
+    li $t0, 0x80000001
+    sll $t1, $t0, 4
+    srl $t2, $t0, 4
+    sra $t3, $t0, 4
+    li $t4, 9
+    srav $t5, $t0, $t4
+    xor $t1, $t1, $t2
+    xor $t1, $t1, $t3
+    xor $t1, $t1, $t5
+    sw $t1, 0($t9)
+{HALT}
+.data
+out: .word 0
+""", top_netlist, words=1)
+        assert gate == beh
+
+    def test_first_instruction_memory_access(self, top_netlist):
+        # A load as the very first instruction must stall correctly.
+        gate, beh = cosim(f"""
+.text
+    lw $t0, 0x2000($0)
+    sw $t0, 0x2004($0)
+{HALT}
+.data
+out: .word 0xFEED0001, 0
+""", top_netlist, words=2)
+        assert gate == beh
+        assert gate[1] == 0xFEED0001
+
+
+@pytest.mark.slow
+class TestSelfTestOnGates:
+    def test_phase_a_response_stream_matches(self, top_netlist):
+        from repro.core.methodology import SelfTestMethodology
+
+        st = SelfTestMethodology().build_program("A")
+        gate = GateLevelPlasma(top_netlist)
+        gate.load_program(st.program)
+        result = gate.run(max_cycles=60_000)
+        assert result.halted
+        cpu = PlasmaCPU()
+        cpu.load_program(st.program)
+        cpu.run()
+        got = gate.dump_words(st.response_base, st.response_words)
+        want = cpu.memory.dump_words(st.response_base, st.response_words)
+        assert got == want

@@ -1,0 +1,243 @@
+"""Unit tests for taint tracking and observability resolution."""
+
+from repro.isa.assembler import assemble
+from repro.isa.encoding import decode, encode
+from repro.plasma.controls import decode_controls
+from repro.plasma.cpu import PlasmaCPU
+from repro.plasma.tracer import (
+    ComponentTracer,
+    ObservabilityTracker,
+    TaintNode,
+    ctrl_sensitive_ports,
+)
+
+
+def traced_run(source: str) -> ComponentTracer:
+    tracer = ComponentTracer()
+    cpu = PlasmaCPU(tracer=tracer)
+    cpu.load_program(assemble(source))
+    cpu.run()
+    return tracer
+
+
+HALT = "halt: j halt\n    nop\n"
+
+
+class TestTaintNodes:
+    def test_serials_unique(self):
+        a, b = TaintNode(), TaintNode()
+        assert a.serial != b.serial
+
+    def test_none_parents_filtered(self):
+        node = TaintNode(apps=[("X", 1)], parents=[None, TaintNode()])
+        assert len(node.parents) == 1
+
+    def test_observe_walks_dag(self):
+        tracker = ObservabilityTracker()
+        leaf1 = tracker.node(apps=[("A", 0)])
+        leaf2 = tracker.node(apps=[("B", 0)])
+        mid = tracker.node(apps=[("C", 0)], parents=[leaf1, leaf2])
+        top = tracker.node(apps=[("D", 0)], parents=[mid])
+        tracker.observe(top)
+        assert tracker.observed == {("A", 0), ("B", 0), ("C", 0), ("D", 0)}
+
+    def test_observe_none_is_noop(self):
+        tracker = ObservabilityTracker()
+        tracker.observe(None)
+        assert tracker.observed == set()
+
+    def test_memoisation_still_marks_new_apps(self):
+        tracker = ObservabilityTracker()
+        shared = tracker.node(apps=[("A", 0)])
+        tracker.observe(tracker.node(apps=[("B", 0)], parents=[shared]))
+        tracker.observe(tracker.node(apps=[("C", 0)], parents=[shared]))
+        assert ("C", 0) in tracker.observed
+
+
+class TestObservabilityRules:
+    def test_stored_value_chain_observed(self):
+        tracer = traced_run(f"""
+.text
+    li $t0, 3
+    sll $t1, $t0, 2
+    sra $t2, $t1, 1
+    la $t9, out
+    sw $t2, 0($t9)
+{HALT}
+.data
+out: .word 0
+""")
+        observed_bsh = {a for a in tracer.tracker.observed if a[0] == "BSH"}
+        assert len(observed_bsh) == 2  # both shifts feed the store
+
+    def test_dead_value_not_observed(self):
+        tracer = traced_run(f"""
+.text
+    li $t0, 3
+    sll $t1, $t0, 2      # $t1 never used again
+    li $t2, 5
+    la $t9, out
+    sw $t2, 0($t9)
+{HALT}
+.data
+out: .word 0
+""")
+        specs = tracer.finalize()
+        patterns, observe = specs["BSH"]
+        # The sll with value 3 must be unobserved.
+        for pattern, ports in zip(patterns, observe):
+            if pattern["value"] == 3:
+                assert ports == ()
+
+    def test_branch_operands_observed(self):
+        tracer = traced_run(f"""
+.text
+    li $t0, 7
+    beq $t0, $0, skip
+    nop
+skip:
+{HALT}
+""")
+        regf_obs = [a for a in tracer.tracker.observed if a[0] == "RegF"]
+        assert regf_obs  # the branch's register read is control-observable
+
+    def test_overwritten_then_stored_register(self):
+        tracer = traced_run(f"""
+.text
+    li $t0, 1
+    sll $t1, $t0, 4      # app X: overwritten before any store
+    sll $t1, $t0, 5      # app Y: stored
+    la $t9, out
+    sw $t1, 0($t9)
+{HALT}
+.data
+out: .word 0
+""")
+        specs = tracer.finalize()
+        patterns, observe = specs["BSH"]
+        by_shamt = {p["shamt"]: o for p, o in zip(patterns, observe)}
+        assert by_shamt[5] == ("result",)
+        assert by_shamt[4] == ()
+
+    def test_memory_trace_has_two_cycles_per_access(self):
+        tracer = traced_run(f"""
+.text
+    la $t9, out
+    li $t0, 5
+    sw $t0, 0($t9)
+    lw $t1, 0($t9)
+    sw $t1, 4($t9)
+{HALT}
+.data
+out: .word 0, 0
+""")
+        assert len(tracer.mctrl.cycles) == 6  # 3 accesses x 2 cycles
+
+    def test_store_ports_directly_observed(self):
+        tracer = traced_run(f"""
+.text
+    la $t9, out
+    li $t0, 5
+    sw $t0, 0($t9)
+{HALT}
+.data
+out: .word 0
+""")
+        store_obs = tracer.mctrl.observe[1]
+        assert {"mem_addr", "mem_wdata", "byte_en", "mem_we"} <= store_obs
+
+    def test_load_result_observed_only_if_value_used(self):
+        tracer = traced_run(f"""
+.text
+    la $t9, out
+    lw $t0, 0($t9)       # loaded value stored -> observed
+    sw $t0, 4($t9)
+    lw $t1, 0($t9)       # loaded value dead -> unobserved
+{HALT}
+.data
+out: .word 3, 0
+""")
+        tracer.finalize()
+        load_cycles = [
+            i for i, c in enumerate(tracer.mctrl.cycles)
+            if c["re"] and c["mem_rdata"] == 3
+        ]
+        observed = [
+            "load_result" in tracer.mctrl.observe[i] for i in load_cycles
+        ]
+        assert observed.count(True) == 1
+
+
+class TestCtrlSensitivity:
+    def _bundle(self, mnemonic):
+        return decode_controls(decode(encode(mnemonic)))
+
+    def test_alu_instruction(self):
+        ports = ctrl_sensitive_ports(self._bundle("addu"))
+        assert "alu_func" in ports and "reg_write" in ports
+        assert "shift_left" not in ports
+        assert "mem_size" not in ports
+
+    def test_shift_instruction(self):
+        ports = ctrl_sensitive_ports(self._bundle("sra"))
+        assert "shift_arith" in ports
+        assert "alu_func" not in ports
+
+    def test_load_instruction(self):
+        ports = ctrl_sensitive_ports(self._bundle("lb"))
+        assert "mem_size" in ports and "mem_signed" in ports
+        assert "alu_func" in ports  # address computation
+
+    def test_store_has_no_writeback_ports(self):
+        ports = ctrl_sensitive_ports(self._bundle("sw"))
+        assert "wb_source" not in ports and "reg_dest" not in ports
+        assert "mem_write" in ports
+
+    def test_jump_minimal(self):
+        ports = ctrl_sensitive_ports(self._bundle("j"))
+        assert "jump_abs" in ports
+        assert "alu_func" not in ports
+
+
+class TestTraceAlignment:
+    def test_per_cycle_traces_lockstep(self):
+        tracer = traced_run(f"""
+.text
+    li $t0, 3
+    mult $t0, $t0
+    mflo $t1
+    la $t9, out
+    sw $t1, 0($t9)
+{HALT}
+.data
+out: .word 0
+""")
+        n = len(tracer.pcl.cycles)
+        assert len(tracer.pln.cycles) == n
+        assert len(tracer.gl.cycles) == n
+        assert len(tracer.muld.cycles) == n
+
+    def test_muld_hi_lo_observed_at_read_cycle(self):
+        tracer = traced_run(f"""
+.text
+    li $t0, 3
+    mult $t0, $t0
+    mflo $t1
+    la $t9, out
+    sw $t1, 0($t9)
+{HALT}
+.data
+out: .word 0
+""")
+        tracer.finalize()
+        observed = [
+            (t, ports) for t, ports in enumerate(tracer.muld.observe) if ports
+        ]
+        assert len(observed) == 1
+        t, ports = observed[0]
+        assert "lo" in ports and "busy" in ports
+        # The mult strobe must be >= 33 cycles earlier.
+        strobe = next(
+            i for i, c in enumerate(tracer.muld.cycles) if c["op"] != 0
+        )
+        assert t - strobe >= 33

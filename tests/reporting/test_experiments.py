@@ -1,0 +1,44 @@
+"""Unit tests for the experiment registry."""
+
+import os
+
+import pytest
+
+from repro.reporting.experiments import EXPERIMENTS, by_id
+
+
+class TestRegistry:
+    def test_all_paper_tables_covered(self):
+        artifacts = {e.paper_artifact for e in EXPERIMENTS}
+        for table in ("Table 2", "Table 3", "Table 4", "Table 5"):
+            assert any(table in a for a in artifacts), table
+
+    def test_comparison_claims_covered(self):
+        ids = {e.exp_id for e in EXPERIMENTS}
+        assert {"C1", "C2", "C3"} <= ids
+
+    def test_ablations_present(self):
+        ids = {e.exp_id for e in EXPERIMENTS}
+        assert {"A1", "A2"} <= ids
+
+    def test_ids_unique(self):
+        ids = [e.exp_id for e in EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+
+    def test_lookup(self):
+        assert by_id("T5").paper_artifact == "Table 5"
+        with pytest.raises(KeyError):
+            by_id("T99")
+
+    def test_bench_files_exist(self):
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        for exp in EXPERIMENTS:
+            path = os.path.join(root, exp.bench)
+            assert os.path.exists(path), exp.bench
+
+    def test_modules_importable(self):
+        import importlib
+
+        for exp in EXPERIMENTS:
+            for module in exp.modules:
+                importlib.import_module(module)

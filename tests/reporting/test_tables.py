@@ -1,0 +1,71 @@
+"""Unit tests for the table renderers."""
+
+import pytest
+
+from repro.core.campaign import CampaignOutcome
+from repro.core.methodology import SelfTestProgram
+from repro.faultsim.coverage import ComponentCoverage, CoverageSummary
+from repro.isa.assembler import assemble
+from repro.plasma.cpu import CPUResult
+from repro.reporting.tables import (
+    PAPER_GATE_COUNTS,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+
+
+def fake_outcome(phases: str, cycles: int, coverages: dict) -> CampaignOutcome:
+    program = assemble("nop")
+    self_test = SelfTestProgram(phases=phases, source="nop", program=program)
+    outcome = CampaignOutcome(
+        phases=phases,
+        self_test=self_test,
+        cpu_result=CPUResult(cycles=cycles, instructions=1, halted=True, pc=0),
+    )
+    summary = CoverageSummary()
+    for name, (n, d) in coverages.items():
+        summary.add(ComponentCoverage(name, n, d))
+    outcome.summary = summary
+    return outcome
+
+
+class TestStaticTables:
+    def test_table2_lists_all_components(self):
+        text = render_table2()
+        for name in ("Register File", "Barrel Shifter", "Pipeline"):
+            assert name in text
+
+    def test_table3_totals(self):
+        text = render_table3()
+        assert "17,459" in text  # the paper's total for comparison
+        assert "Plasma/MIPS Processor" in text
+
+    def test_paper_reference_values_complete(self):
+        assert sum(PAPER_GATE_COUNTS.values()) == 17459
+
+
+class TestCampaignTables:
+    def _outcomes(self):
+        a = fake_outcome("A", 3400, {"ALU": (100, 95), "GL": (50, 5)})
+        ab = fake_outcome("AB", 3550, {"ALU": (100, 97), "GL": (50, 6)})
+        return {"A": a, "AB": ab}
+
+    def test_table4_rows(self):
+        text = render_table4(self._outcomes())
+        assert "Phase A" in text and "Phase AB" in text
+        assert "3,400" in text and "3,550" in text
+        assert "Clock Cycles" in text
+
+    def test_table5_rows(self):
+        text = render_table5(self._outcomes())
+        assert "ALU" in text and "Plasma" in text
+        assert "95.00" in text  # ALU FC under phase A
+        assert "MOFC" in text
+
+    def test_table5_overall_row_consistent(self):
+        outcomes = self._outcomes()
+        text = render_table5(outcomes)
+        overall = outcomes["A"].summary.overall_coverage
+        assert f"{overall:.2f}" in text

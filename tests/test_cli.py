@@ -1,0 +1,96 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SAMPLE = """
+.text
+    li $t0, 7
+    la $t1, out
+    sw $t0, 0($t1)
+halt: j halt
+    nop
+.data
+out: .word 0
+"""
+
+
+@pytest.fixture
+def sample_file(tmp_path):
+    path = tmp_path / "sample.s"
+    path.write_text(SAMPLE)
+    return str(path)
+
+
+class TestAsm:
+    def test_stats(self, sample_file, capsys):
+        assert main(["asm", sample_file]) == 0
+        out = capsys.readouterr().out
+        assert "code words" in out
+
+    def test_listing(self, sample_file, capsys):
+        assert main(["asm", sample_file, "--listing"]) == 0
+        out = capsys.readouterr().out
+        assert "addiu $t0, $zero, 7" in out
+
+    def test_image(self, sample_file, capsys):
+        assert main(["asm", sample_file, "--image"]) == 0
+        out = capsys.readouterr().out
+        assert "00000000" in out
+
+    def test_assembly_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("bogus $1, $2\n")
+        assert main(["asm", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["asm", "/nonexistent.s"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_runs_and_reports(self, sample_file, capsys):
+        assert main(["run", sample_file]) == 0
+        out = capsys.readouterr().out
+        assert "halted at pc=" in out
+
+    def test_dump(self, sample_file, capsys):
+        assert main(["run", sample_file, "--dump", "0x2000:1"]) == 0
+        out = capsys.readouterr().out
+        assert "00002000 00000007" in out
+
+    def test_bad_dump_spec(self, sample_file):
+        with pytest.raises(SystemExit):
+            main(["run", sample_file, "--dump", "whatever"])
+
+
+class TestSelftest:
+    def test_prints_source(self, capsys):
+        assert main(["selftest", "--phases", "A"]) == 0
+        captured = capsys.readouterr()
+        assert "selftest_start:" in captured.out
+        assert "code words" in captured.err
+
+    def test_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "st.s"
+        assert main(["selftest", "--phases", "A", "-o", str(target)]) == 0
+        assert "selftest_halt" in target.read_text()
+
+
+class TestCampaign:
+    def test_subset_campaign(self, capsys):
+        assert main(["campaign", "--phases", "A",
+                     "--components", "ALU,BSH"]) == 0
+        out = capsys.readouterr().out
+        assert "ALU" in out and "Plasma" in out
+        assert "Clock Cycles" in out
+
+
+class TestInventory:
+    def test_tables(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "Register File" in out
+        assert "17,459" in out

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "sum=100" in out
+        assert "ALU stuck-at coverage" in out
+
+    def test_custom_component(self):
+        out = run_example("custom_component_test.py")
+        assert "stuck-at coverage" in out
+        assert "POPC" in out
+
+    def test_tester_session(self):
+        out = run_example("tester_session.py")
+        assert "download" in out
+        assert "defective chips: 20/20" in out or "defective chips:" in out
+        assert "example tester log entry" in out
+
+    @pytest.mark.slow
+    def test_sbst_campaign_fast_subset(self):
+        out = run_example("sbst_campaign.py", "--phases", "A")
+        assert "Table 5" in out
+        assert "Plasma" in out
+
+    def test_diagnose_defect(self):
+        out = run_example("diagnose_defect.py", "7")
+        assert "diagnosis (top candidates)" in out
+        assert "<== injected" in out
+
+    def test_experiments_report_generator(self, tmp_path):
+        target = tmp_path / "EXPERIMENTS.md"
+        out = run_example("generate_experiments_report.py", "-o", str(target))
+        assert "wrote" in out
+        text = target.read_text()
+        assert "T5" in text and "Table 5" in text

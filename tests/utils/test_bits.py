@@ -1,0 +1,165 @@
+"""Unit tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    MASK32,
+    bit,
+    bits_of,
+    checkerboard,
+    extract,
+    from_bits,
+    from_signed,
+    insert,
+    mask,
+    parity,
+    popcount,
+    rotate_left,
+    sign_extend,
+    to_signed,
+    walking_ones,
+    walking_zeros,
+)
+
+u32 = st.integers(min_value=0, max_value=MASK32)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small(self):
+        assert mask(3) == 0b111
+
+    def test_word(self):
+        assert mask(32) == MASK32
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitAccess:
+    def test_bit_lsb(self):
+        assert bit(0b1010, 0) == 0
+        assert bit(0b1010, 1) == 1
+
+    def test_bits_of_roundtrip(self):
+        assert from_bits(bits_of(0xDEADBEEF, 32)) == 0xDEADBEEF
+
+    @given(u32)
+    def test_bits_roundtrip_property(self, value):
+        assert from_bits(bits_of(value, 32)) == value
+
+    def test_bits_of_width_truncates(self):
+        assert bits_of(0xFF, 4) == [1, 1, 1, 1]
+
+
+class TestFields:
+    def test_extract_nibble(self):
+        assert extract(0xABCD, 15, 12) == 0xA
+
+    def test_extract_single_bit(self):
+        assert extract(0x8000_0000, 31, 31) == 1
+
+    def test_extract_invalid_order(self):
+        with pytest.raises(ValueError):
+            extract(0, 0, 5)
+
+    def test_insert_replaces_field(self):
+        assert insert(0xABCD, 15, 12, 0x5) == 0x5BCD
+
+    def test_insert_extract_roundtrip(self):
+        value = insert(0, 20, 16, 0x15)
+        assert extract(value, 20, 16) == 0x15
+
+    @given(u32, st.integers(0, 31), st.integers(0, 31), u32)
+    def test_insert_then_extract(self, value, a, b, field):
+        high, low = max(a, b), min(a, b)
+        inserted = insert(value, high, low, field)
+        assert extract(inserted, high, low) == field & mask(high - low + 1)
+
+
+class TestSignedness:
+    def test_sign_extend_negative_byte(self):
+        assert sign_extend(0x80, 8) == 0xFFFF_FF80
+
+    def test_sign_extend_positive_byte(self):
+        assert sign_extend(0x7F, 8) == 0x7F
+
+    def test_sign_extend_masks_input(self):
+        assert sign_extend(0x1FF, 8) == 0xFFFF_FFFF
+
+    def test_to_signed_negative(self):
+        assert to_signed(0xFFFF_FFFF) == -1
+
+    def test_to_signed_positive(self):
+        assert to_signed(0x7FFF_FFFF) == 0x7FFF_FFFF
+
+    def test_to_signed_16(self):
+        assert to_signed(0x8000, 16) == -32768
+
+    def test_from_signed_roundtrip(self):
+        assert from_signed(-1, 16) == 0xFFFF
+
+    def test_from_signed_out_of_range(self):
+        with pytest.raises(ValueError):
+            from_signed(1 << 32, 32)
+        with pytest.raises(ValueError):
+            from_signed(-(1 << 31) - 1, 32)
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_signed_roundtrip_property(self, value):
+        assert to_signed(from_signed(value, 32), 32) == value
+
+
+class TestCounting:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(MASK32) == 32
+        assert popcount(0b1011) == 3
+
+    def test_popcount_negative_raises(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_parity(self):
+        assert parity(0b11) == 0
+        assert parity(0b111) == 1
+
+    @given(u32, u32)
+    def test_parity_xor_additive(self, a, b):
+        # Parity of disjoint unions adds mod 2.
+        assert parity(a ^ b) == parity(a) ^ parity(b)
+
+
+class TestRotate:
+    def test_rotate_identity(self):
+        assert rotate_left(0x1234, 0) == 0x1234
+
+    def test_rotate_wraps(self):
+        assert rotate_left(0x8000_0000, 1) == 1
+
+    @given(u32, st.integers(0, 64))
+    def test_rotate_full_circle(self, value, amount):
+        rotated = rotate_left(value, amount)
+        back = rotate_left(rotated, (32 - amount) % 32)
+        assert back == value
+
+
+class TestPatternGenerators:
+    def test_walking_ones(self):
+        patterns = list(walking_ones(4))
+        assert patterns == [1, 2, 4, 8]
+
+    def test_walking_zeros(self):
+        patterns = list(walking_zeros(4))
+        assert patterns == [0b1110, 0b1101, 0b1011, 0b0111]
+
+    def test_checkerboard(self):
+        a, b = checkerboard(8)
+        assert a == 0b01010101
+        assert b == 0b10101010
+        assert a ^ b == 0xFF

@@ -1,0 +1,76 @@
+"""Unit tests for lane packing (pattern-parallel simulation substrate)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.lanes import (
+    LaneSet,
+    pack_lanes,
+    pack_vectors,
+    unpack_lanes,
+    unpack_vectors,
+)
+
+
+class TestLaneSet:
+    def test_mask(self):
+        assert LaneSet(4).mask == 0b1111
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            LaneSet(0)
+
+    def test_invert_masks_to_lanes(self):
+        lanes = LaneSet(3)
+        assert lanes.invert(0b001) == 0b110
+
+    def test_broadcast(self):
+        lanes = LaneSet(5)
+        assert lanes.broadcast(1) == 0b11111
+        assert lanes.broadcast(0) == 0
+
+    def test_lane_extraction(self):
+        lanes = LaneSet(4)
+        assert lanes.lane(0b0100, 2) == 1
+        assert lanes.lane(0b0100, 1) == 0
+
+    def test_lane_out_of_range(self):
+        with pytest.raises(IndexError):
+            LaneSet(2).lane(0, 5)
+
+    def test_any_set_respects_mask(self):
+        lanes = LaneSet(2)
+        assert not lanes.any_set(0b100)  # outside the live lanes
+        assert lanes.any_set(0b10)
+
+    def test_set_lanes(self):
+        assert LaneSet(8).set_lanes(0b1010_0001) == [0, 5, 7]
+
+
+class TestPacking:
+    def test_pack_unpack_lanes(self):
+        bits = [1, 0, 1, 1]
+        assert unpack_lanes(pack_lanes(bits), 4) == bits
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=64))
+    def test_lane_roundtrip_property(self, bits):
+        assert unpack_lanes(pack_lanes(bits), len(bits)) == bits
+
+    def test_pack_vectors_transposes(self):
+        # Two patterns of width 3: 0b101 and 0b010.
+        words = pack_vectors([0b101, 0b010], 3)
+        assert words[0] == 0b01  # bit 0: pattern0=1, pattern1=0
+        assert words[1] == 0b10
+        assert words[2] == 0b01
+
+    def test_pack_vectors_ignores_overflow_bits(self):
+        words = pack_vectors([0b1111], 2)
+        assert len(words) == 2
+
+    @given(
+        st.lists(st.integers(0, (1 << 16) - 1), min_size=1, max_size=40)
+    )
+    def test_vector_roundtrip_property(self, values):
+        words = pack_vectors(values, 16)
+        assert unpack_vectors(words, len(values)) == values

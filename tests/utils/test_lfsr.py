@@ -1,0 +1,67 @@
+"""Unit tests for the LFSR PRNG."""
+
+import pytest
+
+from repro.utils.lfsr import LFSR, STANDARD_TAPS
+
+
+class TestConstruction:
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LFSR(8, seed=0)
+
+    def test_seed_masked_then_checked(self):
+        with pytest.raises(ValueError):
+            LFSR(4, seed=0x10)  # masks to 0
+
+    def test_unknown_width_needs_taps(self):
+        with pytest.raises(ValueError):
+            LFSR(5)
+
+    def test_explicit_taps(self):
+        lfsr = LFSR(5, taps=(5, 3))
+        assert lfsr.width == 5
+
+    def test_taps_out_of_range(self):
+        with pytest.raises(ValueError):
+            LFSR(4, taps=(6,))
+
+    def test_too_narrow(self):
+        with pytest.raises(ValueError):
+            LFSR(1)
+
+
+class TestSequence:
+    def test_deterministic(self):
+        a = LFSR(16, seed=0xACE1)
+        b = LFSR(16, seed=0xACE1)
+        assert [a.step() for _ in range(100)] == [b.step() for _ in range(100)]
+
+    def test_state_never_zero(self):
+        lfsr = LFSR(8, seed=1)
+        for _ in range(300):
+            lfsr.step()
+            assert lfsr.state != 0
+
+    def test_next_word_width(self):
+        lfsr = LFSR(16, seed=1)
+        for _ in range(20):
+            assert 0 <= lfsr.next_word(8) < 256
+
+    def test_words_count(self):
+        lfsr = LFSR(16, seed=1)
+        assert len(list(lfsr.words(4, 10))) == 10
+
+    def test_maximal_period_standard_taps_small(self):
+        for width in (4, 8):
+            lfsr = LFSR(width, seed=1)
+            assert lfsr.period_is_maximal()
+
+    def test_period_check_refuses_large(self):
+        lfsr = LFSR(32, seed=1)
+        with pytest.raises(ValueError):
+            lfsr.period_is_maximal(limit=1000)
+
+    def test_all_standard_widths_construct(self):
+        for width in STANDARD_TAPS:
+            LFSR(width, seed=1).step()
