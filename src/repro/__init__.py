@@ -18,6 +18,8 @@ The package provides:
   self-test routine generators, and the Phase A/B/C methodology;
 * :mod:`repro.baselines` — pseudorandom-instruction SBST and a
   Chen&Dey-style software-LFSR component SBST baseline;
+* :mod:`repro.runtime` — resilient campaign execution: worker-process
+  isolation, timeouts, retries, crash-safe checkpoint/resume;
 * :mod:`repro.reporting` — renderers that regenerate the paper's tables.
 """
 

@@ -14,11 +14,12 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.core.campaign import run_campaign
 from repro.core.methodology import SelfTestMethodology
-from repro.errors import ReproError
+from repro.errors import ReproError, WatchdogTimeout
 from repro.isa.assembler import assemble
 from repro.isa.disassembler import disassemble_program
 from repro.plasma.cpu import PlasmaCPU
@@ -28,6 +29,12 @@ from repro.reporting.tables import (
     render_table4,
     render_table5,
 )
+from repro.runtime import RetryPolicy, RuntimeConfig
+
+#: Distinct exit codes so scripts/CI can tell failure modes apart.
+EXIT_ERROR = 1       # generic library error
+EXIT_DEGRADED = 3    # campaign completed but with ungraded components
+EXIT_WATCHDOG = 4    # CPU watchdog tripped (runaway program)
 
 
 def _cmd_asm(args: argparse.Namespace) -> int:
@@ -51,7 +58,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         program = assemble(handle.read())
     cpu = PlasmaCPU()
     cpu.load_program(program)
-    result = cpu.run(max_instructions=args.max_instructions)
+    try:
+        result = cpu.run(
+            max_instructions=args.max_instructions,
+            max_cycles=args.max_cycles,
+        )
+    except WatchdogTimeout as exc:
+        print(f"watchdog: {exc}", file=sys.stderr)
+        return EXIT_WATCHDOG
     print(
         f"halted at pc={result.pc:#010x} after {result.instructions} "
         f"instructions / {result.cycles} cycles"
@@ -80,18 +94,55 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_runtime(args: argparse.Namespace) -> RuntimeConfig | None:
+    """Build the resilient-runner config from CLI flags (None = serial)."""
+    wants_runtime = (
+        args.checkpoint is not None
+        or args.resume
+        or args.timeout is not None
+        or args.isolate
+    )
+    if not wants_runtime:
+        return None
+    return RuntimeConfig(
+        timeout_seconds=args.timeout,
+        retry=RetryPolicy(max_attempts=args.retries),
+        checkpoint_dir=args.checkpoint,
+        resume=args.resume,
+        isolate=not args.no_isolate,
+    )
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     components = args.components.split(",") if args.components else None
+    runtime = _campaign_runtime(args)
     outcomes = {}
+    degraded: list[str] = []
     for phases in args.phases.split(","):
         print(f"== campaign: phases {phases} ==")
         outcomes[phases] = run_campaign(
-            phases, components=components, verbose=True
+            phases, components=components, verbose=True, runtime=runtime,
         )
+        if runtime is not None and runtime.checkpoint_dir is not None:
+            # Later phases (and the journal entries the first phase just
+            # wrote) must survive: only the first phase may start a fresh
+            # journal.
+            runtime = dataclasses.replace(runtime, resume=True)
+        degraded += [
+            f"{phases}:{name}"
+            for name in outcomes[phases].degraded_components
+        ]
     print()
     print(render_table4(outcomes))
     print()
     print(render_table5(outcomes))
+    if degraded:
+        print(
+            "warning: campaign degraded; ungraded components: "
+            + ", ".join(degraded),
+            file=sys.stderr,
+        )
+        return EXIT_DEGRADED
     return 0
 
 
@@ -130,6 +181,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="assemble and execute a program")
     p_run.add_argument("file")
     p_run.add_argument("--max-instructions", type=int, default=2_000_000)
+    p_run.add_argument("--max-cycles", type=int, default=None,
+                       help="CPU watchdog: abort after this many cycles "
+                            f"(exit code {EXIT_WATCHDOG})")
     p_run.add_argument("--dump", type=_parse_dump, metavar="BASE:COUNT",
                        help="dump memory words after the run")
     p_run.set_defaults(func=_cmd_run)
@@ -144,6 +198,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated phase configs (e.g. A,AB)")
     p_c.add_argument("--components",
                      help="comma-separated subset (e.g. ALU,BSH)")
+    p_c.add_argument("--checkpoint", metavar="DIR",
+                     help="journal completed components to DIR "
+                          "(crash-safe JSONL + event log)")
+    p_c.add_argument("--resume", action="store_true",
+                     help="reuse journaled results from --checkpoint DIR")
+    p_c.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                     help="wall-clock budget per component grading attempt")
+    p_c.add_argument("--retries", type=int, default=3, metavar="N",
+                     help="attempts per component before degrading "
+                          "(default 3)")
+    p_c.add_argument("--isolate", action="store_true",
+                     help="force the resilient runner (worker-process "
+                          "isolation) even without --checkpoint/--timeout")
+    p_c.add_argument("--no-isolate", action="store_true",
+                     help="run grading jobs in-process (no timeouts)")
     p_c.set_defaults(func=_cmd_campaign)
 
     p_inv = sub.add_parser("inventory", help="print Tables 2 and 3")

@@ -8,25 +8,41 @@ The pipeline (DESIGN.md Section 4):
    the stuck-at fault simulator, honouring the taint-derived observability;
 4. aggregate per-component FC / MOFC and the overall processor coverage
    (= Table 5).
+
+Step 3 is by far the longest-running part, so it is expressed as one *job*
+per component.  By default the jobs run serially in-process (identical to
+the historical behaviour); passing a :class:`~repro.runtime.RuntimeConfig`
+routes them through the resilient :class:`~repro.runtime.JobRunner`
+instead — worker-process isolation, wall-clock timeouts, retries with
+backoff, crash-safe JSONL checkpointing with resume, and graceful
+degradation (a permanently failing component is reported as ungraded with
+lower-bound coverage rather than aborting the whole campaign).
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 
+from repro.errors import CheckpointCorrupt
 from repro.core.methodology import SelfTestMethodology, SelfTestProgram
 from repro.faultsim.coverage import CoverageSummary
+from repro.faultsim.faults import build_fault_list
 from repro.faultsim.harness import (
     CampaignResult,
     CombinationalCampaign,
     SequentialCampaign,
 )
+from repro.netlist.netlist import Netlist
 from repro.netlist.stats import gate_count
-from repro.plasma.components import COMPONENTS, ComponentInfo
+from repro.plasma.components import COMPONENTS, ComponentInfo, component
 from repro.plasma.cpu import CPUResult, PlasmaCPU
 from repro.plasma.memory import Memory
 from repro.plasma.tracer import ComponentTracer
+from repro.runtime.events import JobEvent
+from repro.runtime.policy import RuntimeConfig
+from repro.runtime.runner import JobRunner
 
 
 @dataclass
@@ -39,6 +55,16 @@ class CampaignOutcome:
     results: dict[str, CampaignResult] = field(default_factory=dict)
     summary: CoverageSummary = field(default_factory=CoverageSummary)
     grading_seconds: dict[str, float] = field(default_factory=dict)
+    #: Components whose grading permanently failed; their coverage rows
+    #: are lower bounds (all faults counted undetected).
+    degraded_components: list[str] = field(default_factory=list)
+    #: Structured per-job runtime events (empty for the in-process path).
+    events: list[JobEvent] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True if any component's grading permanently failed."""
+        return bool(self.degraded_components)
 
     # ------------------------------------------------------------ tables
 
@@ -62,6 +88,7 @@ class CampaignOutcome:
                     "detected": cov.n_detected,
                     "fc": cov.fault_coverage,
                     "mofc": self.summary.mofc(cov.name),
+                    "degraded": cov.degraded,
                 }
             )
         rows.append(
@@ -71,6 +98,7 @@ class CampaignOutcome:
                 "detected": self.summary.total_detected,
                 "fc": self.summary.overall_coverage,
                 "mofc": 100.0 - self.summary.overall_coverage,
+                "degraded": self.summary.degraded,
             }
         )
         return rows
@@ -81,21 +109,23 @@ def grade_component(
     stimulus: list,
     observe: list,
     netlist_transform=None,
+    netlist: Netlist | None = None,
 ) -> CampaignResult:
     """Fault-grade one component against its traced stimulus.
 
     Args:
         netlist_transform: optional netlist -> netlist rewrite applied
             before grading (e.g. a technology remap for experiment C3).
+        netlist: pre-built (and pre-transformed) netlist to grade; when
+            given, ``netlist_transform`` is not applied again.
     """
-    netlist = info.builder()
-    if netlist_transform is not None:
-        netlist = netlist_transform(netlist)
+    if netlist is None:
+        netlist = info.builder()
+        if netlist_transform is not None:
+            netlist = netlist_transform(netlist)
     if not stimulus:
         # The program never excited this component (e.g. a prefix program
         # without its routine): everything stays undetected.
-        from repro.faultsim.faults import build_fault_list
-
         return CampaignResult(info.name, build_fault_list(netlist))
     if info.sequential:
         campaign = SequentialCampaign(
@@ -119,17 +149,134 @@ def execute_self_test(
     return result, tracer, cpu.memory
 
 
+# ------------------------------------------------------------------- jobs
+#
+# One fault-grading job per component.  The function is module-level so a
+# worker process can execute it, and it returns ``(result, nand2)`` from a
+# *single* netlist build (the area is measured pre-transform, matching the
+# historical Table 3 semantics).
+
+
+def _grading_job(
+    name: str,
+    stimulus: list,
+    observe: list,
+    netlist_transform=None,
+) -> tuple[CampaignResult, int]:
+    """Build one component once, measure its area, fault-grade it."""
+    info = component(name)
+    netlist = info.builder()
+    nand2 = gate_count(netlist).nand2
+    if netlist_transform is not None:
+        netlist = netlist_transform(netlist)
+    result = grade_component(info, stimulus, observe, netlist=netlist)
+    return result, nand2
+
+
+def _job_fingerprint(
+    self_test: SelfTestProgram,
+    info: ComponentInfo,
+    netlist_transform=None,
+) -> str:
+    """Configuration hash guarding checkpoint reuse.
+
+    The traced stimulus is a deterministic function of the program source,
+    so hashing the source (plus the component and transform identities)
+    is enough to detect a journal written by a different campaign.
+    """
+    digest = hashlib.sha256()
+    digest.update(self_test.phases.encode())
+    digest.update(self_test.source.encode())
+    digest.update(info.name.encode())
+    transform_id = (
+        "" if netlist_transform is None
+        else getattr(netlist_transform, "__qualname__", repr(netlist_transform))
+    )
+    digest.update(transform_id.encode())
+    return digest.hexdigest()[:16]
+
+
+def _result_to_record(
+    value: tuple[CampaignResult, int], elapsed: float = 0.0
+) -> dict:
+    """Serialize a grading result to a JSON-safe checkpoint record."""
+    result, nand2 = value
+    return {
+        "name": result.name,
+        "n_faults": result.n_faults,
+        "detected": sorted(result.detected),
+        "n_patterns": result.n_patterns,
+        "nand2": nand2,
+        "elapsed": elapsed,
+    }
+
+
+def _record_to_result(
+    record: dict, info: ComponentInfo, netlist_transform=None
+) -> tuple[CampaignResult, int]:
+    """Rebuild a :class:`CampaignResult` from a journaled record.
+
+    The fault universe is regenerated deterministically from the netlist
+    builder; only the detected set comes from the journal.  Per-fault
+    Detection records are not journaled, so a resumed result has an empty
+    ``detections`` map (coverage numbers are unaffected).
+    """
+    netlist = info.builder()
+    if netlist_transform is not None:
+        netlist = netlist_transform(netlist)
+    fault_list = build_fault_list(netlist)
+    if fault_list.n_collapsed != record["n_faults"]:
+        raise CheckpointCorrupt(
+            f"journaled record for {info.name!r} has {record['n_faults']} "
+            f"fault classes but the netlist yields "
+            f"{fault_list.n_collapsed}"
+        )
+    result = CampaignResult(
+        info.name,
+        fault_list,
+        detected=set(record["detected"]),
+        n_patterns=record["n_patterns"],
+    )
+    return result, record["nand2"]
+
+
+def _ungraded_result(
+    info: ComponentInfo, netlist_transform=None
+) -> tuple[CampaignResult, int]:
+    """Fallback for a permanently failed job: full fault universe, nothing
+    detected, so the component contributes a coverage *lower bound*."""
+    try:
+        netlist = info.builder()
+        nand2 = gate_count(netlist).nand2
+        if netlist_transform is not None:
+            netlist = netlist_transform(netlist)
+        fault_list = build_fault_list(netlist)
+    except Exception:
+        # Even the builder is broken (that may be *why* the job failed);
+        # report an empty universe rather than crash the degraded path.
+        fault_list = build_fault_list(Netlist(info.name))
+        nand2 = 0
+    return CampaignResult(info.name, fault_list), nand2
+
+
 def grade_program(
     self_test: SelfTestProgram,
     components: list[str] | None = None,
     verbose: bool = False,
     netlist_transform=None,
+    runtime: RuntimeConfig | None = None,
 ) -> CampaignOutcome:
     """Execute any program on the traced CPU and fault-grade components.
 
     This is the shared back half of :func:`run_campaign`; the baselines
     (pseudorandom / Chen&Dey programs) are graded through it too, so every
     comparison uses identical machinery.
+
+    Args:
+        runtime: route the per-component jobs through the resilient
+            :class:`~repro.runtime.JobRunner` (isolation, timeout, retry,
+            checkpoint/resume, graceful degradation).  None keeps the
+            historical serial in-process path.
     """
     cpu_result, tracer, _memory = execute_self_test(self_test)
     specs = tracer.finalize()
@@ -137,24 +284,68 @@ def grade_program(
     outcome = CampaignOutcome(
         phases=self_test.phases, self_test=self_test, cpu_result=cpu_result
     )
+    runner = JobRunner(runtime) if runtime is not None else None
     wanted = set(components) if components is not None else None
     for info in COMPONENTS:
         if wanted is not None and info.name not in wanted:
             continue
         stimulus, observe = specs[info.name]
-        started = time.perf_counter()
-        result = grade_component(info, stimulus, observe, netlist_transform)
-        elapsed = time.perf_counter() - started
+        degraded = False
+        if runner is None:
+            started = time.perf_counter()
+            result, nand2 = _grading_job(
+                info.name, stimulus, observe, netlist_transform
+            )
+            elapsed = time.perf_counter() - started
+        else:
+            key = f"{self_test.phases}:{info.name}"
+            fingerprint = _job_fingerprint(self_test, info, netlist_transform)
+            job_args = (info.name, stimulus, observe, netlist_transform)
+            job = runner.run(
+                key=key, fn=_grading_job, args=job_args,
+                fingerprint=fingerprint, serialize=_result_to_record,
+            )
+            if job.status == "cached":
+                try:
+                    result, nand2 = _record_to_result(
+                        job.record, info, netlist_transform
+                    )
+                    elapsed = float(job.record.get("elapsed", 0.0))
+                except (CheckpointCorrupt, KeyError, TypeError):
+                    # Journal disagrees with the current netlist (or the
+                    # record is malformed): distrust it and re-grade from
+                    # scratch, still resiliently.  The fresh result is
+                    # appended under the same key and wins next resume.
+                    runner.invalidate(key)
+                    job = runner.run(
+                        key=key, fn=_grading_job, args=job_args,
+                        fingerprint=fingerprint, serialize=_result_to_record,
+                    )
+            if job.status != "cached":
+                if job.failed:
+                    result, nand2 = _ungraded_result(info, netlist_transform)
+                    elapsed = 0.0
+                    degraded = True
+                else:
+                    result, nand2 = job.value
+                    elapsed = job.elapsed
         outcome.results[info.name] = result
         outcome.grading_seconds[info.name] = elapsed
-        nand2 = gate_count(info.builder()).nand2
-        outcome.summary.add(result.to_component_coverage(nand2))
+        if degraded:
+            outcome.degraded_components.append(info.name)
+        outcome.summary.add(
+            result.to_component_coverage(nand2, degraded=degraded)
+        )
         if verbose:
+            marker = " DEGRADED (lower bound)" if degraded else ""
             print(
                 f"  {info.name:6s} FC={result.fault_coverage:6.2f}% "
                 f"({result.n_detected}/{result.n_faults} faults, "
                 f"{len(stimulus)} stimulus entries, {elapsed:.1f}s)"
+                f"{marker}"
             )
+    if runner is not None:
+        outcome.events = runner.events.events
     return outcome
 
 
@@ -164,6 +355,7 @@ def run_campaign(
     methodology: SelfTestMethodology | None = None,
     verbose: bool = False,
     netlist_transform=None,
+    runtime: RuntimeConfig | None = None,
 ) -> CampaignOutcome:
     """Full pipeline for one phase configuration.
 
@@ -174,6 +366,8 @@ def run_campaign(
             the summary then only aggregates the graded subset.
         methodology: custom methodology instance (for ablations).
         verbose: print per-component progress with timings.
+        runtime: resilient-runner configuration (see
+            :func:`grade_program`); None = serial in-process grading.
 
     Returns:
         The campaign outcome with Table 4/5 data attached.
@@ -185,4 +379,5 @@ def run_campaign(
         components=components,
         verbose=verbose,
         netlist_transform=netlist_transform,
+        runtime=runtime,
     )

@@ -43,3 +43,64 @@ class FaultSimError(ReproError):
 
 class MethodologyError(ReproError):
     """The SBST methodology was applied to an unsupported configuration."""
+
+
+class WatchdogTimeout(SimulationError):
+    """The CPU watchdog tripped: a run exceeded its cycle or instruction
+    budget without reaching the halt loop (runaway program)."""
+
+
+class ReproRuntimeError(ReproError, RuntimeError):
+    """Base class for campaign-runtime failures (job execution machinery).
+
+    These errors describe how a *job* failed — timeout, worker death,
+    journal damage — rather than a defect in the library itself.  They
+    also derive from the builtin :class:`RuntimeError` so generic runtime
+    handlers catch them.
+    """
+
+
+class GradingTimeout(ReproRuntimeError):
+    """A fault-grading job exceeded its wall-clock timeout.
+
+    Carries the job name and the budget that was exhausted.
+    """
+
+    def __init__(self, job: str, timeout_seconds: float):
+        self.job = job
+        self.timeout_seconds = timeout_seconds
+        super().__init__(
+            f"job {job!r} exceeded its {timeout_seconds:g}s wall-clock budget"
+        )
+
+
+class WorkerCrash(ReproRuntimeError):
+    """An isolated worker process died without reporting a result.
+
+    Carries the process exit code when known (negative = killed by
+    signal, following POSIX convention).
+    """
+
+    def __init__(self, job: str, exitcode: int | None = None):
+        self.job = job
+        self.exitcode = exitcode
+        detail = f" (exit code {exitcode})" if exitcode is not None else ""
+        super().__init__(f"worker for job {job!r} died{detail}")
+
+
+class JobFailed(ReproRuntimeError):
+    """A job raised an exception (in-process or inside its worker).
+
+    Carries the original exception type name and message; the traceback
+    itself stays in the worker.
+    """
+
+    def __init__(self, job: str, exc_type: str, detail: str):
+        self.job = job
+        self.exc_type = exc_type
+        self.detail = detail
+        super().__init__(f"job {job!r} failed: {exc_type}: {detail}")
+
+
+class CheckpointCorrupt(ReproRuntimeError):
+    """A checkpoint journal contains entries that cannot be decoded."""

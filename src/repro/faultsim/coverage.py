@@ -14,12 +14,17 @@ class ComponentCoverage:
         n_faults: collapsed stuck-at fault classes in the component.
         n_detected: classes detected by the applied test.
         nand2: component area (for Table 3 cross-reference; 0 if unknown).
+        degraded: True when the component could not be (fully) graded —
+            its fault simulation permanently failed and every ungraded
+            fault is counted as undetected, so ``fault_coverage`` is a
+            *lower bound*, not a measurement.
     """
 
     name: str
     n_faults: int
     n_detected: int
     nand2: int = 0
+    degraded: bool = False
 
     @property
     def n_undetected(self) -> int:
@@ -62,6 +67,16 @@ class CoverageSummary:
         if total == 0:
             return 100.0
         return 100.0 * self.total_detected / total
+
+    @property
+    def degraded_components(self) -> list[str]:
+        """Names of components whose coverage is only a lower bound."""
+        return [c.name for c in self.components if c.degraded]
+
+    @property
+    def degraded(self) -> bool:
+        """True if any component failed grading (overall FC is a bound)."""
+        return any(c.degraded for c in self.components)
 
     def mofc(self, name: str) -> float:
         """Missed overall fault coverage contributed by one component (%)."""

@@ -89,12 +89,15 @@ class CampaignResult:
             f"{self.n_excited_unobserved} excited-but-unobserved"
         )
 
-    def to_component_coverage(self, nand2: int = 0) -> ComponentCoverage:
+    def to_component_coverage(
+        self, nand2: int = 0, degraded: bool = False
+    ) -> ComponentCoverage:
         return ComponentCoverage(
             name=self.name,
             n_faults=self.n_faults,
             n_detected=self.n_detected,
             nand2=nand2,
+            degraded=degraded,
         )
 
 

@@ -72,6 +72,16 @@ class ParallelFaultSimulator:
         Returns:
             One Detection per fault (first detecting cycle recorded).
         """
+        if len(faults) > self.batch_size:
+            raise FaultSimError(
+                f"batch of {len(faults)} faults exceeds batch size "
+                f"{self.batch_size}"
+            )
+        if observe is not None and len(observe) != len(cycle_inputs):
+            raise FaultSimError(
+                f"observe list must match cycle count "
+                f"({len(observe)} != {len(cycle_inputs)})"
+            )
         n_lanes = len(faults) + 1
         mask = (1 << n_lanes) - 1
         all_but_good = mask & ~1

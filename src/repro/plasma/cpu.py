@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WatchdogTimeout
 from repro.isa.encoding import decode
 from repro.isa.program import Program
 from repro.library.alu import alu_reference
@@ -448,15 +448,17 @@ class PlasmaCPU:
         """Run until halt or a limit is hit.
 
         Raises:
-            SimulationError: if the limit is exceeded (runaway program).
+            WatchdogTimeout: if a limit is exceeded (runaway program).
+                It subclasses :class:`SimulationError`, so existing
+                handlers keep working.
         """
         while not self.halted:
             if self.instructions >= max_instructions:
-                raise SimulationError(
+                raise WatchdogTimeout(
                     f"exceeded {max_instructions} instructions without halting"
                 )
             if max_cycles is not None and self.cycles >= max_cycles:
-                raise SimulationError(
+                raise WatchdogTimeout(
                     f"exceeded {max_cycles} cycles without halting"
                 )
             self.step()

@@ -104,26 +104,42 @@ def render_table4(outcomes: Mapping[str, CampaignOutcome]) -> str:
 
 
 def render_table5(outcomes: Mapping[str, CampaignOutcome]) -> str:
-    """Table 5: per-component FC / MOFC for successive phases."""
+    """Table 5: per-component FC / MOFC for successive phases.
+
+    A component whose grading permanently failed (resilient campaign
+    degradation) is marked with ``*``: all of its faults are counted as
+    undetected, so its FC — and the overall Plasma FC — are lower bounds.
+    """
     specs = list(outcomes)
     widths = (10,) + (8, 8) * len(specs)
     header = ["Component"]
     for spec in specs:
         header += [f"{spec} FC%", f"{spec} MOFC"]
     out = [_row(header, widths), _rule(widths)]
+    any_degraded = False
     names = [c.name for c in outcomes[specs[0]].summary.components]
     for name in names:
         cells = [name]
         for spec in specs:
             summary = outcomes[spec].summary
             cov = summary.component(name)
-            cells += [f"{cov.fault_coverage:.2f}", f"{summary.mofc(name):.2f}"]
+            mark = "*" if cov.degraded else ""
+            any_degraded = any_degraded or cov.degraded
+            cells += [
+                f"{cov.fault_coverage:.2f}{mark}",
+                f"{summary.mofc(name):.2f}",
+            ]
         out.append(_row(cells, widths))
     out.append(_rule(widths))
     cells = ["Plasma"]
     for spec in specs:
         summary = outcomes[spec].summary
-        cells += [f"{summary.overall_coverage:.2f}",
+        mark = "*" if summary.degraded else ""
+        cells += [f"{summary.overall_coverage:.2f}{mark}",
                   f"{100 - summary.overall_coverage:.2f}"]
     out.append(_row(cells, widths))
+    if any_degraded:
+        out.append(
+            "* degraded: component not fully graded; FC is a lower bound"
+        )
     return "\n".join(out)

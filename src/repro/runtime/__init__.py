@@ -1,0 +1,33 @@
+"""Resilient campaign runtime: isolation, timeouts, retries, checkpoints.
+
+The fault-grading campaign is the longest-running path in the repro; this
+package contains the failure-containment machinery that keeps it alive:
+
+* :mod:`repro.runtime.worker` — per-job worker processes with wall-clock
+  timeouts and crash detection;
+* :mod:`repro.runtime.policy` — retry/backoff policy and the runtime
+  configuration knobs;
+* :mod:`repro.runtime.checkpoint` — crash-safe JSONL journal enabling
+  ``--resume`` after an interruption;
+* :mod:`repro.runtime.events` — structured per-job event log for
+  campaign health auditing;
+* :mod:`repro.runtime.runner` — the :class:`JobRunner` composing all of
+  the above, degrading gracefully when a job permanently fails.
+"""
+
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.events import EventLog, JobEvent
+from repro.runtime.policy import RetryPolicy, RuntimeConfig
+from repro.runtime.runner import JobOutcome, JobRunner
+from repro.runtime.worker import run_in_worker
+
+__all__ = [
+    "CheckpointStore",
+    "EventLog",
+    "JobEvent",
+    "JobOutcome",
+    "JobRunner",
+    "RetryPolicy",
+    "RuntimeConfig",
+    "run_in_worker",
+]

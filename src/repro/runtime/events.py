@@ -1,0 +1,93 @@
+"""Structured per-job event log for campaign health auditing.
+
+Every job the runner touches emits a small, machine-readable event stream
+(start / retry / success / failure / timeout / crash / cached / degraded)
+with attempt numbers and wall-clock durations.  Benchmarks and CI read the
+stream to decide whether a campaign ran clean, limped through retries, or
+degraded.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: Event kinds in lifecycle order.  ``cached`` means the job was skipped
+#: because a journaled result was reused; ``degraded`` means the job
+#: permanently failed and the campaign continued without it.
+EVENT_KINDS = (
+    "start",
+    "retry",
+    "success",
+    "failure",
+    "timeout",
+    "crash",
+    "cached",
+    "degraded",
+)
+
+
+@dataclass
+class JobEvent:
+    """One line of the campaign health journal."""
+
+    job: str
+    kind: str
+    attempt: int = 0
+    duration: float | None = None
+    detail: str = ""
+    timestamp: float = 0.0
+
+    def to_json(self) -> str:
+        payload = {k: v for k, v in asdict(self).items() if v not in (None, "")}
+        return json.dumps(payload, sort_keys=True)
+
+
+@dataclass
+class EventLog:
+    """In-memory event list with an optional JSONL sink.
+
+    The sink is append-only and flushed per event so a crashed campaign
+    still leaves an auditable trail.
+    """
+
+    path: Path | None = None
+    events: list[JobEvent] = field(default_factory=list)
+
+    def emit(
+        self,
+        job: str,
+        kind: str,
+        attempt: int = 0,
+        duration: float | None = None,
+        detail: str = "",
+    ) -> JobEvent:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        event = JobEvent(
+            job=job, kind=kind, attempt=attempt, duration=duration,
+            detail=detail, timestamp=time.time(),
+        )
+        self.events.append(event)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(event.to_json() + "\n")
+                handle.flush()
+        return event
+
+    def for_job(self, job: str) -> list[JobEvent]:
+        return [e for e in self.events if e.job == job]
+
+    def kinds(self, job: str | None = None) -> list[str]:
+        """Event-kind sequence, optionally filtered to one job."""
+        events = self.events if job is None else self.for_job(job)
+        return [e.kind for e in events]
+
+    def summary(self) -> dict[str, int]:
+        """Event counts per kind — the one-glance campaign health check."""
+        counts = {kind: 0 for kind in EVENT_KINDS}
+        for event in self.events:
+            counts[event.kind] += 1
+        return counts

@@ -1,0 +1,80 @@
+"""Retry and runtime configuration for the resilient job runner."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ReproRuntimeError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently a failed job is re-attempted.
+
+    Attributes:
+        max_attempts: total tries per job (1 = no retries).
+        backoff_seconds: delay before the first retry.
+        backoff_multiplier: growth factor per subsequent retry.
+        max_backoff_seconds: upper clamp on any single delay.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.5
+    backoff_multiplier: float = 2.0
+    max_backoff_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproRuntimeError("max_attempts must be at least 1")
+        if self.backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise ReproRuntimeError("backoff delays must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ReproRuntimeError("backoff_multiplier must be >= 1")
+
+    def delay_before_retry(self, failed_attempt: int) -> float:
+        """Backoff delay after attempt ``failed_attempt`` (1-based) failed."""
+        if failed_attempt < 1:
+            raise ReproRuntimeError("attempt numbers are 1-based")
+        delay = self.backoff_seconds * (
+            self.backoff_multiplier ** (failed_attempt - 1)
+        )
+        return min(delay, self.max_backoff_seconds)
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs for one resilient campaign run.
+
+    Attributes:
+        timeout_seconds: wall-clock budget per job attempt (None = no
+            limit).  Enforced only for isolated jobs — an in-process job
+            cannot be interrupted from the outside.
+        retry: the retry/backoff policy.
+        checkpoint_dir: directory for the crash-safe JSONL journal (and
+            the event log); None disables checkpointing.
+        resume: reuse journaled results from ``checkpoint_dir`` instead
+            of starting the journal afresh.
+        isolate: run each job in its own worker process.
+        sleep: injectable sleep function (tests replace it to avoid
+            real backoff waits).
+    """
+
+    timeout_seconds: float | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    checkpoint_dir: str | Path | None = None
+    resume: bool = False
+    isolate: bool = True
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ReproRuntimeError("timeout_seconds must be positive")
+        if self.resume and self.checkpoint_dir is None:
+            raise ReproRuntimeError("resume requires a checkpoint_dir")
+        if self.timeout_seconds is not None and not self.isolate:
+            raise ReproRuntimeError(
+                "timeouts require process isolation (isolate=True)"
+            )

@@ -1,0 +1,195 @@
+"""The resilient job runner: isolation + retries + checkpointing + events.
+
+:class:`JobRunner` executes keyed jobs under a :class:`RuntimeConfig`:
+
+1. **Checkpoint lookup** — a journaled result with a matching fingerprint
+   is returned immediately (``cached``) without re-running the job.
+2. **Execution** — the job runs in an isolated worker process (default)
+   or in-process, with a wall-clock timeout when isolated.
+3. **Retry** — timeouts, worker crashes and job exceptions are retried
+   with exponential backoff up to the policy's attempt budget.
+4. **Journal** — successes are serialized and fsynced to the JSONL
+   checkpoint before the runner moves on.
+5. **Degradation** — a job that exhausts its attempts yields a ``failed``
+   outcome instead of raising, so the caller can continue with partial
+   results.
+
+Every transition is emitted to the structured :class:`EventLog`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import (
+    GradingTimeout,
+    JobFailed,
+    ReproRuntimeError,
+    WorkerCrash,
+)
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.events import EventLog
+from repro.runtime.policy import RuntimeConfig
+from repro.runtime.worker import run_in_worker
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job.
+
+    Attributes:
+        key: the job's stable identity.
+        status: ``"ok"`` (ran and succeeded), ``"cached"`` (journaled
+            result reused) or ``"failed"`` (attempts exhausted).
+        value: the job's return value (``ok`` only).
+        record: the serialized record (``ok`` when a serializer is
+            configured, and always for ``cached``).
+        attempts: how many attempts ran (0 for ``cached``).
+        elapsed: wall-clock seconds of the successful attempt.
+        error: human-readable description of the final failure.
+    """
+
+    key: str
+    status: str
+    value: Any = None
+    record: dict | None = None
+    attempts: int = 0
+    elapsed: float = 0.0
+    error: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+
+class JobRunner:
+    """Run keyed jobs resiliently under one :class:`RuntimeConfig`."""
+
+    def __init__(self, config: RuntimeConfig | None = None):
+        self.config = config or RuntimeConfig()
+        self.checkpoint: CheckpointStore | None = None
+        self._completed: dict[str, dict] = {}
+        events_path = None
+        if self.config.checkpoint_dir is not None:
+            self.checkpoint = CheckpointStore(self.config.checkpoint_dir)
+            if self.config.resume:
+                # Recovery mode: corrupt entries are dropped (their jobs
+                # simply re-run) rather than aborting the resume.
+                self._completed = self.checkpoint.load(strict=False)
+            else:
+                self.checkpoint.reset()
+            events_path = self.checkpoint.events_path
+        self.events = EventLog(path=events_path)
+
+    @property
+    def resumed_keys(self) -> set[str]:
+        """Keys with a journaled result available for reuse."""
+        return set(self._completed)
+
+    def invalidate(self, key: str) -> None:
+        """Distrust a journaled result; the next run re-executes the job.
+
+        The journal file itself is append-only: the fresh result is
+        appended under the same key and wins on the next load.
+        """
+        self._completed.pop(key, None)
+
+    def run(
+        self,
+        key: str,
+        fn: Callable[..., Any],
+        args: Sequence = (),
+        kwargs: Mapping[str, Any] | None = None,
+        fingerprint: str = "",
+        serialize: Callable[[Any], dict] | None = None,
+    ) -> JobOutcome:
+        """Execute one job, honouring checkpoint, isolation and retries.
+
+        Args:
+            key: stable job identity used for checkpoint lookup.
+            fingerprint: configuration hash; a journaled entry is reused
+                only if its fingerprint matches (stale journals from a
+                different program/config are re-run, not trusted).
+            serialize: result -> JSON-safe dict for the journal.  Without
+                it, successes are journaled with an empty record.
+        """
+        cached = self._completed.get(key)
+        if cached is not None and cached.get("fingerprint", "") == fingerprint:
+            self.events.emit(key, "cached", detail="journaled result reused")
+            return JobOutcome(key, "cached", record=cached["record"])
+
+        policy = self.config.retry
+        last_error = ""
+        for attempt in range(1, policy.max_attempts + 1):
+            self.events.emit(key, "start", attempt=attempt)
+            started = time.perf_counter()
+            try:
+                value = self._execute(key, fn, args, kwargs)
+            except GradingTimeout as exc:
+                elapsed = time.perf_counter() - started
+                last_error = str(exc)
+                self.events.emit(
+                    key, "timeout", attempt=attempt, duration=elapsed,
+                    detail=last_error,
+                )
+            except WorkerCrash as exc:
+                elapsed = time.perf_counter() - started
+                last_error = str(exc)
+                self.events.emit(
+                    key, "crash", attempt=attempt, duration=elapsed,
+                    detail=last_error,
+                )
+            except JobFailed as exc:
+                elapsed = time.perf_counter() - started
+                last_error = str(exc)
+                self.events.emit(
+                    key, "failure", attempt=attempt, duration=elapsed,
+                    detail=last_error,
+                )
+            else:
+                elapsed = time.perf_counter() - started
+                self.events.emit(
+                    key, "success", attempt=attempt, duration=elapsed
+                )
+                record = serialize(value) if serialize is not None else {}
+                if self.checkpoint is not None:
+                    self.checkpoint.append(key, record, fingerprint)
+                    self._completed[key] = {
+                        "fingerprint": fingerprint, "record": record,
+                    }
+                return JobOutcome(
+                    key, "ok", value=value, record=record or None,
+                    attempts=attempt, elapsed=elapsed,
+                )
+            if attempt < policy.max_attempts:
+                delay = policy.delay_before_retry(attempt)
+                if delay > 0:
+                    self.config.sleep(delay)
+                self.events.emit(
+                    key, "retry", attempt=attempt + 1,
+                    detail=f"backoff {delay:g}s",
+                )
+        self.events.emit(
+            key, "degraded", attempt=policy.max_attempts, detail=last_error
+        )
+        return JobOutcome(
+            key, "failed", attempts=policy.max_attempts, error=last_error
+        )
+
+    # ----------------------------------------------------------- helpers
+
+    def _execute(self, key, fn, args, kwargs):
+        """One attempt, isolated or in-process, normalised to the taxonomy."""
+        if self.config.isolate:
+            return run_in_worker(
+                fn, args, kwargs,
+                timeout=self.config.timeout_seconds, job=key,
+            )
+        try:
+            return fn(*args, **(kwargs or {}))
+        except ReproRuntimeError:
+            raise
+        except Exception as exc:
+            raise JobFailed(key, type(exc).__name__, str(exc)) from exc

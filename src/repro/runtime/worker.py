@@ -1,0 +1,126 @@
+"""Process-isolated job execution with wall-clock timeouts.
+
+One job = one worker process.  The worker runs a callable and ships the
+(picklable) result back over a pipe; the parent enforces the wall-clock
+budget and converts every way a worker can die into a structured exception:
+
+* result arrives            -> returned to the caller;
+* job raises                -> :class:`~repro.errors.JobFailed`;
+* budget exhausted          -> :class:`~repro.errors.GradingTimeout`
+  (the worker is terminated, escalating to SIGKILL);
+* process dies silently     -> :class:`~repro.errors.WorkerCrash`
+  (segfault, ``os._exit``, OOM-kill...).
+
+The ``fork`` start method is preferred (no pickling of the callable, so
+closures and netlist transforms work); ``spawn`` is the fallback where fork
+is unavailable, at the cost of requiring picklable job functions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import GradingTimeout, JobFailed, WorkerCrash
+
+_START_METHOD = (
+    "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+)
+_CTX = mp.get_context(_START_METHOD)
+
+#: Grace period for a terminated worker to exit before SIGKILL.
+_TERMINATE_GRACE = 2.0
+
+
+def _worker_main(conn, fn, args, kwargs) -> None:
+    """Worker entry point: run the job, report ('ok', ...) or ('error', ...)."""
+    try:
+        result = fn(*args, **kwargs)
+    except BaseException as exc:  # report everything, incl. KeyboardInterrupt
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        except Exception:
+            pass  # parent gone or result unpicklable; dies as a crash
+    else:
+        try:
+            conn.send(("ok", result))
+        except Exception:
+            try:
+                conn.send(
+                    ("error", "PicklingError", "job result is not picklable")
+                )
+            except Exception:
+                pass
+    finally:
+        conn.close()
+
+
+def _reap(proc: mp.Process) -> None:
+    """Stop a worker that is no longer wanted, escalating politely."""
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(_TERMINATE_GRACE)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(_TERMINATE_GRACE)
+
+
+def run_in_worker(
+    fn: Callable[..., Any],
+    args: Sequence = (),
+    kwargs: Mapping[str, Any] | None = None,
+    timeout: float | None = None,
+    job: str = "",
+) -> Any:
+    """Execute ``fn(*args, **kwargs)`` in a dedicated worker process.
+
+    Args:
+        fn: the job callable.  With the ``fork`` start method any callable
+            works; under ``spawn`` it must be importable/picklable.
+        timeout: wall-clock budget in seconds (None = wait forever).
+        job: label used in raised exceptions and logs.
+
+    Returns:
+        Whatever ``fn`` returned (must be picklable).
+
+    Raises:
+        GradingTimeout: budget exhausted; the worker has been killed.
+        WorkerCrash: the process died without reporting anything.
+        JobFailed: the job raised; carries the exception type and message.
+    """
+    label = job or getattr(fn, "__name__", "job")
+    parent_conn, child_conn = _CTX.Pipe(duplex=False)
+    proc = _CTX.Process(
+        target=_worker_main,
+        args=(child_conn, fn, tuple(args), dict(kwargs or {})),
+        daemon=True,
+    )
+    started = time.monotonic()
+    proc.start()
+    child_conn.close()
+    try:
+        if not parent_conn.poll(timeout):
+            _reap(proc)
+            raise GradingTimeout(label, float(timeout))
+        try:
+            message = parent_conn.recv()
+        except EOFError:
+            # The pipe closed with nothing on it: the worker died before
+            # (or while) reporting.
+            proc.join(_TERMINATE_GRACE)
+            raise WorkerCrash(label, proc.exitcode) from None
+        if message[0] == "ok":
+            remaining = None
+            if timeout is not None:
+                remaining = max(0.0, timeout - (time.monotonic() - started))
+            proc.join(remaining)
+            _reap(proc)
+            return message[1]
+        _, exc_type, detail = message
+        proc.join(_TERMINATE_GRACE)
+        _reap(proc)
+        raise JobFailed(label, exc_type, detail)
+    finally:
+        _reap(proc)
+        parent_conn.close()

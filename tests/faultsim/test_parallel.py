@@ -99,3 +99,24 @@ class TestBatchMechanics:
             ParallelFaultSimulator(netlist).run_campaign(
                 [dict(a=0, b=0, func=0)], observe=[(), ()]
             )
+
+    def test_run_batch_observe_length_checked(self):
+        # The public run_batch must validate like the campaign path
+        # instead of dying on a bare IndexError mid-simulation.
+        netlist = build_alu(width=4)
+        fl = build_fault_list(netlist)
+        faults = [fl.fault(fl.class_representatives()[0])]
+        with pytest.raises(FaultSimError, match="observe"):
+            ParallelFaultSimulator(netlist).run_batch(
+                faults, [dict(a=0, b=0, func=0)] * 3, observe=[("result",)]
+            )
+
+    def test_run_batch_oversized_batch_rejected(self):
+        netlist = build_alu(width=4)
+        fl = build_fault_list(netlist)
+        reps = fl.class_representatives()
+        faults = [fl.fault(r) for r in reps[:3]]
+        with pytest.raises(FaultSimError, match="batch"):
+            ParallelFaultSimulator(netlist, batch_size=2).run_batch(
+                faults, [dict(a=0, b=0, func=0)]
+            )

@@ -1,0 +1,80 @@
+"""Unit tests for the crash-safe JSONL checkpoint store."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointCorrupt
+from repro.runtime.checkpoint import CheckpointStore
+
+
+class TestRoundTrip:
+    def test_append_load(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.append("A:ALU", {"n_faults": 10, "detected": [1, 2]}, "fp1")
+        store.append("A:BSH", {"n_faults": 20, "detected": []}, "fp2")
+        loaded = CheckpointStore(tmp_path).load()
+        assert set(loaded) == {"A:ALU", "A:BSH"}
+        assert loaded["A:ALU"]["fingerprint"] == "fp1"
+        assert loaded["A:ALU"]["record"]["detected"] == [1, 2]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert CheckpointStore(tmp_path).load() == {}
+
+    def test_rewrite_same_key_last_wins(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.append("k", {"v": 1})
+        store.append("k", {"v": 2})
+        assert store.load()["k"]["record"] == {"v": 2}
+
+    def test_creates_directory(self, tmp_path):
+        store = CheckpointStore(tmp_path / "nested" / "dir")
+        store.append("k", {})
+        assert store.exists()
+
+    def test_reset_starts_fresh(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.append("k", {"v": 1})
+        store.reset()
+        assert not store.exists()
+        assert store.load() == {}
+
+
+class TestCorruption:
+    def test_torn_final_line_ignored(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.append("good", {"v": 1})
+        # Simulate a crash mid-append: a partial record, no newline.
+        with open(store.path, "a") as handle:
+            handle.write('{"key": "torn", "rec')
+        loaded = store.load()
+        assert set(loaded) == {"good"}
+        assert store.corrupt_entries == 0
+
+    def test_corrupt_middle_line_skipped_and_counted(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.append("a", {"v": 1})
+        with open(store.path, "a") as handle:
+            handle.write("not json at all\n")
+        store.append("b", {"v": 2})
+        loaded = store.load()
+        assert set(loaded) == {"a", "b"}
+        assert store.corrupt_entries == 1
+
+    def test_corrupt_middle_line_strict_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.append("a", {"v": 1})
+        with open(store.path, "a") as handle:
+            handle.write("garbage\n")
+        with pytest.raises(CheckpointCorrupt):
+            store.load(strict=True)
+
+    def test_wrong_shape_entry_is_corrupt(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with open(store.path, "a") as handle:
+            handle.write(json.dumps({"key": 42, "record": {}}) + "\n")
+            handle.write(json.dumps({"key": "ok", "record": "nope"}) + "\n")
+        store.append("fine", {})
+        loaded = store.load()
+        assert set(loaded) == {"fine"}
+        assert store.corrupt_entries == 2

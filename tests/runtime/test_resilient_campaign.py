@@ -1,0 +1,174 @@
+"""Integration tests: the fault-grading campaign under the resilient runner.
+
+These exercise the acceptance paths of the resilient runtime against real
+(cheap) components: checkpoint/resume round-trips, interrupted campaigns,
+timeout-driven degradation and corrupt-journal recovery.
+"""
+
+import os
+import time
+
+import pytest
+
+import repro.core.campaign as campaign_mod
+from repro.core.campaign import run_campaign
+from repro.reporting.tables import render_table5
+from repro.runtime import RetryPolicy, RuntimeConfig
+from repro.runtime.checkpoint import CheckpointStore
+
+FAST = ["CTRL", "BMUX"]
+
+_real_grading_job = campaign_mod._grading_job
+
+
+def _config(tmp_path=None, resume=False, attempts=2, timeout=None,
+            isolate=True):
+    return RuntimeConfig(
+        timeout_seconds=timeout,
+        retry=RetryPolicy(max_attempts=attempts, backoff_seconds=0),
+        checkpoint_dir=tmp_path,
+        resume=resume,
+        isolate=isolate,
+        sleep=lambda s: None,
+    )
+
+
+def _hang_component(name, *args, **kwargs):
+    if name == "BMUX":
+        time.sleep(60)
+    return _real_grading_job(name, *args, **kwargs)
+
+
+def _crash_component(name, *args, **kwargs):
+    if name == "BMUX":
+        os._exit(11)
+    return _real_grading_job(name, *args, **kwargs)
+
+
+def _interrupt_component(name, *args, **kwargs):
+    if name == "BMUX":
+        raise KeyboardInterrupt  # simulates the user killing the campaign
+    return _real_grading_job(name, *args, **kwargs)
+
+
+class TestResilientMatchesSerial:
+    def test_same_table5_as_in_process(self, tmp_path):
+        resilient = run_campaign(
+            "A", components=FAST, runtime=_config(tmp_path)
+        )
+        serial = run_campaign("A", components=FAST)
+        assert render_table5({"A": resilient}) == render_table5({"A": serial})
+        assert not resilient.degraded
+        kinds = [e.kind for e in resilient.events]
+        assert kinds.count("success") == len(FAST)
+
+
+class TestCheckpointResume:
+    def test_interrupted_campaign_resumes(self, tmp_path, monkeypatch):
+        # Run 1: the campaign dies mid-run (simulated Ctrl-C while grading
+        # the second component).  The first component is already journaled.
+        monkeypatch.setattr(
+            campaign_mod, "_grading_job", _interrupt_component
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                "A", components=FAST,
+                runtime=_config(tmp_path, isolate=False),
+            )
+        journaled = CheckpointStore(tmp_path).load()
+        assert set(journaled) == {"A:CTRL"}
+
+        # Run 2: --resume grades only the remainder...
+        monkeypatch.setattr(campaign_mod, "_grading_job", _real_grading_job)
+        resumed = run_campaign(
+            "A", components=FAST, runtime=_config(tmp_path, resume=True)
+        )
+        per_job = {e.job: e.kind for e in resumed.events}
+        assert per_job["A:CTRL"] == "cached"
+        assert any(
+            e.job == "A:BMUX" and e.kind == "success"
+            for e in resumed.events
+        )
+        # ... and the final table is identical to an uninterrupted run.
+        uninterrupted = run_campaign("A", components=FAST)
+        assert render_table5({"A": resumed}) == render_table5(
+            {"A": uninterrupted}
+        )
+
+    def test_resume_skips_all_completed(self, tmp_path):
+        run_campaign("A", components=FAST, runtime=_config(tmp_path))
+        resumed = run_campaign(
+            "A", components=FAST, runtime=_config(tmp_path, resume=True)
+        )
+        assert [e.kind for e in resumed.events] == ["cached", "cached"]
+        assert not resumed.degraded
+
+    def test_corrupt_checkpoint_recovery(self, tmp_path):
+        run_campaign("A", components=FAST, runtime=_config(tmp_path))
+        store = CheckpointStore(tmp_path)
+        # Vandalise the journal: corrupt CTRL's line, keep BMUX's.
+        lines = store.path.read_text().splitlines()
+        assert len(lines) == 2
+        store.path.write_text("CORRUPTED {{{\n" + lines[1] + "\n")
+
+        resumed = run_campaign(
+            "A", components=FAST, runtime=_config(tmp_path, resume=True)
+        )
+        per_job = {}
+        for e in resumed.events:
+            per_job.setdefault(e.job, []).append(e.kind)
+        assert per_job["A:CTRL"][-1] == "success"  # re-graded
+        assert per_job["A:BMUX"] == ["cached"]     # salvaged
+        uninterrupted = run_campaign("A", components=FAST)
+        assert render_table5({"A": resumed}) == render_table5(
+            {"A": uninterrupted}
+        )
+
+
+class TestGracefulDegradation:
+    def test_timeout_retry_then_degraded(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(campaign_mod, "_grading_job", _hang_component)
+        outcome = run_campaign(
+            "A", components=FAST,
+            runtime=_config(tmp_path, timeout=0.5),
+        )
+        assert outcome.degraded_components == ["BMUX"]
+        assert outcome.degraded
+        kinds = [e.kind for e in outcome.events if e.job == "A:BMUX"]
+        assert kinds == ["start", "timeout", "retry", "start", "timeout",
+                         "degraded"]
+        # The degraded component reports its full fault universe with
+        # nothing detected: a coverage lower bound.
+        bmux = outcome.results["BMUX"]
+        assert bmux.n_faults > 0
+        assert bmux.n_detected == 0
+        cov = outcome.summary.component("BMUX")
+        assert cov.degraded
+        assert outcome.summary.degraded_components == ["BMUX"]
+        # The other component graded normally.
+        assert outcome.results["CTRL"].n_detected > 0
+        assert not outcome.summary.component("CTRL").degraded
+
+    def test_worker_crash_then_degraded(self, monkeypatch):
+        monkeypatch.setattr(campaign_mod, "_grading_job", _crash_component)
+        outcome = run_campaign(
+            "A", components=["BMUX"], runtime=_config(attempts=2)
+        )
+        assert outcome.degraded_components == ["BMUX"]
+        kinds = [e.kind for e in outcome.events]
+        assert kinds == ["start", "crash", "retry", "start", "crash",
+                         "degraded"]
+
+    def test_degraded_table5_rendering(self, monkeypatch):
+        monkeypatch.setattr(campaign_mod, "_grading_job", _crash_component)
+        outcome = run_campaign(
+            "A", components=FAST, runtime=_config(attempts=1)
+        )
+        table = render_table5({"A": outcome})
+        assert "0.00*" in table
+        assert "lower bound" in table
+        rows = outcome.table5()
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["BMUX"]["degraded"]
+        assert not by_name["CTRL"]["degraded"]
+        assert by_name["Plasma"]["degraded"]

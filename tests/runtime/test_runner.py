@@ -1,0 +1,195 @@
+"""Unit tests for the resilient JobRunner (retry, checkpoint, events)."""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ReproRuntimeError
+from repro.runtime import JobRunner, RetryPolicy, RuntimeConfig
+
+
+def _ok():
+    return {"answer": 42}
+
+
+def _boom():
+    raise ValueError("boom")
+
+
+def _hangs():
+    time.sleep(60)
+
+
+def _flaky(counter_path, succeed_on):
+    """Fail until the file-backed attempt counter reaches ``succeed_on``.
+
+    File-backed because each attempt may run in a fresh worker process.
+    """
+    count = 1
+    if os.path.exists(counter_path):
+        with open(counter_path) as handle:
+            count = int(handle.read()) + 1
+    with open(counter_path, "w") as handle:
+        handle.write(str(count))
+    if count < succeed_on:
+        raise RuntimeError(f"flaking on attempt {count}")
+    return count
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_seconds=1.0, backoff_multiplier=2.0,
+            max_backoff_seconds=5.0,
+        )
+        delays = [policy.delay_before_retry(a) for a in (1, 2, 3, 4)]
+        assert delays == [1.0, 2.0, 4.0, 5.0]  # clamped at max
+
+    def test_validation(self):
+        with pytest.raises(ReproRuntimeError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ReproRuntimeError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ReproRuntimeError):
+            RuntimeConfig(timeout_seconds=-1)
+        with pytest.raises(ReproRuntimeError):
+            RuntimeConfig(resume=True)  # needs checkpoint_dir
+        with pytest.raises(ReproRuntimeError):
+            RuntimeConfig(timeout_seconds=5, isolate=False)
+
+
+class TestRunnerSuccess:
+    def test_simple_success(self):
+        runner = JobRunner(RuntimeConfig(sleep=lambda s: None))
+        outcome = runner.run("j", _ok)
+        assert outcome.status == "ok"
+        assert outcome.value == {"answer": 42}
+        assert outcome.attempts == 1
+        assert runner.events.kinds("j") == ["start", "success"]
+
+    def test_in_process_success(self):
+        runner = JobRunner(RuntimeConfig(isolate=False, sleep=lambda s: None))
+        assert runner.run("j", _ok).value == {"answer": 42}
+
+
+class TestRunnerRetry:
+    def test_retry_until_success(self, tmp_path):
+        counter = str(tmp_path / "count")
+        runner = JobRunner(
+            RuntimeConfig(
+                retry=RetryPolicy(max_attempts=3, backoff_seconds=0),
+                sleep=lambda s: None,
+            )
+        )
+        outcome = runner.run("flaky", _flaky, (counter, 3))
+        assert outcome.status == "ok"
+        assert outcome.value == 3
+        assert outcome.attempts == 3
+        assert runner.events.kinds("flaky") == [
+            "start", "failure", "retry",
+            "start", "failure", "retry",
+            "start", "success",
+        ]
+
+    def test_backoff_delays_passed_to_sleep(self):
+        slept = []
+        runner = JobRunner(
+            RuntimeConfig(
+                retry=RetryPolicy(
+                    max_attempts=3, backoff_seconds=0.5,
+                    backoff_multiplier=2.0,
+                ),
+                sleep=slept.append,
+            )
+        )
+        outcome = runner.run("j", _boom)
+        assert outcome.failed
+        assert slept == [0.5, 1.0]
+
+    def test_permanent_failure_degrades(self):
+        runner = JobRunner(
+            RuntimeConfig(
+                retry=RetryPolicy(max_attempts=2, backoff_seconds=0),
+                sleep=lambda s: None,
+            )
+        )
+        outcome = runner.run("j", _boom)
+        assert outcome.failed
+        assert outcome.attempts == 2
+        assert "boom" in outcome.error
+        assert runner.events.kinds("j")[-1] == "degraded"
+
+    def test_timeout_then_degraded(self):
+        runner = JobRunner(
+            RuntimeConfig(
+                timeout_seconds=0.3,
+                retry=RetryPolicy(max_attempts=2, backoff_seconds=0),
+                sleep=lambda s: None,
+            )
+        )
+        outcome = runner.run("slow", _hangs)
+        assert outcome.failed
+        assert runner.events.kinds("slow") == [
+            "start", "timeout", "retry", "start", "timeout", "degraded",
+        ]
+
+    def test_in_process_exception_wrapped(self):
+        runner = JobRunner(
+            RuntimeConfig(
+                isolate=False,
+                retry=RetryPolicy(max_attempts=1),
+                sleep=lambda s: None,
+            )
+        )
+        outcome = runner.run("j", _boom)
+        assert outcome.failed
+        assert "ValueError" in outcome.error
+
+
+class TestRunnerCheckpoint:
+    def _config(self, tmp_path, resume=False):
+        return RuntimeConfig(
+            checkpoint_dir=tmp_path, resume=resume,
+            retry=RetryPolicy(max_attempts=1), sleep=lambda s: None,
+        )
+
+    def test_success_is_journaled_and_reused(self, tmp_path):
+        runner = JobRunner(self._config(tmp_path))
+        first = runner.run("j", _ok, fingerprint="fp", serialize=dict)
+        assert first.status == "ok"
+
+        resumed = JobRunner(self._config(tmp_path, resume=True))
+        cached = resumed.run("j", _boom, fingerprint="fp")  # fn not re-run
+        assert cached.status == "cached"
+        assert cached.record == {"answer": 42}
+        assert resumed.events.kinds("j") == ["cached"]
+
+    def test_fingerprint_mismatch_reruns(self, tmp_path):
+        runner = JobRunner(self._config(tmp_path))
+        runner.run("j", _ok, fingerprint="old", serialize=dict)
+
+        resumed = JobRunner(self._config(tmp_path, resume=True))
+        outcome = resumed.run("j", _ok, fingerprint="new", serialize=dict)
+        assert outcome.status == "ok"  # stale journal entry not trusted
+
+    def test_no_resume_resets_journal(self, tmp_path):
+        JobRunner(self._config(tmp_path)).run("j", _ok, serialize=dict)
+        fresh = JobRunner(self._config(tmp_path, resume=False))
+        assert fresh.resumed_keys == set()
+        assert fresh.run("j", _ok, serialize=dict).status == "ok"
+
+    def test_invalidate_forces_rerun(self, tmp_path):
+        JobRunner(self._config(tmp_path)).run(
+            "j", _ok, fingerprint="fp", serialize=dict
+        )
+        resumed = JobRunner(self._config(tmp_path, resume=True))
+        resumed.invalidate("j")
+        assert resumed.run("j", _ok, fingerprint="fp").status == "ok"
+
+    def test_events_written_to_jsonl(self, tmp_path):
+        runner = JobRunner(self._config(tmp_path))
+        runner.run("j", _ok, serialize=dict)
+        lines = runner.events.path.read_text().splitlines()
+        assert len(lines) == 2  # start + success
+        assert runner.events.summary()["success"] == 1

@@ -1,0 +1,65 @@
+"""Unit tests for process-isolated job execution."""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import (
+    GradingTimeout,
+    JobFailed,
+    ReproRuntimeError,
+    WorkerCrash,
+)
+from repro.runtime.worker import run_in_worker
+
+
+def _double(x):
+    return x * 2
+
+
+def _raises():
+    raise ValueError("inner boom")
+
+
+def _hangs():
+    time.sleep(60)
+
+
+def _hard_exit():
+    os._exit(9)
+
+
+class TestRunInWorker:
+    def test_returns_result(self):
+        assert run_in_worker(_double, (21,)) == 42
+
+    def test_kwargs(self):
+        assert run_in_worker(_double, kwargs={"x": 3}) == 6
+
+    def test_exception_becomes_job_failed(self):
+        with pytest.raises(JobFailed) as excinfo:
+            run_in_worker(_raises, job="myjob")
+        assert excinfo.value.exc_type == "ValueError"
+        assert "inner boom" in excinfo.value.detail
+        assert "myjob" in str(excinfo.value)
+
+    def test_timeout_raises_grading_timeout(self):
+        started = time.monotonic()
+        with pytest.raises(GradingTimeout) as excinfo:
+            run_in_worker(_hangs, timeout=0.3, job="slow")
+        assert time.monotonic() - started < 10
+        assert excinfo.value.job == "slow"
+        assert excinfo.value.timeout_seconds == pytest.approx(0.3)
+
+    def test_silent_death_raises_worker_crash(self):
+        with pytest.raises(WorkerCrash) as excinfo:
+            run_in_worker(_hard_exit, job="dying")
+        assert excinfo.value.exitcode == 9
+
+    def test_taxonomy_is_runtime_error_family(self):
+        # All worker failures share one catchable base that is also a
+        # builtin RuntimeError.
+        for exc_type in (GradingTimeout, WorkerCrash, JobFailed):
+            assert issubclass(exc_type, ReproRuntimeError)
+            assert issubclass(exc_type, RuntimeError)

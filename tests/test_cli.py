@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_DEGRADED, EXIT_WATCHDOG, main
 
 SAMPLE = """
 .text
@@ -13,6 +13,14 @@ halt: j halt
     nop
 .data
 out: .word 0
+"""
+
+RUNAWAY = """
+.text
+loop:
+    addiu $t0, $t0, 1
+    j loop
+    nop
 """
 
 
@@ -65,6 +73,18 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", sample_file, "--dump", "whatever"])
 
+    def test_watchdog_max_cycles(self, tmp_path, capsys):
+        runaway = tmp_path / "runaway.s"
+        runaway.write_text(RUNAWAY)
+        code = main(["run", str(runaway), "--max-cycles", "50"])
+        assert code == EXIT_WATCHDOG
+        err = capsys.readouterr().err
+        assert "watchdog" in err
+        assert "Traceback" not in err
+
+    def test_watchdog_not_tripped_by_halting_program(self, sample_file):
+        assert main(["run", sample_file, "--max-cycles", "10000"]) == 0
+
 
 class TestSelftest:
     def test_prints_source(self, capsys):
@@ -86,6 +106,50 @@ class TestCampaign:
         out = capsys.readouterr().out
         assert "ALU" in out and "Plasma" in out
         assert "Clock Cycles" in out
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        args = ["campaign", "--phases", "A", "--components", "CTRL",
+                "--checkpoint", ckpt]
+        assert main(args) == 0
+        assert (tmp_path / "ckpt" / "checkpoint.jsonl").exists()
+        assert (tmp_path / "ckpt" / "events.jsonl").exists()
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        assert "CTRL" in capsys.readouterr().out
+
+    def test_multiphase_checkpoint_keeps_all_phases(self, tmp_path, capsys):
+        from repro.runtime.checkpoint import CheckpointStore
+
+        ckpt = str(tmp_path / "ckpt")
+        assert main(["campaign", "--phases", "A,AB",
+                     "--components", "CTRL", "--checkpoint", ckpt]) == 0
+        # The second phase must not wipe the first phase's journal.
+        assert set(CheckpointStore(ckpt).load()) == {"A:CTRL", "AB:CTRL"}
+
+    def test_degraded_campaign_distinct_exit_code(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.core.campaign as campaign_mod
+
+        def exploding_job(name, *args, **kwargs):
+            raise ValueError("synthetic grading failure")
+
+        monkeypatch.setattr(campaign_mod, "_grading_job", exploding_job)
+        code = main(["campaign", "--phases", "A", "--components", "CTRL",
+                     "--checkpoint", str(tmp_path / "ckpt"),
+                     "--retries", "1"])
+        assert code == EXIT_DEGRADED
+        captured = capsys.readouterr()
+        assert "degraded" in captured.err
+        assert "Traceback" not in captured.err
+        assert "lower bound" in captured.out
+
+    def test_resume_requires_checkpoint(self, capsys):
+        code = main(["campaign", "--phases", "A", "--components", "CTRL",
+                     "--resume"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestInventory:
