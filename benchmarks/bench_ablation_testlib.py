@@ -13,7 +13,7 @@ arithmetic fill).
 
 import random
 
-from conftest import cached_campaign, run_once, write_result
+from conftest import run_once, write_result
 
 from repro.core.campaign import grade_program
 from repro.core.methodology import SelfTestProgram

@@ -1,0 +1,51 @@
+"""Static analysis: program verification and netlist testability.
+
+Two analyzers share one diagnostic model (:mod:`.diagnostics`):
+
+* :func:`~repro.analysis.program.analyze_program` — CFG + dataflow
+  checks over assembled self-test programs (``PRxxx`` rules);
+* :func:`repro.analysis.netlist.analyze_netlist` — structural lint +
+  SCOAP testability screening over component netlists (``NLxxx``
+  rules).  Import it from :mod:`repro.analysis.netlist` directly; it is
+  not re-exported here so the package init stays import-cycle-free
+  (``netlist.verify`` uses the diagnostic model from this package).
+
+:mod:`.scoap` additionally feeds quantitative controllability/
+observability scores into :mod:`repro.core.priority` and the sound
+subset of its screening into the fault-simulation pruner.
+"""
+
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Report,
+    RULES,
+    Severity,
+    make_diagnostic,
+    render_text,
+    reports_to_json,
+)
+from repro.analysis.program import AnalysisOptions, MemoryMap, analyze_program
+from repro.analysis.scoap import (
+    ScoapAnalysis,
+    compute_scoap,
+    untestable_fault_classes,
+)
+
+__all__ = [
+    "AnalysisOptions",
+    "ControlFlowGraph",
+    "Diagnostic",
+    "MemoryMap",
+    "Report",
+    "RULES",
+    "ScoapAnalysis",
+    "Severity",
+    "analyze_program",
+    "build_cfg",
+    "compute_scoap",
+    "make_diagnostic",
+    "render_text",
+    "reports_to_json",
+    "untestable_fault_classes",
+]

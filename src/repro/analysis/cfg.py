@@ -1,0 +1,286 @@
+"""Control-flow graph over assembled programs.
+
+The CFG is built from the *machine words* of a :class:`~repro.isa.program.
+Program` (not its source), so it sees exactly what the CPU will execute —
+pseudo-instruction expansion, ``li`` splitting and branch encoding
+included.  MIPS I delay-slot semantics are modeled explicitly: a basic
+block ends *after* the delay slot of its control transfer, and the
+transfer's edges leave from the end of that block.
+
+Register effects (:func:`instruction_effects`) cover the architectural
+registers plus HI/LO as pseudo-registers 32/33, so ``mult``/``mflo``
+chains participate in the dataflow passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EncodingError
+from repro.isa.encoding import Decoded, decode
+from repro.isa.instruction import Kind, Syntax
+from repro.isa.program import Program
+from repro.utils.bits import to_signed
+
+#: Pseudo-register indices for the HI/LO multiply-divide results.
+REG_HI = 32
+REG_LO = 33
+N_TRACKED_REGS = 34
+
+
+def instruction_effects(d: Decoded) -> tuple[frozenset[int], frozenset[int]]:
+    """Registers read and written by one decoded instruction.
+
+    Returns:
+        ``(reads, writes)`` over register indices 0..33 (32 = HI,
+        33 = LO).  Writes to ``$0`` are dropped — they are
+        architecturally discarded, so they never define anything.
+    """
+    syn = d.spec.syntax
+    kind = d.spec.kind
+    reads: set[int] = set()
+    writes: set[int] = set()
+    if syn is Syntax.RD_RS_RT:
+        reads = {d.rs, d.rt}
+        writes = {d.rd}
+    elif syn is Syntax.RD_RT_SA:
+        reads = {d.rt}
+        writes = {d.rd}
+    elif syn is Syntax.RD_RT_RS:
+        reads = {d.rt, d.rs}
+        writes = {d.rd}
+    elif syn is Syntax.RS_RT:  # mult/div family
+        reads = {d.rs, d.rt}
+        writes = {REG_HI, REG_LO}
+    elif syn is Syntax.RD:  # mfhi/mflo
+        reads = {REG_HI if d.mnemonic == "mfhi" else REG_LO}
+        writes = {d.rd}
+    elif syn is Syntax.RS:  # jr / mthi / mtlo
+        reads = {d.rs}
+        if d.mnemonic == "mthi":
+            writes = {REG_HI}
+        elif d.mnemonic == "mtlo":
+            writes = {REG_LO}
+    elif syn is Syntax.RD_RS:  # jalr
+        reads = {d.rs}
+        writes = {d.rd}
+    elif syn is Syntax.RT_RS_IMM:
+        reads = {d.rs}
+        writes = {d.rt}
+    elif syn is Syntax.RT_IMM:  # lui
+        writes = {d.rt}
+    elif syn is Syntax.RS_RT_LABEL:
+        reads = {d.rs, d.rt}
+    elif syn is Syntax.RS_LABEL:
+        reads = {d.rs}
+    elif syn is Syntax.RT_OFF_RS:
+        reads = {d.rs}
+        if kind is Kind.LOAD:
+            writes = {d.rt}
+        else:
+            reads.add(d.rt)
+    elif syn is Syntax.TARGET:
+        if d.mnemonic == "jal":
+            writes = {31}
+    reads.discard(0)  # $0 always reads as zero — never "used" data
+    writes.discard(0)  # writes to $0 are discarded by hardware
+    return frozenset(reads), frozenset(writes)
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One word of a text segment, decoded when possible."""
+
+    address: int
+    word: int
+    decoded: Decoded | None
+    line: int | None = None
+
+    @property
+    def is_control(self) -> bool:
+        return (self.decoded is not None
+                and self.decoded.spec.kind in (Kind.BRANCH, Kind.JUMP))
+
+    @property
+    def is_load(self) -> bool:
+        return self.decoded is not None and self.decoded.spec.kind is Kind.LOAD
+
+    @property
+    def is_unconditional(self) -> bool:
+        """True if this control transfer always leaves the fall path.
+
+        ``beq rs, rs`` (the assembler's ``b`` expansion) always takes;
+        ``j`` always jumps; ``jr``/``jalr`` never fall through.
+        """
+        if not self.is_control:
+            return False
+        d = self.decoded
+        assert d is not None
+        if d.mnemonic == "beq" and d.rs == d.rt:
+            return True
+        return d.mnemonic in ("j", "jr", "jalr", "jal")
+
+    def branch_target(self) -> int | None:
+        """Absolute byte target for direct branches/jumps (None for jr)."""
+        d = self.decoded
+        if d is None or not self.is_control:
+            return None
+        if d.spec.syntax in (Syntax.RS_RT_LABEL, Syntax.RS_LABEL):
+            return (self.address + 4 + 4 * to_signed(d.imm, 16)) & 0xFFFF_FFFF
+        if d.spec.syntax is Syntax.TARGET:
+            return ((self.address + 4) & 0xF000_0000) | (d.target << 2)
+        return None  # jr / jalr: indirect
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions (delay slot included)."""
+
+    index: int
+    instrs: list[Instr]
+    successors: list[int] = field(default_factory=list)
+
+    @property
+    def start(self) -> int:
+        return self.instrs[0].address
+
+    @property
+    def end(self) -> int:
+        """Byte address one past the last instruction."""
+        return self.instrs[-1].address + 4
+
+    def control_transfer(self) -> Instr | None:
+        """The block's terminating control transfer, if any.
+
+        With delay slots the transfer sits at position ``-2`` (the slot
+        is last); a transfer at ``-1`` means its slot fell into the next
+        block (a leader split the pair).
+        """
+        if len(self.instrs) >= 2 and self.instrs[-2].is_control:
+            return self.instrs[-2]
+        if self.instrs and self.instrs[-1].is_control:
+            return self.instrs[-1]
+        return None
+
+
+@dataclass
+class ControlFlowGraph:
+    """CFG of one program: blocks, edges and reachability."""
+
+    blocks: list[BasicBlock]
+    entry: int | None  # entry block index (None for an empty program)
+    block_at: dict[int, int] = field(default_factory=dict)  # start -> index
+
+    def instructions(self) -> list[Instr]:
+        return [i for b in self.blocks for i in b.instrs]
+
+    def reachable(self) -> set[int]:
+        """Block indices reachable from the entry block."""
+        if self.entry is None:
+            return set()
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            for succ in self.blocks[stack.pop()].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+
+def _collect_instrs(program: Program) -> list[list[Instr]]:
+    """Decode every code segment into instruction lists."""
+    segments: list[list[Instr]] = []
+    for seg in sorted(
+        (s for s in program.segments if s.is_code and s.words),
+        key=lambda s: s.base,
+    ):
+        instrs: list[Instr] = []
+        for i, word in enumerate(seg.words):
+            addr = seg.base + 4 * i
+            try:
+                decoded = decode(word)
+            except EncodingError:
+                decoded = None
+            instrs.append(
+                Instr(addr, word, decoded, line=program.line_map.get(addr))
+            )
+        segments.append(instrs)
+    return segments
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Build the delay-slot-aware CFG of an assembled program."""
+    segments = _collect_instrs(program)
+    addr_index: dict[int, Instr] = {
+        i.address: i for seg in segments for i in seg
+    }
+
+    # Leaders: segment starts, direct targets, and the address after each
+    # control transfer's delay slot.
+    leaders: set[int] = set()
+    for seg in segments:
+        leaders.add(seg[0].address)
+        for instr in seg:
+            if instr.is_control:
+                target = instr.branch_target()
+                if target is not None and target in addr_index:
+                    leaders.add(target)
+                leaders.add(instr.address + 8)  # after the delay slot
+
+    blocks: list[BasicBlock] = []
+    block_at: dict[int, int] = {}
+    for seg in segments:
+        current: list[Instr] = []
+        for instr in seg:
+            if instr.address in leaders and current:
+                blocks.append(BasicBlock(len(blocks), current))
+                current = []
+            current.append(instr)
+        if current:
+            blocks.append(BasicBlock(len(blocks), current))
+    for block in blocks:
+        block_at[block.start] = block.index
+
+    # Segment-contiguity map for fallthrough edges.
+    seg_ends = {seg[-1].address + 4 for seg in segments}
+
+    for block in blocks:
+        ct = block.control_transfer()
+        succs: list[int] = []
+
+        def link(addr: int | None) -> None:
+            if addr is not None and addr in block_at:
+                idx = block_at[addr]
+                if idx not in succs:
+                    succs.append(idx)
+
+        if ct is None:
+            if block.end not in seg_ends:
+                link(block.end)
+        elif ct is block.instrs[-1]:
+            # Slot fell into the next block: transfer continues there, but
+            # keep the target edges too (conservative over-approximation).
+            link(block.end)
+            link(ct.branch_target())
+        else:
+            d = ct.decoded
+            assert d is not None
+            if d.mnemonic == "jr":
+                pass  # indirect: treated as an exit (function return)
+            elif d.mnemonic == "jalr":
+                link(block.end)  # call through register, returns after slot
+            elif d.mnemonic == "jal":
+                link(ct.branch_target())
+                link(block.end)  # call-return edge
+            elif ct.is_unconditional:
+                link(ct.branch_target())
+            else:
+                link(ct.branch_target())
+                link(block.end)
+        block.successors = succs
+
+    entry = None
+    if blocks:
+        entry = block_at.get(program.entry, blocks[0].index)
+    return ControlFlowGraph(blocks, entry, block_at)

@@ -1,0 +1,244 @@
+"""Shared diagnostic model for the static analyzers.
+
+Every finding — from the program analyzer, the netlist linter or the
+SCOAP testability analyzer — is a :class:`Diagnostic`: a stable rule ID,
+a severity, a message and a source location (program address / source
+line for assembly findings, net / gate for netlist findings).  Analyzers
+collect diagnostics into :class:`Report` objects; :func:`render_text`
+and :func:`reports_to_json` are the two reporters the CLI exposes.
+
+Rule namespaces:
+
+* ``PRxxx`` — program (assembly/CFG/dataflow) rules;
+* ``NL0xx`` — netlist structural lint rules;
+* ``NL1xx`` — netlist testability (SCOAP / structural screening) rules.
+
+Only ``ERROR``-severity diagnostics gate (non-zero ``repro analyze``
+exit, failing lint-gate tests); warnings are surfaced but never fail a
+build, and info diagnostics are purely explanatory.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity; only ERROR gates exit codes and CI."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort rank: errors first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered analysis rule."""
+
+    rule_id: str
+    severity: Severity
+    title: str
+
+
+_RULE_TABLE: tuple[Rule, ...] = (
+    # --- program rules ---------------------------------------------------
+    Rule("PR001", Severity.WARNING,
+         "register read before any definition on some path"),
+    Rule("PR002", Severity.ERROR,
+         "control transfer placed in a branch/jump delay slot"),
+    Rule("PR003", Severity.WARNING,
+         "load-use hazard: loaded register read in the load delay slot"),
+    Rule("PR004", Severity.WARNING, "unreachable basic block"),
+    Rule("PR005", Severity.ERROR,
+         "dead store to a declared signature/accumulator register"),
+    Rule("PR006", Severity.ERROR, "misaligned memory access"),
+    Rule("PR007", Severity.ERROR, "memory access outside the memory map"),
+    Rule("PR008", Severity.WARNING,
+         "control can fall off the end of a text segment"),
+    Rule("PR009", Severity.WARNING, "undecodable word in a text segment"),
+    # --- netlist structural lint rules ----------------------------------
+    Rule("NL001", Severity.ERROR, "net has more than one driver"),
+    Rule("NL002", Severity.ERROR, "undriven net is read"),
+    Rule("NL003", Severity.ERROR, "combinational cycle"),
+    Rule("NL004", Severity.WARNING,
+         "gate output is never read and not a port"),
+    # --- netlist testability rules --------------------------------------
+    Rule("NL101", Severity.WARNING,
+         "net is structurally constant (stuck-at that value is untestable)"),
+    Rule("NL102", Severity.WARNING,
+         "net has no structural path to any output port (unobservable)"),
+    Rule("NL103", Severity.INFO,
+         "summary: structurally untestable stuck-at fault classes"),
+)
+
+#: Registry of every known rule, keyed by rule ID.
+RULES: dict[str, Rule] = {r.rule_id: r for r in _RULE_TABLE}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analysis finding.
+
+    Attributes:
+        rule_id: registered rule (see :data:`RULES`).
+        severity: effective severity (defaults to the rule's).
+        message: human-readable description of this occurrence.
+        address: program byte address the finding anchors to (programs).
+        line: 1-based source line when the assembler recorded one.
+        net: net id the finding anchors to (netlists).
+        gate: gate index the finding anchors to (netlists).
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    address: int | None = None
+    line: int | None = None
+    net: int | None = None
+    gate: int | None = None
+
+    @property
+    def location(self) -> str:
+        """Compact location string (``@0x00000474``, ``line 12``, ``net 7``)."""
+        parts = []
+        if self.address is not None:
+            parts.append(f"@{self.address:#010x}")
+        if self.line is not None:
+            parts.append(f"line {self.line}")
+        if self.gate is not None:
+            parts.append(f"gate {self.gate}")
+        if self.net is not None:
+            parts.append(f"net {self.net}")
+        return ", ".join(parts)
+
+    def render(self) -> str:
+        loc = self.location
+        prefix = f"[{self.rule_id}] {self.severity.value}"
+        if loc:
+            return f"{prefix} ({loc}): {self.message}"
+        return f"{prefix}: {self.message}"
+
+    def to_dict(self) -> dict:
+        data = {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        for key in ("address", "line", "net", "gate"):
+            value = getattr(self, key)
+            if value is not None:
+                data[key] = value
+        return data
+
+
+def make_diagnostic(rule_id: str, message: str, **location) -> Diagnostic:
+    """Build a diagnostic with the rule's registered severity.
+
+    Args:
+        rule_id: key into :data:`RULES` (KeyError if unregistered —
+            analyzers must not invent ad-hoc rule IDs).
+        message: occurrence-specific message.
+        **location: any of ``address``, ``line``, ``net``, ``gate``.
+    """
+    rule = RULES[rule_id]
+    return Diagnostic(rule_id, rule.severity, message, **location)
+
+
+@dataclass
+class Report:
+    """All diagnostics for one analysis target.
+
+    Attributes:
+        target: what was analyzed (program name / file / netlist name).
+        kind: ``"program"`` or ``"netlist"``.
+        diagnostics: findings in discovery order.
+    """
+
+    target: str
+    kind: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, rule_id: str, message: str, **location) -> Diagnostic:
+        diag = make_diagnostic(rule_id, message, **location)
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, diagnostics: list[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when the target has no ERROR-severity findings."""
+        return not self.errors
+
+    def sorted_diagnostics(self) -> list[Diagnostic]:
+        """Diagnostics ordered by severity then location."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (d.severity.rank, d.address or 0, d.net or 0,
+                           d.rule_id),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "kind": self.kind,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.sorted_diagnostics()],
+        }
+
+
+def render_text(report: Report, max_diagnostics: int | None = None) -> str:
+    """Render one report as human-readable text.
+
+    Args:
+        report: the report to render.
+        max_diagnostics: cap on printed findings (None = all); the
+            remainder is summarized in one line so huge netlists do not
+            flood the terminal.
+    """
+    n_err, n_warn = len(report.errors), len(report.warnings)
+    status = "OK" if report.ok else "FAIL"
+    lines = [
+        f"{report.kind} {report.target}: {status} "
+        f"({n_err} error(s), {n_warn} warning(s))"
+    ]
+    shown = report.sorted_diagnostics()
+    hidden = 0
+    if max_diagnostics is not None and len(shown) > max_diagnostics:
+        hidden = len(shown) - max_diagnostics
+        shown = shown[:max_diagnostics]
+    for diag in shown:
+        lines.append(f"  {diag.render()}")
+    if hidden:
+        lines.append(f"  ... {hidden} more diagnostic(s) suppressed")
+    return "\n".join(lines)
+
+
+def reports_to_json(reports: list[Report]) -> str:
+    """Serialize reports to a stable JSON document (for CI artifacts)."""
+    return json.dumps(
+        {
+            "ok": all(r.ok for r in reports),
+            "reports": [r.to_dict() for r in reports],
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,92 @@
+"""Netlist testability analysis: structural lint + SCOAP screening.
+
+:func:`analyze_netlist` folds the structural lint findings from
+:mod:`repro.netlist.verify` (rules ``NL001``–``NL004``) and the SCOAP
+testability findings (rules ``NL101``–``NL103``) into one diagnostic
+:class:`~repro.analysis.diagnostics.Report`.  The testability rules are
+only evaluated on structurally sound netlists — SCOAP over an undriven
+or multiply-driven net would report nonsense.
+
+Kept out of ``repro.analysis.__init__`` on purpose: this module imports
+``repro.netlist.verify``, which itself uses the diagnostic model, and
+the one-way import chain (verify -> diagnostics, this -> verify) must
+not close into a cycle through the package init.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Report
+from repro.analysis.scoap import (
+    ScoapAnalysis,
+    compute_scoap,
+    untestable_fault_classes,
+)
+from repro.faultsim.faults import FaultList, build_fault_list
+from repro.netlist.netlist import Netlist
+from repro.netlist.verify import lint
+
+
+def analyze_netlist(
+    netlist: Netlist,
+    fault_list: FaultList | None = None,
+    analysis: ScoapAnalysis | None = None,
+) -> Report:
+    """Analyze one netlist: structural lint, then testability screening.
+
+    Args:
+        netlist: circuit to analyze.
+        fault_list: reuse an existing fault universe (built when omitted).
+        analysis: reuse precomputed SCOAP metrics (computed when omitted).
+
+    Returns:
+        A report whose ``ok`` reflects structural soundness; testability
+        findings (``NL1xx``) are warnings/info and never gate.
+    """
+    report = Report(netlist.name, "netlist")
+    lint_report = lint(netlist, strict=False)
+    report.extend(lint_report.diagnostics)
+    if not lint_report.ok:
+        return report
+
+    if analysis is None:
+        analysis = compute_scoap(netlist)
+    # Only driven nets can meaningfully be "constant" and only nets that
+    # actually feed logic are worth an unobservability warning (unread
+    # gate outputs are already NL004).
+    driven = {g.output for g in netlist.gates}
+    driven.update(d.q for d in netlist.dffs)
+    driven.update(n for p in netlist.input_ports() for n in p.nets)
+    read = {n for g in netlist.gates for n in g.inputs}
+    read.update(d.d for d in netlist.dffs)
+    read.update(n for p in netlist.output_ports() for n in p.nets)
+
+    for net in sorted(driven):
+        value = analysis.constant_value(net)
+        if value is None or net < 2:
+            continue
+        name = netlist.net_names.get(net, f"n{net}")
+        report.add(
+            "NL101",
+            f"net {name} is structurally constant {value} "
+            f"(s-a-{value} on it is untestable)",
+            net=net,
+        )
+    for net in sorted(read - analysis.observable):
+        if net < 2:
+            continue
+        name = netlist.net_names.get(net, f"n{net}")
+        report.add(
+            "NL102",
+            f"net {name} has no structural path to any output port",
+            net=net,
+        )
+
+    if fault_list is None:
+        fault_list = build_fault_list(netlist)
+    untestable = untestable_fault_classes(fault_list, analysis)
+    report.add(
+        "NL103",
+        f"{len(untestable)} of {fault_list.n_collapsed} collapsed "
+        "stuck-at fault classes are structurally untestable",
+    )
+    return report

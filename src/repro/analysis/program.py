@@ -1,0 +1,439 @@
+"""Static verification of assembled self-test programs.
+
+:func:`analyze_program` runs the dataflow passes over the delay-slot-aware
+CFG (:mod:`repro.analysis.cfg`) and returns a structured
+:class:`~repro.analysis.diagnostics.Report`:
+
+* **PR001** use-before-def — a register is read on some path before any
+  instruction defines it (may-analysis; warning because Plasma resets
+  every register to zero, so the read is deterministic, just suspicious).
+* **PR002** control transfer in a delay slot — architecturally undefined
+  on MIPS I; always an error.
+* **PR003** load-use hazard — the instruction in the slot after a load
+  reads the loaded register.  Plasma interlocks loads (and the behavioural
+  model follows it), so this is a *portability* warning: the same routine
+  on an interlock-free MIPS I core would read stale data.
+* **PR004** unreachable basic block.
+* **PR005** signature-register clobber — a store into a register the
+  routine declared as signature/accumulator whose value can never be
+  consumed (dead store); signature values must always flow to the
+  response window, so a dead definition means a response got clobbered.
+* **PR006/PR007** memory accesses whose effective address is statically
+  known (constant folding of ``li``/``lui``/``ori``/``addiu`` chains and
+  ``$0``-based absolute addressing) are checked for natural alignment
+  and membership in the Plasma memory map.
+* **PR008/PR009** structural hygiene: control falling off the end of a
+  text segment, undecodable words in text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import (
+    ControlFlowGraph,
+    Instr,
+    N_TRACKED_REGS,
+    REG_HI,
+    REG_LO,
+    build_cfg,
+    instruction_effects,
+)
+from repro.analysis.diagnostics import Report
+from repro.isa.instruction import Kind
+from repro.isa.program import Program
+from repro.isa.registers import register_name, register_number
+from repro.utils.bits import to_signed
+
+
+def _reg_label(reg: int) -> str:
+    if reg == REG_HI:
+        return "HI"
+    if reg == REG_LO:
+        return "LO"
+    return register_name(reg)
+
+
+#: Bytes moved by each memory mnemonic.
+_ACCESS_SIZE: dict[str, int] = {
+    "lb": 1, "lbu": 1, "sb": 1,
+    "lh": 2, "lhu": 2, "sh": 2,
+    "lw": 4, "sw": 4,
+}
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """Legal address window for self-test programs.
+
+    Plasma's unified on-chip RAM starts at 0; the model's memory is
+    sparse, so the limit here is an analyzer policy: everything a
+    self-test program touches (code, operand tables, response window)
+    must sit in the first ``ram_limit`` bytes the tester downloads and
+    reads back.
+    """
+
+    ram_base: int = 0x0000_0000
+    ram_limit: int = 0x0001_0000  # 64 KiB
+
+    def contains(self, addr: int, size: int) -> bool:
+        return self.ram_base <= addr and addr + size <= self.ram_limit
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    """Knobs for :func:`analyze_program`.
+
+    Attributes:
+        assume_initialized: register names/numbers assumed live-in at
+            entry (``$0`` is always assumed).  Self-test programs run
+            from reset, so the default assumes nothing else.
+        signature_registers: register names/numbers whose definitions
+            must always be consumed (PR005); empty disables the pass.
+        memory_map: address window for PR007.
+    """
+
+    assume_initialized: frozenset[int | str] = frozenset()
+    signature_registers: tuple[str, ...] = ()
+    memory_map: MemoryMap = field(default_factory=MemoryMap)
+
+    @staticmethod
+    def _numbers(regs) -> frozenset[int]:
+        numbers = set()
+        for reg in regs:
+            numbers.add(register_number(reg) if isinstance(reg, str)
+                        else int(reg))
+        numbers.discard(0)
+        return frozenset(numbers)
+
+    def initialized_numbers(self) -> frozenset[int]:
+        return self._numbers(self.assume_initialized)
+
+    def signature_numbers(self) -> frozenset[int]:
+        return self._numbers(self.signature_registers)
+
+
+def analyze_program(
+    program: Program,
+    name: str = "program",
+    options: AnalysisOptions | None = None,
+) -> Report:
+    """Run every program pass; returns the combined report."""
+    options = options or AnalysisOptions()
+    report = Report(name, "program")
+    cfg = build_cfg(program)
+    if not cfg.blocks:
+        return report
+    reachable = cfg.reachable()
+    _check_text_words(cfg, report)
+    _check_delay_slots(cfg, report)
+    _check_unreachable(cfg, reachable, report)
+    _check_use_before_def(cfg, reachable, options, report)
+    if options.signature_numbers():
+        _check_signature_clobbers(cfg, reachable, options, report)
+    _check_memory_accesses(cfg, options.memory_map, report)
+    _check_fallthrough(cfg, report)
+    return report
+
+
+# ----------------------------------------------------------- local passes
+
+
+def _check_text_words(cfg: ControlFlowGraph, report: Report) -> None:
+    for instr in cfg.instructions():
+        if instr.decoded is None:
+            report.add(
+                "PR009",
+                f"word {instr.word:#010x} does not decode to a Plasma "
+                "instruction",
+                address=instr.address, line=instr.line,
+            )
+
+
+def _next_instructions(cfg: ControlFlowGraph, block_idx: int,
+                       pos: int) -> list[Instr]:
+    """Instructions that can execute immediately after ``block[pos]``.
+
+    Inside a block that is simply the next instruction; at a block end it
+    is the first instruction of every successor block.  This follows
+    execution order, including the delay slot (the slot is the linear
+    next of its branch).
+    """
+    block = cfg.blocks[block_idx]
+    if pos + 1 < len(block.instrs):
+        return [block.instrs[pos + 1]]
+    return [cfg.blocks[s].instrs[0] for s in block.successors]
+
+
+def _check_delay_slots(cfg: ControlFlowGraph, report: Report) -> None:
+    """PR002 (control transfer in slot) and PR003 (load-use in slot)."""
+    # The delay slot is always the *linear* next word, even when a basic
+    # block boundary split the branch/slot pair — CFG successors would
+    # wrongly include the branch target there.
+    by_address = {i.address: i for i in cfg.instructions()}
+    for block in cfg.blocks:
+        for pos, instr in enumerate(block.instrs):
+            nexts = _next_instructions(cfg, block.index, pos)
+            if instr.is_control:
+                slot = by_address.get(instr.address + 4)
+                if slot is not None and slot.is_control:
+                    assert slot.decoded is not None
+                    assert instr.decoded is not None
+                    report.add(
+                        "PR002",
+                        f"{slot.decoded.mnemonic} at {slot.address:#x} "
+                        f"sits in the delay slot of "
+                        f"{instr.decoded.mnemonic} at "
+                        f"{instr.address:#x}",
+                        address=slot.address, line=slot.line,
+                    )
+            if instr.is_load:
+                assert instr.decoded is not None
+                dest = instr.decoded.rt
+                if dest == 0:
+                    continue
+                for nxt in nexts:
+                    if nxt.decoded is None:
+                        continue
+                    reads, _writes = instruction_effects(nxt.decoded)
+                    if dest in reads:
+                        report.add(
+                            "PR003",
+                            f"{nxt.decoded.mnemonic} at {nxt.address:#x} "
+                            f"reads {_reg_label(dest)} in the load delay "
+                            f"slot of {instr.decoded.mnemonic} at "
+                            f"{instr.address:#x} (relies on the hardware "
+                            "interlock)",
+                            address=nxt.address, line=nxt.line,
+                        )
+
+
+def _check_unreachable(cfg: ControlFlowGraph, reachable: set[int],
+                       report: Report) -> None:
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            report.add(
+                "PR004",
+                f"basic block at {block.start:#x} "
+                f"({len(block.instrs)} instruction(s)) is unreachable",
+                address=block.start, line=block.instrs[0].line,
+            )
+
+
+def _check_fallthrough(cfg: ControlFlowGraph, report: Report) -> None:
+    """PR008: a reachable block whose execution runs past its segment."""
+    reachable = cfg.reachable()
+    ends = {b.end for b in cfg.blocks}
+    starts = {b.start for b in cfg.blocks}
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue
+        ct = block.control_transfer()
+        if ct is not None and ct.is_unconditional \
+                and ct.decoded is not None and ct.decoded.mnemonic != "jal":
+            continue
+        if block.end in starts:
+            continue  # falls into the next block — fine
+        if block.end in ends or block.end not in starts:
+            # Last block of a segment without an unconditional exit.
+            if not block.successors:
+                last = block.instrs[-1]
+                if ct is not None and ct.decoded is not None \
+                        and ct.decoded.mnemonic == "jr":
+                    continue  # returns — not a fallthrough
+                report.add(
+                    "PR008",
+                    f"execution can run past {last.address:#x}, the end "
+                    "of the text segment (no halt loop or jump)",
+                    address=last.address, line=last.line,
+                )
+
+
+# -------------------------------------------------------- dataflow passes
+
+
+def _check_use_before_def(cfg: ControlFlowGraph, reachable: set[int],
+                          options: AnalysisOptions, report: Report) -> None:
+    """PR001 via forward may-uninitialized analysis (union at joins)."""
+    all_regs = (1 << N_TRACKED_REGS) - 1
+    init = 1 << 0
+    for reg in options.initialized_numbers():
+        init |= 1 << reg
+    entry_state = all_regs & ~init
+
+    n = len(cfg.blocks)
+    in_state = [0] * n
+    if cfg.entry is not None:
+        in_state[cfg.entry] = entry_state
+    worklist = [cfg.entry] if cfg.entry is not None else []
+    seen_in = {cfg.entry: entry_state} if cfg.entry is not None else {}
+    while worklist:
+        idx = worklist.pop()
+        state = seen_in[idx]
+        for instr in cfg.blocks[idx].instrs:
+            if instr.decoded is None:
+                continue
+            _reads, writes = instruction_effects(instr.decoded)
+            for reg in writes:
+                state &= ~(1 << reg)
+        for succ in cfg.blocks[idx].successors:
+            merged = seen_in.get(succ, 0) | state
+            if merged != seen_in.get(succ):
+                seen_in[succ] = merged
+                worklist.append(succ)
+    for idx, state in seen_in.items():
+        in_state[idx] = state
+
+    reported: set[tuple[int, int]] = set()
+    for idx in sorted(reachable):
+        state = in_state[idx]
+        for instr in cfg.blocks[idx].instrs:
+            if instr.decoded is None:
+                continue
+            reads, writes = instruction_effects(instr.decoded)
+            for reg in sorted(reads):
+                if state & (1 << reg) and (instr.address, reg) not in reported:
+                    reported.add((instr.address, reg))
+                    report.add(
+                        "PR001",
+                        f"{instr.decoded.mnemonic} reads "
+                        f"{_reg_label(reg)} before any definition",
+                        address=instr.address, line=instr.line,
+                    )
+            for reg in writes:
+                state &= ~(1 << reg)
+
+
+def _liveness(cfg: ControlFlowGraph) -> list[int]:
+    """Backward liveness; returns the live-in mask per block."""
+    n = len(cfg.blocks)
+    use_mask = [0] * n
+    def_mask = [0] * n
+    for block in cfg.blocks:
+        use = 0
+        defined = 0
+        for instr in block.instrs:
+            if instr.decoded is None:
+                continue
+            reads, writes = instruction_effects(instr.decoded)
+            for reg in reads:
+                if not defined & (1 << reg):
+                    use |= 1 << reg
+            for reg in writes:
+                defined |= 1 << reg
+        use_mask[block.index] = use
+        def_mask[block.index] = defined
+
+    live_in = [0] * n
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            live_out = 0
+            for succ in block.successors:
+                live_out |= live_in[succ]
+            new_in = use_mask[block.index] | (live_out
+                                              & ~def_mask[block.index])
+            if new_in != live_in[block.index]:
+                live_in[block.index] = new_in
+                changed = True
+    return live_in
+
+
+def _check_signature_clobbers(cfg: ControlFlowGraph, reachable: set[int],
+                              options: AnalysisOptions,
+                              report: Report) -> None:
+    """PR005: dead stores into declared signature registers."""
+    signature = options.signature_numbers()
+    live_in = _liveness(cfg)
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue  # already reported as PR004
+        live_out = 0
+        for succ in block.successors:
+            live_out |= live_in[succ]
+        # Walk the block backwards tracking liveness per instruction.
+        live = live_out
+        dead_writes: list[tuple[Instr, int]] = []
+        for instr in reversed(block.instrs):
+            if instr.decoded is None:
+                continue
+            reads, writes = instruction_effects(instr.decoded)
+            for reg in writes:
+                if reg in signature and not live & (1 << reg):
+                    dead_writes.append((instr, reg))
+                live &= ~(1 << reg)
+            for reg in reads:
+                live |= 1 << reg
+        for instr, reg in reversed(dead_writes):
+            assert instr.decoded is not None
+            report.add(
+                "PR005",
+                f"{instr.decoded.mnemonic} clobbers signature register "
+                f"{_reg_label(reg)}: the value written is never consumed",
+                address=instr.address, line=instr.line,
+            )
+
+
+# ------------------------------------------------- memory-access checking
+
+
+def _check_memory_accesses(cfg: ControlFlowGraph, memory_map: MemoryMap,
+                           report: Report) -> None:
+    """PR006/PR007 with per-block constant folding of address registers."""
+    for block in cfg.blocks:
+        known: dict[int, int] = {0: 0}
+        for instr in block.instrs:
+            d = instr.decoded
+            if d is None:
+                known = {0: 0}
+                continue
+            if d.spec.kind in (Kind.LOAD, Kind.STORE):
+                base = known.get(d.rs)
+                if base is not None:
+                    addr = (base + to_signed(d.imm, 16)) & 0xFFFF_FFFF
+                    size = _ACCESS_SIZE[d.mnemonic]
+                    if addr % size:
+                        report.add(
+                            "PR006",
+                            f"{d.mnemonic} at {instr.address:#x} accesses "
+                            f"{addr:#x}, not {size}-byte aligned",
+                            address=instr.address, line=instr.line,
+                        )
+                    elif not memory_map.contains(addr, size):
+                        report.add(
+                            "PR007",
+                            f"{d.mnemonic} at {instr.address:#x} accesses "
+                            f"{addr:#x}, outside RAM "
+                            f"[{memory_map.ram_base:#x}, "
+                            f"{memory_map.ram_limit:#x})",
+                            address=instr.address, line=instr.line,
+                        )
+            _fold_constant(d, known)
+
+
+def _fold_constant(d, known: dict[int, int]) -> None:
+    """Track register constants through the ``li``/``la`` building blocks."""
+    value: int | None = None
+    if d.mnemonic == "lui":
+        value = (d.imm << 16) & 0xFFFF_FFFF
+        dest = d.rt
+    elif d.mnemonic == "ori" and d.rs in known:
+        value = known[d.rs] | d.imm
+        dest = d.rt
+    elif d.mnemonic == "addiu" and d.rs in known:
+        value = (known[d.rs] + to_signed(d.imm, 16)) & 0xFFFF_FFFF
+        dest = d.rt
+    elif d.mnemonic in ("addu", "or", "xor") and d.rs in known \
+            and d.rt in known:
+        a, b = known[d.rs], known[d.rt]
+        value = {"addu": (a + b) & 0xFFFF_FFFF, "or": a | b,
+                 "xor": a ^ b}[d.mnemonic]
+        dest = d.rd
+    if value is not None and dest != 0:
+        known[dest] = value
+        return
+    # Anything else invalidates its destinations.
+    _reads, writes = instruction_effects(d)
+    for reg in writes:
+        known.pop(reg, None)

@@ -1,0 +1,289 @@
+"""SCOAP testability metrics and structural untestability screening.
+
+Classic SCOAP (Goldstein 1979) over the gate primitives of
+:mod:`repro.netlist.gates`:
+
+* ``CC0(n)`` / ``CC1(n)`` — combinational+sequential *controllability*:
+  the least number of circuit nodes that must be set to force net ``n``
+  to 0 / 1.  Primary inputs cost 1, every gate traversed adds 1, a DFF
+  adds 1 (its reset ``init`` value is free apart from the reset itself).
+  ``inf`` means the value is structurally unreachable.
+* ``CO(n)`` — *observability*: the least number of nodes that must be
+  set to propagate the value of ``n`` to some output port, 0 at the
+  outputs themselves.
+
+The metrics are computed as a monotone min-relaxation to a least
+fixpoint, which handles sequential feedback loops without levelization.
+
+Two by-products are **sound** for fault-list pruning and drive
+:func:`untestable_fault_classes`:
+
+* ``CCv(n) = inf`` proves net ``n`` never takes value ``v`` (induction
+  over time and topological level: any reachable value admits a finite
+  justification, and every SCOAP transfer rule is finite on finite
+  inputs).  A stuck-at-``v`` fault on a net that is structurally
+  constant ``v`` leaves the circuit function unchanged — untestable.
+* A net with no *structural path* (through gates and DFFs, ignoring
+  controllability entirely) to any output port can never propagate a
+  fault effect — untestable both polarities.
+
+The finite CO values themselves are deliberately **not** used for
+pruning: SCOAP observability folds side-input controllabilities in, and
+on reconvergent constant cones (``y = AND(n, n)`` with ``n`` stuck)
+``CO = inf`` does not imply undetectable.  CO is reporting/priority
+data only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.faultsim.faults import FaultList
+
+INF = math.inf
+
+
+@dataclass
+class ScoapAnalysis:
+    """SCOAP metrics plus the structural screening sets for one netlist.
+
+    Attributes:
+        netlist: analyzed circuit.
+        cc0: per-net cost of forcing the net to 0 (``inf`` = impossible).
+        cc1: per-net cost of forcing the net to 1.
+        co: per-net cost of observing the net at an output port.
+        observable: nets with a structural path to an output port.
+    """
+
+    netlist: Netlist
+    cc0: list[float]
+    cc1: list[float]
+    co: list[float]
+    observable: set[int]
+
+    def constant_value(self, net: int) -> int | None:
+        """0/1 if the net is structurally constant, else None."""
+        if self.cc1[net] == INF:
+            return 0
+        if self.cc0[net] == INF:
+            return 1
+        return None
+
+    def constant_nets(self) -> dict[int, int]:
+        """All structurally constant nets (constants 0/1 excluded)."""
+        result: dict[int, int] = {}
+        for net in range(2, self.netlist.n_nets):
+            value = self.constant_value(net)
+            if value is not None:
+                result[net] = value
+        return result
+
+    def testability(self, net: int) -> float:
+        """Combined difficulty score: max(CC0, CC1) + CO (inf-capped)."""
+        return max(self.cc0[net], self.cc1[net]) + self.co[net]
+
+
+def _cc_xor_pair(a0: float, a1: float, b0: float, b1: float,
+                 invert: bool) -> tuple[float, float]:
+    """(cc0, cc1) of a 2-input XOR (XNOR when ``invert``) of a and b."""
+    odd = min(a0 + b1, a1 + b0)
+    even = min(a0 + b0, a1 + b1)
+    return (odd, even) if invert else (even, odd)
+
+
+def _gate_cc(gtype: GateType, in0: list[float], in1: list[float]
+             ) -> tuple[float, float]:
+    """(cc0, cc1) of a gate output given its input controllabilities."""
+    if gtype is GateType.NOT:
+        return in1[0] + 1, in0[0] + 1
+    if gtype is GateType.BUF:
+        return in0[0] + 1, in1[0] + 1
+    if gtype is GateType.AND:
+        return min(in0) + 1, sum(in1) + 1
+    if gtype is GateType.NAND:
+        return sum(in1) + 1, min(in0) + 1
+    if gtype is GateType.OR:
+        return sum(in0) + 1, min(in1) + 1
+    if gtype is GateType.NOR:
+        return min(in1) + 1, sum(in0) + 1
+    if gtype in (GateType.XOR, GateType.XNOR):
+        c0, c1 = in0[0], in1[0]
+        for a0, a1 in zip(in0[1:], in1[1:]):
+            c0, c1 = _cc_xor_pair(c0, c1, a0, a1, invert=False)
+        if gtype is GateType.XNOR:
+            c0, c1 = c1, c0
+        return c0 + 1, c1 + 1
+    if gtype is GateType.MUX2:  # (a, b, sel) -> sel ? b : a
+        a0, b0, s0 = in0
+        a1, b1, s1 = in1
+        return (min(s0 + a0, s1 + b0) + 1, min(s0 + a1, s1 + b1) + 1)
+    if gtype is GateType.AOI21:  # ~((a & b) | c)
+        a0, b0, c0 = in0
+        a1, b1, c1 = in1
+        return (min(a1 + b1, c1) + 1, min(a0, b0) + c0 + 1)
+    raise ValueError(f"unhandled gate type {gtype}")  # pragma: no cover
+
+
+def compute_scoap(netlist: Netlist) -> ScoapAnalysis:
+    """Compute SCOAP CC0/CC1/CO and the structural observable set."""
+    n = netlist.n_nets
+    cc0 = [INF] * n
+    cc1 = [INF] * n
+    cc0[CONST0] = 0.0
+    cc1[CONST1] = 0.0
+    for port in netlist.input_ports():
+        for net in port.nets:
+            cc0[net] = cc1[net] = 1.0
+
+    # Controllability: monotone min-relaxation to the least fixpoint.
+    # Values are sums of integer gate costs, strictly decrease on every
+    # relaxation and are bounded below by 0, so this terminates.
+    changed = True
+    while changed:
+        changed = False
+        for gate in netlist.gates:
+            in0 = [cc0[i] for i in gate.inputs]
+            in1 = [cc1[i] for i in gate.inputs]
+            v0, v1 = _gate_cc(gate.gtype, in0, in1)
+            if v0 < cc0[gate.output]:
+                cc0[gate.output] = v0
+                changed = True
+            if v1 < cc1[gate.output]:
+                cc1[gate.output] = v1
+                changed = True
+        for dff in netlist.dffs:
+            v0 = min(1.0 if dff.init == 0 else INF, cc0[dff.d] + 1)
+            v1 = min(1.0 if dff.init == 1 else INF, cc1[dff.d] + 1)
+            if v0 < cc0[dff.q]:
+                cc0[dff.q] = v0
+                changed = True
+            if v1 < cc1[dff.q]:
+                cc1[dff.q] = v1
+                changed = True
+
+    co = _compute_co(netlist, cc0, cc1)
+    observable = _structural_observable(netlist)
+    return ScoapAnalysis(netlist, cc0, cc1, co, observable)
+
+
+def _co_through_gate(gate, pin: int, co_out: float,
+                     cc0: list[float], cc1: list[float]) -> float:
+    """CO of ``gate.inputs[pin]`` through this gate."""
+    gtype = gate.gtype
+    others = [net for i, net in enumerate(gate.inputs) if i != pin]
+    if gtype in (GateType.NOT, GateType.BUF):
+        return co_out + 1
+    if gtype in (GateType.AND, GateType.NAND):
+        return co_out + sum(cc1[o] for o in others) + 1
+    if gtype in (GateType.OR, GateType.NOR):
+        return co_out + sum(cc0[o] for o in others) + 1
+    if gtype in (GateType.XOR, GateType.XNOR):
+        return co_out + sum(min(cc0[o], cc1[o]) for o in others) + 1
+    if gtype is GateType.MUX2:  # (a, b, sel)
+        a, b, sel = gate.inputs
+        if pin == 0:
+            return co_out + cc0[sel] + 1
+        if pin == 1:
+            return co_out + cc1[sel] + 1
+        # Observing sel needs the two data inputs to differ.
+        return co_out + min(cc0[a] + cc1[b], cc1[a] + cc0[b]) + 1
+    if gtype is GateType.AOI21:  # ~((a & b) | c)
+        a, b, c = gate.inputs
+        if pin == 0:
+            return co_out + cc1[b] + cc0[c] + 1
+        if pin == 1:
+            return co_out + cc1[a] + cc0[c] + 1
+        return co_out + min(cc0[a], cc0[b]) + 1
+    raise ValueError(f"unhandled gate type {gtype}")  # pragma: no cover
+
+
+def _compute_co(netlist: Netlist, cc0: list[float],
+                cc1: list[float]) -> list[float]:
+    co = [INF] * netlist.n_nets
+    for port in netlist.output_ports():
+        for net in port.nets:
+            co[net] = 0.0
+    changed = True
+    while changed:
+        changed = False
+        for gate in netlist.gates:
+            co_out = co[gate.output]
+            if co_out == INF:
+                continue
+            for pin, net in enumerate(gate.inputs):
+                value = _co_through_gate(gate, pin, co_out, cc0, cc1)
+                if value < co[net]:
+                    co[net] = value
+                    changed = True
+        for dff in netlist.dffs:
+            value = co[dff.q] + 1
+            if value < co[dff.d]:
+                co[dff.d] = value
+                changed = True
+    return co
+
+
+def _structural_observable(netlist: Netlist) -> set[int]:
+    """Nets with a path (through gates/DFFs) to any output port."""
+    readers: dict[int, list[int]] = {}  # input net -> [sink net, ...]
+    for gate in netlist.gates:
+        for net in gate.inputs:
+            readers.setdefault(net, []).append(gate.output)
+    for dff in netlist.dffs:
+        readers.setdefault(dff.d, []).append(dff.q)
+
+    # Backward BFS from the output port nets over the reversed edges.
+    observable = {n for p in netlist.output_ports() for n in p.nets}
+    reverse: dict[int, list[int]] = {}  # sink net -> [source net, ...]
+    for src, sinks in readers.items():
+        for sink in sinks:
+            reverse.setdefault(sink, []).append(src)
+    stack = list(observable)
+    while stack:
+        for src in reverse.get(stack.pop(), ()):
+            if src not in observable:
+                observable.add(src)
+                stack.append(src)
+    return observable
+
+
+def untestable_fault_classes(fault_list: FaultList,
+                             analysis: ScoapAnalysis | None = None
+                             ) -> set[int]:
+    """Representative indices of provably untestable collapsed classes.
+
+    Only the two sound structural arguments are applied (see module
+    docstring): excitation-impossible (fault site structurally constant
+    at the stuck value) and no structural propagation path from the
+    fault's injection point to any output port.  Equivalence-collapsed
+    classes share test sets, so screening the representative screens the
+    class.
+    """
+    from repro.faultsim.faults import FaultKind
+
+    if analysis is None:
+        analysis = compute_scoap(fault_list.netlist)
+    netlist = fault_list.netlist
+    untestable: set[int] = set()
+    for rep in fault_list.class_representatives():
+        fault = fault_list.fault(rep)
+        if analysis.constant_value(fault.net) == fault.stuck:
+            untestable.add(rep)
+            continue
+        # Propagation entry point: the net itself for stem faults, the
+        # reading gate's output / the DFF's Q for pin faults.
+        if fault.kind is FaultKind.STEM:
+            entry = fault.net
+        elif fault.kind is FaultKind.BRANCH:
+            entry = netlist.gates[fault.gate].output
+        else:  # DFF_D: the DFF index is stored in ``gate``
+            entry = netlist.dffs[fault.gate].q
+        if entry not in analysis.observable and entry not in (CONST0, CONST1):
+            untestable.add(rep)
+    return untestable

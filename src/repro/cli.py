@@ -9,6 +9,8 @@ Commands:
 * ``campaign``       — run the fault-grading campaign and print the tables.
 * ``inventory``      — print the component classification and gate counts
   (Tables 2 and 3).
+* ``analyze``        — static analysis: program CFG/dataflow checks and
+  netlist testability (SCOAP) screening.
 """
 
 from __future__ import annotations
@@ -35,6 +37,9 @@ from repro.runtime import RetryPolicy, RuntimeConfig
 EXIT_ERROR = 1       # generic library error
 EXIT_DEGRADED = 3    # campaign completed but with ungraded components
 EXIT_WATCHDOG = 4    # CPU watchdog tripped (runaway program)
+EXIT_ANALYZE_PROGRAM = 5   # program analyzer found errors
+EXIT_ANALYZE_NETLIST = 6   # netlist analyzer found errors
+EXIT_ANALYZE_BOTH = 7      # both analyzers found errors
 
 
 def _cmd_asm(args: argparse.Namespace) -> int:
@@ -122,6 +127,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"== campaign: phases {phases} ==")
         outcomes[phases] = run_campaign(
             phases, components=components, verbose=True, runtime=runtime,
+            prune_untestable=args.prune_untestable,
         )
         if runtime is not None and runtime.checkpoint_dir is not None:
             # Later phases (and the journal entries the first phase just
@@ -150,6 +156,92 @@ def _cmd_inventory(_args: argparse.Namespace) -> int:
     print(render_table2())
     print()
     print(render_table3())
+    return 0
+
+
+def _analyze_programs(files: list[str]) -> list:
+    """Program reports: given files, or every shipped routine + the full
+    phased self-test program when no files are named."""
+    from repro.analysis import AnalysisOptions, analyze_program
+    from repro.core.routines import ROUTINES, standalone_program
+
+    reports = []
+    if files:
+        for path in files:
+            with open(path) as handle:
+                program = assemble(handle.read())
+            reports.append(analyze_program(program, path, AnalysisOptions()))
+        return reports
+    for name in ROUTINES:
+        source, routine = standalone_program(name)
+        options = AnalysisOptions(
+            signature_registers=routine.signature_registers
+        )
+        reports.append(
+            analyze_program(assemble(source), f"routine:{name}", options)
+        )
+    methodology = SelfTestMethodology()
+    self_test = methodology.build_program("ABC")
+    signatures = tuple(
+        {
+            reg
+            for _phase, routine in methodology.routine_plan("ABC")
+            for reg in routine.signature_registers
+        }
+    )
+    reports.append(
+        analyze_program(
+            self_test.program,
+            "selftest:ABC",
+            AnalysisOptions(signature_registers=signatures),
+        )
+    )
+    return reports
+
+
+def _analyze_netlists(names: list[str]) -> list:
+    """Netlist reports for the named components (default: all)."""
+    from repro.analysis.netlist import analyze_netlist
+    from repro.plasma.components import COMPONENTS, component
+
+    infos = [component(n) for n in names] if names else list(COMPONENTS)
+    return [analyze_netlist(info.builder()) for info in infos]
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import reports_to_json
+    from repro.reporting.analysis import render_analysis_reports
+
+    do_programs = args.all or args.what == "program"
+    do_netlists = args.all or args.what == "netlist"
+    if not (do_programs or do_netlists):
+        print("error: analyze needs 'program', 'netlist' or --all",
+              file=sys.stderr)
+        return EXIT_ERROR
+    if args.all and args.targets:
+        print("error: --all analyzes everything; drop the extra targets",
+              file=sys.stderr)
+        return EXIT_ERROR
+
+    program_reports = _analyze_programs(args.targets) if do_programs else []
+    netlist_reports = _analyze_netlists(args.targets) if do_netlists else []
+    reports = program_reports + netlist_reports
+
+    if args.json:
+        print(reports_to_json(reports))
+    else:
+        print(render_analysis_reports(
+            reports, max_diagnostics=args.max_diagnostics
+        ))
+
+    program_failed = any(not r.ok for r in program_reports)
+    netlist_failed = any(not r.ok for r in netlist_reports)
+    if program_failed and netlist_failed:
+        return EXIT_ANALYZE_BOTH
+    if program_failed:
+        return EXIT_ANALYZE_PROGRAM
+    if netlist_failed:
+        return EXIT_ANALYZE_NETLIST
     return 0
 
 
@@ -213,10 +305,43 @@ def build_parser() -> argparse.ArgumentParser:
                           "isolation) even without --checkpoint/--timeout")
     p_c.add_argument("--no-isolate", action="store_true",
                      help="run grading jobs in-process (no timeouts)")
+    p_c.add_argument("--prune-untestable", action="store_true",
+                     help="skip simulating structurally untestable fault "
+                          "classes (SCOAP screening); reported coverage "
+                          "is unchanged, simulation time drops")
     p_c.set_defaults(func=_cmd_campaign)
 
     p_inv = sub.add_parser("inventory", help="print Tables 2 and 3")
     p_inv.set_defaults(func=_cmd_inventory)
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="static analysis of self-test programs and netlists",
+        description=(
+            "Run the static analyzers.  'program' checks assembled "
+            "programs (delay slots, def-use, signature clobbers, memory "
+            "map); 'netlist' checks component circuits (structural lint "
+            "+ SCOAP testability).  With no targets, every shipped "
+            "routine/netlist is analyzed.  Exit codes: "
+            f"{EXIT_ANALYZE_PROGRAM} = program errors, "
+            f"{EXIT_ANALYZE_NETLIST} = netlist errors, "
+            f"{EXIT_ANALYZE_BOTH} = both."
+        ),
+    )
+    p_an.add_argument("what", nargs="?", choices=("program", "netlist"),
+                      help="which analyzer to run (or use --all)")
+    p_an.add_argument("targets", nargs="*",
+                      help="assembly files (program) or component names "
+                           "(netlist); default: all shipped artifacts")
+    p_an.add_argument("--all", action="store_true",
+                      help="run both analyzers over every shipped "
+                           "routine, self-test program and netlist")
+    p_an.add_argument("--json", action="store_true",
+                      help="emit a JSON document instead of text")
+    p_an.add_argument("--max-diagnostics", type=int, default=20,
+                      metavar="N",
+                      help="cap printed findings per target (default 20)")
+    p_an.set_defaults(func=_cmd_analyze)
     return parser
 
 

@@ -110,6 +110,7 @@ def grade_component(
     observe: list,
     netlist_transform=None,
     netlist: Netlist | None = None,
+    prune_untestable: bool = False,
 ) -> CampaignResult:
     """Fault-grade one component against its traced stimulus.
 
@@ -118,6 +119,9 @@ def grade_component(
             before grading (e.g. a technology remap for experiment C3).
         netlist: pre-built (and pre-transformed) netlist to grade; when
             given, ``netlist_transform`` is not applied again.
+        prune_untestable: skip (don't simulate) the structurally
+            untestable fault classes found by the SCOAP screener; they
+            stay in the denominator, so coverage is unchanged.
     """
     if netlist is None:
         netlist = info.builder()
@@ -135,7 +139,7 @@ def grade_component(
         campaign = CombinationalCampaign(
             netlist, stimulus, observe, name=info.name
         )
-    return campaign.run()
+    return campaign.run(prune_untestable=prune_untestable)
 
 
 def execute_self_test(
@@ -162,6 +166,7 @@ def _grading_job(
     stimulus: list,
     observe: list,
     netlist_transform=None,
+    prune_untestable: bool = False,
 ) -> tuple[CampaignResult, int]:
     """Build one component once, measure its area, fault-grade it."""
     info = component(name)
@@ -169,7 +174,10 @@ def _grading_job(
     nand2 = gate_count(netlist).nand2
     if netlist_transform is not None:
         netlist = netlist_transform(netlist)
-    result = grade_component(info, stimulus, observe, netlist=netlist)
+    result = grade_component(
+        info, stimulus, observe, netlist=netlist,
+        prune_untestable=prune_untestable,
+    )
     return result, nand2
 
 
@@ -177,6 +185,7 @@ def _job_fingerprint(
     self_test: SelfTestProgram,
     info: ComponentInfo,
     netlist_transform=None,
+    prune_untestable: bool = False,
 ) -> str:
     """Configuration hash guarding checkpoint reuse.
 
@@ -193,6 +202,7 @@ def _job_fingerprint(
         else getattr(netlist_transform, "__qualname__", repr(netlist_transform))
     )
     digest.update(transform_id.encode())
+    digest.update(b"prune" if prune_untestable else b"")
     return digest.hexdigest()[:16]
 
 
@@ -208,6 +218,7 @@ def _result_to_record(
         "n_patterns": result.n_patterns,
         "nand2": nand2,
         "elapsed": elapsed,
+        "pruned": sorted(result.pruned),
     }
 
 
@@ -236,6 +247,7 @@ def _record_to_result(
         fault_list,
         detected=set(record["detected"]),
         n_patterns=record["n_patterns"],
+        pruned=set(record.get("pruned", ())),
     )
     return result, record["nand2"]
 
@@ -265,6 +277,7 @@ def grade_program(
     verbose: bool = False,
     netlist_transform=None,
     runtime: RuntimeConfig | None = None,
+    prune_untestable: bool = False,
 ) -> CampaignOutcome:
     """Execute any program on the traced CPU and fault-grade components.
 
@@ -277,6 +290,9 @@ def grade_program(
             :class:`~repro.runtime.JobRunner` (isolation, timeout, retry,
             checkpoint/resume, graceful degradation).  None keeps the
             historical serial in-process path.
+        prune_untestable: skip simulation of structurally untestable
+            fault classes (SCOAP screener); coverage is unchanged, only
+            simulation time is saved.
     """
     cpu_result, tracer, _memory = execute_self_test(self_test)
     specs = tracer.finalize()
@@ -294,13 +310,17 @@ def grade_program(
         if runner is None:
             started = time.perf_counter()
             result, nand2 = _grading_job(
-                info.name, stimulus, observe, netlist_transform
+                info.name, stimulus, observe, netlist_transform,
+                prune_untestable,
             )
             elapsed = time.perf_counter() - started
         else:
             key = f"{self_test.phases}:{info.name}"
-            fingerprint = _job_fingerprint(self_test, info, netlist_transform)
-            job_args = (info.name, stimulus, observe, netlist_transform)
+            fingerprint = _job_fingerprint(
+                self_test, info, netlist_transform, prune_untestable
+            )
+            job_args = (info.name, stimulus, observe, netlist_transform,
+                        prune_untestable)
             job = runner.run(
                 key=key, fn=_grading_job, args=job_args,
                 fingerprint=fingerprint, serialize=_result_to_record,
@@ -338,11 +358,14 @@ def grade_program(
         )
         if verbose:
             marker = " DEGRADED (lower bound)" if degraded else ""
+            pruned = (
+                f", {result.n_pruned} pruned" if result.pruned else ""
+            )
             print(
                 f"  {info.name:6s} FC={result.fault_coverage:6.2f}% "
                 f"({result.n_detected}/{result.n_faults} faults, "
-                f"{len(stimulus)} stimulus entries, {elapsed:.1f}s)"
-                f"{marker}"
+                f"{len(stimulus)} stimulus entries, {elapsed:.1f}s"
+                f"{pruned}){marker}"
             )
     if runner is not None:
         outcome.events = runner.events.events
@@ -356,6 +379,7 @@ def run_campaign(
     verbose: bool = False,
     netlist_transform=None,
     runtime: RuntimeConfig | None = None,
+    prune_untestable: bool = False,
 ) -> CampaignOutcome:
     """Full pipeline for one phase configuration.
 
@@ -380,4 +404,5 @@ def run_campaign(
         verbose=verbose,
         netlist_transform=netlist_transform,
         runtime=runtime,
+        prune_untestable=prune_untestable,
     )

@@ -52,11 +52,21 @@ ACCESSIBILITY: dict[str, tuple[int, int]] = {
 
 @dataclass(frozen=True)
 class Accessibility:
-    """Controllability/observability scores for one component."""
+    """Controllability/observability scores for one component.
+
+    ``control_cost``/``observe_cost`` are the instruction-sequence
+    lengths of Section 2.2.  ``scoap_cc``/``scoap_co`` — present when
+    computed via :func:`quantitative_accessibility` — are the circuit-
+    level counterparts: average SCOAP controllability/observability over
+    the component's nets, so the High/Medium/Low judgement is backed by
+    a measured number instead of only the hand-derived table.
+    """
 
     name: str
     control_cost: int
     observe_cost: int
+    scoap_cc: float | None = None
+    scoap_co: float | None = None
 
     @property
     def grade(self) -> str:
@@ -73,6 +83,42 @@ def accessibility(name: str) -> Accessibility:
     """Accessibility scores for a component (KeyError if unknown)."""
     control_cost, observe_cost = ACCESSIBILITY[name]
     return Accessibility(name, control_cost, observe_cost)
+
+
+def quantitative_accessibility(name: str) -> Accessibility:
+    """Accessibility with measured SCOAP averages attached.
+
+    Builds the component netlist and averages, over its driven
+    non-constant nets, ``max(CC0, CC1)`` (how hard the hardest value is
+    to set) and ``CO`` (how hard the net is to observe at the component
+    boundary).  Structurally impossible (infinite) terms are excluded
+    from the averages — they are reported by the netlist analyzer's
+    NL101/NL102 rules instead.
+    """
+    from repro.analysis.scoap import compute_scoap
+    from repro.plasma.components import build_component
+
+    base = accessibility(name)
+    netlist = build_component(name)
+    analysis = compute_scoap(netlist)
+    driven = {g.output for g in netlist.gates}
+    driven.update(d.q for d in netlist.dffs)
+    driven.update(n for p in netlist.input_ports() for n in p.nets)
+    cc_terms = [
+        max(analysis.cc0[n], analysis.cc1[n])
+        for n in driven
+        if max(analysis.cc0[n], analysis.cc1[n]) != float("inf")
+    ]
+    co_terms = [
+        analysis.co[n] for n in driven if analysis.co[n] != float("inf")
+    ]
+    return Accessibility(
+        base.name,
+        base.control_cost,
+        base.observe_cost,
+        scoap_cc=sum(cc_terms) / len(cc_terms) if cc_terms else None,
+        scoap_co=sum(co_terms) / len(co_terms) if co_terms else None,
+    )
 
 
 def component_priority(

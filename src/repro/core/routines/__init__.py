@@ -29,6 +29,37 @@ ROUTINES: dict[str, type[TestRoutine]] = {
     "FLOW": ControlFlowRoutine,  # Phase C: PCL/CTRL/PLN stress
 }
 
+#: Response window used by standalone (single-routine) programs; same
+#: constraint as the methodology default — must stay below 0x8000 so the
+#: ``sw reg, addr($0)`` absolute addressing encodes.
+STANDALONE_RESPONSE_BASE = 0x4000
+
+
+def standalone_program(name: str) -> tuple[str, TestRoutine]:
+    """Wrap one routine into a complete halt-terminated program source.
+
+    Used by the static analyzer CLI and the lint-gate/round-trip tests to
+    exercise each routine in isolation, outside the phased methodology
+    program.
+
+    Args:
+        name: routine key in :data:`ROUTINES`.
+
+    Returns:
+        ``(source, routine)`` — assembleable source text and the routine
+        instance (for its declared ``signature_registers``).
+    """
+    routine = ROUTINES[name]()
+    prefix = f"{name.lower()}0"
+    result = routine.generate(prefix, STANDALONE_RESPONSE_BASE)
+    parts = [".text", f"{prefix}_standalone_start:", result.text,
+             f"{prefix}_standalone_halt: j {prefix}_standalone_halt",
+             "    nop"]
+    if result.data:
+        parts += [".data", result.data]
+    return "\n".join(parts) + "\n", routine
+
+
 __all__ = [
     "RoutineResult",
     "TestRoutine",
@@ -39,4 +70,5 @@ __all__ = [
     "MemoryControlRoutine",
     "ControlFlowRoutine",
     "ROUTINES",
+    "standalone_program",
 ]

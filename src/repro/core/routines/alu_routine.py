@@ -29,6 +29,7 @@ class AluRoutine(TestRoutine):
     """Deterministic ALU test: table-driven loop over all operations."""
 
     component = "ALU"
+    signature_registers = ("$s0",)
 
     def __init__(self, pairs=ALU_OPERAND_PAIRS):
         self.pairs = tuple(pairs)

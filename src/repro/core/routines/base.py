@@ -60,6 +60,11 @@ class TestRoutine(ABC):
     #: Short component name this routine targets (registry key).
     component: str = ""
 
+    #: Registers this routine uses as signature/response accumulators.
+    #: The program analyzer's clobber pass (rule PR005) verifies every
+    #: value written to these flows into a response store.
+    signature_registers: tuple[str, ...] = ()
+
     @abstractmethod
     def generate(self, prefix: str, resp_base: int) -> RoutineResult:
         """Emit the routine.

@@ -15,6 +15,7 @@ class ShifterRoutine(TestRoutine):
     """Exhaustive-shamt sweep via a compact SLLV/SRLV/SRAV loop."""
 
     component = "BSH"
+    signature_registers = ("$s0",)
 
     def __init__(self, values=SHIFTER_VALUES, fixed_cases=SHIFTER_FIXED_CASES):
         self.values = tuple(values)

@@ -37,6 +37,7 @@ class ControlFlowRoutine(TestRoutine):
     """Branch/jump decision sweep with tester-visible path markers."""
 
     component = "FLOW"
+    signature_registers = ("$t2",)
 
     def generate(self, prefix: str, resp_base: int) -> RoutineResult:
         e = _Emitter(resp_base)

@@ -19,6 +19,7 @@ class MulDivRoutine(TestRoutine):
     """Corner-operand sweep over MULT/MULTU/DIV/DIVU plus MTHI/MTLO."""
 
     component = "MulD"
+    signature_registers = ("$s0",)
 
     def __init__(self, pairs=MULDIV_OPERAND_PAIRS):
         self.pairs = tuple(pairs)

@@ -30,6 +30,9 @@ class CampaignResult:
         detected: representative fault indices that were detected.
         detections: per representative index, the Detection record.
         n_patterns: number of patterns / cycles applied.
+        pruned: representatives skipped as structurally untestable (they
+            still count in the FC denominator, as undetected — pruning
+            saves simulation time without touching reported coverage).
     """
 
     name: str
@@ -37,6 +40,7 @@ class CampaignResult:
     detected: set[int] = field(default_factory=set)
     detections: dict[int, Detection] = field(default_factory=dict)
     n_patterns: int = 0
+    pruned: set[int] = field(default_factory=set)
 
     @property
     def n_faults(self) -> int:
@@ -76,17 +80,27 @@ class CampaignResult:
         )
 
     @property
+    def n_pruned(self) -> int:
+        """Classes skipped (not simulated) as structurally untestable."""
+        return len(self.pruned)
+
+    @property
     def n_excited_unobserved(self) -> int:
         """Undetected faults that were excited but never observed."""
-        return (self.n_faults - self.n_detected) - self.n_never_excited
+        return (
+            (self.n_faults - self.n_detected)
+            - self.n_never_excited
+            - self.n_pruned
+        )
 
     def excitation_report(self) -> str:
         """One-line FC breakdown used by verbose campaigns and analyses."""
+        pruned = f", {self.n_pruned} pruned-untestable" if self.pruned else ""
         return (
             f"{self.name}: FC {self.fault_coverage:.2f}% "
             f"({self.n_detected}/{self.n_faults}); undetected: "
             f"{self.n_never_excited} never excited, "
-            f"{self.n_excited_unobserved} excited-but-unobserved"
+            f"{self.n_excited_unobserved} excited-but-unobserved{pruned}"
         )
 
     def to_component_coverage(
@@ -108,16 +122,35 @@ def _grade(
     observe: Sequence[Mapping[str, int]] | None,
     fault_list: FaultList | None,
     n_patterns: int,
+    prune_untestable: bool = False,
 ) -> CampaignResult:
-    """Shared grading loop over the collapsed fault classes."""
+    """Shared grading loop over the collapsed fault classes.
+
+    With ``prune_untestable`` the structurally untestable classes (see
+    :func:`repro.analysis.scoap.untestable_fault_classes` — constant
+    excitation sites and unobservable cones) are skipped instead of
+    simulated.  They remain in the denominator as undetected, so the
+    reported coverage is identical either way; only simulation work is
+    saved.
+    """
     if fault_list is None:
         fault_list = build_fault_list(netlist)
+    skip: set[int] = set()
+    if prune_untestable:
+        # Local import: repro.analysis.scoap imports this package's
+        # fault model, so the dependency must stay one-way at load time.
+        from repro.analysis.scoap import untestable_fault_classes
+
+        skip = untestable_fault_classes(fault_list)
     diff_sim = DifferentialFaultSimulator(netlist)
     observe_nets = diff_sim.observe_nets_for(
         observe, trace.n_cycles, trace.lanes.mask
     )
-    result = CampaignResult(name, fault_list, n_patterns=n_patterns)
+    result = CampaignResult(name, fault_list, n_patterns=n_patterns,
+                            pruned=skip)
     for rep in fault_list.class_representatives():
+        if rep in skip:
+            continue
         fault = fault_list.fault(rep)
         detection = diff_sim.simulate_fault(fault, trace, observe_nets)
         result.detections[rep] = detection
@@ -142,7 +175,11 @@ class CombinationalCampaign:
     observe: Sequence[Sequence[str]] | None = None
     name: str = ""
 
-    def run(self, fault_list: FaultList | None = None) -> CampaignResult:
+    def run(
+        self,
+        fault_list: FaultList | None = None,
+        prune_untestable: bool = False,
+    ) -> CampaignResult:
         if self.netlist.dffs:
             raise FaultSimError(
                 f"{self.netlist.name!r} has flip-flops; use SequentialCampaign"
@@ -169,6 +206,7 @@ class CombinationalCampaign:
             observe,
             fault_list,
             n_patterns=len(self.patterns),
+            prune_untestable=prune_untestable,
         )
 
 
@@ -190,7 +228,11 @@ class SequentialCampaign:
     observe: Sequence[Sequence[str]] | None = None
     name: str = ""
 
-    def run(self, fault_list: FaultList | None = None) -> CampaignResult:
+    def run(
+        self,
+        fault_list: FaultList | None = None,
+        prune_untestable: bool = False,
+    ) -> CampaignResult:
         if not self.cycle_inputs:
             raise FaultSimError("no cycles to apply")
         sim = LogicSimulator(self.netlist)
@@ -208,6 +250,7 @@ class SequentialCampaign:
             observe,
             fault_list,
             n_patterns=len(self.cycle_inputs),
+            prune_untestable=prune_untestable,
         )
 
 

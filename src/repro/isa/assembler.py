@@ -433,15 +433,20 @@ class Assembler:
             loc.addr = addr
             loc.is_code = is_code
 
+        current_line: list[int | None] = [None]
+
         def emit(word: int) -> None:
             nonlocal segment
             if segment is None:
                 new_segment(loc.addr, loc.is_code)
             assert segment is not None
             segment.words.append(word & mask(32))
+            if segment.is_code and current_line[0] is not None:
+                program.line_map[loc.addr] = current_line[0]
             loc.addr += 4
 
         for idx, stmt in enumerate(statements):
+            current_line[0] = stmt.line
             if stmt.label is not None:
                 if strict:
                     # Pass 1 already defined it; just sanity-check stability.

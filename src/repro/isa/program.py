@@ -42,6 +42,9 @@ class Program:
     symbols: dict[str, int] = field(default_factory=dict)
     entry: int = 0
     listing: list[str] = field(default_factory=list)
+    line_map: dict[int, int] = field(default_factory=dict)
+    """Byte address of each emitted word -> 1-based source line (when the
+    assembler knows it; programs built by hand simply leave this empty)."""
 
     @property
     def code_words(self) -> int:

@@ -1,17 +1,26 @@
 """Netlist lint: structural sanity checks run before simulation.
 
-Checks:
+Checks (rule IDs from :mod:`repro.analysis.diagnostics`):
 
-* every net has exactly one driver (constant, input port, gate, or DFF Q);
-* every gate/DFF/output-port input net is driven;
-* no combinational cycles (via :func:`~repro.netlist.levelize.levelize`);
-* floating (driven but never read, non-port) nets are reported as warnings.
+* ``NL001`` every net has exactly one driver (constant, input port,
+  gate, or DFF Q);
+* ``NL002`` every gate/DFF/output-port input net is driven;
+* ``NL003`` no combinational cycles (via
+  :func:`~repro.netlist.levelize.levelize`);
+* ``NL004`` floating (driven but never read, non-port) nets are
+  reported as warnings.
+
+Findings are structured :class:`~repro.analysis.diagnostics.Diagnostic`
+objects carrying net/gate locations; :attr:`LintReport.errors` and
+:attr:`LintReport.warnings` remain plain-string views for callers that
+only want messages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.diagnostics import Diagnostic, Severity, make_diagnostic
 from repro.errors import NetlistError
 from repro.netlist.levelize import levelize
 from repro.netlist.netlist import Netlist, PortDirection
@@ -19,15 +28,40 @@ from repro.netlist.netlist import Netlist, PortDirection
 
 @dataclass
 class LintReport:
-    """Outcome of linting one netlist."""
+    """Outcome of linting one netlist.
+
+    Attributes:
+        name: netlist name.
+        diagnostics: structured findings in discovery order.
+    """
 
     name: str
-    errors: list[str] = field(default_factory=list)
-    warnings: list[str] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, rule_id: str, message: str, **location) -> None:
+        self.diagnostics.append(make_diagnostic(rule_id, message, **location))
+
+    @property
+    def error_diagnostics(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warning_diagnostics(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def errors(self) -> list[str]:
+        """Error messages as strings (back-compat view)."""
+        return [d.message for d in self.error_diagnostics]
+
+    @property
+    def warnings(self) -> list[str]:
+        """Warning messages as strings (back-compat view)."""
+        return [d.message for d in self.warning_diagnostics]
 
     @property
     def ok(self) -> bool:
-        return not self.errors
+        return not self.error_diagnostics
 
 
 def lint(netlist: Netlist, strict: bool = True) -> LintReport:
@@ -47,7 +81,7 @@ def lint(netlist: Netlist, strict: bool = True) -> LintReport:
     try:
         drivers = netlist.drivers()
     except NetlistError as exc:
-        report.errors.append(str(exc))
+        report.add("NL001", str(exc))
         if strict:
             raise
         return report
@@ -58,33 +92,45 @@ def lint(netlist: Netlist, strict: bool = True) -> LintReport:
         for net in gate.inputs:
             read_nets.add(net)
             if net not in drivers:
-                report.errors.append(f"gate {gate.index} reads undriven net {net}")
+                report.add(
+                    "NL002",
+                    f"gate {gate.index} reads undriven net {net}",
+                    net=net, gate=gate.index,
+                )
     for dff in netlist.dffs:
         read_nets.add(dff.d)
         if dff.d not in drivers:
-            report.errors.append(f"dff {dff.index} reads undriven net {dff.d}")
+            report.add(
+                "NL002",
+                f"dff {dff.index} reads undriven net {dff.d}",
+                net=dff.d,
+            )
     for port in netlist.ports.values():
         if port.direction is PortDirection.OUTPUT:
             for net in port.nets:
                 read_nets.add(net)
                 if net not in drivers:
-                    report.errors.append(
-                        f"output port {port.name} exposes undriven net {net}"
+                    report.add(
+                        "NL002",
+                        f"output port {port.name} exposes undriven net {net}",
+                        net=net,
                     )
 
     # Combinational cycles.
     try:
         levelize(netlist)
     except NetlistError as exc:
-        report.errors.append(str(exc))
+        report.add("NL003", str(exc))
 
     # Floating nets: driven by a gate but never read and not a port bit.
     port_nets = {n for p in netlist.ports.values() for n in p.nets}
     for gate in netlist.gates:
         net = gate.output
         if net not in read_nets and net not in port_nets:
-            report.warnings.append(
-                f"gate {gate.index} output net {net} is never read"
+            report.add(
+                "NL004",
+                f"gate {gate.index} output net {net} is never read",
+                net=net, gate=gate.index,
             )
 
     if strict and report.errors:

@@ -6,6 +6,11 @@ registry mapping every reproduced table/figure/claim to its workload,
 modules and benchmark target (used by the benches and EXPERIMENTS.md).
 """
 
+from repro.reporting.analysis import (
+    render_analysis_reports,
+    render_analysis_summary,
+    render_testability_table,
+)
 from repro.reporting.tables import (
     render_table2,
     render_table3,
@@ -15,10 +20,13 @@ from repro.reporting.tables import (
 from repro.reporting.experiments import EXPERIMENTS, Experiment
 
 __all__ = [
+    "render_analysis_reports",
+    "render_analysis_summary",
     "render_table2",
     "render_table3",
     "render_table4",
     "render_table5",
+    "render_testability_table",
     "EXPERIMENTS",
     "Experiment",
 ]

@@ -1,0 +1,80 @@
+"""Renderers for static-analysis reports (``repro analyze``).
+
+Turns :class:`~repro.analysis.diagnostics.Report` lists into the
+summary/testability tables printed by the CLI, next to the Table 2-5
+renderers in :mod:`repro.reporting.tables`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Report, render_text
+
+
+def render_analysis_summary(reports: list[Report]) -> str:
+    """One row per analyzed target: kind, target, status, counts."""
+    lines = [
+        f"{'kind':8s} {'target':16s} {'status':6s} {'errors':>6s} "
+        f"{'warnings':>8s}",
+        "-" * 48,
+    ]
+    for report in reports:
+        lines.append(
+            f"{report.kind:8s} {report.target:16s} "
+            f"{'OK' if report.ok else 'FAIL':6s} "
+            f"{len(report.errors):6d} {len(report.warnings):8d}"
+        )
+    n_fail = sum(1 for r in reports if not r.ok)
+    lines.append("-" * 48)
+    lines.append(
+        f"{len(reports)} target(s) analyzed, {n_fail} with errors"
+    )
+    return "\n".join(lines)
+
+
+def render_analysis_reports(
+    reports: list[Report], max_diagnostics: int | None = 20
+) -> str:
+    """Full text rendering: per-target findings, then the summary table."""
+    parts = [
+        render_text(r, max_diagnostics=max_diagnostics)
+        for r in reports
+        if r.diagnostics
+    ]
+    parts.append(render_analysis_summary(reports))
+    return "\n\n".join(parts)
+
+
+def render_testability_table() -> str:
+    """Per-component testability: Section 2.2 scores made quantitative.
+
+    Columns: the hand-derived instruction-sequence costs from
+    ``core.priority.ACCESSIBILITY``, the measured SCOAP averages, and the
+    structurally untestable share of the collapsed fault universe.
+    """
+    from repro.analysis.scoap import compute_scoap, untestable_fault_classes
+    from repro.core.priority import quantitative_accessibility
+    from repro.faultsim.faults import build_fault_list
+    from repro.plasma.components import COMPONENTS
+
+    lines = [
+        f"{'name':6s} {'grade':6s} {'instr C/O':>9s} {'SCOAP CC':>9s} "
+        f"{'SCOAP CO':>9s} {'untestable':>12s}",
+        "-" * 56,
+    ]
+    for info in COMPONENTS:
+        scores = quantitative_accessibility(info.name)
+        netlist = info.builder()
+        fault_list = build_fault_list(netlist)
+        untestable = untestable_fault_classes(
+            fault_list, compute_scoap(netlist)
+        )
+        cc = f"{scores.scoap_cc:9.1f}" if scores.scoap_cc is not None \
+            else f"{'-':>9s}"
+        co = f"{scores.scoap_co:9.1f}" if scores.scoap_co is not None \
+            else f"{'-':>9s}"
+        lines.append(
+            f"{info.name:6s} {scores.grade:6s} "
+            f"{scores.control_cost}/{scores.observe_cost:>7d} {cc} {co} "
+            f"{len(untestable):5d}/{fault_list.n_collapsed:<6d}"
+        )
+    return "\n".join(lines)

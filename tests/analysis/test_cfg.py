@@ -1,0 +1,137 @@
+"""Unit tests for the delay-slot-aware CFG builder."""
+
+from repro.analysis.cfg import (
+    REG_HI,
+    REG_LO,
+    build_cfg,
+    instruction_effects,
+)
+from repro.isa.assembler import assemble
+from repro.isa.encoding import decode, encode
+
+
+def effects(mnemonic, **fields):
+    return instruction_effects(decode(encode(mnemonic, **fields)))
+
+
+class TestInstructionEffects:
+    def test_rtype(self):
+        reads, writes = effects("addu", rd=3, rs=1, rt=2)
+        assert reads == {1, 2}
+        assert writes == {3}
+
+    def test_zero_register_is_neither_read_nor_written(self):
+        reads, writes = effects("addu", rd=0, rs=0, rt=2)
+        assert reads == {2}
+        assert writes == set()
+
+    def test_mult_writes_hi_lo(self):
+        _, writes = effects("mult", rs=1, rt=2)
+        assert writes == {REG_HI, REG_LO}
+
+    def test_mflo_reads_lo(self):
+        reads, writes = effects("mflo", rd=4)
+        assert reads == {REG_LO}
+        assert writes == {4}
+
+    def test_mfhi_reads_hi(self):
+        reads, _ = effects("mfhi", rd=4)
+        assert reads == {REG_HI}
+
+    def test_store_reads_both(self):
+        reads, writes = effects("sw", rt=5, rs=6, imm=0)
+        assert reads == {5, 6}
+        assert writes == set()
+
+    def test_load_writes_rt(self):
+        reads, writes = effects("lw", rt=5, rs=6, imm=0)
+        assert reads == {6}
+        assert writes == {5}
+
+    def test_jal_writes_ra(self):
+        _, writes = effects("jal", target=4)
+        assert writes == {31}
+
+
+class TestBuildCfg:
+    def test_block_includes_delay_slot(self):
+        program = assemble(
+            """
+.text
+start:
+    addu $t0, $0, $0
+    beq $t0, $0, done
+    addiu $t1, $0, 1    # delay slot: same block as the branch
+    addiu $t2, $0, 2
+done:
+    j done
+    nop
+"""
+        )
+        cfg = build_cfg(program)
+        first = cfg.blocks[0]
+        # addu, beq, delay slot -> 3 instructions in the entry block.
+        assert len(first.instrs) == 3
+        ct = first.control_transfer()
+        assert ct is not None and ct.decoded.mnemonic == "beq"
+        # Conditional: falls through and branches.
+        assert len(first.successors) == 2
+
+    def test_unconditional_b_has_single_target_edge(self):
+        program = assemble(
+            """
+.text
+    b skip
+    nop
+    addiu $t0, $0, 1    # unreachable
+skip:
+    j skip
+    nop
+"""
+        )
+        cfg = build_cfg(program)
+        entry = cfg.blocks[cfg.entry]
+        assert len(entry.successors) == 1
+        reachable = cfg.reachable()
+        dead = [b for b in cfg.blocks if b.index not in reachable]
+        assert len(dead) == 1
+        assert dead[0].instrs[0].decoded.mnemonic == "addiu"
+
+    def test_jr_is_an_exit(self):
+        program = assemble(
+            """
+.text
+    jr $ra
+    nop
+"""
+        )
+        cfg = build_cfg(program)
+        assert cfg.blocks[cfg.entry].successors == []
+
+    def test_jal_has_call_and_return_edges(self):
+        program = assemble(
+            """
+.text
+    jal sub
+    nop
+    j end
+    nop
+sub:
+    jr $ra
+    nop
+end:
+    j end
+    nop
+"""
+        )
+        cfg = build_cfg(program)
+        entry = cfg.blocks[cfg.entry]
+        targets = {cfg.blocks[s].start for s in entry.successors}
+        assert program.symbols["sub"] in targets  # call edge
+        assert 0x8 in targets  # return/fallthrough edge
+
+    def test_line_map_populated_by_assembler(self):
+        program = assemble(".text\n    addu $t0, $0, $0\nhalt: j halt\n    nop\n")
+        cfg = build_cfg(program)
+        lines = [i.line for i in cfg.instructions()]
+        assert lines == [2, 3, 4]

@@ -1,0 +1,89 @@
+"""Unit tests for the shared diagnostic model."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    RULES,
+    Report,
+    Severity,
+    make_diagnostic,
+    render_text,
+    reports_to_json,
+)
+
+
+class TestRules:
+    def test_registry_namespaces(self):
+        for rule_id, rule in RULES.items():
+            assert rule.rule_id == rule_id
+            assert rule_id.startswith(("PR", "NL"))
+            assert rule.title
+
+    def test_known_severities(self):
+        assert RULES["PR002"].severity is Severity.ERROR
+        assert RULES["PR003"].severity is Severity.WARNING
+        assert RULES["NL002"].severity is Severity.ERROR
+        assert RULES["NL103"].severity is Severity.INFO
+
+    def test_unregistered_rule_rejected(self):
+        with pytest.raises(KeyError):
+            make_diagnostic("XX999", "nope")
+
+
+class TestDiagnostic:
+    def test_severity_defaults_to_rule(self):
+        diag = make_diagnostic("PR002", "bad slot", address=0x10, line=3)
+        assert diag.severity is Severity.ERROR
+        assert "0x00000010" in diag.location
+        assert "line 3" in diag.location
+
+    def test_render_includes_rule_and_message(self):
+        diag = make_diagnostic("NL002", "gate 4 reads undriven net 9",
+                               net=9, gate=4)
+        text = diag.render()
+        assert "[NL002]" in text
+        assert "undriven" in text
+        assert "net 9" in text
+
+    def test_to_dict_drops_absent_locations(self):
+        diag = make_diagnostic("NL101", "constant", net=5)
+        data = diag.to_dict()
+        assert data["net"] == 5
+        assert "address" not in data
+
+
+class TestReport:
+    def test_ok_means_no_errors(self):
+        report = Report("t", "program")
+        assert report.ok
+        report.add("PR001", "warn only", address=0)
+        assert report.ok
+        report.add("PR002", "error", address=4)
+        assert not report.ok
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+
+    def test_sorted_by_severity_then_address(self):
+        report = Report("t", "program")
+        report.add("PR001", "w", address=0)
+        report.add("PR002", "e", address=8)
+        report.add("PR006", "e", address=4)
+        ordered = report.sorted_diagnostics()
+        assert [d.rule_id for d in ordered] == ["PR006", "PR002", "PR001"]
+
+    def test_render_text_caps_output(self):
+        report = Report("t", "program")
+        for i in range(10):
+            report.add("PR001", f"w{i}", address=4 * i)
+        text = render_text(report, max_diagnostics=3)
+        assert "7 more diagnostic(s) suppressed" in text
+
+    def test_json_document(self):
+        report = Report("t", "netlist")
+        report.add("NL002", "undriven", net=3)
+        doc = json.loads(reports_to_json([report]))
+        assert doc["ok"] is False
+        assert doc["reports"][0]["target"] == "t"
+        assert doc["reports"][0]["diagnostics"][0]["rule"] == "NL002"

@@ -1,0 +1,55 @@
+"""Lint-clean gate: every shipped artifact passes its analyzer.
+
+These tests are the regression fence the ``repro analyze --all`` CI step
+relies on: a new routine or netlist change that introduces an
+ERROR-severity diagnostic fails here first, with the rule ID in the
+assertion message.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisOptions, analyze_program
+from repro.analysis.netlist import analyze_netlist
+from repro.core.methodology import SelfTestMethodology
+from repro.core.routines import ROUTINES, standalone_program
+from repro.isa.assembler import assemble
+from repro.plasma.components import COMPONENTS
+
+
+def _fail_message(report):
+    return "; ".join(d.render() for d in report.errors)
+
+
+@pytest.mark.parametrize("name", sorted(ROUTINES))
+def test_routine_program_is_error_free(name):
+    source, routine = standalone_program(name)
+    options = AnalysisOptions(
+        signature_registers=routine.signature_registers
+    )
+    report = analyze_program(assemble(source), name, options)
+    assert report.ok, _fail_message(report)
+
+
+@pytest.mark.parametrize("phases", ["A", "AB", "ABC"])
+def test_phased_selftest_program_is_error_free(phases):
+    methodology = SelfTestMethodology()
+    built = methodology.build_program(phases)
+    signatures = tuple(
+        {
+            reg
+            for _phase, routine in methodology.routine_plan(phases)
+            for reg in routine.signature_registers
+        }
+    )
+    report = analyze_program(
+        built.program,
+        f"selftest:{phases}",
+        AnalysisOptions(signature_registers=signatures),
+    )
+    assert report.ok, _fail_message(report)
+
+
+@pytest.mark.parametrize("info", COMPONENTS, ids=lambda i: i.name)
+def test_component_netlist_is_error_free(info):
+    report = analyze_netlist(info.builder())
+    assert report.ok, _fail_message(report)

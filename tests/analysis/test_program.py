@@ -1,0 +1,225 @@
+"""Seeded-defect tests: one per program-analyzer rule PR001-PR009."""
+
+from repro.analysis import AnalysisOptions, MemoryMap, analyze_program
+from repro.isa.assembler import assemble
+
+
+def run(source, **options):
+    program = assemble(source)
+    return analyze_program(program, "probe", AnalysisOptions(**options))
+
+
+def rule_ids(report):
+    return [d.rule_id for d in report.diagnostics]
+
+
+CLEAN = """
+.text
+start:
+    addiu $t0, $0, 5
+    addiu $t1, $0, 7
+    addu  $t2, $t0, $t1
+    sw    $t2, 0x100($0)
+halt:
+    j halt
+    nop
+"""
+
+
+def test_clean_program_has_no_diagnostics():
+    report = run(CLEAN)
+    assert report.ok
+    assert report.diagnostics == []
+
+
+def test_pr001_use_before_def():
+    report = run(
+        """
+.text
+    addu $t2, $t0, $t1   # $t0/$t1 never written
+halt:
+    j halt
+    nop
+"""
+    )
+    assert report.ok  # warning only
+    diags = [d for d in report.diagnostics if d.rule_id == "PR001"]
+    assert len(diags) == 2
+    assert {d.address for d in diags} == {0x0}
+
+
+def test_pr001_respects_assume_initialized():
+    source = """
+.text
+    addu $t2, $t0, $t1
+halt:
+    j halt
+    nop
+"""
+    report = run(source, assume_initialized=frozenset({"$t0", "$t1"}))
+    assert "PR001" not in rule_ids(report)
+
+
+def test_pr002_control_in_delay_slot():
+    report = run(
+        """
+.text
+start:
+    beq $0, $0, done
+    j start              # control transfer in the delay slot
+done:
+    j done
+    nop
+"""
+    )
+    assert not report.ok
+    assert "PR002" in rule_ids(report)
+
+
+def test_pr002_split_branch_pair_not_flagged():
+    # A branch whose delay slot is itself a branch *target* splits the
+    # pair across blocks; the linear next word is still the slot.
+    report = run(
+        """
+.text
+start:
+    beq $0, $0, done
+    nop
+done:
+    j done
+    nop
+"""
+    )
+    assert "PR002" not in rule_ids(report)
+
+
+def test_pr003_load_use_hazard():
+    report = run(
+        """
+.text
+    lw   $t0, 0x100($0)
+    addu $t1, $t0, $t0   # consumes the load result immediately
+halt:
+    j halt
+    nop
+"""
+    )
+    assert report.ok  # Plasma interlocks loads -> warning
+    assert "PR003" in rule_ids(report)
+
+
+def test_pr004_unreachable_block():
+    report = run(
+        """
+.text
+    j halt
+    nop
+    addiu $t0, $0, 1     # unreachable
+halt:
+    j halt
+    nop
+"""
+    )
+    assert "PR004" in rule_ids(report)
+
+
+def test_pr005_signature_clobber():
+    report = run(
+        """
+.text
+    addiu $s0, $0, 1     # dead store: overwritten before any read
+    addiu $s0, $0, 2
+    sw    $s0, 0x100($0)
+halt:
+    j halt
+    nop
+""",
+        signature_registers=("$s0",),
+    )
+    assert not report.ok
+    diags = [d for d in report.diagnostics if d.rule_id == "PR005"]
+    assert len(diags) == 1
+    assert diags[0].address == 0x0
+
+
+def test_pr005_silent_without_signature_registers():
+    report = run(
+        """
+.text
+    addiu $s0, $0, 1
+    addiu $s0, $0, 2
+    sw    $s0, 0x100($0)
+halt:
+    j halt
+    nop
+"""
+    )
+    assert "PR005" not in rule_ids(report)
+
+
+def test_pr006_misaligned_store():
+    report = run(
+        """
+.text
+    addiu $t0, $0, 3
+    sw    $t0, 2($0)     # word store to address 2
+halt:
+    j halt
+    nop
+"""
+    )
+    assert not report.ok
+    assert "PR006" in rule_ids(report)
+
+
+def test_pr007_out_of_range_access():
+    report = run(
+        """
+.text
+    lui  $t1, 4          # 0x40000: beyond the 64 KiB RAM window
+    sw   $t1, 0($t1)
+halt:
+    j halt
+    nop
+"""
+    )
+    assert not report.ok
+    assert "PR007" in rule_ids(report)
+
+
+def test_pr007_respects_memory_map():
+    source = """
+.text
+    lui  $t1, 4
+    sw   $t1, 0($t1)
+halt:
+    j halt
+    nop
+"""
+    report = run(source, memory_map=MemoryMap(ram_base=0, ram_limit=0x80000))
+    assert "PR007" not in rule_ids(report)
+
+
+def test_pr008_fallthrough_off_end():
+    report = run(
+        """
+.text
+    addiu $t0, $0, 1
+    addiu $t1, $0, 2
+"""
+    )
+    assert "PR008" in rule_ids(report)
+
+
+def test_pr009_non_instruction_word():
+    report = run(
+        """
+.text
+    addiu $t0, $0, 1
+    .word 0xffffffff
+halt:
+    j halt
+    nop
+"""
+    )
+    assert "PR009" in rule_ids(report)

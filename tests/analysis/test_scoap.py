@@ -1,0 +1,152 @@
+"""SCOAP testability metrics and the sound structural fault pruner."""
+
+from repro.analysis.scoap import INF, compute_scoap, untestable_fault_classes
+from repro.faultsim.faults import FaultKind, build_fault_list
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import CONST0
+
+
+def bit(word):
+    (net,) = word
+    return net
+
+
+class TestControllability:
+    def test_and_gate_hand_values(self):
+        nb = NetlistBuilder("t")
+        a = bit(nb.input("a"))
+        b = bit(nb.input("b"))
+        y = nb.gate(GateType.AND, a, b)
+        nb.output("y", y)
+        s = compute_scoap(nb.netlist)
+        assert (s.cc0[a], s.cc1[a]) == (1.0, 1.0)
+        assert s.cc1[y] == 1 + 1 + 1  # both inputs at 1
+        assert s.cc0[y] == 1 + 1      # cheapest input at 0
+
+    def test_xor_gate_hand_values(self):
+        nb = NetlistBuilder("t")
+        a = bit(nb.input("a"))
+        b = bit(nb.input("b"))
+        y = nb.gate(GateType.XOR, a, b)
+        nb.output("y", y)
+        s = compute_scoap(nb.netlist)
+        assert s.cc1[y] == 3.0  # min(cc0a+cc1b, cc1a+cc0b) + 1
+        assert s.cc0[y] == 3.0
+
+    def test_mux2_hand_values(self):
+        nb = NetlistBuilder("t")
+        a = bit(nb.input("a"))
+        b = bit(nb.input("b"))
+        sel = bit(nb.input("sel"))
+        y = nb.gate(GateType.MUX2, a, b, sel)
+        nb.output("y", y)
+        s = compute_scoap(nb.netlist)
+        # Either leg can supply the value: min over (sel=0,a) / (sel=1,b).
+        assert s.cc0[y] == 3.0
+        assert s.cc1[y] == 3.0
+
+    def test_dff_init_makes_initial_value_cheap(self):
+        nb = NetlistBuilder("t")
+        d = bit(nb.input("d"))
+        q = nb.dff(d, init=0)
+        nb.output("q", q)
+        s = compute_scoap(nb.netlist)
+        assert s.cc0[q] == 1.0        # reset state
+        assert s.cc1[q] == 2.0        # drive d=1, wait one cycle
+
+
+class TestObservability:
+    def test_and_side_input_cost(self):
+        nb = NetlistBuilder("t")
+        a = bit(nb.input("a"))
+        b = bit(nb.input("b"))
+        y = nb.gate(GateType.AND, a, b)
+        nb.output("y", y)
+        s = compute_scoap(nb.netlist)
+        assert s.co[y] == 0.0
+        assert s.co[a] == 0 + 1 + 1   # hold b at 1
+
+    def test_unread_net_is_unobservable(self):
+        nb = NetlistBuilder("t")
+        a = bit(nb.input("a"))
+        b = bit(nb.input("b"))
+        y = nb.gate(GateType.AND, a, b)
+        z = nb.gate(GateType.OR, a, b)  # never reaches an output
+        nb.output("y", y)
+        s = compute_scoap(nb.netlist)
+        assert s.co[z] == INF
+        assert z not in s.observable
+        assert {a, b, y} <= s.observable
+
+
+class TestConstantDetection:
+    def test_and_with_const0_is_constant(self):
+        nb = NetlistBuilder("t")
+        a = bit(nb.input("a"))
+        n = nb.gate(GateType.AND, a, CONST0)
+        nb.output("y", nb.gate(GateType.OR, n, a))
+        s = compute_scoap(nb.netlist)
+        assert s.cc1[n] == INF
+        assert s.constant_value(n) == 0
+        assert s.constant_nets() == {n: 0}
+
+    def test_free_input_is_not_constant(self):
+        nb = NetlistBuilder("t")
+        a = bit(nb.input("a"))
+        nb.output("y", nb.gate(GateType.NOT, a))
+        s = compute_scoap(nb.netlist)
+        assert s.constant_value(a) is None
+
+
+class TestPruner:
+    def _find_class(self, fault_list, kind, net, stuck):
+        for idx, fault in enumerate(fault_list.faults):
+            if (fault.kind, fault.net, fault.stuck) == (kind, net, stuck):
+                return fault_list.representative[idx]
+        raise AssertionError("fault not in universe")
+
+    def test_constant_net_stuck_at_its_value_is_pruned(self):
+        nb = NetlistBuilder("t")
+        a = bit(nb.input("a"))
+        n = nb.gate(GateType.AND, a, CONST0)   # structurally constant 0
+        y = nb.gate(GateType.AND, n, n)        # reconvergent constant cone
+        nb.output("y", y)
+        fl = build_fault_list(nb.netlist)
+        pruned = untestable_fault_classes(fl)
+        sa0 = self._find_class(fl, FaultKind.STEM, n, 0)
+        assert sa0 in pruned
+
+    def test_soundness_reconvergent_sa1_survives(self):
+        # y = AND(n, n) with n constant 0: n s-a-1 flips y and IS
+        # testable, even though SCOAP-style CO would call n unobservable
+        # (the side input of either pin is the constant-0 net itself).
+        # The pruner must keep it.
+        nb = NetlistBuilder("t")
+        a = bit(nb.input("a"))
+        n = nb.gate(GateType.AND, a, CONST0)
+        y = nb.gate(GateType.AND, n, n)
+        nb.output("y", y)
+        fl = build_fault_list(nb.netlist)
+        pruned = untestable_fault_classes(fl)
+        sa1 = self._find_class(fl, FaultKind.STEM, n, 1)
+        assert sa1 not in pruned
+
+    def test_unreachable_cone_is_pruned(self):
+        nb = NetlistBuilder("t")
+        a = bit(nb.input("a"))
+        b = bit(nb.input("b"))
+        nb.output("y", nb.gate(GateType.AND, a, b))
+        z = nb.gate(GateType.OR, a, b)         # no path to any output
+        fl = build_fault_list(nb.netlist)
+        pruned = untestable_fault_classes(fl)
+        for stuck in (0, 1):
+            assert self._find_class(fl, FaultKind.STEM, z, stuck) in pruned
+
+    def test_clean_combinational_circuit_prunes_nothing(self):
+        nb = NetlistBuilder("t")
+        a = bit(nb.input("a"))
+        b = bit(nb.input("b"))
+        nb.output("y", nb.gate(GateType.XOR, a, b))
+        fl = build_fault_list(nb.netlist)
+        assert untestable_fault_classes(fl) == set()

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.methodology import SelfTestMethodology
 from repro.core.periodic import (
-    OperatingPoint,
     PeriodicScheduler,
     operating_point,
     trade_off_curve,

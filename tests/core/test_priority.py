@@ -66,3 +66,24 @@ class TestOrdering:
         key = component_priority(info, nand2=500)
         assert key[0] == 0  # functional class rank
         assert key[1] == -500
+
+
+class TestQuantitativeAccessibility:
+    def test_scoap_scores_attached(self):
+        from repro.core.priority import quantitative_accessibility
+
+        scores = quantitative_accessibility("CTRL")
+        assert scores.scoap_cc is not None and scores.scoap_cc > 0
+        assert scores.scoap_co is not None and scores.scoap_co > 0
+
+    def test_grade_unchanged_by_measurement(self):
+        from repro.core.priority import (
+            accessibility,
+            quantitative_accessibility,
+        )
+
+        base = accessibility("ALU")
+        measured = quantitative_accessibility("ALU")
+        assert measured.grade == base.grade
+        assert (measured.control_cost, measured.observe_cost) == \
+            (base.control_cost, base.observe_cost)

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import FaultSimError
 from repro.faultsim.diagnosis import FaultDictionary
-from repro.faultsim.faults import FaultKind
 from repro.netlist.builder import NetlistBuilder
 
 

@@ -1,8 +1,7 @@
 """Unit tests for fault enumeration and equivalence collapsing."""
 
-from repro.faultsim.faults import Fault, FaultKind, build_fault_list
+from repro.faultsim.faults import FaultKind, build_fault_list
 from repro.netlist.builder import NetlistBuilder
-from repro.netlist.gates import GateType
 
 
 def inverter_chain(n=3):

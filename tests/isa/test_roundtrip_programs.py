@@ -1,0 +1,55 @@
+"""Round-trip every shipped routine: assemble -> disassemble -> reassemble.
+
+The disassembler emits absolute branch/jump targets and ``.word`` escapes
+for non-instruction words, so feeding its listing back through the
+assembler (with each code segment's base restored) must reproduce the
+original code words exactly.  Data segments carry no disassembly and are
+excluded.
+"""
+
+import pytest
+
+from repro.core.methodology import SelfTestMethodology
+from repro.core.routines import ROUTINES, standalone_program
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+
+
+def reassemble_from_listing(program):
+    lines = []
+    for seg in program.segments:
+        if not seg.is_code:
+            continue
+        lines.append(f".text {seg.base:#x}")
+        for i, word in enumerate(seg.words):
+            lines.append(f"    {disassemble(word, pc=seg.base + 4 * i)}")
+    return assemble("\n".join(lines) + "\n")
+
+
+def assert_code_identical(original, rebuilt):
+    orig_code = [(s.base, s.words) for s in original.segments if s.is_code]
+    new_code = [(s.base, s.words) for s in rebuilt.segments if s.is_code]
+    assert [(b, len(w)) for b, w in orig_code] == \
+        [(b, len(w)) for b, w in new_code]
+    for (base, words), (_, new_words) in zip(orig_code, new_code):
+        for i, (old, new) in enumerate(zip(words, new_words)):
+            assert old == new, (
+                f"word mismatch at {base + 4 * i:#010x}: "
+                f"{old:#010x} ({disassemble(old, pc=base + 4 * i)}) != "
+                f"{new:#010x} ({disassemble(new, pc=base + 4 * i)})"
+            )
+
+
+@pytest.mark.parametrize("name", sorted(ROUTINES))
+def test_routine_round_trips(name):
+    source, _routine = standalone_program(name)
+    program = assemble(source)
+    assert_code_identical(program, reassemble_from_listing(program))
+
+
+@pytest.mark.parametrize("phases", ["A", "AB", "ABC"])
+def test_phased_selftest_round_trips(phases):
+    built = SelfTestMethodology().build_program(phases)
+    assert_code_identical(
+        built.program, reassemble_from_listing(built.program)
+    )

@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import NetlistError
 from repro.faultsim.simulator import LogicSimulator
 from repro.netlist.builder import NetlistBuilder
 from repro.netlist.gates import GateType

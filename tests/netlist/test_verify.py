@@ -67,3 +67,33 @@ class TestLint:
         for info in COMPONENTS:
             report = lint(info.builder(), strict=False)
             assert report.ok, (info.name, report.errors)
+
+
+class TestStructuredDiagnostics:
+    def test_findings_carry_rule_ids(self):
+        from repro.analysis.diagnostics import Severity
+
+        nl = Netlist("bad")
+        ghost = nl.new_net()
+        nl.add_output("y", [ghost])
+        report = lint(nl, strict=False)
+        diags = report.error_diagnostics
+        assert diags and all(d.rule_id == "NL002" for d in diags)
+        assert all(d.severity is Severity.ERROR for d in diags)
+
+    def test_floating_output_is_nl004_warning(self):
+        b = NetlistBuilder("warn")
+        x = b.input("x", 2)
+        b.and_(x[0], x[1])
+        b.output("y", x[0])
+        report = lint(b.build(), strict=False)
+        assert [d.rule_id for d in report.warning_diagnostics] == ["NL004"]
+
+    def test_diagnostics_name_the_offending_net(self):
+        nl = Netlist("bad")
+        floating = nl.new_net()
+        out = nl.add_gate(GateType.BUF, [floating])
+        nl.add_output("y", [out])
+        report = lint(nl, strict=False)
+        (diag,) = report.error_diagnostics
+        assert diag.net == floating

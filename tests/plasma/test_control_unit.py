@@ -4,7 +4,7 @@ import random
 
 from repro.faultsim.simulator import LogicSimulator
 from repro.isa.encoding import decode, encode
-from repro.isa.instruction import INSTRUCTION_SET, Format, Syntax
+from repro.isa.instruction import INSTRUCTION_SET, Format
 from repro.plasma.control_unit import build_control
 from repro.plasma.controls import CONTROL_FIELDS, decode_controls
 

@@ -1,7 +1,5 @@
 """Unit tests for the reference control decoder."""
 
-import pytest
-
 from repro.isa.encoding import decode, encode
 from repro.isa.instruction import INSTRUCTION_SET
 from repro.library.alu import AluOp

@@ -1,0 +1,50 @@
+"""Renderers for the static-analysis summary and testability tables."""
+
+from repro.analysis.diagnostics import Report
+from repro.plasma.components import COMPONENTS
+from repro.reporting import (
+    render_analysis_reports,
+    render_analysis_summary,
+    render_testability_table,
+)
+
+
+def reports():
+    ok = Report("routine:ALU", "program")
+    bad = Report("bad.s", "program")
+    bad.add("PR002", "control transfer in delay slot", address=4)
+    return [ok, bad]
+
+
+class TestSummary:
+    def test_one_row_per_target_plus_totals(self):
+        text = render_analysis_summary(reports())
+        assert "routine:ALU" in text
+        assert "bad.s" in text
+        assert "2 target(s) analyzed, 1 with errors" in text
+
+    def test_status_column(self):
+        lines = render_analysis_summary(reports()).splitlines()
+        assert any("routine:ALU" in ln and "OK" in ln for ln in lines)
+        assert any("bad.s" in ln and "FAIL" in ln for ln in lines)
+
+
+class TestFullRendering:
+    def test_findings_precede_summary(self):
+        text = render_analysis_reports(reports())
+        assert "[PR002]" in text
+        assert text.index("[PR002]") < text.index("target(s) analyzed")
+
+    def test_clean_reports_render_summary_only(self):
+        text = render_analysis_reports([Report("routine:ALU", "program")])
+        assert "[" not in text.splitlines()[0]
+        assert "1 target(s) analyzed, 0 with errors" in text
+
+
+class TestTestabilityTable:
+    def test_covers_every_component(self):
+        text = render_testability_table()
+        for info in COMPONENTS:
+            assert info.name in text
+        assert "SCOAP CC" in text
+        assert "untestable" in text

@@ -1,7 +1,5 @@
 """Unit tests for the table renderers."""
 
-import pytest
-
 from repro.core.campaign import CampaignOutcome
 from repro.core.methodology import SelfTestProgram
 from repro.faultsim.coverage import ComponentCoverage, CoverageSummary

@@ -1,8 +1,16 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import EXIT_DEGRADED, EXIT_WATCHDOG, main
+from repro.cli import (
+    EXIT_ANALYZE_NETLIST,
+    EXIT_ANALYZE_PROGRAM,
+    EXIT_DEGRADED,
+    EXIT_WATCHDOG,
+    main,
+)
 
 SAMPLE = """
 .text
@@ -145,6 +153,20 @@ class TestCampaign:
         assert "Traceback" not in captured.err
         assert "lower bound" in captured.out
 
+    def test_prune_untestable_keeps_table5_coverage(self, capsys):
+        def table_rows(text):
+            return [line for line in text.splitlines()
+                    if line.startswith(("CTRL", "Plasma"))]
+
+        assert main(["campaign", "--phases", "A",
+                     "--components", "CTRL"]) == 0
+        base = capsys.readouterr().out
+        assert main(["campaign", "--phases", "A", "--components", "CTRL",
+                     "--prune-untestable"]) == 0
+        pruned = capsys.readouterr().out
+        assert "pruned" in pruned
+        assert table_rows(pruned) == table_rows(base)
+
     def test_resume_requires_checkpoint(self, capsys):
         code = main(["campaign", "--phases", "A", "--components", "CTRL",
                      "--resume"])
@@ -158,3 +180,73 @@ class TestInventory:
         out = capsys.readouterr().out
         assert "Register File" in out
         assert "17,459" in out
+
+
+BAD_DELAY_SLOT = """
+.text
+start:
+    beq $0, $0, done
+    j start
+done:
+    j done
+    nop
+"""
+
+
+class TestAnalyze:
+    def test_named_netlist_ok(self, capsys):
+        assert main(["analyze", "netlist", "CTRL"]) == 0
+        out = capsys.readouterr().out
+        assert "1 target(s) analyzed, 0 with errors" in out
+
+    def test_all_shipped_artifacts_are_clean(self, capsys):
+        assert main(["analyze", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "0 with errors" in out
+
+    def test_seeded_delay_slot_hazard_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text(BAD_DELAY_SLOT)
+        assert main(["analyze", "program", str(bad)]) == EXIT_ANALYZE_PROGRAM
+        out = capsys.readouterr().out
+        assert "PR002" in out
+        assert "delay slot" in out
+
+    def test_broken_netlist_fails_with_rule_id(self, capsys, monkeypatch):
+        import dataclasses
+
+        from repro.netlist.builder import NetlistBuilder
+        from repro.netlist.gates import GateType
+        from repro.plasma import components as components_mod
+
+        def undriven_component():
+            nb = NetlistBuilder("broken")
+            a = nb.input("a", 1)[0]
+            floating = nb.netlist.new_net("floating")
+            nb.output("y", nb.gate(GateType.AND, a, floating))
+            return nb.netlist
+
+        info = dataclasses.replace(
+            components_mod.component("CTRL"), builder=undriven_component
+        )
+        monkeypatch.setattr(components_mod, "component", lambda name: info)
+        code = main(["analyze", "netlist", "CTRL"])
+        assert code == EXIT_ANALYZE_NETLIST
+        out = capsys.readouterr().out
+        assert "NL002" in out
+        assert "undriven" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text(BAD_DELAY_SLOT)
+        assert main(["analyze", "program", str(bad), "--json"]) \
+            == EXIT_ANALYZE_PROGRAM
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False
+        rules = [d["rule"] for r in doc["reports"]
+                 for d in r["diagnostics"]]
+        assert "PR002" in rules
+
+    def test_all_with_targets_rejected(self, capsys):
+        assert main(["analyze", "netlist", "CTRL", "--all"]) == 1
+        assert "error:" in capsys.readouterr().err
