@@ -22,6 +22,7 @@ import sys
 from repro.core.campaign import run_campaign
 from repro.core.methodology import SelfTestMethodology
 from repro.errors import ReproError, WatchdogTimeout
+from repro.faultsim.engine import engine_names
 from repro.isa.assembler import assemble
 from repro.isa.disassembler import disassemble_program
 from repro.plasma.cpu import PlasmaCPU
@@ -88,7 +89,7 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
         with open(args.output, "w") as handle:
             handle.write(self_test.source)
         print(f"wrote {args.output}")
-    else:
+    elif not args.coverage:
         print(self_test.source)
     print(
         f"# phases={args.phases}: {self_test.code_words} code words, "
@@ -96,6 +97,16 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
         f"{self_test.response_words} response words",
         file=sys.stderr,
     )
+    if args.coverage:
+        from repro.core.campaign import grade_program
+
+        print(f"== grading phases {args.phases} (engine: {args.engine}) ==")
+        outcome = grade_program(self_test, verbose=True, engine=args.engine)
+        summary = outcome.summary
+        print(
+            f"overall FC {summary.overall_coverage:.2f}% "
+            f"({summary.total_detected}/{summary.total_faults} faults)"
+        )
     return 0
 
 
@@ -115,6 +126,7 @@ def _campaign_runtime(args: argparse.Namespace) -> RuntimeConfig | None:
         checkpoint_dir=args.checkpoint,
         resume=args.resume,
         isolate=not args.no_isolate,
+        engine=args.engine,
     )
 
 
@@ -127,7 +139,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"== campaign: phases {phases} ==")
         outcomes[phases] = run_campaign(
             phases, components=components, verbose=True, runtime=runtime,
-            prune_untestable=args.prune_untestable,
+            prune_untestable=args.prune_untestable, engine=args.engine,
         )
         if runtime is not None and runtime.checkpoint_dir is not None:
             # Later phases (and the journal entries the first phase just
@@ -280,9 +292,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dump memory words after the run")
     p_run.set_defaults(func=_cmd_run)
 
+    engine_choices = ("auto", *engine_names())
+
     p_st = sub.add_parser("selftest", help="generate a self-test program")
     p_st.add_argument("--phases", default="AB")
     p_st.add_argument("-o", "--output")
+    p_st.add_argument("--coverage", action="store_true",
+                      help="also fault-grade the generated program and "
+                           "print per-component coverage")
+    p_st.add_argument("--engine", choices=engine_choices, default="auto",
+                      help="fault-sim engine for --coverage (default auto)")
     p_st.set_defaults(func=_cmd_selftest)
 
     p_c = sub.add_parser("campaign", help="run the fault-grading campaign")
@@ -309,6 +328,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="skip simulating structurally untestable fault "
                           "classes (SCOAP screening); reported coverage "
                           "is unchanged, simulation time drops")
+    p_c.add_argument("--engine", choices=engine_choices, default="auto",
+                     help="fault-sim engine (default: auto — compiled for "
+                          "deep combinational components, differential "
+                          "otherwise)")
     p_c.set_defaults(func=_cmd_campaign)
 
     p_inv = sub.add_parser("inventory", help="print Tables 2 and 3")

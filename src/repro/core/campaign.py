@@ -28,12 +28,9 @@ from dataclasses import dataclass, field
 from repro.errors import CheckpointCorrupt
 from repro.core.methodology import SelfTestMethodology, SelfTestProgram
 from repro.faultsim.coverage import CoverageSummary
+from repro.faultsim.engine import grade
 from repro.faultsim.faults import build_fault_list
-from repro.faultsim.harness import (
-    CampaignResult,
-    CombinationalCampaign,
-    SequentialCampaign,
-)
+from repro.faultsim.harness import CampaignResult
 from repro.netlist.netlist import Netlist
 from repro.netlist.stats import gate_count
 from repro.plasma.components import COMPONENTS, ComponentInfo, component
@@ -111,6 +108,7 @@ def grade_component(
     netlist_transform=None,
     netlist: Netlist | None = None,
     prune_untestable: bool = False,
+    engine: str = "auto",
 ) -> CampaignResult:
     """Fault-grade one component against its traced stimulus.
 
@@ -122,6 +120,8 @@ def grade_component(
         prune_untestable: skip (don't simulate) the structurally
             untestable fault classes found by the SCOAP screener; they
             stay in the denominator, so coverage is unchanged.
+        engine: fault-sim engine name or ``"auto"`` (see
+            :func:`repro.faultsim.engine.engine_names`).
     """
     if netlist is None:
         netlist = info.builder()
@@ -131,15 +131,14 @@ def grade_component(
         # The program never excited this component (e.g. a prefix program
         # without its routine): everything stays undetected.
         return CampaignResult(info.name, build_fault_list(netlist))
-    if info.sequential:
-        campaign = SequentialCampaign(
-            netlist, stimulus, observe, name=info.name
-        )
-    else:
-        campaign = CombinationalCampaign(
-            netlist, stimulus, observe, name=info.name
-        )
-    return campaign.run(prune_untestable=prune_untestable)
+    return grade(
+        netlist,
+        stimulus,
+        engine=engine,
+        observe=observe,
+        name=info.name,
+        prune_untestable=prune_untestable,
+    )
 
 
 def execute_self_test(
@@ -167,6 +166,7 @@ def _grading_job(
     observe: list,
     netlist_transform=None,
     prune_untestable: bool = False,
+    engine: str = "auto",
 ) -> tuple[CampaignResult, int]:
     """Build one component once, measure its area, fault-grade it."""
     info = component(name)
@@ -176,7 +176,7 @@ def _grading_job(
         netlist = netlist_transform(netlist)
     result = grade_component(
         info, stimulus, observe, netlist=netlist,
-        prune_untestable=prune_untestable,
+        prune_untestable=prune_untestable, engine=engine,
     )
     return result, nand2
 
@@ -278,6 +278,7 @@ def grade_program(
     netlist_transform=None,
     runtime: RuntimeConfig | None = None,
     prune_untestable: bool = False,
+    engine: str = "auto",
 ) -> CampaignOutcome:
     """Execute any program on the traced CPU and fault-grade components.
 
@@ -293,7 +294,14 @@ def grade_program(
         prune_untestable: skip simulation of structurally untestable
             fault classes (SCOAP screener); coverage is unchanged, only
             simulation time is saved.
+        engine: fault-sim engine name or ``"auto"``.  An explicit
+            ``runtime.engine`` takes over when this stays ``"auto"``.
+            Engine choice is *not* part of the checkpoint fingerprint:
+            verdicts are engine-invariant, so a resumed campaign may
+            freely switch engines and still reuse journaled results.
     """
+    if engine == "auto" and runtime is not None:
+        engine = runtime.engine
     cpu_result, tracer, _memory = execute_self_test(self_test)
     specs = tracer.finalize()
 
@@ -311,7 +319,7 @@ def grade_program(
             started = time.perf_counter()
             result, nand2 = _grading_job(
                 info.name, stimulus, observe, netlist_transform,
-                prune_untestable,
+                prune_untestable, engine,
             )
             elapsed = time.perf_counter() - started
         else:
@@ -320,7 +328,7 @@ def grade_program(
                 self_test, info, netlist_transform, prune_untestable
             )
             job_args = (info.name, stimulus, observe, netlist_transform,
-                        prune_untestable)
+                        prune_untestable, engine)
             job = runner.run(
                 key=key, fn=_grading_job, args=job_args,
                 fingerprint=fingerprint, serialize=_result_to_record,
@@ -380,6 +388,7 @@ def run_campaign(
     netlist_transform=None,
     runtime: RuntimeConfig | None = None,
     prune_untestable: bool = False,
+    engine: str = "auto",
 ) -> CampaignOutcome:
     """Full pipeline for one phase configuration.
 
@@ -392,6 +401,8 @@ def run_campaign(
         verbose: print per-component progress with timings.
         runtime: resilient-runner configuration (see
             :func:`grade_program`); None = serial in-process grading.
+        engine: fault-sim engine name or ``"auto"`` (see
+            :func:`grade_program`).
 
     Returns:
         The campaign outcome with Table 4/5 data attached.
@@ -405,4 +416,5 @@ def run_campaign(
         netlist_transform=netlist_transform,
         runtime=runtime,
         prune_untestable=prune_untestable,
+        engine=engine,
     )

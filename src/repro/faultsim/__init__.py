@@ -1,13 +1,26 @@
-"""Single-stuck-at fault simulation engine.
+"""Single-stuck-at fault simulation.
 
-The engine mirrors what a commercial tool (the paper used Mentor FlexTest)
-does for fault grading:
+The package mirrors what a commercial tool (the paper used Mentor FlexTest)
+does for fault grading.  The one entry point is :func:`grade` — it builds
+the fault universe, normalizes observability into an :class:`ObservePlan`,
+picks an engine (``"auto"``) and returns a
+:class:`~repro.faultsim.harness.CampaignResult`:
 
 * :mod:`~repro.faultsim.faults` — fault universe (stem faults on every net,
   branch faults on fanout gate pins) with structural equivalence collapsing;
 * :mod:`~repro.faultsim.simulator` — pattern-parallel good-machine logic
   simulation over levelized netlists (one Python bitwise op evaluates a gate
   under every pattern at once);
+* :mod:`~repro.faultsim.engine` — the :class:`FaultSimEngine` registry and
+  the three engines (``differential``, ``batch``, ``compiled``) behind the
+  :func:`grade` facade;
+* :mod:`~repro.faultsim.lowering` — netlist lowering / code generation for
+  the compiled engine (dead-net elimination, constant folding, fused gate
+  kernels);
+* :mod:`~repro.faultsim.trace_cache` — the process-wide good-trace cache
+  keyed by structural netlist and stimulus hashes;
+* :mod:`~repro.faultsim.observe` — one normalized observability plan shared
+  by every engine;
 * :mod:`~repro.faultsim.differential` — per-fault event-driven faulty
   simulation against stored good values, with fault dropping;
 * :mod:`~repro.faultsim.harness` — component campaigns: apply a pattern set
@@ -19,13 +32,31 @@ does for fault grading:
 from repro.faultsim.diagnosis import Candidate, FaultDictionary
 from repro.faultsim.faults import Fault, FaultKind, FaultList, build_fault_list
 from repro.faultsim.simulator import LogicSimulator, SimState
-from repro.faultsim.differential import DifferentialFaultSimulator
+from repro.faultsim.differential import Detection, DifferentialFaultSimulator
 from repro.faultsim.coverage import ComponentCoverage, CoverageSummary
+from repro.faultsim.observe import ObservePlan
+from repro.faultsim.trace_cache import (
+    CacheStats,
+    GoodTraceCache,
+    global_trace_cache,
+)
 from repro.faultsim.harness import (
+    CampaignResult,
     CombinationalCampaign,
     SequentialCampaign,
     run_combinational,
     run_sequential,
+)
+from repro.faultsim.engine import (
+    BatchEngine,
+    CompiledEngine,
+    DifferentialEngine,
+    FaultSimEngine,
+    default_engine_name,
+    engine_names,
+    get_engine,
+    grade,
+    register_engine,
 )
 
 __all__ = [
@@ -37,11 +68,26 @@ __all__ = [
     "build_fault_list",
     "LogicSimulator",
     "SimState",
+    "Detection",
     "DifferentialFaultSimulator",
     "ComponentCoverage",
     "CoverageSummary",
+    "ObservePlan",
+    "CacheStats",
+    "GoodTraceCache",
+    "global_trace_cache",
+    "CampaignResult",
     "CombinationalCampaign",
     "SequentialCampaign",
     "run_combinational",
     "run_sequential",
+    "BatchEngine",
+    "CompiledEngine",
+    "DifferentialEngine",
+    "FaultSimEngine",
+    "default_engine_name",
+    "engine_names",
+    "get_engine",
+    "grade",
+    "register_engine",
 ]

@@ -3,20 +3,22 @@
 A campaign takes a component netlist plus the stimulus that reaches it
 during self-test execution (either an unordered pattern set for a
 combinational component, or the exact traced cycle sequence for a sequential
-one), runs the good machine once, then grades every collapsed fault class
-with the differential simulator, honouring observability restrictions.
+one) and grades every collapsed fault class, honouring observability
+restrictions.  Grading itself runs through the engine facade
+(:func:`repro.faultsim.engine.grade`); the campaign dataclasses here are
+the stable component-level API and carry the result type.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.errors import FaultSimError
 from repro.faultsim.coverage import ComponentCoverage
-from repro.faultsim.differential import Detection, DifferentialFaultSimulator
-from repro.faultsim.faults import Fault, FaultList, build_fault_list
-from repro.faultsim.simulator import GoodTrace, LogicSimulator
+from repro.faultsim.differential import Detection
+from repro.faultsim.faults import Fault, FaultList
 from repro.netlist.netlist import Netlist
 
 
@@ -115,50 +117,6 @@ class CampaignResult:
         )
 
 
-def _grade(
-    name: str,
-    netlist: Netlist,
-    trace: GoodTrace,
-    observe: Sequence[Mapping[str, int]] | None,
-    fault_list: FaultList | None,
-    n_patterns: int,
-    prune_untestable: bool = False,
-) -> CampaignResult:
-    """Shared grading loop over the collapsed fault classes.
-
-    With ``prune_untestable`` the structurally untestable classes (see
-    :func:`repro.analysis.scoap.untestable_fault_classes` — constant
-    excitation sites and unobservable cones) are skipped instead of
-    simulated.  They remain in the denominator as undetected, so the
-    reported coverage is identical either way; only simulation work is
-    saved.
-    """
-    if fault_list is None:
-        fault_list = build_fault_list(netlist)
-    skip: set[int] = set()
-    if prune_untestable:
-        # Local import: repro.analysis.scoap imports this package's
-        # fault model, so the dependency must stay one-way at load time.
-        from repro.analysis.scoap import untestable_fault_classes
-
-        skip = untestable_fault_classes(fault_list)
-    diff_sim = DifferentialFaultSimulator(netlist)
-    observe_nets = diff_sim.observe_nets_for(
-        observe, trace.n_cycles, trace.lanes.mask
-    )
-    result = CampaignResult(name, fault_list, n_patterns=n_patterns,
-                            pruned=skip)
-    for rep in fault_list.class_representatives():
-        if rep in skip:
-            continue
-        fault = fault_list.fault(rep)
-        detection = diff_sim.simulate_fault(fault, trace, observe_nets)
-        result.detections[rep] = detection
-        if detection.detected:
-            result.detected.add(rep)
-    return result
-
-
 @dataclass
 class CombinationalCampaign:
     """Grade a combinational component with an unordered pattern set.
@@ -168,44 +126,44 @@ class CombinationalCampaign:
         patterns: per pattern, ``{input port: value}``.
         observe: per pattern, set/iterable of observed output port names;
             None observes every output for every pattern.
+        engine: fault-sim engine name (see
+            :func:`repro.faultsim.engine.engine_names`) or ``"auto"``.
+            Defaults to the historical differential engine so existing
+            callers keep byte-identical Detection records.
     """
 
     netlist: Netlist
     patterns: Sequence[Mapping[str, int]]
     observe: Sequence[Sequence[str]] | None = None
     name: str = ""
+    engine: str = "differential"
 
     def run(
         self,
         fault_list: FaultList | None = None,
         prune_untestable: bool = False,
     ) -> CampaignResult:
+        # Local import: the engine module imports CampaignResult from here.
+        from repro.faultsim.engine import grade
+
         if self.netlist.dffs:
             raise FaultSimError(
                 f"{self.netlist.name!r} has flip-flops; use SequentialCampaign"
             )
         if not self.patterns:
             raise FaultSimError("no patterns to apply")
-        sim = LogicSimulator(self.netlist)
-        sessions = [[dict(p)] for p in self.patterns]
-        trace = sim.run_parallel_sessions(sessions)
-        observe = None
-        if self.observe is not None:
-            if len(self.observe) != len(self.patterns):
-                raise FaultSimError("observe list must match pattern count")
-            # Build the single-cycle {port: lane mask} map.
-            port_masks: dict[str, int] = {}
-            for lane, ports in enumerate(self.observe):
-                for port in ports:
-                    port_masks[port] = port_masks.get(port, 0) | (1 << lane)
-            observe = [port_masks]
-        return _grade(
-            self.name or self.netlist.name,
+        if (
+            self.observe is not None
+            and len(self.observe) != len(self.patterns)
+        ):
+            raise FaultSimError("observe list must match pattern count")
+        return grade(
             self.netlist,
-            trace,
-            observe,
+            self.patterns,
             fault_list,
-            n_patterns=len(self.patterns),
+            engine=self.engine,
+            observe=self.observe,
+            name=self.name or self.netlist.name,
             prune_untestable=prune_untestable,
         )
 
@@ -221,35 +179,39 @@ class SequentialCampaign:
             program.
         observe: per cycle, iterable of observed output port names (None =
             all outputs every cycle).
+        engine: fault-sim engine name (see
+            :func:`repro.faultsim.engine.engine_names`) or ``"auto"``.
+            Defaults to the historical differential engine so existing
+            callers keep byte-identical Detection records.
     """
 
     netlist: Netlist
     cycle_inputs: Sequence[Mapping[str, int]]
     observe: Sequence[Sequence[str]] | None = None
     name: str = ""
+    engine: str = "differential"
 
     def run(
         self,
         fault_list: FaultList | None = None,
         prune_untestable: bool = False,
     ) -> CampaignResult:
+        from repro.faultsim.engine import grade
+
         if not self.cycle_inputs:
             raise FaultSimError("no cycles to apply")
-        sim = LogicSimulator(self.netlist)
-        _, trace = sim.run_sequence(self.cycle_inputs, record=True)
-        assert trace is not None
-        observe = None
-        if self.observe is not None:
-            if len(self.observe) != len(self.cycle_inputs):
-                raise FaultSimError("observe list must match cycle count")
-            observe = [{port: 1 for port in ports} for ports in self.observe]
-        return _grade(
-            self.name or self.netlist.name,
+        if (
+            self.observe is not None
+            and len(self.observe) != len(self.cycle_inputs)
+        ):
+            raise FaultSimError("observe list must match cycle count")
+        return grade(
             self.netlist,
-            trace,
-            observe,
+            self.cycle_inputs,
             fault_list,
-            n_patterns=len(self.cycle_inputs),
+            engine=self.engine,
+            observe=self.observe,
+            name=self.name or self.netlist.name,
             prune_untestable=prune_untestable,
         )
 
@@ -260,7 +222,12 @@ def run_combinational(
     observe: Sequence[Sequence[str]] | None = None,
     name: str = "",
 ) -> CampaignResult:
-    """Convenience wrapper around :class:`CombinationalCampaign`."""
+    """Deprecated: call :func:`repro.faultsim.grade` instead."""
+    warnings.warn(
+        "run_combinational() is deprecated; use repro.faultsim.grade()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return CombinationalCampaign(netlist, patterns, observe, name).run()
 
 
@@ -270,5 +237,10 @@ def run_sequential(
     observe: Sequence[Sequence[str]] | None = None,
     name: str = "",
 ) -> CampaignResult:
-    """Convenience wrapper around :class:`SequentialCampaign`."""
+    """Deprecated: call :func:`repro.faultsim.grade` instead."""
+    warnings.warn(
+        "run_sequential() is deprecated; use repro.faultsim.grade()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return SequentialCampaign(netlist, cycle_inputs, observe, name).run()

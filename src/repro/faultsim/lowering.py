@@ -1,0 +1,426 @@
+"""Netlist lowering and code generation for the compiled fault-sim engine.
+
+The compiled engine (:mod:`repro.faultsim.engine`) lowers a levelized
+:class:`~repro.netlist.netlist.Netlist` **once** into a flat straight-line
+program over lane words and executes it through generated Python code
+(``exec``-compiled once, then called per fault or per cycle).  The lowering
+pipeline:
+
+1. **dead-net elimination** — a reverse-levelized cone walk keeps only the
+   gates that can reach an observation root (observed output nets, plus
+   every DFF ``D`` net for sequential circuits); logic feeding nothing
+   observable is never evaluated;
+2. **constant folding** — ``CONST0``/``CONST1`` *operands* are folded into
+   the per-gate expressions (an AND with a tied-0 input becomes the
+   literal ``0``, an XOR with a tied-1 input becomes an inversion, a MUX
+   with a tied select collapses to one branch).  Folding is restricted to
+   the literal constant nets: a net that is merely *structurally* constant
+   may still carry an injected fault, so it must stay materialized;
+3. **fusion** — each gate type lowers to its cheapest big-int form
+   (``NOT`` as ``x ^ M``, ``NAND`` as ``(a & b) ^ M``, ``MUX2`` as
+   ``a ^ ((a ^ b) & s)`` — three operations instead of four and no ``~``,
+   which would leave the word domain);
+4. **code generation** — two shapes share steps 1–3:
+
+   * :func:`compile_comb` emits one function for the whole circuit with a
+     per-net *local variable* (no list subscripts in the hot path) and a
+     ``start`` level guard: levels below the fault site load recorded good
+     values instead of recomputing, and the detection compare is fused
+     into the return expression, grouped by observe mask so it
+     short-circuits on the first difference;
+   * :func:`compile_seq` emits one function per level writing the net
+     array in place, so batched lane evaluation can interleave fault
+     injection between levels.
+
+Compiled programs are cached process-wide by ``(structural hash,
+observation signature)`` — re-grading a component (cache-warm runs,
+resumes, equivalence suites) skips both lowering and ``exec``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import FaultSimError
+from repro.netlist.gates import GateType
+from repro.netlist.levelize import levelize, levels
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+from repro.netlist.hashing import structural_hash
+
+# --------------------------------------------------------------- operands
+#
+# An operand is ("zero" | "one" | "var", text).  "zero" folds as the
+# constant 0 word, "one" as the all-lanes mask M; "var" text is always
+# safe to embed without extra parentheses (atoms stay bare, compound
+# results are parenthesized at build time).
+
+_ZERO = ("zero", "0")
+_ONE = ("one", "M")
+
+
+def _wrap(text: str) -> str:
+    """Parenthesize a compound expression for safe embedding."""
+    return text if text.isidentifier() or text.isdigit() else f"({text})"
+
+
+def _fold_and(ops: list[tuple[str, str]]) -> tuple[str, str]:
+    keep = []
+    for kind, text in ops:
+        if kind == "zero":
+            return _ZERO
+        if kind != "one":
+            keep.append(text)
+    if not keep:
+        return _ONE
+    if len(keep) == 1:
+        return ("var", keep[0])
+    return ("var", " & ".join(_wrap(t) for t in keep))
+
+
+def _fold_or(ops: list[tuple[str, str]]) -> tuple[str, str]:
+    keep = []
+    for kind, text in ops:
+        if kind == "one":
+            return _ONE
+        if kind != "zero":
+            keep.append(text)
+    if not keep:
+        return _ZERO
+    if len(keep) == 1:
+        return ("var", keep[0])
+    return ("var", " | ".join(_wrap(t) for t in keep))
+
+
+def _fold_xor(ops: list[tuple[str, str]], invert: bool = False) -> tuple[str, str]:
+    keep = []
+    for kind, text in ops:
+        if kind == "one":
+            invert = not invert
+        elif kind != "zero":
+            keep.append(text)
+    if not keep:
+        return _ONE if invert else _ZERO
+    body = " ^ ".join(_wrap(t) for t in keep)
+    if invert:
+        body = f"{body} ^ M"
+    elif len(keep) == 1:
+        return ("var", keep[0])
+    return ("var", body)
+
+
+def _fold_not(op: tuple[str, str]) -> tuple[str, str]:
+    kind, text = op
+    if kind == "zero":
+        return _ONE
+    if kind == "one":
+        return _ZERO
+    return ("var", f"{_wrap(text)} ^ M")
+
+
+def gate_expr(gtype: GateType, ops: list[tuple[str, str]]) -> str:
+    """Cheapest folded big-int expression for one gate.
+
+    Every produced expression stays within ``[0, M]`` provided the
+    operands do (no ``~``), so no trailing ``& M`` is needed.
+    """
+    if gtype is GateType.AND:
+        return _fold_and(ops)[1]
+    if gtype is GateType.OR:
+        return _fold_or(ops)[1]
+    if gtype is GateType.XOR:
+        return _fold_xor(ops)[1]
+    if gtype is GateType.NOT:
+        return _fold_not(ops[0])[1]
+    if gtype is GateType.BUF:
+        return ops[0][1]
+    if gtype is GateType.NAND:
+        return _fold_not(_fold_and(ops))[1]
+    if gtype is GateType.NOR:
+        return _fold_not(_fold_or(ops))[1]
+    if gtype is GateType.XNOR:
+        return _fold_xor(ops, invert=True)[1]
+    if gtype is GateType.AOI21:
+        a, b, c = ops
+        return _fold_not(_fold_or([_fold_and([a, b]), c]))[1]
+    if gtype is GateType.MUX2:
+        a, b, s = ops
+        if s[0] == "zero":
+            return a[1]
+        if s[0] == "one":
+            return b[1]
+        if a == b:
+            return a[1]
+        if a[0] == "zero":
+            return _fold_and([b, s])[1]
+        aw, bw, sw = _wrap(a[1]), _wrap(b[1]), _wrap(s[1])
+        return f"{aw} ^ (({aw} ^ {bw}) & {sw})"
+    raise FaultSimError(f"unhandled gate type {gtype}")  # pragma: no cover
+
+
+# ---------------------------------------------------------- cone pruning
+
+
+def cone_keep(netlist: Netlist, roots: Iterable[int]) -> set[int]:
+    """Indices of gates that can reach any root net (reverse cone walk)."""
+    need = set(roots)
+    keep: set[int] = set()
+    for gate in reversed(levelize(netlist)):
+        if gate.output in need:
+            keep.add(gate.index)
+            need.update(gate.inputs)
+    return keep
+
+
+# ----------------------------------------------------------- compilation
+
+
+@dataclass(frozen=True)
+class CompiledComb:
+    """One netlist lowered for per-fault PPSFP evaluation.
+
+    Attributes:
+        fn: generated ``fn(v, M, om, start) -> int`` — evaluates levels
+            ``>= start`` against the (possibly fault-mutated) good-value
+            array ``v`` and returns a non-zero lane word on detection
+            (a *partial witness*: the first differing observe group).
+        masks: unique full-width observe masks; ``om`` passes their
+            chunk-relative slices positionally.
+        obs_net_masks: observed net -> full-width observe mask.
+        driven_at: net -> driving level (sources are level 0).
+        gate_level: gate index -> level.
+        has_reader: nets read by at least one kept gate.
+        n_gates_kept / n_gates_total: dead-net elimination accounting.
+        n_folded_operands: constant operand slots folded away.
+        source: the generated Python source (debugging aid).
+    """
+
+    fn: Callable[[list, int, tuple, int], int]
+    masks: tuple[int, ...]
+    obs_net_masks: dict[int, int]
+    driven_at: dict[int, int]
+    gate_level: dict[int, int]
+    has_reader: frozenset[int]
+    n_gates_kept: int
+    n_gates_total: int
+    n_folded_operands: int
+    source: str
+
+
+@dataclass(frozen=True)
+class CompiledSeq:
+    """One netlist lowered for batched-lane sequential evaluation.
+
+    Attributes:
+        level_fns: per level (1-based, index 0 unused) ``fn(v, M)``
+            writing every kept gate output of that level into ``v``.
+        driven_at: net -> driving level (sources are level 0).
+        gate_level: gate index -> level.
+        keep: kept gate indices (cone of the roots).
+        max_level: deepest kept level.
+        n_gates_kept / n_gates_total / n_folded_operands: accounting.
+        source: concatenated generated source (debugging aid).
+    """
+
+    level_fns: tuple[Callable[[list, int], None], ...]
+    driven_at: dict[int, int]
+    gate_level: dict[int, int]
+    keep: frozenset[int]
+    max_level: int
+    n_gates_kept: int
+    n_gates_total: int
+    n_folded_operands: int
+    source: str
+
+
+def _driven_at(netlist: Netlist, gate_level: dict[int, int]) -> dict[int, int]:
+    return {g.output: gate_level[g.index] for g in netlist.gates}
+
+
+def _count_folded(gates) -> int:
+    return sum(
+        1 for g in gates for n in g.inputs if n in (CONST0, CONST1)
+    )
+
+
+def compile_comb(
+    netlist: Netlist, obs_net_masks: dict[int, int]
+) -> CompiledComb:
+    """Lower a combinational netlist for PPSFP grading (see module doc)."""
+    gate_level = levels(netlist)
+    order = levelize(netlist)
+    obs_net_masks = {n: m for n, m in obs_net_masks.items() if m}
+    keep = cone_keep(netlist, obs_net_masks)
+    kept = [g for g in order if g.index in keep]
+    driven_at = _driven_at(netlist, gate_level)
+
+    by_level: dict[int, list] = {}
+    for g in kept:
+        by_level.setdefault(gate_level[g.index], []).append(g)
+    max_level = max(by_level, default=0)
+
+    read_nets: set[int] = set(obs_net_masks)
+    for g in kept:
+        read_nets.update(g.inputs)
+    read_nets.discard(CONST0)
+    read_nets.discard(CONST1)
+
+    def opnd(n: int) -> tuple[str, str]:
+        if n == CONST0:
+            return _ZERO
+        if n == CONST1:
+            return _ONE
+        return ("var", f"n{n}")
+
+    lines = ["def _run(v, M, om, start):"]
+    for n in sorted(read_nets):
+        if driven_at.get(n, 0) == 0:
+            lines.append(f"    n{n} = v[{n}]")
+    for level in range(1, max_level + 1):
+        gates = by_level.get(level, [])
+        computes = [
+            f"        n{g.output} = "
+            f"{gate_expr(g.gtype, [opnd(n) for n in g.inputs])}"
+            for g in gates
+        ]
+        loads = [
+            f"        n{g.output} = v[{g.output}]"
+            for g in gates
+            if g.output in read_nets
+        ]
+        if not computes and not loads:
+            continue
+        lines.append(f"    if start <= {level}:")
+        lines.extend(computes or ["        pass"])
+        if loads:
+            lines.append("    else:")
+            lines.extend(loads)
+
+    # Detection fused into the return: observed nets grouped by their
+    # (full-width) observe mask; groups short-circuit with `or`.
+    masks = tuple(sorted(set(obs_net_masks.values())))
+    mask_index = {m: i for i, m in enumerate(masks)}
+    groups: dict[int, list[int]] = {}
+    for n in sorted(obs_net_masks):
+        groups.setdefault(mask_index[obs_net_masks[n]], []).append(n)
+    parts = []
+    for mi in sorted(groups):
+        xors = " | ".join(f"(n{n} ^ v[{n}])" for n in groups[mi])
+        parts.append(f"(({xors}) & om[{mi}])")
+    lines.append("    return " + (" or ".join(parts) if parts else "0"))
+
+    source = "\n".join(lines)
+    namespace: dict = {}
+    exec(compile(source, "<faultsim-comb>", "exec"), namespace)
+
+    has_reader: set[int] = set()
+    for g in kept:
+        has_reader.update(g.inputs)
+
+    return CompiledComb(
+        fn=namespace["_run"],
+        masks=masks,
+        obs_net_masks=dict(obs_net_masks),
+        driven_at=driven_at,
+        gate_level=gate_level,
+        has_reader=frozenset(has_reader),
+        n_gates_kept=len(kept),
+        n_gates_total=len(netlist.gates),
+        n_folded_operands=_count_folded(kept),
+        source=source,
+    )
+
+
+def compile_seq(netlist: Netlist, roots: Iterable[int]) -> CompiledSeq:
+    """Lower a netlist for batched-lane cycle walks (see module doc).
+
+    ``roots`` must contain every net whose value the driver reads back:
+    observed output nets plus every DFF ``D`` net.
+    """
+    gate_level = levels(netlist)
+    order = levelize(netlist)
+    keep = cone_keep(netlist, roots)
+    kept = [g for g in order if g.index in keep]
+    driven_at = _driven_at(netlist, gate_level)
+
+    by_level: dict[int, list] = {}
+    for g in kept:
+        by_level.setdefault(gate_level[g.index], []).append(g)
+    max_level = max(by_level, default=0)
+
+    def opnd(n: int) -> tuple[str, str]:
+        if n == CONST0:
+            return _ZERO
+        if n == CONST1:
+            return _ONE
+        return ("var", f"v[{n}]")
+
+    sources: list[str] = []
+    fns: list[Callable[[list, int], None]] = [lambda v, M: None]
+    for level in range(1, max_level + 1):
+        lines = [f"def _lvl{level}(v, M):"]
+        for g in by_level.get(level, []):
+            expr = gate_expr(g.gtype, [opnd(n) for n in g.inputs])
+            lines.append(f"    v[{g.output}] = {expr}")
+        if len(lines) == 1:
+            lines.append("    pass")
+        src = "\n".join(lines)
+        sources.append(src)
+        namespace: dict = {}
+        exec(compile(src, f"<faultsim-seq-l{level}>", "exec"), namespace)
+        fns.append(namespace[f"_lvl{level}"])
+
+    return CompiledSeq(
+        level_fns=tuple(fns),
+        driven_at=driven_at,
+        gate_level=gate_level,
+        keep=frozenset(keep),
+        max_level=max_level,
+        n_gates_kept=len(kept),
+        n_gates_total=len(netlist.gates),
+        n_folded_operands=_count_folded(kept),
+        source="\n\n".join(sources),
+    )
+
+
+# ------------------------------------------------------ compiled-program cache
+
+_MAX_PROGRAMS = 16
+_programs: "OrderedDict[tuple, CompiledComb | CompiledSeq]" = OrderedDict()
+
+
+def _cached(key: tuple, build: Callable[[], "CompiledComb | CompiledSeq"]):
+    prog = _programs.get(key)
+    if prog is not None:
+        _programs.move_to_end(key)
+        return prog
+    prog = build()
+    _programs[key] = prog
+    while len(_programs) > _MAX_PROGRAMS:
+        _programs.popitem(last=False)
+    return prog
+
+
+def cached_compile_comb(
+    netlist: Netlist, obs_net_masks: dict[int, int]
+) -> CompiledComb:
+    """`compile_comb` through the process-wide program cache."""
+    key = (
+        "comb",
+        structural_hash(netlist),
+        tuple(sorted(obs_net_masks.items())),
+    )
+    return _cached(key, lambda: compile_comb(netlist, obs_net_masks))
+
+
+def cached_compile_seq(
+    netlist: Netlist, roots: Sequence[int]
+) -> CompiledSeq:
+    """`compile_seq` through the process-wide program cache."""
+    key = ("seq", structural_hash(netlist), tuple(sorted(set(roots))))
+    return _cached(key, lambda: compile_seq(netlist, roots))
+
+
+def clear_program_cache() -> None:
+    _programs.clear()

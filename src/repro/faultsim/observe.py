@@ -1,0 +1,172 @@
+"""One normalized observability plan shared by every fault-sim engine.
+
+Historically each engine parsed its own ``observe`` argument: the
+differential harness took per-cycle ``{port: lane-mask}`` mappings, the
+batch engine accepted ``Mapping | set | frozenset | tuple | list`` entries
+and only used the keys, and the combinational campaign took per-pattern
+port-name sequences.  :class:`ObservePlan` normalizes all of those forms
+once — validation (entry count, port names) happens in exactly one place —
+and every engine converts the plan to its internal representation through
+the accessors below.
+
+Accepted per-entry forms (one entry per pattern / cycle):
+
+* an iterable of output-port names — those ports observed on **all** lanes
+  of that entry;
+* a mapping ``{port name: lane mask}`` — ports observed on the masked
+  lanes only (the legacy differential form);
+* the whole spec may be ``None`` — every output port observed on every
+  lane of every entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import FaultSimError
+from repro.netlist.netlist import Netlist, PortDirection
+
+#: One normalized entry: ``(port name, lane mask)`` pairs in name order;
+#: a ``None`` mask means "all lanes of this entry".
+Entry = tuple[tuple[str, "int | None"], ...]
+
+
+@dataclass(frozen=True)
+class ObservePlan:
+    """Which output ports are compared, per stimulus entry and lane.
+
+    Attributes:
+        n_entries: number of stimulus entries (patterns or cycles) the
+            plan covers.
+        entries: one normalized :data:`Entry` per stimulus entry, or
+            ``None`` meaning *every output port, every lane, always*.
+    """
+
+    n_entries: int
+    entries: tuple[Entry, ...] | None = None
+
+    # ------------------------------------------------------ construction
+
+    @classmethod
+    def everything(cls, n_entries: int) -> "ObservePlan":
+        """Full observability: all output ports, all lanes, every entry."""
+        return cls(n_entries)
+
+    @classmethod
+    def from_spec(
+        cls,
+        observe,
+        n_entries: int,
+        netlist: Netlist | None = None,
+    ) -> "ObservePlan":
+        """Normalize and validate any accepted ``observe`` spec.
+
+        Args:
+            observe: ``None``, an existing plan, or a sequence with one
+                entry per stimulus entry (see module docstring).
+            n_entries: stimulus length the plan must match.
+            netlist: when given, port names are checked against its
+                output ports.
+
+        Raises:
+            FaultSimError: entry-count mismatch, unknown or non-output
+                port name, or a negative lane mask.
+        """
+        if observe is None:
+            return cls.everything(n_entries)
+        if isinstance(observe, ObservePlan):
+            if observe.n_entries != n_entries:
+                raise FaultSimError(
+                    f"observe plan covers {observe.n_entries} entries "
+                    f"for {n_entries} stimulus entries"
+                )
+            return observe
+        if len(observe) != n_entries:
+            raise FaultSimError(
+                f"observe list has {len(observe)} entries for "
+                f"{n_entries} stimulus entries"
+            )
+        output_ports = None
+        if netlist is not None:
+            output_ports = {
+                p.name
+                for p in netlist.ports.values()
+                if p.direction is PortDirection.OUTPUT
+            }
+        entries: list[Entry] = []
+        for raw in observe:
+            if isinstance(raw, Mapping):
+                items = [(str(k), int(v)) for k, v in raw.items()]
+            else:
+                items = [(str(name), None) for name in raw]
+            for name, lane_mask in items:
+                if lane_mask is not None and lane_mask < 0:
+                    raise FaultSimError(
+                        f"negative lane mask for observed port {name!r}"
+                    )
+                if output_ports is not None and name not in output_ports:
+                    raise FaultSimError(
+                        f"observed port {name!r} is not an output port"
+                    )
+            entries.append(tuple(sorted(items)))
+        return cls(n_entries, tuple(entries))
+
+    # -------------------------------------------------------- properties
+
+    @property
+    def observes_everything(self) -> bool:
+        return self.entries is None
+
+    # ------------------------------------------- engine representations
+
+    def port_name_lists(self) -> list[tuple[str, ...]] | None:
+        """Per entry, the observed port names (batch-engine form).
+
+        A port with an explicit zero lane mask is dropped; any non-zero
+        (or all-lanes) mask observes the port fully — batch lanes carry
+        *faults*, so partial lane masks are not meaningful there.
+        """
+        if self.entries is None:
+            return None
+        return [
+            tuple(n for n, m in entry if m is None or m)
+            for entry in self.entries
+        ]
+
+    def net_masks(
+        self, netlist: Netlist, full_mask: int
+    ) -> list[dict[int, int]] | None:
+        """Per entry, ``{net: observed-lane-mask}`` (differential form)."""
+        if self.entries is None:
+            return None
+        per_entry: list[dict[int, int]] = []
+        for entry in self.entries:
+            nets: dict[int, int] = {}
+            for name, lane_mask in entry:
+                m = full_mask if lane_mask is None else lane_mask & full_mask
+                if not m:
+                    continue
+                for net in netlist.port(name).nets:
+                    nets[net] = nets.get(net, 0) | m
+            per_entry.append(nets)
+        return per_entry
+
+    def packed_net_masks(self, netlist: Netlist) -> dict[int, int] | None:
+        """Single-cycle ``{net: lane-mask}`` for lane-packed patterns.
+
+        Pattern *t* rides lane *t*; its entry contributes bit *t* to each
+        port it observes (an explicit zero mask contributes nothing).
+        Returns ``None`` for full observability.
+        """
+        if self.entries is None:
+            return None
+        nets: dict[int, int] = {}
+        for lane, entry in enumerate(self.entries):
+            bit = 1 << lane
+            for name, lane_mask in entry:
+                if lane_mask is not None and not lane_mask:
+                    continue
+                for net in netlist.port(name).nets:
+                    nets[net] = nets.get(net, 0) | bit
+        return nets

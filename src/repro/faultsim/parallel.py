@@ -197,11 +197,20 @@ class ParallelFaultSimulator:
         fault_list: FaultList | None = None,
         name: str = "",
     ) -> CampaignResult:
-        """Grade every collapsed fault class in batches.
+        """Deprecated: call :func:`repro.faultsim.grade` with
+        ``engine="batch"`` instead.
 
         Mirrors :class:`~repro.faultsim.harness.SequentialCampaign` but with
         the batch engine.
         """
+        import warnings
+
+        warnings.warn(
+            "ParallelFaultSimulator.run_campaign() is deprecated; use "
+            'repro.faultsim.grade(..., engine="batch")',
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if not cycle_inputs:
             raise FaultSimError("no cycles to apply")
         if observe is not None and len(observe) != len(cycle_inputs):

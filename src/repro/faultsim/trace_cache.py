@@ -1,0 +1,166 @@
+"""In-process good-trace cache shared by every fault-sim engine.
+
+Grading one component requires the *good machine* trajectory — the
+fault-free net values for every stimulus entry.  Every engine needs it
+(the differential engine diffs against it, the compiled engine compares
+lanes against it, the batch engine derives per-fault excitation from it),
+and a campaign frequently replays the same ``(netlist, stimulus)`` pair:
+cache-warm re-grades, resumed campaigns re-validating a journal, the
+cross-engine equivalence suite, and benchmarks measuring several engines
+over one component.
+
+The cache keys entries by *value*, not identity:
+
+    (structural netlist hash, stimulus hash, cycle count, lane mode)
+
+so two independently built netlists of the same component share an entry
+(see :mod:`repro.netlist.hashing`).  ``lane mode`` distinguishes the two
+trace shapes: ``"packed"`` (combinational patterns packed one-per-lane
+into a single cycle) and ``"sequence"`` (a single-lane cycle walk).
+
+Entries are kept LRU-bounded — good traces of large sequential components
+are memory-heavy, so only a handful stay resident.  Worker processes
+forked by :mod:`repro.runtime.worker` inherit the parent's entries but
+reset the hit/miss counters so per-job statistics stay coherent.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.faultsim.simulator import GoodTrace, LogicSimulator
+from repro.netlist.hashing import stimulus_hash, structural_hash
+from repro.netlist.netlist import Netlist
+
+#: Default number of resident traces; large sequential traces dominate
+#: memory, so the bound is deliberately small.
+DEFAULT_MAX_ENTRIES = 8
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup in [0, 1]; 0.0 before any lookup."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class GoodTraceCache:
+    """LRU cache from ``(netlist, stimulus, cycles, mode)`` to a trace."""
+
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: "OrderedDict[tuple, GoodTrace]" = field(
+        default_factory=OrderedDict
+    )
+
+    def key_for(
+        self,
+        netlist: Netlist,
+        stimulus: Sequence[Mapping[str, int]],
+        mode: str,
+    ) -> tuple:
+        return (
+            structural_hash(netlist),
+            stimulus_hash(stimulus),
+            len(stimulus),
+            mode,
+        )
+
+    def get_or_build(
+        self, key: tuple, build: Callable[[], GoodTrace]
+    ) -> GoodTrace:
+        """Return the cached trace for ``key``, building it on a miss."""
+        trace = self._entries.get(key)
+        if trace is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return trace
+        self.stats.misses += 1
+        trace = build()
+        self._entries[key] = trace
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return trace
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        self._entries.clear()
+        self.stats = CacheStats()
+
+    def reset_stats(self) -> None:
+        """Zero the counters, keeping resident entries (fork-time hook)."""
+        self.stats = CacheStats()
+
+
+_GLOBAL = GoodTraceCache()
+
+
+def global_trace_cache() -> GoodTraceCache:
+    """The process-wide cache used by default by every engine."""
+    return _GLOBAL
+
+
+def good_trace_for(
+    netlist: Netlist,
+    stimulus: Sequence[Mapping[str, int]],
+    *,
+    packed: bool,
+    cache: GoodTraceCache | None = None,
+) -> GoodTrace:
+    """Good-machine trace for ``stimulus``, through the cache.
+
+    Args:
+        netlist: the circuit to simulate.
+        stimulus: patterns (``packed=True``) or per-cycle inputs.
+        packed: combinational lane packing — every pattern becomes one
+            lane of a single simulated cycle.  ``False`` runs a
+            single-lane cycle sequence (sequential components).
+        cache: cache instance (default: the process-wide one).
+    """
+    cache = cache if cache is not None else _GLOBAL
+    mode = "packed" if packed else "sequence"
+    key = cache.key_for(netlist, stimulus, mode)
+
+    def build() -> GoodTrace:
+        sim = LogicSimulator(netlist)
+        if packed:
+            return sim.run_parallel_sessions([[dict(p)] for p in stimulus])
+        _, trace = sim.run_sequence(stimulus, record=True)
+        assert trace is not None
+        return trace
+
+    return cache.get_or_build(key, build)
+
+
+def _child_init() -> None:  # pragma: no cover - exercised via fork
+    _GLOBAL.reset_stats()
+
+
+def _register_child_hook() -> None:
+    # Forked grading workers inherit warm entries but start their own
+    # hit/miss accounting.  Registered lazily so importing faultsim does
+    # not drag the runtime package in at module-import time.
+    from repro.runtime.worker import register_child_init_hook
+
+    register_child_init_hook(_child_init)
+
+
+_register_child_hook()

@@ -1,0 +1,70 @@
+"""Stable structural hashing of netlists and stimulus sequences.
+
+The fault-simulation engine cache (:mod:`repro.faultsim.trace_cache`) and
+the compiled-program cache key their entries by circuit *structure*, not by
+object identity: two independently built netlists with the same gates,
+flip-flops and ports hash identically, so a resumed or re-run campaign
+reuses work computed for an earlier build of the same component.
+
+The hash is a BLAKE2b digest over a canonical byte serialization:
+
+* gates in list order — ``(type, output net, input nets)``;
+* DFFs in list order — ``(d, q, init)``;
+* ports in name order — ``(name, direction, nets)``;
+* the net count (distinguishes dangling nets).
+
+Net *names* and the netlist's display name are deliberately excluded:
+they do not affect simulation semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping, Sequence
+
+from repro.netlist.netlist import Netlist
+
+_DIGEST_SIZE = 16  # 128-bit digests render as 32 hex chars
+
+
+def structural_hash(netlist: Netlist) -> str:
+    """Deterministic hex digest of a netlist's simulation-relevant structure."""
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    h.update(b"nets:%d;" % netlist.n_nets)
+    for gate in netlist.gates:
+        h.update(
+            b"g:%s:%d:%s;"
+            % (
+                gate.gtype.name.encode(),
+                gate.output,
+                b",".join(b"%d" % n for n in gate.inputs),
+            )
+        )
+    for dff in netlist.dffs:
+        h.update(b"d:%d:%d:%d;" % (dff.d, dff.q, dff.init))
+    for name in sorted(netlist.ports):
+        port = netlist.ports[name]
+        h.update(
+            b"p:%s:%s:%s;"
+            % (
+                name.encode(),
+                port.direction.value.encode(),
+                b",".join(b"%d" % n for n in port.nets),
+            )
+        )
+    return h.hexdigest()
+
+
+def stimulus_hash(cycles: Sequence[Mapping[str, int]]) -> str:
+    """Deterministic hex digest of a pattern / cycle-input sequence.
+
+    Entries are hashed in order (sequential stimulus is order-sensitive);
+    within an entry, ports are hashed in name order so dict insertion
+    order does not leak into the key.
+    """
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    for cycle in cycles:
+        for name in sorted(cycle):
+            h.update(b"%s=%d;" % (name.encode(), cycle[name]))
+        h.update(b"|")
+    return h.hexdigest()

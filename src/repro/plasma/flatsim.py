@@ -7,10 +7,10 @@ differs from the good machine (the tester snoops the bus and compares the
 response stream, Figure 1).
 
 Mechanically: a good gate-level run records the per-cycle primary inputs
-(the instruction and data words the memories returned); each fault batch
-then replays those inputs through
-:class:`~repro.faultsim.parallel.ParallelFaultSimulator` with every bus
-output observed on every cycle.  Replaying recorded inputs is sound for
+(the instruction and data words the memories returned); the recorded
+sequence is then graded by the lane-batched engine
+(:class:`~repro.faultsim.engine.BatchEngine`) with every bus output
+observed on every cycle.  Replaying recorded inputs is sound for
 detection because any divergence a fault could cause in the fetch/data
 streams must first appear on the observed bus outputs themselves.
 
@@ -27,8 +27,9 @@ import math
 import random
 from dataclasses import dataclass
 
+from repro.faultsim.engine import BatchEngine
 from repro.faultsim.faults import FaultList, build_fault_list
-from repro.faultsim.parallel import ParallelFaultSimulator
+from repro.faultsim.observe import ObservePlan
 from repro.isa.program import Program
 from repro.netlist.netlist import Netlist
 from repro.plasma.cosim import GateLevelPlasma
@@ -136,14 +137,13 @@ def flat_campaign(
     else:
         chosen = list(reps)
 
-    simulator = ParallelFaultSimulator(netlist, batch_size=batch_size)
-    detected = 0
-    for start in range(0, len(chosen), batch_size):
-        chunk = chosen[start : start + batch_size]
-        faults = [fault_list.fault(r) for r in chunk]
-        for detection in simulator.run_batch(faults, cycle_inputs, observe):
-            if detection.detected:
-                detected += 1
+    engine = BatchEngine(batch_size=batch_size)
+    plan = ObservePlan.from_spec(observe, len(cycle_inputs), netlist)
+    skip = frozenset(set(reps) - set(chosen))
+    result = engine.grade(
+        netlist, cycle_inputs, fault_list, plan, name="flat", skip=skip
+    )
+    detected = len(result.detected)
     return FlatResult(
         n_faults_total=len(reps),
         n_sampled=len(chosen),

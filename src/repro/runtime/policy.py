@@ -60,6 +60,10 @@ class RuntimeConfig:
         isolate: run each job in its own worker process.
         sleep: injectable sleep function (tests replace it to avoid
             real backoff waits).
+        engine: fault-sim engine used by campaign jobs — ``"auto"`` or a
+            name registered with :mod:`repro.faultsim.engine`.  Validated
+            lazily by the facade so this module stays independent of the
+            fault simulator.
     """
 
     timeout_seconds: float | None = None
@@ -68,10 +72,13 @@ class RuntimeConfig:
     resume: bool = False
     isolate: bool = True
     sleep: Callable[[float], None] = time.sleep
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ReproRuntimeError("timeout_seconds must be positive")
+        if not self.engine or not isinstance(self.engine, str):
+            raise ReproRuntimeError("engine must be a non-empty string")
         if self.resume and self.checkpoint_dir is None:
             raise ReproRuntimeError("resume requires a checkpoint_dir")
         if self.timeout_seconds is not None and not self.isolate:

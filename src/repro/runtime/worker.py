@@ -32,9 +32,31 @@ _CTX = mp.get_context(_START_METHOD)
 #: Grace period for a terminated worker to exit before SIGKILL.
 _TERMINATE_GRACE = 2.0
 
+#: Callbacks run inside every freshly started worker before its job.
+#: Used by process-wide caches (e.g. the fault-sim good-trace cache) to
+#: reset per-process statistics that a fork would otherwise duplicate.
+_CHILD_INIT_HOOKS: list[Callable[[], None]] = []
+
+
+def register_child_init_hook(hook: Callable[[], None]) -> None:
+    """Run ``hook()`` at the start of every worker process.
+
+    Hooks must be cheap and exception-safe; a raising hook is swallowed
+    (a broken cache reset must not take the job down with it).  Under the
+    ``spawn`` start method hooks only run if their registering module is
+    imported by the job itself.
+    """
+    if hook not in _CHILD_INIT_HOOKS:
+        _CHILD_INIT_HOOKS.append(hook)
+
 
 def _worker_main(conn, fn, args, kwargs) -> None:
     """Worker entry point: run the job, report ('ok', ...) or ('error', ...)."""
+    for hook in _CHILD_INIT_HOOKS:
+        try:
+            hook()
+        except Exception:
+            pass
     try:
         result = fn(*args, **kwargs)
     except BaseException as exc:  # report everything, incl. KeyboardInterrupt

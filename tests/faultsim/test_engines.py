@@ -1,0 +1,279 @@
+"""Cross-engine equivalence and facade tests for the grade() API.
+
+Every shipped Plasma component is graded with its traced phase-A stimulus
+(truncated to keep tier-1 fast) through all three registered engines;
+verdicts must agree fault by fault and the Table 5 rows must be
+bit-identical.  The compiled engine's fault dropping and lane repacking
+are additionally stress-tested against the differential engine with
+deliberately tiny batch sizes and aggressive repack settings.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.core.campaign import execute_self_test
+from repro.core.methodology import SelfTestMethodology
+from repro.errors import FaultSimError
+from repro.faultsim import build_fault_list, grade
+from repro.faultsim.engine import (
+    AUTO_MIN_DEPTH,
+    CompiledEngine,
+    default_engine_name,
+    engine_names,
+    get_engine,
+)
+from repro.faultsim.harness import run_combinational, run_sequential
+from repro.faultsim.lowering import clear_program_cache
+from repro.faultsim.observe import ObservePlan
+from repro.faultsim.parallel import ParallelFaultSimulator
+from repro.faultsim.trace_cache import global_trace_cache
+from repro.library import build_register_file
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.levelize import depth
+from repro.plasma.components import COMPONENTS, build_component
+from repro.runtime import RuntimeConfig
+
+ENGINES = ("differential", "batch", "compiled")
+
+#: Stimulus truncation per component (cycles for sequential components,
+#: patterns for combinational ones) — full traces make tier-1 too slow.
+STIMULUS_CAP = {
+    "RegF": 100, "MulD": 120, "MCTRL": 150, "PCL": 200, "PLN": 150,
+    "GL": 300, "ALU": 150, "BSH": 200, "CTRL": 300, "BMUX": 300,
+}
+
+#: Fault-class sampling for the two largest components (the batch and
+#: differential engines are too slow for their full universes here).
+FAULT_SAMPLE = {"RegF": 350, "MulD": 400}
+
+
+@pytest.fixture(scope="session")
+def phase_a_specs():
+    self_test = SelfTestMethodology().build_program("A")
+    _, tracer, _ = execute_self_test(self_test)
+    return tracer.finalize()
+
+
+def _sample_skip(fault_list, sample):
+    reps = fault_list.class_representatives()
+    if sample is None or len(reps) <= sample:
+        return frozenset()
+    stride = len(reps) // sample
+    keep = set(reps[::stride][:sample])
+    return frozenset(r for r in reps if r not in keep)
+
+
+def adder4():
+    b = NetlistBuilder("adder4")
+    a = b.input("a", 4)
+    x = b.input("x", 4)
+    cin = b.input("cin", 1)[0]
+    from repro.library.adders import ripple_carry_adder
+
+    total, cout = ripple_carry_adder(b, a, x, cin)
+    b.output("sum", total)
+    b.output("cout", cout)
+    return b.build()
+
+
+def regfile_cycles(n=40, seed=22):
+    rng = random.Random(seed)
+    return [
+        dict(
+            wr_addr=rng.randrange(4), wr_data=rng.getrandbits(4),
+            wr_en=rng.randrange(2), rd_addr_a=rng.randrange(4),
+            rd_addr_b=rng.randrange(4),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestCrossEngineEquivalence:
+    """Every component, every engine, identical verdicts and Table 5."""
+
+    @pytest.mark.parametrize("name", [c.name for c in COMPONENTS])
+    def test_engines_agree_on_component(self, name, phase_a_specs):
+        stimulus, observe = phase_a_specs[name]
+        cap = STIMULUS_CAP[name]
+        stimulus = list(stimulus[:cap])
+        if observe is not None:
+            observe = list(observe[:cap])
+        netlist = build_component(name)
+        fault_list = build_fault_list(netlist)
+        skip = _sample_skip(fault_list, FAULT_SAMPLE.get(name))
+        plan = ObservePlan.from_spec(observe, len(stimulus), netlist)
+
+        results = {
+            engine: get_engine(engine).grade(
+                netlist, stimulus, fault_list, plan, name=name, skip=skip
+            )
+            for engine in ENGINES
+        }
+        want = results["differential"]
+        sequential = bool(netlist.dffs)
+        for engine in ("batch", "compiled"):
+            got = results[engine]
+            assert set(got.detections) == set(want.detections), engine
+            for rep, d in want.detections.items():
+                g = got.detections[rep]
+                assert (g.detected, g.excited) == (d.detected, d.excited), (
+                    engine, fault_list.fault(rep).describe(netlist)
+                )
+                if sequential and d.detected:
+                    assert g.cycle == d.cycle, (engine, rep)
+            assert got.detected == want.detected, engine
+            assert got.fault_coverage == want.fault_coverage, engine
+            # Bit-identical Table 5 row.
+            assert got.to_component_coverage() == want.to_component_coverage()
+
+
+class TestTraceCacheTransparency:
+    def test_warm_regrade_bit_identical(self, phase_a_specs):
+        stimulus, observe = phase_a_specs["BSH"]
+        stimulus = list(stimulus[:200])
+        observe = list(observe[:200]) if observe is not None else None
+        netlist = build_component("BSH")
+        cache = global_trace_cache()
+        cache.clear()
+        clear_program_cache()
+        cache.reset_stats()
+
+        cold = grade(netlist, stimulus, engine="compiled", observe=observe)
+        hits_after_cold = cache.stats.hits
+        warm = grade(netlist, stimulus, engine="compiled", observe=observe)
+
+        assert cache.stats.hits > hits_after_cold
+        assert warm.detected == cold.detected
+        assert warm.fault_coverage == cold.fault_coverage
+        for rep, d in cold.detections.items():
+            g = warm.detections[rep]
+            assert (g.detected, g.cycle, g.lanes, g.excited) == (
+                d.detected, d.cycle, d.lanes, d.excited
+            )
+
+    def test_rebuilt_netlist_shares_cache_entry(self):
+        cycles = regfile_cycles()
+        cache = global_trace_cache()
+        cache.clear()
+        grade(build_register_file(n_registers=4, width=4), cycles,
+              engine="compiled")
+        misses = cache.stats.misses
+        # A structurally identical netlist built from scratch must hit.
+        grade(build_register_file(n_registers=4, width=4), cycles,
+              engine="compiled")
+        assert cache.stats.misses == misses
+        assert cache.stats.hits >= 1
+
+
+class TestDroppingAndRepacking:
+    """Fault dropping and lane repacking never change verdicts."""
+
+    def test_sequential_repack_verdicts_stable(self):
+        netlist = build_register_file(n_registers=4, width=4)
+        cycles = regfile_cycles()
+        fault_list = build_fault_list(netlist)
+        plan = ObservePlan.from_spec(None, len(cycles), netlist)
+        want = get_engine("differential").grade(
+            netlist, cycles, fault_list, plan
+        )
+        for batch_size, threshold, min_drop in (
+            (7, 1.0, 1), (33, 0.9, 2), (64, 0.5, 8),
+        ):
+            engine = CompiledEngine(
+                batch_size=batch_size,
+                repack_threshold=threshold,
+                min_repack_drop=min_drop,
+            )
+            got = engine.grade(netlist, cycles, fault_list, plan)
+            for rep, d in want.detections.items():
+                g = got.detections[rep]
+                assert (g.detected, g.cycle if d.detected else None,
+                        g.excited) == (
+                    d.detected, d.cycle if d.detected else None, d.excited
+                ), (batch_size, threshold, min_drop, rep)
+
+    def test_combinational_chunked_dropping_matches_differential(self):
+        # 512 exhaustive patterns span multiple lane chunks, so faults
+        # detected in the first chunk are dropped before later ones.
+        netlist = adder4()
+        patterns = [dict(a=a, x=x, cin=c)
+                    for a in range(16) for x in range(16) for c in (0, 1)]
+        fault_list = build_fault_list(netlist)
+        plan = ObservePlan.from_spec(None, len(patterns), netlist)
+        want = get_engine("differential").grade(
+            netlist, patterns, fault_list, plan
+        )
+        got = get_engine("compiled").grade(
+            netlist, patterns, fault_list, plan
+        )
+        assert got.detected == want.detected
+        assert {r: (d.detected, d.excited)
+                for r, d in got.detections.items()} == {
+            r: (d.detected, d.excited) for r, d in want.detections.items()
+        }
+
+
+class TestFacade:
+    def test_registry_lists_shipped_engines(self):
+        assert set(ENGINES) <= set(engine_names())
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(FaultSimError, match="unknown engine"):
+            get_engine("flextest")
+        with pytest.raises(FaultSimError, match="unknown engine"):
+            grade(adder4(), [dict(a=0, x=0, cin=0)], engine="flextest")
+
+    def test_auto_picks_differential_for_shallow_or_sequential(self):
+        assert default_engine_name(build_component("BMUX")) == "differential"
+        assert default_engine_name(build_component("RegF")) == "differential"
+        assert depth(build_component("BMUX")) < AUTO_MIN_DEPTH
+
+    def test_auto_picks_compiled_for_deep_combinational(self):
+        assert default_engine_name(build_component("ALU")) == "compiled"
+        assert depth(build_component("ALU")) >= AUTO_MIN_DEPTH
+
+    def test_runtime_engine_honoured_only_under_auto(self):
+        netlist = adder4()
+        patterns = [dict(a=1, x=2, cin=0)]
+        bogus = RuntimeConfig(engine="flextest")
+        with pytest.raises(FaultSimError, match="unknown engine"):
+            grade(netlist, patterns, engine="auto", runtime=bogus)
+        # An explicit engine choice wins over the runtime config.
+        result = grade(netlist, patterns, engine="differential",
+                       runtime=bogus)
+        assert result.n_faults > 0
+
+    def test_empty_stimulus_messages(self):
+        with pytest.raises(FaultSimError, match="no patterns to apply"):
+            grade(adder4(), [])
+        with pytest.raises(FaultSimError, match="no cycles to apply"):
+            grade(build_register_file(n_registers=4, width=4), [])
+
+    def test_facade_matches_legacy_harness(self):
+        netlist = adder4()
+        patterns = [dict(a=a, x=15 - a, cin=a & 1) for a in range(16)]
+        via_facade = grade(netlist, patterns, engine="differential")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = run_combinational(netlist, patterns)
+        assert via_facade.detected == legacy.detected
+        assert via_facade.fault_coverage == legacy.fault_coverage
+
+
+class TestDeprecatedEntryPoints:
+    def test_run_combinational_warns(self):
+        with pytest.warns(DeprecationWarning, match="grade"):
+            run_combinational(adder4(), [dict(a=0, x=0, cin=0)])
+
+    def test_run_sequential_warns(self):
+        netlist = build_register_file(n_registers=4, width=4)
+        with pytest.warns(DeprecationWarning, match="grade"):
+            run_sequential(netlist, regfile_cycles(n=5))
+
+    def test_parallel_run_campaign_warns(self):
+        netlist = build_register_file(n_registers=4, width=4)
+        sim = ParallelFaultSimulator(netlist, batch_size=16)
+        with pytest.warns(DeprecationWarning, match="grade"):
+            sim.run_campaign(regfile_cycles(n=5))

@@ -1,0 +1,103 @@
+"""Unit tests for the LRU good-trace cache."""
+
+from repro.faultsim.trace_cache import (
+    CacheStats,
+    GoodTraceCache,
+    good_trace_for,
+    global_trace_cache,
+)
+from repro.library import build_register_file
+from repro.netlist.builder import NetlistBuilder
+
+
+def buffer_netlist(name="buf"):
+    b = NetlistBuilder(name)
+    a = b.input("a", 2)
+    b.output("y", list(a))
+    return b.build()
+
+
+def patterns(k):
+    return [dict(a=v) for v in range(k)]
+
+
+class TestStats:
+    def test_hit_rate_before_any_lookup(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_miss_then_hit(self):
+        cache = GoodTraceCache()
+        netlist = buffer_netlist()
+        good_trace_for(netlist, patterns(2), packed=True, cache=cache)
+        good_trace_for(netlist, patterns(2), packed=True, cache=cache)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == 0.5
+
+    def test_reset_stats_keeps_entries(self):
+        cache = GoodTraceCache()
+        netlist = buffer_netlist()
+        good_trace_for(netlist, patterns(2), packed=True, cache=cache)
+        cache.reset_stats()
+        assert len(cache) == 1
+        good_trace_for(netlist, patterns(2), packed=True, cache=cache)
+        assert cache.stats == CacheStats(hits=1)
+
+
+class TestLRUBound:
+    def test_eviction_at_capacity(self):
+        cache = GoodTraceCache(max_entries=2)
+        netlist = buffer_netlist()
+        for k in (1, 2, 3):
+            good_trace_for(netlist, patterns(k), packed=True, cache=cache)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # The oldest entry (k=1) was evicted; k=3 and k=2 are resident.
+        good_trace_for(netlist, patterns(3), packed=True, cache=cache)
+        assert cache.stats.hits == 1
+        good_trace_for(netlist, patterns(1), packed=True, cache=cache)
+        assert cache.stats.misses == 4
+
+    def test_hit_refreshes_recency(self):
+        cache = GoodTraceCache(max_entries=2)
+        netlist = buffer_netlist()
+        good_trace_for(netlist, patterns(1), packed=True, cache=cache)
+        good_trace_for(netlist, patterns(2), packed=True, cache=cache)
+        good_trace_for(netlist, patterns(1), packed=True, cache=cache)  # hit
+        good_trace_for(netlist, patterns(3), packed=True, cache=cache)
+        # k=2 (least recently used) was evicted, k=1 survived.
+        good_trace_for(netlist, patterns(1), packed=True, cache=cache)
+        assert cache.stats.hits == 2
+
+
+class TestKeying:
+    def test_rebuilt_netlist_same_key(self):
+        cache = GoodTraceCache()
+        key_a = cache.key_for(buffer_netlist(), patterns(2), "packed")
+        key_b = cache.key_for(buffer_netlist(), patterns(2), "packed")
+        assert key_a == key_b
+
+    def test_netlist_name_irrelevant(self):
+        cache = GoodTraceCache()
+        assert cache.key_for(buffer_netlist("x"), patterns(2), "packed") \
+            == cache.key_for(buffer_netlist("y"), patterns(2), "packed")
+
+    def test_mode_distinguishes_trace_shapes(self):
+        cache = GoodTraceCache()
+        netlist = build_register_file(n_registers=2, width=2)
+        stim = [dict(wr_addr=0, wr_data=1, wr_en=1, rd_addr_a=0,
+                     rd_addr_b=0)]
+        assert cache.key_for(netlist, stim, "packed") \
+            != cache.key_for(netlist, stim, "sequence")
+
+    def test_different_stimulus_different_key(self):
+        cache = GoodTraceCache()
+        netlist = buffer_netlist()
+        assert cache.key_for(netlist, patterns(2), "packed") \
+            != cache.key_for(netlist, [dict(a=0), dict(a=2)], "packed")
+
+
+def test_global_cache_is_a_singleton():
+    assert global_trace_cache() is global_trace_cache()
+    assert isinstance(global_trace_cache(), GoodTraceCache)

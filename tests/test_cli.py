@@ -250,3 +250,41 @@ class TestAnalyze:
     def test_all_with_targets_rejected(self, capsys):
         assert main(["analyze", "netlist", "CTRL", "--all"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestEngineSelection:
+    def test_campaign_engine_flag(self, capsys):
+        assert main(["campaign", "--phases", "A", "--components",
+                     "CTRL,BMUX", "--engine", "compiled"]) == 0
+        out = capsys.readouterr().out
+        assert "CTRL" in out and "BMUX" in out
+
+    def test_campaign_tables_engine_invariant(self, capsys):
+        import re
+
+        def normalized(text):
+            # The per-component progress line carries a wall-clock
+            # duration; everything else must be engine-invariant.
+            return re.sub(r"\d+\.\d+s", "_s", text)
+
+        assert main(["campaign", "--phases", "A", "--components", "CTRL",
+                     "--engine", "differential"]) == 0
+        differential = capsys.readouterr().out
+        assert main(["campaign", "--phases", "A", "--components", "CTRL",
+                     "--engine", "compiled"]) == 0
+        compiled = capsys.readouterr().out
+        # Table 5 must be bit-identical whichever engine graded it.
+        assert normalized(differential) == normalized(compiled)
+
+    def test_unknown_engine_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--phases", "A", "--components", "CTRL",
+                  "--engine", "flextest"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_selftest_coverage_report(self, capsys):
+        assert main(["selftest", "--phases", "A", "--coverage",
+                     "--engine", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "engine: auto" in out
+        assert "overall FC" in out
