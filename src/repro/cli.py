@@ -117,9 +117,18 @@ def _campaign_runtime(args: argparse.Namespace) -> RuntimeConfig | None:
         or args.resume
         or args.timeout is not None
         or args.isolate
+        or args.jobs > 1
     )
     if not wants_runtime:
         return None
+    if args.jobs > 1 and args.no_isolate:
+        # Same exit code as argparse usage errors: the flags conflict.
+        print(
+            "error: --jobs requires worker isolation; "
+            "drop --no-isolate to grade in parallel",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     return RuntimeConfig(
         timeout_seconds=args.timeout,
         retry=RetryPolicy(max_attempts=args.retries),
@@ -127,6 +136,7 @@ def _campaign_runtime(args: argparse.Namespace) -> RuntimeConfig | None:
         resume=args.resume,
         isolate=not args.no_isolate,
         engine=args.engine,
+        jobs=args.jobs,
     )
 
 
@@ -140,6 +150,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         outcomes[phases] = run_campaign(
             phases, components=components, verbose=True, runtime=runtime,
             prune_untestable=args.prune_untestable, engine=args.engine,
+            jobs=args.jobs,
         )
         if runtime is not None and runtime.checkpoint_dir is not None:
             # Later phases (and the journal entries the first phase just
@@ -332,6 +343,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fault-sim engine (default: auto — compiled for "
                           "deep combinational components, differential "
                           "otherwise)")
+    p_c.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="parallel grading workers; each component's "
+                          "fault universe is sharded over a persistent "
+                          "pool and the merged tables are bit-identical "
+                          "to --jobs 1 (default: 1 = serial)")
     p_c.set_defaults(func=_cmd_campaign)
 
     p_inv = sub.add_parser("inventory", help="print Tables 2 and 3")

@@ -25,7 +25,12 @@ from repro.core.priority import (
     test_development_order,
 )
 from repro.core.methodology import Phase, SelfTestMethodology, SelfTestProgram
-from repro.core.campaign import CampaignOutcome, run_campaign
+from repro.core.campaign import (
+    CampaignOutcome,
+    grade_program,
+    grade_traced,
+    run_campaign,
+)
 
 __all__ = [
     "classify_components",
@@ -37,5 +42,7 @@ __all__ = [
     "SelfTestMethodology",
     "SelfTestProgram",
     "CampaignOutcome",
+    "grade_program",
+    "grade_traced",
     "run_campaign",
 ]

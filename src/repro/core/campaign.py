@@ -25,7 +25,7 @@ import hashlib
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import CheckpointCorrupt
+from repro.errors import CheckpointCorrupt, ReproRuntimeError
 from repro.core.methodology import SelfTestMethodology, SelfTestProgram
 from repro.faultsim.coverage import CoverageSummary
 from repro.faultsim.engine import grade
@@ -271,45 +271,54 @@ def _ungraded_result(
     return CampaignResult(info.name, fault_list), nand2
 
 
-def grade_program(
+def grade_traced(
     self_test: SelfTestProgram,
+    cpu_result: CPUResult,
+    specs: dict,
     components: list[str] | None = None,
     verbose: bool = False,
     netlist_transform=None,
     runtime: RuntimeConfig | None = None,
     prune_untestable: bool = False,
     engine: str = "auto",
+    jobs: int | None = None,
 ) -> CampaignOutcome:
-    """Execute any program on the traced CPU and fault-grade components.
+    """Fault-grade already-traced stimulus (the grading stage alone).
 
-    This is the shared back half of :func:`run_campaign`; the baselines
-    (pseudorandom / Chen&Dey programs) are graded through it too, so every
-    comparison uses identical machinery.
+    :func:`grade_program` = :func:`execute_self_test` + this function.
+    Split out so callers that already hold a CPU trace (benchmarks, the
+    parallel-scaling harness) can time or re-run the grading stage
+    without re-executing the program.
 
     Args:
-        runtime: route the per-component jobs through the resilient
-            :class:`~repro.runtime.JobRunner` (isolation, timeout, retry,
-            checkpoint/resume, graceful degradation).  None keeps the
-            historical serial in-process path.
-        prune_untestable: skip simulation of structurally untestable
-            fault classes (SCOAP screener); coverage is unchanged, only
-            simulation time is saved.
-        engine: fault-sim engine name or ``"auto"``.  An explicit
-            ``runtime.engine`` takes over when this stays ``"auto"``.
-            Engine choice is *not* part of the checkpoint fingerprint:
-            verdicts are engine-invariant, so a resumed campaign may
-            freely switch engines and still reuse journaled results.
+        specs: ``tracer.finalize()`` output — per component name, the
+            ``(stimulus, observe)`` pair captured during execution.
+        jobs: number of parallel grading workers.  ``None`` defers to
+            ``runtime.jobs`` (default 1 = serial).  With more than one
+            worker, each component's collapsed fault universe is sharded
+            (:func:`repro.runtime.sharding.plan_shards`) and fanned over
+            a persistent pool; the merged outcome is bit-identical to the
+            serial run (DESIGN.md Section 11).
     """
     if engine == "auto" and runtime is not None:
         engine = runtime.engine
-    cpu_result, tracer, _memory = execute_self_test(self_test)
-    specs = tracer.finalize()
+    effective_jobs = jobs
+    if effective_jobs is None:
+        effective_jobs = runtime.jobs if runtime is not None else 1
+    if effective_jobs < 1:
+        raise ReproRuntimeError(f"jobs must be >= 1, got {effective_jobs}")
 
     outcome = CampaignOutcome(
         phases=self_test.phases, self_test=self_test, cpu_result=cpu_result
     )
-    runner = JobRunner(runtime) if runtime is not None else None
     wanted = set(components) if components is not None else None
+    if effective_jobs > 1:
+        _grade_traced_parallel(
+            outcome, self_test, specs, wanted, verbose, netlist_transform,
+            runtime, prune_untestable, engine, effective_jobs,
+        )
+        return outcome
+    runner = JobRunner(runtime) if runtime is not None else None
     for info in COMPONENTS:
         if wanted is not None and info.name not in wanted:
             continue
@@ -380,6 +389,196 @@ def grade_program(
     return outcome
 
 
+# --------------------------------------------------------- parallel path
+
+
+def _grade_traced_parallel(
+    outcome: CampaignOutcome,
+    self_test: SelfTestProgram,
+    specs: dict,
+    wanted: set[str] | None,
+    verbose: bool,
+    netlist_transform,
+    runtime: RuntimeConfig | None,
+    prune_untestable: bool,
+    engine: str,
+    jobs: int,
+) -> None:
+    """Shard every component's fault universe over a persistent pool.
+
+    Determinism: stuck-at verdicts are per-fault properties, independent
+    of which other faults are co-graded, so the merged outcome (detected
+    sets, coverage percentages, Table 5) is bit-identical to the serial
+    run regardless of worker count, shard boundaries or completion order.
+    Resilience composes at shard granularity: each shard gets the
+    runtime's timeout/retry budget, a worker crash degrades only the
+    shards it was executing, and the journal records completed shards so
+    ``--resume`` re-grades exactly the missing ones.
+    """
+    from repro.core.sharded import (
+        ShardContext,
+        grade_shard,
+        install_shard_context,
+        merge_shard_results,
+        record_to_verdict,
+        shard_record,
+    )
+    from repro.runtime.pool import ShardScheduler
+    from repro.runtime.sharding import ShardTask, plan_shards
+
+    config = runtime if runtime is not None else RuntimeConfig(jobs=jobs)
+    if not config.isolate:
+        raise ReproRuntimeError(
+            "parallel sharded grading requires worker isolation; "
+            "jobs > 1 cannot be combined with isolate=False"
+        )
+
+    context = ShardContext(
+        stimulus={name: spec[0] for name, spec in specs.items()},
+        observe={name: spec[1] for name, spec in specs.items()},
+        netlist_transform=netlist_transform,
+        prune_untestable=prune_untestable,
+        engine=engine,
+    )
+    # Install in the parent *before* the pool starts: fork-started
+    # workers inherit the traces by memory; the initializer below covers
+    # spawn-started (and replacement) workers.
+    install_shard_context(context)
+
+    plan = []  # (info, fault_list, nand2, n_patterns, comp_tasks)
+    tasks: list[ShardTask] = []
+    for info in COMPONENTS:
+        if wanted is not None and info.name not in wanted:
+            continue
+        netlist = info.builder()
+        nand2 = gate_count(netlist).nand2
+        if netlist_transform is not None:
+            netlist = netlist_transform(netlist)
+        fault_list = build_fault_list(netlist)
+        stimulus, _observe = specs[info.name]
+        if not stimulus:
+            # Never excited: all faults stay undetected.  Handled in the
+            # parent — no grading work to shard.
+            plan.append((info, fault_list, nand2, 0, []))
+            continue
+        shards = plan_shards(fault_list.n_collapsed, jobs)
+        base = _job_fingerprint(
+            self_test, info, netlist_transform, prune_untestable
+        )
+        n = len(shards)
+        comp_tasks = [
+            ShardTask(
+                key=f"{self_test.phases}:{info.name}#{i + 1:02d}/{n:02d}",
+                fn=grade_shard,
+                args=(info.name, lo, hi),
+                fingerprint=f"{base}:{lo}-{hi}/{fault_list.n_collapsed}",
+                size=hi - lo,
+            )
+            for i, (lo, hi) in enumerate(shards)
+        ]
+        tasks.extend(comp_tasks)
+        plan.append((info, fault_list, nand2, len(stimulus), comp_tasks))
+
+    scheduler = ShardScheduler(
+        config, jobs=jobs,
+        initializer=install_shard_context, initargs=(context,),
+    )
+    shard_outcomes = scheduler.run(tasks, serialize=shard_record)
+
+    journal_path = getattr(scheduler.runner.checkpoint, "path", None)
+    for info, fault_list, nand2, n_patterns, comp_tasks in plan:
+        verdicts = []
+        degraded = False
+        elapsed = 0.0
+        for task in comp_tasks:
+            shard = shard_outcomes[task.key]
+            if shard.status == "ok":
+                verdict = shard.value
+                elapsed += shard.elapsed
+            elif shard.status == "cached":
+                try:
+                    verdict = record_to_verdict(shard.record, journal_path)
+                except CheckpointCorrupt:
+                    degraded = True
+                    continue
+            else:  # failed: attempts exhausted — only this shard is lost
+                degraded = True
+                continue
+            if verdict.n_classes != fault_list.n_collapsed:
+                # Stale journal that somehow passed the fingerprint
+                # guard: distrust the shard rather than abort.
+                degraded = True
+                continue
+            verdicts.append(verdict)
+        result = merge_shard_results(
+            info.name, fault_list, n_patterns, verdicts
+        )
+        outcome.results[info.name] = result
+        outcome.grading_seconds[info.name] = elapsed
+        if degraded:
+            outcome.degraded_components.append(info.name)
+        outcome.summary.add(
+            result.to_component_coverage(nand2, degraded=degraded)
+        )
+        if verbose:
+            marker = " DEGRADED (lower bound)" if degraded else ""
+            pruned = f", {result.n_pruned} pruned" if result.pruned else ""
+            print(
+                f"  {info.name:6s} FC={result.fault_coverage:6.2f}% "
+                f"({result.n_detected}/{result.n_faults} faults, "
+                f"{len(comp_tasks)} shards, {elapsed:.1f}s compute"
+                f"{pruned}){marker}"
+            )
+    outcome.events = scheduler.events.events
+
+
+def grade_program(
+    self_test: SelfTestProgram,
+    components: list[str] | None = None,
+    verbose: bool = False,
+    netlist_transform=None,
+    runtime: RuntimeConfig | None = None,
+    prune_untestable: bool = False,
+    engine: str = "auto",
+    jobs: int | None = None,
+) -> CampaignOutcome:
+    """Execute any program on the traced CPU and fault-grade components.
+
+    This is the shared back half of :func:`run_campaign`; the baselines
+    (pseudorandom / Chen&Dey programs) are graded through it too, so every
+    comparison uses identical machinery.
+
+    Args:
+        runtime: route the per-component jobs through the resilient
+            :class:`~repro.runtime.JobRunner` (isolation, timeout, retry,
+            checkpoint/resume, graceful degradation).  None keeps the
+            historical serial in-process path.
+        prune_untestable: skip simulation of structurally untestable
+            fault classes (SCOAP screener); coverage is unchanged, only
+            simulation time is saved.
+        engine: fault-sim engine name or ``"auto"``.  An explicit
+            ``runtime.engine`` takes over when this stays ``"auto"``.
+            Engine choice is *not* part of the checkpoint fingerprint:
+            verdicts are engine-invariant, so a resumed campaign may
+            freely switch engines and still reuse journaled results.
+        jobs: parallel grading workers (see :func:`grade_traced`).
+    """
+    cpu_result, tracer, _memory = execute_self_test(self_test)
+    specs = tracer.finalize()
+    return grade_traced(
+        self_test,
+        cpu_result,
+        specs,
+        components=components,
+        verbose=verbose,
+        netlist_transform=netlist_transform,
+        runtime=runtime,
+        prune_untestable=prune_untestable,
+        engine=engine,
+        jobs=jobs,
+    )
+
+
 def run_campaign(
     phases: str = "A",
     components: list[str] | None = None,
@@ -389,6 +588,7 @@ def run_campaign(
     runtime: RuntimeConfig | None = None,
     prune_untestable: bool = False,
     engine: str = "auto",
+    jobs: int | None = None,
 ) -> CampaignOutcome:
     """Full pipeline for one phase configuration.
 
@@ -403,6 +603,8 @@ def run_campaign(
             :func:`grade_program`); None = serial in-process grading.
         engine: fault-sim engine name or ``"auto"`` (see
             :func:`grade_program`).
+        jobs: parallel grading workers; the merged outcome is
+            bit-identical to ``jobs=1`` (see :func:`grade_traced`).
 
     Returns:
         The campaign outcome with Table 4/5 data attached.
@@ -417,4 +619,5 @@ def run_campaign(
         runtime=runtime,
         prune_untestable=prune_untestable,
         engine=engine,
+        jobs=jobs,
     )

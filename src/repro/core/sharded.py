@@ -1,0 +1,220 @@
+"""Sharded (parallel) fault-grading: worker-side jobs and the merge.
+
+The parallel campaign path (``run_campaign(..., jobs=N)``) splits every
+component's collapsed fault universe into contiguous shards
+(:func:`repro.runtime.sharding.plan_shards`) and fans them out over the
+persistent worker pool (:mod:`repro.runtime.pool`).  This module holds
+the three pieces the split needs:
+
+* a **campaign context** installed in every pool worker — the traced
+  per-component stimulus/observability, the netlist transform and the
+  engine choice.  Under the preferred ``fork`` start method the context
+  is inherited by memory, so multi-megabyte traces are never pickled;
+  under ``spawn`` the pool initializer ships it (then the transform must
+  be picklable, mirroring :mod:`repro.runtime.worker`).
+* the **worker-side shard job** (:func:`grade_shard`) with a
+  process-local component cache: the first shard of a component builds
+  its netlist, fault list, observe plan and (via the engine) the good
+  trace and compiled program **once per worker**; every later shard of
+  that component reuses them and only pays for its own faults.
+* the **deterministic merge** (:func:`merge_shard_results`): shard
+  verdicts are per-fault properties, so the merged
+  :class:`~repro.faultsim.harness.CampaignResult` is the plain union of
+  the shard verdict sets, independent of completion order, and
+  bit-identical to a sequential grade (DESIGN.md §11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import CheckpointCorrupt
+from repro.faultsim.differential import Detection
+from repro.faultsim.engine import default_engine_name, get_engine
+from repro.faultsim.faults import FaultList, build_fault_list
+from repro.faultsim.harness import CampaignResult
+from repro.faultsim.observe import ObservePlan
+from repro.plasma.components import component
+
+
+@dataclass
+class ShardContext:
+    """Everything a pool worker needs to grade any shard of the campaign.
+
+    Attributes:
+        stimulus: per component name, the traced input patterns/cycles.
+        observe: per component name, the taint-derived observability spec.
+        netlist_transform: optional netlist rewrite (e.g. tech remap).
+        prune_untestable: skip structurally untestable classes (SCOAP).
+        engine: engine name or ``"auto"`` (resolved per netlist).
+    """
+
+    stimulus: Mapping[str, Sequence]
+    observe: Mapping[str, Sequence]
+    netlist_transform: Callable | None = None
+    prune_untestable: bool = False
+    engine: str = "auto"
+
+
+@dataclass
+class ShardVerdict:
+    """What one graded shard sends back to the scheduler.
+
+    ``detections`` carries the full per-fault records for a live run;
+    a shard resumed from the journal only restores ``detected`` (same
+    contract as component-level resume — coverage is unaffected).
+    """
+
+    component: str
+    lo: int
+    hi: int
+    n_classes: int
+    n_patterns: int
+    detected: tuple[int, ...]
+    pruned: tuple[int, ...]
+    detections: dict[int, Detection] = field(default_factory=dict)
+
+
+#: Campaign context of the in-flight parallel run.  The parent installs
+#: it before starting the pool so forked workers inherit it; the pool
+#: initializer re-installs it for spawn-started workers.
+_CONTEXT: ShardContext | None = None
+
+#: Per-process component cache:
+#: name -> (netlist, fault_list, reps, plan, engine, skip).
+_STATE: dict[str, tuple] = {}
+
+
+def install_shard_context(context: ShardContext) -> None:
+    """Install the campaign context (parent pre-fork + pool initializer)."""
+    global _CONTEXT
+    _CONTEXT = context
+    _STATE.clear()
+
+
+def _component_state(name: str):
+    """Build-once per-worker grading state for one component."""
+    state = _STATE.get(name)
+    if state is not None:
+        return state
+    context = _CONTEXT
+    if context is None:
+        raise RuntimeError(
+            "no shard context installed in this worker "
+            "(install_shard_context must run before grade_shard)"
+        )
+    info = component(name)
+    netlist = info.builder()
+    if context.netlist_transform is not None:
+        netlist = context.netlist_transform(netlist)
+    fault_list = build_fault_list(netlist)
+    reps = fault_list.class_representatives()
+    stimulus = context.stimulus[name]
+    plan = ObservePlan.from_spec(
+        context.observe[name], len(stimulus), netlist
+    )
+    engine_name = context.engine
+    if engine_name == "auto":
+        engine_name = default_engine_name(netlist)
+    engine = get_engine(engine_name)
+    skip: frozenset[int] = frozenset()
+    if context.prune_untestable:
+        from repro.analysis.scoap import untestable_fault_classes
+
+        skip = frozenset(untestable_fault_classes(fault_list))
+    state = (netlist, fault_list, reps, plan, engine, skip, stimulus)
+    _STATE[name] = state
+    return state
+
+
+def grade_shard(name: str, lo: int, hi: int) -> ShardVerdict:
+    """Grade fault classes ``reps[lo:hi]`` of one component (worker-side)."""
+    netlist, fault_list, reps, plan, engine, skip, stimulus = (
+        _component_state(name)
+    )
+    shard_reps = reps[lo:hi]
+    result = engine.grade(
+        netlist, stimulus, fault_list, plan,
+        name=name, skip=skip, only=shard_reps,
+    )
+    return ShardVerdict(
+        component=name,
+        lo=lo,
+        hi=hi,
+        n_classes=fault_list.n_collapsed,
+        n_patterns=len(stimulus),
+        detected=tuple(sorted(result.detected)),
+        pruned=tuple(sorted(skip)),
+        detections=dict(result.detections),
+    )
+
+
+# --------------------------------------------------------------- records
+
+
+def shard_record(verdict: ShardVerdict) -> dict:
+    """Serialize a shard verdict to a JSON-safe checkpoint record."""
+    return {
+        "component": verdict.component,
+        "lo": verdict.lo,
+        "hi": verdict.hi,
+        "n_classes": verdict.n_classes,
+        "n_patterns": verdict.n_patterns,
+        "detected": list(verdict.detected),
+        "pruned": list(verdict.pruned),
+    }
+
+
+def record_to_verdict(record: dict, journal_path=None) -> ShardVerdict:
+    """Rebuild a (detection-free) shard verdict from a journaled record.
+
+    Raises:
+        CheckpointCorrupt: the record is missing fields or malformed.
+    """
+    try:
+        return ShardVerdict(
+            component=record["component"],
+            lo=int(record["lo"]),
+            hi=int(record["hi"]),
+            n_classes=int(record["n_classes"]),
+            n_patterns=int(record["n_patterns"]),
+            detected=tuple(int(r) for r in record["detected"]),
+            pruned=tuple(int(r) for r in record.get("pruned", ())),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointCorrupt(
+            f"malformed shard record: {exc}", path=journal_path
+        ) from None
+
+
+# ----------------------------------------------------------------- merge
+
+
+def merge_shard_results(
+    name: str,
+    fault_list: FaultList,
+    n_patterns: int,
+    verdicts: Sequence[ShardVerdict],
+) -> CampaignResult:
+    """Union shard verdicts back into one component result.
+
+    Order-independent and deterministic: ``detected`` / ``pruned`` are
+    set unions, ``detections`` is keyed by class representative and each
+    representative belongs to exactly one shard.  Shards missing from
+    ``verdicts`` (permanently failed) simply contribute no detections —
+    their classes stay undetected, making the component's coverage a
+    lower bound (the caller marks it degraded).
+    """
+    result = CampaignResult(name, fault_list, n_patterns=n_patterns)
+    for verdict in verdicts:
+        if verdict.n_classes != fault_list.n_collapsed:
+            raise CheckpointCorrupt(
+                f"shard [{verdict.lo}, {verdict.hi}) of {name!r} covers a "
+                f"universe of {verdict.n_classes} classes but the netlist "
+                f"yields {fault_list.n_collapsed}"
+            )
+        result.detected.update(verdict.detected)
+        result.pruned.update(verdict.pruned)
+        result.detections.update(verdict.detections)
+    return result

@@ -103,4 +103,26 @@ class JobFailed(ReproRuntimeError):
 
 
 class CheckpointCorrupt(ReproRuntimeError):
-    """A checkpoint journal contains entries that cannot be decoded."""
+    """A checkpoint journal entry cannot be decoded or trusted.
+
+    Carries the offending job/shard key and the journal path when known,
+    so a resumed campaign can report exactly which entry (and which file)
+    to distrust instead of a bare lookup error.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        key: str | None = None,
+        path: "object | None" = None,
+    ):
+        self.key = key
+        self.path = str(path) if path is not None else None
+        context = []
+        if key is not None:
+            context.append(f"key {key!r}")
+        if self.path is not None:
+            context.append(f"journal {self.path}")
+        if context:
+            message = f"{message} ({', '.join(context)})"
+        super().__init__(message)

@@ -62,12 +62,19 @@ class FaultSimEngine(Protocol):
         *,
         name: str = "",
         skip: frozenset[int] = frozenset(),
+        only: Sequence[int] | None = None,
     ) -> CampaignResult:
         """Grade every collapsed fault class not in ``skip``.
 
         ``stimulus`` is a non-empty pattern set (combinational netlist —
         unordered, engines may pack or reorder) or cycle sequence
         (sequential netlist — applied in order from reset).
+
+        ``only`` restricts grading to the listed class representatives
+        (a *shard* of the universe); verdicts for graded faults are
+        identical to a full-universe run — stuck-at detection is a
+        per-fault property of the good trace, so sharding cannot change
+        it (DESIGN.md §11).
         """
         ...  # pragma: no cover - protocol
 
@@ -75,8 +82,16 @@ class FaultSimEngine(Protocol):
 # ------------------------------------------------------------------ shared
 
 
-def _graded_reps(fault_list: FaultList, skip: frozenset[int]) -> list[int]:
-    return [r for r in fault_list.class_representatives() if r not in skip]
+def _graded_reps(
+    fault_list: FaultList,
+    skip: frozenset[int],
+    only: Sequence[int] | None = None,
+) -> list[int]:
+    reps = fault_list.class_representatives()
+    if only is not None:
+        wanted = set(only)
+        reps = [r for r in reps if r in wanted]
+    return [r for r in reps if r not in skip]
 
 
 def _output_nets(netlist: Netlist) -> tuple[int, ...]:
@@ -124,6 +139,7 @@ class DifferentialEngine:
         *,
         name: str = "",
         skip: frozenset[int] = frozenset(),
+        only: Sequence[int] | None = None,
     ) -> CampaignResult:
         packed = not netlist.dffs
         trace = good_trace_for(netlist, stimulus, packed=packed)
@@ -138,7 +154,7 @@ class DifferentialEngine:
             name or netlist.name, fault_list,
             n_patterns=len(stimulus), pruned=set(skip),
         )
-        for rep in _graded_reps(fault_list, skip):
+        for rep in _graded_reps(fault_list, skip, only):
             detection = sim.simulate_fault(
                 fault_list.fault(rep), trace, observe_nets
             )
@@ -174,6 +190,7 @@ class BatchEngine:
         *,
         name: str = "",
         skip: frozenset[int] = frozenset(),
+        only: Sequence[int] | None = None,
     ) -> CampaignResult:
         sim = ParallelFaultSimulator(netlist, batch_size=self.batch_size)
         observe_lists = plan.port_name_lists()
@@ -181,7 +198,7 @@ class BatchEngine:
             name or netlist.name, fault_list,
             n_patterns=len(stimulus), pruned=set(skip),
         )
-        reps = _graded_reps(fault_list, skip)
+        reps = _graded_reps(fault_list, skip, only)
         for start in range(0, len(reps), self.batch_size):
             chunk = reps[start : start + self.batch_size]
             faults = [fault_list.fault(r) for r in chunk]
@@ -277,21 +294,26 @@ class CompiledEngine:
         *,
         name: str = "",
         skip: frozenset[int] = frozenset(),
+        only: Sequence[int] | None = None,
     ) -> CampaignResult:
         result = CampaignResult(
             name or netlist.name, fault_list,
             n_patterns=len(stimulus), pruned=set(skip),
         )
         if netlist.dffs:
-            self._grade_sequential(netlist, stimulus, fault_list, plan, result, skip)
+            self._grade_sequential(
+                netlist, stimulus, fault_list, plan, result, skip, only
+            )
         else:
-            self._grade_combinational(netlist, stimulus, fault_list, plan, result, skip)
+            self._grade_combinational(
+                netlist, stimulus, fault_list, plan, result, skip, only
+            )
         return result
 
     # ---------------------------------------------------- combinational
 
     def _grade_combinational(
-        self, netlist, patterns, fault_list, plan, result, skip
+        self, netlist, patterns, fault_list, plan, result, skip, only=None
     ) -> None:
         trace = good_trace_for(netlist, patterns, packed=True)
         good = trace.values[0]
@@ -316,7 +338,7 @@ class CompiledEngine:
         # no attribute or dict lookups per fault:
         # (rep, stuck, site, start, site_mask, reader, gate, pin).
         pending: list[tuple] = []
-        for rep in _graded_reps(fault_list, skip):
+        for rep in _graded_reps(fault_list, skip, only):
             fault = fault_list.fault(rep)
             if good[fault.net] == (full_mask if fault.stuck else 0):
                 detections[rep] = Detection(False, excited=False)
@@ -382,7 +404,7 @@ class CompiledEngine:
     # -------------------------------------------------------- sequential
 
     def _grade_sequential(
-        self, netlist, cycles, fault_list, plan, result, skip
+        self, netlist, cycles, fault_list, plan, result, skip, only=None
     ) -> None:
         trace = good_trace_for(netlist, cycles, packed=False)
         good_values = trace.values
@@ -416,7 +438,7 @@ class CompiledEngine:
         detections = result.detections
         detected = result.detected
 
-        reps = _graded_reps(fault_list, skip)
+        reps = _graded_reps(fault_list, skip, only)
         for start in range(0, len(reps), self.batch_size):
             batch = reps[start : start + self.batch_size]
             self._run_seq_batch(
@@ -622,6 +644,7 @@ def grade(
     runtime=None,
     name: str = "",
     prune_untestable: bool = False,
+    subset: Sequence[int] | None = None,
 ) -> CampaignResult:
     """Grade a fault universe against a stimulus — the one entry point.
 
@@ -640,6 +663,13 @@ def grade(
         name: campaign label (default: the netlist name).
         prune_untestable: skip simulating structurally untestable classes
             (SCOAP screen); they stay in the denominator as undetected.
+        subset: restrict grading to these class representatives (one
+            *shard* of the universe, see
+            :func:`repro.runtime.sharding.plan_shards`).  The result
+            still carries the full fault universe — only the listed
+            classes get verdicts — and those verdicts are identical to
+            the same classes' verdicts in a full run, so a partition of
+            the universe merges back to the sequential result.
 
     Returns:
         The campaign result; verdicts are engine-invariant.
@@ -666,5 +696,5 @@ def grade(
         skip = frozenset(untestable_fault_classes(fault_list))
     return selected.grade(
         netlist, stimulus, fault_list, plan,
-        name=name or netlist.name, skip=skip,
+        name=name or netlist.name, skip=skip, only=subset,
     )

@@ -121,6 +121,11 @@ class CampaignResult:
 class CombinationalCampaign:
     """Grade a combinational component with an unordered pattern set.
 
+    Prefer :func:`repro.faultsim.grade` for new code — it dispatches on
+    the netlist and stimulus shape and exposes engine selection, pruning
+    and fault subsetting through one signature (``docs/API.md`` §6 maps
+    the old surface onto it).
+
     Attributes:
         netlist: component circuit (must be DFF-free).
         patterns: per pattern, ``{input port: value}``.
@@ -172,6 +177,11 @@ class CombinationalCampaign:
 class SequentialCampaign:
     """Grade a sequential component with a traced cycle sequence.
 
+    Prefer :func:`repro.faultsim.grade` for new code — it dispatches on
+    the netlist and stimulus shape and exposes engine selection, pruning
+    and fault subsetting through one signature (``docs/API.md`` §6 maps
+    the old surface onto it).
+
     Attributes:
         netlist: component circuit.
         cycle_inputs: per cycle, ``{input port: value}`` — typically the
@@ -222,7 +232,14 @@ def run_combinational(
     observe: Sequence[Sequence[str]] | None = None,
     name: str = "",
 ) -> CampaignResult:
-    """Deprecated: call :func:`repro.faultsim.grade` instead."""
+    """Deprecated: call :func:`repro.faultsim.grade` instead.
+
+    Migration: ``run_combinational(netlist, patterns, observe, name)``
+    becomes ``grade(netlist, patterns, observe=observe, name=name)`` —
+    ``grade()`` infers combinational stimulus from the absence of DFFs
+    and returns the same :class:`CampaignResult`.  See the migration
+    table in ``docs/API.md`` §6.
+    """
     warnings.warn(
         "run_combinational() is deprecated; use repro.faultsim.grade()",
         DeprecationWarning,
@@ -237,7 +254,14 @@ def run_sequential(
     observe: Sequence[Sequence[str]] | None = None,
     name: str = "",
 ) -> CampaignResult:
-    """Deprecated: call :func:`repro.faultsim.grade` instead."""
+    """Deprecated: call :func:`repro.faultsim.grade` instead.
+
+    Migration: ``run_sequential(netlist, cycles, observe, name)`` becomes
+    ``grade(netlist, cycles, observe=observe, name=name)`` — ``grade()``
+    treats the stimulus as a cycle sequence whenever the netlist holds
+    state, and returns the same :class:`CampaignResult`.  See the
+    migration table in ``docs/API.md`` §6.
+    """
     warnings.warn(
         "run_sequential() is deprecated; use repro.faultsim.grade()",
         DeprecationWarning,

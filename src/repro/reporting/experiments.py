@@ -194,6 +194,22 @@ EXPERIMENTS: tuple[Experiment, ...] = (
          "excited-but-unobserved hold-protocol enables",),
     ),
     Experiment(
+        "P1", "Infrastructure validation (parallel campaign scaling)",
+        "Shard every component's fault universe over a persistent worker "
+        "pool and sweep the worker count; the merged result must be "
+        "bit-identical to the serial campaign at every count, and the "
+        "speedup is measured (and gated at >= 2.5x for 4 workers when "
+        ">= 4 usable cores are present)",
+        "Phase A ALU+BSH grading stage at 1/2/4/8 workers "
+        "(grade_traced, CPU trace executed once outside the timing)",
+        ("repro.runtime.pool", "repro.runtime.sharding",
+         "repro.core.sharded", "repro.core.campaign"),
+        "benchmarks/bench_parallel.py",
+        ("parallelism is an implementation detail: identical Table 5 at "
+         "any worker count; scaling is reported honestly per available "
+         "cores (a 1-core container cannot evidence speedup)",),
+    ),
+    Experiment(
         "A2", "Ablation (design choice 2)",
         "Deterministic library test sets vs equal-count pseudorandom "
         "operands per component",

@@ -12,13 +12,20 @@ package contains the failure-containment machinery that keeps it alive:
 * :mod:`repro.runtime.events` — structured per-job event log for
   campaign health auditing;
 * :mod:`repro.runtime.runner` — the :class:`JobRunner` composing all of
-  the above, degrading gracefully when a job permanently fails.
+  the above, degrading gracefully when a job permanently fails;
+* :mod:`repro.runtime.sharding` — fault-range shard planning for
+  parallel campaigns;
+* :mod:`repro.runtime.pool` — the persistent :class:`WorkerPool` and the
+  :class:`ShardScheduler` that fans shards over it with the same
+  resilience contract as :class:`JobRunner`.
 """
 
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.events import EventLog, JobEvent
 from repro.runtime.policy import RetryPolicy, RuntimeConfig
+from repro.runtime.pool import ShardScheduler, WorkerPool
 from repro.runtime.runner import JobOutcome, JobRunner
+from repro.runtime.sharding import ShardTask, plan_shards
 from repro.runtime.worker import run_in_worker
 
 __all__ = [
@@ -29,5 +36,9 @@ __all__ = [
     "JobRunner",
     "RetryPolicy",
     "RuntimeConfig",
+    "ShardScheduler",
+    "ShardTask",
+    "WorkerPool",
+    "plan_shards",
     "run_in_worker",
 ]

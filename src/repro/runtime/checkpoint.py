@@ -89,7 +89,8 @@ class CheckpointStore:
                     continue  # crash mid-append; the job simply re-runs
                 if strict:
                     raise CheckpointCorrupt(
-                        f"{self.path}: undecodable entry at line {i + 1}"
+                        f"undecodable entry at line {i + 1}",
+                        path=self.path,
                     ) from None
                 self.corrupt_entries += 1
                 continue

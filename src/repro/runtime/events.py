@@ -31,7 +31,12 @@ EVENT_KINDS = (
 
 @dataclass
 class JobEvent:
-    """One line of the campaign health journal."""
+    """One line of the campaign health journal.
+
+    ``throughput`` is populated by the sharded scheduler: work items
+    (fault classes) graded per second for this job, so a scaling run can
+    be audited shard by shard straight from the event log.
+    """
 
     job: str
     kind: str
@@ -39,6 +44,7 @@ class JobEvent:
     duration: float | None = None
     detail: str = ""
     timestamp: float = 0.0
+    throughput: float | None = None
 
     def to_json(self) -> str:
         payload = {k: v for k, v in asdict(self).items() if v not in (None, "")}
@@ -63,12 +69,13 @@ class EventLog:
         attempt: int = 0,
         duration: float | None = None,
         detail: str = "",
+        throughput: float | None = None,
     ) -> JobEvent:
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
         event = JobEvent(
             job=job, kind=kind, attempt=attempt, duration=duration,
-            detail=detail, timestamp=time.time(),
+            detail=detail, timestamp=time.time(), throughput=throughput,
         )
         self.events.append(event)
         if self.path is not None:

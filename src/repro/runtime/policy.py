@@ -64,6 +64,13 @@ class RuntimeConfig:
             name registered with :mod:`repro.faultsim.engine`.  Validated
             lazily by the facade so this module stays independent of the
             fault simulator.
+        jobs: worker-process count for the sharded parallel scheduler.
+            ``1`` (the default) keeps the historical behaviour: grading
+            jobs run one component at a time.  ``jobs > 1`` shards each
+            component's fault universe over a persistent worker pool
+            (see :mod:`repro.runtime.pool`); merged results are
+            bit-identical to a sequential run.  With a timeout, the
+            budget applies per *shard* attempt rather than per component.
     """
 
     timeout_seconds: float | None = None
@@ -73,6 +80,7 @@ class RuntimeConfig:
     isolate: bool = True
     sleep: Callable[[float], None] = time.sleep
     engine: str = "auto"
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
@@ -84,4 +92,11 @@ class RuntimeConfig:
         if self.timeout_seconds is not None and not self.isolate:
             raise ReproRuntimeError(
                 "timeouts require process isolation (isolate=True)"
+            )
+        if self.jobs < 1:
+            raise ReproRuntimeError("jobs must be at least 1")
+        if self.jobs > 1 and not self.isolate:
+            raise ReproRuntimeError(
+                "parallel grading (jobs > 1) requires process isolation "
+                "(isolate=True): shards execute in pool workers"
             )

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import (
+    CheckpointCorrupt,
     GradingTimeout,
     JobFailed,
     ReproRuntimeError,
@@ -96,6 +97,37 @@ class JobRunner:
         """
         self._completed.pop(key, None)
 
+    def cached_record(self, key: str, fingerprint: str = "") -> dict | None:
+        """The journaled record for ``key``, or None when absent / stale.
+
+        A journaled entry is reused only when its fingerprint matches;
+        stale journals from a different program/config simply miss.
+
+        Raises:
+            CheckpointCorrupt: the entry exists but its record is
+                malformed (a key collision or hand-edited journal); the
+                error carries the offending key and the journal path.
+        """
+        cached = self._completed.get(key)
+        if cached is None or cached.get("fingerprint", "") != fingerprint:
+            return None
+        record = cached.get("record")
+        if not isinstance(record, dict):
+            raise CheckpointCorrupt(
+                "journaled entry carries no usable record",
+                key=key,
+                path=self.checkpoint.path if self.checkpoint else None,
+            )
+        return record
+
+    def journal(self, key: str, record: dict, fingerprint: str = "") -> None:
+        """Durably journal one completed result under ``key``."""
+        if self.checkpoint is not None:
+            self.checkpoint.append(key, record, fingerprint)
+            self._completed[key] = {
+                "fingerprint": fingerprint, "record": record,
+            }
+
     def run(
         self,
         key: str,
@@ -115,10 +147,13 @@ class JobRunner:
             serialize: result -> JSON-safe dict for the journal.  Without
                 it, successes are journaled with an empty record.
         """
-        cached = self._completed.get(key)
-        if cached is not None and cached.get("fingerprint", "") == fingerprint:
+        # A malformed journal entry (key collision, hand-edited file)
+        # surfaces as CheckpointCorrupt with the key and journal path —
+        # not as a bare KeyError from the record lookup.
+        record = self.cached_record(key, fingerprint)
+        if record is not None:
             self.events.emit(key, "cached", detail="journaled result reused")
-            return JobOutcome(key, "cached", record=cached["record"])
+            return JobOutcome(key, "cached", record=record)
 
         policy = self.config.retry
         last_error = ""
@@ -154,11 +189,7 @@ class JobRunner:
                     key, "success", attempt=attempt, duration=elapsed
                 )
                 record = serialize(value) if serialize is not None else {}
-                if self.checkpoint is not None:
-                    self.checkpoint.append(key, record, fingerprint)
-                    self._completed[key] = {
-                        "fingerprint": fingerprint, "record": record,
-                    }
+                self.journal(key, record, fingerprint)
                 return JobOutcome(
                     key, "ok", value=value, record=record or None,
                     attempts=attempt, elapsed=elapsed,

@@ -50,13 +50,18 @@ def register_child_init_hook(hook: Callable[[], None]) -> None:
         _CHILD_INIT_HOOKS.append(hook)
 
 
-def _worker_main(conn, fn, args, kwargs) -> None:
-    """Worker entry point: run the job, report ('ok', ...) or ('error', ...)."""
+def run_child_init_hooks() -> None:
+    """Run every registered child-init hook (called in fresh workers)."""
     for hook in _CHILD_INIT_HOOKS:
         try:
             hook()
         except Exception:
             pass
+
+
+def _worker_main(conn, fn, args, kwargs) -> None:
+    """Worker entry point: run the job, report ('ok', ...) or ('error', ...)."""
+    run_child_init_hooks()
     try:
         result = fn(*args, **kwargs)
     except BaseException as exc:  # report everything, incl. KeyboardInterrupt

@@ -1,0 +1,167 @@
+"""Integration tests: the sharded parallel campaign path.
+
+The acceptance bar for parallel grading is *bit-identical* results: any
+worker count, shard layout or completion order must merge to the same
+Table 5 as the serial run.  On top of that, the resilience contract holds
+at shard granularity — a crashed shard degrades only its own fault range,
+and resume re-grades exactly the shards missing from the journal.
+"""
+
+import os
+
+import pytest
+
+import repro.core.sharded as sharded_mod
+from repro.core.campaign import run_campaign
+from repro.reporting.tables import render_table5
+from repro.runtime import RetryPolicy, RuntimeConfig
+from repro.runtime.checkpoint import CheckpointStore
+
+FAST = ["CTRL", "BMUX"]
+
+_real_grade_shard = sharded_mod.grade_shard
+
+
+def _config(tmp_path=None, resume=False, attempts=2, timeout=None, jobs=2):
+    return RuntimeConfig(
+        timeout_seconds=timeout,
+        retry=RetryPolicy(max_attempts=attempts, backoff_seconds=0),
+        checkpoint_dir=tmp_path,
+        resume=resume,
+        isolate=True,
+        jobs=jobs,
+        sleep=lambda s: None,
+    )
+
+
+def _crash_bmux(name, lo, hi):
+    if name == "BMUX":
+        os._exit(11)
+    return _real_grade_shard(name, lo, hi)
+
+
+def _crash_first_bmux_shard(name, lo, hi):
+    if name == "BMUX" and lo == 0:
+        os._exit(11)
+    return _real_grade_shard(name, lo, hi)
+
+
+class TestParallelMatchesSerial:
+    def test_bit_identical_table5(self):
+        serial = run_campaign("A", components=FAST)
+        parallel = run_campaign("A", components=FAST, jobs=2)
+        assert render_table5({"A": parallel}) == render_table5(
+            {"A": serial}
+        )
+        assert not parallel.degraded
+        for name in FAST:
+            a, b = serial.results[name], parallel.results[name]
+            assert a.detected == b.detected
+            assert a.pruned == b.pruned
+            assert a.n_patterns == b.n_patterns
+            # Per-fault verdicts, not just the aggregate sets.
+            assert set(a.detections) == set(b.detections)
+            for rep, d in a.detections.items():
+                assert (d.detected, d.cycle) == (
+                    b.detections[rep].detected, b.detections[rep].cycle,
+                )
+        assert serial.table5() == parallel.table5()
+
+    def test_shard_events_and_throughput(self):
+        outcome = run_campaign("A", components=["CTRL"], jobs=2)
+        successes = [e for e in outcome.events if e.kind == "success"]
+        # CTRL's 1032 classes split into jobs * oversubscription shards.
+        assert len(successes) == 6
+        assert all(e.job.startswith("A:CTRL#") for e in successes)
+        assert all(e.throughput and e.throughput > 0 for e in successes)
+        assert outcome.grading_seconds["CTRL"] > 0
+
+    def test_runtime_jobs_field_enables_parallelism(self):
+        outcome = run_campaign(
+            "A", components=["CTRL"], runtime=_config(jobs=2)
+        )
+        assert any("#" in e.job for e in outcome.events)
+
+    def test_parallel_requires_isolation(self):
+        from repro.errors import ReproRuntimeError
+
+        config = RuntimeConfig(isolate=False)
+        with pytest.raises(ReproRuntimeError):
+            run_campaign(
+                "A", components=["CTRL"], runtime=config, jobs=2
+            )
+
+
+class TestShardResume:
+    def test_resume_skips_completed_shards(self, tmp_path):
+        run_campaign(
+            "A", components=FAST, runtime=_config(tmp_path), jobs=2
+        )
+        resumed = run_campaign(
+            "A", components=FAST,
+            runtime=_config(tmp_path, resume=True), jobs=2,
+        )
+        kinds = [e.kind for e in resumed.events]
+        assert set(kinds) == {"cached"}
+        assert len(kinds) == 12  # 6 shards per component
+        assert not resumed.degraded
+        serial = run_campaign("A", components=FAST)
+        assert render_table5({"A": resumed}) == render_table5(
+            {"A": serial}
+        )
+
+    def test_resume_regrades_only_missing_shards(self, tmp_path):
+        run_campaign(
+            "A", components=["CTRL"], runtime=_config(tmp_path), jobs=2
+        )
+        store = CheckpointStore(tmp_path)
+        lines = store.path.read_text().splitlines()
+        assert len(lines) == 6
+        # Drop one shard from the journal (simulates a kill mid-campaign).
+        store.path.write_text("\n".join(lines[:3] + lines[4:]) + "\n")
+
+        resumed = run_campaign(
+            "A", components=["CTRL"],
+            runtime=_config(tmp_path, resume=True), jobs=2,
+        )
+        per_shard = {}
+        for e in resumed.events:
+            per_shard.setdefault(e.job, []).append(e.kind)
+        regraded = [k for k, v in per_shard.items() if "success" in v]
+        assert regraded == ["A:CTRL#04/06"]
+        assert sum(v == ["cached"] for v in per_shard.values()) == 5
+        serial = run_campaign("A", components=["CTRL"])
+        assert resumed.results["CTRL"].detected == (
+            serial.results["CTRL"].detected
+        )
+
+
+class TestShardDegradation:
+    def test_crashed_component_degrades_only_itself(self, monkeypatch):
+        monkeypatch.setattr(sharded_mod, "grade_shard", _crash_bmux)
+        outcome = run_campaign(
+            "A", components=FAST, runtime=_config(attempts=1), jobs=2
+        )
+        assert outcome.degraded_components == ["BMUX"]
+        assert outcome.results["BMUX"].n_detected == 0
+        assert outcome.results["CTRL"].n_detected > 0
+        assert not outcome.summary.component("CTRL").degraded
+        assert outcome.summary.component("BMUX").degraded
+
+    def test_single_crashed_shard_keeps_partial_coverage(self, monkeypatch):
+        monkeypatch.setattr(
+            sharded_mod, "grade_shard", _crash_first_bmux_shard
+        )
+        outcome = run_campaign(
+            "A", components=["BMUX"], runtime=_config(attempts=1), jobs=2
+        )
+        serial = run_campaign("A", components=["BMUX"])
+        assert outcome.degraded_components == ["BMUX"]
+        partial = outcome.results["BMUX"].detected
+        full = serial.results["BMUX"].detected
+        # The surviving shards' verdicts are kept: a strict, non-empty
+        # subset of the serial result (a coverage lower bound).
+        assert partial
+        assert partial < full
+        kinds = [e.kind for e in outcome.events if e.job == "A:BMUX#01/06"]
+        assert kinds == ["start", "crash", "degraded"]

@@ -1,0 +1,75 @@
+"""Properties of the fault-universe shard planner."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproRuntimeError
+from repro.runtime.sharding import (
+    DEFAULT_OVERSUBSCRIPTION,
+    MIN_SHARD_SIZE,
+    plan_shards,
+)
+
+
+def _assert_partition(ranges, n_items):
+    """Shards must tile [0, n_items) exactly, in order, without gaps."""
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == n_items
+    for (lo, hi), (nlo, _nhi) in zip(ranges, ranges[1:]):
+        assert hi == nlo
+    for lo, hi in ranges:
+        assert lo < hi
+
+
+class TestPlanShards:
+    def test_single_worker_single_shard(self):
+        assert plan_shards(1000, 1) == [(0, 1000)]
+
+    def test_small_universe_stays_whole(self):
+        assert plan_shards(MIN_SHARD_SIZE, 8) == [(0, MIN_SHARD_SIZE)]
+        assert plan_shards(10, 8) == [(0, 10)]
+
+    def test_empty_universe(self):
+        assert plan_shards(0, 4) == []
+
+    def test_oversubscription_target(self):
+        ranges = plan_shards(10_000, 4)
+        assert len(ranges) == 4 * DEFAULT_OVERSUBSCRIPTION
+        _assert_partition(ranges, 10_000)
+
+    def test_min_size_floor_caps_shard_count(self):
+        # 300 items at the default 64-class floor: at most 4 shards, no
+        # matter how many workers ask for slices.
+        ranges = plan_shards(300, 16)
+        assert len(ranges) == 300 // MIN_SHARD_SIZE
+        _assert_partition(ranges, 300)
+        assert all(hi - lo >= MIN_SHARD_SIZE for lo, hi in ranges)
+
+    def test_balanced_within_one(self):
+        ranges = plan_shards(1003, 4)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic(self):
+        assert plan_shards(5231, 8) == plan_shards(5231, 8)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_partitions_are_exact(self, seed):
+        rng = random.Random(seed)
+        n_items = rng.randrange(1, 20_000)
+        jobs = rng.randrange(1, 33)
+        over = rng.randrange(1, 6)
+        floor = rng.randrange(1, 200)
+        ranges = plan_shards(n_items, jobs, over, floor)
+        _assert_partition(ranges, n_items)
+        if n_items > floor:
+            assert len(ranges) <= max(1, jobs * over)
+
+    def test_invalid_params(self):
+        with pytest.raises(ReproRuntimeError):
+            plan_shards(100, 0)
+        with pytest.raises(ReproRuntimeError):
+            plan_shards(100, 2, oversubscription=0)
+        with pytest.raises(ReproRuntimeError):
+            plan_shards(100, 2, min_shard_size=0)
