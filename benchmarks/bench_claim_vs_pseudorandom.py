@@ -57,7 +57,7 @@ def test_vs_pseudorandom_instructions(benchmark):
     det_words, det_alu, det_bsh = row("deterministic PhaseA", deterministic)
     rand_rows = [
         row(f"random({n})", outcome)
-        for n, outcome in zip(SIZES, random_outcomes)
+        for n, outcome in zip(SIZES, random_outcomes, strict=True)
     ]
 
     text = "\n".join(lines)

@@ -77,13 +77,13 @@ def test_phase_trajectory(benchmark):
     print("\n" + text)
 
     # Coverage of the graded subset never decreases along the flow.
-    for earlier, later in zip(overall_series, overall_series[1:]):
+    for earlier, later in zip(overall_series, overall_series[1:], strict=False):
         assert later >= earlier - 0.2  # tiny jitter tolerated
 
     # Each component's own routine gives it its biggest jump.
     alu_series = [o.results["ALU"].fault_coverage for _, o in points]
-    alu_jumps = [b - a for a, b in zip(alu_series, alu_series[1:])]
+    alu_jumps = [b - a for a, b in zip(alu_series, alu_series[1:], strict=False)]
     assert max(alu_jumps) == alu_jumps[ORDER.index("ALU") - 1]
     bsh_series = [o.results["BSH"].fault_coverage for _, o in points]
-    bsh_jumps = [b - a for a, b in zip(bsh_series, bsh_series[1:])]
+    bsh_jumps = [b - a for a, b in zip(bsh_series, bsh_series[1:], strict=False)]
     assert max(bsh_jumps) == bsh_jumps[ORDER.index("BSH") - 1]

@@ -1,0 +1,204 @@
+"""Experiment F1 — SAT formal layer: CEC and redundancy-proof metrics.
+
+For every component this bench runs the two formal services of
+:mod:`repro.formal` and records solver effort:
+
+* **CEC** — the structural netlist against its behavioral golden model
+  (:func:`repro.formal.cec.check_equivalence`): verdict, CNF size,
+  conflicts/decisions/propagations, solve time.  Every shipped
+  component must prove equivalent (UNSAT miter).
+* **Redundancy screen** — the SCOAP structural untestability candidates
+  through the incremental good/faulty miter
+  (:func:`repro.formal.redundancy.prove_untestable`): every structural
+  candidate must come back SAT-proven redundant (the FV202 soundness
+  gate), and the conflict budget is archived.
+* **Mutant detection** — a deliberately corrupted copy of the smallest
+  component (one gate type flipped) must yield a replay-confirmed
+  counterexample, proving the CEC answers are not vacuous.
+
+Runs two ways:
+
+* ``PYTHONPATH=src python benchmarks/bench_sat.py [--quick]`` —
+  standalone; exit code 1 on any gate failure.  ``--quick`` (the CI
+  smoke) verifies only the two smallest components (GL, PLN).
+* via the tier-2 pytest-benchmark suite (full mode, all ten).
+
+The JSON artifact (``benchmarks/results/sat_formal.json``) holds the
+per-component solve times and conflict counts.
+"""
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import time
+
+from repro.formal.cec import FormalInternalError, check_equivalence
+from repro.formal.golden import golden_model
+from repro.formal.redundancy import prove_untestable
+from repro.netlist.gates import GateType
+from repro.plasma.components import COMPONENTS, build_component
+
+#: Quick mode (the CI smoke) covers the two smallest components.
+QUICK_COMPONENTS = ("GL", "PLN")
+
+#: The mutant-detection gate corrupts this component (smallest netlist,
+#: so the counterexample search is instant).
+MUTANT_COMPONENT = "GL"
+
+#: Gate-type swaps that change the function for almost any cone.
+_MUTATIONS = {
+    GateType.AND: GateType.OR,
+    GateType.OR: GateType.AND,
+    GateType.NAND: GateType.NOR,
+    GateType.NOR: GateType.NAND,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+}
+
+
+def inject_mutant(netlist, start: int = 0):
+    """Flip the type of the first mutable gate at index >= ``start``.
+
+    Returns the mutated gate index, or -1 if nothing was mutable.  The
+    netlist is modified in place (build a fresh copy per attempt).
+    """
+    for i in range(start, len(netlist.gates)):
+        gate = netlist.gates[i]
+        swapped = _MUTATIONS.get(gate.gtype)
+        if swapped is not None:
+            netlist.gates[i] = dataclasses.replace(gate, gtype=swapped)
+            return i
+    return -1
+
+
+def _bench_component(name, lines, rows, failures):
+    netlist = build_component(name)
+    spec = golden_model(name)
+
+    started = time.perf_counter()
+    cec = check_equivalence(netlist, spec, component=name)
+    cec_seconds = time.perf_counter() - started
+    if not cec.equivalent:
+        failures.append(f"{name}: netlist is NOT equivalent to its "
+                        f"golden model")
+
+    started = time.perf_counter()
+    screen = prove_untestable(netlist, component=name)
+    screen_seconds = time.perf_counter() - started
+    if screen.unconfirmed:
+        failures.append(
+            f"{name}: {len(screen.unconfirmed)} structurally screened "
+            f"class(es) lack a SAT redundancy certificate (soundness "
+            f"regression)"
+        )
+
+    lines.append(
+        f"{name}: CEC {'UNSAT (equivalent)' if cec.equivalent else 'SAT'} "
+        f"in {cec_seconds:.2f}s ({cec.n_vars:,} vars, "
+        f"{cec.n_clauses:,} clauses, {cec.stats['conflicts']:,} conflicts, "
+        f"{cec.stats['decisions']:,} decisions); "
+        f"redundancy {len(screen.proven)}/{len(screen.structural)} proven "
+        f"in {screen_seconds:.2f}s ({screen.conflicts:,} conflicts)"
+    )
+    rows.append(
+        {
+            "component": name,
+            "cec_equivalent": cec.equivalent,
+            "cec_vars": cec.n_vars,
+            "cec_clauses": cec.n_clauses,
+            "cec_seconds": round(cec_seconds, 3),
+            "cec_stats": cec.stats,
+            "screen_structural": len(screen.structural),
+            "screen_proven": len(screen.proven),
+            "screen_witnessed": len(screen.witnessed),
+            "screen_unconfirmed": len(screen.unconfirmed),
+            "screen_conflicts": screen.conflicts,
+            "screen_seconds": round(screen_seconds, 3),
+        }
+    )
+
+
+def _mutant_gate(lines, failures):
+    """A corrupted netlist must produce a confirmed counterexample."""
+    spec = golden_model(MUTANT_COMPONENT)
+    start = 0
+    while True:
+        mutant = build_component(MUTANT_COMPONENT)
+        index = inject_mutant(mutant, start)
+        if index < 0:
+            failures.append(
+                f"mutant gate: no mutable gate left in {MUTANT_COMPONENT}"
+            )
+            return
+        try:
+            cec = check_equivalence(mutant, spec, component=MUTANT_COMPONENT)
+        except FormalInternalError as exc:
+            failures.append(f"mutant gate: witness replay failed: {exc}")
+            return
+        if not cec.equivalent:
+            cex = cec.counterexample
+            lines.append(
+                f"mutant {MUTANT_COMPONENT} (gate {index} flipped): "
+                f"counterexample on {', '.join(cex.mismatched)} "
+                f"(replay-confirmed) — PASS"
+            )
+            return
+        # This particular flip was functionally masked; try the next gate.
+        start = index + 1
+
+
+def run_bench(quick: bool):
+    """Returns ``(report text, JSON payload, failure messages)``."""
+    names = (
+        QUICK_COMPONENTS if quick else tuple(c.name for c in COMPONENTS)
+    )
+    lines: list[str] = []
+    rows: list[dict] = []
+    failures: list[str] = []
+    for name in names:
+        _bench_component(name, lines, rows, failures)
+    _mutant_gate(lines, failures)
+    payload = {
+        "experiment": "F1",
+        "quick": quick,
+        "components": list(names),
+        "rows": rows,
+    }
+    return "\n".join(lines), payload, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: only the two smallest components",
+    )
+    args = parser.parse_args(argv)
+    text, payload, failures = run_bench(quick=args.quick)
+    print(text)
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from conftest import write_result
+
+    write_result("sat_formal.txt", text)
+    write_result("sat_formal.json", json.dumps(payload, indent=2))
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_sat_formal_layer(benchmark):
+    from conftest import write_result
+
+    text, payload, failures = benchmark.pedantic(
+        lambda: run_bench(quick=False), rounds=1, iterations=1
+    )
+    write_result("sat_formal.txt", text)
+    write_result("sat_formal.json", json.dumps(payload, indent=2))
+    print("\n" + text)
+    assert not failures, "; ".join(failures)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

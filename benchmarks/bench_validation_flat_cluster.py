@@ -41,7 +41,8 @@ def flat_cluster_campaign():
     patterns = []
     observe = []
     for bmux_pat, ctrl_pat, bmux_ports, ctrl_ports in zip(
-        bmux_patterns, ctrl_patterns, bmux_observe, ctrl_observe
+        bmux_patterns, ctrl_patterns, bmux_observe, ctrl_observe,
+        strict=True,
     ):
         word = ctrl_pat["instr"]
         patterns.append(

@@ -43,7 +43,7 @@ def test_self_test_on_gate_level_processor(benchmark):
      gate_words, beh_words) = run_once(benchmark, cosim_self_test)
 
     stats = gate_count(top)
-    mismatches = sum(1 for g, b in zip(gate_words, beh_words) if g != b)
+    mismatches = sum(1 for g, b in zip(gate_words, beh_words, strict=False) if g != b)
     lines = [
         f"composed processor : {stats.n_gates:,} gates, "
         f"{stats.n_dffs:,} DFFs, {stats.nand2:,} NAND2 eq",

@@ -95,7 +95,7 @@ def main() -> None:
     from repro.faultsim.simulator import LogicSimulator
 
     out = LogicSimulator(unit).run_combinational(patterns)
-    for pattern, count, par in zip(patterns, out["count"], out["parity"]):
+    for pattern, count, par in zip(patterns, out["count"], out["parity"], strict=True):
         assert count == popcount(pattern["value"])
         assert par == popcount(pattern["value"]) % 2
 

@@ -11,7 +11,8 @@ Rule namespaces:
 
 * ``PRxxx`` — program (assembly/CFG/dataflow) rules;
 * ``NL0xx`` — netlist structural lint rules;
-* ``NL1xx`` — netlist testability (SCOAP / structural screening) rules.
+* ``NL1xx`` — netlist testability (SCOAP / structural screening) rules;
+* ``FV2xx`` — formal verification (SAT-based CEC / redundancy) rules.
 
 Only ``ERROR``-severity diagnostics gate (non-zero ``repro analyze``
 exit, failing lint-gate tests); warnings are surfaced but never fail a
@@ -76,6 +77,16 @@ _RULE_TABLE: tuple[Rule, ...] = (
          "net has no structural path to any output port (unobservable)"),
     Rule("NL103", Severity.INFO,
          "summary: structurally untestable stuck-at fault classes"),
+    # --- formal verification rules ---------------------------------------
+    Rule("FV201", Severity.ERROR,
+         "netlist is not equivalent to its behavioral golden model "
+         "(SAT counterexample, replay-confirmed)"),
+    Rule("FV202", Severity.ERROR,
+         "soundness regression: structurally screened fault class has "
+         "no SAT redundancy certificate"),
+    Rule("FV203", Severity.INFO,
+         "summary: formal verification result (CEC verdict, redundancy "
+         "certificates, solver statistics)"),
 )
 
 #: Registry of every known rule, keyed by rule ID.
@@ -138,7 +149,9 @@ class Diagnostic:
         return data
 
 
-def make_diagnostic(rule_id: str, message: str, **location) -> Diagnostic:
+def make_diagnostic(
+    rule_id: str, message: str, **location: int | None
+) -> Diagnostic:
     """Build a diagnostic with the rule's registered severity.
 
     Args:
@@ -157,7 +170,7 @@ class Report:
 
     Attributes:
         target: what was analyzed (program name / file / netlist name).
-        kind: ``"program"`` or ``"netlist"``.
+        kind: ``"program"``, ``"netlist"`` or ``"formal"``.
         diagnostics: findings in discovery order.
     """
 
@@ -165,7 +178,9 @@ class Report:
     kind: str
     diagnostics: list[Diagnostic] = field(default_factory=list)
 
-    def add(self, rule_id: str, message: str, **location) -> Diagnostic:
+    def add(
+        self, rule_id: str, message: str, **location: int | None
+    ) -> Diagnostic:
         diag = make_diagnostic(rule_id, message, **location)
         self.diagnostics.append(diag)
         return diag

@@ -1,0 +1,117 @@
+"""Formal verification analyzer: CEC verdicts + redundancy soundness.
+
+:func:`analyze_formal` folds the SAT-based formal results for one
+component into a diagnostic :class:`~repro.analysis.diagnostics.Report`
+(kind ``"formal"``, rules ``FV201``–``FV203``):
+
+* **FV201** (error) — the structural netlist is *not* equivalent to its
+  behavioral golden model (:mod:`repro.formal.golden`); the diagnostic
+  carries the replay-confirmed counterexample.
+* **FV202** (error) — soundness regression: a fault class the SCOAP
+  structural screen calls untestable has no SAT redundancy certificate.
+  The structural screen is meant to be a sound under-approximation of
+  the complete SAT criterion, so each unconfirmed class is a bug in the
+  screen (or, worse, a witnessed one is a wrongly-pruned testable
+  fault).
+* **FV203** (info) — summary: CEC verdict with solver statistics, plus
+  the structural-vs-proven provenance counts of the redundancy screen.
+
+Kept out of ``repro.analysis.__init__`` for the same reason as
+:mod:`repro.analysis.netlist`: this module imports :mod:`repro.formal`,
+which reaches back into the fault model, and the import chain must not
+close into a cycle through the package init.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Report
+from repro.netlist.netlist import Netlist
+
+if TYPE_CHECKING:  # runtime import stays local to keep repro.formal lazy
+    from repro.formal.redundancy import UntestabilityScreen
+
+
+def analyze_formal(
+    netlist: Netlist | None = None,
+    *,
+    component: str | None = None,
+    screen: UntestabilityScreen | None = None,
+) -> Report:
+    """Formally analyze one component: CEC, then the redundancy screen.
+
+    Args:
+        netlist: the structural netlist to verify.  Omitted, it is built
+            from the ``component`` name's registered builder.
+        component: component short name (e.g. ``"ALU"``); required when
+            ``netlist`` is omitted and used to look up the golden model.
+        screen: reuse a precomputed
+            :class:`~repro.formal.redundancy.UntestabilityScreen` (the
+            CLI computes it once and also renders the provenance table
+            from it); ``None`` runs the prover here.
+
+    Returns:
+        A report whose ``ok`` is False exactly when the component fails
+        equivalence (FV201) or the structural screen lost soundness
+        (FV202).
+    """
+    from repro.formal.cec import check_equivalence
+    from repro.formal.golden import golden_model
+    from repro.formal.redundancy import prove_untestable
+
+    if netlist is None:
+        if component is None:
+            raise ValueError("analyze_formal needs a netlist or a component")
+        from repro.plasma.components import build_component
+
+        netlist = build_component(component)
+    name = component or netlist.name
+    report = Report(name, "formal")
+
+    spec = golden_model(name)
+    cec = check_equivalence(netlist, spec, component=name)
+    if not cec.equivalent:
+        cex = cec.counterexample
+        assert cex is not None
+        inputs = ", ".join(
+            f"{port}={value:#x}" for port, value in sorted(cex.inputs.items())
+        )
+        state = "".join(str(b) for b in cex.state) or "-"
+        report.add(
+            "FV201",
+            f"netlist diverges from golden model on "
+            f"{', '.join(cex.mismatched)} (inputs: {inputs}; state: "
+            f"{state}; impl {cex.impl_outputs} vs spec {cex.spec_outputs})",
+        )
+
+    if screen is None:
+        screen = prove_untestable(netlist, component=name)
+    fault_list = None
+    for rep in sorted(screen.unconfirmed):
+        if fault_list is None:
+            from repro.faultsim.faults import build_fault_list
+
+            fault_list = build_fault_list(netlist)
+        fault = fault_list.fault(rep)
+        tier = "witnessed testable" if rep in screen.witnessed \
+            else "undecided"
+        report.add(
+            "FV202",
+            f"structurally screened class {rep} "
+            f"({fault.describe(netlist)}) is not SAT-certified redundant "
+            f"({tier})",
+            net=fault.net,
+        )
+
+    verdict = "equivalent" if cec.equivalent else "NOT equivalent"
+    report.add(
+        "FV203",
+        f"CEC: {verdict} ({cec.n_vars} vars, {cec.n_clauses} clauses, "
+        f"{cec.stats['conflicts']} conflicts, {cec.solve_seconds:.2f}s); "
+        f"redundancy screen: {len(screen.structural)} structural "
+        f"candidates, {len(screen.proven)} SAT-proven, "
+        f"{len(screen.witnessed)} witnessed testable "
+        f"({screen.conflicts} conflicts)",
+    )
+    return report

@@ -26,10 +26,50 @@ from repro.netlist.netlist import Netlist
 from repro.netlist.verify import lint
 
 
+def untestable_provenance(
+    netlist: Netlist,
+    fault_list: FaultList | None = None,
+    analysis: ScoapAnalysis | None = None,
+    *,
+    prove: bool = False,
+) -> dict[int, str]:
+    """Evidence tier per screened untestable fault class representative.
+
+    Returns a mapping from class representative to its provenance tag:
+
+    * ``"structural"`` — flagged by the SCOAP screen only; sound by
+      construction but carrying no machine-checked certificate.
+    * ``"proven"`` — additionally certified redundant by an UNSAT
+      good/faulty miter (:mod:`repro.formal.redundancy`).  Only this
+      tier may be excluded from coverage denominators.
+
+    With ``prove=False`` every entry is ``"structural"``; with
+    ``prove=True`` the SAT prover runs over the screened candidates and
+    upgrades the certified ones.
+    """
+    if fault_list is None:
+        fault_list = build_fault_list(netlist)
+    if analysis is None:
+        analysis = compute_scoap(netlist)
+    screened = untestable_fault_classes(fault_list, analysis)
+    provenance = {rep: "structural" for rep in sorted(screened)}
+    if prove and screened:
+        from repro.formal.redundancy import prove_untestable
+
+        screen = prove_untestable(
+            netlist, fault_list, candidates=screened, analysis=analysis
+        )
+        for rep in screen.proven:
+            provenance[rep] = "proven"
+    return provenance
+
+
 def analyze_netlist(
     netlist: Netlist,
     fault_list: FaultList | None = None,
     analysis: ScoapAnalysis | None = None,
+    *,
+    prove: bool = False,
 ) -> Report:
     """Analyze one netlist: structural lint, then testability screening.
 
@@ -37,6 +77,9 @@ def analyze_netlist(
         netlist: circuit to analyze.
         fault_list: reuse an existing fault universe (built when omitted).
         analysis: reuse precomputed SCOAP metrics (computed when omitted).
+        prove: also run the SAT redundancy prover over the structurally
+            screened classes so the ``NL103`` summary reports provenance
+            (how many of the screened classes carry certificates).
 
     Returns:
         A report whose ``ok`` reflects structural soundness; testability
@@ -83,10 +126,19 @@ def analyze_netlist(
 
     if fault_list is None:
         fault_list = build_fault_list(netlist)
-    untestable = untestable_fault_classes(fault_list, analysis)
-    report.add(
-        "NL103",
-        f"{len(untestable)} of {fault_list.n_collapsed} collapsed "
-        "stuck-at fault classes are structurally untestable",
+    provenance = untestable_provenance(
+        netlist, fault_list, analysis, prove=prove
     )
+    summary = (
+        f"{len(provenance)} of {fault_list.n_collapsed} collapsed "
+        "stuck-at fault classes are structurally untestable"
+    )
+    if prove:
+        n_proven = sum(1 for tag in provenance.values() if tag == "proven")
+        summary += (
+            f"; {n_proven} carry SAT redundancy certificates "
+            f"(provenance: {len(provenance) - n_proven} structural-only, "
+            f"{n_proven} proven)"
+        )
+    report.add("NL103", summary)
     return report

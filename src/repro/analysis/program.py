@@ -28,6 +28,7 @@ CFG (:mod:`repro.analysis.cfg`) and returns a structured
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.analysis.cfg import (
@@ -40,6 +41,7 @@ from repro.analysis.cfg import (
     instruction_effects,
 )
 from repro.analysis.diagnostics import Report
+from repro.isa.encoding import Decoded
 from repro.isa.instruction import Kind
 from repro.isa.program import Program
 from repro.isa.registers import register_name, register_number
@@ -98,7 +100,7 @@ class AnalysisOptions:
     memory_map: MemoryMap = field(default_factory=MemoryMap)
 
     @staticmethod
-    def _numbers(regs) -> frozenset[int]:
+    def _numbers(regs: Iterable[int | str]) -> frozenset[int]:
         numbers = set()
         for reg in regs:
             numbers.add(register_number(reg) if isinstance(reg, str)
@@ -412,7 +414,7 @@ def _check_memory_accesses(cfg: ControlFlowGraph, memory_map: MemoryMap,
             _fold_constant(d, known)
 
 
-def _fold_constant(d, known: dict[int, int]) -> None:
+def _fold_constant(d: Decoded, known: dict[int, int]) -> None:
     """Track register constants through the ``li``/``la`` building blocks."""
     value: int | None = None
     if d.mnemonic == "lui":

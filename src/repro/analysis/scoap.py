@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.netlist.gates import GateType
-from repro.netlist.netlist import CONST0, CONST1, Netlist
+from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.faultsim.faults import FaultList
@@ -114,7 +114,7 @@ def _gate_cc(gtype: GateType, in0: list[float], in1: list[float]
         return min(in1) + 1, sum(in0) + 1
     if gtype in (GateType.XOR, GateType.XNOR):
         c0, c1 = in0[0], in1[0]
-        for a0, a1 in zip(in0[1:], in1[1:]):
+        for a0, a1 in zip(in0[1:], in1[1:], strict=True):
             c0, c1 = _cc_xor_pair(c0, c1, a0, a1, invert=False)
         if gtype is GateType.XNOR:
             c0, c1 = c1, c0
@@ -172,7 +172,7 @@ def compute_scoap(netlist: Netlist) -> ScoapAnalysis:
     return ScoapAnalysis(netlist, cc0, cc1, co, observable)
 
 
-def _co_through_gate(gate, pin: int, co_out: float,
+def _co_through_gate(gate: Gate, pin: int, co_out: float,
                      cc0: list[float], cc1: list[float]) -> float:
     """CO of ``gate.inputs[pin]`` through this gate."""
     gtype = gate.gtype

@@ -9,8 +9,9 @@ Commands:
 * ``campaign``       — run the fault-grading campaign and print the tables.
 * ``inventory``      — print the component classification and gate counts
   (Tables 2 and 3).
-* ``analyze``        — static analysis: program CFG/dataflow checks and
-  netlist testability (SCOAP) screening.
+* ``analyze``        — static analysis: program CFG/dataflow checks,
+  netlist testability (SCOAP) screening and the SAT-based formal layer
+  (``analyze formal``: golden-model equivalence + redundancy proofs).
 """
 
 from __future__ import annotations
@@ -41,6 +42,7 @@ EXIT_WATCHDOG = 4    # CPU watchdog tripped (runaway program)
 EXIT_ANALYZE_PROGRAM = 5   # program analyzer found errors
 EXIT_ANALYZE_NETLIST = 6   # netlist analyzer found errors
 EXIT_ANALYZE_BOTH = 7      # both analyzers found errors
+EXIT_ANALYZE_FORMAL = 8    # formal layer found errors (CEC / soundness)
 
 
 def _cmd_asm(args: argparse.Namespace) -> int:
@@ -149,8 +151,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"== campaign: phases {phases} ==")
         outcomes[phases] = run_campaign(
             phases, components=components, verbose=True, runtime=runtime,
-            prune_untestable=args.prune_untestable, engine=args.engine,
-            jobs=args.jobs,
+            prune_untestable="proven" if args.prune_untestable else False,
+            engine=args.engine, jobs=args.jobs,
         )
         if runtime is not None and runtime.checkpoint_dir is not None:
             # Later phases (and the journal entries the first phase just
@@ -231,24 +233,57 @@ def _analyze_netlists(names: list[str]) -> list:
     return [analyze_netlist(info.builder()) for info in infos]
 
 
+def _analyze_formal(names: list[str]) -> tuple[list, list]:
+    """Formal reports + redundancy screens for the named components.
+
+    Default: all ten.  The screen is computed once per component and
+    shared between the FV report and the provenance table.
+    """
+    from repro.analysis.formal import analyze_formal
+    from repro.formal.redundancy import prove_untestable
+    from repro.plasma.components import COMPONENTS, component
+
+    infos = [component(n) for n in names] if names else list(COMPONENTS)
+    reports, screens = [], []
+    for info in infos:
+        netlist = info.builder()
+        screen = prove_untestable(netlist, component=info.name)
+        reports.append(
+            analyze_formal(netlist, component=info.name, screen=screen)
+        )
+        screens.append(screen)
+    return reports, screens
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import reports_to_json
-    from repro.reporting.analysis import render_analysis_reports
+    from repro.reporting.analysis import (
+        render_analysis_reports,
+        render_formal_table,
+    )
 
     do_programs = args.all or args.what == "program"
     do_netlists = args.all or args.what == "netlist"
-    if not (do_programs or do_netlists):
-        print("error: analyze needs 'program', 'netlist' or --all",
+    do_formal = args.what == "formal"
+    if not (do_programs or do_netlists or do_formal):
+        print("error: analyze needs 'program', 'netlist', 'formal' or --all",
               file=sys.stderr)
         return EXIT_ERROR
     if args.all and args.targets:
         print("error: --all analyzes everything; drop the extra targets",
               file=sys.stderr)
         return EXIT_ERROR
+    targets = list(args.targets)
+    if args.component:
+        targets += args.component
 
-    program_reports = _analyze_programs(args.targets) if do_programs else []
-    netlist_reports = _analyze_netlists(args.targets) if do_netlists else []
-    reports = program_reports + netlist_reports
+    program_reports = _analyze_programs(targets) if do_programs else []
+    netlist_reports = _analyze_netlists(targets) if do_netlists else []
+    formal_reports: list = []
+    formal_screens: list = []
+    if do_formal:
+        formal_reports, formal_screens = _analyze_formal(targets)
+    reports = program_reports + netlist_reports + formal_reports
 
     if args.json:
         print(reports_to_json(reports))
@@ -256,9 +291,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(render_analysis_reports(
             reports, max_diagnostics=args.max_diagnostics
         ))
+        if formal_screens:
+            print()
+            print(render_formal_table(formal_screens))
 
     program_failed = any(not r.ok for r in program_reports)
     netlist_failed = any(not r.ok for r in netlist_reports)
+    formal_failed = any(not r.ok for r in formal_reports)
+    if formal_failed:
+        return EXIT_ANALYZE_FORMAL
     if program_failed and netlist_failed:
         return EXIT_ANALYZE_BOTH
     if program_failed:
@@ -337,8 +378,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run grading jobs in-process (no timeouts)")
     p_c.add_argument("--prune-untestable", action="store_true",
                      help="skip simulating structurally untestable fault "
-                          "classes (SCOAP screening); reported coverage "
-                          "is unchanged, simulation time drops")
+                          "classes (SCOAP screening) and SAT-certify them "
+                          "(repro.formal); proven-redundant classes are "
+                          "excluded from the FC denominator, so coverage "
+                          "can only stay equal or improve")
     p_c.add_argument("--engine", choices=engine_choices, default="auto",
                      help="fault-sim engine (default: auto — compiled for "
                           "deep combinational components, differential "
@@ -360,21 +403,30 @@ def build_parser() -> argparse.ArgumentParser:
             "Run the static analyzers.  'program' checks assembled "
             "programs (delay slots, def-use, signature clobbers, memory "
             "map); 'netlist' checks component circuits (structural lint "
-            "+ SCOAP testability).  With no targets, every shipped "
-            "routine/netlist is analyzed.  Exit codes: "
+            "+ SCOAP testability); 'formal' runs the SAT layer (netlist "
+            "vs golden-model equivalence + redundancy-proof soundness "
+            "gate).  With no targets, every shipped routine/netlist is "
+            "analyzed.  Exit codes: "
             f"{EXIT_ANALYZE_PROGRAM} = program errors, "
             f"{EXIT_ANALYZE_NETLIST} = netlist errors, "
-            f"{EXIT_ANALYZE_BOTH} = both."
+            f"{EXIT_ANALYZE_BOTH} = both, "
+            f"{EXIT_ANALYZE_FORMAL} = formal errors."
         ),
     )
-    p_an.add_argument("what", nargs="?", choices=("program", "netlist"),
+    p_an.add_argument("what", nargs="?",
+                      choices=("program", "netlist", "formal"),
                       help="which analyzer to run (or use --all)")
     p_an.add_argument("targets", nargs="*",
                       help="assembly files (program) or component names "
-                           "(netlist); default: all shipped artifacts")
+                           "(netlist/formal); default: all shipped "
+                           "artifacts")
+    p_an.add_argument("--component", action="append", metavar="NAME",
+                      help="component short name to analyze (repeatable; "
+                           "same as a positional target)")
     p_an.add_argument("--all", action="store_true",
-                      help="run both analyzers over every shipped "
-                           "routine, self-test program and netlist")
+                      help="run the program and netlist analyzers over "
+                           "every shipped routine, self-test program and "
+                           "netlist")
     p_an.add_argument("--json", action="store_true",
                       help="emit a JSON document instead of text")
     p_an.add_argument("--max-diagnostics", type=int, default=20,

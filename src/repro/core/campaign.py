@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from repro.errors import CheckpointCorrupt, ReproRuntimeError
 from repro.core.methodology import SelfTestMethodology, SelfTestProgram
 from repro.faultsim.coverage import CoverageSummary
-from repro.faultsim.engine import grade
+from repro.faultsim.engine import grade, resolve_prune_mode
 from repro.faultsim.faults import build_fault_list
 from repro.faultsim.harness import CampaignResult
 from repro.netlist.netlist import Netlist
@@ -86,6 +86,7 @@ class CampaignOutcome:
                     "fc": cov.fault_coverage,
                     "mofc": self.summary.mofc(cov.name),
                     "degraded": cov.degraded,
+                    "proven": cov.n_proven,
                 }
             )
         rows.append(
@@ -96,6 +97,7 @@ class CampaignOutcome:
                 "fc": self.summary.overall_coverage,
                 "mofc": 100.0 - self.summary.overall_coverage,
                 "degraded": self.summary.degraded,
+                "proven": sum(c.n_proven for c in self.summary.components),
             }
         )
         return rows
@@ -107,7 +109,7 @@ def grade_component(
     observe: list,
     netlist_transform=None,
     netlist: Netlist | None = None,
-    prune_untestable: bool = False,
+    prune_untestable: bool | str = False,
     engine: str = "auto",
 ) -> CampaignResult:
     """Fault-grade one component against its traced stimulus.
@@ -117,9 +119,12 @@ def grade_component(
             before grading (e.g. a technology remap for experiment C3).
         netlist: pre-built (and pre-transformed) netlist to grade; when
             given, ``netlist_transform`` is not applied again.
-        prune_untestable: skip (don't simulate) the structurally
-            untestable fault classes found by the SCOAP screener; they
-            stay in the denominator, so coverage is unchanged.
+        prune_untestable: pruning mode as accepted by
+            :func:`repro.faultsim.grade` — ``True``/``"structural"``
+            skips (doesn't simulate) the SCOAP-screened classes with
+            coverage unchanged; ``"proven"`` additionally SAT-certifies
+            them and excludes the proven-redundant subset from the FC
+            denominator.
         engine: fault-sim engine name or ``"auto"`` (see
             :func:`repro.faultsim.engine.engine_names`).
     """
@@ -165,7 +170,7 @@ def _grading_job(
     stimulus: list,
     observe: list,
     netlist_transform=None,
-    prune_untestable: bool = False,
+    prune_untestable: bool | str = False,
     engine: str = "auto",
 ) -> tuple[CampaignResult, int]:
     """Build one component once, measure its area, fault-grade it."""
@@ -185,7 +190,7 @@ def _job_fingerprint(
     self_test: SelfTestProgram,
     info: ComponentInfo,
     netlist_transform=None,
-    prune_untestable: bool = False,
+    prune_untestable: bool | str = False,
 ) -> str:
     """Configuration hash guarding checkpoint reuse.
 
@@ -202,7 +207,12 @@ def _job_fingerprint(
         else getattr(netlist_transform, "__qualname__", repr(netlist_transform))
     )
     digest.update(transform_id.encode())
-    digest.update(b"prune" if prune_untestable else b"")
+    # "structural" keeps the historical b"prune" tag so pre-existing
+    # journals stay reusable; "proven" changes the denominator and must
+    # invalidate them.
+    mode = resolve_prune_mode(prune_untestable)
+    digest.update(b"prune-proven" if mode == "proven"
+                  else b"prune" if mode else b"")
     return digest.hexdigest()[:16]
 
 
@@ -219,6 +229,7 @@ def _result_to_record(
         "nand2": nand2,
         "elapsed": elapsed,
         "pruned": sorted(result.pruned),
+        "proven": sorted(result.proven),
     }
 
 
@@ -248,6 +259,7 @@ def _record_to_result(
         detected=set(record["detected"]),
         n_patterns=record["n_patterns"],
         pruned=set(record.get("pruned", ())),
+        proven=set(record.get("proven", ())),
     )
     return result, record["nand2"]
 
@@ -279,7 +291,7 @@ def grade_traced(
     verbose: bool = False,
     netlist_transform=None,
     runtime: RuntimeConfig | None = None,
-    prune_untestable: bool = False,
+    prune_untestable: bool | str = False,
     engine: str = "auto",
     jobs: int | None = None,
 ) -> CampaignOutcome:
@@ -400,7 +412,7 @@ def _grade_traced_parallel(
     verbose: bool,
     netlist_transform,
     runtime: RuntimeConfig | None,
-    prune_untestable: bool,
+    prune_untestable: bool | str,
     engine: str,
     jobs: int,
 ) -> None:
@@ -538,7 +550,7 @@ def grade_program(
     verbose: bool = False,
     netlist_transform=None,
     runtime: RuntimeConfig | None = None,
-    prune_untestable: bool = False,
+    prune_untestable: bool | str = False,
     engine: str = "auto",
     jobs: int | None = None,
 ) -> CampaignOutcome:
@@ -586,7 +598,7 @@ def run_campaign(
     verbose: bool = False,
     netlist_transform=None,
     runtime: RuntimeConfig | None = None,
-    prune_untestable: bool = False,
+    prune_untestable: bool | str = False,
     engine: str = "auto",
     jobs: int | None = None,
 ) -> CampaignOutcome:

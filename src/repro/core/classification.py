@@ -17,7 +17,7 @@ separately from the three classes).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.plasma.components import COMPONENTS, ComponentClass, ComponentInfo
 

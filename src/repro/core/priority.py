@@ -17,7 +17,7 @@ follows from those scores.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.netlist.stats import gate_count
 from repro.plasma.components import COMPONENTS, ComponentClass, ComponentInfo

@@ -27,11 +27,16 @@ the three pieces the split needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from repro.errors import CheckpointCorrupt
 from repro.faultsim.differential import Detection
-from repro.faultsim.engine import default_engine_name, get_engine
+from repro.faultsim.engine import (
+    default_engine_name,
+    get_engine,
+    prune_sets,
+    resolve_prune_mode,
+)
 from repro.faultsim.faults import FaultList, build_fault_list
 from repro.faultsim.harness import CampaignResult
 from repro.faultsim.observe import ObservePlan
@@ -46,14 +51,18 @@ class ShardContext:
         stimulus: per component name, the traced input patterns/cycles.
         observe: per component name, the taint-derived observability spec.
         netlist_transform: optional netlist rewrite (e.g. tech remap).
-        prune_untestable: skip structurally untestable classes (SCOAP).
+        prune_untestable: pruning mode, as accepted by
+            :func:`repro.faultsim.engine.grade` — ``False``, ``True`` /
+            ``"structural"`` (SCOAP skip, coverage-neutral) or
+            ``"proven"`` (additionally SAT-certify and exclude the
+            proven-redundant classes from the FC denominator).
         engine: engine name or ``"auto"`` (resolved per netlist).
     """
 
     stimulus: Mapping[str, Sequence]
     observe: Mapping[str, Sequence]
     netlist_transform: Callable | None = None
-    prune_untestable: bool = False
+    prune_untestable: bool | str = False
     engine: str = "auto"
 
 
@@ -73,6 +82,7 @@ class ShardVerdict:
     n_patterns: int
     detected: tuple[int, ...]
     pruned: tuple[int, ...]
+    proven: tuple[int, ...] = ()
     detections: dict[int, Detection] = field(default_factory=dict)
 
 
@@ -82,7 +92,7 @@ class ShardVerdict:
 _CONTEXT: ShardContext | None = None
 
 #: Per-process component cache:
-#: name -> (netlist, fault_list, reps, plan, engine, skip).
+#: name -> (netlist, fault_list, reps, plan, engine, skip, proven, stimulus).
 _STATE: dict[str, tuple] = {}
 
 
@@ -118,19 +128,16 @@ def _component_state(name: str):
     if engine_name == "auto":
         engine_name = default_engine_name(netlist)
     engine = get_engine(engine_name)
-    skip: frozenset[int] = frozenset()
-    if context.prune_untestable:
-        from repro.analysis.scoap import untestable_fault_classes
-
-        skip = frozenset(untestable_fault_classes(fault_list))
-    state = (netlist, fault_list, reps, plan, engine, skip, stimulus)
+    mode = resolve_prune_mode(context.prune_untestable)
+    skip, proven = prune_sets(netlist, fault_list, mode)
+    state = (netlist, fault_list, reps, plan, engine, skip, proven, stimulus)
     _STATE[name] = state
     return state
 
 
 def grade_shard(name: str, lo: int, hi: int) -> ShardVerdict:
     """Grade fault classes ``reps[lo:hi]`` of one component (worker-side)."""
-    netlist, fault_list, reps, plan, engine, skip, stimulus = (
+    netlist, fault_list, reps, plan, engine, skip, proven, stimulus = (
         _component_state(name)
     )
     shard_reps = reps[lo:hi]
@@ -146,6 +153,7 @@ def grade_shard(name: str, lo: int, hi: int) -> ShardVerdict:
         n_patterns=len(stimulus),
         detected=tuple(sorted(result.detected)),
         pruned=tuple(sorted(skip)),
+        proven=tuple(sorted(proven)),
         detections=dict(result.detections),
     )
 
@@ -163,6 +171,7 @@ def shard_record(verdict: ShardVerdict) -> dict:
         "n_patterns": verdict.n_patterns,
         "detected": list(verdict.detected),
         "pruned": list(verdict.pruned),
+        "proven": list(verdict.proven),
     }
 
 
@@ -181,6 +190,7 @@ def record_to_verdict(record: dict, journal_path=None) -> ShardVerdict:
             n_patterns=int(record["n_patterns"]),
             detected=tuple(int(r) for r in record["detected"]),
             pruned=tuple(int(r) for r in record.get("pruned", ())),
+            proven=tuple(int(r) for r in record.get("proven", ())),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointCorrupt(
@@ -216,5 +226,6 @@ def merge_shard_results(
             )
         result.detected.update(verdict.detected)
         result.pruned.update(verdict.pruned)
+        result.proven.update(verdict.proven)
         result.detections.update(verdict.detections)
     return result

@@ -18,6 +18,10 @@ class ComponentCoverage:
             its fault simulation permanently failed and every ungraded
             fault is counted as undetected, so ``fault_coverage`` is a
             *lower bound*, not a measurement.
+        n_proven: classes carrying a SAT redundancy certificate
+            (:mod:`repro.formal.redundancy`).  Only these are excluded
+            from the FC denominator — structurally *screened* faults
+            without a proof stay in it.
     """
 
     name: str
@@ -25,17 +29,23 @@ class ComponentCoverage:
     n_detected: int
     nand2: int = 0
     degraded: bool = False
+    n_proven: int = 0
+
+    @property
+    def effective_faults(self) -> int:
+        """The FC denominator: all classes minus the proven-redundant."""
+        return self.n_faults - self.n_proven
 
     @property
     def n_undetected(self) -> int:
-        return self.n_faults - self.n_detected
+        return self.effective_faults - self.n_detected
 
     @property
     def fault_coverage(self) -> float:
         """Component fault coverage in percent."""
-        if self.n_faults == 0:
+        if self.effective_faults == 0:
             return 100.0
-        return 100.0 * self.n_detected / self.n_faults
+        return 100.0 * self.n_detected / self.effective_faults
 
 
 @dataclass
@@ -57,13 +67,18 @@ class CoverageSummary:
         return sum(c.n_faults for c in self.components)
 
     @property
+    def total_effective_faults(self) -> int:
+        """Processor-wide FC denominator (proven-redundant excluded)."""
+        return sum(c.effective_faults for c in self.components)
+
+    @property
     def total_detected(self) -> int:
         return sum(c.n_detected for c in self.components)
 
     @property
     def overall_coverage(self) -> float:
         """Processor overall fault coverage in percent."""
-        total = self.total_faults
+        total = self.total_effective_faults
         if total == 0:
             return 100.0
         return 100.0 * self.total_detected / total
@@ -80,7 +95,7 @@ class CoverageSummary:
 
     def mofc(self, name: str) -> float:
         """Missed overall fault coverage contributed by one component (%)."""
-        total = self.total_faults
+        total = self.total_effective_faults
         if total == 0:
             return 0.0
         component = self.component(name)

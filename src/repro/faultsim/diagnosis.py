@@ -14,7 +14,7 @@ full-response dictionary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.errors import FaultSimError
 from repro.faultsim.differential import DifferentialFaultSimulator

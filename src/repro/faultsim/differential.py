@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.faultsim.faults import Fault, FaultKind
 from repro.faultsim.simulator import GoodTrace, LogicSimulator

@@ -31,7 +31,8 @@ set: engines that short-circuit or drop faults may report fewer lanes.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Mapping, Protocol, Sequence
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Protocol
 
 from repro.errors import FaultSimError
 from repro.faultsim.differential import Detection, DifferentialFaultSimulator
@@ -203,7 +204,8 @@ class BatchEngine:
             chunk = reps[start : start + self.batch_size]
             faults = [fault_list.fault(r) for r in chunk]
             for rep, detection in zip(
-                chunk, sim.run_batch(faults, stimulus, observe_lists)
+                chunk, sim.run_batch(faults, stimulus, observe_lists),
+                strict=True,
             ):
                 result.detections[rep] = detection
                 if detection.detected:
@@ -500,7 +502,7 @@ class CompiledEngine:
                 word = cycle.get(port_name, 0)
                 for j, net in enumerate(nets):
                     values[net] = mask if (word >> j) & 1 else 0
-            for dff, q_word in zip(dffs, state):
+            for dff, q_word in zip(dffs, state, strict=True):
                 values[dff.q] = q_word
 
             source_fix = net_fix.get(0)
@@ -590,6 +592,58 @@ def _repack_word(survivors: list[int]):
     return repack
 
 
+# ------------------------------------------------------------ prune modes
+
+
+def resolve_prune_mode(value: bool | str) -> str:
+    """Normalise a ``prune_untestable`` argument to a mode string.
+
+    Returns ``""`` (no pruning), ``"structural"`` (skip the SCOAP-
+    screened classes; they stay in the denominator) or ``"proven"``
+    (additionally SAT-certify the screened classes and exclude the
+    proven-redundant subset from the FC denominator).  ``True`` keeps
+    its historical meaning of ``"structural"``.
+    """
+    if value is False or value == "":
+        return ""
+    if value is True or value == "structural":
+        return "structural"
+    if value == "proven":
+        return "proven"
+    raise FaultSimError(
+        f"unknown prune_untestable mode {value!r} "
+        "(use False, True, 'structural' or 'proven')"
+    )
+
+
+def prune_sets(
+    netlist: Netlist, fault_list: FaultList, mode: str
+) -> tuple[frozenset[int], frozenset[int]]:
+    """The ``(skip, proven)`` sets for a normalised prune mode.
+
+    ``skip`` is what the engines do not simulate (the SCOAP structural
+    screen); ``proven`` is the SAT-certified-redundant subset excluded
+    from coverage denominators (empty unless ``mode == "proven"``).
+    """
+    if not mode:
+        return frozenset(), frozenset()
+    # Local imports: repro.analysis.scoap imports this package's fault
+    # model and repro.formal sits above both, so the dependencies must
+    # stay one-way at load time.
+    from repro.analysis.scoap import compute_scoap, untestable_fault_classes
+
+    analysis = compute_scoap(netlist)
+    skip = frozenset(untestable_fault_classes(fault_list, analysis))
+    if mode != "proven":
+        return skip, frozenset()
+    from repro.formal.redundancy import prove_untestable
+
+    screen = prove_untestable(
+        netlist, fault_list, candidates=skip, analysis=analysis
+    )
+    return skip, screen.proven
+
+
 # ----------------------------------------------------------------- registry
 
 _REGISTRY: dict[str, type] = {}
@@ -643,7 +697,7 @@ def grade(
     observe=None,
     runtime=None,
     name: str = "",
-    prune_untestable: bool = False,
+    prune_untestable: bool | str = False,
     subset: Sequence[int] | None = None,
 ) -> CampaignResult:
     """Grade a fault universe against a stimulus — the one entry point.
@@ -661,8 +715,14 @@ def grade(
         runtime: optional :class:`~repro.runtime.RuntimeConfig`; its
             ``engine`` field is honoured when ``engine`` is ``"auto"``.
         name: campaign label (default: the netlist name).
-        prune_untestable: skip simulating structurally untestable classes
-            (SCOAP screen); they stay in the denominator as undetected.
+        prune_untestable: ``False`` simulates everything.  ``True`` (or
+            ``"structural"``) skips simulating the SCOAP-screened
+            structurally untestable classes; they stay in the FC
+            denominator as undetected, so reported coverage is
+            unchanged.  ``"proven"`` additionally runs the SAT
+            redundancy prover (:mod:`repro.formal.redundancy`) over the
+            screened classes and records the certified subset in
+            ``result.proven``, excluding them from the denominator.
         subset: restrict grading to these class representatives (one
             *shard* of the universe, see
             :func:`repro.runtime.sharding.plan_shards`).  The result
@@ -687,14 +747,11 @@ def grade(
     if spec == "auto":
         spec = default_engine_name(netlist)
     selected = get_engine(spec)
-    skip: frozenset[int] = frozenset()
-    if prune_untestable:
-        # Local import: repro.analysis.scoap imports this package's
-        # fault model, so the dependency must stay one-way at load time.
-        from repro.analysis.scoap import untestable_fault_classes
-
-        skip = frozenset(untestable_fault_classes(fault_list))
-    return selected.grade(
+    mode = resolve_prune_mode(prune_untestable)
+    skip, proven = prune_sets(netlist, fault_list, mode)
+    result = selected.grade(
         netlist, stimulus, fault_list, plan,
         name=name or netlist.name, skip=skip, only=subset,
     )
+    result.proven = set(proven)
+    return result

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.errors import FaultSimError
 from repro.faultsim.coverage import ComponentCoverage
@@ -35,6 +35,11 @@ class CampaignResult:
         pruned: representatives skipped as structurally untestable (they
             still count in the FC denominator, as undetected — pruning
             saves simulation time without touching reported coverage).
+        proven: representatives holding a SAT redundancy certificate
+            (UNSAT good/faulty miter, :mod:`repro.formal.redundancy`).
+            These — and only these — are excluded from the FC
+            denominator.  Always a subset of ``pruned``; empty unless
+            grading ran with ``prune_untestable="proven"``.
     """
 
     name: str
@@ -43,10 +48,16 @@ class CampaignResult:
     detections: dict[int, Detection] = field(default_factory=dict)
     n_patterns: int = 0
     pruned: set[int] = field(default_factory=set)
+    proven: set[int] = field(default_factory=set)
 
     @property
     def n_faults(self) -> int:
         return self.fault_list.n_collapsed
+
+    @property
+    def n_effective_faults(self) -> int:
+        """FC denominator: collapsed classes minus proven-redundant."""
+        return self.n_faults - len(self.proven)
 
     @property
     def n_detected(self) -> int:
@@ -54,9 +65,9 @@ class CampaignResult:
 
     @property
     def fault_coverage(self) -> float:
-        if self.n_faults == 0:
+        if self.n_effective_faults == 0:
             return 100.0
-        return 100.0 * self.n_detected / self.n_faults
+        return 100.0 * self.n_detected / self.n_effective_faults
 
     def undetected_faults(self) -> list[Fault]:
         """Representative faults that survived the test (for diagnosis)."""
@@ -87,6 +98,11 @@ class CampaignResult:
         return len(self.pruned)
 
     @property
+    def n_proven(self) -> int:
+        """Classes excluded from the denominator with a SAT certificate."""
+        return len(self.proven)
+
+    @property
     def n_excited_unobserved(self) -> int:
         """Undetected faults that were excited but never observed."""
         return (
@@ -98,11 +114,16 @@ class CampaignResult:
     def excitation_report(self) -> str:
         """One-line FC breakdown used by verbose campaigns and analyses."""
         pruned = f", {self.n_pruned} pruned-untestable" if self.pruned else ""
+        proven = (
+            f" ({self.n_proven} proven-redundant, excluded)"
+            if self.proven else ""
+        )
         return (
             f"{self.name}: FC {self.fault_coverage:.2f}% "
-            f"({self.n_detected}/{self.n_faults}); undetected: "
+            f"({self.n_detected}/{self.n_effective_faults}); undetected: "
             f"{self.n_never_excited} never excited, "
-            f"{self.n_excited_unobserved} excited-but-unobserved{pruned}"
+            f"{self.n_excited_unobserved} excited-but-unobserved"
+            f"{pruned}{proven}"
         )
 
     def to_component_coverage(
@@ -114,6 +135,7 @@ class CampaignResult:
             n_detected=self.n_detected,
             nand2=nand2,
             degraded=degraded,
+            n_proven=self.n_proven,
         )
 
 

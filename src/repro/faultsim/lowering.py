@@ -41,7 +41,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.errors import FaultSimError
 from repro.netlist.gates import GateType

@@ -22,7 +22,7 @@ Accepted per-entry forms (one entry per pattern / cycle):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.errors import FaultSimError
 from repro.netlist.netlist import Netlist, PortDirection

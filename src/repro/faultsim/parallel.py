@@ -19,7 +19,7 @@ the batch engine wins on dense long traces).
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.errors import FaultSimError
 from repro.faultsim.faults import Fault, FaultKind, FaultList, build_fault_list
@@ -121,7 +121,7 @@ class ParallelFaultSimulator:
                 for j, net in enumerate(nets):
                     bit = (value >> j) & 1
                     values[net] = mask if bit else 0
-            for dff, q_word in zip(dffs, state):
+            for dff, q_word in zip(dffs, state, strict=True):
                 values[dff.q] = q_word
 
             # Inject stem faults on source nets (inputs / DFF outputs).
@@ -226,7 +226,8 @@ class ParallelFaultSimulator:
             chunk = reps[start : start + self.batch_size]
             faults = [fault_list.fault(r) for r in chunk]
             for rep, detection in zip(
-                chunk, self.run_batch(faults, cycle_inputs, observe)
+                chunk, self.run_batch(faults, cycle_inputs, observe),
+                strict=True,
             ):
                 result.detections[rep] = detection
                 if detection.detected:

@@ -15,7 +15,7 @@ single lane for traced sequential test application).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.errors import SimulationError
 from repro.netlist.gates import GateType
@@ -130,10 +130,10 @@ class LogicSimulator:
                     f"port {name!r} expects {len(nets)} bit words, "
                     f"got {len(words)}"
                 )
-            for net, word in zip(nets, words):
+            for net, word in zip(nets, words, strict=True):
                 values[net] = word & lanes.mask
 
-        for dff, q_word in zip(self.netlist.dffs, state.q):
+        for dff, q_word in zip(self.netlist.dffs, state.q, strict=True):
             values[dff.q] = q_word & lanes.mask
 
         mask = lanes.mask

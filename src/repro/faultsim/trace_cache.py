@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from repro.faultsim.simulator import GoodTrace, LogicSimulator
 from repro.netlist.hashing import stimulus_hash, structural_hash

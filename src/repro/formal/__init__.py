@@ -1,0 +1,85 @@
+"""SAT-based formal layer: CEC, redundancy proofs, witness ATPG.
+
+Built on a dependency-free CDCL solver (:mod:`repro.formal.sat`) and a
+structurally-hashed Tseitin encoder (:mod:`repro.formal.encode`), this
+package provides three services over the gate netlists:
+
+* :func:`check_equivalence` / :func:`check_component` — prove a
+  component netlist equivalent to its behavioral golden model
+  (:mod:`repro.formal.golden`), or return a replay-confirmed
+  counterexample.
+* :func:`prove_untestable` / :func:`proven_untestable_classes` — UNSAT
+  certificates that a stuck-at fault is redundant; the only evidence
+  the grading layer accepts for excluding faults from coverage
+  denominators.
+* :func:`generate_vectors` — deterministic test vectors extracted from
+  SAT witnesses for the hardest-to-detect fault classes.
+
+DESIGN.md §12 documents the encoding, the miter constructions and the
+soundness arguments.
+"""
+
+from repro.formal.atpg import (
+    AtpgResult,
+    AtpgVector,
+    fault_detection_cost,
+    generate_vectors,
+    hard_fault_targets,
+)
+from repro.formal.bitvec import BV, STATE_IN, STATE_OUT, SpecBuilder
+from repro.formal.cec import (
+    CecResult,
+    Counterexample,
+    FormalInternalError,
+    check_component,
+    check_equivalence,
+)
+from repro.formal.cnf import CNF, ClauseSink
+from repro.formal.encode import LogicEncoder, encode_circuit, miter_lit
+from repro.formal.evaluate import eval_cut, state_from_init
+from repro.formal.golden import GOLDEN_SPECS, golden_model
+from repro.formal.redundancy import (
+    FaultMiterSession,
+    FaultVerdict,
+    UntestabilityScreen,
+    Witness,
+    prove_untestable,
+    proven_untestable_classes,
+)
+from repro.formal.sat import SatSolver, SolverStats, luby, solve_cnf
+
+__all__ = [
+    "CNF",
+    "AtpgResult",
+    "AtpgVector",
+    "BV",
+    "STATE_IN",
+    "STATE_OUT",
+    "CecResult",
+    "ClauseSink",
+    "Counterexample",
+    "FaultMiterSession",
+    "FaultVerdict",
+    "FormalInternalError",
+    "GOLDEN_SPECS",
+    "LogicEncoder",
+    "SatSolver",
+    "SolverStats",
+    "SpecBuilder",
+    "UntestabilityScreen",
+    "Witness",
+    "check_component",
+    "check_equivalence",
+    "encode_circuit",
+    "eval_cut",
+    "fault_detection_cost",
+    "generate_vectors",
+    "golden_model",
+    "hard_fault_targets",
+    "luby",
+    "miter_lit",
+    "prove_untestable",
+    "proven_untestable_classes",
+    "solve_cnf",
+    "state_from_init",
+]

@@ -1,0 +1,159 @@
+"""Witness-driven ATPG: SAT models become deterministic test vectors.
+
+The SBST methodology develops tests from component regularity, which
+leaves a tail of *hard-to-detect* faults — deep in the logic, high
+SCOAP controllability/observability cost, missed by the regular
+pattern sets.  This module closes that tail deterministically: the
+hardest fault classes (ranked by SCOAP detection cost) are fed through
+the incremental good/faulty miter of
+:class:`repro.formal.redundancy.FaultMiterSession`; a satisfiable miter
+hands back a *witness* — a concrete input assignment that provably
+detects the fault — and an unsatisfiable one is a redundancy proof, so
+every target resolves one way or the other.
+
+Witness vectors use the test-set library convention of
+:mod:`repro.core.testlib` and the campaign harness: one
+``{input port: value}`` mapping per vector, directly consumable by
+:func:`repro.faultsim.grade`.  Every emitted vector has been replayed
+through :func:`repro.formal.evaluate.eval_cut` (good vs faulty) before
+it is returned.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.scoap import ScoapAnalysis, compute_scoap
+from repro.faultsim.faults import Fault, FaultKind, FaultList, build_fault_list
+from repro.formal.redundancy import FaultMiterSession
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+
+
+def fault_detection_cost(
+    fault: Fault, analysis: ScoapAnalysis, netlist: Netlist
+) -> float:
+    """SCOAP estimate of how hard a fault is to detect.
+
+    Excitation cost (drive the site to the opposite of the stuck value)
+    plus observation cost of the fault's propagation entry point.
+    ``inf`` marks faults SCOAP cannot justify — prime redundancy
+    suspects, ranked hardest of all.
+    """
+    cc = analysis.cc0 if fault.stuck == 1 else analysis.cc1
+    excite = cc[fault.net]
+    if fault.kind is FaultKind.STEM:
+        entry = fault.net
+    elif fault.kind is FaultKind.BRANCH:
+        entry = netlist.gates[fault.gate].output
+    else:  # DFF_D
+        entry = netlist.dffs[fault.gate].q
+    observe = analysis.co[entry] if entry not in (CONST0, CONST1) else 0.0
+    return excite + observe
+
+
+def hard_fault_targets(
+    fault_list: FaultList,
+    analysis: ScoapAnalysis,
+    n_targets: int,
+) -> list[int]:
+    """The ``n_targets`` hardest collapsed classes, hardest first."""
+    netlist = fault_list.netlist
+    ranked = sorted(
+        fault_list.class_representatives(),
+        key=lambda rep: (
+            -fault_detection_cost(fault_list.fault(rep), analysis, netlist),
+            rep,
+        ),
+    )
+    return ranked[:n_targets]
+
+
+@dataclass(frozen=True)
+class AtpgVector:
+    """One deterministic test vector produced from a SAT witness."""
+
+    rep: int
+    fault: str
+    pattern: dict[str, int]
+    state: tuple[int, ...]
+    cost: float
+
+
+@dataclass(frozen=True)
+class AtpgResult:
+    """Vectors plus redundancy proofs for the targeted fault classes.
+
+    Every target lands in exactly one of ``vectors`` (testable, with a
+    confirmed detecting pattern) or ``proven_redundant`` (UNSAT miter).
+    """
+
+    component: str
+    n_targets: int
+    vectors: tuple[AtpgVector, ...]
+    proven_redundant: frozenset[int]
+    conflicts: int
+
+    def patterns(self) -> list[dict[str, int]]:
+        """Deduplicated vectors in the campaign pattern format."""
+        seen: set[tuple[tuple[str, int], ...]] = set()
+        result: list[dict[str, int]] = []
+        for vec in self.vectors:
+            key = tuple(sorted(vec.pattern.items()))
+            if key not in seen:
+                seen.add(key)
+                result.append(dict(vec.pattern))
+        return result
+
+
+def generate_vectors(
+    netlist: Netlist,
+    *,
+    n_targets: int = 32,
+    fault_list: FaultList | None = None,
+    analysis: ScoapAnalysis | None = None,
+    component: str | None = None,
+) -> AtpgResult:
+    """Resolve the hardest fault classes into vectors or proofs.
+
+    For combinational netlists each vector's ``pattern`` is complete;
+    for sequential cuts the vector also carries the witness ``state``
+    (Q bit per DFF), which a wrapping routine must justify before the
+    pattern applies.
+    """
+    if fault_list is None:
+        fault_list = build_fault_list(netlist)
+    if analysis is None:
+        analysis = compute_scoap(netlist)
+    targets = hard_fault_targets(fault_list, analysis, n_targets)
+
+    session = FaultMiterSession(netlist, analysis=analysis)
+    vectors: list[AtpgVector] = []
+    redundant: set[int] = set()
+    conflicts = 0
+    for rep in targets:
+        fault = fault_list.fault(rep)
+        verdict = session.query(fault, rep)
+        conflicts += verdict.conflicts
+        if verdict.redundant:
+            redundant.add(rep)
+            continue
+        witness = verdict.witness
+        assert witness is not None
+        cost = fault_detection_cost(fault, analysis, netlist)
+        vectors.append(
+            AtpgVector(
+                rep=rep,
+                fault=fault.describe(netlist),
+                pattern=dict(witness.inputs),
+                state=witness.state,
+                cost=math.inf if cost == math.inf else round(cost, 1),
+            )
+        )
+    return AtpgResult(
+        component=component or netlist.name,
+        n_targets=len(targets),
+        vectors=tuple(vectors),
+        proven_redundant=frozenset(redundant),
+        conflicts=conflicts,
+    )

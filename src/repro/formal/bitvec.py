@@ -1,0 +1,270 @@
+"""Symbolic bit-vector DSL for writing behavioral golden models.
+
+:class:`SpecBuilder` wraps a :class:`~repro.netlist.netlist.Netlist`
+and hands out :class:`BV` words — immutable LSB-first bit vectors with
+the usual operator algebra (``& | ^ ~ + -``, comparisons, muxes,
+constant shifts, slicing/concatenation).  A golden model written in
+this DSL *bit-blasts* into a plain gate netlist, which the CEC miter
+(:mod:`repro.formal.cec`) then compares against the hand-built
+structural implementation.
+
+Sequential components use the combinational-cut convention: the spec
+declares a ``_state`` input whose bits mirror the implementation's DFF
+order (Q values) and a ``_state_next`` output carrying the D values.
+
+The DSL intentionally produces *architecturally naive* logic — ripple
+adders from the textbook equations, chains of 2:1 muxes for selects,
+per-case equality decoders — so that proving a spec equivalent to the
+optimised implementation netlist is a meaningful check rather than a
+structural identity.  The one exception is :meth:`SpecBuilder.
+tree_select`, which replicates the pruned mux-tree *function* of
+:meth:`repro.netlist.builder.NetlistBuilder.mux_tree` (including its
+out-of-range don't-care behaviour, which no reference model defines).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+
+#: Reserved port names of the combinational-cut state convention.
+STATE_IN = "_state"
+STATE_OUT = "_state_next"
+
+
+@dataclass(frozen=True)
+class BV:
+    """An immutable little-endian bit vector bound to a SpecBuilder."""
+
+    spec: SpecBuilder
+    nets: tuple[int, ...]
+
+    @property
+    def width(self) -> int:
+        return len(self.nets)
+
+    # -------------------------------------------------------- bitwise
+
+    def _zip(self, other: BV | int) -> tuple[BV, BV]:
+        rhs = self.spec.coerce(other, self.width)
+        if rhs.width != self.width:
+            raise NetlistError(
+                f"width mismatch: {self.width} vs {rhs.width}"
+            )
+        return self, rhs
+
+    def __and__(self, other: BV | int) -> BV:
+        a, b = self._zip(other)
+        builder = self.spec.builder
+        return self.spec.bv(builder.and_word(list(a.nets), list(b.nets)))
+
+    def __or__(self, other: BV | int) -> BV:
+        a, b = self._zip(other)
+        builder = self.spec.builder
+        return self.spec.bv(builder.or_word(list(a.nets), list(b.nets)))
+
+    def __xor__(self, other: BV | int) -> BV:
+        a, b = self._zip(other)
+        builder = self.spec.builder
+        return self.spec.bv(builder.xor_word(list(a.nets), list(b.nets)))
+
+    def __invert__(self) -> BV:
+        return self.spec.bv(self.spec.builder.not_word(list(self.nets)))
+
+    # ----------------------------------------------------- arithmetic
+
+    def add_carry(self, other: BV | int, carry_in: int = 0) -> tuple[BV, BV]:
+        """Ripple-carry sum and the carry-out bit."""
+        a, b = self._zip(other)
+        builder = self.spec.builder
+        carry = CONST1 if carry_in else CONST0
+        out = []
+        for x, y in zip(a.nets, b.nets, strict=True):
+            out.append(builder.xor(x, y, carry))
+            carry = builder.or_(
+                builder.and_(x, y),
+                builder.and_(carry, builder.xor(x, y)),
+            )
+        return self.spec.bv(out), self.spec.bv([carry])
+
+    def __add__(self, other: BV | int) -> BV:
+        return self.add_carry(other)[0]
+
+    def sub_carry(self, other: BV | int) -> tuple[BV, BV]:
+        """``a - b`` and the carry-out (1 means no borrow, i.e. a >= b
+        unsigned)."""
+        rhs = self.spec.coerce(other, self.width)
+        return self.add_carry(~rhs, carry_in=1)
+
+    def __sub__(self, other: BV | int) -> BV:
+        return self.sub_carry(other)[0]
+
+    def negate(self) -> BV:
+        return self.spec.const(0, self.width) - self
+
+    # ---------------------------------------------------- comparisons
+
+    def eq(self, other: BV | int) -> BV:
+        a, b = self._zip(other)
+        builder = self.spec.builder
+        diff = builder.xor_word(list(a.nets), list(b.nets))
+        return self.spec.bv([builder.is_zero(diff)])
+
+    def ne(self, other: BV | int) -> BV:
+        return ~self.eq(other)
+
+    def ult(self, other: BV | int) -> BV:
+        """Unsigned a < b (borrow out of a - b)."""
+        _, carry = self.sub_carry(other)
+        return ~carry
+
+    def slt(self, other: BV | int) -> BV:
+        """Signed a < b (two's complement)."""
+        a, b = self._zip(other)
+        diff = a - b
+        sign_a, sign_b = a[-1], b[-1]
+        # Signs differ: a < b iff a is negative.  Same sign: no
+        # overflow is possible, the difference's sign decides.
+        return self.spec.ite(sign_a ^ sign_b, sign_a, diff[-1])
+
+    def is_zero(self) -> BV:
+        return self.spec.bv([self.spec.builder.is_zero(list(self.nets))])
+
+    def any(self) -> BV:
+        return ~self.is_zero()
+
+    def all(self) -> BV:
+        return self.spec.bv([self.spec.builder.reduce_and(list(self.nets))])
+
+    # -------------------------------------------------------- slicing
+
+    def __getitem__(self, index: int | slice) -> BV:
+        if isinstance(index, slice):
+            return self.spec.bv(list(self.nets[index]))
+        return self.spec.bv([self.nets[index]])
+
+    def zext(self, width: int) -> BV:
+        return self.spec.bv(
+            self.spec.builder.zero_extend(list(self.nets), width)
+        )
+
+    def sext(self, width: int) -> BV:
+        return self.spec.bv(
+            self.spec.builder.sign_extend(list(self.nets), width)
+        )
+
+    def repeat(self, count: int) -> BV:
+        """Replicate a 1-bit vector ``count`` times."""
+        if self.width != 1:
+            raise NetlistError("repeat() needs a 1-bit vector")
+        return self.spec.bv(list(self.nets) * count)
+
+    def shl(self, amount: int) -> BV:
+        """Logical left shift by a constant, width preserved."""
+        nets = [CONST0] * amount + list(self.nets)
+        return self.spec.bv(nets[: self.width])
+
+    def shr(self, amount: int, fill: BV | None = None) -> BV:
+        """Right shift by a constant; ``fill`` (1-bit) feeds the MSBs."""
+        fill_net = CONST0 if fill is None else fill.nets[0]
+        nets = list(self.nets[amount:]) + [fill_net] * min(
+            amount, self.width
+        )
+        return self.spec.bv(nets)
+
+    def reversed_bits(self) -> BV:
+        return self.spec.bv(list(reversed(self.nets)))
+
+
+class SpecBuilder:
+    """Builds a golden-model netlist through the :class:`BV` algebra."""
+
+    def __init__(self, name: str) -> None:
+        self.builder = NetlistBuilder(name)
+
+    def bv(self, nets: Sequence[int]) -> BV:
+        return BV(self, tuple(nets))
+
+    def coerce(self, value: BV | int, width: int) -> BV:
+        if isinstance(value, BV):
+            return value
+        return self.const(value, width)
+
+    def const(self, value: int, width: int) -> BV:
+        return self.bv(self.builder.constant(value, width))
+
+    def input(self, name: str, width: int = 1) -> BV:
+        return self.bv(self.builder.input(name, width))
+
+    def output(self, name: str, value: BV) -> None:
+        self.builder.output(name, list(value.nets))
+
+    def state(self, width: int) -> BV:
+        """Declare the cut-state input (implementation DFF order)."""
+        return self.input(STATE_IN, width)
+
+    def next_state(self, value: BV) -> None:
+        """Declare the cut's next-state output (same DFF order)."""
+        self.output(STATE_OUT, value)
+
+    def build(self) -> Netlist:
+        return self.builder.build()
+
+    # ------------------------------------------------------ selection
+
+    def ite(self, sel: BV, then: BV | int, else_: BV | int) -> BV:
+        """``sel ? then : else_`` (sel must be 1 bit wide)."""
+        if sel.width != 1:
+            raise NetlistError("ite() selector must be 1 bit wide")
+        width = then.width if isinstance(then, BV) else (
+            else_.width if isinstance(else_, BV) else 0
+        )
+        if width == 0:
+            raise NetlistError("ite() needs at least one BV branch")
+        then_bv = self.coerce(then, width)
+        else_bv = self.coerce(else_, width)
+        word = self.builder.mux_word(
+            sel.nets[0], list(else_bv.nets), list(then_bv.nets)
+        )
+        return self.bv(word)
+
+    def tree_select(self, select: BV, choices: Sequence[BV]) -> BV:
+        """N:1 select replicating ``NetlistBuilder.mux_tree`` semantics.
+
+        ``choices[i]`` wins when the select bus encodes ``i``; a short
+        choice list is pruned exactly like the implementation's mux
+        tree, so out-of-range selects resolve to the same don't-care
+        values on both sides of a miter.
+        """
+        if not choices:
+            raise NetlistError("tree_select needs at least one choice")
+        level = list(choices)
+        for sel_i in range(select.width):
+            sel_bit = select[sel_i]
+            nxt: list[BV] = []
+            for i in range(0, len(level), 2):
+                if i + 1 < len(level):
+                    nxt.append(self.ite(sel_bit, level[i + 1], level[i]))
+                else:
+                    nxt.append(level[i])
+            level = nxt
+            if len(level) == 1:
+                break
+        return level[0]
+
+    def case_equals(self, word: BV, value: int) -> BV:
+        """1-bit: ``word == value`` via per-bit match (decoder style)."""
+        return self.bv(
+            [self.builder.equals_const(list(word.nets), value)]
+        )
+
+    def cat(self, *parts: BV) -> BV:
+        """Concatenate LSB-first: ``cat(lo, .., hi)``."""
+        nets: list[int] = []
+        for part in parts:
+            nets.extend(part.nets)
+        return self.bv(nets)

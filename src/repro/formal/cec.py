@@ -1,0 +1,225 @@
+"""Combinational equivalence checking of implementations vs golden models.
+
+For a component the checker builds a *miter*: both netlists are Tseitin-
+encoded through one shared :class:`~repro.formal.encode.LogicEncoder`
+(so structurally identical cones collapse), their input ports are tied
+literal-for-literal, and a single output asserts that some compared bit
+differs.  Sequential components are compared as combinational cuts —
+shared free state literals stand in for the DFF Q values and the D
+literals are compared alongside the output ports, which proves
+step-equivalence from *every* state (a superset of the reachable
+states, hence sound).
+
+UNSAT means the two circuits are equivalent.  SAT yields a concrete
+witness, which is **always replayed** through the independent
+:func:`~repro.formal.evaluate.eval_cut` interpreter before it is
+reported — a counterexample the replay does not confirm indicates a bug
+in the encoder or solver and raises :class:`FormalInternalError`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.formal.encode import LogicEncoder, encode_circuit, miter_lit
+from repro.formal.evaluate import eval_cut
+from repro.formal.golden import golden_model
+from repro.formal.sat import SatSolver
+from repro.netlist.netlist import Netlist
+
+#: Port names of the combinational-cut state convention (re-exported
+#: here to keep cec importable without the DSL).
+from repro.formal.bitvec import STATE_IN, STATE_OUT  # noqa: E402
+
+
+class FormalInternalError(ReproError):
+    """A SAT witness failed independent replay (encoder/solver bug)."""
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A confirmed distinguishing assignment for a failed CEC.
+
+    Attributes:
+        inputs: value per input port name.
+        state: Q bit per implementation DFF index (empty when
+            combinational).
+        impl_outputs / spec_outputs: replayed output words per port.
+        impl_next_state / spec_next_state: replayed D bits per DFF.
+        mismatched: names of the disagreeing observation points —
+            output port names, or ``"dff[i]"`` for next-state bits.
+    """
+
+    inputs: dict[str, int]
+    state: tuple[int, ...]
+    impl_outputs: dict[str, int]
+    spec_outputs: dict[str, int]
+    impl_next_state: tuple[int, ...]
+    spec_next_state: tuple[int, ...]
+    mismatched: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CecResult:
+    """Outcome of one equivalence check.
+
+    ``equivalent`` is a *proof* (the miter is unsatisfiable); a
+    counterexample, when present, has been confirmed by replaying it
+    through :func:`~repro.formal.evaluate.eval_cut` on both circuits.
+    """
+
+    component: str
+    equivalent: bool
+    counterexample: Counterexample | None
+    n_vars: int
+    n_clauses: int
+    solve_seconds: float
+    stats: dict[str, int]
+
+
+def check_equivalence(
+    impl: Netlist, spec: Netlist, *, component: str | None = None
+) -> CecResult:
+    """Prove ``impl`` and ``spec`` equivalent, or find a counterexample.
+
+    The spec follows the combinational-cut convention: its input ports
+    must match the implementation's (plus ``_state`` when the
+    implementation holds DFFs), and its outputs must match plus
+    ``_state_next``.
+    """
+    name = component or impl.name
+    _check_interfaces(impl, spec)
+
+    solver = SatSolver()
+    logic = LogicEncoder(solver)
+    impl_enc = encode_circuit(logic, impl)
+
+    # Tie the spec's inputs to the implementation's literals.
+    spec_inputs: dict[int, int] = {}
+    for port in spec.input_ports():
+        if port.name == STATE_IN:
+            source = impl_enc.state_lits()
+        else:
+            source = impl_enc.input_lits(port.name)
+        for net, lit in zip(port.nets, source, strict=True):
+            spec_inputs[net] = lit
+    spec_enc = encode_circuit(logic, spec, inputs=spec_inputs)
+
+    left: list[int] = []
+    right: list[int] = []
+    for port in impl.output_ports():
+        left.extend(impl_enc.output_lits(port.name))
+        right.extend(spec_enc.output_lits(port.name))
+    if impl.dffs:
+        left.extend(impl_enc.next_state_lits())
+        right.extend(spec_enc.output_lits(STATE_OUT))
+
+    solver.add_clause([miter_lit(logic, left, right)])
+    n_clauses = len(solver._db.clauses)
+
+    start = time.perf_counter()
+    sat = solver.solve()
+    elapsed = time.perf_counter() - start
+
+    counterexample = None
+    if sat:
+        counterexample = _replay_witness(solver, impl_enc, spec, name)
+    return CecResult(
+        component=name,
+        equivalent=not sat,
+        counterexample=counterexample,
+        n_vars=solver.n_vars,
+        n_clauses=n_clauses,
+        solve_seconds=elapsed,
+        stats=solver.stats.as_dict(),
+    )
+
+
+def check_component(name: str) -> CecResult:
+    """Equivalence-check a registered component against its golden model."""
+    from repro.plasma.components import build_component
+
+    return check_equivalence(
+        build_component(name), golden_model(name), component=name
+    )
+
+
+def _check_interfaces(impl: Netlist, spec: Netlist) -> None:
+    impl_in = {p.name: len(p.nets) for p in impl.input_ports()}
+    spec_in = {p.name: len(p.nets) for p in spec.input_ports()}
+    expected_in = dict(impl_in)
+    if impl.dffs:
+        expected_in[STATE_IN] = len(impl.dffs)
+    if spec_in != expected_in:
+        raise ValueError(
+            f"spec input ports {spec_in} do not match the "
+            f"implementation's cut interface {expected_in}"
+        )
+    impl_out = {p.name: len(p.nets) for p in impl.output_ports()}
+    spec_out = {p.name: len(p.nets) for p in spec.output_ports()}
+    expected_out = dict(impl_out)
+    if impl.dffs:
+        expected_out[STATE_OUT] = len(impl.dffs)
+    if spec_out != expected_out:
+        raise ValueError(
+            f"spec output ports {spec_out} do not match the "
+            f"implementation's cut interface {expected_out}"
+        )
+
+
+def _lit_bit(solver: SatSolver, lit: int) -> int:
+    value = solver.lit_value(lit)
+    return 1 if value else 0  # unassigned inputs are don't-care -> 0
+
+
+def _replay_witness(
+    solver: SatSolver,
+    impl_enc: object,
+    spec: Netlist,
+    name: str,
+) -> Counterexample:
+    from repro.formal.encode import EncodedCircuit
+
+    assert isinstance(impl_enc, EncodedCircuit)
+    impl = impl_enc.netlist
+    inputs = {
+        port.name: sum(
+            _lit_bit(solver, lit) << i
+            for i, lit in enumerate(impl_enc.input_lits(port.name))
+        )
+        for port in impl.input_ports()
+    }
+    state = tuple(
+        _lit_bit(solver, lit) for lit in impl_enc.state_lits()
+    )
+
+    impl_out, impl_next = eval_cut(impl, inputs, state)
+    spec_in = dict(inputs)
+    if state:
+        spec_in[STATE_IN] = sum(bit << i for i, bit in enumerate(state))
+    spec_out, _ = eval_cut(spec, spec_in, [])
+    next_word = spec_out.pop(STATE_OUT, 0)
+    spec_next = tuple((next_word >> i) & 1 for i in range(len(state)))
+
+    mismatched = [k for k in impl_out if impl_out[k] != spec_out.get(k)]
+    mismatched += [
+        f"dff[{i}]"
+        for i, (x, y) in enumerate(zip(impl_next, spec_next, strict=True))
+        if x != y
+    ]
+    if not mismatched:
+        raise FormalInternalError(
+            f"CEC witness for {name} does not replay: the SAT model "
+            "disagrees with direct evaluation (encoder/solver bug)"
+        )
+    return Counterexample(
+        inputs=inputs,
+        state=state,
+        impl_outputs=impl_out,
+        spec_outputs=spec_out,
+        impl_next_state=tuple(impl_next),
+        spec_next_state=spec_next,
+        mismatched=tuple(mismatched),
+    )

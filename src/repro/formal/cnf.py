@@ -1,0 +1,61 @@
+"""CNF formula container shared by the encoder, the solver and benches.
+
+Variables are positive integers starting at 1; a literal is ``+v`` for
+the variable and ``-v`` for its negation (DIMACS convention).  The
+:class:`CNF` object is deliberately dumb storage: the Tseitin encoder
+(:mod:`repro.formal.encode`) appends clauses through the
+:class:`ClauseSink` protocol, and :class:`repro.formal.sat.SatSolver`
+consumes them.  Keeping the formula materialised (rather than streaming
+straight into the solver) costs a few megabytes on the largest miters
+and buys reproducible artifacts: ``bench_sat`` can report formula sizes
+and :meth:`CNF.to_dimacs` writes the standard exchange format.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Protocol
+
+
+class ClauseSink(Protocol):
+    """Anything that can allocate variables and accept clauses."""
+
+    def new_var(self) -> int:
+        """Return a fresh positive variable id."""
+        ...  # pragma: no cover - protocol
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add the disjunction of ``lits`` (DIMACS-signed literals)."""
+        ...  # pragma: no cover - protocol
+
+
+class CNF:
+    """A conjunction of clauses over DIMACS-signed integer literals."""
+
+    def __init__(self) -> None:
+        self.n_vars: int = 0
+        self.clauses: list[tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        self.n_vars += 1
+        return self.n_vars
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        clause = tuple(lits)
+        for lit in clause:
+            if lit == 0 or abs(lit) > self.n_vars:
+                raise ValueError(f"literal {lit} names no allocated variable")
+        self.clauses.append(clause)
+
+    @property
+    def n_clauses(self) -> int:
+        return len(self.clauses)
+
+    def to_dimacs(self) -> str:
+        """Render the formula in DIMACS ``cnf`` format."""
+        lines = [f"p cnf {self.n_vars} {len(self.clauses)}"]
+        lines.extend(
+            " ".join(str(lit) for lit in clause) + " 0"
+            for clause in self.clauses
+        )
+        return "\n".join(lines) + "\n"

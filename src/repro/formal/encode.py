@@ -1,0 +1,341 @@
+"""Tseitin encoding of levelized netlists into CNF, with strashing.
+
+Two layers live here:
+
+* :class:`LogicEncoder` — a structurally-hashed boolean function
+  algebra over a :class:`~repro.formal.cnf.ClauseSink`.  Every
+  operation folds constants, normalises its operands (sorted inputs for
+  commutative gates, positive selector for muxes, sign-factored XOR)
+  and consults a hash table before allocating a Tseitin variable.  When
+  two circuit copies are encoded through the *same* ``LogicEncoder``,
+  any cone that is structurally identical in both collapses to the same
+  literal — which is what makes miters cheap: only the logic that
+  genuinely differs between the two sides reaches the SAT solver.
+* :func:`encode_circuit` — walks a levelized
+  :class:`~repro.netlist.netlist.Netlist` and maps every net to a
+  literal.  Sequential circuits are encoded *combinationally cut*: each
+  DFF's Q is a free (or caller-supplied) literal and its D is exposed as
+  a next-state output.  A single stuck-at fault can be injected, which
+  reuses the good copy's literals everywhere outside the fault's fanout
+  cone (the strash table does this automatically).
+
+Fault injection follows the fault model of
+:mod:`repro.faultsim.faults`: a STEM fault replaces the net's value for
+*every* reader (and for the net's own port/D observation), a BRANCH
+fault replaces one gate's input pin, and a DFF_D fault replaces one
+flip-flop's D pin.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.faultsim.faults import Fault, FaultKind
+from repro.formal.cnf import ClauseSink
+from repro.netlist.gates import GateType
+from repro.netlist.levelize import levelize
+from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
+
+_Key = tuple[object, ...]
+
+
+class LogicEncoder:
+    """Structurally-hashed Tseitin encoder over a clause sink."""
+
+    def __init__(self, sink: ClauseSink) -> None:
+        self.sink = sink
+        self.true_lit = sink.new_var()
+        sink.add_clause([self.true_lit])
+        self._cache: dict[_Key, int] = {}
+
+    @property
+    def false_lit(self) -> int:
+        return -self.true_lit
+
+    def const(self, value: int) -> int:
+        return self.true_lit if value else self.false_lit
+
+    def is_const(self, lit: int) -> int | None:
+        """0/1 when the literal is the constant, else None."""
+        if lit == self.true_lit:
+            return 1
+        if lit == -self.true_lit:
+            return 0
+        return None
+
+    def new_input(self) -> int:
+        """A fresh unconstrained literal (circuit input / free state)."""
+        return self.sink.new_var()
+
+    # ------------------------------------------------------- primitives
+
+    def and_(self, lits: Sequence[int]) -> int:
+        ins: set[int] = set()
+        for lit in lits:
+            if lit == self.false_lit:
+                return self.false_lit
+            if lit == self.true_lit:
+                continue
+            if -lit in ins:
+                return self.false_lit
+            ins.add(lit)
+        if not ins:
+            return self.true_lit
+        if len(ins) == 1:
+            return next(iter(ins))
+        key: _Key = ("&", tuple(sorted(ins)))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        out = self.sink.new_var()
+        for lit in ins:
+            self.sink.add_clause([-out, lit])
+        self.sink.add_clause([out] + [-lit for lit in ins])
+        self._cache[key] = out
+        return out
+
+    def or_(self, lits: Sequence[int]) -> int:
+        return -self.and_([-lit for lit in lits])
+
+    def xor_(self, lits: Sequence[int]) -> int:
+        invert = False
+        vars_odd: set[int] = set()
+        for lit in lits:
+            value = self.is_const(lit)
+            if value is not None:
+                invert ^= value == 1
+                continue
+            if lit < 0:
+                invert = not invert
+                lit = -lit
+            if lit in vars_odd:
+                vars_odd.remove(lit)  # x ^ x = 0
+            else:
+                vars_odd.add(lit)
+        result = self.const(0)
+        for var in sorted(vars_odd):
+            result = self._xor2(result, var)
+        return -result if invert else result
+
+    def _xor2(self, a: int, b: int) -> int:
+        value = self.is_const(a)
+        if value is not None:
+            return -b if value else b
+        value = self.is_const(b)
+        if value is not None:
+            return -a if value else a
+        if a == b:
+            return self.false_lit
+        if a == -b:
+            return self.true_lit
+        invert = False
+        if a < 0:
+            a, invert = -a, not invert
+        if b < 0:
+            b, invert = -b, not invert
+        if a > b:
+            a, b = b, a
+        key: _Key = ("^", a, b)
+        out = self._cache.get(key)
+        if out is None:
+            out = self.sink.new_var()
+            self.sink.add_clause([-a, -b, -out])
+            self.sink.add_clause([a, b, -out])
+            self.sink.add_clause([-a, b, out])
+            self.sink.add_clause([a, -b, out])
+            self._cache[key] = out
+        return -out if invert else out
+
+    def mux(self, sel: int, a: int, b: int) -> int:
+        """``sel ? b : a`` (the MUX2 gate's operand convention)."""
+        value = self.is_const(sel)
+        if value is not None:
+            return b if value else a
+        if a == b:
+            return a
+        if a == -b:
+            # sel=1 -> b, sel=0 -> -b: XNOR of sel and b.
+            return -self.xor_([sel, b])
+        value = self.is_const(a)
+        if value == 0:
+            return self.and_([sel, b])
+        if value == 1:
+            return self.or_([-sel, b])
+        value = self.is_const(b)
+        if value == 0:
+            return self.and_([-sel, a])
+        if value == 1:
+            return self.or_([sel, a])
+        if sel < 0:
+            sel, a, b = -sel, b, a
+        key: _Key = ("m", sel, a, b)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        out = self.sink.new_var()
+        self.sink.add_clause([-sel, -b, out])
+        self.sink.add_clause([-sel, b, -out])
+        self.sink.add_clause([sel, -a, out])
+        self.sink.add_clause([sel, a, -out])
+        self.sink.add_clause([-a, -b, out])
+        self.sink.add_clause([a, b, -out])
+        self._cache[key] = out
+        return out
+
+    # ------------------------------------------------------ gate dispatch
+
+    def gate_lit(self, gtype: GateType, ins: Sequence[int]) -> int:
+        if gtype is GateType.NOT:
+            return -ins[0]
+        if gtype is GateType.BUF:
+            return ins[0]
+        if gtype is GateType.AND:
+            return self.and_(ins)
+        if gtype is GateType.NAND:
+            return -self.and_(ins)
+        if gtype is GateType.OR:
+            return self.or_(ins)
+        if gtype is GateType.NOR:
+            return -self.or_(ins)
+        if gtype is GateType.XOR:
+            return self.xor_(ins)
+        if gtype is GateType.XNOR:
+            return -self.xor_(ins)
+        if gtype is GateType.MUX2:
+            a, b, sel = ins
+            return self.mux(sel, a, b)
+        if gtype is GateType.AOI21:
+            a, b, c = ins
+            return -self.or_([self.and_([a, b]), c])
+        raise ValueError(f"unhandled gate type {gtype}")  # pragma: no cover
+
+
+@dataclass
+class EncodedCircuit:
+    """One (possibly faulty) combinationally-cut copy of a netlist.
+
+    ``lit(net)`` returns the literal a *reader* of the net sees — for a
+    STEM fault that is the stuck constant, which also applies to output
+    ports and D pins fed by the faulted net.
+    """
+
+    netlist: Netlist
+    logic: LogicEncoder
+    fault: Fault | None = None
+    _lits: dict[int, int] = field(default_factory=dict)
+
+    def lit(self, net: int) -> int:
+        fault = self.fault
+        if (
+            fault is not None
+            and fault.kind is FaultKind.STEM
+            and net == fault.net
+        ):
+            return self.logic.const(fault.stuck)
+        return self._lits[net]
+
+    def input_lits(self, name: str) -> list[int]:
+        """Literals of an input port, LSB first (pre-fault values)."""
+        return [self._lits[n] for n in self.netlist.port(name).nets]
+
+    def output_lits(self, name: str) -> list[int]:
+        return [self.lit(n) for n in self.netlist.port(name).nets]
+
+    def state_lits(self) -> list[int]:
+        """Q literals per DFF index (the cut's pseudo-inputs)."""
+        return [self._lits[dff.q] for dff in self.netlist.dffs]
+
+    def next_state_lits(self) -> list[int]:
+        """D literals per DFF index (the cut's pseudo-outputs)."""
+        fault = self.fault
+        result = []
+        for dff in self.netlist.dffs:
+            if (
+                fault is not None
+                and fault.kind is FaultKind.DFF_D
+                and fault.gate == dff.index
+            ):
+                result.append(self.logic.const(fault.stuck))
+            else:
+                result.append(self.lit(dff.d))
+        return result
+
+    def compared_lits(self) -> list[int]:
+        """Output-port literals then next-state literals (miter pairs)."""
+        result = []
+        for port in self.netlist.output_ports():
+            result.extend(self.lit(n) for n in port.nets)
+        result.extend(self.next_state_lits())
+        return result
+
+
+def encode_circuit(
+    logic: LogicEncoder,
+    netlist: Netlist,
+    *,
+    inputs: Mapping[int, int] | None = None,
+    state: Sequence[int] | None = None,
+    fault: Fault | None = None,
+    order: Sequence[Gate] | None = None,
+) -> EncodedCircuit:
+    """Encode one combinationally-cut copy of ``netlist``.
+
+    Args:
+        logic: the shared strashed encoder (shared across copies).
+        inputs: input-port net id -> literal; missing nets get fresh
+            free variables.
+        state: literal per DFF index for the Q pseudo-inputs; None
+            allocates fresh free variables.
+        fault: optional single stuck-at fault to inject.
+        order: pre-levelized gate order (pass when encoding many copies
+            of the same netlist to amortise levelization).
+
+    Returns:
+        The encoded copy; read nets through :class:`EncodedCircuit`.
+    """
+    copy = EncodedCircuit(netlist, logic, fault)
+    lits = copy._lits
+    lits[CONST0] = logic.const(0)
+    lits[CONST1] = logic.const(1)
+    for port in netlist.input_ports():
+        for net in port.nets:
+            given = None if inputs is None else inputs.get(net)
+            lits[net] = logic.new_input() if given is None else given
+    for i, dff in enumerate(netlist.dffs):
+        lits[dff.q] = logic.new_input() if state is None else state[i]
+
+    branch_gate = branch_pin = stem_net = -1
+    stuck_lit = 0
+    if fault is not None:
+        stuck_lit = logic.const(fault.stuck)
+        if fault.kind is FaultKind.BRANCH:
+            branch_gate, branch_pin = fault.gate, fault.pin
+        elif fault.kind is FaultKind.STEM:
+            stem_net = fault.net
+
+    if order is None:
+        order = levelize(netlist)
+    for gate in order:
+        if stem_net >= 0:
+            ins = [
+                stuck_lit if n == stem_net else lits[n]
+                for n in gate.inputs
+            ]
+        else:
+            ins = [lits[n] for n in gate.inputs]
+        if gate.index == branch_gate:
+            ins[branch_pin] = stuck_lit
+        lits[gate.output] = logic.gate_lit(gate.gtype, ins)
+    return copy
+
+
+def miter_lit(logic: LogicEncoder, left: Sequence[int],
+              right: Sequence[int]) -> int:
+    """OR of pairwise XORs: true iff the two sides disagree somewhere."""
+    if len(left) != len(right):
+        raise ValueError(
+            f"miter sides have different widths ({len(left)} vs {len(right)})"
+        )
+    diffs = [logic.xor_([a, b]) for a, b in zip(left, right, strict=True)]
+    return logic.or_(diffs)

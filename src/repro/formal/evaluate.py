@@ -1,0 +1,96 @@
+"""Direct evaluation of combinationally-cut netlists (the SAT oracle).
+
+The formal layer never trusts a SAT witness on its own: every
+counterexample (CEC mismatch, ATPG vector) is re-evaluated through this
+module, which interprets the netlist gate-by-gate with
+:func:`repro.netlist.gates.eval_gate` — a code path that shares nothing
+with the CNF encoder.  The same cut convention applies: DFF Q values
+come from a caller-supplied state vector, DFF D values are returned as
+the next state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.faultsim.faults import Fault, FaultKind
+from repro.netlist.gates import eval_gate
+from repro.netlist.levelize import levelize
+from repro.netlist.netlist import CONST1, Gate, Netlist
+
+
+def eval_cut(
+    netlist: Netlist,
+    inputs: Mapping[str, int],
+    state: Sequence[int] = (),
+    *,
+    fault: Fault | None = None,
+    order: Sequence[Gate] | None = None,
+) -> tuple[dict[str, int], list[int]]:
+    """Evaluate one combinational step of a (cut) netlist.
+
+    Args:
+        inputs: value per input port name (unlisted ports default to 0).
+        state: Q bit per DFF index; must cover every DFF.
+        fault: optional stuck-at fault to inject (same semantics as the
+            CNF encoder and the fault simulators).
+        order: pre-levelized gate order to amortise repeated calls.
+
+    Returns:
+        ``(outputs, next_state)``: value per output port name, and the
+        D bit per DFF index.
+    """
+    values = [0] * netlist.n_nets
+    values[CONST1] = 1
+    for port in netlist.input_ports():
+        word = inputs.get(port.name, 0)
+        for i, net in enumerate(port.nets):
+            values[net] = (word >> i) & 1
+    dffs = netlist.dffs
+    if len(state) != len(dffs):
+        raise ValueError(
+            f"state vector has {len(state)} bits but {netlist.name!r} "
+            f"holds {len(dffs)} flip-flops"
+        )
+    for dff, bit in zip(dffs, state, strict=True):
+        values[dff.q] = bit & 1
+
+    branch_gate = branch_pin = stem_net = -1
+    stuck = 0
+    if fault is not None:
+        stuck = fault.stuck
+        if fault.kind is FaultKind.BRANCH:
+            branch_gate, branch_pin = fault.gate, fault.pin
+        elif fault.kind is FaultKind.STEM:
+            stem_net = fault.net
+
+    if order is None:
+        order = levelize(netlist)
+    for gate in order:
+        ins = [
+            stuck if n == stem_net else values[n] for n in gate.inputs
+        ]
+        if gate.index == branch_gate:
+            ins[branch_pin] = stuck
+        values[gate.output] = eval_gate(gate.gtype, ins, 1)
+
+    def read(net: int) -> int:
+        return stuck if net == stem_net else values[net]
+
+    outputs = {
+        port.name: sum(read(net) << i for i, net in enumerate(port.nets))
+        for port in netlist.output_ports()
+    }
+    next_state = []
+    for dff in dffs:
+        if fault is not None and fault.kind is FaultKind.DFF_D \
+                and fault.gate == dff.index:
+            next_state.append(stuck)
+        else:
+            next_state.append(read(dff.d))
+    return outputs, next_state
+
+
+def state_from_init(netlist: Netlist) -> list[int]:
+    """The reset state vector (each DFF's ``init`` value)."""
+    return [dff.init for dff in netlist.dffs]

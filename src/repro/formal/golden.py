@@ -1,0 +1,520 @@
+"""Behavioral golden models of the ten Plasma components, bit-blasted.
+
+Each ``spec_*`` function re-derives a component's function from the
+documented reference semantics (``alu_reference``, ``muldiv_reference``,
+``decode_controls``, ...) using the :mod:`repro.formal.bitvec` DSL, and
+returns a plain combinational netlist.  Sequential components follow
+the combinational-cut convention: a ``_state`` input port mirrors the
+implementation's DFF order (Q values) and a ``_state_next`` output
+carries the D values — including the hold muxes of enable-gated
+registers, which are part of the D logic in the implementation.
+
+The specs deliberately choose *different circuit architectures* than
+the implementations (mux chains instead of AND-OR select planes, a
+32-way shift mux instead of the staged barrel core, per-case equality
+instead of shared pre-decoders), so the CEC miter proves a genuine
+semantic equivalence.  The DFF bit layout per component is documented
+inline; it is pinned by tests against the builders.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.formal.bitvec import BV, SpecBuilder
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import INSTRUCTION_SET, Format
+from repro.library.alu import FUNC_WIDTH, AluOp
+from repro.library.multiplier import MULDIV_CYCLES, OP_WIDTH, MulDivOp
+from repro.netlist.netlist import Netlist
+from repro.plasma.controls import CONTROL_FIELDS, decode_controls
+from repro.plasma.pipeline import PIPELINE_REGS
+
+
+def _cond_negate(word: BV, cond: BV, carry_in: BV | None = None) -> BV:
+    """Two's-complement negate ``word`` when ``cond`` (1-bit) is set.
+
+    Mirrors the semantics of the implementation's conditional-negate
+    stage: the +1 is ``cond`` itself unless ``carry_in`` chains a wider
+    negation through this half.
+    """
+    spec = word.spec
+    inv = word ^ cond.repeat(word.width)
+    carry = cond if carry_in is None else (cond & carry_in)
+    return inv + carry.zext(word.width)
+
+
+# ------------------------------------------------------------------ ALU
+
+
+def spec_alu(width: int = 32) -> Netlist:
+    """Golden ALU: a case chain over :class:`AluOp` encodings."""
+    s = SpecBuilder("ALU_spec")
+    a = s.input("a", width)
+    b = s.input("b", width)
+    func = s.input("func", FUNC_WIDTH)
+
+    cases: list[tuple[AluOp, BV]] = [
+        (AluOp.ADD, a + b),
+        (AluOp.SUB, a - b),
+        (AluOp.AND, a & b),
+        (AluOp.OR, a | b),
+        (AluOp.XOR, a ^ b),
+        (AluOp.NOR, ~(a | b)),
+        (AluOp.SLT, a.slt(b).zext(width)),
+        (AluOp.SLTU, a.ult(b).zext(width)),
+        (AluOp.PASS_B, b),
+    ]
+    # PASS_A (the idle encoding) and every unused encoding produce 0.
+    result = s.const(0, width)
+    for op, word in cases:
+        result = s.ite(s.case_equals(func, int(op)), word, result)
+    s.output("result", result)
+    return s.build()
+
+
+# ------------------------------------------------------------------ BSH
+
+
+def spec_shifter(width: int = 32) -> Netlist:
+    """Golden shifter: a 32-way mux over constant-shifted copies."""
+    s = SpecBuilder("BSH_spec")
+    stages = width.bit_length() - 1
+    value = s.input("value", width)
+    shamt = s.input("shamt", stages)
+    left = s.input("left", 1)
+    arith = s.input("arith", 1)
+
+    fill = arith & value[width - 1 : width]
+    right = s.tree_select(
+        shamt, [value.shr(k, fill=fill) for k in range(width)]
+    )
+    lshift = s.tree_select(shamt, [value.shl(k) for k in range(width)])
+    s.output("result", s.ite(left, lshift, right))
+    return s.build()
+
+
+# ----------------------------------------------------------------- RegF
+
+
+def spec_regfile(n_registers: int = 32, width: int = 32) -> Netlist:
+    """Golden register file.
+
+    State layout: registers ``1 .. n-1`` in order, ``width`` bits each
+    (register ``r`` occupies state bits ``[(r-1)*width, r*width)``).
+    """
+    addr_bits = (n_registers - 1).bit_length()
+    s = SpecBuilder("RegF_spec")
+    wr_addr = s.input("wr_addr", addr_bits)
+    wr_data = s.input("wr_data", width)
+    wr_en = s.input("wr_en", 1)
+    rd_addr_a = s.input("rd_addr_a", addr_bits)
+    rd_addr_b = s.input("rd_addr_b", addr_bits)
+    state = s.state((n_registers - 1) * width)
+
+    words = [s.const(0, width)]
+    nxt: list[BV] = []
+    for reg in range(1, n_registers):
+        q = state[(reg - 1) * width : reg * width]
+        words.append(q)
+        hit = wr_en & s.case_equals(wr_addr, reg)
+        nxt.append(s.ite(hit, wr_data, q))
+
+    s.output("rd_data_a", s.tree_select(rd_addr_a, words))
+    s.output("rd_data_b", s.tree_select(rd_addr_b, words))
+    s.next_state(s.cat(*nxt))
+    return s.build()
+
+
+# ----------------------------------------------------------------- MulD
+
+
+def spec_muldiv(width: int = 32) -> Netlist:
+    """Golden multiplier/divider: one shift-add / restoring-divide step.
+
+    State layout (matching :func:`repro.library.multiplier.build_muldiv`
+    DFF order): ``is_div`` (1), ``neg_lo`` (1), ``neg_hi`` (1),
+    ``counter`` (6), ``divisor_or_multiplicand`` (32), accumulator
+    lower half (32), accumulator upper half (32).
+    """
+    s = SpecBuilder("MulD_spec")
+    a = s.input("a", width)
+    b = s.input("b", width)
+    op = s.input("op", OP_WIDTH)
+    counter_bits = MULDIV_CYCLES.bit_length()
+    state = s.state(3 + counter_bits + 3 * width)
+
+    is_div = state[0]
+    neg_lo = state[1]
+    neg_hi = state[2]
+    counter = state[3 : 3 + counter_bits]
+    dvm_base = 3 + counter_bits
+    dvm = state[dvm_base : dvm_base + width]
+    acc = state[dvm_base + width :]
+    acc_lower = acc[:width]
+    acc_upper = acc[width:]
+
+    sel = {
+        o: s.case_equals(op, int(o))
+        for o in MulDivOp
+        if o is not MulDivOp.IDLE
+    }
+    start = (
+        sel[MulDivOp.MULT] | sel[MulDivOp.MULTU]
+        | sel[MulDivOp.DIV] | sel[MulDivOp.DIVU]
+    )
+    signed_op = sel[MulDivOp.MULT] | sel[MulDivOp.DIV]
+    div_start = sel[MulDivOp.DIV] | sel[MulDivOp.DIVU]
+
+    a_sign = a[width - 1]
+    b_sign = b[width - 1]
+    signs_differ = a_sign ^ b_sign
+    neg_lo_now = signed_op & signs_differ
+    # Quotient/product negate on differing signs; a division's
+    # remainder instead follows the dividend's sign.
+    neg_hi_now = s.ite(div_start, signed_op & a_sign, neg_lo_now)
+
+    busy = counter.any()
+    dec = counter - busy.zext(counter_bits)
+    counter_next = s.ite(start, s.const(MULDIV_CYCLES, counter_bits), dec)
+    final = busy & counter.eq(1)
+
+    abs_a = _cond_negate(a, signed_op & a_sign)
+    abs_b = _cond_negate(b, signed_op & b_sign)
+    dvm_next = s.ite(start, abs_b, dvm)
+
+    # One datapath step through the shared adder/subtractor.
+    shifted_upper = acc[width - 1 : 2 * width - 1]
+    p = s.ite(is_div, shifted_upper, acc_upper)
+    q_enable = is_div | acc[0]
+    q_word = dvm & q_enable.repeat(width)
+    sum_add, carry_add = p.add_carry(q_word)
+    sum_sub, no_borrow = p.sub_carry(q_word)
+    sum_word = s.ite(is_div, sum_sub, sum_add)
+    sum_carry = s.ite(is_div, no_borrow, carry_add)
+
+    mul_next = s.cat(acc[1:width], sum_word, sum_carry)
+    div_next = s.cat(
+        sum_carry,  # the not-borrow flag is the new quotient bit
+        acc[0 : width - 1],
+        s.ite(sum_carry, sum_word, shifted_upper),
+    )
+    step_next = s.ite(is_div, div_next, mul_next)
+
+    # Final-iteration conditional negation of the 64-bit result.
+    step_lower = step_next[:width]
+    step_upper = step_next[width:]
+    lower_neg = _cond_negate(step_lower, neg_lo)
+    hi_carry = s.ite(is_div, s.const(1, 1), step_lower.is_zero())
+    upper_neg = _cond_negate(step_upper, neg_hi, carry_in=hi_carry)
+    step_or_neg = s.ite(final, s.cat(lower_neg, upper_neg), step_next)
+
+    load_word = s.cat(abs_a, s.const(0, width))
+    d_word = s.ite(start, load_word, step_or_neg)
+    lower_d = s.ite(sel[MulDivOp.MTLO], a, d_word[:width])
+    upper_d = s.ite(sel[MulDivOp.MTHI], a, d_word[width:])
+    write_lower = start | busy | sel[MulDivOp.MTLO]
+    write_upper = start | busy | sel[MulDivOp.MTHI]
+
+    s.output("lo", acc_lower)
+    s.output("hi", acc_upper)
+    s.output("busy", busy)
+    s.next_state(s.cat(
+        s.ite(start, div_start, is_div),
+        s.ite(start, neg_lo_now, neg_lo),
+        s.ite(start, neg_hi_now, neg_hi),
+        counter_next,
+        dvm_next,
+        s.ite(write_lower, lower_d, acc_lower),
+        s.ite(write_upper, upper_d, acc_upper),
+    ))
+    return s.build()
+
+
+# ------------------------------------------------------------------ PCL
+
+
+def spec_pclogic() -> Netlist:
+    """Golden PC logic.  State layout: ``pc`` bits 0..31."""
+    s = SpecBuilder("PCL_spec")
+    rs_data = s.input("rs_data", 32)
+    rt_data = s.input("rt_data", 32)
+    branch_type = s.input("branch_type", 3)
+    branch_target = s.input("branch_target", 32)
+    pause = s.input("pause", 1)
+    pc = s.state(32)
+
+    pc_plus4 = pc + 4
+    eq = rs_data.eq(rt_data)
+    sign = rs_data[31]
+    lez = sign | rs_data.is_zero()
+    conditions = [
+        s.const(0, 1),  # NONE
+        eq,
+        ~eq,
+        lez,
+        ~lez,
+        sign,
+        ~sign,
+        s.const(1, 1),  # ALWAYS
+    ]
+    take = s.tree_select(branch_type, conditions)
+    pc_next = s.ite(take, branch_target, pc_plus4)
+
+    s.output("pc", pc)
+    s.output("pc_plus4", pc_plus4)
+    s.output("take_branch", take)
+    s.next_state(s.ite(pause, pc, pc_next))
+    return s.build()
+
+
+# ----------------------------------------------------------------- CTRL
+
+
+def spec_control() -> Netlist:
+    """Golden decoder: one equality case per supported instruction."""
+    s = SpecBuilder("CTRL_spec")
+    instr = s.input("instr", 32)
+    opcode = instr[26:32]
+    funct = instr[0:6]
+    rt = instr[16:21]
+
+    detects: dict[str, BV] = {}
+    for mnemonic, spec in INSTRUCTION_SET.items():
+        if spec.fmt is Format.R:
+            assert spec.funct is not None
+            detects[mnemonic] = (
+                s.case_equals(opcode, 0) & s.case_equals(funct, spec.funct)
+            )
+        elif spec.fmt is Format.REGIMM:
+            assert spec.regimm_rt is not None
+            detects[mnemonic] = (
+                s.case_equals(opcode, 1)
+                & s.case_equals(rt, spec.regimm_rt)
+            )
+        else:
+            detects[mnemonic] = s.case_equals(opcode, spec.opcode)
+
+    field_values: dict[str, dict[str, int]] = {
+        mnemonic: decode_controls(decode(encode(mnemonic))).to_fields()
+        for mnemonic in INSTRUCTION_SET
+    }
+    for field, width in CONTROL_FIELDS:
+        out = s.const(0, width)
+        for mnemonic, values in field_values.items():
+            out = s.ite(
+                detects[mnemonic], s.const(values[field], width), out
+            )
+        s.output(field, out)
+    return s.build()
+
+
+# ----------------------------------------------------------------- BMUX
+
+
+def spec_busmux() -> Netlist:
+    """Golden bus multiplexers (semantics of ``busmux_reference``)."""
+    s = SpecBuilder("BMUX_spec")
+    rs_data = s.input("rs_data", 32)
+    rt_data = s.input("rt_data", 32)
+    imm = s.input("imm", 16)
+    pc_plus4 = s.input("pc_plus4", 32)
+    alu_result = s.input("alu_result", 32)
+    shift_result = s.input("shift_result", 32)
+    mem_data = s.input("mem_data", 32)
+    lo = s.input("lo", 32)
+    hi = s.input("hi", 32)
+    a_source = s.input("a_source", 1)
+    b_source = s.input("b_source", 3)
+    wb_source = s.input("wb_source", 3)
+
+    s.output("a_bus", s.ite(a_source, pc_plus4, rs_data))
+    b_choices = [
+        rt_data,
+        imm.sext(32),
+        imm.zext(32),
+        s.cat(s.const(0, 16), imm),
+        s.cat(s.const(0, 2), imm.sext(30)),
+        s.const(4, 32),
+    ]
+    s.output("b_bus", s.tree_select(b_source, b_choices))
+    wb_choices = [alu_result, shift_result, mem_data, lo, hi]
+    s.output("wb_data", s.tree_select(wb_source, wb_choices))
+    return s.build()
+
+
+# ---------------------------------------------------------------- MCTRL
+
+
+def spec_mctrl() -> Netlist:
+    """Golden memory controller.
+
+    State layout (matching :func:`repro.plasma.mctrl.build_mctrl` DFF
+    order): ``pending`` (1), ``mem_addr`` (30), ``mem_wdata`` (32),
+    ``byte_en`` (4), ``mem_we`` (1), ``addr_lo`` (2), ``size`` (2),
+    ``signed`` (1).
+    """
+    s = SpecBuilder("MCTRL_spec")
+    addr = s.input("addr", 32)
+    size = s.input("size", 2)
+    signed = s.input("signed", 1)
+    re = s.input("re", 1)
+    we = s.input("we", 1)
+    wr_data = s.input("wr_data", 32)
+    mem_rdata = s.input("mem_rdata", 32)
+    state = s.state(73)
+
+    pending = state[0]
+    mem_addr_q = state[1:31]
+    mem_wdata_q = state[31:63]
+    byte_en_q = state[63:67]
+    mem_we_q = state[67]
+    addr_lo_q = state[68:70]
+    size_q = state[70:72]
+    signed_q = state[72]
+
+    pause = (re | we) & ~pending
+    latch = pause
+
+    byte_rep = s.cat(*([wr_data[0:8]] * 4))
+    half_rep = s.cat(wr_data[0:16], wr_data[0:16])
+    steer = s.tree_select(size, [byte_rep, half_rep, wr_data, wr_data])
+
+    be_byte = s.cat(*[s.case_equals(addr[0:2], lane) for lane in range(4)])
+    half_hi = addr[1]
+    be_half = s.cat(~half_hi, ~half_hi, half_hi, half_hi)
+    be_word = s.const(0b1111, 4)
+    byte_en = we.repeat(4) & s.tree_select(
+        size, [be_byte, be_half, be_word, be_word]
+    )
+
+    bytes_of = [mem_rdata[8 * k : 8 * k + 8] for k in range(4)]
+    byte_sel = s.tree_select(addr_lo_q, bytes_of)
+    half_sel = s.ite(addr_lo_q[1], mem_rdata[16:32], mem_rdata[0:16])
+    fill_byte = signed_q & byte_sel[7]
+    fill_half = signed_q & half_sel[15]
+    byte_ext = s.cat(byte_sel, fill_byte.repeat(24))
+    half_ext = s.cat(half_sel, fill_half.repeat(16))
+    load_result = s.tree_select(
+        size_q, [byte_ext, half_ext, mem_rdata, mem_rdata]
+    )
+
+    s.output("mem_addr", s.cat(s.const(0, 2), mem_addr_q))
+    s.output("mem_wdata", mem_wdata_q)
+    s.output("byte_en", byte_en_q)
+    s.output("mem_we", mem_we_q)
+    s.output("load_result", load_result)
+    s.output("pause", pause)
+    s.next_state(s.cat(
+        pause,  # pending
+        s.ite(latch, addr[2:32], mem_addr_q),
+        s.ite(latch, steer, mem_wdata_q),
+        s.ite(latch, byte_en, byte_en_q),
+        we & pause,  # mem_we (no enable gate)
+        s.ite(latch, addr[0:2], addr_lo_q),
+        s.ite(latch, size, size_q),
+        s.ite(latch, signed, signed_q),
+    ))
+    return s.build()
+
+
+# ------------------------------------------------------------------ PLN
+
+
+def spec_pipeline() -> Netlist:
+    """Golden pipeline registers.
+
+    State layout: the :data:`~repro.plasma.pipeline.PIPELINE_REGS`
+    words in declaration order.
+    """
+    s = SpecBuilder("PLN_spec")
+    inputs = {
+        reg: s.input(f"{reg}_in", width) for reg, width in PIPELINE_REGS
+    }
+    pause = s.input("pause", 1)
+    flush = s.input("flush", 1)
+    total = sum(width for _, width in PIPELINE_REGS)
+    state = s.state(total)
+
+    advance = ~pause
+    nxt: list[BV] = []
+    offset = 0
+    for reg, width in PIPELINE_REGS:
+        q = state[offset : offset + width]
+        offset += width
+        word = inputs[reg]
+        if reg == "instr":
+            word = word & (~flush).repeat(width)
+        nxt.append(s.ite(advance, word, q))
+        s.output(f"{reg}_q", q)
+    s.next_state(s.cat(*nxt))
+    return s.build()
+
+
+# ------------------------------------------------------------------- GL
+
+
+def spec_glue() -> Netlist:
+    """Golden glue logic.
+
+    State layout: ``sync1`` (8), ``sync2`` (8), ``mask`` (8),
+    ``pending`` (1), ``rst1`` (1), ``reset_done`` (1).
+    """
+    s = SpecBuilder("GL_spec")
+    irq = s.input("irq", 8)
+    mask_data = s.input("irq_mask_data", 8)
+    mask_we = s.input("irq_mask_we", 1)
+    pause_mem = s.input("pause_mem", 1)
+    pause_muldiv = s.input("pause_muldiv", 1)
+    branch_taken = s.input("branch_taken", 1)
+    state = s.state(27)
+
+    sync1 = state[0:8]
+    sync2 = state[8:16]
+    mask = state[16:24]
+    pending = state[24]
+    rst1 = state[25]
+    reset_done = state[26]
+
+    status = sync2 & mask
+    s.output("pause_cpu", pause_mem | pause_muldiv)
+    s.output("irq_pending", pending)
+    s.output("irq_status", status)
+    s.output("reset_done", reset_done)
+    s.next_state(s.cat(
+        irq,
+        sync1,
+        s.ite(mask_we, mask_data, mask),
+        status.any() & ~branch_taken,
+        s.const(1, 1),
+        rst1,
+    ))
+    return s.build()
+
+
+# -------------------------------------------------------------- registry
+
+
+GOLDEN_SPECS: dict[str, Callable[[], Netlist]] = {
+    "RegF": spec_regfile,
+    "MulD": spec_muldiv,
+    "ALU": spec_alu,
+    "BSH": spec_shifter,
+    "MCTRL": spec_mctrl,
+    "PCL": spec_pclogic,
+    "CTRL": spec_control,
+    "BMUX": spec_busmux,
+    "PLN": spec_pipeline,
+    "GL": spec_glue,
+}
+
+
+def golden_model(name: str) -> Netlist:
+    """Build the golden-model netlist for a component by name."""
+    try:
+        builder = GOLDEN_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"no golden model registered for component {name!r}"
+        ) from None
+    return builder()

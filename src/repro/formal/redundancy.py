@@ -1,0 +1,262 @@
+"""SAT proofs of fault untestability (redundancy) and test witnesses.
+
+A single stuck-at fault is *untestable* exactly when the good/faulty
+miter is unsatisfiable: no input (and, for sequential cuts, no state)
+assignment makes any output port or any DFF D input differ.  This is a
+complete criterion for the combinational cut — contrast the structural
+SCOAP screen of :func:`repro.analysis.scoap.untestable_fault_classes`,
+which is sound but incomplete.
+
+:class:`FaultMiterSession` holds one incrementally-usable solver per
+netlist: the good copy is encoded once, each queried fault encodes only
+its own fanout cone (the strash table collapses everything else onto
+the good copy's literals), and the per-fault miter output is passed to
+the solver as an *assumption*, so learned clauses carry over between
+faults.
+
+Sequential cuts and soundness.  The cut leaves the state free, which
+over-approximates the reachable state set: an UNSAT miter therefore
+proves the fault undetectable from *every* state, which is sound.  The
+one refinement applied: any DFF whose Q net the SCOAP analysis proves
+structurally constant is pinned to that constant in both copies.  This
+is still sound by induction — the reset state satisfies the invariant,
+and SCOAP's constant proof covers every value the D cone can produce —
+and it is exactly what makes the SAT screen a *superset* of the
+structural screen (the FV202 soundness gate in
+:mod:`repro.analysis.formal` depends on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.scoap import (
+    ScoapAnalysis,
+    compute_scoap,
+    untestable_fault_classes,
+)
+from repro.faultsim.faults import Fault, FaultList, build_fault_list
+from repro.formal.cec import FormalInternalError
+from repro.formal.encode import LogicEncoder, encode_circuit, miter_lit
+from repro.formal.evaluate import eval_cut
+from repro.formal.sat import SatSolver
+from repro.netlist.levelize import levelize
+from repro.netlist.netlist import Gate, Netlist
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A confirmed input/state assignment that detects a fault."""
+
+    inputs: dict[str, int]
+    state: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FaultVerdict:
+    """SAT answer for one fault: a redundancy proof or a test witness."""
+
+    rep: int
+    fault: Fault
+    redundant: bool
+    witness: Witness | None
+    conflicts: int
+
+
+@dataclass(frozen=True)
+class UntestabilityScreen:
+    """Cross-checked untestability screen for one component.
+
+    Attributes:
+        component: netlist name.
+        n_classes: collapsed fault classes in the full list.
+        structural: class representatives screened by the SCOAP
+            structural argument.
+        proven: representatives whose good/faulty miter is UNSAT — the
+            SAT-*proven* redundant set.  Only these may be excluded
+            from coverage denominators.
+        witnessed: candidate representatives the SAT solver found a
+            detecting assignment for (testable after all).
+        unconfirmed: ``structural - proven`` — structurally screened
+            classes the SAT layer could *not* confirm.  Non-empty means
+            the structural screen is unsound (FV202 fires).
+    """
+
+    component: str
+    n_classes: int
+    structural: frozenset[int]
+    proven: frozenset[int]
+    witnessed: frozenset[int]
+    conflicts: int
+
+    @property
+    def unconfirmed(self) -> frozenset[int]:
+        return self.structural - self.proven
+
+
+class FaultMiterSession:
+    """Incremental good/faulty miter queries over one netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        *,
+        analysis: ScoapAnalysis | None = None,
+        constrain_constant_state: bool = True,
+    ) -> None:
+        self.netlist = netlist
+        self.order: list[Gate] = levelize(netlist)
+        self.solver = SatSolver()
+        self.logic = LogicEncoder(self.solver)
+        self.good = encode_circuit(self.logic, netlist, order=self.order)
+        self._inputs = {
+            net: lit
+            for port in netlist.input_ports()
+            for net, lit in zip(
+                port.nets, self.good.input_lits(port.name), strict=True
+            )
+        }
+        self._state = self.good.state_lits()
+        self._good_compared = self.good.compared_lits()
+        if constrain_constant_state and netlist.dffs:
+            if analysis is None:
+                analysis = compute_scoap(netlist)
+            for lit, dff in zip(self._state, netlist.dffs, strict=True):
+                value = analysis.constant_value(dff.q)
+                if value == 1:
+                    self.solver.add_clause([lit])
+                elif value == 0:
+                    self.solver.add_clause([-lit])
+        self.analysis = analysis
+
+    def query(
+        self, fault: Fault, rep: int = -1, *, confirm: bool = True
+    ) -> FaultVerdict:
+        """Prove ``fault`` redundant or extract a detecting witness.
+
+        With ``confirm`` (the default) a witness is replayed through
+        :func:`~repro.formal.evaluate.eval_cut` on the good and faulty
+        circuit and must show a difference, otherwise
+        :class:`FormalInternalError` is raised.
+        """
+        faulty = encode_circuit(
+            self.logic,
+            self.netlist,
+            inputs=self._inputs,
+            state=self._state,
+            fault=fault,
+            order=self.order,
+        )
+        miter = miter_lit(
+            self.logic, self._good_compared, faulty.compared_lits()
+        )
+        before = self.solver.stats.conflicts
+        sat = self.solver.solve([miter])
+        conflicts = self.solver.stats.conflicts - before
+        if not sat:
+            return FaultVerdict(rep, fault, True, None, conflicts)
+        witness = self._extract_witness()
+        if confirm:
+            self._confirm(fault, witness)
+        return FaultVerdict(rep, fault, False, witness, conflicts)
+
+    def _extract_witness(self) -> Witness:
+        def bit(lit: int) -> int:
+            return 1 if self.solver.lit_value(lit) else 0
+
+        inputs = {
+            port.name: sum(
+                bit(lit) << i
+                for i, lit in enumerate(self.good.input_lits(port.name))
+            )
+            for port in self.netlist.input_ports()
+        }
+        return Witness(inputs, tuple(bit(lit) for lit in self._state))
+
+    def _confirm(self, fault: Fault, witness: Witness) -> None:
+        good_out, good_next = eval_cut(
+            self.netlist, witness.inputs, witness.state, order=self.order
+        )
+        bad_out, bad_next = eval_cut(
+            self.netlist,
+            witness.inputs,
+            witness.state,
+            fault=fault,
+            order=self.order,
+        )
+        if good_out == bad_out and good_next == bad_next:
+            raise FormalInternalError(
+                f"witness for {fault.describe(self.netlist)} on "
+                f"{self.netlist.name!r} does not replay: SAT model shows "
+                "a difference but direct evaluation does not"
+            )
+
+
+def prove_untestable(
+    netlist: Netlist,
+    fault_list: FaultList | None = None,
+    *,
+    candidates: frozenset[int] | set[int] | None = None,
+    analysis: ScoapAnalysis | None = None,
+    component: str | None = None,
+) -> UntestabilityScreen:
+    """SAT-screen candidate fault classes of one netlist.
+
+    Args:
+        fault_list: collapsed fault list (built on demand).
+        candidates: class representatives to screen.  ``None`` screens
+            the SCOAP structural candidates — the default used by the
+            ``--prune-untestable`` grading path.  Pass
+            ``set(fault_list.classes)`` for a complete sweep.
+        analysis: pre-computed SCOAP analysis to reuse.
+
+    Returns:
+        The screen; ``proven`` holds the SAT-certified redundant
+        classes and is the only set safe to drop from denominators.
+    """
+    if fault_list is None:
+        fault_list = build_fault_list(netlist)
+    if analysis is None:
+        analysis = compute_scoap(netlist)
+    structural = frozenset(untestable_fault_classes(fault_list, analysis))
+    if candidates is None:
+        screened: frozenset[int] = structural
+    else:
+        screened = frozenset(candidates)
+
+    session = FaultMiterSession(netlist, analysis=analysis)
+    proven: set[int] = set()
+    witnessed: set[int] = set()
+    conflicts = 0
+    for rep in sorted(screened):
+        verdict = session.query(fault_list.fault(rep), rep)
+        conflicts += verdict.conflicts
+        if verdict.redundant:
+            proven.add(rep)
+        else:
+            witnessed.add(rep)
+    return UntestabilityScreen(
+        component=component or netlist.name,
+        n_classes=fault_list.n_collapsed,
+        structural=structural,
+        proven=frozenset(proven),
+        witnessed=frozenset(witnessed),
+        conflicts=conflicts,
+    )
+
+
+def proven_untestable_classes(
+    netlist: Netlist,
+    fault_list: FaultList | None = None,
+    *,
+    analysis: ScoapAnalysis | None = None,
+) -> frozenset[int]:
+    """The SAT-proven-redundant class representatives (grading hook).
+
+    This is the set the fault-grading ``prune_untestable`` path may
+    exclude from coverage denominators: every member carries an UNSAT
+    certificate, not just a structural argument.
+    """
+    return prove_untestable(
+        netlist, fault_list, analysis=analysis
+    ).proven

@@ -1,0 +1,465 @@
+"""A dependency-free CDCL SAT solver (the classic MiniSat recipe).
+
+The solver implements the standard conflict-driven clause-learning
+loop over DIMACS-signed integer literals:
+
+* **two-watched-literal** unit propagation — only clauses whose watched
+  literal just became false are visited, and backtracking never touches
+  the watch lists;
+* **1UIP conflict analysis** with local (self-subsumption) clause
+  minimisation — every conflict learns one asserting clause and jumps
+  back to the second-highest level in it;
+* **VSIDS** branching — variable activities are bumped on every
+  conflict and decay geometrically, implemented with a lazy max-heap;
+* **phase saving** — a variable is re-tried at its last assigned
+  polarity, which keeps the solver inside the satisfying prefix it has
+  already built;
+* **Luby restarts** — the conflict budget between restarts follows the
+  Luby sequence times :data:`RESTART_BASE`;
+* an **assumption interface** — :meth:`SatSolver.solve` takes a list of
+  literals that are placed as the first decisions; the answer is then
+  "satisfiable *under these assumptions*", which the formal layer uses
+  to query one miter under different constraint sets without
+  re-encoding.
+
+The implementation is pure Python on purpose (the repo has a no-
+dependency rule) and tuned for the shapes the formal layer produces:
+structurally-hashed miters whose solving is dominated by unit
+propagation, not by search.  DESIGN.md §12 gives the background.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+#: Conflicts allowed before the first restart (scaled by the Luby sequence).
+RESTART_BASE = 128
+
+#: Geometric decay applied to variable activities after each conflict.
+ACTIVITY_DECAY = 0.95
+
+#: Rescale threshold that keeps activities inside float range.
+ACTIVITY_RESCALE = 1e100
+
+
+@dataclass
+class SolverStats:
+    """Search statistics for reporting and the ``bench_sat`` benchmark."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned: int = 0
+    restarts: int = 0
+    max_learned_len: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "learned": self.learned,
+            "restarts": self.restarts,
+            "max_learned_len": self.max_learned_len,
+        }
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence."""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+@dataclass
+class _ClauseDB:
+    """Clause storage: problem clauses first, learned clauses appended."""
+
+    clauses: list[list[int]] = field(default_factory=list)
+
+    def add(self, lits: list[int]) -> int:
+        self.clauses.append(lits)
+        return len(self.clauses) - 1
+
+
+class SatSolver:
+    """CDCL solver over DIMACS-signed literals.
+
+    Typical use::
+
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        solver.add_clause([-a])
+        assert solver.solve()
+        assert solver.value(b) is True
+
+    Variables may also be declared implicitly by adding clauses that
+    mention them.  ``solve`` may be called repeatedly with different
+    assumptions; clauses may be added between calls (incremental use).
+    """
+
+    def __init__(self) -> None:
+        self._db = _ClauseDB()
+        self._n_vars = 0
+        # Indexed by literal code (2*v for +v, 2*v+1 for -v): the clause
+        # ids currently watching that literal.
+        self._watches: list[list[int]] = [[], []]
+        # Indexed by variable: 0 unassigned, +1 true, -1 false.
+        self._assign: list[int] = [0]
+        self._level: list[int] = [0]
+        self._reason: list[int] = [-1]
+        self._activity: list[float] = [0.0]
+        self._saved_phase: list[bool] = [False]
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._heap: list[tuple[float, int]] = []
+        self._var_inc = 1.0
+        self._ok = True
+        self.stats = SolverStats()
+
+    # ------------------------------------------------------------ setup
+
+    def new_var(self) -> int:
+        self._n_vars += 1
+        self._assign.append(0)
+        self._level.append(0)
+        self._reason.append(-1)
+        self._activity.append(0.0)
+        self._saved_phase.append(False)
+        self._watches.append([])
+        self._watches.append([])
+        heappush(self._heap, (0.0, self._n_vars))
+        return self._n_vars
+
+    @property
+    def n_vars(self) -> int:
+        return self._n_vars
+
+    def _ensure_var(self, var: int) -> None:
+        while self._n_vars < var:
+            self.new_var()
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add a clause; performs top-level simplification.
+
+        Must be called with the solver at decision level 0 (it always is
+        between ``solve`` calls — ``solve`` backtracks fully on entry
+        and exit).
+        """
+        if not self._ok:
+            return
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            self._ensure_var(abs(lit))
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            value = self._value(lit)
+            if value == 1 and self._level[abs(lit)] == 0:
+                return  # satisfied at top level
+            if value == -1 and self._level[abs(lit)] == 0:
+                continue  # falsified at top level: drop the literal
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self._ok = False
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], -1):
+                self._ok = False
+            return
+        cid = self._db.add(clause)
+        self._watch(clause[0], cid)
+        self._watch(clause[1], cid)
+
+    def _watch(self, lit: int, cid: int) -> None:
+        self._watches[self._code(lit)].append(cid)
+
+    @staticmethod
+    def _code(lit: int) -> int:
+        return 2 * lit if lit > 0 else -2 * lit + 1
+
+    # ------------------------------------------------------- assignment
+
+    def _value(self, lit: int) -> int:
+        """+1 if the literal is true, -1 if false, 0 if unassigned."""
+        value = self._assign[abs(lit)]
+        return value if lit > 0 else -value
+
+    def value(self, var: int) -> bool | None:
+        """Model value of a variable after a satisfiable ``solve``."""
+        value = self._assign[var]
+        return None if value == 0 else value > 0
+
+    def lit_value(self, lit: int) -> bool | None:
+        """Model value of a literal after a satisfiable ``solve``."""
+        value = self._value(lit)
+        return None if value == 0 else value > 0
+
+    @property
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: int) -> bool:
+        value = self._value(lit)
+        if value != 0:
+            return value > 0
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = self._decision_level
+        self._reason[var] = reason
+        self._saved_phase[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = abs(lit)
+            self._assign[var] = 0
+            self._reason[var] = -1
+            heappush(self._heap, (-self._activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------ propagation
+
+    def _propagate(self) -> int:
+        """Unit propagation; returns a conflicting clause id or -1."""
+        watches = self._watches
+        clauses = self._db.clauses
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            false_lit = -lit
+            code = self._code(false_lit)
+            watch_list = watches[code]
+            keep: list[int] = []
+            i = 0
+            n = len(watch_list)
+            while i < n:
+                cid = watch_list[i]
+                i += 1
+                clause = clauses[cid]
+                # Normalise: the false literal sits at position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    keep.append(cid)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watches[self._code(clause[1])].append(cid)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                keep.append(cid)
+                if not self._enqueue(first, cid):
+                    # Conflict: keep the remaining watchers intact.
+                    keep.extend(watch_list[i:n])
+                    watches[code] = keep
+                    self._qhead = len(self._trail)
+                    return cid
+            watches[code] = keep
+        return -1
+
+    # --------------------------------------------------------- analysis
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > ACTIVITY_RESCALE:
+            inverse = 1.0 / ACTIVITY_RESCALE
+            for v in range(1, self._n_vars + 1):
+                self._activity[v] *= inverse
+            self._var_inc *= inverse
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """1UIP learning: returns (learned clause, backjump level).
+
+        The asserting literal is placed first in the learned clause.
+        """
+        learned: list[int] = [0]  # slot 0 holds the asserting literal
+        seen = [False] * (self._n_vars + 1)
+        counter = 0  # literals of the current level still to resolve
+        lit = 0
+        index = len(self._trail)
+        cid = conflict
+        level = self._decision_level
+        while True:
+            clause = self._db.clauses[cid]
+            start = 1 if lit != 0 else 0
+            for other in clause[start:]:
+                var = abs(other)
+                if seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self._level[var] >= level:
+                    counter += 1
+                else:
+                    learned.append(other)
+            # Walk the trail back to the next marked literal.
+            while True:
+                index -= 1
+                lit = self._trail[index]
+                if seen[abs(lit)]:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            cid = self._reason[abs(lit)]
+            seen[abs(lit)] = False
+        learned[0] = -lit
+
+        # Local minimisation: drop literals whose reason clause is fully
+        # subsumed by the rest of the learned clause.
+        minimised = [learned[0]]
+        for other in learned[1:]:
+            reason = self._reason[abs(other)]
+            if reason == -1:
+                minimised.append(other)
+                continue
+            if any(
+                abs(ante) != abs(other)
+                and not seen[abs(ante)]
+                and self._level[abs(ante)] > 0
+                for ante in self._db.clauses[reason]
+            ):
+                minimised.append(other)
+        learned = minimised
+
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest decision level in the clause.
+        max_i = 1
+        for i in range(2, len(learned)):
+            if self._level[abs(learned[i])] > self._level[abs(learned[max_i])]:
+                max_i = i
+        learned[1], learned[max_i] = learned[max_i], learned[1]
+        return learned, self._level[abs(learned[1])]
+
+    def _record_learned(self, learned: list[int]) -> None:
+        self.stats.learned += 1
+        self.stats.max_learned_len = max(
+            self.stats.max_learned_len, len(learned)
+        )
+        if len(learned) == 1:
+            self._enqueue(learned[0], -1)
+            return
+        cid = self._db.add(learned)
+        self._watch(learned[0], cid)
+        self._watch(learned[1], cid)
+        self._enqueue(learned[0], cid)
+
+    # ----------------------------------------------------------- search
+
+    def _decide(self) -> int:
+        """Pop the most active unassigned variable (0 when none left)."""
+        heap = self._heap
+        while heap:
+            activity, var = heappop(heap)
+            if self._assign[var] == 0 and -activity == self._activity[var]:
+                return var
+        # The heap may be stale (activities bumped since push); rebuild.
+        for var in range(1, self._n_vars + 1):
+            if self._assign[var] == 0:
+                heappush(heap, (-self._activity[var], var))
+        if heap:
+            _, var = heappop(heap)
+            if self._assign[var] == 0:
+                return var
+        return 0
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Decide satisfiability under ``assumptions``.
+
+        Returns True and leaves a full model queryable through
+        :meth:`value` / :meth:`lit_value`, or returns False when the
+        clause set is unsatisfiable with every assumption literal held
+        true.  The solver state stays valid for further ``solve`` and
+        ``add_clause`` calls.
+        """
+        for lit in assumptions:
+            self._ensure_var(abs(lit))
+        self._backtrack(0)
+        if not self._ok:
+            return False
+        if self._propagate() != -1:
+            self._ok = False
+            return False
+
+        conflicts_at_restart = 0
+        budget = RESTART_BASE * luby(self.stats.restarts + 1)
+        while True:
+            conflict = self._propagate()
+            if conflict != -1:
+                self.stats.conflicts += 1
+                conflicts_at_restart += 1
+                if self._decision_level == 0:
+                    self._ok = False
+                    return False
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                self._record_learned(learned)
+                self._var_inc /= ACTIVITY_DECAY
+                continue
+            if conflicts_at_restart >= budget:
+                self.stats.restarts += 1
+                conflicts_at_restart = 0
+                budget = RESTART_BASE * luby(self.stats.restarts + 1)
+                self._backtrack(0)
+                continue
+            # Place pending assumptions as the next decisions.
+            if self._decision_level < len(assumptions):
+                lit = assumptions[self._decision_level]
+                value = self._value(lit)
+                if value == -1:
+                    self._backtrack(0)
+                    return False
+                self._new_decision_level()
+                if value == 0:
+                    self._enqueue(lit, -1)
+                continue
+            var = self._decide()
+            if var == 0:
+                return True  # full assignment: satisfiable
+            self.stats.decisions += 1
+            self._new_decision_level()
+            lit = var if self._saved_phase[var] else -var
+            self._enqueue(lit, -1)
+
+
+def solve_cnf(
+    clauses: Iterable[Iterable[int]], assumptions: Sequence[int] = ()
+) -> tuple[bool, SatSolver]:
+    """One-shot convenience: build a solver, load clauses, solve."""
+    solver = SatSolver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver.solve(assumptions), solver

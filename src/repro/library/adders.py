@@ -30,7 +30,7 @@ def ripple_carry_adder(
         raise NetlistError(f"adder width mismatch: {len(a)} vs {len(x)}")
     total: Word = []
     carry = cin
-    for ai, xi in zip(a, x):
+    for ai, xi in zip(a, x, strict=True):
         axb = b.xor(ai, xi)
         total.append(b.xor(axb, carry))
         # carry-out = ai*xi + (ai^xi)*carry
@@ -74,5 +74,5 @@ def equality_comparator(b: NetlistBuilder, a: Word, x: Word) -> int:
     """1 when the two words are equal (XNOR reduce)."""
     if len(a) != len(x):
         raise NetlistError(f"comparator width mismatch: {len(a)} vs {len(x)}")
-    bits = [b.xnor(ai, xi) for ai, xi in zip(a, x)]
+    bits = [b.xnor(ai, xi) for ai, xi in zip(a, x, strict=True)]
     return b.reduce_and(bits)

@@ -8,7 +8,7 @@ these primitives.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import NetlistError
 from repro.netlist.gates import GateType
@@ -175,24 +175,24 @@ class NetlistBuilder:
 
     def and_word(self, a: Word, b: Word) -> Word:
         self._check_same_width(a, b)
-        return [self.and_(x, y) for x, y in zip(a, b)]
+        return [self.and_(x, y) for x, y in zip(a, b, strict=True)]
 
     def or_word(self, a: Word, b: Word) -> Word:
         self._check_same_width(a, b)
-        return [self.or_(x, y) for x, y in zip(a, b)]
+        return [self.or_(x, y) for x, y in zip(a, b, strict=True)]
 
     def xor_word(self, a: Word, b: Word) -> Word:
         self._check_same_width(a, b)
-        return [self.xor(x, y) for x, y in zip(a, b)]
+        return [self.xor(x, y) for x, y in zip(a, b, strict=True)]
 
     def nor_word(self, a: Word, b: Word) -> Word:
         self._check_same_width(a, b)
-        return [self.nor(x, y) for x, y in zip(a, b)]
+        return [self.nor(x, y) for x, y in zip(a, b, strict=True)]
 
     def mux_word(self, sel: int, a: Word, b: Word) -> Word:
         """Word-wide 2:1 mux (``b`` when sel)."""
         self._check_same_width(a, b)
-        return [self.mux(sel, x, y) for x, y in zip(a, b)]
+        return [self.mux(sel, x, y) for x, y in zip(a, b, strict=True)]
 
     def mux_tree(self, select: Word, choices: Sequence[Word]) -> Word:
         """N:1 word mux from a binary select bus.

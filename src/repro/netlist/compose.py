@@ -12,7 +12,7 @@ by the caller and its output ports are returned as parent nets.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.errors import NetlistError
 from repro.netlist.builder import NetlistBuilder, Word
@@ -67,7 +67,7 @@ def instantiate(
                 f"instance {instance!r}: port {port_name!r} expects "
                 f"{port.width} bits, got {len(word)}"
             )
-        for child_net, parent_net in zip(port.nets, word):
+        for child_net, parent_net in zip(port.nets, word, strict=True):
             parent.netlist._check_net(parent_net)
             if child_net in (CONST0, CONST1):
                 if port.direction is PortDirection.OUTPUT:

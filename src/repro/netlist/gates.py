@@ -9,7 +9,7 @@ evaluates the gate under every pattern simultaneously (see
 from __future__ import annotations
 
 import enum
-from typing import Sequence
+from collections.abc import Sequence
 
 
 class GateType(enum.Enum):

@@ -20,7 +20,7 @@ they do not affect simulation semantics.
 from __future__ import annotations
 
 import hashlib
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.netlist.netlist import Netlist
 

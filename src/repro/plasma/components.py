@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.library import (
     build_alu,

@@ -240,9 +240,9 @@ def build_plasma_top(name: str = "PlasmaTop") -> Netlist:
         + list(ctrl["mem_write"])
         + list(ctrl["use_shifter"])
     )
-    for pre, real in zip(ctrl8_pre, ctrl8):
+    for pre, real in zip(ctrl8_pre, ctrl8, strict=True):
         b.netlist.add_gate(GateType.BUF, [real], output=pre)
-    for pre, real in zip(wb_dest_pre, wb_dest):
+    for pre, real in zip(wb_dest_pre, wb_dest, strict=True):
         b.netlist.add_gate(GateType.BUF, [real], output=pre)
 
     # -------------------------------------------------------------- ports

@@ -22,7 +22,7 @@ per-pattern/per-cycle observability masks of the fault-grading campaigns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.plasma.controls import BranchType, ControlBundle, WbSource
 
@@ -334,7 +334,7 @@ class ComponentTracer:
         observed = self.tracker.observed
         return [
             ports if app in observed else ()
-            for ports, app in zip(trace.candidate_ports, trace.apps)
+            for ports, app in zip(trace.candidate_ports, trace.apps, strict=True)
         ]
 
     def finalize(self) -> dict[str, tuple[list, list]]:

@@ -44,6 +44,46 @@ def render_analysis_reports(
     return "\n\n".join(parts)
 
 
+def render_formal_table(screens) -> str:
+    """Structural-screen vs SAT-proven counts per component.
+
+    Args:
+        screens: iterable of
+            :class:`~repro.formal.redundancy.UntestabilityScreen`, one
+            per component (any order; rendered as given).
+
+    The ``proven`` column is the only set a coverage denominator may
+    drop; ``unconfirmed`` must be 0 everywhere or the structural screen
+    has lost soundness (rule FV202).
+    """
+    lines = [
+        f"{'name':6s} {'classes':>8s} {'structural':>11s} {'proven':>7s} "
+        f"{'witnessed':>10s} {'unconfirmed':>12s} {'conflicts':>10s}",
+        "-" * 68,
+    ]
+    totals = [0, 0, 0, 0, 0, 0]
+    for screen in screens:
+        row = (
+            screen.n_classes,
+            len(screen.structural),
+            len(screen.proven),
+            len(screen.witnessed),
+            len(screen.unconfirmed),
+            screen.conflicts,
+        )
+        totals = [t + v for t, v in zip(totals, row, strict=True)]
+        lines.append(
+            f"{screen.component:6s} {row[0]:8d} {row[1]:11d} {row[2]:7d} "
+            f"{row[3]:10d} {row[4]:12d} {row[5]:10d}"
+        )
+    lines.append("-" * 68)
+    lines.append(
+        f"{'total':6s} {totals[0]:8d} {totals[1]:11d} {totals[2]:7d} "
+        f"{totals[3]:10d} {totals[4]:12d} {totals[5]:10d}"
+    )
+    return "\n".join(lines)
+
+
 def render_testability_table() -> str:
     """Per-component testability: Section 2.2 scores made quantitative.
 

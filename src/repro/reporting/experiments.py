@@ -210,6 +210,23 @@ EXPERIMENTS: tuple[Experiment, ...] = (
          "cores (a 1-core container cannot evidence speedup)",),
     ),
     Experiment(
+        "F1", "Infrastructure validation (SAT formal layer)",
+        "Prove every component netlist equivalent to its bit-blasted "
+        "behavioral golden model (CEC miter UNSAT), SAT-certify every "
+        "SCOAP-screened untestable fault class (redundancy soundness "
+        "gate) and detect an injected netlist mutant via a "
+        "replay-confirmed counterexample; solve times and conflict "
+        "counts are archived per component",
+        "all ten component netlists vs repro.formal.golden specs through "
+        "the dependency-free CDCL solver",
+        ("repro.formal.sat", "repro.formal.encode", "repro.formal.cec",
+         "repro.formal.redundancy", "repro.formal.golden"),
+        "benchmarks/bench_sat.py",
+        ("formal services validate the simulation stack: equivalence of "
+         "netlist and behavioral model, and certified (not just "
+         "screened) untestability for denominator exclusions",),
+    ),
+    Experiment(
         "A2", "Ablation (design choice 2)",
         "Deterministic library test sets vs equal-count pseudorandom "
         "operands per component",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.campaign import CampaignOutcome
 from repro.plasma.components import component_table
@@ -34,7 +34,7 @@ def _rule(widths: Sequence[int]) -> str:
 
 
 def _row(cells: Sequence[str], widths: Sequence[int]) -> str:
-    return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths, strict=True))
 
 
 def render_table2(rows: Sequence[Mapping] | None = None) -> str:

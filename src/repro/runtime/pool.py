@@ -37,10 +37,13 @@ must be picklable, mirroring :mod:`repro.runtime.worker`.
 
 from __future__ import annotations
 
+import contextlib
+
 import time
 from dataclasses import dataclass, field
 from multiprocessing import connection
-from typing import Any, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.errors import CheckpointCorrupt, ReproRuntimeError
 from repro.runtime.policy import RuntimeConfig
@@ -111,15 +114,11 @@ class _Worker:
 
     def stop(self) -> None:
         """Shut the worker down, politely then firmly."""
-        try:
+        with contextlib.suppress(BrokenPipeError, OSError):
             if self.proc.is_alive():
                 self.conn.send(None)
-        except (BrokenPipeError, OSError):
-            pass
-        try:
+        with contextlib.suppress(OSError):
             self.conn.close()
-        except OSError:
-            pass
         _reap(self.proc)
 
 

@@ -25,7 +25,8 @@ argument).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.errors import ReproRuntimeError
 

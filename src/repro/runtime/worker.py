@@ -18,9 +18,12 @@ is unavailable, at the cost of requiring picklable job functions.
 
 from __future__ import annotations
 
+import contextlib
+
 import multiprocessing as mp
 import time
-from typing import Any, Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 from repro.errors import GradingTimeout, JobFailed, WorkerCrash
 
@@ -53,10 +56,8 @@ def register_child_init_hook(hook: Callable[[], None]) -> None:
 def run_child_init_hooks() -> None:
     """Run every registered child-init hook (called in fresh workers)."""
     for hook in _CHILD_INIT_HOOKS:
-        try:
+        with contextlib.suppress(Exception):
             hook()
-        except Exception:
-            pass
 
 
 def _worker_main(conn, fn, args, kwargs) -> None:
@@ -65,10 +66,9 @@ def _worker_main(conn, fn, args, kwargs) -> None:
     try:
         result = fn(*args, **kwargs)
     except BaseException as exc:  # report everything, incl. KeyboardInterrupt
-        try:
+        # parent gone or detail unpicklable -> suppressed; dies as a crash
+        with contextlib.suppress(Exception):
             conn.send(("error", type(exc).__name__, str(exc)))
-        except Exception:
-            pass  # parent gone or result unpicklable; dies as a crash
     else:
         try:
             conn.send(("ok", result))

@@ -7,7 +7,7 @@ bit fields the way hardware description code does.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 MASK32 = 0xFFFF_FFFF
 

@@ -13,7 +13,7 @@ can be masked correctly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ The polynomials in :data:`STANDARD_TAPS` are maximal-length.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 # Maximal-length tap sets (bit positions, 1-based from LSB as customary in
 # LFSR tables; tap n == output bit).  Source: standard m-sequence tables.

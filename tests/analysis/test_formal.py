@@ -1,0 +1,105 @@
+"""The formal analyzer (FV201-FV203) and screen provenance reporting."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.diagnostics import RULES, Severity
+from repro.analysis.formal import analyze_formal
+from repro.analysis.netlist import analyze_netlist, untestable_provenance
+from repro.formal.redundancy import prove_untestable
+from repro.netlist.gates import GateType
+from repro.plasma.components import build_component
+from repro.reporting.analysis import render_formal_table
+
+
+def mutate_component(name):
+    """A component netlist with one gate type flipped (AND <-> OR)."""
+    swaps = {GateType.AND: GateType.OR, GateType.OR: GateType.AND,
+             GateType.XOR: GateType.XNOR, GateType.XNOR: GateType.XOR}
+    netlist = build_component(name)
+    for i, gate in enumerate(netlist.gates):
+        if gate.gtype in swaps:
+            netlist.gates[i] = dataclasses.replace(
+                gate, gtype=swaps[gate.gtype]
+            )
+            return netlist
+    raise AssertionError(f"no swappable gate in {name}")
+
+
+class TestRuleRegistry:
+    def test_fv_rules_registered(self):
+        assert RULES["FV201"].severity is Severity.ERROR
+        assert RULES["FV202"].severity is Severity.ERROR
+        assert RULES["FV203"].severity is Severity.INFO
+
+
+class TestAnalyzeFormal:
+    def test_equivalent_component_is_ok_with_summary(self):
+        report = analyze_formal(component="GL")
+        assert report.kind == "formal"
+        assert report.target == "GL"
+        assert report.ok
+        rules = [d.rule_id for d in report.diagnostics]
+        assert rules == ["FV203"]
+        assert "equivalent" in report.diagnostics[0].message
+
+    def test_mutant_component_raises_fv201(self):
+        report = analyze_formal(mutate_component("GL"), component="GL")
+        assert not report.ok
+        assert any(d.rule_id == "FV201" for d in report.errors)
+        fv201 = next(d for d in report.errors if d.rule_id == "FV201")
+        # The counterexample is embedded so the failure is actionable.
+        assert "diverges" in fv201.message
+        assert "inputs:" in fv201.message
+
+    def test_precomputed_screen_is_reused(self):
+        netlist = build_component("PCL")
+        screen = prove_untestable(netlist, component="PCL")
+        report = analyze_formal(netlist, component="PCL", screen=screen)
+        assert report.ok
+        summary = next(d for d in report.diagnostics
+                       if d.rule_id == "FV203")
+        assert str(len(screen.proven)) in summary.message
+
+    def test_requires_netlist_or_component(self):
+        with pytest.raises(ValueError):
+            analyze_formal()
+
+
+class TestProvenance:
+    def test_structural_only_without_prove(self):
+        netlist = build_component("CTRL")
+        provenance = untestable_provenance(netlist)
+        assert provenance
+        assert set(provenance.values()) == {"structural"}
+
+    def test_prove_upgrades_all_ctrl_classes(self):
+        netlist = build_component("CTRL")
+        provenance = untestable_provenance(netlist, prove=True)
+        assert provenance
+        assert set(provenance.values()) == {"proven"}
+
+    def test_nl103_message_carries_provenance_counts(self):
+        netlist = build_component("CTRL")
+        report = analyze_netlist(netlist, prove=True)
+        nl103 = next(d for d in report.diagnostics
+                     if d.rule_id == "NL103")
+        assert "provenance" in nl103.message
+        assert "proven" in nl103.message
+
+    def test_clean_component_has_empty_provenance(self):
+        assert untestable_provenance(build_component("GL")) == {}
+
+
+class TestFormalTable:
+    def test_table_shape_and_totals(self):
+        screens = [
+            prove_untestable(build_component(n), component=n)
+            for n in ("PCL", "GL")
+        ]
+        table = render_formal_table(screens)
+        lines = table.splitlines()
+        assert any("proven" in line for line in lines)
+        assert any(line.lstrip().startswith("PCL") for line in lines)
+        assert lines[-1].lstrip().startswith("total")

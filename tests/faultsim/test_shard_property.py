@@ -70,7 +70,7 @@ def _random_partition(items, rng, max_parts=5):
     n_parts = rng.randrange(1, max_parts + 1)
     assignment = [rng.randrange(n_parts) for _ in items]
     parts = [
-        [item for item, part in zip(items, assignment) if part == p]
+        [item for item, part in zip(items, assignment, strict=True) if part == p]
         for p in range(n_parts)
     ]
     return [p for p in parts if p]

@@ -1,0 +1,163 @@
+"""Combinational/sequential equivalence checking tests.
+
+Three layers of evidence:
+
+* the fast shipped components prove equivalent to their golden models
+  (the two big ones, RegF and MulD, run in the F1 bench and the slow
+  marker here);
+* an injected netlist mutant must produce a replay-confirmed
+  counterexample (CEC answers are falsifiable, not vacuous);
+* on random ``<= 10``-input circuits the CEC verdict agrees with
+  *exhaustive* simulation of all input/state assignments — the property
+  the whole formal layer rests on, checked where enumeration is
+  feasible.
+"""
+
+import dataclasses
+import itertools
+import random
+
+import pytest
+
+from repro.formal.cec import check_component, check_equivalence
+from repro.formal.evaluate import eval_cut
+from repro.formal.golden import golden_model
+from repro.netlist.gates import GateType
+from repro.plasma.components import build_component
+
+from tests.formal.test_encode import random_circuit
+
+FAST_COMPONENTS = ("ALU", "BSH", "MCTRL", "PCL", "CTRL", "BMUX", "PLN", "GL")
+SLOW_COMPONENTS = ("RegF", "MulD")
+
+_MUTATIONS = {
+    GateType.AND: GateType.OR,
+    GateType.OR: GateType.AND,
+    GateType.NAND: GateType.NOR,
+    GateType.NOR: GateType.NAND,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+}
+
+
+def mutate_first_gate(netlist, start=0):
+    """Flip the first swappable gate's type in place; return its index."""
+    for i in range(start, len(netlist.gates)):
+        gate = netlist.gates[i]
+        swapped = _MUTATIONS.get(gate.gtype)
+        if swapped is not None:
+            netlist.gates[i] = dataclasses.replace(gate, gtype=swapped)
+            return i
+    return -1
+
+
+def exhaustively_equivalent(left, right) -> bool:
+    """Ground truth by enumerating every input and cut-state assignment."""
+    in_bits = sum(p.width for p in left.input_ports())
+    n_state = len(left.dffs)
+    for word in range(1 << in_bits):
+        inputs = {}
+        offset = 0
+        for port in left.input_ports():
+            inputs[port.name] = (word >> offset) & ((1 << port.width) - 1)
+            offset += port.width
+        for bits in itertools.product((0, 1), repeat=n_state):
+            if eval_cut(left, inputs, bits) != eval_cut(right, inputs, bits):
+                return False
+    return True
+
+
+class TestShippedComponents:
+    @pytest.mark.parametrize("name", FAST_COMPONENTS)
+    def test_component_equivalent_to_golden_model(self, name):
+        result = check_component(name)
+        assert result.equivalent, name
+        assert result.counterexample is None
+        assert result.n_vars > 0 and result.n_clauses > 0
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", SLOW_COMPONENTS)
+    def test_large_component_equivalent_to_golden_model(self, name):
+        assert check_component(name).equivalent, name
+
+
+class TestMutantDetection:
+    @pytest.mark.parametrize("name", ("GL", "CTRL", "BMUX"))
+    def test_injected_mutant_yields_confirmed_counterexample(self, name):
+        spec = golden_model(name)
+        start = 0
+        while True:
+            mutant = build_component(name)
+            index = mutate_first_gate(mutant, start)
+            assert index >= 0, f"no mutable gate produced a mismatch ({name})"
+            result = check_equivalence(mutant, spec, component=name)
+            if not result.equivalent:
+                break
+            start = index + 1  # functionally masked flip: try the next gate
+        cex = result.counterexample
+        # check_equivalence replays every witness through eval_cut before
+        # returning, so reaching here means the counterexample is real;
+        # re-verify explicitly anyway.
+        assert cex is not None and cex.mismatched
+        good_out, good_next = eval_cut(
+            build_component(name), cex.inputs, cex.state
+        )
+        bad_out, bad_next = eval_cut(mutant, cex.inputs, cex.state)
+        assert (good_out, good_next) != (bad_out, bad_next)
+
+
+class TestExhaustiveProperty:
+    def test_cec_verdict_matches_exhaustive_simulation(self):
+        rng = random.Random(0xFEED)
+        checked_inequivalent = 0
+        for trial in range(30):
+            # Netlist-vs-netlist CEC follows the combinational-cut spec
+            # convention (a stateful spec carries _state ports), so the
+            # random pairs stay DFF-free; the sequential path is covered
+            # by the golden-model and mutant tests above.
+            n_inputs = rng.randint(1, 10)
+            left = random_circuit(rng, n_inputs, rng.randint(2, 18))
+            if rng.random() < 0.5:
+                right = left  # identical structure: must be equivalent
+            else:
+                # random_circuit emits identical port shapes for equal
+                # n_inputs, so CEC accepts the pair; functional
+                # agreement is up to chance.
+                right = random_circuit(rng, n_inputs, rng.randint(2, 18))
+            want = exhaustively_equivalent(left, right)
+            got = check_equivalence(left, right)
+            assert got.equivalent == want, f"trial {trial}"
+            if not want:
+                checked_inequivalent += 1
+                assert got.counterexample is not None
+        assert checked_inequivalent >= 5  # the fuzz actually exercised SAT
+
+    def test_mutants_of_small_circuits_match_exhaustive(self):
+        rng = random.Random(0xBEEF)
+        for trial in range(15):
+            circuit = random_circuit(rng, rng.randint(2, 6),
+                                     rng.randint(3, 15))
+            mutant = build_mutant_copy(circuit, rng)
+            if mutant is None:
+                continue
+            want = exhaustively_equivalent(circuit, mutant)
+            got = check_equivalence(circuit, mutant)
+            assert got.equivalent == want, f"trial {trial}"
+
+
+def build_mutant_copy(circuit, rng):
+    """A structural copy of ``circuit`` with one random gate flipped."""
+    import copy
+
+    mutant = copy.deepcopy(circuit)
+    swappable = [
+        i for i, g in enumerate(mutant.gates) if g.gtype in _MUTATIONS
+    ]
+    if not swappable:
+        return None
+    i = rng.choice(swappable)
+    gate = mutant.gates[i]
+    mutant.gates[i] = dataclasses.replace(
+        gate, gtype=_MUTATIONS[gate.gtype]
+    )
+    return mutant

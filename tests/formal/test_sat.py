@@ -1,0 +1,176 @@
+"""CDCL solver unit tests and brute-force cross-validation.
+
+The solver is the root of trust for every formal result in the repo, so
+besides the API contract it is fuzzed against exhaustive enumeration on
+random small CNFs: the SAT/UNSAT answer must match brute force, and
+every claimed model must actually satisfy the formula.
+"""
+
+import itertools
+import random
+
+from repro.formal.sat import SatSolver, luby, solve_cnf
+
+
+def brute_force(n_vars: int, clauses: list[list[int]]) -> bool:
+    for bits in itertools.product((False, True), repeat=n_vars):
+        if all(
+            any(bits[abs(lit) - 1] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def model_satisfies(solver: SatSolver, clauses: list[list[int]]) -> bool:
+    return all(
+        any(solver.lit_value(lit) for lit in clause) for clause in clauses
+    )
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert SatSolver().solve()
+
+    def test_single_unit(self):
+        s = SatSolver()
+        v = s.new_var()
+        s.add_clause([v])
+        assert s.solve()
+        assert s.value(v) is True
+
+    def test_contradicting_units_unsat(self):
+        s = SatSolver()
+        v = s.new_var()
+        s.add_clause([v])
+        s.add_clause([-v])
+        assert not s.solve()
+
+    def test_unit_propagation_chain(self):
+        s = SatSolver()
+        a, b, c = (s.new_var() for _ in range(3))
+        s.add_clause([a])
+        s.add_clause([-a, b])
+        s.add_clause([-b, c])
+        assert s.solve()
+        assert s.value(a) and s.value(b) and s.value(c)
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # Two pigeons, one hole: x1 and x2 both true, but not both.
+        s = SatSolver()
+        x1, x2 = s.new_var(), s.new_var()
+        s.add_clause([x1])
+        s.add_clause([x2])
+        s.add_clause([-x1, -x2])
+        assert not s.solve()
+
+    def test_stats_accumulate(self):
+        s = SatSolver()
+        vs = [s.new_var() for _ in range(8)]
+        for a, b in itertools.combinations(vs, 2):
+            s.add_clause([a, b])
+        assert s.solve()
+        assert s.stats.propagations >= 0
+        as_dict = s.stats.as_dict()
+        assert set(as_dict) >= {"decisions", "propagations", "conflicts"}
+
+
+class TestAssumptions:
+    def _xor_instance(self):
+        # y <-> a xor b, plus nothing else: all four (a, b) combinations
+        # reachable under assumptions.
+        s = SatSolver()
+        a, b, y = (s.new_var() for _ in range(3))
+        s.add_clause([-a, -b, -y])
+        s.add_clause([a, b, -y])
+        s.add_clause([a, -b, y])
+        s.add_clause([-a, b, y])
+        return s, a, b, y
+
+    def test_assumptions_drive_model(self):
+        s, a, b, y = self._xor_instance()
+        for va, vb in itertools.product((False, True), repeat=2):
+            lits = [a if va else -a, b if vb else -b]
+            assert s.solve(lits)
+            assert s.value(a) == va and s.value(b) == vb
+            assert s.value(y) == (va ^ vb)
+
+    def test_unsat_under_assumptions_is_not_permanent(self):
+        s = SatSolver()
+        v = s.new_var()
+        s.add_clause([v])
+        assert not s.solve([-v])
+        assert s.solve()
+        assert s.solve([v])
+
+    def test_conflicting_assumptions(self):
+        s = SatSolver()
+        v = s.new_var()
+        assert not s.solve([v, -v])
+        assert s.solve()
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8
+        ]
+
+
+class TestBruteForceFuzz:
+    def test_random_3cnf_agrees_with_enumeration(self):
+        rng = random.Random(0xC0FFEE)
+        for trial in range(120):
+            n_vars = rng.randint(1, 9)
+            n_clauses = rng.randint(1, 4 * n_vars)
+            clauses = []
+            for _ in range(n_clauses):
+                width = rng.randint(1, 3)
+                lits = []
+                for var in rng.sample(range(1, n_vars + 1),
+                                      min(width, n_vars)):
+                    lits.append(var if rng.random() < 0.5 else -var)
+                clauses.append(lits)
+            expected = brute_force(n_vars, clauses)
+            solver = SatSolver()
+            for _ in range(n_vars):
+                solver.new_var()
+            for clause in clauses:
+                solver.add_clause(list(clause))
+            got = solver.solve()
+            assert got == expected, f"trial {trial}: {clauses}"
+            if got:
+                assert model_satisfies(solver, clauses)
+
+    def test_incremental_assumption_queries_match_unit_addition(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            n_vars = rng.randint(2, 8)
+            clauses = [
+                [
+                    var if rng.random() < 0.5 else -var
+                    for var in rng.sample(
+                        range(1, n_vars + 1), min(rng.randint(1, 3), n_vars)
+                    )
+                ]
+                for _ in range(rng.randint(2, 2 * n_vars))
+            ]
+            incremental = SatSolver()
+            for _ in range(n_vars):
+                incremental.new_var()
+            for clause in clauses:
+                incremental.add_clause(list(clause))
+            for _ in range(4):
+                assumption = rng.randint(1, n_vars)
+                if rng.random() < 0.5:
+                    assumption = -assumption
+                want, _ = solve_cnf(clauses + [[assumption]])
+                assert incremental.solve([assumption]) == want
+
+
+class TestSolveCnf:
+    def test_returns_verdict_and_solver(self):
+        sat, solver = solve_cnf([[1, 2], [-1]])
+        assert sat and solver.value(2) is True
+        sat, _ = solve_cnf([[1], [-1]])
+        assert not sat

@@ -31,8 +31,8 @@ def assert_code_identical(original, rebuilt):
     new_code = [(s.base, s.words) for s in rebuilt.segments if s.is_code]
     assert [(b, len(w)) for b, w in orig_code] == \
         [(b, len(w)) for b, w in new_code]
-    for (base, words), (_, new_words) in zip(orig_code, new_code):
-        for i, (old, new) in enumerate(zip(words, new_words)):
+    for (base, words), (_, new_words) in zip(orig_code, new_code, strict=True):
+        for i, (old, new) in enumerate(zip(words, new_words, strict=True)):
             assert old == new, (
                 f"word mismatch at {base + 4 * i:#010x}: "
                 f"{old:#010x} ({disassemble(old, pc=base + 4 * i)}) != "

@@ -68,7 +68,7 @@ class TestListingRoundtrip:
         code = [s for s in program.segments if s.is_code][0]
         # Don't-care fields may legitimately differ; decoded meaning must
         # not.
-        for original, reassembled in zip(words, code.words):
+        for original, reassembled in zip(words, code.words, strict=True):
             a, b = decode(original), decode(reassembled)
             assert a.mnemonic == b.mnemonic
             assert (a.rs, a.rt, a.rd, a.imm) == (b.rs, b.rt, b.rd, b.imm)

@@ -33,7 +33,7 @@ class TestRippleCarryAdder:
         pats = [dict(a=a, x=x, cin=c)
                 for a in range(16) for x in range(16) for c in (0, 1)]
         out = sim.run_combinational(pats)
-        for p, s, co in zip(pats, out["sum"], out["cout"]):
+        for p, s, co in zip(pats, out["sum"], out["cout"], strict=True):
             total = p["a"] + p["x"] + p["cin"]
             assert s == total & 0xF
             assert co == total >> 4

@@ -58,7 +58,7 @@ class TestNetlistMatchesReference:
         corners = (0, 1, 0x7FFF_FFFF, 0x8000_0000, 0xFFFF_FFFF, 0x5555_5555)
         pats = [dict(a=a, b=b, func=int(op)) for a in corners for b in corners]
         out = _SIM.run_combinational(pats)
-        for p, r in zip(pats, out["result"]):
+        for p, r in zip(pats, out["result"], strict=True):
             assert r == alu_reference(op, p["a"], p["b"]), p
 
     def test_carry_chain_propagation(self):

@@ -53,7 +53,7 @@ class TestNetlistMatchesReference:
             for ar in (0, 1)
         ]
         out = _SIM.run_combinational(pats)
-        for p, r in zip(pats, out["result"]):
+        for p, r in zip(pats, out["result"], strict=True):
             assert r == shifter_reference(
                 value, p["shamt"], p["left"], p["arith"]
             ), p

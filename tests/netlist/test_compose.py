@@ -57,7 +57,7 @@ class TestInstantiate:
         sim = LogicSimulator(nl)
         pats = [dict(a=0xF0, x=0x0F, func=int(op)) for op in AluOp]
         res = sim.run_combinational(pats)
-        for p, r in zip(pats, res["result"]):
+        for p, r in zip(pats, res["result"], strict=True):
             assert r == alu_reference(AluOp(p["func"]), 0xF0, 0x0F, width=8)
 
     def test_output_binding_feedback(self):

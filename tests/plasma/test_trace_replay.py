@@ -73,7 +73,7 @@ class TestCombinationalReplay:
         _, tracer, _, _ = traced
         sim = LogicSimulator(build_component("ALU"))
         out = sim.run_combinational(tracer.alu.patterns)
-        for pattern, result in zip(tracer.alu.patterns, out["result"]):
+        for pattern, result in zip(tracer.alu.patterns, out["result"], strict=True):
             expected = alu_reference(
                 AluOp(pattern["func"]), pattern["a"], pattern["b"]
             )
@@ -83,7 +83,7 @@ class TestCombinationalReplay:
         _, tracer, _, _ = traced
         sim = LogicSimulator(build_component("BSH"))
         out = sim.run_combinational(tracer.bsh.patterns)
-        for pattern, result in zip(tracer.bsh.patterns, out["result"]):
+        for pattern, result in zip(tracer.bsh.patterns, out["result"], strict=True):
             expected = shifter_reference(
                 pattern["value"], pattern["shamt"],
                 bool(pattern["left"]), bool(pattern["arith"]),
@@ -99,7 +99,7 @@ class TestSequentialReplay:
         # At every un-paused cycle (past the 2-cycle fill) the netlist PC
         # must equal the PLN trace's pc snapshot for that cycle.
         for t, (pcl_in, pln_in) in enumerate(
-            zip(tracer.pcl.cycles, tracer.pln.cycles)
+            zip(tracer.pcl.cycles, tracer.pln.cycles, strict=True)
         ):
             if t < 2 or pcl_in["pause"]:
                 continue
@@ -139,7 +139,7 @@ class TestSequentialReplay:
         sim = LogicSimulator(build_component("MCTRL"))
         outs, _ = sim.run_sequence(tracer.mctrl.cycles)
         for t, (cycle, ports) in enumerate(
-            zip(tracer.mctrl.cycles, tracer.mctrl.observe)
+            zip(tracer.mctrl.cycles, tracer.mctrl.observe, strict=True)
         ):
             if "load_result" in ports:
                 expected = mctrl_load_reference(

@@ -85,7 +85,7 @@ out: .word 0
         specs = tracer.finalize()
         patterns, observe = specs["BSH"]
         # The sll with value 3 must be unobserved.
-        for pattern, ports in zip(patterns, observe):
+        for pattern, ports in zip(patterns, observe, strict=True):
             if pattern["value"] == 3:
                 assert ports == ()
 
@@ -115,7 +115,7 @@ out: .word 0
 """)
         specs = tracer.finalize()
         patterns, observe = specs["BSH"]
-        by_shamt = {p["shamt"]: o for p, o in zip(patterns, observe)}
+        by_shamt = {p["shamt"]: o for p, o in zip(patterns, observe, strict=True)}
         assert by_shamt[5] == ("result",)
         assert by_shamt[4] == ()
 

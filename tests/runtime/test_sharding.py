@@ -16,7 +16,7 @@ def _assert_partition(ranges, n_items):
     """Shards must tile [0, n_items) exactly, in order, without gaps."""
     assert ranges[0][0] == 0
     assert ranges[-1][1] == n_items
-    for (lo, hi), (nlo, _nhi) in zip(ranges, ranges[1:]):
+    for (lo, hi), (nlo, _nhi) in zip(ranges, ranges[1:], strict=False):
         assert hi == nlo
     for lo, hi in ranges:
         assert lo < hi

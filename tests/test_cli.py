@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import (
+    EXIT_ANALYZE_FORMAL,
     EXIT_ANALYZE_NETLIST,
     EXIT_ANALYZE_PROGRAM,
     EXIT_DEGRADED,
@@ -153,10 +154,16 @@ class TestCampaign:
         assert "Traceback" not in captured.err
         assert "lower bound" in captured.out
 
-    def test_prune_untestable_keeps_table5_coverage(self, capsys):
-        def table_rows(text):
-            return [line for line in text.splitlines()
-                    if line.startswith(("CTRL", "Plasma"))]
+    def test_prune_untestable_only_improves_table5_coverage(self, capsys):
+        # --prune-untestable grades in "proven" mode: SAT-certified
+        # redundant classes leave the FC denominator, so coverage may
+        # only improve — and only through the denominator, never
+        # through the detected set (tests/faultsim/test_proven.py pins
+        # the set equality; here we check the CLI surface).
+        def ctrl_fc(text):
+            row = next(line for line in text.splitlines()
+                       if line.startswith("CTRL"))
+            return float(row.split("|")[1])
 
         assert main(["campaign", "--phases", "A",
                      "--components", "CTRL"]) == 0
@@ -165,7 +172,7 @@ class TestCampaign:
                      "--prune-untestable"]) == 0
         pruned = capsys.readouterr().out
         assert "pruned" in pruned
-        assert table_rows(pruned) == table_rows(base)
+        assert ctrl_fc(pruned) >= ctrl_fc(base)
 
     def test_resume_requires_checkpoint(self, capsys):
         code = main(["campaign", "--phases", "A", "--components", "CTRL",
@@ -250,6 +257,57 @@ class TestAnalyze:
     def test_all_with_targets_rejected(self, capsys):
         assert main(["analyze", "netlist", "CTRL", "--all"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestAnalyzeFormal:
+    def test_exit_code_constant(self):
+        assert EXIT_ANALYZE_FORMAL == 8
+
+    def test_clean_component_passes_with_table(self, capsys):
+        assert main(["analyze", "formal", "GL"]) == 0
+        out = capsys.readouterr().out
+        assert "FV203" in out
+        assert "proven" in out  # the structural-vs-proven table
+
+    def test_component_flag_merges_targets(self, capsys):
+        assert main(["analyze", "formal", "--component", "GL",
+                     "--component", "PLN"]) == 0
+        out = capsys.readouterr().out
+        assert "2 target(s) analyzed, 0 with errors" in out
+
+    def test_json_output_carries_formal_report(self, capsys):
+        assert main(["analyze", "formal", "GL", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        kinds = {r["kind"] for r in doc["reports"]}
+        assert kinds == {"formal"}
+
+    def test_mutant_netlist_exits_8(self, capsys, monkeypatch):
+        import dataclasses
+
+        from repro.netlist.gates import GateType
+        from repro.plasma import components as components_mod
+
+        build = components_mod.component("GL").builder
+
+        def mutant_builder():
+            netlist = build()
+            swaps = {GateType.AND: GateType.OR, GateType.OR: GateType.AND}
+            for i, gate in enumerate(netlist.gates):
+                if gate.gtype in swaps:
+                    netlist.gates[i] = dataclasses.replace(
+                        gate, gtype=swaps[gate.gtype]
+                    )
+                    return netlist
+            raise AssertionError("no swappable gate")
+
+        info = dataclasses.replace(
+            components_mod.component("GL"), builder=mutant_builder
+        )
+        monkeypatch.setattr(components_mod, "component", lambda name: info)
+        assert main(["analyze", "formal", "GL"]) == EXIT_ANALYZE_FORMAL
+        out = capsys.readouterr().out
+        assert "FV201" in out
 
 
 class TestEngineSelection:
