@@ -7,12 +7,19 @@ line for assembly findings, net / gate for netlist findings).  Analyzers
 collect diagnostics into :class:`Report` objects; :func:`render_text`
 and :func:`reports_to_json` are the two reporters the CLI exposes.
 
-Rule namespaces:
+Rule namespaces (see :data:`RULE_NAMESPACES` — the machine-readable
+registry the cross-analyzer consistency test checks against):
 
-* ``PRxxx`` — program (assembly/CFG/dataflow) rules;
+* ``PR0xx`` — program (assembly/CFG/dataflow) rules;
 * ``NL0xx`` — netlist structural lint rules;
 * ``NL1xx`` — netlist testability (SCOAP / structural screening) rules;
+* ``NL2xx`` — fault collapsing (equivalence/dominance) rules;
 * ``FV2xx`` — formal verification (SAT-based CEC / redundancy) rules.
+
+Every rule ID an analyzer emits must be registered here —
+:func:`make_diagnostic` raises on unknown IDs, and
+:func:`validate_rules` (run at import and by the registry test) rejects
+duplicate or out-of-namespace registrations.
 
 Only ``ERROR``-severity diagnostics gate (non-zero ``repro analyze``
 exit, failing lint-gate tests); warnings are surfaced but never fail a
@@ -23,6 +30,7 @@ from __future__ import annotations
 
 import enum
 import json
+import re
 from dataclasses import dataclass, field
 
 
@@ -77,6 +85,15 @@ _RULE_TABLE: tuple[Rule, ...] = (
          "net has no structural path to any output port (unobservable)"),
     Rule("NL103", Severity.INFO,
          "summary: structurally untestable stuck-at fault classes"),
+    # --- fault collapsing rules -------------------------------------------
+    Rule("NL201", Severity.INFO,
+         "summary: fault collapsing result (equivalence classes, "
+         "dominance graph, SAT spot-check statistics)"),
+    Rule("NL202", Severity.ERROR,
+         "statically claimed fault equivalence refuted by the SAT "
+         "difference miter"),
+    Rule("NL203", Severity.ERROR,
+         "statically claimed fault dominance refuted by the SAT layer"),
     # --- formal verification rules ---------------------------------------
     Rule("FV201", Severity.ERROR,
          "netlist is not equivalent to its behavioral golden model "
@@ -89,8 +106,52 @@ _RULE_TABLE: tuple[Rule, ...] = (
          "certificates, solver statistics)"),
 )
 
+#: Allocated rule-ID namespaces: prefix (two letters + leading digit) ->
+#: owning analyzer family.  New rules must land in an allocated block.
+RULE_NAMESPACES: dict[str, str] = {
+    "PR0": "program analysis (assembly/CFG/dataflow)",
+    "NL0": "netlist structural lint",
+    "NL1": "netlist testability (SCOAP screening)",
+    "NL2": "fault collapsing (equivalence/dominance)",
+    "FV2": "formal verification (CEC / redundancy)",
+}
+
+_RULE_ID_PATTERN = re.compile(r"^(PR|NL|FV)\d{3}$")
+
 #: Registry of every known rule, keyed by rule ID.
 RULES: dict[str, Rule] = {r.rule_id: r for r in _RULE_TABLE}
+
+
+def validate_rules(table: tuple[Rule, ...] = _RULE_TABLE) -> None:
+    """Reject malformed, duplicate or out-of-namespace rule registrations.
+
+    Runs at import time (a broken table should fail fast, not at first
+    emission) and again from the registry test suite, which additionally
+    greps the source tree for rule IDs referenced but never registered.
+
+    Raises:
+        ValueError: on any registry inconsistency.
+    """
+    seen: set[str] = set()
+    for rule in table:
+        if not _RULE_ID_PATTERN.match(rule.rule_id):
+            raise ValueError(
+                f"rule ID {rule.rule_id!r} is not of the form "
+                "<PR|NL|FV><3 digits>"
+            )
+        if rule.rule_id in seen:
+            raise ValueError(f"duplicate rule ID {rule.rule_id!r}")
+        seen.add(rule.rule_id)
+        if rule.rule_id[:3] not in RULE_NAMESPACES:
+            raise ValueError(
+                f"rule ID {rule.rule_id!r} is outside every allocated "
+                f"namespace ({', '.join(sorted(RULE_NAMESPACES))})"
+            )
+        if not rule.title:
+            raise ValueError(f"rule {rule.rule_id} has an empty title")
+
+
+validate_rules()
 
 
 @dataclass(frozen=True)
@@ -170,7 +231,8 @@ class Report:
 
     Attributes:
         target: what was analyzed (program name / file / netlist name).
-        kind: ``"program"``, ``"netlist"`` or ``"formal"``.
+        kind: ``"program"``, ``"netlist"``, ``"formal"`` or
+            ``"collapse"``.
         diagnostics: findings in discovery order.
     """
 

@@ -10,8 +10,10 @@ Commands:
 * ``inventory``      — print the component classification and gate counts
   (Tables 2 and 3).
 * ``analyze``        — static analysis: program CFG/dataflow checks,
-  netlist testability (SCOAP) screening and the SAT-based formal layer
-  (``analyze formal``: golden-model equivalence + redundancy proofs).
+  netlist testability (SCOAP) screening, the SAT-based formal layer
+  (``analyze formal``: golden-model equivalence + redundancy proofs) and
+  the structural fault-collapse pass (``analyze collapse``: equivalence /
+  dominance classes with a SAT spot-check).
 """
 
 from __future__ import annotations
@@ -43,6 +45,7 @@ EXIT_ANALYZE_PROGRAM = 5   # program analyzer found errors
 EXIT_ANALYZE_NETLIST = 6   # netlist analyzer found errors
 EXIT_ANALYZE_BOTH = 7      # both analyzers found errors
 EXIT_ANALYZE_FORMAL = 8    # formal layer found errors (CEC / soundness)
+EXIT_ANALYZE_COLLAPSE = 9  # SAT refuted a static collapse claim
 
 
 def _cmd_asm(args: argparse.Namespace) -> int:
@@ -152,7 +155,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         outcomes[phases] = run_campaign(
             phases, components=components, verbose=True, runtime=runtime,
             prune_untestable="proven" if args.prune_untestable else False,
-            engine=args.engine, jobs=args.jobs,
+            engine=args.engine, jobs=args.jobs, collapse=args.collapse,
         )
         if runtime is not None and runtime.checkpoint_dir is not None:
             # Later phases (and the journal entries the first phase just
@@ -255,18 +258,41 @@ def _analyze_formal(names: list[str]) -> tuple[list, list]:
     return reports, screens
 
 
+def _analyze_collapse(names: list[str], sat_samples: int) -> tuple[list, list]:
+    """Collapse reports + ``(map, check)`` pairs for the named components.
+
+    Default: all ten.  Each component's collapse map is computed once and
+    shared between the report and the summary table.
+    """
+    from repro.analysis.collapse import analyze_collapse
+    from repro.plasma.components import COMPONENTS, component
+
+    infos = [component(n) for n in names] if names else list(COMPONENTS)
+    reports, entries = [], []
+    for info in infos:
+        report, cmap, check = analyze_collapse(
+            info.builder(), sat_samples=sat_samples
+        )
+        reports.append(report)
+        entries.append((cmap, check))
+    return reports, entries
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import reports_to_json
     from repro.reporting.analysis import (
         render_analysis_reports,
+        render_collapse_table,
         render_formal_table,
     )
 
     do_programs = args.all or args.what == "program"
     do_netlists = args.all or args.what == "netlist"
     do_formal = args.what == "formal"
-    if not (do_programs or do_netlists or do_formal):
-        print("error: analyze needs 'program', 'netlist', 'formal' or --all",
+    do_collapse = args.what == "collapse"
+    if not (do_programs or do_netlists or do_formal or do_collapse):
+        print("error: analyze needs 'program', 'netlist', 'formal', "
+              "'collapse' or --all",
               file=sys.stderr)
         return EXIT_ERROR
     if args.all and args.targets:
@@ -283,7 +309,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     formal_screens: list = []
     if do_formal:
         formal_reports, formal_screens = _analyze_formal(targets)
-    reports = program_reports + netlist_reports + formal_reports
+    collapse_reports: list = []
+    collapse_entries: list = []
+    if do_collapse:
+        collapse_reports, collapse_entries = _analyze_collapse(
+            targets, args.sat_samples
+        )
+    reports = (
+        program_reports + netlist_reports + formal_reports
+        + collapse_reports
+    )
 
     if args.json:
         print(reports_to_json(reports))
@@ -294,10 +329,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if formal_screens:
             print()
             print(render_formal_table(formal_screens))
+        if collapse_entries:
+            print()
+            print(render_collapse_table(collapse_entries))
 
     program_failed = any(not r.ok for r in program_reports)
     netlist_failed = any(not r.ok for r in netlist_reports)
     formal_failed = any(not r.ok for r in formal_reports)
+    collapse_failed = any(not r.ok for r in collapse_reports)
+    if collapse_failed:
+        return EXIT_ANALYZE_COLLAPSE
     if formal_failed:
         return EXIT_ANALYZE_FORMAL
     if program_failed and netlist_failed:
@@ -391,6 +432,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "fault universe is sharded over a persistent "
                           "pool and the merged tables are bit-identical "
                           "to --jobs 1 (default: 1 = serial)")
+    p_c.add_argument("--collapse", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="grade through the structural collapse map: "
+                          "simulate only super-class representatives and "
+                          "infer dominated verdicts; Tables 4/5 are "
+                          "bit-identical either way (default: on; "
+                          "--no-collapse simulates every class)")
     p_c.set_defaults(func=_cmd_campaign)
 
     p_inv = sub.add_parser("inventory", help="print Tables 2 and 3")
@@ -405,21 +453,24 @@ def build_parser() -> argparse.ArgumentParser:
             "map); 'netlist' checks component circuits (structural lint "
             "+ SCOAP testability); 'formal' runs the SAT layer (netlist "
             "vs golden-model equivalence + redundancy-proof soundness "
-            "gate).  With no targets, every shipped routine/netlist is "
+            "gate); 'collapse' computes the structural fault-collapse "
+            "map (equivalence + dominance) and SAT spot-checks sampled "
+            "claims.  With no targets, every shipped routine/netlist is "
             "analyzed.  Exit codes: "
             f"{EXIT_ANALYZE_PROGRAM} = program errors, "
             f"{EXIT_ANALYZE_NETLIST} = netlist errors, "
             f"{EXIT_ANALYZE_BOTH} = both, "
-            f"{EXIT_ANALYZE_FORMAL} = formal errors."
+            f"{EXIT_ANALYZE_FORMAL} = formal errors, "
+            f"{EXIT_ANALYZE_COLLAPSE} = refuted collapse claims."
         ),
     )
     p_an.add_argument("what", nargs="?",
-                      choices=("program", "netlist", "formal"),
+                      choices=("program", "netlist", "formal", "collapse"),
                       help="which analyzer to run (or use --all)")
     p_an.add_argument("targets", nargs="*",
                       help="assembly files (program) or component names "
-                           "(netlist/formal); default: all shipped "
-                           "artifacts")
+                           "(netlist/formal/collapse); default: all "
+                           "shipped artifacts")
     p_an.add_argument("--component", action="append", metavar="NAME",
                       help="component short name to analyze (repeatable; "
                            "same as a positional target)")
@@ -432,6 +483,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--max-diagnostics", type=int, default=20,
                       metavar="N",
                       help="cap printed findings per target (default 20)")
+    p_an.add_argument("--sat-samples", type=int, default=8, metavar="N",
+                      help="collapse analyzer: SAT spot-check samples per "
+                           "claim family per component (default 8; large "
+                           "values approach an exhaustive check)")
     p_an.set_defaults(func=_cmd_analyze)
     return parser
 

@@ -111,6 +111,7 @@ def grade_component(
     netlist: Netlist | None = None,
     prune_untestable: bool | str = False,
     engine: str = "auto",
+    collapse: bool = False,
 ) -> CampaignResult:
     """Fault-grade one component against its traced stimulus.
 
@@ -127,6 +128,9 @@ def grade_component(
             denominator.
         engine: fault-sim engine name or ``"auto"`` (see
             :func:`repro.faultsim.engine.engine_names`).
+        collapse: grade through the structural collapse map
+            (:mod:`repro.analysis.collapse`) — fewer classes simulated,
+            identical coverage.
     """
     if netlist is None:
         netlist = info.builder()
@@ -143,6 +147,7 @@ def grade_component(
         observe=observe,
         name=info.name,
         prune_untestable=prune_untestable,
+        collapse=collapse,
     )
 
 
@@ -172,6 +177,7 @@ def _grading_job(
     netlist_transform=None,
     prune_untestable: bool | str = False,
     engine: str = "auto",
+    collapse: bool = False,
 ) -> tuple[CampaignResult, int]:
     """Build one component once, measure its area, fault-grade it."""
     info = component(name)
@@ -182,6 +188,7 @@ def _grading_job(
     result = grade_component(
         info, stimulus, observe, netlist=netlist,
         prune_untestable=prune_untestable, engine=engine,
+        collapse=collapse,
     )
     return result, nand2
 
@@ -213,6 +220,11 @@ def _job_fingerprint(
     mode = resolve_prune_mode(prune_untestable)
     digest.update(b"prune-proven" if mode == "proven"
                   else b"prune" if mode else b"")
+    # The canonical fault ordering contract changed when structural
+    # collapsing landed (class representatives now sort by net, then
+    # polarity) — shard bounds journaled under the old ordering would
+    # silently cover different faults, so force a new fingerprint epoch.
+    digest.update(b"order-v2")
     return digest.hexdigest()[:16]
 
 
@@ -230,6 +242,9 @@ def _result_to_record(
         "elapsed": elapsed,
         "pruned": sorted(result.pruned),
         "proven": sorted(result.proven),
+        "n_simulated": result.n_simulated,
+        "n_inferred": result.n_inferred,
+        "collapse_hash": result.collapse_hash,
     }
 
 
@@ -261,6 +276,9 @@ def _record_to_result(
         pruned=set(record.get("pruned", ())),
         proven=set(record.get("proven", ())),
     )
+    result.n_simulated = int(record.get("n_simulated", 0))
+    result.n_inferred = int(record.get("n_inferred", 0))
+    result.collapse_hash = str(record.get("collapse_hash", ""))
     return result, record["nand2"]
 
 
@@ -294,6 +312,7 @@ def grade_traced(
     prune_untestable: bool | str = False,
     engine: str = "auto",
     jobs: int | None = None,
+    collapse: bool = False,
 ) -> CampaignOutcome:
     """Fault-grade already-traced stimulus (the grading stage alone).
 
@@ -311,6 +330,15 @@ def grade_traced(
             (:func:`repro.runtime.sharding.plan_shards`) and fanned over
             a persistent pool; the merged outcome is bit-identical to the
             serial run (DESIGN.md Section 11).
+        collapse: grade through the structural collapse map
+            (:mod:`repro.analysis.collapse`): only super-class
+            representatives are simulated and dominated verdicts are
+            inferred.  Coverage and detected sets are bit-identical to
+            ``collapse=False`` (only ``n_simulated``/``n_inferred``
+            accounting differs), so journaled component records remain
+            reusable across the flag; sharded runs stamp the collapse
+            hash into shard fingerprints because shard bounds then index
+            a different universe.
     """
     if engine == "auto" and runtime is not None:
         engine = runtime.engine
@@ -327,7 +355,7 @@ def grade_traced(
     if effective_jobs > 1:
         _grade_traced_parallel(
             outcome, self_test, specs, wanted, verbose, netlist_transform,
-            runtime, prune_untestable, engine, effective_jobs,
+            runtime, prune_untestable, engine, effective_jobs, collapse,
         )
         return outcome
     runner = JobRunner(runtime) if runtime is not None else None
@@ -340,7 +368,7 @@ def grade_traced(
             started = time.perf_counter()
             result, nand2 = _grading_job(
                 info.name, stimulus, observe, netlist_transform,
-                prune_untestable, engine,
+                prune_untestable, engine, collapse,
             )
             elapsed = time.perf_counter() - started
         else:
@@ -349,7 +377,7 @@ def grade_traced(
                 self_test, info, netlist_transform, prune_untestable
             )
             job_args = (info.name, stimulus, observe, netlist_transform,
-                        prune_untestable, engine)
+                        prune_untestable, engine, collapse)
             job = runner.run(
                 key=key, fn=_grading_job, args=job_args,
                 fingerprint=fingerprint, serialize=_result_to_record,
@@ -390,11 +418,14 @@ def grade_traced(
             pruned = (
                 f", {result.n_pruned} pruned" if result.pruned else ""
             )
+            inferred = (
+                f", {result.n_inferred} inferred" if result.n_inferred else ""
+            )
             print(
                 f"  {info.name:6s} FC={result.fault_coverage:6.2f}% "
                 f"({result.n_detected}/{result.n_faults} faults, "
                 f"{len(stimulus)} stimulus entries, {elapsed:.1f}s"
-                f"{pruned}){marker}"
+                f"{pruned}{inferred}){marker}"
             )
     if runner is not None:
         outcome.events = runner.events.events
@@ -415,6 +446,7 @@ def _grade_traced_parallel(
     prune_untestable: bool | str,
     engine: str,
     jobs: int,
+    collapse: bool = False,
 ) -> None:
     """Shard every component's fault universe over a persistent pool.
 
@@ -451,6 +483,7 @@ def _grade_traced_parallel(
         netlist_transform=netlist_transform,
         prune_untestable=prune_untestable,
         engine=engine,
+        collapse=collapse,
     )
     # Install in the parent *before* the pool starts: fork-started
     # workers inherit the traces by memory; the initializer below covers
@@ -473,17 +506,30 @@ def _grade_traced_parallel(
             # parent — no grading work to shard.
             plan.append((info, fault_list, nand2, 0, []))
             continue
-        shards = plan_shards(fault_list.n_collapsed, jobs)
+        # Shard bounds index the universe the workers will grade: base
+        # class representatives uncollapsed, super-class simulation units
+        # collapsed.  The collapse hash goes into the fingerprint so a
+        # resumed run never reuses shard bounds from the other universe.
+        universe_size = fault_list.n_collapsed
+        chash = ""
+        if collapse:
+            from repro.analysis.collapse import compute_collapse
+
+            cmap = compute_collapse(netlist, fault_list)
+            universe_size = len(cmap.simulation_order())
+            chash = cmap.collapse_hash
+        shards = plan_shards(universe_size, jobs)
         base = _job_fingerprint(
             self_test, info, netlist_transform, prune_untestable
         )
+        suffix = f":c{chash}" if chash else ""
         n = len(shards)
         comp_tasks = [
             ShardTask(
                 key=f"{self_test.phases}:{info.name}#{i + 1:02d}/{n:02d}",
                 fn=grade_shard,
                 args=(info.name, lo, hi),
-                fingerprint=f"{base}:{lo}-{hi}/{fault_list.n_collapsed}",
+                fingerprint=f"{base}:{lo}-{hi}/{universe_size}{suffix}",
                 size=hi - lo,
             )
             for i, (lo, hi) in enumerate(shards)
@@ -535,11 +581,14 @@ def _grade_traced_parallel(
         if verbose:
             marker = " DEGRADED (lower bound)" if degraded else ""
             pruned = f", {result.n_pruned} pruned" if result.pruned else ""
+            inferred = (
+                f", {result.n_inferred} inferred" if result.n_inferred else ""
+            )
             print(
                 f"  {info.name:6s} FC={result.fault_coverage:6.2f}% "
                 f"({result.n_detected}/{result.n_faults} faults, "
                 f"{len(comp_tasks)} shards, {elapsed:.1f}s compute"
-                f"{pruned}){marker}"
+                f"{pruned}{inferred}){marker}"
             )
     outcome.events = scheduler.events.events
 
@@ -553,6 +602,7 @@ def grade_program(
     prune_untestable: bool | str = False,
     engine: str = "auto",
     jobs: int | None = None,
+    collapse: bool = False,
 ) -> CampaignOutcome:
     """Execute any program on the traced CPU and fault-grade components.
 
@@ -574,6 +624,9 @@ def grade_program(
             verdicts are engine-invariant, so a resumed campaign may
             freely switch engines and still reuse journaled results.
         jobs: parallel grading workers (see :func:`grade_traced`).
+        collapse: grade through the structural collapse map; verdicts
+            and coverage are bit-identical either way (see
+            :func:`grade_traced`).
     """
     cpu_result, tracer, _memory = execute_self_test(self_test)
     specs = tracer.finalize()
@@ -588,6 +641,7 @@ def grade_program(
         prune_untestable=prune_untestable,
         engine=engine,
         jobs=jobs,
+        collapse=collapse,
     )
 
 
@@ -601,6 +655,7 @@ def run_campaign(
     prune_untestable: bool | str = False,
     engine: str = "auto",
     jobs: int | None = None,
+    collapse: bool = False,
 ) -> CampaignOutcome:
     """Full pipeline for one phase configuration.
 
@@ -617,6 +672,10 @@ def run_campaign(
             :func:`grade_program`).
         jobs: parallel grading workers; the merged outcome is
             bit-identical to ``jobs=1`` (see :func:`grade_traced`).
+        collapse: simulate only super-class representatives of the
+            structural collapse map and infer dominated verdicts;
+            Table 4/5 numbers are bit-identical either way (see
+            :func:`grade_traced`).
 
     Returns:
         The campaign outcome with Table 4/5 data attached.
@@ -632,4 +691,5 @@ def run_campaign(
         prune_untestable=prune_untestable,
         engine=engine,
         jobs=jobs,
+        collapse=collapse,
     )

@@ -32,6 +32,7 @@ from collections.abc import Callable, Mapping, Sequence
 from repro.errors import CheckpointCorrupt
 from repro.faultsim.differential import Detection
 from repro.faultsim.engine import (
+    _grade_collapsed,
     default_engine_name,
     get_engine,
     prune_sets,
@@ -57,6 +58,11 @@ class ShardContext:
             ``"proven"`` (additionally SAT-certify and exclude the
             proven-redundant classes from the FC denominator).
         engine: engine name or ``"auto"`` (resolved per netlist).
+        collapse: grade through the structural collapse map
+            (:mod:`repro.analysis.collapse`).  Shards then slice the
+            super-class simulation order instead of the base class list;
+            verdicts expand to every member, so the merge and coverage
+            are unchanged.
     """
 
     stimulus: Mapping[str, Sequence]
@@ -64,6 +70,7 @@ class ShardContext:
     netlist_transform: Callable | None = None
     prune_untestable: bool | str = False
     engine: str = "auto"
+    collapse: bool = False
 
 
 @dataclass
@@ -84,6 +91,9 @@ class ShardVerdict:
     pruned: tuple[int, ...]
     proven: tuple[int, ...] = ()
     detections: dict[int, Detection] = field(default_factory=dict)
+    n_simulated: int = 0
+    n_inferred: int = 0
+    collapse_hash: str = ""
 
 
 #: Campaign context of the in-flight parallel run.  The parent installs
@@ -91,8 +101,10 @@ class ShardVerdict:
 #: initializer re-installs it for spawn-started workers.
 _CONTEXT: ShardContext | None = None
 
-#: Per-process component cache:
-#: name -> (netlist, fault_list, reps, plan, engine, skip, proven, stimulus).
+#: Per-process component cache: name -> (netlist, fault_list, plan,
+#: engine, skip, proven, stimulus, cmap, universe) where ``cmap`` is the
+#: collapse map (or None) and ``universe`` is what shard bounds index:
+#: base class representatives uncollapsed, super-class keys collapsed.
 _STATE: dict[str, tuple] = {}
 
 
@@ -130,21 +142,47 @@ def _component_state(name: str):
     engine = get_engine(engine_name)
     mode = resolve_prune_mode(context.prune_untestable)
     skip, proven = prune_sets(netlist, fault_list, mode)
-    state = (netlist, fault_list, reps, plan, engine, skip, proven, stimulus)
+    cmap = None
+    universe = reps
+    if context.collapse:
+        # Local import mirrors grade(): repro.analysis.collapse imports
+        # the fault model, so the load-time dependency stays one-way.
+        from repro.analysis.collapse import compute_collapse
+
+        cmap = compute_collapse(netlist, fault_list)
+        universe = cmap.simulation_order()
+    state = (
+        netlist, fault_list, plan, engine, skip, proven, stimulus,
+        cmap, universe,
+    )
     _STATE[name] = state
     return state
 
 
 def grade_shard(name: str, lo: int, hi: int) -> ShardVerdict:
-    """Grade fault classes ``reps[lo:hi]`` of one component (worker-side)."""
-    netlist, fault_list, reps, plan, engine, skip, proven, stimulus = (
-        _component_state(name)
-    )
-    shard_reps = reps[lo:hi]
-    result = engine.grade(
-        netlist, stimulus, fault_list, plan,
-        name=name, skip=skip, only=shard_reps,
-    )
+    """Grade universe slice ``[lo:hi]`` of one component (worker-side).
+
+    Uncollapsed, the slice indexes base class representatives in
+    canonical fault order; collapsed, it indexes
+    :meth:`~repro.analysis.collapse.CollapseMap.simulation_order` and
+    the verdict carries expanded per-member records plus the collapse
+    hash the merge validates against.
+    """
+    netlist, fault_list, plan, engine, skip, proven, stimulus, cmap, \
+        universe = _component_state(name)
+    if cmap is not None:
+        result = _grade_collapsed(
+            engine, netlist, stimulus, fault_list, plan, cmap,
+            name=name, skip=skip, supers=universe[lo:hi],
+        )
+    else:
+        result = engine.grade(
+            netlist, stimulus, fault_list, plan,
+            name=name, skip=skip, only=universe[lo:hi],
+        )
+        result.n_simulated = sum(
+            1 for r in universe[lo:hi] if r not in skip
+        )
     return ShardVerdict(
         component=name,
         lo=lo,
@@ -155,6 +193,9 @@ def grade_shard(name: str, lo: int, hi: int) -> ShardVerdict:
         pruned=tuple(sorted(skip)),
         proven=tuple(sorted(proven)),
         detections=dict(result.detections),
+        n_simulated=result.n_simulated,
+        n_inferred=result.n_inferred,
+        collapse_hash=result.collapse_hash,
     )
 
 
@@ -172,6 +213,9 @@ def shard_record(verdict: ShardVerdict) -> dict:
         "detected": list(verdict.detected),
         "pruned": list(verdict.pruned),
         "proven": list(verdict.proven),
+        "n_simulated": verdict.n_simulated,
+        "n_inferred": verdict.n_inferred,
+        "collapse_hash": verdict.collapse_hash,
     }
 
 
@@ -191,6 +235,9 @@ def record_to_verdict(record: dict, journal_path=None) -> ShardVerdict:
             detected=tuple(int(r) for r in record["detected"]),
             pruned=tuple(int(r) for r in record.get("pruned", ())),
             proven=tuple(int(r) for r in record.get("proven", ())),
+            n_simulated=int(record.get("n_simulated", 0)),
+            n_inferred=int(record.get("n_inferred", 0)),
+            collapse_hash=str(record.get("collapse_hash", "")),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointCorrupt(
@@ -217,6 +264,12 @@ def merge_shard_results(
     lower bound (the caller marks it degraded).
     """
     result = CampaignResult(name, fault_list, n_patterns=n_patterns)
+    hashes = {v.collapse_hash for v in verdicts}
+    if len(hashes) > 1:
+        raise CheckpointCorrupt(
+            f"shards of {name!r} were graded under different collapse "
+            f"maps ({sorted(hashes)}); resume must not mix universes"
+        )
     for verdict in verdicts:
         if verdict.n_classes != fault_list.n_collapsed:
             raise CheckpointCorrupt(
@@ -228,4 +281,8 @@ def merge_shard_results(
         result.pruned.update(verdict.pruned)
         result.proven.update(verdict.proven)
         result.detections.update(verdict.detections)
+        result.n_simulated += verdict.n_simulated
+        result.n_inferred += verdict.n_inferred
+    if hashes:
+        result.collapse_hash = hashes.pop()
     return result

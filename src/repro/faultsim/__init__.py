@@ -30,11 +30,17 @@ picks an engine (``"auto"``) and returns a
 """
 
 from repro.faultsim.diagnosis import Candidate, FaultDictionary
-from repro.faultsim.faults import Fault, FaultKind, FaultList, build_fault_list
+from repro.faultsim.faults import (
+    Fault,
+    FaultKind,
+    FaultList,
+    build_fault_list,
+    fault_sort_key,
+)
 from repro.faultsim.simulator import LogicSimulator, SimState
 from repro.faultsim.differential import Detection, DifferentialFaultSimulator
 from repro.faultsim.coverage import ComponentCoverage, CoverageSummary
-from repro.faultsim.observe import ObservePlan
+from repro.faultsim.observe import ObservePlan, ObserveSpec
 from repro.faultsim.trace_cache import (
     CacheStats,
     GoodTraceCache,
@@ -66,6 +72,7 @@ __all__ = [
     "FaultKind",
     "FaultList",
     "build_fault_list",
+    "fault_sort_key",
     "LogicSimulator",
     "SimState",
     "Detection",
@@ -73,6 +80,7 @@ __all__ = [
     "ComponentCoverage",
     "CoverageSummary",
     "ObservePlan",
+    "ObserveSpec",
     "CacheStats",
     "GoodTraceCache",
     "global_trace_cache",

@@ -22,7 +22,7 @@ from collections.abc import Mapping, Sequence
 from repro.faultsim.faults import Fault, FaultKind
 from repro.faultsim.simulator import GoodTrace, LogicSimulator
 from repro.netlist.gates import GateType
-from repro.netlist.netlist import Netlist, PortDirection
+from repro.netlist.netlist import Gate, Netlist, PortDirection
 
 
 @dataclass(frozen=True)
@@ -273,7 +273,7 @@ class DifferentialFaultSimulator:
 
     def _eval_faulty(
         self,
-        gate,
+        gate: Gate,
         diff: dict[int, int],
         good: list[int],
         mask: int,

@@ -26,27 +26,44 @@ sequential stimulus) the first detecting cycle — are engine-invariant and
 cross-checked by the equivalence test-suite.  ``Detection.lanes`` is a
 *partial witness* (at least one detecting lane), not an exhaustive lane
 set: engines that short-circuit or drop faults may report fewer lanes.
+
+Structural collapsing (``grade(collapse=...)``) adds one caveat: a
+dominator verdict inferred from a detected child reuses the child's
+detecting cycle, which is an *upper bound* on the dominator's own first
+detecting cycle (the dominator machine provably differs at that cycle,
+but may already differ earlier).  Combinational detections always report
+cycle 0, so the bound is exact there; sequential campaigns must treat
+the cycle of an inferred verdict like ``lanes`` — a valid witness, not a
+minimum.  Detected flags, coverage and excitation stay exact either way
+(DESIGN.md §13).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Iterable, Mapping, Sequence
-from typing import Protocol
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Protocol
 
 from repro.errors import FaultSimError
 from repro.faultsim.differential import Detection, DifferentialFaultSimulator
 from repro.faultsim.faults import Fault, FaultKind, FaultList, build_fault_list
 from repro.faultsim.harness import CampaignResult
 from repro.faultsim.lowering import cached_compile_comb, cached_compile_seq
-from repro.faultsim.observe import ObservePlan
+from repro.faultsim.observe import ObservePlan, ObserveSpec
 from repro.faultsim.parallel import ParallelFaultSimulator, _eval
 from repro.faultsim.simulator import GoodTrace
 from repro.faultsim.trace_cache import good_trace_for
 from repro.netlist.levelize import depth
-from repro.netlist.netlist import CONST1, Netlist, PortDirection
+from repro.netlist.netlist import CONST1, DFF, Gate, Netlist, PortDirection
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see grade())
+    from repro.analysis.collapse import CollapseMap
 
 Stimulus = Sequence[Mapping[str, int]]
+
+#: Prefetched per-fault record of the combinational chunk loop:
+#: (rep, stuck, site, start, site_mask, reader, gate, pin).
+_CombEntry = tuple[int, int, int, int, int, bool, Gate | None, int]
 
 
 class FaultSimEngine(Protocol):
@@ -315,7 +332,14 @@ class CompiledEngine:
     # ---------------------------------------------------- combinational
 
     def _grade_combinational(
-        self, netlist, patterns, fault_list, plan, result, skip, only=None
+        self,
+        netlist: Netlist,
+        patterns: Stimulus,
+        fault_list: FaultList,
+        plan: ObservePlan,
+        result: CampaignResult,
+        skip: frozenset[int],
+        only: Sequence[int] | None = None,
     ) -> None:
         trace = good_trace_for(netlist, patterns, packed=True)
         good = trace.values[0]
@@ -339,7 +363,7 @@ class CompiledEngine:
         # Survivors are prefetched into flat tuples so the chunk loop does
         # no attribute or dict lookups per fault:
         # (rep, stuck, site, start, site_mask, reader, gate, pin).
-        pending: list[tuple] = []
+        pending: list[_CombEntry] = []
         for rep in _graded_reps(fault_list, skip, only):
             fault = fault_list.fault(rep)
             if good[fault.net] == (full_mask if fault.stuck else 0):
@@ -348,7 +372,7 @@ class CompiledEngine:
             if fault.kind is FaultKind.STEM:
                 site = fault.net
                 start = driven_at.get(site, 0) + 1
-                gate = None
+                gate: Gate | None = None
                 pin = 0
             else:  # BRANCH (combinational netlists have no DFF_D)
                 gate = gates[fault.gate]
@@ -366,7 +390,7 @@ class CompiledEngine:
             chunk_mask = (1 << width) - 1
             gc = [(word >> base) & chunk_mask for word in good]
             om = tuple((m >> base) & chunk_mask for m in prog.masks)
-            still: list[tuple] = []
+            still: list[_CombEntry] = []
             for entry in pending:
                 rep, stuck, site, start, site_mask, reader, gate, pin = entry
                 forced = chunk_mask if stuck else 0
@@ -406,7 +430,14 @@ class CompiledEngine:
     # -------------------------------------------------------- sequential
 
     def _grade_sequential(
-        self, netlist, cycles, fault_list, plan, result, skip, only=None
+        self,
+        netlist: Netlist,
+        cycles: Stimulus,
+        fault_list: FaultList,
+        plan: ObservePlan,
+        result: CampaignResult,
+        skip: frozenset[int],
+        only: Sequence[int] | None = None,
     ) -> None:
         trace = good_trace_for(netlist, cycles, packed=False)
         good_values = trace.values
@@ -455,9 +486,24 @@ class CompiledEngine:
                 detections[rep] = Detection(False, excited=excited)
 
     def _run_seq_batch(
-        self, batch, fault_list, cycles, good_values, dffs, n_nets,
-        input_ports, level_fns, driven_at, gate_level, keep, max_level,
-        gates, obs_per_cycle, all_obs, detections, detected,
+        self,
+        batch: Sequence[int],
+        fault_list: FaultList,
+        cycles: Stimulus,
+        good_values: list[list[int]],
+        dffs: Sequence[DFF],
+        n_nets: int,
+        input_ports: list[tuple[str, tuple[int, ...]]],
+        level_fns: Sequence[Callable[[list[int], int], None]],
+        driven_at: Mapping[int, int],
+        gate_level: Mapping[int, int],
+        keep: frozenset[int],
+        max_level: int,
+        gates: Sequence[Gate],
+        obs_per_cycle: list[tuple[int, ...]] | None,
+        all_obs: tuple[int, ...],
+        detections: dict[int, Detection],
+        detected: set[int],
     ) -> None:
         n_lanes = len(batch)
         mask = (1 << n_lanes) - 1
@@ -580,7 +626,7 @@ class CompiledEngine:
                 alive = n_lanes
 
 
-def _repack_word(survivors: list[int]):
+def _repack_word(survivors: list[int]) -> Callable[[int], int]:
     """Compaction closure: move surviving lanes down to a dense prefix."""
 
     def repack(word: int) -> int:
@@ -646,10 +692,10 @@ def prune_sets(
 
 # ----------------------------------------------------------------- registry
 
-_REGISTRY: dict[str, type] = {}
+_REGISTRY: dict[str, Callable[[], FaultSimEngine]] = {}
 
 
-def register_engine(name: str, factory: type) -> None:
+def register_engine(name: str, factory: Callable[[], FaultSimEngine]) -> None:
     """Register an engine class under ``name`` (instantiated per grade)."""
     _REGISTRY[name] = factory
 
@@ -685,6 +731,125 @@ def default_engine_name(netlist: Netlist) -> str:
     return "compiled"
 
 
+# --------------------------------------------------------------- collapsing
+
+
+def _grade_collapsed(
+    selected: FaultSimEngine,
+    netlist: Netlist,
+    stimulus: Stimulus,
+    fault_list: FaultList,
+    plan: ObservePlan,
+    cmap: CollapseMap,
+    *,
+    name: str = "",
+    skip: frozenset[int] = frozenset(),
+    supers: Sequence[int] | None = None,
+    restrict: frozenset[int] | None = None,
+) -> CampaignResult:
+    """Grade super-class representatives only, then expand verdicts.
+
+    Two engine passes at most:
+
+    1. every non-dominator super-class simulates its *sim unit* — the
+       first canonical-order member not in ``skip`` (a per-super choice,
+       independent of sharding, so partitioned runs agree);
+    2. dominators are walked children-before-parents: a detected child
+       lets the dominator *infer* a detection (same cycle/lanes witness,
+       see the module docstring caveat); dominators whose children are
+       all undetected — or graded elsewhere (cross-shard) — fall into
+       one second engine pass.
+
+    Every engine verdict is then copied onto the super's members:
+    detected verdicts verbatim (equivalent machines differ identically),
+    undetected ones with the member's own good-trace excitation flag so
+    the record is field-for-field what an uncollapsed run reports.
+
+    ``supers`` restricts grading to the listed super-class keys (a shard
+    of ``cmap.simulation_order()``); ``restrict`` additionally limits
+    *expanded* verdicts to the listed class representatives (the
+    ``grade(subset=...)`` contract).
+    """
+    ordered = list(supers) if supers is not None else cmap.simulation_order()
+    unit_of: dict[int, int] = {}
+    for s in ordered:
+        for member in cmap.members(s):
+            if member not in skip:
+                unit_of[s] = member
+                break
+    graded = [s for s in ordered if s in unit_of]
+
+    verdicts: dict[int, Detection] = {}
+    n_simulated = 0
+
+    def simulate(batch: list[int]) -> None:
+        nonlocal n_simulated
+        if not batch:
+            return
+        units = [unit_of[s] for s in batch]
+        partial = selected.grade(
+            netlist, stimulus, fault_list, plan,
+            name=name or netlist.name, skip=skip, only=units,
+        )
+        for s, unit in zip(batch, units, strict=True):
+            verdicts[s] = partial.detections[unit]
+        n_simulated += len(units)
+
+    simulate([s for s in graded if not cmap.is_dominator(s)])
+
+    n_inferred = 0
+    pending: list[int] = []
+    graded_set = set(graded)
+    for dom in cmap.dominator_order():
+        if dom not in graded_set:
+            continue
+        inferred = None
+        for child in cmap.children[dom]:
+            child_verdict = verdicts.get(child)
+            if child_verdict is not None and child_verdict.detected:
+                inferred = Detection(
+                    True, child_verdict.cycle, child_verdict.lanes,
+                    excited=True,
+                )
+                break
+        if inferred is None:
+            # All children undetected, skipped, or graded in another
+            # shard: simulate the dominator itself (exact, conservative).
+            pending.append(dom)
+        else:
+            verdicts[dom] = inferred
+            n_inferred += 1
+    simulate(pending)
+
+    result = CampaignResult(
+        name or netlist.name, fault_list,
+        n_patterns=len(stimulus), pruned=set(skip),
+    )
+    packed = not netlist.dffs
+    trace = good_trace_for(netlist, stimulus, packed=packed)
+    for s in graded:
+        verdict = verdicts[s]
+        unit = unit_of[s]
+        for member in cmap.members(s):
+            if member in skip:
+                continue
+            if restrict is not None and member not in restrict:
+                continue
+            if verdict.detected or member == unit:
+                result.detections[member] = verdict
+            else:
+                result.detections[member] = Detection(
+                    False,
+                    excited=_excited(fault_list.fault(member), trace, packed),
+                )
+            if verdict.detected:
+                result.detected.add(member)
+    result.n_simulated = n_simulated
+    result.n_inferred = n_inferred
+    result.collapse_hash = cmap.collapse_hash
+    return result
+
+
 # ------------------------------------------------------------------- facade
 
 
@@ -694,11 +859,12 @@ def grade(
     faults: FaultList | None = None,
     *,
     engine: str = "auto",
-    observe=None,
-    runtime=None,
+    observe: ObserveSpec = None,
+    runtime: object | None = None,
     name: str = "",
     prune_untestable: bool | str = False,
     subset: Sequence[int] | None = None,
+    collapse: bool | CollapseMap = False,
 ) -> CampaignResult:
     """Grade a fault universe against a stimulus — the one entry point.
 
@@ -730,6 +896,16 @@ def grade(
             classes get verdicts — and those verdicts are identical to
             the same classes' verdicts in a full run, so a partition of
             the universe merges back to the sequential result.
+        collapse: ``True`` computes the structural collapse map
+            (:func:`repro.analysis.collapse.compute_collapse`) and
+            simulates super-class representatives only, inferring
+            dominator verdicts from detected children; a precomputed
+            :class:`~repro.analysis.collapse.CollapseMap` (over the same
+            fault list) is reused as-is.  Coverage, the detected set and
+            undetected excitation flags are identical to an uncollapsed
+            run — only ``n_simulated``/``n_inferred`` accounting and the
+            cycle/lanes witness of inferred sequential detections differ
+            (module docstring caveat).
 
     Returns:
         The campaign result; verdicts are engine-invariant.
@@ -739,7 +915,25 @@ def grade(
         raise FaultSimError(
             "no patterns to apply" if combinational else "no cycles to apply"
         )
-    fault_list = faults if faults is not None else build_fault_list(netlist)
+    cmap: CollapseMap | None = None
+    if not isinstance(collapse, bool):
+        cmap = collapse
+        if faults is not None and cmap.fault_list is not faults:
+            raise FaultSimError(
+                "collapse map was computed over a different fault list; "
+                "pass the map's own fault_list (or neither)"
+            )
+        fault_list = cmap.fault_list
+    else:
+        fault_list = (
+            faults if faults is not None else build_fault_list(netlist)
+        )
+        if collapse:
+            # Local import: repro.analysis.collapse imports this
+            # package's fault model, so the dependency stays one-way.
+            from repro.analysis.collapse import compute_collapse
+
+            cmap = compute_collapse(netlist, fault_list)
     plan = ObservePlan.from_spec(observe, len(stimulus), netlist)
     spec = engine
     if spec == "auto" and runtime is not None:
@@ -749,9 +943,25 @@ def grade(
     selected = get_engine(spec)
     mode = resolve_prune_mode(prune_untestable)
     skip, proven = prune_sets(netlist, fault_list, mode)
-    result = selected.grade(
-        netlist, stimulus, fault_list, plan,
-        name=name or netlist.name, skip=skip, only=subset,
-    )
+    if cmap is not None:
+        supers: Sequence[int] | None = None
+        restrict: frozenset[int] | None = None
+        if subset is not None:
+            restrict = frozenset(subset)
+            wanted = {
+                cmap.super_of[r] for r in restrict if r in cmap.super_of
+            }
+            supers = [s for s in cmap.simulation_order() if s in wanted]
+        result = _grade_collapsed(
+            selected, netlist, stimulus, fault_list, plan, cmap,
+            name=name or netlist.name, skip=skip,
+            supers=supers, restrict=restrict,
+        )
+    else:
+        result = selected.grade(
+            netlist, stimulus, fault_list, plan,
+            name=name or netlist.name, skip=skip, only=subset,
+        )
+        result.n_simulated = len(_graded_reps(fault_list, skip, subset))
     result.proven = set(proven)
     return result

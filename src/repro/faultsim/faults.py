@@ -13,6 +13,16 @@ distinguish (AND input s-a-0 with its output s-a-0, inverter pin inversions,
 buffer pass-through), using a union-find over fault sites.  Coverage is
 reported over the collapsed classes, which is how fault simulators
 conventionally report FC.
+
+Ordering contract.  Everything downstream that materializes the fault
+universe — collapse hashes (:mod:`repro.analysis.collapse`), shard plans
+(:mod:`repro.runtime.sharding`), checkpoint fingerprints — relies on one
+deterministic order: faults sort by :func:`fault_sort_key`, i.e. by net,
+then stuck polarity, then kind (stem < branch < DFF-D), then reading
+gate/pin.  The key is a pure function of the fault's fields (no id(),
+no hash seeding, no insertion order), so the order is identical across
+Python versions and processes.  :meth:`FaultList.class_representatives`
+returns class representatives in this canonical order.
 """
 
 from __future__ import annotations
@@ -56,6 +66,26 @@ class Fault:
         if self.kind is FaultKind.DFF_D:
             return f"dff{self.gate}.D({name}) s-a-{self.stuck}"
         return f"g{self.gate}.in{self.pin}({name}) s-a-{self.stuck}"
+
+
+#: Canonical kind order used by :func:`fault_sort_key`.
+_KIND_ORDER: dict[FaultKind, int] = {
+    FaultKind.STEM: 0,
+    FaultKind.BRANCH: 1,
+    FaultKind.DFF_D: 2,
+}
+
+
+def fault_sort_key(fault: Fault) -> tuple[int, int, int, int, int]:
+    """The canonical fault ordering key: (net, stuck, kind, gate, pin).
+
+    A pure function of the fault's fields, so sorting by it is stable
+    across Python versions, interpreter processes and insertion orders —
+    the property collapse hashes and shard plans depend on (see the
+    module docstring's ordering contract).
+    """
+    return (fault.net, fault.stuck, _KIND_ORDER[fault.kind],
+            fault.gate, fault.pin)
 
 
 class _UnionFind:
@@ -119,7 +149,16 @@ class FaultList:
         return len(self.classes)
 
     def class_representatives(self) -> list[int]:
-        return sorted(self.classes.keys())
+        """Class representatives in canonical fault order.
+
+        Sorted by :func:`fault_sort_key` of the representative's fault
+        (net, stuck polarity, kind, gate, pin) — *not* by raw index — so
+        the order every consumer sees (engines, shard planners, collapse
+        hashing) is a deterministic function of the circuit alone.
+        """
+        return sorted(
+            self.classes.keys(), key=lambda r: fault_sort_key(self.faults[r])
+        )
 
     def fault(self, index: int) -> Fault:
         return self.faults[index]
@@ -128,7 +167,7 @@ class FaultList:
 def build_fault_list(netlist: Netlist, collapse: bool = True) -> FaultList:
     """Enumerate and (optionally) collapse the stuck-at fault universe."""
     faults: list[Fault] = []
-    index_of: dict[tuple, int] = {}
+    index_of: dict[tuple[FaultKind, int, int, int, int], int] = {}
 
     def add(fault: Fault) -> int:
         key = (fault.kind, fault.net, fault.stuck, fault.gate, fault.pin)
@@ -191,7 +230,13 @@ def build_fault_list(netlist: Netlist, collapse: bool = True) -> FaultList:
     return FaultList(netlist, faults, representative, classes)
 
 
-def _collapse(netlist, faults, index_of, fanout_count, uf) -> None:
+def _collapse(
+    netlist: Netlist,
+    faults: list[Fault],
+    index_of: dict[tuple[FaultKind, int, int, int, int], int],
+    fanout_count: dict[int, int],
+    uf: _UnionFind,
+) -> None:
     """Apply gate-local structural equivalences."""
 
     def stem(net: int, stuck: int) -> int | None:

@@ -40,6 +40,17 @@ class CampaignResult:
             These — and only these — are excluded from the FC
             denominator.  Always a subset of ``pruned``; empty unless
             grading ran with ``prune_untestable="proven"``.
+        n_simulated: fault classes the engine actually simulated.  With
+            structural collapsing (``grade(collapse=...)``) this is the
+            super-class sim-unit count; without it, the graded class
+            count.  Coverage never depends on it — it is the workload
+            accounting the collapse benchmark reports.
+        n_inferred: dominator verdicts inferred from a detected child
+            instead of simulated (0 without collapsing).
+        collapse_hash: digest of the applied
+            :class:`~repro.analysis.collapse.CollapseMap` (empty when
+            grading ran uncollapsed); recorded in checkpoint
+            fingerprints so resumed shards never mix universes.
     """
 
     name: str
@@ -49,6 +60,9 @@ class CampaignResult:
     n_patterns: int = 0
     pruned: set[int] = field(default_factory=set)
     proven: set[int] = field(default_factory=set)
+    n_simulated: int = 0
+    n_inferred: int = 0
+    collapse_hash: str = ""
 
     @property
     def n_faults(self) -> int:

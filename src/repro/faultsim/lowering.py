@@ -42,11 +42,12 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 from collections.abc import Callable, Iterable, Sequence
+from typing import cast
 
 from repro.errors import FaultSimError
 from repro.netlist.gates import GateType
 from repro.netlist.levelize import levelize, levels
-from repro.netlist.netlist import CONST0, CONST1, Netlist
+from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
 from repro.netlist.hashing import structural_hash
 
 # --------------------------------------------------------------- operands
@@ -196,7 +197,7 @@ class CompiledComb:
         source: the generated Python source (debugging aid).
     """
 
-    fn: Callable[[list, int, tuple, int], int]
+    fn: Callable[[list[int], int, tuple[int, ...], int], int]
     masks: tuple[int, ...]
     obs_net_masks: dict[int, int]
     driven_at: dict[int, int]
@@ -223,7 +224,7 @@ class CompiledSeq:
         source: concatenated generated source (debugging aid).
     """
 
-    level_fns: tuple[Callable[[list, int], None], ...]
+    level_fns: tuple[Callable[[list[int], int], None], ...]
     driven_at: dict[int, int]
     gate_level: dict[int, int]
     keep: frozenset[int]
@@ -238,7 +239,7 @@ def _driven_at(netlist: Netlist, gate_level: dict[int, int]) -> dict[int, int]:
     return {g.output: gate_level[g.index] for g in netlist.gates}
 
 
-def _count_folded(gates) -> int:
+def _count_folded(gates: Sequence[Gate]) -> int:
     return sum(
         1 for g in gates for n in g.inputs if n in (CONST0, CONST1)
     )
@@ -255,7 +256,7 @@ def compile_comb(
     kept = [g for g in order if g.index in keep]
     driven_at = _driven_at(netlist, gate_level)
 
-    by_level: dict[int, list] = {}
+    by_level: dict[int, list[Gate]] = {}
     for g in kept:
         by_level.setdefault(gate_level[g.index], []).append(g)
     max_level = max(by_level, default=0)
@@ -311,7 +312,7 @@ def compile_comb(
     lines.append("    return " + (" or ".join(parts) if parts else "0"))
 
     source = "\n".join(lines)
-    namespace: dict = {}
+    namespace: dict[str, object] = {}
     exec(compile(source, "<faultsim-comb>", "exec"), namespace)
 
     has_reader: set[int] = set()
@@ -319,7 +320,10 @@ def compile_comb(
         has_reader.update(g.inputs)
 
     return CompiledComb(
-        fn=namespace["_run"],
+        fn=cast(
+            "Callable[[list[int], int, tuple[int, ...], int], int]",
+            namespace["_run"],
+        ),
         masks=masks,
         obs_net_masks=dict(obs_net_masks),
         driven_at=driven_at,
@@ -344,7 +348,7 @@ def compile_seq(netlist: Netlist, roots: Iterable[int]) -> CompiledSeq:
     kept = [g for g in order if g.index in keep]
     driven_at = _driven_at(netlist, gate_level)
 
-    by_level: dict[int, list] = {}
+    by_level: dict[int, list[Gate]] = {}
     for g in kept:
         by_level.setdefault(gate_level[g.index], []).append(g)
     max_level = max(by_level, default=0)
@@ -357,7 +361,7 @@ def compile_seq(netlist: Netlist, roots: Iterable[int]) -> CompiledSeq:
         return ("var", f"v[{n}]")
 
     sources: list[str] = []
-    fns: list[Callable[[list, int], None]] = [lambda v, M: None]
+    fns: list[Callable[[list[int], int], None]] = [lambda v, M: None]
     for level in range(1, max_level + 1):
         lines = [f"def _lvl{level}(v, M):"]
         for g in by_level.get(level, []):
@@ -367,9 +371,14 @@ def compile_seq(netlist: Netlist, roots: Iterable[int]) -> CompiledSeq:
             lines.append("    pass")
         src = "\n".join(lines)
         sources.append(src)
-        namespace: dict = {}
+        namespace: dict[str, object] = {}
         exec(compile(src, f"<faultsim-seq-l{level}>", "exec"), namespace)
-        fns.append(namespace[f"_lvl{level}"])
+        fns.append(
+            cast(
+                "Callable[[list[int], int], None]",
+                namespace[f"_lvl{level}"],
+            )
+        )
 
     return CompiledSeq(
         level_fns=tuple(fns),
@@ -387,10 +396,13 @@ def compile_seq(netlist: Netlist, roots: Iterable[int]) -> CompiledSeq:
 # ------------------------------------------------------ compiled-program cache
 
 _MAX_PROGRAMS = 16
-_programs: "OrderedDict[tuple, CompiledComb | CompiledSeq]" = OrderedDict()
+_CacheKey = tuple[str, str, tuple[object, ...]]
+_programs: "OrderedDict[_CacheKey, CompiledComb | CompiledSeq]" = OrderedDict()
 
 
-def _cached(key: tuple, build: Callable[[], "CompiledComb | CompiledSeq"]):
+def _cached(
+    key: _CacheKey, build: Callable[[], "CompiledComb | CompiledSeq"]
+) -> CompiledComb | CompiledSeq:
     prog = _programs.get(key)
     if prog is not None:
         _programs.move_to_end(key)
@@ -411,7 +423,9 @@ def cached_compile_comb(
         structural_hash(netlist),
         tuple(sorted(obs_net_masks.items())),
     )
-    return _cached(key, lambda: compile_comb(netlist, obs_net_masks))
+    prog = _cached(key, lambda: compile_comb(netlist, obs_net_masks))
+    assert isinstance(prog, CompiledComb)
+    return prog
 
 
 def cached_compile_seq(
@@ -419,7 +433,9 @@ def cached_compile_seq(
 ) -> CompiledSeq:
     """`compile_seq` through the process-wide program cache."""
     key = ("seq", structural_hash(netlist), tuple(sorted(set(roots))))
-    return _cached(key, lambda: compile_seq(netlist, roots))
+    prog = _cached(key, lambda: compile_seq(netlist, roots))
+    assert isinstance(prog, CompiledSeq)
+    return prog
 
 
 def clear_program_cache() -> None:

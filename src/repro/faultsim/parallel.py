@@ -235,7 +235,9 @@ class ParallelFaultSimulator:
         return result
 
 
-def _eval_direct(gt: GateType, values: list[int], ins, mask: int) -> int:
+def _eval_direct(
+    gt: GateType, values: list[int], ins: tuple[int, ...], mask: int
+) -> int:
     """Evaluate a gate reading straight from the net-value array."""
     if gt is GateType.MUX2:
         a, b, sel = values[ins[0]], values[ins[1]], values[ins[2]]

@@ -160,6 +160,54 @@ class FaultMiterSession:
             self._confirm(fault, witness)
         return FaultVerdict(rep, fault, False, witness, conflicts)
 
+    def _faulty_compared(self, fault: Fault) -> list[int]:
+        """Compared-cut literals of a faulty copy sharing inputs/state."""
+        faulty = encode_circuit(
+            self.logic,
+            self.netlist,
+            inputs=self._inputs,
+            state=self._state,
+            fault=fault,
+            order=self.order,
+        )
+        return faulty.compared_lits()
+
+    def check_equivalent_pair(self, a: Fault, b: Fault) -> bool:
+        """Are the two faulty machines identical at the combinational cut?
+
+        True when the difference miter between the two faulty copies is
+        UNSAT over all inputs and (free) states — the SAT ground truth
+        the static equivalence claims of
+        :mod:`repro.analysis.collapse` are spot-checked against.  Note
+        this is a *per-cut* identity: temporal equivalences (the
+        ``dff-init`` family) are genuinely equivalent yet fail this
+        check, so the caller must not sample them.
+        """
+        miter = miter_lit(
+            self.logic, self._faulty_compared(a), self._faulty_compared(b)
+        )
+        return not self.solver.solve([miter])
+
+    def check_dominance_pair(self, child: Fault, dominator: Fault) -> bool:
+        """SAT-check the per-cut dominance identity.
+
+        True when ``child differs from good ⇒ child and dominator
+        machines agree`` holds at the combinational cut for every input
+        and free state — i.e. the conjunction of the child/good
+        difference miter and the child/dominator difference miter is
+        UNSAT.  This is *stronger* than the detection implication
+        ``detected(child) ⇒ detected(dominator)``: whenever the child
+        is visible anywhere compared, the dominator's machine is
+        indistinguishable from the child's, so it is detected at the
+        very same outputs.
+        """
+        child_compared = self._faulty_compared(child)
+        differs = miter_lit(self.logic, self._good_compared, child_compared)
+        disagree = miter_lit(
+            self.logic, child_compared, self._faulty_compared(dominator)
+        )
+        return not self.solver.solve([differs, disagree])
+
     def _extract_witness(self) -> Witness:
         def bit(lit: int) -> int:
             return 1 if self.solver.lit_value(lit) else 0

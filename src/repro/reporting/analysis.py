@@ -84,6 +84,50 @@ def render_formal_table(screens) -> str:
     return "\n".join(lines)
 
 
+def render_collapse_table(entries) -> str:
+    """Structural-collapse summary per component.
+
+    Args:
+        entries: iterable of ``(CollapseMap, CollapseCheck)`` pairs (see
+            :mod:`repro.analysis.collapse`), one per component, rendered
+            in the given order.
+
+    ``ratio`` is classes per simulation unit — the steady-state shrink
+    factor every campaign gets from ``--collapse``.  The SAT column
+    counts spot-checked claims; ``refuted`` must be 0 everywhere or the
+    static analysis is unsound (rules NL202/NL203).
+    """
+    lines = [
+        f"{'name':6s} {'classes':>8s} {'supers':>7s} {'ratio':>6s} "
+        f"{'merges':>7s} {'dom edges':>10s} {'SAT ok':>7s} "
+        f"{'refuted':>8s}",
+        "-" * 64,
+    ]
+    totals = [0, 0, 0, 0, 0, 0]
+    for cmap, check in entries:
+        refuted = len(check.refuted_equivalence) + len(
+            check.refuted_dominance
+        )
+        checked = check.n_equivalence + check.n_dominance
+        row = (
+            cmap.n_classes, cmap.n_supers, len(cmap.merges),
+            len(cmap.edges), checked - refuted, refuted,
+        )
+        totals = [t + v for t, v in zip(totals, row, strict=True)]
+        lines.append(
+            f"{cmap.netlist.name:6s} {row[0]:8d} {row[1]:7d} "
+            f"{cmap.ratio:6.2f} {row[2]:7d} {row[3]:10d} {row[4]:7d} "
+            f"{row[5]:8d}"
+        )
+    lines.append("-" * 64)
+    ratio = totals[0] / totals[1] if totals[1] else 0.0
+    lines.append(
+        f"{'total':6s} {totals[0]:8d} {totals[1]:7d} {ratio:6.2f} "
+        f"{totals[2]:7d} {totals[3]:10d} {totals[4]:7d} {totals[5]:8d}"
+    )
+    return "\n".join(lines)
+
+
 def render_testability_table() -> str:
     """Per-component testability: Section 2.2 scores made quantitative.
 

@@ -1,13 +1,20 @@
 """Fault-universe sharding for parallel grading campaigns.
 
 A *shard* is a contiguous index range ``[lo, hi)`` into a component's
-ordered list of collapsed fault-class representatives
-(:meth:`repro.faultsim.faults.FaultList.class_representatives`).  Shards
-partition the universe exactly — every representative belongs to one and
-only one shard — so grading each shard independently and taking the union
-of the per-shard verdicts reconstructs the sequential result (stuck-at
-verdicts are per-fault properties; see DESIGN.md §11 for the determinism
-argument).
+ordered grading universe: the canonical list of fault-class
+representatives
+(:meth:`repro.faultsim.faults.FaultList.class_representatives`), or —
+when the campaign grades through the structural collapse map — the
+super-class simulation order
+(:meth:`repro.analysis.collapse.CollapseMap.simulation_order`).  Either
+way shards partition the universe exactly — every unit belongs to one
+and only one shard — so grading each shard independently and taking the
+union of the per-shard verdicts reconstructs the sequential result
+(stuck-at verdicts are per-fault properties; see DESIGN.md §11 for the
+determinism argument).  Collapsed universes put each dominance cluster
+inside a single contiguous run, so most inferences stay shard-local; a
+dominator whose children landed in another shard is simply simulated
+directly (same verdict, slightly less savings).
 
 :func:`plan_shards` sizes the partition for a worker pool:
 
@@ -49,7 +56,8 @@ def plan_shards(
     """Partition ``n_items`` work items into contiguous shard ranges.
 
     Args:
-        n_items: total number of work items (collapsed fault classes).
+        n_items: total number of work items (fault-class representatives,
+            or super-class simulation units when collapsing).
         jobs: worker count the plan targets; ``jobs <= 1`` yields a
             single shard covering everything.
         oversubscription: target shards per worker.

@@ -1,0 +1,243 @@
+"""Unit tests for the structural fault-collapsing pass.
+
+Handcrafted netlists with known equivalence/dominance structure pin the
+analysis down exactly; the simulation-level guarantees (collapse on ==
+collapse off across engines and shard partitions) live in
+``tests/faultsim/test_collapse_property.py``.
+"""
+
+import pytest
+
+from repro.analysis.collapse import (
+    DominanceEdge,
+    MergeRecord,
+    analyze_collapse,
+    compute_collapse,
+    sat_spot_check,
+)
+from repro.faultsim.faults import FaultKind, build_fault_list
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.gates import GateType
+
+
+def _stem(fault_list, net, stuck):
+    """Index of the stem fault ``net`` stuck-at ``stuck``."""
+    for i, f in enumerate(fault_list.faults):
+        if f.kind is FaultKind.STEM and f.net == net and f.stuck == stuck:
+            return i
+    raise AssertionError(f"no stem fault for net {net} s-a-{stuck}")
+
+
+def _super(cmap, fault_index):
+    return cmap.super_of[cmap.fault_list.representative[fault_index]]
+
+
+def _and_gate():
+    b = NetlistBuilder("and2")
+    a = b.input("a", 1)[0]
+    x = b.input("x", 1)[0]
+    b.output("y", b.gate(GateType.AND, a, x))
+    return b.build()
+
+
+class TestDominance:
+    def test_and_inputs_sa1_dominated_by_output_sa1(self):
+        netlist = _and_gate()
+        cmap = compute_collapse(netlist)
+        fl = cmap.fault_list
+        y = netlist.port("y").nets[0]
+        a = netlist.port("a").nets[0]
+        x = netlist.port("x").nets[0]
+
+        assert not cmap.merges
+        assert not cmap.demoted
+        assert len(cmap.edges) == 2
+        assert all(not e.temporal for e in cmap.edges)
+        dom = _super(cmap, _stem(fl, y, 1))
+        assert cmap.is_dominator(dom)
+        assert set(cmap.children[dom]) == {
+            _super(cmap, _stem(fl, a, 1)),
+            _super(cmap, _stem(fl, x, 1)),
+        }
+        # The controlling-value faults (s-a-0) were merged by the *base*
+        # list already — they form one class, not a dominance edge.
+        assert (
+            fl.representative[_stem(fl, a, 0)]
+            == fl.representative[_stem(fl, y, 0)]
+        )
+
+    def test_dominators_simulate_after_their_children(self):
+        cmap = compute_collapse(_and_gate())
+        order = cmap.simulation_order()
+        assert sorted(order) == sorted(cmap.groups)
+        for dom in cmap.children:
+            for child in cmap.children[dom]:
+                assert order.index(child) < order.index(dom)
+
+    def test_state_feeding_gate_emits_no_edges(self):
+        # The same AND gate, but its output drives a DFF: the per-cycle
+        # identity argument breaks, so no combinational edges may appear.
+        b = NetlistBuilder("and2_seq")
+        a = b.input("a", 1)[0]
+        x = b.input("x", 1)[0]
+        y = b.gate(GateType.AND, a, x)
+        b.output("q", b.dff(y))
+        cmap = compute_collapse(b.build())
+        assert not [e for e in cmap.edges if not e.temporal]
+
+
+class TestFaninMerges:
+    def test_net_feeding_both_pins_of_one_gate_merges_with_output(self):
+        b = NetlistBuilder("fanin")
+        x = b.input("x", 1)[0]
+        n = b.gate(GateType.NOT, x)
+        y = b.gate(GateType.AND, n, n)  # y == n, but structurally fanout 2
+        b.output("y", y)
+        netlist = b.build()
+        cmap = compute_collapse(netlist)
+        fl = cmap.fault_list
+
+        reasons = {m.reason for m in cmap.merges}
+        assert reasons == {"fanin"}
+        for v in (0, 1):  # AND(v, v) == v: both polarities merge
+            assert _super(cmap, _stem(fl, n, v)) == _super(
+                cmap, _stem(fl, y, v)
+            )
+        assert cmap.n_supers < cmap.n_classes
+        assert cmap.ratio > 1.0
+
+    def test_externally_read_net_is_not_merged(self):
+        # Same shape, but the fanin net is also an output port: forcing
+        # it is observable, so the merge must not fire.
+        b = NetlistBuilder("fanin_ext")
+        x = b.input("x", 1)[0]
+        n = b.gate(GateType.NOT, x)
+        b.output("y", b.gate(GateType.AND, n, n))
+        b.output("n", n)
+        cmap = compute_collapse(b.build())
+        assert not cmap.merges
+
+
+class TestDffInit:
+    def _dff_netlist(self, init):
+        b = NetlistBuilder(f"dffinit{init}")
+        d = b.input("d", 1)[0]
+        b.output("q", b.dff(d, init=init))
+        return b.build()
+
+    @pytest.mark.parametrize("init", [0, 1])
+    def test_sole_reader_d_stem_merges_with_q_at_init_polarity(self, init):
+        netlist = self._dff_netlist(init)
+        cmap = compute_collapse(netlist)
+        fl = cmap.fault_list
+        d = netlist.port("d").nets[0]
+        q = netlist.port("q").nets[0]
+
+        assert [m.reason for m in cmap.merges] == ["dff-init"]
+        assert _super(cmap, _stem(fl, d, init)) == _super(
+            cmap, _stem(fl, q, init)
+        )
+        # The other polarity is dominance, not equivalence: a temporal
+        # DFF-Q edge (the D-side machine is fault-free at cycle 0).
+        assert _super(cmap, _stem(fl, d, 1 - init)) != _super(
+            cmap, _stem(fl, q, 1 - init)
+        )
+        temporal = [e for e in cmap.edges if e.temporal]
+        assert len(temporal) == 1
+        assert temporal[0].gate == -1
+        assert temporal[0].child == _super(cmap, _stem(fl, d, 1 - init))
+        assert temporal[0].dominator == _super(cmap, _stem(fl, q, 1 - init))
+
+    def test_q_reaching_state_suppresses_temporal_edges(self):
+        # Feed Q back towards another DFF: Q gains a path to state, so
+        # the DFF-Q dominance argument no longer applies.
+        b = NetlistBuilder("dff_feedback")
+        d = b.input("d", 1)[0]
+        q = b.dff(d)
+        b.output("out", b.dff(b.gate(GateType.NOT, q)))
+        cmap = compute_collapse(b.build())
+        assert not [e for e in cmap.edges if e.temporal and e.child == q]
+
+
+class TestDeterminism:
+    def test_hash_is_reproducible_and_structure_sensitive(self):
+        one = compute_collapse(_and_gate())
+        two = compute_collapse(_and_gate())
+        assert one.collapse_hash == two.collapse_hash
+        assert one.simulation_order() == two.simulation_order()
+
+        b = NetlistBuilder("and2")  # same name, different structure
+        a = b.input("a", 1)[0]
+        x = b.input("x", 1)[0]
+        b.output("y", b.gate(GateType.OR, a, x))
+        assert compute_collapse(b.build()).collapse_hash != one.collapse_hash
+
+    def test_summary_is_json_safe(self):
+        import json
+
+        summary = compute_collapse(_and_gate()).summary()
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["n_classes"] >= summary["n_supers"]
+
+
+class TestSatCrossCheck:
+    def test_clean_map_passes(self):
+        netlist = _and_gate()
+        cmap = compute_collapse(netlist)
+        check = sat_spot_check(netlist, cmap, samples=64)
+        assert check.ok
+        assert check.n_dominance >= 2
+
+    def test_forged_equivalence_is_refuted(self):
+        b = NetlistBuilder("forge_eq")
+        x = b.input("x", 1)[0]
+        n = b.gate(GateType.NOT, x)
+        y = b.gate(GateType.AND, n, n)
+        b.output("y", y)
+        netlist = b.build()
+        cmap = compute_collapse(netlist)
+        fl = cmap.fault_list
+        # Claim stem(y,0) == stem(y,1): trivially false.
+        cmap.merges.append(
+            MergeRecord(_stem(fl, y, 0), _stem(fl, y, 1), "fanin")
+        )
+        check = sat_spot_check(netlist, cmap, samples=64)
+        assert not check.ok
+        assert check.refuted_equivalence
+
+    def test_forged_dominance_is_refuted(self):
+        netlist = _and_gate()
+        cmap = compute_collapse(netlist)
+        fl = cmap.fault_list
+        a = netlist.port("a").nets[0]
+        y = netlist.port("y").nets[0]
+        # Claim "detected(a s-a-1) implies detected(y s-a-0)": false —
+        # when the a-fault flips the output it drives it to 1, where the
+        # y s-a-0 machine disagrees with it.
+        cmap.edges.append(
+            DominanceEdge(
+                fl.representative[_stem(fl, a, 1)],
+                fl.representative[_stem(fl, y, 0)],
+                gate=0,
+            )
+        )
+        check = sat_spot_check(netlist, cmap, samples=64)
+        assert not check.ok
+        assert check.refuted_dominance
+
+
+class TestAnalyzer:
+    def test_clean_component_reports_ok_with_summary(self):
+        report, cmap, check = analyze_collapse(_and_gate(), sat_samples=16)
+        assert report.kind == "collapse"
+        assert report.ok
+        assert check.ok
+        rules = [d.rule_id for d in report.diagnostics]
+        assert rules == ["NL201"]
+        assert str(cmap.n_supers) in report.diagnostics[0].message
+
+    def test_accepts_prebuilt_fault_list(self):
+        netlist = _and_gate()
+        fl = build_fault_list(netlist)
+        cmap = compute_collapse(netlist, fl)
+        assert cmap.fault_list is fl

@@ -1,0 +1,108 @@
+"""Registry consistency: every rule ID, registered exactly once, in use.
+
+The diagnostic registry (:mod:`repro.analysis.diagnostics`) is the single
+source of truth for rule IDs.  These tests enforce the three invariants
+that keep it trustworthy:
+
+* the shipped table itself validates (no duplicates, no malformed or
+  out-of-namespace IDs) — :func:`validate_rules` also runs at import, so
+  a regression here fails every test session immediately;
+* every rule ID referenced anywhere in the source tree is registered
+  (analyzers cannot invent ad-hoc IDs that render fine but crash
+  ``make_diagnostic`` at emission time);
+* every registered rule is actually emitted by some analyzer — dead
+  registrations rot into misleading documentation.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    RULE_NAMESPACES,
+    RULES,
+    Rule,
+    Severity,
+    make_diagnostic,
+    validate_rules,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Quoted rule IDs only: string literals are how analyzers emit rules;
+#: the word PR123 inside prose must not count as a reference.
+_REFERENCE = re.compile(r"[\"']((?:PR|NL|FV)\d{3})[\"']")
+
+
+def _source_references() -> dict[str, set[str]]:
+    """rule ID -> set of source files (relative) that mention it."""
+    refs: dict[str, set[str]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        rel = str(path.relative_to(SRC))
+        for match in _REFERENCE.finditer(path.read_text()):
+            refs.setdefault(match.group(1), set()).add(rel)
+    return refs
+
+
+class TestShippedTable:
+    def test_validates(self):
+        validate_rules()
+
+    def test_every_namespace_has_rules(self):
+        prefixes = {rule_id[:3] for rule_id in RULES}
+        assert prefixes == set(RULE_NAMESPACES)
+
+    def test_collapse_rules_registered(self):
+        assert RULES["NL201"].severity is Severity.INFO
+        assert RULES["NL202"].severity is Severity.ERROR
+        assert RULES["NL203"].severity is Severity.ERROR
+
+
+class TestValidation:
+    def test_duplicate_id_rejected(self):
+        table = (
+            Rule("NL001", Severity.ERROR, "first"),
+            Rule("NL001", Severity.WARNING, "second"),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_rules(table)
+
+    def test_malformed_id_rejected(self):
+        for bad in ("NL1", "XX001", "NL0001", "nl001", "NL00a"):
+            with pytest.raises(ValueError, match="not of the form"):
+                validate_rules((Rule(bad, Severity.ERROR, "t"),))
+
+    def test_unallocated_namespace_rejected(self):
+        with pytest.raises(ValueError, match="outside every allocated"):
+            validate_rules((Rule("NL900", Severity.ERROR, "t"),))
+
+    def test_empty_title_rejected(self):
+        with pytest.raises(ValueError, match="empty title"):
+            validate_rules((Rule("NL001", Severity.ERROR, ""),))
+
+    def test_unregistered_emission_rejected(self):
+        with pytest.raises(KeyError):
+            make_diagnostic("NL999", "never registered")
+
+
+class TestSourceTree:
+    def test_every_referenced_rule_is_registered(self):
+        refs = _source_references()
+        unregistered = {
+            rule_id: sorted(files)
+            for rule_id, files in refs.items()
+            if rule_id not in RULES
+        }
+        assert not unregistered, (
+            f"rule IDs referenced but never registered: {unregistered}"
+        )
+
+    def test_every_registered_rule_is_emitted(self):
+        refs = _source_references()
+        dead = {
+            rule_id
+            for rule_id in RULES
+            if not (refs.get(rule_id, set()) - {"analysis/diagnostics.py"})
+        }
+        assert not dead, f"registered but never emitted: {sorted(dead)}"

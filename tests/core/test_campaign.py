@@ -91,3 +91,35 @@ class TestTechnologyRemap:
         fc_remap = remapped.results["ALU"].fault_coverage
         # The paper's C3 claim: very similar coverage across libraries.
         assert abs(fc_plain - fc_remap) < 5.0
+
+
+class TestCollapsedCampaign:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        wanted = ["CTRL", "BMUX"]
+        plain = run_campaign("A", components=wanted)
+        collapsed = run_campaign("A", components=wanted, collapse=True)
+        return plain, collapsed
+
+    def test_tables_bit_identical(self, pair):
+        plain, collapsed = pair
+        assert collapsed.table5() == plain.table5()
+        assert collapsed.table4() == plain.table4()
+
+    def test_detected_sets_identical(self, pair):
+        plain, collapsed = pair
+        for name, result in plain.results.items():
+            assert collapsed.results[name].detected == result.detected
+
+    def test_collapse_accounting_recorded(self, pair):
+        plain, collapsed = pair
+        for name in plain.results:
+            got = collapsed.results[name]
+            want = plain.results[name]
+            assert got.collapse_hash
+            assert not want.collapse_hash
+            assert 0 < got.n_simulated < want.n_simulated
+            assert got.n_inferred > 0
+            assert (
+                got.n_simulated + got.n_inferred <= want.n_simulated
+            )

@@ -99,3 +99,46 @@ class TestCollapsing:
         for i, rep in enumerate(fl.representative):
             assert fl.representative[rep] == rep
             assert i in fl.classes[rep]
+
+
+class TestCanonicalOrdering:
+    """The documented fault-ordering contract: net, then polarity.
+
+    ``class_representatives()`` is the order every consumer sees (grading
+    engines, shard planners, collapse hashing), so it must be a pure
+    function of the circuit — sorted by ``fault_sort_key`` rather than by
+    raw enumeration index.
+    """
+
+    def test_sort_key_orders_net_then_polarity_then_kind(self):
+        from repro.faultsim.faults import Fault, fault_sort_key
+
+        ordered = [
+            Fault(FaultKind.STEM, net=2, stuck=0),
+            Fault(FaultKind.BRANCH, net=2, stuck=0, gate=1, pin=0),
+            Fault(FaultKind.DFF_D, net=2, stuck=0, gate=0),
+            Fault(FaultKind.STEM, net=2, stuck=1),
+            Fault(FaultKind.STEM, net=3, stuck=0),
+        ]
+        keys = [fault_sort_key(f) for f in ordered]
+        assert keys == sorted(keys)
+
+    def test_representatives_sorted_by_canonical_key(self):
+        from repro.faultsim.faults import fault_sort_key
+        from repro.library import build_alu
+
+        fl = build_fault_list(build_alu(width=4))
+        reps = fl.class_representatives()
+        keys = [fault_sort_key(fl.faults[r]) for r in reps]
+        assert keys == sorted(keys)
+        assert sorted(reps) == sorted(fl.classes)
+
+    def test_order_is_reproducible_across_rebuilds(self):
+        from repro.library import build_alu
+
+        one = build_fault_list(build_alu(width=4))
+        two = build_fault_list(build_alu(width=4))
+        assert one.class_representatives() == two.class_representatives()
+        assert [
+            (f.kind, f.net, f.stuck, f.gate, f.pin) for f in one.faults
+        ] == [(f.kind, f.net, f.stuck, f.gate, f.pin) for f in two.faults]

@@ -7,6 +7,7 @@ at shard granularity — a crashed shard degrades only its own fault range,
 and resume re-grades exactly the shards missing from the journal.
 """
 
+import json
 import os
 
 import pytest
@@ -118,7 +119,12 @@ class TestShardResume:
         lines = store.path.read_text().splitlines()
         assert len(lines) == 6
         # Drop one shard from the journal (simulates a kill mid-campaign).
-        store.path.write_text("\n".join(lines[:3] + lines[4:]) + "\n")
+        # Journal lines append in *completion* order, so pick the victim
+        # by its shard key, not by position.
+        dropped = "A:CTRL#04/06"
+        kept = [ln for ln in lines if json.loads(ln)["key"] != dropped]
+        assert len(kept) == 5
+        store.path.write_text("\n".join(kept) + "\n")
 
         resumed = run_campaign(
             "A", components=["CTRL"],
@@ -128,7 +134,7 @@ class TestShardResume:
         for e in resumed.events:
             per_shard.setdefault(e.job, []).append(e.kind)
         regraded = [k for k, v in per_shard.items() if "success" in v]
-        assert regraded == ["A:CTRL#04/06"]
+        assert regraded == [dropped]
         assert sum(v == ["cached"] for v in per_shard.values()) == 5
         serial = run_campaign("A", components=["CTRL"])
         assert resumed.results["CTRL"].detected == (
@@ -165,3 +171,54 @@ class TestShardDegradation:
         assert partial < full
         kinds = [e.kind for e in outcome.events if e.job == "A:BMUX#01/06"]
         assert kinds == ["start", "crash", "degraded"]
+
+
+class TestCollapsedShards:
+    def test_parallel_collapsed_matches_serial_plain(self):
+        serial = run_campaign("A", components=FAST)
+        parallel = run_campaign(
+            "A", components=FAST, jobs=2, collapse=True
+        )
+        assert render_table5({"A": parallel}) == render_table5({"A": serial})
+        for name in FAST:
+            got = parallel.results[name]
+            assert got.detected == serial.results[name].detected
+            assert got.collapse_hash
+            assert got.n_simulated < serial.results[name].n_simulated
+
+    def test_mixed_collapse_hashes_refused_by_merge(self):
+        from repro.core.sharded import ShardVerdict, merge_shard_results
+        from repro.errors import CheckpointCorrupt
+        from repro.faultsim.faults import build_fault_list
+        from repro.plasma.components import component
+
+        fault_list = build_fault_list(component("GL").builder())
+        n = fault_list.n_collapsed
+
+        def verdict(lo, hi, chash):
+            return ShardVerdict(
+                component="GL", lo=lo, hi=hi, n_classes=n, n_patterns=1,
+                detected=(), pruned=(), collapse_hash=chash,
+            )
+
+        with pytest.raises(CheckpointCorrupt, match="collapse maps"):
+            merge_shard_results(
+                "GL", fault_list, 1,
+                [verdict(0, n // 2, "aaaa"), verdict(n // 2, n, "bbbb")],
+            )
+
+    def test_collapsed_resume_reuses_journal(self, tmp_path):
+        first = run_campaign(
+            "A", components=["CTRL"], runtime=_config(tmp_path),
+            jobs=2, collapse=True,
+        )
+        resumed = run_campaign(
+            "A", components=["CTRL"],
+            runtime=_config(tmp_path, resume=True), jobs=2, collapse=True,
+        )
+        assert resumed.results["CTRL"].detected == \
+            first.results["CTRL"].detected
+        assert resumed.results["CTRL"].collapse_hash == \
+            first.results["CTRL"].collapse_hash
+        kinds = {e.kind for e in resumed.events}
+        assert kinds == {"cached"}

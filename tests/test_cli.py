@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import (
+    EXIT_ANALYZE_COLLAPSE,
     EXIT_ANALYZE_FORMAL,
     EXIT_ANALYZE_NETLIST,
     EXIT_ANALYZE_PROGRAM,
@@ -346,3 +347,59 @@ class TestEngineSelection:
         out = capsys.readouterr().out
         assert "engine: auto" in out
         assert "overall FC" in out
+
+
+class TestAnalyzeCollapse:
+    def test_named_component_ok_with_summary_table(self, capsys):
+        assert main(["analyze", "collapse", "GL"]) == 0
+        out = capsys.readouterr().out
+        assert "NL201" in out
+        assert "supers" in out      # the collapse summary table header
+        assert "refuted" in out
+        assert "0 with errors" in out
+
+    def test_component_flag_and_json(self, capsys):
+        assert main(["analyze", "collapse", "--component", "GL",
+                     "--json", "--sat-samples", "2"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        report, = doc["reports"]
+        assert report["kind"] == "collapse"
+        assert [d["rule"] for d in report["diagnostics"]] == ["NL201"]
+
+    def test_refuted_claim_exits_with_collapse_code(
+        self, capsys, monkeypatch
+    ):
+        from repro.analysis import collapse as collapse_mod
+
+        def refute(netlist, cmap, samples=8):
+            return collapse_mod.CollapseCheck(
+                n_equivalence=1, n_dominance=0,
+                refuted_equivalence=("forged claim",),
+            )
+
+        monkeypatch.setattr(collapse_mod, "sat_spot_check", refute)
+        code = main(["analyze", "collapse", "GL"])
+        assert code == EXIT_ANALYZE_COLLAPSE
+        out = capsys.readouterr().out
+        assert "NL202" in out
+        assert "forged claim" in out
+
+
+class TestCampaignCollapse:
+    def test_collapse_flag_matches_no_collapse_tables(self, capsys):
+        import re
+
+        def normalized(text):
+            # Wall-clock durations and the collapse accounting (the
+            # "N inferred" note) may differ; the tables must not.
+            text = re.sub(r"\d+\.\d+s", "_s", text)
+            return re.sub(r", \d+ inferred", "", text)
+
+        assert main(["campaign", "--phases", "A",
+                     "--components", "GL", "--collapse"]) == 0
+        collapsed = capsys.readouterr().out
+        assert main(["campaign", "--phases", "A",
+                     "--components", "GL", "--no-collapse"]) == 0
+        plain = capsys.readouterr().out
+        assert normalized(collapsed) == normalized(plain)
