@@ -35,7 +35,7 @@ import time
 from repro.analysis.collapse import compute_collapse
 from repro.core.campaign import execute_self_test
 from repro.core.methodology import SelfTestMethodology
-from repro.faultsim import build_fault_list, grade
+from repro.faultsim import GradeOptions, build_fault_list, grade
 from repro.plasma.components import build_component
 
 #: Soft-gate floor: steady-state (cache-warm) speedup from collapsing.
@@ -83,12 +83,12 @@ def _bench_component(name, stimulus, observe, repeats, lines, failures,
     cmap = compute_collapse(netlist, fault_list)
 
     def plain():
-        return grade(netlist, stimulus, fault_list, observe=observe,
-                     name=name)
+        return grade(netlist, stimulus, fault_list,
+                     GradeOptions(observe=observe, name=name))
 
     def collapsed():
-        return grade(netlist, stimulus, fault_list, observe=observe,
-                     name=name, collapse=cmap)
+        return grade(netlist, stimulus, fault_list,
+                     GradeOptions(observe=observe, name=name, collapse=cmap))
 
     # Warm every cache (good trace, compiled program) outside the timing:
     # the gate measures steady-state campaign behaviour, not build costs.

@@ -67,6 +67,7 @@ from repro.faultsim.faults import (
     _UnionFind,
     build_fault_list,
     fault_sort_key,
+    fault_token,
 )
 from repro.netlist.gates import GateType
 from repro.netlist.hashing import structural_hash
@@ -150,12 +151,9 @@ def _const_output(gtype: GateType, vals: list[int]) -> int:
     return _UNKNOWN  # pragma: no cover - all shipped types handled
 
 
-def _fault_token(fault: Fault) -> str:
-    """Canonical stable serialization of one fault (for hashing)."""
-    return (
-        f"{fault.kind.value}:{fault.net}:{fault.stuck}:"
-        f"{fault.gate}:{fault.pin}"
-    )
+# Promoted to repro.faultsim.faults so the persistent store shares the
+# same canonical serialization; kept as an alias for in-module callers.
+_fault_token = fault_token
 
 
 @dataclass(frozen=True)

@@ -146,17 +146,31 @@ def _campaign_runtime(args: argparse.Namespace) -> RuntimeConfig | None:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.faultsim.options import DEFAULT_LANES, GradeOptions
+
     components = args.components.split(",") if args.components else None
     runtime = _campaign_runtime(args)
+    options = GradeOptions(
+        engine=args.engine,
+        prune_untestable="proven" if args.prune_untestable else False,
+        collapse=args.collapse,
+        cache=args.cache_dir,
+        lanes=args.lanes if args.lanes is not None else DEFAULT_LANES,
+    )
     outcomes = {}
     degraded: list[str] = []
     for phases in args.phases.split(","):
         print(f"== campaign: phases {phases} ==")
         outcomes[phases] = run_campaign(
             phases, components=components, verbose=True, runtime=runtime,
-            prune_untestable="proven" if args.prune_untestable else False,
-            engine=args.engine, jobs=args.jobs, collapse=args.collapse,
+            jobs=args.jobs, options=options,
         )
+        if args.cache_dir is not None:
+            outcome = outcomes[phases]
+            print(
+                f"persistent cache: {len(outcome.cached_components)}"
+                f"/{len(outcome.results)} components reused"
+            )
         if runtime is not None and runtime.checkpoint_dir is not None:
             # Later phases (and the journal entries the first phase just
             # wrote) must survive: only the first phase may start a fresh
@@ -439,6 +453,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "infer dominated verdicts; Tables 4/5 are "
                           "bit-identical either way (default: on; "
                           "--no-collapse simulates every class)")
+    p_c.add_argument("--cache-dir", metavar="DIR", default=None,
+                     help="persistent content-addressed store for good "
+                          "traces and verdict records; an unchanged "
+                          "repeat campaign replays verdicts from DIR "
+                          "and re-simulates nothing")
+    p_c.add_argument("--lanes", type=int, default=None, metavar="N",
+                     help="lane groups per packed-engine word, 2-1024 "
+                          "(default 64 = good machine + 63 fault "
+                          "classes); only meaningful with --engine "
+                          "packed")
     p_c.set_defaults(func=_cmd_campaign)
 
     p_inv = sub.add_parser("inventory", help="print Tables 2 and 3")

@@ -25,12 +25,19 @@ import hashlib
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import CheckpointCorrupt, ReproRuntimeError
+from repro.errors import CheckpointCorrupt, FaultSimError, ReproRuntimeError
 from repro.core.methodology import SelfTestMethodology, SelfTestProgram
 from repro.faultsim.coverage import CoverageSummary
-from repro.faultsim.engine import grade, resolve_prune_mode
+from repro.faultsim.engine import grade
 from repro.faultsim.faults import build_fault_list
 from repro.faultsim.harness import CampaignResult
+from repro.faultsim.observe import ObservePlan
+from repro.faultsim.options import GradeOptions
+from repro.faultsim.store import (
+    result_from_payload,
+    verdict_key_for,
+    verdicts_payload,
+)
 from repro.netlist.netlist import Netlist
 from repro.netlist.stats import gate_count
 from repro.plasma.components import COMPONENTS, ComponentInfo, component
@@ -55,6 +62,9 @@ class CampaignOutcome:
     #: Components whose grading permanently failed; their coverage rows
     #: are lower bounds (all faults counted undetected).
     degraded_components: list[str] = field(default_factory=list)
+    #: Components whose verdicts were replayed from the persistent store
+    #: (``GradeOptions.cache``) instead of being re-simulated.
+    cached_components: list[str] = field(default_factory=list)
     #: Structured per-job runtime events (empty for the in-process path).
     events: list[JobEvent] = field(default_factory=list)
 
@@ -103,6 +113,38 @@ class CampaignOutcome:
         return rows
 
 
+def _campaign_options(
+    options: GradeOptions | None,
+    runtime: RuntimeConfig | None = None,
+    prune_untestable: bool | str = False,
+    engine: str = "auto",
+    collapse: bool = False,
+) -> GradeOptions:
+    """One :class:`GradeOptions` per campaign, from either convention.
+
+    Campaign entry points accept both the options object and the legacy
+    per-feature keywords; unlike :func:`repro.faultsim.grade` the legacy
+    spellings stay silent here (the CLI and benchmarks still route
+    through them), they are simply folded into one object.  A passed
+    ``options`` wins outright.
+    """
+    if options is None:
+        return GradeOptions(
+            engine=engine,
+            prune_untestable=prune_untestable,
+            collapse=collapse,
+            runtime=runtime,
+        )
+    if options.collapse_map is not None:
+        raise FaultSimError(
+            "campaign-level options must use collapse=True/False; a "
+            "precomputed CollapseMap is bound to a single netlist"
+        )
+    if options.runtime is None and runtime is not None:
+        return options.replace(runtime=runtime)
+    return options
+
+
 def grade_component(
     info: ComponentInfo,
     stimulus: list,
@@ -112,6 +154,7 @@ def grade_component(
     prune_untestable: bool | str = False,
     engine: str = "auto",
     collapse: bool = False,
+    options: GradeOptions | None = None,
 ) -> CampaignResult:
     """Fault-grade one component against its traced stimulus.
 
@@ -131,6 +174,9 @@ def grade_component(
         collapse: grade through the structural collapse map
             (:mod:`repro.analysis.collapse`) — fewer classes simulated,
             identical coverage.
+        options: consolidated grading options; wins over the individual
+            keywords above.  The component's traced ``observe`` spec and
+            name are stamped on internally.
     """
     if netlist is None:
         netlist = info.builder()
@@ -140,15 +186,12 @@ def grade_component(
         # The program never excited this component (e.g. a prefix program
         # without its routine): everything stays undetected.
         return CampaignResult(info.name, build_fault_list(netlist))
-    return grade(
-        netlist,
-        stimulus,
-        engine=engine,
-        observe=observe,
-        name=info.name,
-        prune_untestable=prune_untestable,
+    base = _campaign_options(
+        options, prune_untestable=prune_untestable, engine=engine,
         collapse=collapse,
     )
+    opts = base.replace(observe=observe, name=info.name, subset=None)
+    return grade(netlist, stimulus, options=opts)
 
 
 def execute_self_test(
@@ -175,9 +218,7 @@ def _grading_job(
     stimulus: list,
     observe: list,
     netlist_transform=None,
-    prune_untestable: bool | str = False,
-    engine: str = "auto",
-    collapse: bool = False,
+    options: GradeOptions | None = None,
 ) -> tuple[CampaignResult, int]:
     """Build one component once, measure its area, fault-grade it."""
     info = component(name)
@@ -186,9 +227,7 @@ def _grading_job(
     if netlist_transform is not None:
         netlist = netlist_transform(netlist)
     result = grade_component(
-        info, stimulus, observe, netlist=netlist,
-        prune_untestable=prune_untestable, engine=engine,
-        collapse=collapse,
+        info, stimulus, observe, netlist=netlist, options=options
     )
     return result, nand2
 
@@ -197,13 +236,16 @@ def _job_fingerprint(
     self_test: SelfTestProgram,
     info: ComponentInfo,
     netlist_transform=None,
-    prune_untestable: bool | str = False,
+    options: GradeOptions | None = None,
 ) -> str:
     """Configuration hash guarding checkpoint reuse.
 
     The traced stimulus is a deterministic function of the program source,
     so hashing the source (plus the component and transform identities)
-    is enough to detect a journal written by a different campaign.
+    is enough to detect a journal written by a different campaign.  The
+    verdict-shaping options (prune mode, fault-ordering epoch) enter via
+    :meth:`GradeOptions.fingerprint` — engine, lane and cache choices
+    deliberately do not, because verdicts are invariant under them.
     """
     digest = hashlib.sha256()
     digest.update(self_test.phases.encode())
@@ -214,17 +256,7 @@ def _job_fingerprint(
         else getattr(netlist_transform, "__qualname__", repr(netlist_transform))
     )
     digest.update(transform_id.encode())
-    # "structural" keeps the historical b"prune" tag so pre-existing
-    # journals stay reusable; "proven" changes the denominator and must
-    # invalidate them.
-    mode = resolve_prune_mode(prune_untestable)
-    digest.update(b"prune-proven" if mode == "proven"
-                  else b"prune" if mode else b"")
-    # The canonical fault ordering contract changed when structural
-    # collapsing landed (class representatives now sort by net, then
-    # polarity) — shard bounds journaled under the old ordering would
-    # silently cover different faults, so force a new fingerprint epoch.
-    digest.update(b"order-v2")
+    digest.update((options or GradeOptions()).fingerprint().encode())
     return digest.hexdigest()[:16]
 
 
@@ -313,6 +345,7 @@ def grade_traced(
     engine: str = "auto",
     jobs: int | None = None,
     collapse: bool = False,
+    options: GradeOptions | None = None,
 ) -> CampaignOutcome:
     """Fault-grade already-traced stimulus (the grading stage alone).
 
@@ -339,9 +372,14 @@ def grade_traced(
             reusable across the flag; sharded runs stamp the collapse
             hash into shard fingerprints because shard bounds then index
             a different universe.
+        options: consolidated grading options (engine, pruning,
+            collapsing, persistent cache, packed lanes); wins over the
+            individual legacy keywords.
     """
-    if engine == "auto" and runtime is not None:
-        engine = runtime.engine
+    opts = _campaign_options(
+        options, runtime=runtime, prune_untestable=prune_untestable,
+        engine=engine, collapse=collapse,
+    )
     effective_jobs = jobs
     if effective_jobs is None:
         effective_jobs = runtime.jobs if runtime is not None else 1
@@ -355,7 +393,7 @@ def grade_traced(
     if effective_jobs > 1:
         _grade_traced_parallel(
             outcome, self_test, specs, wanted, verbose, netlist_transform,
-            runtime, prune_untestable, engine, effective_jobs, collapse,
+            runtime, opts, effective_jobs,
         )
         return outcome
     runner = JobRunner(runtime) if runtime is not None else None
@@ -367,17 +405,16 @@ def grade_traced(
         if runner is None:
             started = time.perf_counter()
             result, nand2 = _grading_job(
-                info.name, stimulus, observe, netlist_transform,
-                prune_untestable, engine, collapse,
+                info.name, stimulus, observe, netlist_transform, opts
             )
             elapsed = time.perf_counter() - started
         else:
             key = f"{self_test.phases}:{info.name}"
             fingerprint = _job_fingerprint(
-                self_test, info, netlist_transform, prune_untestable
+                self_test, info, netlist_transform, opts
             )
             job_args = (info.name, stimulus, observe, netlist_transform,
-                        prune_untestable, engine, collapse)
+                        opts)
             job = runner.run(
                 key=key, fn=_grading_job, args=job_args,
                 fingerprint=fingerprint, serialize=_result_to_record,
@@ -410,6 +447,8 @@ def grade_traced(
         outcome.grading_seconds[info.name] = elapsed
         if degraded:
             outcome.degraded_components.append(info.name)
+        if result.cache_hit:
+            outcome.cached_components.append(info.name)
         outcome.summary.add(
             result.to_component_coverage(nand2, degraded=degraded)
         )
@@ -421,11 +460,12 @@ def grade_traced(
             inferred = (
                 f", {result.n_inferred} inferred" if result.n_inferred else ""
             )
+            cached = ", store hit" if result.cache_hit else ""
             print(
                 f"  {info.name:6s} FC={result.fault_coverage:6.2f}% "
                 f"({result.n_detected}/{result.n_faults} faults, "
                 f"{len(stimulus)} stimulus entries, {elapsed:.1f}s"
-                f"{pruned}{inferred}){marker}"
+                f"{pruned}{inferred}{cached}){marker}"
             )
     if runner is not None:
         outcome.events = runner.events.events
@@ -443,10 +483,8 @@ def _grade_traced_parallel(
     verbose: bool,
     netlist_transform,
     runtime: RuntimeConfig | None,
-    prune_untestable: bool | str,
-    engine: str,
+    options: GradeOptions,
     jobs: int,
-    collapse: bool = False,
 ) -> None:
     """Shard every component's fault universe over a persistent pool.
 
@@ -458,6 +496,12 @@ def _grade_traced_parallel(
     runtime's timeout/retry budget, a worker crash degrades only the
     shards it was executing, and the journal records completed shards so
     ``--resume`` re-grades exactly the missing ones.
+
+    Persistent store: with ``options.cache`` set, the parent checks each
+    component's verdict record *before* planning its shards — a hit
+    replays the whole component with zero shard tasks — and writes the
+    merged record back after a clean (non-degraded) merge, so the next
+    unchanged campaign re-simulates nothing.
     """
     from repro.core.sharded import (
         ShardContext,
@@ -467,6 +511,7 @@ def _grade_traced_parallel(
         record_to_verdict,
         shard_record,
     )
+    from repro.faultsim.trace_cache import set_active_store
     from repro.runtime.pool import ShardScheduler
     from repro.runtime.sharding import ShardTask, plan_shards
 
@@ -481,100 +526,151 @@ def _grade_traced_parallel(
         stimulus={name: spec[0] for name, spec in specs.items()},
         observe={name: spec[1] for name, spec in specs.items()},
         netlist_transform=netlist_transform,
-        prune_untestable=prune_untestable,
-        engine=engine,
-        collapse=collapse,
+        options=options,
     )
     # Install in the parent *before* the pool starts: fork-started
     # workers inherit the traces by memory; the initializer below covers
-    # spawn-started (and replacement) workers.
+    # spawn-started (and replacement) workers.  The install activates
+    # the persistent store globally, so restore the parent afterwards.
+    previous_store = set_active_store(None)
     install_shard_context(context)
-
-    plan = []  # (info, fault_list, nand2, n_patterns, comp_tasks)
-    tasks: list[ShardTask] = []
-    for info in COMPONENTS:
-        if wanted is not None and info.name not in wanted:
-            continue
-        netlist = info.builder()
-        nand2 = gate_count(netlist).nand2
-        if netlist_transform is not None:
-            netlist = netlist_transform(netlist)
-        fault_list = build_fault_list(netlist)
-        stimulus, _observe = specs[info.name]
-        if not stimulus:
-            # Never excited: all faults stay undetected.  Handled in the
-            # parent — no grading work to shard.
-            plan.append((info, fault_list, nand2, 0, []))
-            continue
-        # Shard bounds index the universe the workers will grade: base
-        # class representatives uncollapsed, super-class simulation units
-        # collapsed.  The collapse hash goes into the fingerprint so a
-        # resumed run never reuses shard bounds from the other universe.
-        universe_size = fault_list.n_collapsed
-        chash = ""
-        if collapse:
-            from repro.analysis.collapse import compute_collapse
-
-            cmap = compute_collapse(netlist, fault_list)
-            universe_size = len(cmap.simulation_order())
-            chash = cmap.collapse_hash
-        shards = plan_shards(universe_size, jobs)
-        base = _job_fingerprint(
-            self_test, info, netlist_transform, prune_untestable
-        )
-        suffix = f":c{chash}" if chash else ""
-        n = len(shards)
-        comp_tasks = [
-            ShardTask(
-                key=f"{self_test.phases}:{info.name}#{i + 1:02d}/{n:02d}",
-                fn=grade_shard,
-                args=(info.name, lo, hi),
-                fingerprint=f"{base}:{lo}-{hi}/{universe_size}{suffix}",
-                size=hi - lo,
-            )
-            for i, (lo, hi) in enumerate(shards)
-        ]
-        tasks.extend(comp_tasks)
-        plan.append((info, fault_list, nand2, len(stimulus), comp_tasks))
-
-    scheduler = ShardScheduler(
-        config, jobs=jobs,
-        initializer=install_shard_context, initargs=(context,),
+    store = options.store
+    # Packed words carry ``lanes - 1`` fault classes; aligning shard
+    # bounds keeps every word fully occupied (verdicts are identical
+    # for any partition — this is purely a throughput knob).
+    lane_align = (
+        options.lanes - 1 if options.effective_engine() == "packed" else 1
     )
-    shard_outcomes = scheduler.run(tasks, serialize=shard_record)
+
+    try:
+        # plan: (info, fault_list, nand2, n_patterns, comp_tasks,
+        #        cached_result, store_key)
+        plan = []
+        tasks: list[ShardTask] = []
+        for info in COMPONENTS:
+            if wanted is not None and info.name not in wanted:
+                continue
+            netlist = info.builder()
+            nand2 = gate_count(netlist).nand2
+            if netlist_transform is not None:
+                netlist = netlist_transform(netlist)
+            fault_list = build_fault_list(netlist)
+            stimulus, observe = specs[info.name]
+            if not stimulus:
+                # Never excited: all faults stay undetected.  Handled in
+                # the parent — no grading work to shard.
+                plan.append((info, fault_list, nand2, 0, [], None, ""))
+                continue
+            # Shard bounds index the universe the workers will grade:
+            # base class representatives uncollapsed, super-class
+            # simulation units collapsed.  The collapse hash goes into
+            # the fingerprint so a resumed run never reuses shard bounds
+            # from the other universe.
+            universe_size = fault_list.n_collapsed
+            chash = ""
+            if options.collapse_requested:
+                from repro.analysis.collapse import compute_collapse
+
+                cmap = compute_collapse(netlist, fault_list)
+                universe_size = len(cmap.simulation_order())
+                chash = cmap.collapse_hash
+            store_key = ""
+            if store is not None:
+                plan_obs = ObservePlan.from_spec(
+                    observe, len(stimulus), netlist
+                )
+                store_key = verdict_key_for(
+                    store, netlist, stimulus, plan_obs, fault_list,
+                    prune_mode=options.prune_mode, collapse_hash=chash,
+                )
+                payload = store.load_verdicts(store_key)
+                if payload is not None:
+                    try:
+                        if int(payload["n_classes"]) != fault_list.n_collapsed:
+                            raise ValueError("universe size mismatch")
+                        cached = result_from_payload(
+                            payload, info.name, fault_list
+                        )
+                    except (KeyError, TypeError, ValueError):
+                        cached = None  # malformed: re-grade from scratch
+                    if cached is not None:
+                        plan.append((
+                            info, fault_list, nand2, len(stimulus), [],
+                            cached, store_key,
+                        ))
+                        continue
+            shards = plan_shards(universe_size, jobs, lane_align=lane_align)
+            base = _job_fingerprint(
+                self_test, info, netlist_transform, options
+            )
+            suffix = f":c{chash}" if chash else ""
+            n = len(shards)
+            comp_tasks = [
+                ShardTask(
+                    key=f"{self_test.phases}:{info.name}#{i + 1:02d}/{n:02d}",
+                    fn=grade_shard,
+                    args=(info.name, lo, hi),
+                    fingerprint=f"{base}:{lo}-{hi}/{universe_size}{suffix}",
+                    size=hi - lo,
+                )
+                for i, (lo, hi) in enumerate(shards)
+            ]
+            tasks.extend(comp_tasks)
+            plan.append((
+                info, fault_list, nand2, len(stimulus), comp_tasks,
+                None, store_key,
+            ))
+
+        scheduler = ShardScheduler(
+            config, jobs=jobs,
+            initializer=install_shard_context, initargs=(context,),
+        )
+        shard_outcomes = scheduler.run(tasks, serialize=shard_record)
+    finally:
+        set_active_store(previous_store)
 
     journal_path = getattr(scheduler.runner.checkpoint, "path", None)
-    for info, fault_list, nand2, n_patterns, comp_tasks in plan:
-        verdicts = []
+    for (info, fault_list, nand2, n_patterns, comp_tasks, cached_result,
+         store_key) in plan:
         degraded = False
         elapsed = 0.0
-        for task in comp_tasks:
-            shard = shard_outcomes[task.key]
-            if shard.status == "ok":
-                verdict = shard.value
-                elapsed += shard.elapsed
-            elif shard.status == "cached":
-                try:
-                    verdict = record_to_verdict(shard.record, journal_path)
-                except CheckpointCorrupt:
+        if cached_result is not None:
+            result = cached_result
+        else:
+            verdicts = []
+            for task in comp_tasks:
+                shard = shard_outcomes[task.key]
+                if shard.status == "ok":
+                    verdict = shard.value
+                    elapsed += shard.elapsed
+                elif shard.status == "cached":
+                    try:
+                        verdict = record_to_verdict(
+                            shard.record, journal_path
+                        )
+                    except CheckpointCorrupt:
+                        degraded = True
+                        continue
+                else:  # failed: attempts exhausted — this shard is lost
                     degraded = True
                     continue
-            else:  # failed: attempts exhausted — only this shard is lost
-                degraded = True
-                continue
-            if verdict.n_classes != fault_list.n_collapsed:
-                # Stale journal that somehow passed the fingerprint
-                # guard: distrust the shard rather than abort.
-                degraded = True
-                continue
-            verdicts.append(verdict)
-        result = merge_shard_results(
-            info.name, fault_list, n_patterns, verdicts
-        )
+                if verdict.n_classes != fault_list.n_collapsed:
+                    # Stale journal that somehow passed the fingerprint
+                    # guard: distrust the shard rather than abort.
+                    degraded = True
+                    continue
+                verdicts.append(verdict)
+            result = merge_shard_results(
+                info.name, fault_list, n_patterns, verdicts
+            )
+            if store is not None and store_key and not degraded:
+                store.save_verdicts(store_key, verdicts_payload(result))
         outcome.results[info.name] = result
         outcome.grading_seconds[info.name] = elapsed
         if degraded:
             outcome.degraded_components.append(info.name)
+        if result.cache_hit:
+            outcome.cached_components.append(info.name)
         outcome.summary.add(
             result.to_component_coverage(nand2, degraded=degraded)
         )
@@ -584,11 +680,12 @@ def _grade_traced_parallel(
             inferred = (
                 f", {result.n_inferred} inferred" if result.n_inferred else ""
             )
+            cached = ", store hit" if result.cache_hit else ""
             print(
                 f"  {info.name:6s} FC={result.fault_coverage:6.2f}% "
                 f"({result.n_detected}/{result.n_faults} faults, "
                 f"{len(comp_tasks)} shards, {elapsed:.1f}s compute"
-                f"{pruned}{inferred}){marker}"
+                f"{pruned}{inferred}{cached}){marker}"
             )
     outcome.events = scheduler.events.events
 
@@ -603,6 +700,7 @@ def grade_program(
     engine: str = "auto",
     jobs: int | None = None,
     collapse: bool = False,
+    options: GradeOptions | None = None,
 ) -> CampaignOutcome:
     """Execute any program on the traced CPU and fault-grade components.
 
@@ -627,6 +725,8 @@ def grade_program(
         collapse: grade through the structural collapse map; verdicts
             and coverage are bit-identical either way (see
             :func:`grade_traced`).
+        options: consolidated :class:`GradeOptions`; wins over the
+            individual legacy keywords (see :func:`grade_traced`).
     """
     cpu_result, tracer, _memory = execute_self_test(self_test)
     specs = tracer.finalize()
@@ -642,6 +742,7 @@ def grade_program(
         engine=engine,
         jobs=jobs,
         collapse=collapse,
+        options=options,
     )
 
 
@@ -656,6 +757,7 @@ def run_campaign(
     engine: str = "auto",
     jobs: int | None = None,
     collapse: bool = False,
+    options: GradeOptions | None = None,
 ) -> CampaignOutcome:
     """Full pipeline for one phase configuration.
 
@@ -676,6 +778,9 @@ def run_campaign(
             structural collapse map and infer dominated verdicts;
             Table 4/5 numbers are bit-identical either way (see
             :func:`grade_traced`).
+        options: consolidated :class:`GradeOptions` (engine, pruning,
+            collapsing, persistent cache, packed lanes); wins over the
+            individual legacy keywords.
 
     Returns:
         The campaign outcome with Table 4/5 data attached.
@@ -692,4 +797,5 @@ def run_campaign(
         engine=engine,
         jobs=jobs,
         collapse=collapse,
+        options=options,
     )

@@ -36,11 +36,12 @@ from repro.faultsim.engine import (
     default_engine_name,
     get_engine,
     prune_sets,
-    resolve_prune_mode,
 )
 from repro.faultsim.faults import FaultList, build_fault_list
 from repro.faultsim.harness import CampaignResult
 from repro.faultsim.observe import ObservePlan
+from repro.faultsim.options import GradeOptions
+from repro.faultsim.trace_cache import set_active_store
 from repro.plasma.components import component
 
 
@@ -52,25 +53,19 @@ class ShardContext:
         stimulus: per component name, the traced input patterns/cycles.
         observe: per component name, the taint-derived observability spec.
         netlist_transform: optional netlist rewrite (e.g. tech remap).
-        prune_untestable: pruning mode, as accepted by
-            :func:`repro.faultsim.engine.grade` — ``False``, ``True`` /
-            ``"structural"`` (SCOAP skip, coverage-neutral) or
-            ``"proven"`` (additionally SAT-certify and exclude the
-            proven-redundant classes from the FC denominator).
-        engine: engine name or ``"auto"`` (resolved per netlist).
-        collapse: grade through the structural collapse map
-            (:mod:`repro.analysis.collapse`).  Shards then slice the
-            super-class simulation order instead of the base class list;
-            verdicts expand to every member, so the merge and coverage
-            are unchanged.
+        options: the campaign's consolidated
+            :class:`~repro.faultsim.options.GradeOptions` — engine
+            choice, pruning mode, collapse request, packed lane width
+            and the persistent store.  ``collapse_requested`` makes
+            shards slice the super-class simulation order instead of
+            the base class list; verdicts expand to every member, so
+            the merge and coverage are unchanged.
     """
 
     stimulus: Mapping[str, Sequence]
     observe: Mapping[str, Sequence]
     netlist_transform: Callable | None = None
-    prune_untestable: bool | str = False
-    engine: str = "auto"
-    collapse: bool = False
+    options: GradeOptions = field(default_factory=GradeOptions)
 
 
 @dataclass
@@ -109,10 +104,15 @@ _STATE: dict[str, tuple] = {}
 
 
 def install_shard_context(context: ShardContext) -> None:
-    """Install the campaign context (parent pre-fork + pool initializer)."""
+    """Install the campaign context (parent pre-fork + pool initializer).
+
+    Also activates the campaign's persistent store (if any) so workers
+    read shared good traces instead of re-simulating them.
+    """
     global _CONTEXT
     _CONTEXT = context
     _STATE.clear()
+    set_active_store(context.options.store)
 
 
 def _component_state(name: str):
@@ -136,15 +136,18 @@ def _component_state(name: str):
     plan = ObservePlan.from_spec(
         context.observe[name], len(stimulus), netlist
     )
-    engine_name = context.engine
+    opts = context.options
+    engine_name = opts.effective_engine()
     if engine_name == "auto":
         engine_name = default_engine_name(netlist)
     engine = get_engine(engine_name)
-    mode = resolve_prune_mode(context.prune_untestable)
-    skip, proven = prune_sets(netlist, fault_list, mode)
+    configure = getattr(engine, "configure", None)
+    if configure is not None:
+        configure(opts)
+    skip, proven = prune_sets(netlist, fault_list, opts.prune_mode)
     cmap = None
     universe = reps
-    if context.collapse:
+    if opts.collapse_requested:
         # Local import mirrors grade(): repro.analysis.collapse imports
         # the fault model, so the load-time dependency stays one-way.
         from repro.analysis.collapse import compute_collapse

@@ -12,13 +12,21 @@ picks an engine (``"auto"``) and returns a
   simulation over levelized netlists (one Python bitwise op evaluates a gate
   under every pattern at once);
 * :mod:`~repro.faultsim.engine` — the :class:`FaultSimEngine` registry and
-  the three engines (``differential``, ``batch``, ``compiled``) behind the
-  :func:`grade` facade;
+  the engines (``differential``, ``batch``, ``compiled``, ``packed``)
+  behind the :func:`grade` facade;
+* :mod:`~repro.faultsim.options` — the one validated
+  :class:`GradeOptions` object every grading entry point shares;
+* :mod:`~repro.faultsim.packed` — fault-parallel bit-packed grading (up
+  to ``lanes - 1`` fault classes per big-int word next to the good
+  machine);
 * :mod:`~repro.faultsim.lowering` — netlist lowering / code generation for
   the compiled engine (dead-net elimination, constant folding, fused gate
   kernels);
 * :mod:`~repro.faultsim.trace_cache` — the process-wide good-trace cache
   keyed by structural netlist and stimulus hashes;
+* :mod:`~repro.faultsim.store` — the persistent content-addressed store
+  for good traces and verdict records (checksummed records, quarantine
+  on corruption, LRU size cap);
 * :mod:`~repro.faultsim.observe` — one normalized observability plan shared
   by every engine;
 * :mod:`~repro.faultsim.differential` — per-fault event-driven faulty
@@ -44,7 +52,15 @@ from repro.faultsim.observe import ObservePlan, ObserveSpec
 from repro.faultsim.trace_cache import (
     CacheStats,
     GoodTraceCache,
+    active_store,
     global_trace_cache,
+    set_active_store,
+)
+from repro.faultsim.store import StoreStats, TraceStore
+from repro.faultsim.options import (
+    DEFAULT_LANES,
+    GradeOptions,
+    resolve_prune_mode,
 )
 from repro.faultsim.harness import (
     CampaignResult,
@@ -64,6 +80,7 @@ from repro.faultsim.engine import (
     grade,
     register_engine,
 )
+from repro.faultsim.packed import PackedEngine
 
 __all__ = [
     "Candidate",
@@ -84,6 +101,13 @@ __all__ = [
     "CacheStats",
     "GoodTraceCache",
     "global_trace_cache",
+    "active_store",
+    "set_active_store",
+    "StoreStats",
+    "TraceStore",
+    "DEFAULT_LANES",
+    "GradeOptions",
+    "resolve_prune_mode",
     "CampaignResult",
     "CombinationalCampaign",
     "SequentialCampaign",
@@ -92,6 +116,7 @@ __all__ = [
     "BatchEngine",
     "CompiledEngine",
     "DifferentialEngine",
+    "PackedEngine",
     "FaultSimEngine",
     "default_engine_name",
     "engine_names",

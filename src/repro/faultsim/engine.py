@@ -41,6 +41,7 @@ minimum.  Detected flags, coverage and excitation stay exact either way
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from typing import TYPE_CHECKING, Protocol
 
@@ -50,14 +51,39 @@ from repro.faultsim.faults import Fault, FaultKind, FaultList, build_fault_list
 from repro.faultsim.harness import CampaignResult
 from repro.faultsim.lowering import cached_compile_comb, cached_compile_seq
 from repro.faultsim.observe import ObservePlan, ObserveSpec
+from repro.faultsim.options import (
+    GradeOptions,
+    resolve_prune_mode,
+)
 from repro.faultsim.parallel import ParallelFaultSimulator, _eval
 from repro.faultsim.simulator import GoodTrace
-from repro.faultsim.trace_cache import good_trace_for
+from repro.faultsim.store import (
+    result_from_payload,
+    verdict_key_for,
+    verdicts_payload,
+)
+from repro.faultsim.trace_cache import good_trace_for, set_active_store
 from repro.netlist.levelize import depth
 from repro.netlist.netlist import CONST1, DFF, Gate, Netlist, PortDirection
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see grade())
     from repro.analysis.collapse import CollapseMap
+
+__all__ = [
+    "AUTO_MIN_DEPTH",
+    "BatchEngine",
+    "CompiledEngine",
+    "DifferentialEngine",
+    "FaultSimEngine",
+    "GradeOptions",
+    "default_engine_name",
+    "engine_names",
+    "get_engine",
+    "grade",
+    "prune_sets",
+    "register_engine",
+    "resolve_prune_mode",
+]
 
 Stimulus = Sequence[Mapping[str, int]]
 
@@ -639,27 +665,10 @@ def _repack_word(survivors: list[int]) -> Callable[[int], int]:
 
 
 # ------------------------------------------------------------ prune modes
-
-
-def resolve_prune_mode(value: bool | str) -> str:
-    """Normalise a ``prune_untestable`` argument to a mode string.
-
-    Returns ``""`` (no pruning), ``"structural"`` (skip the SCOAP-
-    screened classes; they stay in the denominator) or ``"proven"``
-    (additionally SAT-certify the screened classes and exclude the
-    proven-redundant subset from the FC denominator).  ``True`` keeps
-    its historical meaning of ``"structural"``.
-    """
-    if value is False or value == "":
-        return ""
-    if value is True or value == "structural":
-        return "structural"
-    if value == "proven":
-        return "proven"
-    raise FaultSimError(
-        f"unknown prune_untestable mode {value!r} "
-        "(use False, True, 'structural' or 'proven')"
-    )
+#
+# ``resolve_prune_mode`` moved to :mod:`repro.faultsim.options` (the
+# options object validates prune modes at construction); it is re-exported
+# here for existing importers.
 
 
 def prune_sets(
@@ -714,9 +723,18 @@ def get_engine(name: str) -> FaultSimEngine:
     return factory()
 
 
+def _packed_factory() -> FaultSimEngine:
+    # Local import: the packed engine reuses this module's helpers, so
+    # it can only load once the module body has finished executing.
+    from repro.faultsim.packed import PackedEngine
+
+    return PackedEngine()
+
+
 register_engine("differential", DifferentialEngine)
 register_engine("batch", BatchEngine)
 register_engine("compiled", CompiledEngine)
+register_engine("packed", _packed_factory)
 
 
 def default_engine_name(netlist: Netlist) -> str:
@@ -853,10 +871,43 @@ def _grade_collapsed(
 # ------------------------------------------------------------------- facade
 
 
+_DEPRECATION_MESSAGE = (
+    "passing grading options as individual keyword arguments to grade() "
+    "is deprecated; build a GradeOptions and call "
+    "grade(netlist, stimulus, faults, options) (docs/API.md §6 maps "
+    "each keyword to its GradeOptions field)"
+)
+
+
+def _fold_legacy_kwargs(
+    options: GradeOptions | None,
+    legacy: dict[str, object],
+) -> GradeOptions:
+    """One options object from either calling convention.
+
+    ``legacy`` holds only the keywords whose value differs from its
+    default — a non-empty dict means the caller used the deprecated
+    per-keyword surface.
+    """
+    if options is not None:
+        if legacy:
+            raise FaultSimError(
+                "pass GradeOptions or legacy keyword arguments, not both "
+                f"(got options plus {sorted(legacy)})"
+            )
+        return options
+    if legacy:
+        warnings.warn(
+            _DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=3
+        )
+    return GradeOptions(**legacy)  # type: ignore[arg-type]
+
+
 def grade(
     netlist: Netlist,
     stimulus: Stimulus,
     faults: FaultList | None = None,
+    options: GradeOptions | None = None,
     *,
     engine: str = "auto",
     observe: ObserveSpec = None,
@@ -865,8 +916,20 @@ def grade(
     prune_untestable: bool | str = False,
     subset: Sequence[int] | None = None,
     collapse: bool | CollapseMap = False,
+    cache: object | None = None,
+    lanes: int | None = None,
 ) -> CampaignResult:
     """Grade a fault universe against a stimulus — the one entry point.
+
+    Canonical call::
+
+        grade(netlist, stimulus, faults, GradeOptions(engine="packed"))
+
+    Every grading knob lives on :class:`GradeOptions` (see its field
+    docs); the per-keyword surface after ``options`` is deprecated — it
+    still works for one release, emits :class:`DeprecationWarning`, and
+    is folded into an options object internally.  Mixing both
+    conventions raises.
 
     Args:
         netlist: the circuit.  DFF-free netlists take ``stimulus`` as an
@@ -874,50 +937,45 @@ def grade(
             sequence applied from reset.
         stimulus: per entry, ``{input port: value}``.
         faults: the fault universe (default: build and collapse it).
-        engine: ``"auto"`` (pick per netlist) or a registered engine
-            name — see :func:`engine_names`.
-        observe: observability spec, any form accepted by
-            :meth:`ObservePlan.from_spec` (None = every output, always).
-        runtime: optional :class:`~repro.runtime.RuntimeConfig`; its
-            ``engine`` field is honoured when ``engine`` is ``"auto"``.
-        name: campaign label (default: the netlist name).
-        prune_untestable: ``False`` simulates everything.  ``True`` (or
-            ``"structural"``) skips simulating the SCOAP-screened
-            structurally untestable classes; they stay in the FC
-            denominator as undetected, so reported coverage is
-            unchanged.  ``"proven"`` additionally runs the SAT
-            redundancy prover (:mod:`repro.formal.redundancy`) over the
-            screened classes and records the certified subset in
-            ``result.proven``, excluding them from the denominator.
-        subset: restrict grading to these class representatives (one
-            *shard* of the universe, see
-            :func:`repro.runtime.sharding.plan_shards`).  The result
-            still carries the full fault universe — only the listed
-            classes get verdicts — and those verdicts are identical to
-            the same classes' verdicts in a full run, so a partition of
-            the universe merges back to the sequential result.
-        collapse: ``True`` computes the structural collapse map
-            (:func:`repro.analysis.collapse.compute_collapse`) and
-            simulates super-class representatives only, inferring
-            dominator verdicts from detected children; a precomputed
-            :class:`~repro.analysis.collapse.CollapseMap` (over the same
-            fault list) is reused as-is.  Coverage, the detected set and
-            undetected excitation flags are identical to an uncollapsed
-            run — only ``n_simulated``/``n_inferred`` accounting and the
-            cycle/lanes witness of inferred sequential detections differ
-            (module docstring caveat).
+        options: the validated grading options (engine selection,
+            observability, pruning, subsetting, collapsing, persistent
+            caching, packed-lane width).
 
     Returns:
-        The campaign result; verdicts are engine-invariant.
+        The campaign result; verdicts are engine-invariant.  When
+        ``options.cache`` is set and the store holds a record for this
+        exact (netlist, stimulus, observability, prune mode, collapse)
+        fingerprint, the result is replayed from disk with
+        ``cache_hit=True`` and zero simulated classes.
     """
+    legacy: dict[str, object] = {}
+    if engine != "auto":
+        legacy["engine"] = engine
+    if observe is not None:
+        legacy["observe"] = observe
+    if runtime is not None:
+        legacy["runtime"] = runtime
+    if name:
+        legacy["name"] = name
+    if prune_untestable is not False:
+        legacy["prune_untestable"] = prune_untestable
+    if subset is not None:
+        legacy["subset"] = subset
+    if collapse is not False:
+        legacy["collapse"] = collapse
+    if cache is not None:
+        legacy["cache"] = cache
+    if lanes is not None:
+        legacy["lanes"] = lanes
+    opts = _fold_legacy_kwargs(options, legacy)
+
     combinational = not netlist.dffs
     if not stimulus:
         raise FaultSimError(
             "no patterns to apply" if combinational else "no cycles to apply"
         )
-    cmap: CollapseMap | None = None
-    if not isinstance(collapse, bool):
-        cmap = collapse
+    cmap = opts.collapse_map
+    if cmap is not None:
         if faults is not None and cmap.fault_list is not faults:
             raise FaultSimError(
                 "collapse map was computed over a different fault list; "
@@ -928,40 +986,74 @@ def grade(
         fault_list = (
             faults if faults is not None else build_fault_list(netlist)
         )
-        if collapse:
+        if opts.collapse is True:
             # Local import: repro.analysis.collapse imports this
             # package's fault model, so the dependency stays one-way.
             from repro.analysis.collapse import compute_collapse
 
             cmap = compute_collapse(netlist, fault_list)
-    plan = ObservePlan.from_spec(observe, len(stimulus), netlist)
-    spec = engine
-    if spec == "auto" and runtime is not None:
-        spec = getattr(runtime, "engine", "auto") or "auto"
+    plan = ObservePlan.from_spec(opts.observe, len(stimulus), netlist)
+    label = opts.name or netlist.name
+    spec = opts.effective_engine()
     if spec == "auto":
         spec = default_engine_name(netlist)
     selected = get_engine(spec)
-    mode = resolve_prune_mode(prune_untestable)
-    skip, proven = prune_sets(netlist, fault_list, mode)
-    if cmap is not None:
-        supers: Sequence[int] | None = None
-        restrict: frozenset[int] | None = None
-        if subset is not None:
-            restrict = frozenset(subset)
-            wanted = {
-                cmap.super_of[r] for r in restrict if r in cmap.super_of
-            }
-            supers = [s for s in cmap.simulation_order() if s in wanted]
-        result = _grade_collapsed(
-            selected, netlist, stimulus, fault_list, plan, cmap,
-            name=name or netlist.name, skip=skip,
-            supers=supers, restrict=restrict,
-        )
-    else:
-        result = selected.grade(
-            netlist, stimulus, fault_list, plan,
-            name=name or netlist.name, skip=skip, only=subset,
-        )
-        result.n_simulated = len(_graded_reps(fault_list, skip, subset))
-    result.proven = set(proven)
-    return result
+    configure = getattr(selected, "configure", None)
+    if configure is not None:
+        configure(opts)
+    mode = opts.prune_mode
+
+    # Persistent store: activate it for good-trace sharing either way,
+    # and replay the whole verdict record when this exact grade (same
+    # structure, stimulus, observability, pruning, collapse universe)
+    # already ran.  Subset grades are shard-local and never stored —
+    # the campaign layer caches the merged full-universe result instead.
+    store = opts.store
+    previous_store = set_active_store(store) if store is not None else None
+    try:
+        store_key = ""
+        if store is not None and opts.subset is None:
+            store_key = verdict_key_for(
+                store, netlist, stimulus, plan, fault_list,
+                prune_mode=mode,
+                collapse_hash=cmap.collapse_hash if cmap is not None else "",
+            )
+            payload = store.load_verdicts(store_key)
+            if payload is not None:
+                try:
+                    if int(payload["n_classes"]) == fault_list.n_collapsed:  # type: ignore[arg-type]
+                        return result_from_payload(
+                            payload, label, fault_list
+                        )
+                except (KeyError, TypeError, ValueError):
+                    pass  # malformed record: fall through and re-grade
+
+        skip, proven = prune_sets(netlist, fault_list, mode)
+        if cmap is not None:
+            supers: Sequence[int] | None = None
+            restrict: frozenset[int] | None = None
+            if opts.subset is not None:
+                restrict = frozenset(opts.subset)
+                wanted = {
+                    cmap.super_of[r] for r in restrict if r in cmap.super_of
+                }
+                supers = [s for s in cmap.simulation_order() if s in wanted]
+            result = _grade_collapsed(
+                selected, netlist, stimulus, fault_list, plan, cmap,
+                name=label, skip=skip, supers=supers, restrict=restrict,
+            )
+        else:
+            result = selected.grade(
+                netlist, stimulus, fault_list, plan,
+                name=label, skip=skip, only=opts.subset,
+            )
+            result.n_simulated = len(
+                _graded_reps(fault_list, skip, opts.subset)
+            )
+        result.proven = set(proven)
+        if store is not None and store_key:
+            store.save_verdicts(store_key, verdicts_payload(result))
+        return result
+    finally:
+        if store is not None:
+            set_active_store(previous_store)

@@ -88,6 +88,20 @@ def fault_sort_key(fault: Fault) -> tuple[int, int, int, int, int]:
             fault.gate, fault.pin)
 
 
+def fault_token(fault: Fault) -> str:
+    """Canonical stable serialization of one fault, for hashing.
+
+    Shared by collapse-map hashing (:mod:`repro.analysis.collapse`) and
+    the persistent store's record keys — both need the same token so a
+    collapse hash computed in one process addresses the same records in
+    another.
+    """
+    return (
+        f"{fault.kind.value}:{fault.net}:{fault.stuck}:"
+        f"{fault.gate}:{fault.pin}"
+    )
+
+
 class _UnionFind:
     """Union-find over fault ids for equivalence collapsing."""
 

@@ -51,6 +51,9 @@ class CampaignResult:
             :class:`~repro.analysis.collapse.CollapseMap` (empty when
             grading ran uncollapsed); recorded in checkpoint
             fingerprints so resumed shards never mix universes.
+        cache_hit: True when the whole result was replayed from the
+            persistent store (:class:`~repro.faultsim.store.TraceStore`)
+            instead of simulated — ``n_simulated`` is 0 in that case.
     """
 
     name: str
@@ -63,6 +66,7 @@ class CampaignResult:
     n_simulated: int = 0
     n_inferred: int = 0
     collapse_hash: str = ""
+    cache_hit: bool = False
 
     @property
     def n_faults(self) -> int:
@@ -186,6 +190,7 @@ class CombinationalCampaign:
     ) -> CampaignResult:
         # Local import: the engine module imports CampaignResult from here.
         from repro.faultsim.engine import grade
+        from repro.faultsim.options import GradeOptions
 
         if self.netlist.dffs:
             raise FaultSimError(
@@ -198,15 +203,13 @@ class CombinationalCampaign:
             and len(self.observe) != len(self.patterns)
         ):
             raise FaultSimError("observe list must match pattern count")
-        return grade(
-            self.netlist,
-            self.patterns,
-            fault_list,
+        options = GradeOptions(
             engine=self.engine,
             observe=self.observe,
             name=self.name or self.netlist.name,
             prune_untestable=prune_untestable,
         )
+        return grade(self.netlist, self.patterns, fault_list, options)
 
 
 @dataclass
@@ -243,6 +246,7 @@ class SequentialCampaign:
         prune_untestable: bool = False,
     ) -> CampaignResult:
         from repro.faultsim.engine import grade
+        from repro.faultsim.options import GradeOptions
 
         if not self.cycle_inputs:
             raise FaultSimError("no cycles to apply")
@@ -251,15 +255,13 @@ class SequentialCampaign:
             and len(self.observe) != len(self.cycle_inputs)
         ):
             raise FaultSimError("observe list must match cycle count")
-        return grade(
-            self.netlist,
-            self.cycle_inputs,
-            fault_list,
+        options = GradeOptions(
             engine=self.engine,
             observe=self.observe,
             name=self.name or self.netlist.name,
             prune_untestable=prune_untestable,
         )
+        return grade(self.netlist, self.cycle_inputs, fault_list, options)
 
 
 def run_combinational(

@@ -118,6 +118,32 @@ class ObservePlan:
     def observes_everything(self) -> bool:
         return self.entries is None
 
+    def signature(self) -> str:
+        """Stable content digest of the plan, for persistent-store keys.
+
+        Entry order matters (entry *t* guards stimulus entry *t*), so
+        the digest walks entries in order.  Full observability digests
+        to the literal ``"all:<n_entries>"`` so the common case stays
+        readable in record headers.
+        """
+        if self.entries is None:
+            return f"all:{self.n_entries}"
+        memo = self.__dict__.get("_signature_memo")
+        if memo is not None:
+            return memo  # type: ignore[no-any-return]
+        import hashlib
+
+        digest = hashlib.blake2b(digest_size=12)
+        digest.update(str(self.n_entries).encode())
+        for entry in self.entries:
+            digest.update(b"|")
+            for name, lane_mask in entry:
+                mask = "*" if lane_mask is None else format(lane_mask, "x")
+                digest.update(f"{name}={mask};".encode())
+        sig = digest.hexdigest()
+        self.__dict__["_signature_memo"] = sig
+        return sig
+
     # ------------------------------------------- engine representations
     #
     # The projections below are memoized on the plan instance: grading

@@ -29,10 +29,14 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from collections.abc import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.faultsim.simulator import GoodTrace, LogicSimulator
 from repro.netlist.hashing import stimulus_hash, structural_hash
 from repro.netlist.netlist import Netlist
+
+if TYPE_CHECKING:  # pragma: no cover - layering guard
+    from repro.faultsim.store import TraceStore
 
 #: Default number of resident traces; large sequential traces dominate
 #: memory, so the bound is deliberately small.
@@ -162,10 +166,29 @@ class GoodTraceCache:
 
 _GLOBAL = GoodTraceCache()
 
+#: The process-wide persistent store behind the in-memory cache, or
+#: ``None`` when grading runs purely in-memory.  Set by the grading
+#: facade when :class:`~repro.faultsim.options.GradeOptions` carries a
+#: ``cache``, and inherited as-is by forked pool workers.
+_ACTIVE_STORE: "TraceStore | None" = None
+
 
 def global_trace_cache() -> GoodTraceCache:
     """The process-wide cache used by default by every engine."""
     return _GLOBAL
+
+
+def set_active_store(store: "TraceStore | None") -> "TraceStore | None":
+    """Install (or clear) the persistent store; returns the previous one."""
+    global _ACTIVE_STORE
+    previous = _ACTIVE_STORE
+    _ACTIVE_STORE = store
+    return previous
+
+
+def active_store() -> "TraceStore | None":
+    """The persistent store currently backing the in-memory cache."""
+    return _ACTIVE_STORE
 
 
 def good_trace_for(
@@ -190,11 +213,26 @@ def good_trace_for(
     key = cache.key_for(netlist, stimulus, mode)
 
     def build() -> GoodTrace:
+        store = _ACTIVE_STORE
+        store_key = ""
+        if store is not None:
+            structural, stim_hash, n_entries, _ = key
+            store_key = store.trace_key(structural, stim_hash, n_entries, mode)
+            trace = store.load_trace(store_key)
+            # A trace whose net count disagrees with the live netlist can
+            # only come from a record-format drift; treat it as a miss.
+            if trace is not None and (
+                not trace.values or len(trace.values[0]) == netlist.n_nets
+            ):
+                return trace
         sim = LogicSimulator(netlist)
         if packed:
-            return sim.run_parallel_sessions([[dict(p)] for p in stimulus])
-        _, trace = sim.run_sequence(stimulus, record=True)
-        assert trace is not None
+            trace = sim.run_parallel_sessions([[dict(p)] for p in stimulus])
+        else:
+            _, trace = sim.run_sequence(stimulus, record=True)
+            assert trace is not None
+        if store is not None:
+            store.save_trace(store_key, trace)
         return trace
 
     return cache.get_or_build(key, build)

@@ -22,11 +22,11 @@ import pytest
 
 from repro.analysis.collapse import compute_collapse, sat_spot_check
 from repro.errors import FaultSimError
-from repro.faultsim import build_fault_list, grade
+from repro.faultsim import GradeOptions, build_fault_list, grade
 from repro.netlist.builder import NetlistBuilder
 from repro.netlist.gates import GateType
 
-ENGINES = ("differential", "batch", "compiled")
+ENGINES = ("differential", "batch", "compiled", "packed")
 
 
 def random_comb(seed: int, n_gates: int = 25) -> "Netlist":
@@ -100,8 +100,10 @@ class TestCollapseOnEqualsOff:
     def test_random_combinational(self, engine, seed):
         netlist = random_comb(seed)
         stimulus = _patterns(random.Random(seed + 100), 12)
-        baseline = grade(netlist, stimulus, engine=engine)
-        collapsed = grade(netlist, stimulus, engine=engine, collapse=True)
+        baseline = grade(netlist, stimulus,
+                         options=GradeOptions(engine=engine))
+        collapsed = grade(netlist, stimulus,
+                          options=GradeOptions(engine=engine, collapse=True))
         _assert_identical(baseline, collapsed)
 
     @pytest.mark.parametrize("engine", ENGINES)
@@ -109,8 +111,10 @@ class TestCollapseOnEqualsOff:
     def test_random_sequential(self, engine, seed):
         netlist = random_seq(seed)
         stimulus = _cycles(random.Random(seed + 200), 20)
-        baseline = grade(netlist, stimulus, engine=engine)
-        collapsed = grade(netlist, stimulus, engine=engine, collapse=True)
+        baseline = grade(netlist, stimulus,
+                         options=GradeOptions(engine=engine))
+        collapsed = grade(netlist, stimulus,
+                          options=GradeOptions(engine=engine, collapse=True))
         _assert_identical(baseline, collapsed)
         # Sequential detection cycles are engine-invariant and inferred
         # verdicts only ever reuse a *detecting* cycle, so a detected
@@ -124,9 +128,11 @@ class TestCollapseOnEqualsOff:
     def test_with_pruning(self, seed):
         netlist = random_comb(seed, n_gates=30)
         stimulus = _patterns(random.Random(seed), 10)
-        baseline = grade(netlist, stimulus, prune_untestable=True)
+        baseline = grade(netlist, stimulus,
+                         options=GradeOptions(prune_untestable=True))
         collapsed = grade(
-            netlist, stimulus, prune_untestable=True, collapse=True
+            netlist, stimulus,
+            options=GradeOptions(prune_untestable=True, collapse=True),
         )
         assert collapsed.detected == baseline.detected
         assert collapsed.pruned == baseline.pruned
@@ -140,7 +146,7 @@ class TestShardPartitions:
         fault_list = build_fault_list(netlist)
         cmap = compute_collapse(netlist, fault_list)
         stimulus = _patterns(random.Random(seed), 12)
-        full = grade(netlist, stimulus, fault_list, collapse=cmap)
+        full = grade(netlist, stimulus, fault_list, GradeOptions(collapse=cmap))
 
         rng = random.Random(seed + 77)
         reps = fault_list.class_representatives()
@@ -156,7 +162,8 @@ class TestShardPartitions:
             if not subset:
                 continue
             shard = grade(
-                netlist, stimulus, fault_list, collapse=cmap, subset=subset
+                netlist, stimulus, fault_list,
+                GradeOptions(collapse=cmap, subset=subset),
             )
             assert shard.detected <= set(subset)
             merged |= shard.detected
@@ -171,7 +178,7 @@ class TestShardPartitions:
         fault_list = build_fault_list(netlist)
         cmap = compute_collapse(netlist, fault_list)
         stimulus = _cycles(random.Random(41), 16)
-        full = grade(netlist, stimulus, fault_list, collapse=cmap)
+        full = grade(netlist, stimulus, fault_list, GradeOptions(collapse=cmap))
 
         order = cmap.simulation_order()
         cut = len(order) // 2
@@ -179,7 +186,8 @@ class TestShardPartitions:
         for supers in (order[:cut], order[cut:]):
             subset = [r for s in supers for r in cmap.members(s)]
             shard = grade(
-                netlist, stimulus, fault_list, collapse=cmap, subset=subset
+                netlist, stimulus, fault_list,
+                GradeOptions(collapse=cmap, subset=subset),
             )
             merged |= shard.detected
         assert merged == full.detected
@@ -192,13 +200,14 @@ class TestGradeValidation:
         other = build_fault_list(netlist)  # equal but not identical
         stimulus = _patterns(random.Random(51), 4)
         with pytest.raises(FaultSimError, match="different fault list"):
-            grade(netlist, stimulus, other, collapse=cmap)
+            grade(netlist, stimulus, other, GradeOptions(collapse=cmap))
 
     def test_map_without_faults_argument_is_accepted(self):
         netlist = random_comb(51)
         cmap = compute_collapse(netlist)
         stimulus = _patterns(random.Random(51), 4)
-        result = grade(netlist, stimulus, collapse=cmap)
+        result = grade(netlist, stimulus,
+                       options=GradeOptions(collapse=cmap))
         assert result.collapse_hash == cmap.collapse_hash
 
 

@@ -1,7 +1,7 @@
 """Cross-engine equivalence and facade tests for the grade() API.
 
 Every shipped Plasma component is graded with its traced phase-A stimulus
-(truncated to keep tier-1 fast) through all three registered engines;
+(truncated to keep tier-1 fast) through all four registered engines;
 verdicts must agree fault by fault and the Table 5 rows must be
 bit-identical.  The compiled engine's fault dropping and lane repacking
 are additionally stress-tested against the differential engine with
@@ -16,7 +16,7 @@ import pytest
 from repro.core.campaign import execute_self_test
 from repro.core.methodology import SelfTestMethodology
 from repro.errors import FaultSimError
-from repro.faultsim import build_fault_list, grade
+from repro.faultsim import GradeOptions, build_fault_list, grade
 from repro.faultsim.engine import (
     AUTO_MIN_DEPTH,
     CompiledEngine,
@@ -35,7 +35,7 @@ from repro.netlist.levelize import depth
 from repro.plasma.components import COMPONENTS, build_component
 from repro.runtime import RuntimeConfig
 
-ENGINES = ("differential", "batch", "compiled")
+ENGINES = ("differential", "batch", "compiled", "packed")
 
 #: Stimulus truncation per component (cycles for sequential components,
 #: patterns for combinational ones) — full traces make tier-1 too slow.
@@ -113,7 +113,7 @@ class TestCrossEngineEquivalence:
         }
         want = results["differential"]
         sequential = bool(netlist.dffs)
-        for engine in ("batch", "compiled"):
+        for engine in ENGINES[1:]:
             got = results[engine]
             assert set(got.detections) == set(want.detections), engine
             for rep, d in want.detections.items():
@@ -140,9 +140,10 @@ class TestTraceCacheTransparency:
         clear_program_cache()
         cache.reset_stats()
 
-        cold = grade(netlist, stimulus, engine="compiled", observe=observe)
+        opts = GradeOptions(engine="compiled", observe=observe)
+        cold = grade(netlist, stimulus, options=opts)
         hits_after_cold = cache.stats.hits
-        warm = grade(netlist, stimulus, engine="compiled", observe=observe)
+        warm = grade(netlist, stimulus, options=opts)
 
         assert cache.stats.hits > hits_after_cold
         assert warm.detected == cold.detected
@@ -157,12 +158,13 @@ class TestTraceCacheTransparency:
         cycles = regfile_cycles()
         cache = global_trace_cache()
         cache.clear()
+        opts = GradeOptions(engine="compiled")
         grade(build_register_file(n_registers=4, width=4), cycles,
-              engine="compiled")
+              options=opts)
         misses = cache.stats.misses
         # A structurally identical netlist built from scratch must hit.
         grade(build_register_file(n_registers=4, width=4), cycles,
-              engine="compiled")
+              options=opts)
         assert cache.stats.misses == misses
         assert cache.stats.hits >= 1
 
@@ -223,7 +225,7 @@ class TestFacade:
         with pytest.raises(FaultSimError, match="unknown engine"):
             get_engine("flextest")
         with pytest.raises(FaultSimError, match="unknown engine"):
-            grade(adder4(), [dict(a=0, x=0, cin=0)], engine="flextest")
+            GradeOptions(engine="flextest")
 
     def test_auto_picks_differential_for_shallow_or_sequential(self):
         assert default_engine_name(build_component("BMUX")) == "differential"
@@ -239,10 +241,12 @@ class TestFacade:
         patterns = [dict(a=1, x=2, cin=0)]
         bogus = RuntimeConfig(engine="flextest")
         with pytest.raises(FaultSimError, match="unknown engine"):
-            grade(netlist, patterns, engine="auto", runtime=bogus)
+            grade(netlist, patterns,
+                  options=GradeOptions(engine="auto", runtime=bogus))
         # An explicit engine choice wins over the runtime config.
-        result = grade(netlist, patterns, engine="differential",
-                       runtime=bogus)
+        result = grade(netlist, patterns,
+                       options=GradeOptions(engine="differential",
+                                            runtime=bogus))
         assert result.n_faults > 0
 
     def test_empty_stimulus_messages(self):
@@ -254,7 +258,8 @@ class TestFacade:
     def test_facade_matches_legacy_harness(self):
         netlist = adder4()
         patterns = [dict(a=a, x=15 - a, cin=a & 1) for a in range(16)]
-        via_facade = grade(netlist, patterns, engine="differential")
+        via_facade = grade(netlist, patterns,
+                           options=GradeOptions(engine="differential"))
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
             legacy = run_combinational(netlist, patterns)

@@ -29,6 +29,7 @@ from repro.faultsim.engine import (
     prune_sets,
     resolve_prune_mode,
 )
+from repro.faultsim.options import GradeOptions
 from repro.faultsim.faults import build_fault_list
 from repro.plasma.components import build_component, component
 from tests.faultsim.test_pruning import PATTERNS, tied_circuit
@@ -49,7 +50,8 @@ class TestModeResolution:
     def test_grade_rejects_invalid_mode(self):
         netlist = tied_circuit()
         with pytest.raises(FaultSimError):
-            grade(netlist, PATTERNS, prune_untestable="maybe")
+            grade(netlist, PATTERNS,
+                  options=GradeOptions(prune_untestable="maybe"))
 
 
 class TestProvenMode:
@@ -66,8 +68,10 @@ class TestProvenMode:
                 {p.name: (1 << p.width) - 1 for p in netlist.input_ports()},
             ]
         base = grade(netlist, stimulus)
-        structural = grade(netlist, stimulus, prune_untestable=True)
-        proven = grade(netlist, stimulus, prune_untestable="proven")
+        structural = grade(netlist, stimulus,
+                           options=GradeOptions(prune_untestable=True))
+        proven = grade(netlist, stimulus,
+                       options=GradeOptions(prune_untestable="proven"))
 
         assert base.proven == set() and structural.proven == set()
         assert proven.proven
@@ -85,7 +89,8 @@ class TestProvenMode:
     def test_proven_faults_are_not_detected(self):
         netlist = build_component("PCL")
         stimulus = [{p.name: 0 for p in netlist.input_ports()}]
-        result = grade(netlist, stimulus, prune_untestable="proven")
+        result = grade(netlist, stimulus,
+                       options=GradeOptions(prune_untestable="proven"))
         assert result.proven
         assert not result.proven & result.detected
 
@@ -105,8 +110,10 @@ class TestCheckpointRoundTrip:
     def test_component_record_round_trips_proven(self):
         netlist = build_component("PCL")
         stimulus = [{p.name: 0 for p in netlist.input_ports()}]
-        result = grade(netlist, stimulus, name="PCL",
-                       prune_untestable="proven")
+        result = grade(
+            netlist, stimulus,
+            options=GradeOptions(name="PCL", prune_untestable="proven"),
+        )
         record = campaign_mod._result_to_record((result, 123), elapsed=1.0)
         assert record["proven"] == sorted(result.proven)
         restored, nand2 = campaign_mod._record_to_result(
@@ -120,7 +127,8 @@ class TestCheckpointRoundTrip:
     def test_legacy_records_without_proven_still_load(self):
         netlist = build_component("PCL")
         stimulus = [{p.name: 0 for p in netlist.input_ports()}]
-        result = grade(netlist, stimulus, name="PCL")
+        result = grade(netlist, stimulus,
+                       options=GradeOptions(name="PCL"))
         record = campaign_mod._result_to_record((result, 1))
         del record["proven"]  # a journal written before this layer
         restored, _ = campaign_mod._record_to_result(

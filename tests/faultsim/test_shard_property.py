@@ -14,11 +14,11 @@ import random
 
 import pytest
 
-from repro.faultsim import build_fault_list, grade
+from repro.faultsim import GradeOptions, build_fault_list, grade
 from repro.library import build_alu, build_register_file
 from repro.netlist.builder import NetlistBuilder
 
-ENGINES = ("differential", "batch", "compiled")
+ENGINES = ("differential", "batch", "compiled", "packed")
 
 
 def _adder4():
@@ -81,7 +81,8 @@ def _assert_merges_to(full, netlist, stimulus, fault_list, engine, shards):
     merged_verdicts = {}
     for shard in shards:
         part = grade(
-            netlist, stimulus, fault_list, engine=engine, subset=shard,
+            netlist, stimulus, fault_list,
+            GradeOptions(engine=engine, subset=shard),
         )
         # A shard only reports verdicts for its own representatives.
         assert set(part.detections) == set(shard)
@@ -101,7 +102,7 @@ class TestShardMergeProperty:
         netlist = _adder4()
         stimulus = _adder_patterns()
         fault_list = build_fault_list(netlist)
-        full = grade(netlist, stimulus, fault_list, engine=engine)
+        full = grade(netlist, stimulus, fault_list, GradeOptions(engine=engine))
         rng = random.Random(seed)
         reps = list(fault_list.class_representatives())
         rng.shuffle(reps)  # shards need not be contiguous ranges
@@ -115,7 +116,7 @@ class TestShardMergeProperty:
         netlist = build_register_file(n_registers=4, width=4)
         cycles = _regfile_cycles()
         fault_list = build_fault_list(netlist)
-        full = grade(netlist, cycles, fault_list, engine=engine)
+        full = grade(netlist, cycles, fault_list, GradeOptions(engine=engine))
         rng = random.Random(5)
         reps = list(fault_list.class_representatives())
         shards = _random_partition(reps, rng)
@@ -150,7 +151,7 @@ class TestShardMergeProperty:
         merged = set()
         for shard in shards:
             merged |= grade(
-                netlist, stimulus, fault_list, subset=shard
+                netlist, stimulus, fault_list, GradeOptions(subset=shard)
             ).detected
         assert merged == full.detected - set(lost)
         assert merged <= full.detected
@@ -159,7 +160,8 @@ class TestShardMergeProperty:
         netlist = _adder4()
         fault_list = build_fault_list(netlist)
         result = grade(
-            netlist, _adder_patterns(n=5), fault_list, subset=[],
+            netlist, _adder_patterns(n=5), fault_list,
+            GradeOptions(subset=[]),
         )
         assert result.detected == set()
         assert result.detections == {}
@@ -169,7 +171,8 @@ class TestShardMergeProperty:
         stimulus = _adder_patterns()
         fault_list = build_fault_list(netlist)
         full = grade(
-            netlist, stimulus, fault_list, prune_untestable=True
+            netlist, stimulus, fault_list,
+            GradeOptions(prune_untestable=True),
         )
         reps = list(fault_list.class_representatives())
         half = len(reps) // 2
@@ -178,7 +181,7 @@ class TestShardMergeProperty:
         for shard in (reps[:half], reps[half:]):
             part = grade(
                 netlist, stimulus, fault_list,
-                subset=shard, prune_untestable=True,
+                GradeOptions(subset=shard, prune_untestable=True),
             )
             merged |= part.detected
             pruned |= part.pruned

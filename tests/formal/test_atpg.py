@@ -12,6 +12,7 @@ import pytest
 
 from repro.analysis.scoap import compute_scoap
 from repro.faultsim.engine import grade
+from repro.faultsim.options import GradeOptions
 from repro.faultsim.faults import build_fault_list
 from repro.formal.atpg import (
     fault_detection_cost,
@@ -35,7 +36,7 @@ class TestVectorsDetectTheirTargets:
             assert vec.state == ()  # combinational components
             graded = grade(
                 netlist, [vec.pattern], fault_list,
-                name=name, subset=[vec.rep],
+                GradeOptions(name=name, subset=[vec.rep]),
             )
             assert vec.rep in graded.detected, vec.fault
 

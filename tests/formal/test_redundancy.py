@@ -17,6 +17,7 @@ import pytest
 from repro.core.campaign import execute_self_test
 from repro.core.methodology import SelfTestMethodology
 from repro.faultsim.engine import grade
+from repro.faultsim.options import GradeOptions
 from repro.faultsim.faults import build_fault_list
 from repro.formal.redundancy import (
     FaultMiterSession,
@@ -28,7 +29,7 @@ from repro.plasma.components import COMPONENTS, build_component
 #: Components whose SCOAP screen finds candidates (with current netlists).
 SCREENED = ("RegF", "MulD", "PCL", "CTRL")
 
-ENGINES = ("differential", "batch", "compiled")
+ENGINES = ("differential", "batch", "compiled", "packed")
 
 
 class TestSoundnessGate:
@@ -72,8 +73,9 @@ class TestProvenFaultsStayUndetected:
         assert stimulus, f"{name} not excited by the ABC program"
         for engine in ENGINES:
             result = grade(
-                netlist, stimulus, fault_list, engine=engine,
-                observe=observe, name=name, subset=sorted(proven),
+                netlist, stimulus, fault_list,
+                GradeOptions(engine=engine, observe=observe, name=name,
+                             subset=sorted(proven)),
             )
             assert not (result.detected & proven), (
                 f"{name}/{engine}: engine detected a SAT-proven "

@@ -73,3 +73,39 @@ class TestPlanShards:
             plan_shards(100, 2, oversubscription=0)
         with pytest.raises(ReproRuntimeError):
             plan_shards(100, 2, min_shard_size=0)
+        with pytest.raises(ReproRuntimeError):
+            plan_shards(100, 2, lane_align=0)
+
+
+class TestLaneAlignment:
+    def test_interior_boundaries_snap_to_multiples(self):
+        ranges = plan_shards(10_000, 4, lane_align=63)
+        _assert_partition(ranges, 10_000)
+        for _lo, hi in ranges[:-1]:
+            assert hi % 63 == 0
+        # Only the tail shard may carry a partial final word.
+
+    def test_align_one_is_the_identity(self):
+        assert plan_shards(1003, 4, lane_align=1) == plan_shards(1003, 4)
+
+    def test_single_shard_never_splits(self):
+        assert plan_shards(50, 8, lane_align=63) == [(0, 50)]
+
+    def test_colliding_boundaries_merge_shards(self):
+        # With an alignment close to the shard size, neighbouring
+        # boundaries can snap to the same multiple; the duplicates must
+        # merge instead of emitting empty shards.
+        ranges = plan_shards(400, 4, min_shard_size=16, lane_align=255)
+        _assert_partition(ranges, 400)
+        assert all(hi > lo for lo, hi in ranges)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_aligned_partitions_are_exact(self, seed):
+        rng = random.Random(seed)
+        n_items = rng.randrange(1, 20_000)
+        jobs = rng.randrange(1, 17)
+        align = rng.choice((1, 7, 15, 63, 255, 1023))
+        ranges = plan_shards(n_items, jobs, lane_align=align)
+        _assert_partition(ranges, n_items)
+        for _lo, hi in ranges[:-1]:
+            assert hi % align == 0

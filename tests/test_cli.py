@@ -181,6 +181,55 @@ class TestCampaign:
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_cache_dir_makes_repeat_campaign_incremental(
+        self, tmp_path, capsys
+    ):
+        import re
+
+        cache = str(tmp_path / "cache")
+        args = ["campaign", "--phases", "A", "--components", "CTRL,BSH",
+                "--cache-dir", cache]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "persistent cache: 0/2 components reused" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "persistent cache: 2/2 components reused" in warm
+        assert warm.count("store hit") == 2
+
+        def table5(text):
+            # Strip the timing-bearing progress lines and the hit-count
+            # line itself; the tables must be bit-identical between the
+            # cold and warm runs.
+            text = re.sub(r"\d+\.\d+s[^)]*\)", ")", text)
+            return re.sub(r"persistent cache: \d+", "persistent cache:",
+                          text)
+
+        assert table5(cold) == table5(warm)
+
+    def test_cache_dir_composes_with_parallel_grading(
+        self, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "cache")
+        args = ["campaign", "--phases", "A", "--components", "CTRL",
+                "--cache-dir", cache, "--jobs", "2"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "persistent cache: 1/1 components reused" in warm
+
+    def test_packed_engine_with_lanes_flag(self, capsys):
+        assert main(["campaign", "--phases", "A", "--components", "CTRL",
+                     "--engine", "packed", "--lanes", "16"]) == 0
+        assert "CTRL" in capsys.readouterr().out
+
+    def test_invalid_lanes_rejected(self, capsys):
+        code = main(["campaign", "--phases", "A", "--components", "CTRL",
+                     "--lanes", "1"])
+        assert code == 1
+        assert "lanes" in capsys.readouterr().err
+
 
 class TestInventory:
     def test_tables(self, capsys):
