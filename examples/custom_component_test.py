@@ -20,7 +20,7 @@ Run with::
     python examples/custom_component_test.py
 """
 
-from repro.faultsim import grade
+from repro.faultsim import GradeOptions, grade
 from repro.library.adders import ripple_carry_adder
 from repro.netlist.builder import NetlistBuilder
 from repro.netlist.netlist import CONST0, Netlist
@@ -99,7 +99,7 @@ def main() -> None:
         assert count == popcount(pattern["value"])
         assert par == popcount(pattern["value"]) % 2
 
-    result = grade(unit, patterns, name="POPC")
+    result = grade(unit, patterns, options=GradeOptions(name="POPC"))
     print(f"stuck-at coverage: {result.fault_coverage:.2f}% "
           f"({result.n_detected}/{result.n_faults} collapsed faults)")
 
@@ -108,7 +108,8 @@ def main() -> None:
 
     rng = random.Random(99)
     random_patterns = [dict(value=rng.getrandbits(32)) for _ in patterns]
-    random_result = grade(unit, random_patterns, name="POPC-rnd")
+    random_result = grade(unit, random_patterns,
+                          options=GradeOptions(name="POPC-rnd"))
     print(f"equal-count random patterns: "
           f"{random_result.fault_coverage:.2f}%")
     print("\nthe deterministic set is what a self-test routine would apply "

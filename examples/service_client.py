@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Drive the campaign service from the command line — stdlib only.
+
+Submits one campaign to a running ``python -m repro serve`` instance,
+follows the job's live Server-Sent Events stream (printing each event
+as it happens), then fetches the final result and prints the Table 5
+coverage summary.
+
+Usage::
+
+    python -m repro serve --port 8765 &          # in another terminal
+    python examples/service_client.py --port 8765 \\
+           --phases A --components GL,PLN
+
+Everything here is ``urllib`` + ``json`` — the service speaks plain
+HTTP/1.1 and standard ``text/event-stream``, so no client library is
+needed. Exit codes: 0 = job done, 1 = job failed/cancelled or the
+service rejected the submission.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+
+
+def _request(url: str, data: bytes | None = None, method: str = "GET"):
+    """One request; returns (status, parsed JSON body)."""
+    req = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def submit(base: str, body: dict) -> dict:
+    status, payload = _request(
+        f"{base}/v1/campaigns", data=json.dumps(body).encode(),
+        method="POST",
+    )
+    if status == 400:
+        print("submission rejected:", file=sys.stderr)
+        for issue in payload.get("issues", []):
+            print(f"  {issue['field']}: {issue['message']}",
+                  file=sys.stderr)
+        raise SystemExit(1)
+    if status == 429:
+        print(f"service busy: {payload['error']}", file=sys.stderr)
+        raise SystemExit(1)
+    if status not in (200, 202):
+        print(f"unexpected HTTP {status}: {payload}", file=sys.stderr)
+        raise SystemExit(1)
+    return payload
+
+
+def follow_events(base: str, job_id: str, quiet: bool = False) -> None:
+    """Tail the SSE stream until the server sends the final event."""
+    with urllib.request.urlopen(
+        f"{base}/v1/campaigns/{job_id}/events"
+    ) as stream:
+        event_name = ""
+        for raw in stream:
+            line = raw.decode().rstrip("\n")
+            if line.startswith("event: "):
+                event_name = line[len("event: "):]
+            elif line.startswith("data: ") and not quiet:
+                data = json.loads(line[len("data: "):])
+                detail = data.get("detail") or data.get("state") or ""
+                duration = data.get("duration")
+                timing = f" ({duration:.1f}s)" if duration else ""
+                print(f"  [{event_name:<9}] {data.get('job', data.get('id', ''))}"
+                      f"{timing} {detail}".rstrip())
+            # A blank line ends one SSE message; "end" is always last.
+            if not line and event_name == "end":
+                return
+
+
+def print_summary(result: dict) -> None:
+    coverage = result.get("coverage", {})
+    for phases, rows in coverage.get("table5", {}).items():
+        print(f"\nTable 5 — phases {phases}"
+              + ("  [replayed from cache]" if result.get("cache_hit")
+                 else ""))
+        print(f"  {'component':<10} {'faults':>7} {'detected':>9} "
+              f"{'FC %':>7} {'MOFC %':>7}")
+        for row in rows:
+            marker = "*" if row.get("degraded") else ""
+            print(f"  {row['name']:<10} {row['faults']:>7} "
+                  f"{row['detected']:>9} {row['fc']:>7.2f} "
+                  f"{row['mofc']:>7.2f}{marker}")
+    print(f"\nsimulated {result.get('n_simulated', 0)} fault classes, "
+          f"inferred {result.get('n_inferred', 0)}; "
+          f"cached components: "
+          f"{', '.join(result.get('cached_components', [])) or 'none'}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument("--phases", default="A",
+                        help="A, AB or ABC (default A)")
+    parser.add_argument("--components", default=None,
+                        help="comma-separated subset, e.g. GL,PLN "
+                             "(default: all ten)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="shard workers for this campaign")
+    parser.add_argument("--engine", default="auto")
+    parser.add_argument("--tenant", default="default")
+    parser.add_argument("--priority", type=int, default=0,
+                        help="lower runs earlier")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the server's persistent store")
+    parser.add_argument("--json", action="store_true",
+                        help="dump the raw final result JSON instead of "
+                             "the rendered summary")
+    args = parser.parse_args(argv)
+
+    base = f"http://{args.host}:{args.port}"
+    body: dict = {
+        "phases": args.phases,
+        "jobs": args.jobs,
+        "engine": args.engine,
+        "tenant": args.tenant,
+        "priority": args.priority,
+    }
+    if args.components:
+        body["components"] = args.components
+    if args.no_cache:
+        body["cache"] = False
+
+    payload = submit(base, body)
+    job_id = payload["id"]
+    if not args.json:
+        attached = " (attached to existing job)" if payload.get(
+            "attached_to_existing") else ""
+        print(f"campaign {job_id}: {payload['state']}{attached}")
+
+    if payload["state"] not in ("done", "failed", "cancelled"):
+        follow_events(base, job_id, quiet=args.json)
+
+    _status, result = _request(f"{base}/v1/campaigns/{job_id}")
+    if args.json:
+        print(json.dumps(result, sort_keys=True))
+    else:
+        print(f"final state: {result['state']}")
+        if result.get("error"):
+            print(f"error: {result['error']}", file=sys.stderr)
+        if result["state"] == "done":
+            print_summary(result)
+    return 0 if result["state"] == "done" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,9 @@ Commands:
   (``analyze formal``: golden-model equivalence + redundancy proofs) and
   the structural fault-collapse pass (``analyze collapse``: equivalence /
   dominance classes with a SAT spot-check).
+* ``serve``          — run the campaign service: an async HTTP API that
+  queues campaign jobs and streams per-shard progress over SSE (see
+  ``docs/SERVICE.md``).
 """
 
 from __future__ import annotations
@@ -46,6 +49,7 @@ EXIT_ANALYZE_NETLIST = 6   # netlist analyzer found errors
 EXIT_ANALYZE_BOTH = 7      # both analyzers found errors
 EXIT_ANALYZE_FORMAL = 8    # formal layer found errors (CEC / soundness)
 EXIT_ANALYZE_COLLAPSE = 9  # SAT refuted a static collapse claim
+EXIT_SERVICE = 10          # campaign service failed to start or crashed
 
 
 def _cmd_asm(args: argparse.Namespace) -> int:
@@ -192,6 +196,33 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
         return EXIT_DEGRADED
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig
+    from repro.service.app import run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        tenant_quota=args.tenant_quota,
+        max_jobs=args.max_jobs,
+        cache_dir=args.cache_dir,
+        checkpoint_root=args.checkpoint_root,
+        timeout_seconds=args.timeout,
+        retries=args.retries,
+    )
+    try:
+        return run_service(config)
+    except OSError as exc:
+        # Bind failures (port in use, bad host) land here.
+        print(f"serve: {exc}", file=sys.stderr)
+        return EXIT_SERVICE
+    except ReproError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return EXIT_SERVICE
 
 
 def _cmd_inventory(_args: argparse.Namespace) -> int:
@@ -467,6 +498,54 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_inv = sub.add_parser("inventory", help="print Tables 2 and 3")
     p_inv.set_defaults(func=_cmd_inventory)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the campaign service (async HTTP API + SSE)",
+        description=(
+            "Run the long-lived campaign service.  Campaigns are "
+            "submitted as JSON jobs over HTTP (POST /v1/campaigns), run "
+            "on a priority queue with per-tenant quotas and idempotent "
+            "deduplication, and stream per-shard progress over "
+            "Server-Sent Events.  See docs/SERVICE.md for the endpoint "
+            f"reference.  Exit code {EXIT_SERVICE} = the service could "
+            "not start (e.g. the port is taken) or crashed."
+        ),
+    )
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks an ephemeral port and "
+                            "prints it on startup (default 8765)")
+    p_srv.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="concurrent campaign executors (default 1; "
+                            "parallelism within a campaign comes from "
+                            "the job's own 'jobs' field)")
+    p_srv.add_argument("--queue-limit", type=int, default=16, metavar="N",
+                       help="max queued jobs before submissions get "
+                            "429 + Retry-After (default 16)")
+    p_srv.add_argument("--tenant-quota", type=int, default=4, metavar="N",
+                       help="max active jobs per tenant (default 4)")
+    p_srv.add_argument("--max-jobs", type=int, default=8, metavar="N",
+                       help="cap on a job's requested shard workers "
+                            "(default 8)")
+    p_srv.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persistent TraceStore shared by all jobs; "
+                            "unchanged resubmissions replay verdicts "
+                            "from DIR (cache_hit=true, zero re-simulated "
+                            "fault classes)")
+    p_srv.add_argument("--checkpoint-root", metavar="DIR", default=None,
+                       help="per-job shard journals under DIR/<job key>; "
+                            "a cancelled campaign's resubmission resumes "
+                            "from its journal")
+    p_srv.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per grading attempt "
+                            "(isolated jobs only)")
+    p_srv.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="attempts per job/shard before degrading "
+                            "(default 2)")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_an = sub.add_parser(
         "analyze",

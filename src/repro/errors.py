@@ -102,6 +102,23 @@ class JobFailed(ReproRuntimeError):
         super().__init__(f"job {job!r} failed: {exc_type}: {detail}")
 
 
+class JobCancelled(ReproRuntimeError):
+    """A campaign run was cancelled through its ``RuntimeConfig.cancel``
+    hook.
+
+    Raised by :class:`~repro.runtime.runner.JobRunner` between jobs and
+    by :class:`~repro.runtime.pool.ShardScheduler` between scheduler
+    iterations once the hook reports cancellation.  Work journaled
+    before the cancellation stays valid: a resumed run re-grades exactly
+    the units that had not completed.
+    """
+
+    def __init__(self, job: str = ""):
+        self.job = job
+        detail = f" during job {job!r}" if job else ""
+        super().__init__(f"campaign cancelled{detail}")
+
+
 class CheckpointCorrupt(ReproRuntimeError):
     """A checkpoint journal entry cannot be decoded or trusted.
 

@@ -12,6 +12,7 @@ from repro.reporting.analysis import (
     render_testability_table,
 )
 from repro.reporting.tables import (
+    coverage_tables_json,
     render_table2,
     render_table3,
     render_table4,
@@ -20,6 +21,7 @@ from repro.reporting.tables import (
 from repro.reporting.experiments import EXPERIMENTS, Experiment
 
 __all__ = [
+    "coverage_tables_json",
     "render_analysis_reports",
     "render_analysis_summary",
     "render_table2",

@@ -143,3 +143,25 @@ def render_table5(outcomes: Mapping[str, CampaignOutcome]) -> str:
             "* degraded: component not fully graded; FC is a lower bound"
         )
     return "\n".join(out)
+
+
+def coverage_tables_json(
+    outcomes: Mapping[str, CampaignOutcome]
+) -> dict[str, dict]:
+    """Tables 4 and 5 as one JSON-safe payload.
+
+    The machine-readable twin of :func:`render_table4` /
+    :func:`render_table5`, built from the same `CampaignOutcome.table4()`
+    / ``table5()`` data, so a campaign graded through the HTTP service
+    serializes to exactly the numbers the CLI prints — the service smoke
+    test asserts byte equality of this payload against a direct
+    :func:`~repro.core.campaign.run_campaign` of the same request.
+    """
+    return {
+        "table4": {
+            phases: outcome.table4() for phases, outcome in outcomes.items()
+        },
+        "table5": {
+            phases: outcome.table5() for phases, outcome in outcomes.items()
+        },
+    }

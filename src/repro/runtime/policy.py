@@ -8,6 +8,7 @@ from pathlib import Path
 from collections.abc import Callable
 
 from repro.errors import ReproRuntimeError
+from repro.runtime.events import EventLog
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,22 @@ class RuntimeConfig:
             (see :mod:`repro.runtime.pool`); merged results are
             bit-identical to a sequential run.  With a timeout, the
             budget applies per *shard* attempt rather than per component.
+        cancel: cooperative cancellation hook — a zero-argument callable
+            polled by :class:`~repro.runtime.runner.JobRunner` before
+            every job attempt and by
+            :class:`~repro.runtime.pool.ShardScheduler` on every
+            scheduler iteration.  Once it returns True the run raises
+            :class:`~repro.errors.JobCancelled`; busy pool workers are
+            killed, and everything journaled up to that point remains
+            valid for ``resume``.  ``None`` (the default) never cancels.
+            The hook is parent-side only: it is dropped when the config
+            is pickled into a worker.
+        events: an externally owned :class:`EventLog` the runner and
+            scheduler emit into, so a caller (the campaign service) can
+            :meth:`~EventLog.subscribe` *before* the campaign starts and
+            stream every transition live.  ``None`` lets the runner
+            create its own log as before.  Dropped on pickling, like
+            ``cancel``.
     """
 
     timeout_seconds: float | None = None
@@ -81,6 +98,25 @@ class RuntimeConfig:
     sleep: Callable[[float], None] = time.sleep
     engine: str = "auto"
     jobs: int = 1
+    cancel: Callable[[], bool] | None = None
+    events: EventLog | None = None
+
+    def cancelled(self) -> bool:
+        """True once the ``cancel`` hook reports cancellation."""
+        return self.cancel is not None and bool(self.cancel())
+
+    def __getstate__(self) -> dict:
+        """Pickle without the parent-side hooks.
+
+        Worker processes receive the config inside ``GradeOptions`` /
+        shard contexts; cancellation and event observation are driven by
+        the parent, so closures and live logs must not (and often could
+        not) cross the process boundary.
+        """
+        state = self.__dict__.copy()
+        state["cancel"] = None
+        state["events"] = None
+        return state
 
     def __post_init__(self) -> None:
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:

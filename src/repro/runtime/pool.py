@@ -40,12 +40,12 @@ from __future__ import annotations
 import contextlib
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from multiprocessing import connection
 from collections.abc import Callable, Sequence
 from typing import Any
 
-from repro.errors import CheckpointCorrupt, ReproRuntimeError
+from repro.errors import CheckpointCorrupt, JobCancelled, ReproRuntimeError
 from repro.runtime.policy import RuntimeConfig
 from repro.runtime.runner import JobOutcome, JobRunner
 from repro.runtime.sharding import ShardTask
@@ -268,6 +268,26 @@ class ShardScheduler:
 
     def _drive(self, pool, pending, outcomes, serialize) -> None:
         while pending or any(w.busy for w in pool.workers):
+            if self.config.cancelled():
+                # Cooperative cancellation: kill the busy workers (their
+                # in-flight shards are abandoned, not journaled) and
+                # surface JobCancelled.  Completed shards are already in
+                # the journal, so a resumed run re-grades exactly the
+                # abandoned + never-started ones.
+                interrupted = [
+                    w.pending.task.key for w in pool.workers if w.busy
+                ]
+                for key in interrupted:
+                    self.events.emit(
+                        key, "cancelled", detail="shard abandoned mid-run"
+                    )
+                for entry in pending:
+                    self.events.emit(
+                        entry.task.key, "cancelled",
+                        detail="shard never started",
+                    )
+                pool.stop()  # terminates busy workers (SIGTERM, then KILL)
+                raise JobCancelled(interrupted[0] if interrupted else "")
             now = time.monotonic()
             for worker in pool.workers:
                 if worker.busy:
@@ -284,6 +304,8 @@ class ShardScheduler:
             if not busy:
                 # Everything eligible is blocked on backoff.
                 delay = min(p.eligible_at for p in pending) - time.monotonic()
+                if self.config.cancel is not None:
+                    delay = min(delay, self.CANCEL_POLL_SECONDS)
                 if delay > 0:
                     self.config.sleep(delay)
                 continue
@@ -321,9 +343,15 @@ class ShardScheduler:
                 return entry
         return None
 
+    #: Poll interval while a cancellation hook is armed: the scheduler
+    #: may otherwise block in ``connection.wait`` for as long as the
+    #: slowest shard runs, which would defer cancellation indefinitely.
+    CANCEL_POLL_SECONDS = 0.25
+
     def _wait_timeout(self, busy, pending) -> float | None:
         """How long ``connection.wait`` may block before the scheduler
-        must wake up (per-shard deadline or a backoff expiring)."""
+        must wake up (per-shard deadline, a backoff expiring, or the
+        cancellation poll)."""
         candidates = []
         now = time.monotonic()
         if self.config.timeout_seconds is not None:
@@ -333,6 +361,8 @@ class ShardScheduler:
             )
         if pending:
             candidates.append(min(p.eligible_at for p in pending) - now)
+        if self.config.cancel is not None:
+            candidates.append(self.CANCEL_POLL_SECONDS)
         if not candidates:
             return None
         return max(0.0, min(candidates))

@@ -27,6 +27,7 @@ from typing import Any
 from repro.errors import (
     CheckpointCorrupt,
     GradingTimeout,
+    JobCancelled,
     JobFailed,
     ReproRuntimeError,
     WorkerCrash,
@@ -83,7 +84,15 @@ class JobRunner:
             else:
                 self.checkpoint.reset()
             events_path = self.checkpoint.events_path
-        self.events = EventLog(path=events_path)
+        if self.config.events is not None:
+            # Externally owned log (the campaign service subscribes to it
+            # before grading starts); give it the journal sink if it has
+            # none of its own.
+            self.events = self.config.events
+            if self.events.path is None:
+                self.events.path = events_path
+        else:
+            self.events = EventLog(path=events_path)
 
     @property
     def resumed_keys(self) -> set[str]:
@@ -148,6 +157,11 @@ class JobRunner:
             serialize: result -> JSON-safe dict for the journal.  Without
                 it, successes are journaled with an empty record.
         """
+        if self.config.cancelled():
+            # Cooperative cancellation: nothing journaled is touched, so
+            # a resumed run picks up exactly here.
+            self.events.emit(key, "cancelled", detail="cancelled before start")
+            raise JobCancelled(key)
         # A malformed journal entry (key collision, hand-edited file)
         # surfaces as CheckpointCorrupt with the key and journal path —
         # not as a bare KeyError from the record lookup.
@@ -159,6 +173,12 @@ class JobRunner:
         policy = self.config.retry
         last_error = ""
         for attempt in range(1, policy.max_attempts + 1):
+            if self.config.cancelled():
+                self.events.emit(
+                    key, "cancelled", attempt=attempt,
+                    detail="cancelled between attempts",
+                )
+                raise JobCancelled(key)
             self.events.emit(key, "start", attempt=attempt)
             started = time.perf_counter()
             try:

@@ -1,0 +1,56 @@
+"""Campaign-as-a-service: the async HTTP front end over the grading stack.
+
+``python -m repro serve`` runs a long-lived, dependency-free
+stdlib-``asyncio`` HTTP service that accepts fault-grading campaigns as
+JSON jobs, runs them on the existing campaign machinery
+(:func:`repro.core.campaign.grade_program` over the
+:mod:`repro.runtime.pool` worker pool), and streams per-shard progress
+by tailing the :class:`repro.runtime.EventLog` over Server-Sent Events.
+
+The moving parts:
+
+* :mod:`repro.service.schemas` — request validation: JSON bodies are
+  checked field by field into a :class:`CampaignRequest` (unknown
+  fields, bad types and bad values all yield structured diagnostics,
+  returned as HTTP 400), then lowered to a
+  :class:`~repro.faultsim.options.GradeOptions`;
+* :mod:`repro.service.jobs` — the asynchronous job manager: a priority
+  queue with per-tenant quotas and global backpressure (HTTP 429 +
+  ``Retry-After`` when full), idempotent submission (jobs are keyed by
+  the deterministic self-test program content + the verdict-shaping
+  options fingerprint, so a duplicate submission attaches to the
+  in-flight job or replays the finished result), cooperative
+  cancellation through :attr:`~repro.runtime.RuntimeConfig.cancel`, and
+  warm :class:`~repro.faultsim.store.TraceStore` replay
+  (``cache_hit=true`` responses that re-simulate nothing);
+* :mod:`repro.service.sse` — Server-Sent Events framing and the
+  thread-to-event-loop bridge that re-publishes
+  :class:`~repro.runtime.JobEvent` streams to HTTP subscribers;
+* :mod:`repro.service.app` — the minimal HTTP/1.1 layer
+  (``asyncio.start_server``; no third-party web framework) and the
+  ``/v1`` route table.
+
+See ``docs/SERVICE.md`` for the endpoint reference and
+``docs/OPERATIONS.md`` for running it in production.
+"""
+
+from repro.service.app import ServiceServer, run_service
+from repro.service.jobs import CampaignJob, CampaignService, ServiceConfig
+from repro.service.schemas import (
+    CampaignRequest,
+    SchemaError,
+    ValidationIssue,
+    parse_campaign_request,
+)
+
+__all__ = [
+    "CampaignJob",
+    "CampaignRequest",
+    "CampaignService",
+    "SchemaError",
+    "ServiceConfig",
+    "ServiceServer",
+    "ValidationIssue",
+    "parse_campaign_request",
+    "run_service",
+]

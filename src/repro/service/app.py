@@ -1,0 +1,318 @@
+"""The HTTP/1.1 front end — stdlib ``asyncio.start_server``, no framework.
+
+The protocol support is deliberately minimal: requests are parsed by
+hand (request line, headers, ``Content-Length`` body), every response
+closes the connection, and only the handful of ``/v1`` routes below
+exist.  That keeps the whole server dependency-free and small enough to
+audit in one sitting, at the cost of keep-alive and chunked uploads —
+neither of which a campaign client needs.
+
+Routes
+======
+
+========  ==============================  ===========================================
+method    path                            purpose
+========  ==============================  ===========================================
+POST      ``/v1/campaigns``               submit a job (202 new, 200 attached/replayed)
+GET       ``/v1/campaigns/{id}``          job status + result payload when done
+GET       ``/v1/campaigns/{id}/events``   live SSE stream (full history replayed first)
+DELETE    ``/v1/campaigns/{id}``          request cancellation
+GET       ``/v1/healthz``                 liveness probe
+GET       ``/v1/stats``                   queue/worker/store observability
+========  ==============================  ===========================================
+
+Errors are always JSON: ``{"error": ..., "issues": [...]}`` with the
+schema diagnostics on 400, and a ``Retry-After`` header on 429.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+
+from repro.service.jobs import CampaignService, QuotaExceeded, ServiceConfig
+from repro.service.schemas import SchemaError, parse_campaign_request
+from repro.service.sse import KEEPALIVE, format_event, format_sse
+
+#: Reject absurd requests before reading them.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+#: Seconds of SSE silence between keepalive comments.
+SSE_KEEPALIVE_SECONDS = 15.0
+
+STATUS_REASONS = {
+    200: "OK", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """Internal: unwinds request handling into one JSON error response."""
+
+    def __init__(self, status: int, message: str, *,
+                 issues: list | None = None,
+                 headers: dict[str, str] | None = None):
+        self.status = status
+        self.message = message
+        self.issues = issues or []
+        self.headers = headers or {}
+        super().__init__(message)
+
+
+class ServiceServer:
+    """One bound listener plus its :class:`CampaignService`."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.service = CampaignService(self.config)
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    # ---------------------------------------------------------- lifecycle
+
+    async def start(self) -> int:
+        """Bind, spawn the executors, return the actual port."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------ HTTP plumbing
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, headers = await self._read_head(reader)
+                body = await self._read_body(reader, headers)
+            except _HttpError as exc:
+                await self._send_error(writer, exc)
+                return
+            except (asyncio.IncompleteReadError, ConnectionError,
+                    ValueError, asyncio.LimitOverrunError):
+                return  # client hung up / sent garbage mid-line
+            try:
+                await self._dispatch(writer, method, path, body)
+            except _HttpError as exc:
+                await self._send_error(writer, exc)
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as exc:  # noqa: BLE001 - a route must never kill the listener
+                await self._send_error(
+                    writer,
+                    _HttpError(500, f"{type(exc).__name__}: {exc}"),
+                )
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_head(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str]]:
+        head = await reader.readuntil(b"\r\n\r\n")
+        if len(head) > MAX_HEADER_BYTES:
+            raise _HttpError(413, "request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {lines[0]!r}")
+        method, target, _version = parts
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), target.split("?", 1)[0], headers
+
+    async def _read_body(
+        self, reader: asyncio.StreamReader, headers: dict[str, str]
+    ) -> bytes:
+        length = headers.get("content-length", "0")
+        try:
+            n = int(length)
+        except ValueError:
+            raise _HttpError(
+                400, f"bad Content-Length {length!r}"
+            ) from None
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise _HttpError(
+                413, f"body of {n} bytes exceeds the {MAX_BODY_BYTES} cap"
+            )
+        return await reader.readexactly(n) if n else b""
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict, *,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(body)),
+            "Connection": "close",
+            **(extra_headers or {}),
+        }
+        head = f"HTTP/1.1 {status} {STATUS_REASONS.get(status, 'Unknown')}\r\n"
+        head += "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+        writer.write(head.encode() + b"\r\n" + body)
+        await writer.drain()
+
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, exc: _HttpError
+    ) -> None:
+        payload: dict = {"error": exc.message}
+        if exc.issues:
+            payload["issues"] = [issue.to_json() for issue in exc.issues]
+        with contextlib.suppress(ConnectionError, OSError):
+            await self._send(
+                writer, exc.status, payload, extra_headers=exc.headers
+            )
+
+    # ------------------------------------------------------------ routing
+
+    async def _dispatch(
+        self, writer: asyncio.StreamWriter, method: str, path: str,
+        body: bytes,
+    ) -> None:
+        segments = [s for s in path.split("/") if s]
+        if not segments or segments[0] != "v1":
+            raise _HttpError(404, f"unknown path {path!r}")
+        rest = segments[1:]
+
+        if rest == ["healthz"] and method == "GET":
+            await self._send(writer, 200, {"status": "ok"})
+        elif rest == ["stats"] and method == "GET":
+            await self._send(writer, 200, self.service.stats_payload())
+        elif rest == ["campaigns"]:
+            if method != "POST":
+                raise _HttpError(405, f"{method} not allowed here")
+            await self._post_campaign(writer, body)
+        elif len(rest) == 2 and rest[0] == "campaigns":
+            job = self.service.jobs.get(rest[1])
+            if job is None:
+                raise _HttpError(404, f"no campaign {rest[1]!r}")
+            if method == "GET":
+                await self._send(writer, 200, job.status_payload())
+            elif method == "DELETE":
+                await self.service.cancel(job.id)
+                await self._send(writer, 200, job.status_payload())
+            else:
+                raise _HttpError(405, f"{method} not allowed here")
+        elif (
+            len(rest) == 3 and rest[0] == "campaigns" and rest[2] == "events"
+        ):
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed here")
+            job = self.service.jobs.get(rest[1])
+            if job is None:
+                raise _HttpError(404, f"no campaign {rest[1]!r}")
+            await self._stream_events(writer, job)
+        else:
+            raise _HttpError(404, f"unknown path {path!r}")
+
+    async def _post_campaign(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        try:
+            request = parse_campaign_request(body)
+        except SchemaError as exc:
+            raise _HttpError(
+                400, "invalid campaign request", issues=exc.issues
+            ) from None
+        try:
+            job, attached = await self.service.submit(request)
+        except QuotaExceeded as exc:
+            raise _HttpError(
+                429, str(exc),
+                headers={"Retry-After": str(exc.retry_after)},
+            ) from None
+        payload = job.status_payload()
+        payload["attached_to_existing"] = attached
+        # 202: accepted new work; 200: nothing new to do (idempotent
+        # attach to an in-flight job, or a finished result replayed).
+        await self._send(writer, 200 if attached else 202, payload)
+
+    # ---------------------------------------------------------------- SSE
+
+    async def _stream_events(self, writer: asyncio.StreamWriter, job) -> None:
+        headers = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        history, queue = self.service.open_stream(job)
+        try:
+            writer.write(headers)
+            event_id = 0
+            for payload in history:
+                event_id += 1
+                writer.write(format_event(payload, event_id))
+            await writer.drain()
+            while True:
+                try:
+                    payload = await asyncio.wait_for(
+                        queue.get(), timeout=SSE_KEEPALIVE_SECONDS
+                    )
+                except asyncio.TimeoutError:
+                    writer.write(KEEPALIVE)
+                    await writer.drain()
+                    continue
+                if payload is None:
+                    break
+                event_id += 1
+                writer.write(format_event(payload, event_id))
+                await writer.drain()
+            writer.write(format_sse(
+                {"id": job.id, "state": job.state}, event="end",
+                event_id=event_id + 1,
+            ))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to clean up beyond the queue
+        finally:
+            self.service.close_stream(job, queue)
+
+
+async def _serve(config: ServiceConfig) -> None:
+    server = ServiceServer(config)
+    port = await server.start()
+    # The one line tooling relies on (tests and the smoke harness parse
+    # it to discover an ephemeral port).
+    print(f"repro service listening on http://{config.host}:{port}",
+          flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+
+
+def run_service(config: ServiceConfig | None = None) -> int:
+    """Blocking entry point for ``python -m repro serve``."""
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(_serve(config or ServiceConfig()))
+    return 0

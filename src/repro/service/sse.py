@@ -1,0 +1,60 @@
+"""Server-Sent Events framing and the event-loop bridge.
+
+Grading runs in worker threads (and its shards in worker processes);
+the HTTP clients live on the asyncio loop.  The bridge in between:
+
+* every job owns an :class:`~repro.runtime.EventLog`; the service
+  subscribes *before* grading starts, so no event can be missed;
+* the subscription callback fires in the grading thread and hops onto
+  the loop with ``call_soon_threadsafe``, where the event is appended
+  to the job's replayable history and fanned out to per-client
+  ``asyncio.Queue``\\ s;
+* a new SSE client first replays the full history (so attaching late —
+  or reconnecting — loses nothing), then follows the live queue until
+  the job reaches a terminal state.
+
+The wire format is standard ``text/event-stream``: one ``event:`` line
+naming the event kind, one ``data:`` line carrying the JSON payload,
+and an incrementing ``id:`` so clients can tell where they are.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+from repro.runtime.events import JobEvent
+
+#: Sent periodically while a stream is idle so proxies and clients can
+#: tell a quiet campaign from a dead connection.
+KEEPALIVE = b": keepalive\n\n"
+
+
+def event_payload(event: JobEvent) -> dict:
+    """A :class:`JobEvent` as the JSON object shipped over SSE."""
+    payload = {
+        key: value
+        for key, value in asdict(event).items()
+        if value not in (None, "")
+    }
+    return payload
+
+
+def format_sse(data: dict, event: str = "", event_id: int | None = None) -> bytes:
+    """Frame one SSE message (``event:`` / ``id:`` / ``data:`` lines)."""
+    lines = []
+    if event:
+        lines.append(f"event: {event}")
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    # json.dumps never emits raw newlines, so one data: line suffices.
+    lines.append(f"data: {json.dumps(data, sort_keys=True)}")
+    return ("\n".join(lines) + "\n\n").encode()
+
+
+def format_event(event_dict: dict, event_id: int) -> bytes:
+    """Frame one bridged job event; the SSE event name is the kind."""
+    return format_sse(
+        event_dict, event=str(event_dict.get("kind", "message")),
+        event_id=event_id,
+    )

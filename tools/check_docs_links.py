@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Fail CI on broken relative links in README.md and docs/.
+
+Every markdown link whose target is not an external URL or a same-page
+anchor must resolve to an existing file relative to the page it appears
+on.  ``tests/test_docs.py`` runs the same check in the tier-1 suite;
+this entry point exists so the CI docs job fails with a readable list.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` — target may carry a ``#fragment``.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_pages(root: Path) -> list[Path]:
+    pages = [root / "README.md"]
+    pages.extend(sorted((root / "docs").rglob("*.md")))
+    return [page for page in pages if page.exists()]
+
+
+def broken_links(root: Path) -> list[tuple[Path, str]]:
+    """Every (page, target) whose relative target does not exist."""
+    problems = []
+    for page in markdown_pages(root):
+        for target in LINK.findall(page.read_text()):
+            if target.startswith(EXTERNAL):
+                continue
+            path, _, _fragment = target.partition("#")
+            if not path:
+                continue  # same-page anchor
+            if not (page.parent / path).resolve().exists():
+                problems.append((page.relative_to(root), target))
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parents[1]
+    pages = markdown_pages(root)
+    problems = broken_links(root)
+    for page, target in problems:
+        print(f"{page}: broken link -> {target}")
+    print(f"checked {len(pages)} pages: "
+          f"{len(problems)} broken relative links")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
