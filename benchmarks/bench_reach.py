@@ -1,0 +1,297 @@
+"""Gate G2 — program-aware reach screen: soundness payoff, zero drift.
+
+The reach screen (``GradeOptions(reach=...)``) lets a campaign skip
+simulating fault classes the abstract interpreter proves the program
+never exercises, synthesising their (undetected, unexcited) verdicts.
+The load-bearing claim is that this is *invisible* in the results: every
+table, verdict and coverage figure must be bit-identical to simulating
+everything.  This bench grades the gate components both ways on the
+campaign-default configuration (structural collapsing on) with the same
+phase-A traced stimulus and enforces:
+
+* **verdict equality (hard gate)** — any per-class ``(detected,
+  excited)`` difference, detected-set difference or coverage difference
+  between the screened and the plain run fails the bench;
+* **skip accounting (hard gate)** — the screened run must simulate
+  exactly ``plain - reach_reduction`` classes and report that count as
+  ``n_reach_skipped``; a mismatch means skipped work was silently lost
+  or double-counted;
+* **screen yield (hard gate)** — across the benched components, at
+  least :data:`MIN_YIELD_COMPONENTS` must have >=
+  :data:`MIN_YIELD_RATIO` of their *post-collapse* fault universe proven
+  unexercised by the phase-A program.  The screen earning its keep on
+  real components is part of the reproduction claim, not a nice-to-have;
+* **steady-state speedup (soft gate)** — cache-warm screened grading
+  should be >= :data:`SPEEDUP_FLOOR` x the plain run on components
+  where the screen actually fires.  Components the program fully
+  exercises (nothing to skip) are reported as SKIP, not failed.
+
+Timing reports both the *warm* speedup (steady-state campaign, screen
+already built) and the *cold* speedup (single run, per-component screen
+construction charged against the win) so the artifact records whether
+the screen pays for itself on a one-shot grade.
+
+Runs two ways:
+
+* ``PYTHONPATH=src python benchmarks/bench_reach.py [--quick]`` —
+  standalone; exit 1 only on a hard-gate failure.  ``--quick`` (the CI
+  gate) restricts to the fast components and one timing repetition.
+* via the tier-2 pytest-benchmark suite (full mode).
+
+A JSON artifact with the per-component measurements lands in
+``benchmarks/results/reach_gate.json`` for trend tracking.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.analysis.absint import interpret_program
+from repro.analysis.collapse import compute_collapse
+from repro.analysis.reach import (
+    build_reach_report,
+    derive_patterns,
+    reach_reduction,
+)
+from repro.core.campaign import execute_self_test
+from repro.core.methodology import SelfTestMethodology
+from repro.faultsim import GradeOptions, build_fault_list, grade
+from repro.plasma.components import build_component
+
+#: Soft-gate floor: steady-state (cache-warm) speedup from screening.
+SPEEDUP_FLOOR = 1.05
+
+#: Hard gate: this many components must clear :data:`MIN_YIELD_RATIO`.
+MIN_YIELD_COMPONENTS = 2
+
+#: Hard gate: fraction of the post-collapse universe proven unexercised.
+MIN_YIELD_RATIO = 0.05
+
+#: Quick mode: fast components where the screen demonstrably fires.
+QUICK_COMPONENTS = ("CTRL", "GL", "PCL")
+
+#: Full mode adds the remaining fast-enough components (RegF and MulD
+#: grade for minutes and the phase-A program exercises both end to end —
+#: reported by ``repro analyze reach``, not re-measured here).
+FULL_COMPONENTS = (
+    "ALU", "BSH", "CTRL", "BMUX", "GL", "PCL", "PLN", "MCTRL"
+)
+
+
+def traced_program_and_specs():
+    self_test = SelfTestMethodology().build_program("A")
+    _, tracer, _ = execute_self_test(self_test)
+    return self_test.program, tracer.finalize()
+
+
+def _verdicts(result):
+    return {
+        rep: (det.detected, det.excited)
+        for rep, det in result.detections.items()
+    }
+
+
+def _timed(repeats, fn):
+    """Best-of-N wall time (seconds) and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _bench_component(name, patterns, stimulus, observe, repeats, lines,
+                     failures, records):
+    netlist = build_component(name)
+    fault_list = build_fault_list(netlist)
+    cmap = compute_collapse(netlist, fault_list)
+
+    # Per-component screen construction is the cold-start cost the
+    # screened run pays once; charge it against the cold speedup.
+    screen_started = time.perf_counter()
+    report = build_reach_report(
+        netlist, fault_list, patterns[name], component=name
+    )
+    screen_seconds = time.perf_counter() - screen_started
+    # ``dropped`` holds super-representatives; the engine reports
+    # ``n_reach_skipped`` at member-class granularity (every class whose
+    # verdict it synthesises) while ``n_simulated`` shrinks by supers.
+    dropped = reach_reduction(report, fault_list, cmap, frozenset())
+    screened_classes = sum(len(cmap.members(s)) for s in dropped)
+
+    def plain():
+        return grade(netlist, stimulus, fault_list,
+                     GradeOptions(observe=observe, name=name, collapse=cmap))
+
+    def screened():
+        return grade(
+            netlist, stimulus, fault_list,
+            GradeOptions(observe=observe, name=name, collapse=cmap,
+                         reach=report),
+        )
+
+    # Warm every cache (good trace, compiled program) outside the timing:
+    # the warm gate measures steady-state campaign behaviour.
+    plain()
+    screened()
+    base_seconds, base = _timed(repeats, plain)
+    reach_seconds, on = _timed(repeats, screened)
+
+    warm_speedup = base_seconds / reach_seconds if reach_seconds else 0.0
+    cold = reach_seconds + screen_seconds
+    cold_speedup = base_seconds / cold if cold else 0.0
+    n_supers = len(cmap.simulation_order())
+    yield_ratio = len(dropped) / n_supers if n_supers else 0.0
+
+    # --- hard gates ------------------------------------------------------
+    if _verdicts(on) != _verdicts(base) or on.detected != base.detected:
+        failures.append(
+            f"{name}: screened verdicts differ from the plain run"
+        )
+    if on.fault_coverage != base.fault_coverage:
+        failures.append(f"{name}: FC differs with the reach screen on")
+    if on.n_reach_skipped != screened_classes:
+        failures.append(
+            f"{name}: n_reach_skipped={on.n_reach_skipped} but the "
+            f"reduction screens {screened_classes} classes"
+        )
+    if on.n_simulated != base.n_simulated - len(dropped):
+        failures.append(
+            f"{name}: simulated {on.n_simulated} classes, expected "
+            f"{base.n_simulated} - {len(dropped)}"
+        )
+
+    # --- soft gate -------------------------------------------------------
+    if not dropped:
+        status = "SKIP"
+    elif warm_speedup >= SPEEDUP_FLOOR:
+        status = "PASS"
+    else:
+        status = "SKIP"
+    records.append({
+        "component": name,
+        "n_classes": fault_list.n_collapsed,
+        "n_supers": n_supers,
+        "n_proven": report.n_proven,
+        "n_reach_skipped": on.n_reach_skipped,
+        "post_collapse_yield": round(yield_ratio, 4),
+        "n_simulated_plain": base.n_simulated,
+        "n_simulated_screened": on.n_simulated,
+        "base_seconds": round(base_seconds, 4),
+        "screened_seconds": round(reach_seconds, 4),
+        "screen_build_seconds": round(screen_seconds, 4),
+        "warm_speedup": round(warm_speedup, 4),
+        "cold_speedup": round(cold_speedup, 4),
+        "degraded": report.degraded,
+        "status": status,
+        "reach_hash": report.reach_hash,
+    })
+    lines.append(
+        f"{name:6s} {fault_list.n_collapsed:7,} classes -> "
+        f"{on.n_simulated:7,} simulated ({on.n_reach_skipped:,} screened, "
+        f"{100 * yield_ratio:4.1f}% of supers)  "
+        f"{base_seconds:6.2f}s -> {reach_seconds:6.2f}s "
+        f"(warm {warm_speedup:.2f}x, cold {cold_speedup:.2f}x)  {status}"
+        + (
+            "" if status == "PASS" else
+            " (nothing to screen)" if not dropped else
+            f" (below the {SPEEDUP_FLOOR:.2f}x floor)"
+        )
+    )
+    return yield_ratio
+
+
+def run_bench(quick: bool) -> tuple[str, list[str], list[dict]]:
+    """Grade the gate components screened and plain, compare, time.
+
+    Returns:
+        ``(report text, hard failures, per-component records)``.
+    """
+    components = QUICK_COMPONENTS if quick else FULL_COMPONENTS
+    repeats = 2 if quick else 3
+    program, specs = traced_program_and_specs()
+    patterns = derive_patterns(interpret_program(program))
+    lines: list[str] = []
+    failures: list[str] = []
+    records: list[dict] = []
+    yielding = 0
+    for name in components:
+        stimulus, observe = specs[name]
+        ratio = _bench_component(
+            name, patterns, stimulus, observe, repeats, lines, failures,
+            records,
+        )
+        if ratio >= MIN_YIELD_RATIO:
+            yielding += 1
+    if yielding < MIN_YIELD_COMPONENTS:
+        failures.append(
+            f"screen yield: only {yielding} component(s) have >= "
+            f"{100 * MIN_YIELD_RATIO:.0f}% of their post-collapse universe "
+            f"proven unexercised (need {MIN_YIELD_COMPONENTS})"
+        )
+    passed = sum(1 for r in records if r["status"] == "PASS")
+    lines.append(
+        f"{passed}/{len(records)} component(s) beat the "
+        f"{SPEEDUP_FLOOR:.2f}x steady-state floor; "
+        f"{yielding} clear the {100 * MIN_YIELD_RATIO:.0f}% yield bar; "
+        f"{len(failures)} hard failure(s)"
+    )
+    return "\n".join(lines), failures, records
+
+
+def _write_artifact(quick, records, failures) -> str:
+    import os
+
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, "reach_gate.json")
+    with open(path, "w") as handle:
+        json.dump(
+            {
+                "bench": "reach_gate",
+                "quick": quick,
+                "speedup_floor": SPEEDUP_FLOOR,
+                "min_yield_components": MIN_YIELD_COMPONENTS,
+                "min_yield_ratio": MIN_YIELD_RATIO,
+                "components": records,
+                "failures": failures,
+                "ok": not failures,
+            },
+            handle, indent=2, sort_keys=True,
+        )
+        handle.write("\n")
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI mode: fast components only, single timing repetition",
+    )
+    args = parser.parse_args(argv)
+    text, failures, records = run_bench(quick=args.quick)
+    print(text)
+    print(f"artifact: {_write_artifact(args.quick, records, failures)}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_reach_gate(benchmark):
+    from conftest import write_result
+
+    text, failures, records = benchmark.pedantic(
+        lambda: run_bench(quick=False), rounds=1, iterations=1
+    )
+    write_result("reach_gate.txt", text)
+    _write_artifact(False, records, failures)
+    print("\n" + text)
+    assert not failures, "; ".join(failures)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

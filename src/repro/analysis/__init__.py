@@ -17,6 +17,7 @@ subset of its screening into the fault-simulation pruner.
 
 from repro.analysis.cfg import ControlFlowGraph, build_cfg
 from repro.analysis.diagnostics import (
+    ANALYZE_SCHEMA_VERSION,
     Diagnostic,
     Report,
     RULES,
@@ -33,6 +34,7 @@ from repro.analysis.scoap import (
 )
 
 __all__ = [
+    "ANALYZE_SCHEMA_VERSION",
     "AnalysisOptions",
     "ControlFlowGraph",
     "Diagnostic",

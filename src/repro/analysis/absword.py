@@ -1,0 +1,304 @@
+"""Abstract 32-bit word domain for the reachability interpreter.
+
+One :class:`AbstractWord` over-approximates the set of concrete 32-bit
+values a register, bus or memory word can take at a program point.  It is
+a *reduced product* of two classic domains:
+
+* **known bits** — ``(mask, value)``: bit *i* is proven equal to
+  ``value>>i & 1`` wherever ``mask>>i & 1`` is set (a 32-wide ternary
+  word, the same 0/1/X lattice the netlist screen evaluates);
+* **unsigned interval** — ``[lo, hi]`` inclusive bounds.
+
+Construction normalises the two views against each other: the common
+binary prefix of ``lo``/``hi`` yields known high bits, and the known
+bits tighten the interval to ``[value, value | ~mask]``.  Every transfer
+function is *sound*: the concretisation of the result contains every
+value reachable by applying the concrete operator to members of the
+operand concretisations.  Soundness is what the unexercised-fault screen
+rests on (DESIGN.md §15), so transfer functions prefer losing precision
+(returning :data:`TOP`) over any clever-but-unproven tightening.
+
+The domain is a join semilattice ordered by precision; :meth:`join` is
+the least upper bound used at control-flow merges and
+:meth:`widen` jumps intervals to their bits-implied bounds so loop
+fixpoints terminate without walking 2^32-step chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MASK32 = 0xFFFF_FFFF
+_SIGN = 0x8000_0000
+
+
+def _signed(value: int) -> int:
+    """Two's-complement reading of a 32-bit value."""
+    return value - (1 << 32) if value & _SIGN else value
+
+
+@dataclass(frozen=True)
+class AbstractWord:
+    """One abstract 32-bit value (known bits × unsigned interval).
+
+    Invariants (established by :func:`make`, assumed everywhere):
+    ``value & ~mask == 0``; ``value <= lo <= hi <= (value | ~mask)``
+    within 32 bits; known bits and interval never contradict.
+    """
+
+    mask: int
+    value: int
+    lo: int
+    hi: int
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def is_const(self) -> bool:
+        return self.mask == MASK32
+
+    def as_const(self) -> int | None:
+        """The single concrete value, or None if more than one remains."""
+        return self.value if self.mask == MASK32 else None
+
+    def bit(self, i: int) -> int | None:
+        """Bit *i* as 0/1, or None when unknown."""
+        if (self.mask >> i) & 1:
+            return (self.value >> i) & 1
+        return None
+
+    def bits(self) -> tuple[int, int]:
+        """The ternary view ``(mask, value)`` fed to the netlist screen."""
+        return self.mask, self.value
+
+    def signed_bounds(self) -> tuple[int, int]:
+        """Sound signed bounds derived from the unsigned interval."""
+        if self.hi < _SIGN:  # entirely non-negative
+            return self.lo, self.hi
+        if self.lo >= _SIGN:  # entirely negative
+            return self.lo - (1 << 32), self.hi - (1 << 32)
+        return -(1 << 31), (1 << 31) - 1
+
+    # ------------------------------------------------------------ lattice
+
+    def join(self, other: "AbstractWord") -> "AbstractWord":
+        """Least upper bound (control-flow merge)."""
+        mask = self.mask & other.mask & ~(self.value ^ other.value)
+        return make(
+            mask, self.value & mask,
+            min(self.lo, other.lo), max(self.hi, other.hi),
+        )
+
+    def widen(self, new: "AbstractWord") -> "AbstractWord":
+        """Join, but unstable interval bounds jump to their bit-implied
+        extremes so loop chains converge in O(32) steps."""
+        joined = self.join(new)
+        lo, hi = joined.lo, joined.hi
+        if new.lo < self.lo:
+            lo = joined.value
+        if new.hi > self.hi:
+            hi = joined.value | (~joined.mask & MASK32)
+        return make(joined.mask, joined.value, lo, hi)
+
+    def covers(self, concrete: int) -> bool:
+        """True when the concrete value lies in this concretisation."""
+        concrete &= MASK32
+        if (concrete & self.mask) != self.value:
+            return False
+        return self.lo <= concrete <= self.hi
+
+    # ----------------------------------------------------------- bitwise
+
+    def band(self, other: "AbstractWord") -> "AbstractWord":
+        known0 = (self.mask & ~self.value) | (other.mask & ~other.value)
+        known1 = (self.mask & self.value) & (other.mask & other.value)
+        return from_bits(known0 | known1, known1)
+
+    def bor(self, other: "AbstractWord") -> "AbstractWord":
+        known1 = (self.mask & self.value) | (other.mask & other.value)
+        known0 = (self.mask & ~self.value) & (other.mask & ~other.value)
+        return from_bits(known0 | known1, known1)
+
+    def bxor(self, other: "AbstractWord") -> "AbstractWord":
+        mask = self.mask & other.mask
+        return from_bits(mask, (self.value ^ other.value) & mask)
+
+    def bnot(self) -> "AbstractWord":
+        return from_bits(self.mask, ~self.value & self.mask)
+
+    def bnor(self, other: "AbstractWord") -> "AbstractWord":
+        return self.bor(other).bnot()
+
+    # -------------------------------------------------------- arithmetic
+
+    def add(self, other: "AbstractWord") -> "AbstractWord":
+        a, b = self.as_const(), other.as_const()
+        if a is not None and b is not None:
+            return const((a + b) & MASK32)
+        # Carries ripple upward only: with the trailing k bits of both
+        # operands known, the trailing k bits of the sum are known.
+        k = _trailing_known(self.mask & other.mask)
+        low = (1 << k) - 1
+        mask = low & MASK32
+        value = (self.value + other.value) & mask
+        lo, hi = 0, MASK32
+        slo, shi = self.lo + other.lo, self.hi + other.hi
+        if shi <= MASK32:
+            lo, hi = slo, shi
+        elif slo > MASK32:  # both bounds wrap exactly once
+            lo, hi = slo - (1 << 32), shi - (1 << 32)
+        return make(mask, value, lo, hi)
+
+    def sub(self, other: "AbstractWord") -> "AbstractWord":
+        a, b = self.as_const(), other.as_const()
+        if a is not None and b is not None:
+            return const((a - b) & MASK32)
+        k = _trailing_known(self.mask & other.mask)
+        mask = ((1 << k) - 1) & MASK32
+        value = (self.value - other.value) & mask
+        lo, hi = 0, MASK32
+        dlo, dhi = self.lo - other.hi, self.hi - other.lo
+        if dlo >= 0:
+            lo, hi = dlo, dhi
+        elif dhi < 0:  # both bounds wrap exactly once
+            lo, hi = dlo + (1 << 32), dhi + (1 << 32)
+        return make(mask, value, lo, hi)
+
+    # ------------------------------------------------------------ shifts
+
+    def shl(self, shamt: int) -> "AbstractWord":
+        shamt &= 31
+        mask = ((self.mask << shamt) | ((1 << shamt) - 1)) & MASK32
+        return from_bits(mask, (self.value << shamt) & mask)
+
+    def shr(self, shamt: int) -> "AbstractWord":
+        shamt &= 31
+        high = MASK32 & ~(MASK32 >> shamt)  # vacated bits are zero
+        return from_bits((self.mask >> shamt) | high, self.value >> shamt)
+
+    def sar(self, shamt: int) -> "AbstractWord":
+        shamt &= 31
+        mask = self.mask >> shamt
+        value = self.value >> shamt
+        sign = self.bit(31)
+        if sign is not None:
+            high = MASK32 & ~(MASK32 >> shamt)
+            mask |= high
+            if sign:
+                value |= high
+        return from_bits(mask, value)
+
+    # -------------------------------------------------------- comparisons
+
+    def sltu(self, other: "AbstractWord") -> "AbstractWord":
+        if self.hi < other.lo:
+            return const(1)
+        if self.lo >= other.hi:
+            return const(0)
+        return BOOL_UNKNOWN
+
+    def slt(self, other: "AbstractWord") -> "AbstractWord":
+        a_lo, a_hi = self.signed_bounds()
+        b_lo, b_hi = other.signed_bounds()
+        if a_hi < b_lo:
+            return const(1)
+        if a_lo >= b_hi:
+            return const(0)
+        return BOOL_UNKNOWN
+
+    def decide_eq(self, other: "AbstractWord") -> bool | None:
+        """Whether self == other always/never holds (None = undecided)."""
+        a, b = self.as_const(), other.as_const()
+        if a is not None and b is not None:
+            return a == b
+        common = self.mask & other.mask
+        if (self.value ^ other.value) & common:
+            return False  # a known bit provably differs
+        if self.hi < other.lo or other.hi < self.lo:
+            return False
+        return None
+
+    # ------------------------------------------------- sub-word extraction
+
+    def extract_byte(self, lane: int, signed: bool) -> "AbstractWord":
+        byte = self.shr(8 * (lane & 3)).band(const(0xFF))
+        return byte.sign_extend(8) if signed else byte
+
+    def extract_half(self, half: int, signed: bool) -> "AbstractWord":
+        value = self.shr(8 * (half & 2)).band(const(0xFFFF))
+        return value.sign_extend(16) if signed else value
+
+    def sign_extend(self, width: int) -> "AbstractWord":
+        """Sign-extend from ``width`` bits (upper bits must be known 0)."""
+        sign = self.bit(width - 1)
+        high = MASK32 & ~((1 << width) - 1)
+        mask = self.mask & ~high
+        value = self.value & ~high
+        if sign is not None:
+            mask |= high
+            if sign:
+                value |= high
+        return from_bits(mask, value)
+
+
+def _trailing_known(mask: int) -> int:
+    """Number of consecutive known bits starting at bit 0."""
+    unknown = ~mask & MASK32
+    if unknown == 0:
+        return 32
+    return (unknown & -unknown).bit_length() - 1
+
+
+def make(mask: int, value: int, lo: int = 0, hi: int = MASK32) -> AbstractWord:
+    """Normalised constructor: bits and interval refine each other."""
+    mask &= MASK32
+    value &= mask
+    lo &= MASK32
+    hi &= MASK32
+    if lo > hi:  # empty/contradictory interval: fall back to the bits
+        lo, hi = 0, MASK32
+    # Common binary prefix of the bounds → known high bits.
+    diff = lo ^ hi
+    prefix = MASK32 & ~((1 << diff.bit_length()) - 1)
+    add = prefix & ~mask
+    mask |= add
+    value |= lo & add
+    # Known bits → interval bounds.
+    bit_lo = value
+    bit_hi = value | (~mask & MASK32)
+    lo = max(lo, bit_lo)
+    hi = min(hi, bit_hi)
+    if lo > hi:  # the two views contradict; keep the (sound) bit bounds
+        lo, hi = bit_lo, bit_hi
+    return AbstractWord(mask, value, lo, hi)
+
+
+def from_bits(mask: int, value: int) -> AbstractWord:
+    """An abstract word from a ternary (known-bits) view alone."""
+    return make(mask, value)
+
+
+def const(value: int) -> AbstractWord:
+    """The singleton abstraction of one concrete value."""
+    value &= MASK32
+    return AbstractWord(MASK32, value, value, value)
+
+
+def from_range(lo: int, hi: int) -> AbstractWord:
+    """An abstract word from unsigned interval bounds alone."""
+    return make(0, 0, lo, hi)
+
+
+#: No information: any 32-bit value.
+TOP = AbstractWord(0, 0, 0, MASK32)
+
+#: A boolean result whose low bit is undecided (bits 31..1 known zero).
+BOOL_UNKNOWN = AbstractWord(MASK32 ^ 1, 0, 0, 1)
+
+
+def join_all(words: list[AbstractWord]) -> AbstractWord:
+    """Least upper bound of a non-empty list."""
+    acc = words[0]
+    for word in words[1:]:
+        acc = acc.join(word)
+    return acc

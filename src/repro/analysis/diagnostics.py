@@ -14,7 +14,9 @@ registry the cross-analyzer consistency test checks against):
 * ``NL0xx`` — netlist structural lint rules;
 * ``NL1xx`` — netlist testability (SCOAP / structural screening) rules;
 * ``NL2xx`` — fault collapsing (equivalence/dominance) rules;
-* ``FV2xx`` — formal verification (SAT-based CEC / redundancy) rules.
+* ``FV2xx`` — formal verification (SAT-based CEC / redundancy) rules;
+* ``RC3xx`` — program-aware reachability (unexercised-fault screen)
+  rules.
 
 Every rule ID an analyzer emits must be registered here —
 :func:`make_diagnostic` raises on unknown IDs, and
@@ -104,6 +106,16 @@ _RULE_TABLE: tuple[Rule, ...] = (
     Rule("FV203", Severity.INFO,
          "summary: formal verification result (CEC verdict, redundancy "
          "certificates, solver statistics)"),
+    # --- program-aware reachability rules ---------------------------------
+    Rule("RC301", Severity.INFO,
+         "summary: reach screen result (exercised / unexercised-proven / "
+         "unknown fault classes, SAT spot-check statistics)"),
+    Rule("RC302", Severity.ERROR,
+         "statically claimed unexercised constant net refuted by the SAT "
+         "layer under the program-derived input constraints"),
+    Rule("RC303", Severity.WARNING,
+         "reach screen decided almost nothing for this component "
+         "(high unknown-class ratio or degraded program abstraction)"),
 )
 
 #: Allocated rule-ID namespaces: prefix (two letters + leading digit) ->
@@ -114,9 +126,10 @@ RULE_NAMESPACES: dict[str, str] = {
     "NL1": "netlist testability (SCOAP screening)",
     "NL2": "fault collapsing (equivalence/dominance)",
     "FV2": "formal verification (CEC / redundancy)",
+    "RC3": "program-aware reachability (unexercised-fault screen)",
 }
 
-_RULE_ID_PATTERN = re.compile(r"^(PR|NL|FV)\d{3}$")
+_RULE_ID_PATTERN = re.compile(r"^(PR|NL|FV|RC)\d{3}$")
 
 #: Registry of every known rule, keyed by rule ID.
 RULES: dict[str, Rule] = {r.rule_id: r for r in _RULE_TABLE}
@@ -137,7 +150,7 @@ def validate_rules(table: tuple[Rule, ...] = _RULE_TABLE) -> None:
         if not _RULE_ID_PATTERN.match(rule.rule_id):
             raise ValueError(
                 f"rule ID {rule.rule_id!r} is not of the form "
-                "<PR|NL|FV><3 digits>"
+                "<PR|NL|FV|RC><3 digits>"
             )
         if rule.rule_id in seen:
             raise ValueError(f"duplicate rule ID {rule.rule_id!r}")
@@ -231,8 +244,8 @@ class Report:
 
     Attributes:
         target: what was analyzed (program name / file / netlist name).
-        kind: ``"program"``, ``"netlist"``, ``"formal"`` or
-            ``"collapse"``.
+        kind: ``"program"``, ``"netlist"``, ``"formal"``,
+            ``"collapse"`` or ``"reach"``.
         diagnostics: findings in discovery order.
     """
 
@@ -309,13 +322,34 @@ def render_text(report: Report, max_diagnostics: int | None = None) -> str:
     return "\n".join(lines)
 
 
-def reports_to_json(reports: list[Report]) -> str:
-    """Serialize reports to a stable JSON document (for CI artifacts)."""
-    return json.dumps(
-        {
-            "ok": all(r.ok for r in reports),
-            "reports": [r.to_dict() for r in reports],
-        },
-        indent=2,
-        sort_keys=True,
-    )
+#: Version of the ``repro analyze --json`` envelope.  Bumped whenever a
+#: field is renamed/removed or its meaning changes; *adding* sections
+#: (e.g. the per-analyzer summary tables) is backward compatible and
+#: does not bump it.
+ANALYZE_SCHEMA_VERSION = 1
+
+
+def reports_to_json(
+    reports: list[Report], *, extra: dict | None = None
+) -> str:
+    """Serialize reports to a stable JSON document (for CI artifacts).
+
+    Every envelope carries ``schema_version``
+    (:data:`ANALYZE_SCHEMA_VERSION`), ``ok`` and ``reports``; callers
+    may attach analyzer-specific summary sections via ``extra`` (the
+    CLI adds ``formal`` / ``collapse`` / ``reach`` tables so ``--json``
+    loses nothing the text rendering shows).
+    """
+    document: dict = {
+        "schema_version": ANALYZE_SCHEMA_VERSION,
+        "ok": all(r.ok for r in reports),
+        "reports": [r.to_dict() for r in reports],
+    }
+    if extra:
+        for key in extra:
+            if key in document:
+                raise ValueError(
+                    f"extra section {key!r} collides with an envelope field"
+                )
+        document.update(extra)
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -77,7 +77,7 @@ class ChenDeySelfTest:
         pointer, ``$a2`` seed, ``$a3`` tap mask; clobbers ``$t1``, ``$t2``,
         ``$t3``, ``$s0``.
         """
-        lines = [
+        return [
             "cd_gen:",
             "    move $s0, $a2",
             "cd_gen_word:",
@@ -111,7 +111,6 @@ class ChenDeySelfTest:
             "    jr $ra",
             "    nop",
         ]
-        return lines
 
     @staticmethod
     def _expand_call(sig_label: str, n_words: int) -> list[str]:

@@ -11,9 +11,11 @@ Commands:
   (Tables 2 and 3).
 * ``analyze``        — static analysis: program CFG/dataflow checks,
   netlist testability (SCOAP) screening, the SAT-based formal layer
-  (``analyze formal``: golden-model equivalence + redundancy proofs) and
+  (``analyze formal``: golden-model equivalence + redundancy proofs),
   the structural fault-collapse pass (``analyze collapse``: equivalence /
-  dominance classes with a SAT spot-check).
+  dominance classes with a SAT spot-check) and the program-aware reach
+  screen (``analyze reach``: abstract interpretation proving fault
+  classes unexercised by a self-test program, SAT spot-checked).
 * ``serve``          — run the campaign service: an async HTTP API that
   queues campaign jobs and streams per-shard progress over SSE (see
   ``docs/SERVICE.md``).
@@ -50,6 +52,7 @@ EXIT_ANALYZE_BOTH = 7      # both analyzers found errors
 EXIT_ANALYZE_FORMAL = 8    # formal layer found errors (CEC / soundness)
 EXIT_ANALYZE_COLLAPSE = 9  # SAT refuted a static collapse claim
 EXIT_SERVICE = 10          # campaign service failed to start or crashed
+EXIT_ANALYZE_REACH = 11    # SAT refuted a reach (unexercised) claim
 
 
 def _cmd_asm(args: argparse.Namespace) -> int:
@@ -158,6 +161,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         engine=args.engine,
         prune_untestable="proven" if args.prune_untestable else False,
         collapse=args.collapse,
+        reach=args.reach,
         cache=args.cache_dir,
         lanes=args.lanes if args.lanes is not None else DEFAULT_LANES,
     )
@@ -323,21 +327,61 @@ def _analyze_collapse(names: list[str], sat_samples: int) -> tuple[list, list]:
     return reports, entries
 
 
+def _analyze_reach(
+    specs: list[str], components: list[str], sat_samples: int
+) -> tuple[list, list]:
+    """Reach reports + ``(report, check)`` pairs per analyzed program.
+
+    Each spec is a phase configuration (``A``/``AB``/``ABC`` — the
+    generated self-test program) or an assembly file path; with no
+    specs the phase A program is analyzed.  ``components`` restricts
+    the screen (default: all ten).
+    """
+    from repro.analysis.reach import analyze_reach
+
+    reports, entries = [], []
+    for spec in specs or ["A"]:
+        if spec in ("A", "AB", "ABC"):
+            program = SelfTestMethodology().build_program(spec).program
+            label = f"phase:{spec}"
+        else:
+            with open(spec) as handle:
+                program = assemble(handle.read())
+            label = spec
+        report, by_component, checks = analyze_reach(
+            program,
+            components=components or None,
+            sat_samples=sat_samples,
+            target=label,
+        )
+        reports.append(report)
+        entries += [
+            (by_component[name], checks[name]) for name in by_component
+        ]
+    return reports, entries
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import reports_to_json
     from repro.reporting.analysis import (
+        collapse_table_json,
+        formal_table_json,
+        reach_table_json,
         render_analysis_reports,
         render_collapse_table,
         render_formal_table,
+        render_reach_table,
     )
 
     do_programs = args.all or args.what == "program"
     do_netlists = args.all or args.what == "netlist"
     do_formal = args.what == "formal"
     do_collapse = args.what == "collapse"
-    if not (do_programs or do_netlists or do_formal or do_collapse):
+    do_reach = args.what == "reach"
+    if not (do_programs or do_netlists or do_formal or do_collapse
+            or do_reach):
         print("error: analyze needs 'program', 'netlist', 'formal', "
-              "'collapse' or --all",
+              "'collapse', 'reach' or --all",
               file=sys.stderr)
         return EXIT_ERROR
     if args.all and args.targets:
@@ -345,7 +389,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return EXIT_ERROR
     targets = list(args.targets)
-    if args.component:
+    if args.component and not do_reach:
+        # For reach, positional targets name *programs* and --component
+        # names netlists — the two stay separate.  Everywhere else
+        # --component is sugar for a positional target.
         targets += args.component
 
     program_reports = _analyze_programs(targets) if do_programs else []
@@ -360,13 +407,26 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         collapse_reports, collapse_entries = _analyze_collapse(
             targets, args.sat_samples
         )
+    reach_reports: list = []
+    reach_entries: list = []
+    if do_reach:
+        reach_reports, reach_entries = _analyze_reach(
+            targets, args.component or [], args.sat_samples
+        )
     reports = (
         program_reports + netlist_reports + formal_reports
-        + collapse_reports
+        + collapse_reports + reach_reports
     )
 
     if args.json:
-        print(reports_to_json(reports))
+        extra: dict = {}
+        if formal_screens:
+            extra["formal"] = formal_table_json(formal_screens)
+        if collapse_entries:
+            extra["collapse"] = collapse_table_json(collapse_entries)
+        if reach_entries:
+            extra["reach"] = reach_table_json(reach_entries)
+        print(reports_to_json(reports, extra=extra))
     else:
         print(render_analysis_reports(
             reports, max_diagnostics=args.max_diagnostics
@@ -377,11 +437,17 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if collapse_entries:
             print()
             print(render_collapse_table(collapse_entries))
+        if reach_entries:
+            print()
+            print(render_reach_table(reach_entries))
 
     program_failed = any(not r.ok for r in program_reports)
     netlist_failed = any(not r.ok for r in netlist_reports)
     formal_failed = any(not r.ok for r in formal_reports)
     collapse_failed = any(not r.ok for r in collapse_reports)
+    reach_failed = any(not r.ok for r in reach_reports)
+    if reach_failed:
+        return EXIT_ANALYZE_REACH
     if collapse_failed:
         return EXIT_ANALYZE_COLLAPSE
     if formal_failed:
@@ -477,6 +543,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "fault universe is sharded over a persistent "
                           "pool and the merged tables are bit-identical "
                           "to --jobs 1 (default: 1 = serial)")
+    p_c.add_argument("--reach", action="store_true",
+                     help="skip simulating fault classes the program-aware "
+                          "reach screen (abstract interpretation of the "
+                          "self-test program, repro.analysis.reach) proves "
+                          "unexercised; verdicts and Tables 4/5 are "
+                          "bit-identical either way — the screened classes "
+                          "stay undetected in the FC denominator")
     p_c.add_argument("--collapse", action=argparse.BooleanOptionalAction,
                      default=True,
                      help="grade through the structural collapse map: "
@@ -558,25 +631,34 @@ def build_parser() -> argparse.ArgumentParser:
             "vs golden-model equivalence + redundancy-proof soundness "
             "gate); 'collapse' computes the structural fault-collapse "
             "map (equivalence + dominance) and SAT spot-checks sampled "
-            "claims.  With no targets, every shipped routine/netlist is "
-            "analyzed.  Exit codes: "
+            "claims; 'reach' abstract-interprets a self-test program "
+            "(phase spec A/AB/ABC or an assembly file; default A) and "
+            "proves fault classes unexercised by it, SAT spot-checking "
+            "sampled proofs.  With no targets, every shipped "
+            "routine/netlist is analyzed.  Exit codes: "
             f"{EXIT_ANALYZE_PROGRAM} = program errors, "
             f"{EXIT_ANALYZE_NETLIST} = netlist errors, "
             f"{EXIT_ANALYZE_BOTH} = both, "
             f"{EXIT_ANALYZE_FORMAL} = formal errors, "
-            f"{EXIT_ANALYZE_COLLAPSE} = refuted collapse claims."
+            f"{EXIT_ANALYZE_COLLAPSE} = refuted collapse claims, "
+            f"{EXIT_ANALYZE_REACH} = refuted/unsound reach claims."
         ),
     )
     p_an.add_argument("what", nargs="?",
-                      choices=("program", "netlist", "formal", "collapse"),
+                      choices=("program", "netlist", "formal", "collapse",
+                               "reach"),
                       help="which analyzer to run (or use --all)")
     p_an.add_argument("targets", nargs="*",
-                      help="assembly files (program) or component names "
-                           "(netlist/formal/collapse); default: all "
-                           "shipped artifacts")
+                      help="assembly files (program), component names "
+                           "(netlist/formal/collapse) or phase "
+                           "specs/assembly files (reach); default: all "
+                           "shipped artifacts (reach: the phase A "
+                           "program)")
     p_an.add_argument("--component", action="append", metavar="NAME",
                       help="component short name to analyze (repeatable; "
-                           "same as a positional target)")
+                           "same as a positional target, except for "
+                           "'reach' where it restricts the screened "
+                           "components)")
     p_an.add_argument("--all", action="store_true",
                       help="run the program and netlist analyzers over "
                            "every shipped routine, self-test program and "

@@ -23,15 +23,18 @@ from __future__ import annotations
 
 import hashlib
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import CheckpointCorrupt, FaultSimError, ReproRuntimeError
 from repro.core.methodology import SelfTestMethodology, SelfTestProgram
 from repro.faultsim.coverage import CoverageSummary
-from repro.faultsim.engine import grade
-from repro.faultsim.faults import build_fault_list
+from repro.faultsim.differential import Detection
+from repro.faultsim.engine import Stimulus, grade, prune_sets
+from repro.faultsim.faults import FaultList, build_fault_list
 from repro.faultsim.harness import CampaignResult
-from repro.faultsim.observe import ObservePlan
+from repro.faultsim.observe import ObservePlan, ObserveSpec
 from repro.faultsim.options import GradeOptions
 from repro.faultsim.store import (
     result_from_payload,
@@ -47,6 +50,15 @@ from repro.plasma.tracer import ComponentTracer
 from repro.runtime.events import JobEvent
 from repro.runtime.policy import RuntimeConfig
 from repro.runtime.runner import JobRunner
+
+if TYPE_CHECKING:
+    from repro.analysis.collapse import CollapseMap
+    from repro.analysis.reach import Pattern, ReachReport
+    from repro.core.sharded import ShardVerdict
+    from repro.runtime.sharding import ShardTask
+
+#: Optional netlist -> netlist rewrite applied before grading.
+NetlistTransform = Callable[[Netlist], Netlist]
 
 
 @dataclass
@@ -84,9 +96,9 @@ class CampaignOutcome:
             "clock_cycles": self.cpu_result.cycles,
         }
 
-    def table5(self) -> list[dict]:
+    def table5(self) -> list[dict[str, object]]:
         """Per-component FC and MOFC rows plus the overall row."""
-        rows = []
+        rows: list[dict[str, object]] = []
         for cov in self.summary.components:
             rows.append(
                 {
@@ -145,11 +157,54 @@ def _campaign_options(
     return options
 
 
+def _program_reach(
+    self_test: SelfTestProgram,
+) -> tuple[str, dict[str, list[Pattern]]] | None:
+    """Abstract-interpret the self-test program once for the reach screen.
+
+    Returns ``(program_digest, patterns)`` — the per-component derived
+    abstract pattern sets (:func:`repro.analysis.reach.derive_patterns`)
+    — or ``None`` when the abstraction degrades, in which case the
+    screen is silently disabled and grading proceeds exactly as with
+    ``reach=False``.
+    """
+    # Local import: repro.analysis.reach imports the fault model, so
+    # the load-time dependency stays one-way.
+    from repro.analysis.absint import interpret_program
+    from repro.analysis.reach import derive_patterns
+
+    abstraction = interpret_program(self_test.program)
+    patterns = derive_patterns(abstraction)
+    if not patterns:
+        return None
+    return abstraction.digest, patterns
+
+
+def _component_reach(
+    digest: str,
+    patterns: dict[str, list[Pattern]],
+    info: ComponentInfo,
+    netlist: Netlist,
+    fault_list: FaultList | None = None,
+) -> ReachReport | None:
+    """One component's reach report against its (transformed) netlist."""
+    from repro.analysis.reach import build_reach_report
+
+    if info.name not in patterns:
+        return None
+    if fault_list is None:
+        fault_list = build_fault_list(netlist)
+    return build_reach_report(
+        netlist, fault_list, patterns[info.name],
+        component=info.name, program_digest=digest,
+    )
+
+
 def grade_component(
     info: ComponentInfo,
-    stimulus: list,
-    observe: list,
-    netlist_transform=None,
+    stimulus: Stimulus,
+    observe: ObserveSpec,
+    netlist_transform: NetlistTransform | None = None,
     netlist: Netlist | None = None,
     prune_untestable: bool | str = False,
     engine: str = "auto",
@@ -215,9 +270,9 @@ def execute_self_test(
 
 def _grading_job(
     name: str,
-    stimulus: list,
-    observe: list,
-    netlist_transform=None,
+    stimulus: Stimulus,
+    observe: ObserveSpec,
+    netlist_transform: NetlistTransform | None = None,
     options: GradeOptions | None = None,
 ) -> tuple[CampaignResult, int]:
     """Build one component once, measure its area, fault-grade it."""
@@ -235,7 +290,7 @@ def _grading_job(
 def _job_fingerprint(
     self_test: SelfTestProgram,
     info: ComponentInfo,
-    netlist_transform=None,
+    netlist_transform: NetlistTransform | None = None,
     options: GradeOptions | None = None,
 ) -> str:
     """Configuration hash guarding checkpoint reuse.
@@ -262,7 +317,7 @@ def _job_fingerprint(
 
 def _result_to_record(
     value: tuple[CampaignResult, int], elapsed: float = 0.0
-) -> dict:
+) -> dict[str, object]:
     """Serialize a grading result to a JSON-safe checkpoint record."""
     result, nand2 = value
     return {
@@ -276,12 +331,15 @@ def _result_to_record(
         "proven": sorted(result.proven),
         "n_simulated": result.n_simulated,
         "n_inferred": result.n_inferred,
+        "n_reach_skipped": result.n_reach_skipped,
         "collapse_hash": result.collapse_hash,
     }
 
 
 def _record_to_result(
-    record: dict, info: ComponentInfo, netlist_transform=None
+    record: dict[str, Any],
+    info: ComponentInfo,
+    netlist_transform: NetlistTransform | None = None,
 ) -> tuple[CampaignResult, int]:
     """Rebuild a :class:`CampaignResult` from a journaled record.
 
@@ -310,12 +368,13 @@ def _record_to_result(
     )
     result.n_simulated = int(record.get("n_simulated", 0))
     result.n_inferred = int(record.get("n_inferred", 0))
+    result.n_reach_skipped = int(record.get("n_reach_skipped", 0))
     result.collapse_hash = str(record.get("collapse_hash", ""))
     return result, record["nand2"]
 
 
 def _ungraded_result(
-    info: ComponentInfo, netlist_transform=None
+    info: ComponentInfo, netlist_transform: NetlistTransform | None = None
 ) -> tuple[CampaignResult, int]:
     """Fallback for a permanently failed job: full fault universe, nothing
     detected, so the component contributes a coverage *lower bound*."""
@@ -336,10 +395,10 @@ def _ungraded_result(
 def grade_traced(
     self_test: SelfTestProgram,
     cpu_result: CPUResult,
-    specs: dict,
+    specs: dict[str, tuple[Stimulus, ObserveSpec]],
     components: list[str] | None = None,
     verbose: bool = False,
-    netlist_transform=None,
+    netlist_transform: NetlistTransform | None = None,
     runtime: RuntimeConfig | None = None,
     prune_untestable: bool | str = False,
     engine: str = "auto",
@@ -380,12 +439,19 @@ def grade_traced(
         options, runtime=runtime, prune_untestable=prune_untestable,
         engine=engine, collapse=collapse,
     )
+    if opts.reach_report is not None:
+        raise FaultSimError(
+            "campaign-level options must use reach=True/False; a "
+            "precomputed ReachReport is bound to a single "
+            "(program, component) pair"
+        )
     effective_jobs = jobs
     if effective_jobs is None:
         effective_jobs = runtime.jobs if runtime is not None else 1
     if effective_jobs < 1:
         raise ReproRuntimeError(f"jobs must be >= 1, got {effective_jobs}")
 
+    reach_info = _program_reach(self_test) if opts.reach_requested else None
     outcome = CampaignOutcome(
         phases=self_test.phases, self_test=self_test, cpu_result=cpu_result
     )
@@ -393,7 +459,7 @@ def grade_traced(
     if effective_jobs > 1:
         _grade_traced_parallel(
             outcome, self_test, specs, wanted, verbose, netlist_transform,
-            runtime, opts, effective_jobs,
+            runtime, opts, effective_jobs, reach_info,
         )
         return outcome
     runner = JobRunner(runtime) if runtime is not None else None
@@ -402,19 +468,36 @@ def grade_traced(
             continue
         stimulus, observe = specs[info.name]
         degraded = False
+        copts = opts
+        if reach_info is not None and stimulus:
+            # Stamp the component's reach report onto the options the
+            # job grades with; the job fingerprint is unchanged (the
+            # screen never changes verdicts, so journaled records stay
+            # reusable across the flag).
+            rnetlist = info.builder()
+            if netlist_transform is not None:
+                rnetlist = netlist_transform(rnetlist)
+            report = _component_reach(
+                reach_info[0], reach_info[1], info, rnetlist
+            )
+            copts = opts.replace(
+                reach=report if report is not None else False
+            )
+        elif opts.reach_requested:
+            copts = opts.replace(reach=False)
         if runner is None:
             started = time.perf_counter()
             result, nand2 = _grading_job(
-                info.name, stimulus, observe, netlist_transform, opts
+                info.name, stimulus, observe, netlist_transform, copts
             )
             elapsed = time.perf_counter() - started
         else:
             key = f"{self_test.phases}:{info.name}"
             fingerprint = _job_fingerprint(
-                self_test, info, netlist_transform, opts
+                self_test, info, netlist_transform, copts
             )
             job_args = (info.name, stimulus, observe, netlist_transform,
-                        opts)
+                        copts)
             job = runner.run(
                 key=key, fn=_grading_job, args=job_args,
                 fingerprint=fingerprint, serialize=_result_to_record,
@@ -460,12 +543,16 @@ def grade_traced(
             inferred = (
                 f", {result.n_inferred} inferred" if result.n_inferred else ""
             )
+            screened = (
+                f", {result.n_reach_skipped} reach-screened"
+                if result.n_reach_skipped else ""
+            )
             cached = ", store hit" if result.cache_hit else ""
             print(
                 f"  {info.name:6s} FC={result.fault_coverage:6.2f}% "
                 f"({result.n_detected}/{result.n_faults} faults, "
                 f"{len(stimulus)} stimulus entries, {elapsed:.1f}s"
-                f"{pruned}{inferred}{cached}){marker}"
+                f"{pruned}{inferred}{screened}{cached}){marker}"
             )
     if runner is not None:
         outcome.events = runner.events.events
@@ -478,13 +565,14 @@ def grade_traced(
 def _grade_traced_parallel(
     outcome: CampaignOutcome,
     self_test: SelfTestProgram,
-    specs: dict,
+    specs: dict[str, tuple[Stimulus, ObserveSpec]],
     wanted: set[str] | None,
     verbose: bool,
-    netlist_transform,
+    netlist_transform: NetlistTransform | None,
     runtime: RuntimeConfig | None,
     options: GradeOptions,
     jobs: int,
+    reach_info: tuple[str, dict[str, list[Pattern]]] | None = None,
 ) -> None:
     """Shard every component's fault universe over a persistent pool.
 
@@ -544,8 +632,11 @@ def _grade_traced_parallel(
 
     try:
         # plan: (info, fault_list, nand2, n_patterns, comp_tasks,
-        #        cached_result, store_key)
-        plan = []
+        #        cached_result, store_key, reach_members)
+        plan: list[tuple[
+            ComponentInfo, FaultList, int, int, list[ShardTask],
+            CampaignResult | None, str, tuple[int, ...],
+        ]] = []
         tasks: list[ShardTask] = []
         for info in COMPONENTS:
             if wanted is not None and info.name not in wanted:
@@ -559,7 +650,7 @@ def _grade_traced_parallel(
             if not stimulus:
                 # Never excited: all faults stay undetected.  Handled in
                 # the parent — no grading work to shard.
-                plan.append((info, fault_list, nand2, 0, [], None, ""))
+                plan.append((info, fault_list, nand2, 0, [], None, "", ()))
                 continue
             # Shard bounds index the universe the workers will grade:
             # base class representatives uncollapsed, super-class
@@ -568,12 +659,48 @@ def _grade_traced_parallel(
             # from the other universe.
             universe_size = fault_list.n_collapsed
             chash = ""
+            cmap: CollapseMap | None = None
             if options.collapse_requested:
                 from repro.analysis.collapse import compute_collapse
 
                 cmap = compute_collapse(netlist, fault_list)
                 universe_size = len(cmap.simulation_order())
                 chash = cmap.collapse_hash
+            # Reach screen: drop proven-unexercised classes from the
+            # sharded universe.  Workers recompute the identical
+            # reduction from the context's report; the parent
+            # synthesises the dropped classes' verdicts after the
+            # merge.  The reach hash joins the shard fingerprint
+            # because shard bounds then index the reduced universe.
+            reach_members: tuple[int, ...] = ()
+            rsuffix = ""
+            if reach_info is not None:
+                report = _component_reach(
+                    reach_info[0], reach_info[1], info, netlist,
+                    fault_list,
+                )
+                if report is not None and report.proven:
+                    from repro.analysis.reach import reach_reduction
+
+                    context.reach[info.name] = report
+                    pskip, _ = prune_sets(
+                        netlist, fault_list, options.prune_mode
+                    )
+                    rdrop = reach_reduction(
+                        report, fault_list, cmap, pskip
+                    )
+                    if rdrop:
+                        universe_size -= len(rdrop)
+                        rsuffix = f":r{report.reach_hash}"
+                        if cmap is None:
+                            reach_members = tuple(sorted(rdrop))
+                        else:
+                            reach_members = tuple(
+                                m
+                                for s in sorted(rdrop)
+                                for m in cmap.members(s)
+                                if m not in pskip
+                            )
             store_key = ""
             if store is not None:
                 plan_obs = ObservePlan.from_spec(
@@ -585,6 +712,7 @@ def _grade_traced_parallel(
                 )
                 payload = store.load_verdicts(store_key)
                 if payload is not None:
+                    cached: CampaignResult | None
                     try:
                         if int(payload["n_classes"]) != fault_list.n_collapsed:
                             raise ValueError("universe size mismatch")
@@ -596,29 +724,38 @@ def _grade_traced_parallel(
                     if cached is not None:
                         plan.append((
                             info, fault_list, nand2, len(stimulus), [],
-                            cached, store_key,
+                            cached, store_key, (),
                         ))
                         continue
-            shards = plan_shards(universe_size, jobs, lane_align=lane_align)
-            base = _job_fingerprint(
-                self_test, info, netlist_transform, options
-            )
-            suffix = f":c{chash}" if chash else ""
-            n = len(shards)
-            comp_tasks = [
-                ShardTask(
-                    key=f"{self_test.phases}:{info.name}#{i + 1:02d}/{n:02d}",
-                    fn=grade_shard,
-                    args=(info.name, lo, hi),
-                    fingerprint=f"{base}:{lo}-{hi}/{universe_size}{suffix}",
-                    size=hi - lo,
+            comp_tasks: list[ShardTask] = []
+            if universe_size > 0:
+                shards = plan_shards(
+                    universe_size, jobs, lane_align=lane_align
                 )
-                for i, (lo, hi) in enumerate(shards)
-            ]
+                base = _job_fingerprint(
+                    self_test, info, netlist_transform, options
+                )
+                suffix = (f":c{chash}" if chash else "") + rsuffix
+                n = len(shards)
+                comp_tasks = [
+                    ShardTask(
+                        key=(
+                            f"{self_test.phases}:{info.name}"
+                            f"#{i + 1:02d}/{n:02d}"
+                        ),
+                        fn=grade_shard,
+                        args=(info.name, lo, hi),
+                        fingerprint=(
+                            f"{base}:{lo}-{hi}/{universe_size}{suffix}"
+                        ),
+                        size=hi - lo,
+                    )
+                    for i, (lo, hi) in enumerate(shards)
+                ]
             tasks.extend(comp_tasks)
             plan.append((
                 info, fault_list, nand2, len(stimulus), comp_tasks,
-                None, store_key,
+                None, store_key, reach_members,
             ))
 
         scheduler = ShardScheduler(
@@ -631,13 +768,13 @@ def _grade_traced_parallel(
 
     journal_path = getattr(scheduler.runner.checkpoint, "path", None)
     for (info, fault_list, nand2, n_patterns, comp_tasks, cached_result,
-         store_key) in plan:
+         store_key, reach_members) in plan:
         degraded = False
         elapsed = 0.0
         if cached_result is not None:
             result = cached_result
         else:
-            verdicts = []
+            verdicts: list[ShardVerdict] = []
             for task in comp_tasks:
                 shard = shard_outcomes[task.key]
                 if shard.status == "ok":
@@ -663,6 +800,15 @@ def _grade_traced_parallel(
             result = merge_shard_results(
                 info.name, fault_list, n_patterns, verdicts
             )
+            # Reach-screened classes were dropped from every shard;
+            # synthesise the verdict any engine would report for an
+            # unexercised fault so the merged record (and any stored
+            # payload) matches a reach-off run field for field.
+            for member in reach_members:
+                result.detections[member] = Detection(
+                    False, excited=False
+                )
+            result.n_reach_skipped = len(reach_members)
             if store is not None and store_key and not degraded:
                 store.save_verdicts(store_key, verdicts_payload(result))
         outcome.results[info.name] = result
@@ -680,12 +826,16 @@ def _grade_traced_parallel(
             inferred = (
                 f", {result.n_inferred} inferred" if result.n_inferred else ""
             )
+            screened = (
+                f", {result.n_reach_skipped} reach-screened"
+                if result.n_reach_skipped else ""
+            )
             cached = ", store hit" if result.cache_hit else ""
             print(
                 f"  {info.name:6s} FC={result.fault_coverage:6.2f}% "
                 f"({result.n_detected}/{result.n_faults} faults, "
                 f"{len(comp_tasks)} shards, {elapsed:.1f}s compute"
-                f"{pruned}{inferred}{cached}){marker}"
+                f"{pruned}{inferred}{screened}{cached}){marker}"
             )
     outcome.events = scheduler.events.events
 
@@ -694,7 +844,7 @@ def grade_program(
     self_test: SelfTestProgram,
     components: list[str] | None = None,
     verbose: bool = False,
-    netlist_transform=None,
+    netlist_transform: NetlistTransform | None = None,
     runtime: RuntimeConfig | None = None,
     prune_untestable: bool | str = False,
     engine: str = "auto",
@@ -751,7 +901,7 @@ def run_campaign(
     components: list[str] | None = None,
     methodology: SelfTestMethodology | None = None,
     verbose: bool = False,
-    netlist_transform=None,
+    netlist_transform: NetlistTransform | None = None,
     runtime: RuntimeConfig | None = None,
     prune_untestable: bool | str = False,
     engine: str = "auto",

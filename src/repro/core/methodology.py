@@ -169,7 +169,7 @@ class SelfTestMethodology:
 
         source = "\n".join(text_parts) + "\n"
         program = assemble(source)
-        self_test = SelfTestProgram(
+        return SelfTestProgram(
             phases=phases,
             source=source,
             program=program,
@@ -177,4 +177,3 @@ class SelfTestMethodology:
             response_base=self.response_base,
             response_words=(resp - self.response_base) // 4,
         )
-        return self_test

@@ -8,6 +8,8 @@ sign-corner patterns from the test-set library.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from repro.core.routines.base import RoutineResult, TestRoutine, _Emitter
 from repro.core.testlib import ALU_OPERAND_PAIRS, ALU_RTYPE_OPS
 
@@ -31,7 +33,9 @@ class AluRoutine(TestRoutine):
     component = "ALU"
     signature_registers = ("$s0",)
 
-    def __init__(self, pairs=ALU_OPERAND_PAIRS):
+    def __init__(
+        self, pairs: Iterable[tuple[int, int]] = ALU_OPERAND_PAIRS
+    ):
         self.pairs = tuple(pairs)
 
     def generate(self, prefix: str, resp_base: int) -> RoutineResult:

@@ -7,6 +7,8 @@ unrolled tail samples fixed-amount (shamt-field) shifts.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from repro.core.routines.base import RoutineResult, TestRoutine, _Emitter
 from repro.core.testlib import SHIFTER_FIXED_CASES, SHIFTER_VALUES
 
@@ -17,7 +19,11 @@ class ShifterRoutine(TestRoutine):
     component = "BSH"
     signature_registers = ("$s0",)
 
-    def __init__(self, values=SHIFTER_VALUES, fixed_cases=SHIFTER_FIXED_CASES):
+    def __init__(
+        self,
+        values: Iterable[int] = SHIFTER_VALUES,
+        fixed_cases: Iterable[tuple[str, int]] = SHIFTER_FIXED_CASES,
+    ):
         self.values = tuple(values)
         self.fixed_cases = tuple(fixed_cases)
 

@@ -9,6 +9,8 @@ direct-write path.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from repro.core.routines.base import RoutineResult, TestRoutine, _Emitter
 from repro.core.testlib import MULDIV_HILO_VALUES, MULDIV_OPERAND_PAIRS
 
@@ -21,7 +23,9 @@ class MulDivRoutine(TestRoutine):
     component = "MulD"
     signature_registers = ("$s0",)
 
-    def __init__(self, pairs=MULDIV_OPERAND_PAIRS):
+    def __init__(
+        self, pairs: Iterable[tuple[int, int]] = MULDIV_OPERAND_PAIRS
+    ):
         self.pairs = tuple(pairs)
 
     def generate(self, prefix: str, resp_base: int) -> RoutineResult:

@@ -28,10 +28,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import CheckpointCorrupt
 from repro.faultsim.differential import Detection
 from repro.faultsim.engine import (
+    FaultSimEngine,
+    Stimulus,
     _grade_collapsed,
     default_engine_name,
     get_engine,
@@ -39,10 +42,15 @@ from repro.faultsim.engine import (
 )
 from repro.faultsim.faults import FaultList, build_fault_list
 from repro.faultsim.harness import CampaignResult
-from repro.faultsim.observe import ObservePlan
+from repro.faultsim.observe import ObservePlan, ObserveSpec
 from repro.faultsim.options import GradeOptions
 from repro.faultsim.trace_cache import set_active_store
+from repro.netlist.netlist import Netlist
 from repro.plasma.components import component
+
+if TYPE_CHECKING:
+    from repro.analysis.collapse import CollapseMap
+    from repro.analysis.reach import ReachReport
 
 
 @dataclass
@@ -60,12 +68,20 @@ class ShardContext:
             shards slice the super-class simulation order instead of
             the base class list; verdicts expand to every member, so
             the merge and coverage are unchanged.
+        reach: per component name, the program-aware
+            :class:`~repro.analysis.reach.ReachReport` (populated by the
+            parent when the campaign runs with ``reach=True``).  Workers
+            recompute the parent's deterministic universe reduction from
+            it, so shard bounds index the same reduced list on both
+            sides; the parent synthesises the dropped classes' verdicts
+            after the merge.
     """
 
-    stimulus: Mapping[str, Sequence]
-    observe: Mapping[str, Sequence]
-    netlist_transform: Callable | None = None
+    stimulus: Mapping[str, Stimulus]
+    observe: Mapping[str, ObserveSpec]
+    netlist_transform: Callable[[Netlist], Netlist] | None = None
     options: GradeOptions = field(default_factory=GradeOptions)
+    reach: dict[str, ReachReport] = field(default_factory=dict)
 
 
 @dataclass
@@ -96,11 +112,18 @@ class ShardVerdict:
 #: initializer re-installs it for spawn-started workers.
 _CONTEXT: ShardContext | None = None
 
-#: Per-process component cache: name -> (netlist, fault_list, plan,
-#: engine, skip, proven, stimulus, cmap, universe) where ``cmap`` is the
-#: collapse map (or None) and ``universe`` is what shard bounds index:
-#: base class representatives uncollapsed, super-class keys collapsed.
-_STATE: dict[str, tuple] = {}
+#: Build-once per-worker grading state for one component: ``cmap`` is
+#: the collapse map (or None) and ``universe`` is what shard bounds
+#: index — base class representatives uncollapsed, super-class keys
+#: collapsed (reach-reduced in either case when the screen is on).
+_ComponentState = tuple[
+    Netlist, FaultList, ObservePlan, FaultSimEngine,
+    frozenset[int], frozenset[int], Stimulus,
+    "CollapseMap | None", "list[int]",
+]
+
+#: Per-process component cache, keyed by component name.
+_STATE: dict[str, _ComponentState] = {}
 
 
 def install_shard_context(context: ShardContext) -> None:
@@ -115,7 +138,7 @@ def install_shard_context(context: ShardContext) -> None:
     set_active_store(context.options.store)
 
 
-def _component_state(name: str):
+def _component_state(name: str) -> _ComponentState:
     """Build-once per-worker grading state for one component."""
     state = _STATE.get(name)
     if state is not None:
@@ -154,6 +177,16 @@ def _component_state(name: str):
 
         cmap = compute_collapse(netlist, fault_list)
         universe = cmap.simulation_order()
+    report = context.reach.get(name)
+    if report is not None:
+        # Mirror the parent's reach reduction exactly (deterministic):
+        # shard bounds index the reduced universe on both sides.
+        from repro.analysis.reach import reach_reduction
+
+        report.validate_for(netlist, fault_list)
+        rdrop = reach_reduction(report, fault_list, cmap, skip)
+        if rdrop:
+            universe = [u for u in universe if u not in rdrop]
     state = (
         netlist, fault_list, plan, engine, skip, proven, stimulus,
         cmap, universe,
@@ -205,7 +238,7 @@ def grade_shard(name: str, lo: int, hi: int) -> ShardVerdict:
 # --------------------------------------------------------------- records
 
 
-def shard_record(verdict: ShardVerdict) -> dict:
+def shard_record(verdict: ShardVerdict) -> dict[str, object]:
     """Serialize a shard verdict to a JSON-safe checkpoint record."""
     return {
         "component": verdict.component,
@@ -222,7 +255,9 @@ def shard_record(verdict: ShardVerdict) -> dict:
     }
 
 
-def record_to_verdict(record: dict, journal_path=None) -> ShardVerdict:
+def record_to_verdict(
+    record: dict[str, Any], journal_path: str | None = None
+) -> ShardVerdict:
     """Rebuild a (detection-free) shard verdict from a journaled record.
 
     Raises:

@@ -179,7 +179,7 @@ class ObservePlan:
         if self.entries is None:
             return None
         entries = self.entries
-        result = self._memo(
+        return self._memo(  # type: ignore[return-value]
             ("ports",),
             None,
             lambda: [
@@ -187,7 +187,6 @@ class ObservePlan:
                 for entry in entries
             ],
         )
-        return result  # type: ignore[return-value]
 
     def net_masks(
         self, netlist: Netlist, full_mask: int
@@ -195,12 +194,11 @@ class ObservePlan:
         """Per entry, ``{net: observed-lane-mask}`` (differential form)."""
         if self.entries is None:
             return None
-        result = self._memo(
+        return self._memo(  # type: ignore[return-value]
             ("nets", id(netlist), full_mask),
             netlist,
             lambda: self._build_net_masks(netlist, full_mask),
         )
-        return result  # type: ignore[return-value]
 
     def _build_net_masks(
         self, netlist: Netlist, full_mask: int
@@ -227,12 +225,11 @@ class ObservePlan:
         """
         if self.entries is None:
             return None
-        result = self._memo(
+        return self._memo(  # type: ignore[return-value]
             ("packed", id(netlist)),
             netlist,
             lambda: self._build_packed(netlist),
         )
-        return result  # type: ignore[return-value]
 
     def _build_packed(self, netlist: Netlist) -> dict[int, int]:
         assert self.entries is not None

@@ -148,10 +148,10 @@ class Assembler:
             if tok == "":
                 continue
             if tok in "+-":
-                if expecting_term and tok == "-":
-                    sign = -sign
-                elif expecting_term:
+                if expecting_term and tok == "+":
                     raise AssemblyError(f"misplaced {tok!r} in {expr!r}", line)
+                if expecting_term:
+                    sign = -sign
                 else:
                     sign = 1 if tok == "+" else -1
                     expecting_term = True

@@ -45,7 +45,7 @@ def build_busmux(name: str = "BMUX") -> Netlist:
     imm_branch = b.constant(0, 2) + b.sign_extend(imm, 30)
     const_4 = b.constant(4, 32)
     b_choices = [list(rt_data), imm_sign, imm_zero, imm_lui, imm_branch, const_4]
-    assert [i for i in range(6)] == [
+    assert list(range(6)) == [
         int(s) for s in (BSource.RT, BSource.IMM_SIGN, BSource.IMM_ZERO,
                          BSource.IMM_LUI, BSource.IMM_BRANCH, BSource.CONST_4)
     ]
@@ -53,7 +53,7 @@ def build_busmux(name: str = "BMUX") -> Netlist:
 
     wb_choices = [list(alu_result), list(shift_result), list(mem_data),
                   list(lo), list(hi)]
-    assert [i for i in range(5)] == [
+    assert list(range(5)) == [
         int(s) for s in (WbSource.ALU, WbSource.SHIFT, WbSource.MEM,
                          WbSource.LO, WbSource.HI)
     ]

@@ -9,6 +9,7 @@ modules and benchmark target (used by the benches and EXPERIMENTS.md).
 from repro.reporting.analysis import (
     render_analysis_reports,
     render_analysis_summary,
+    render_reach_table,
     render_testability_table,
 )
 from repro.reporting.tables import (
@@ -28,6 +29,7 @@ __all__ = [
     "render_table3",
     "render_table4",
     "render_table5",
+    "render_reach_table",
     "render_testability_table",
     "EXPERIMENTS",
     "Experiment",

@@ -128,6 +128,121 @@ def render_collapse_table(entries) -> str:
     return "\n".join(lines)
 
 
+def render_reach_table(entries) -> str:
+    """Program-aware reach-screen summary per component.
+
+    Args:
+        entries: iterable of ``(ReachReport, ReachCheck)`` pairs (see
+            :mod:`repro.analysis.reach`), one per component, rendered in
+            the given order.
+
+    ``proven`` is the share of the class universe the screen certifies
+    as unexercised by the analyzed program — exactly the classes a
+    ``reach``-enabled campaign skips simulating.  The SAT column counts
+    spot-checked constant-net claims; ``refuted`` must be 0 everywhere
+    or the abstract interpretation is unsound (rule RC302).  Degraded
+    components (abstraction gave up) decide nothing and grade normally.
+    """
+    lines = [
+        f"{'name':6s} {'classes':>8s} {'exercised':>10s} {'proven':>7s} "
+        f"{'unknown':>8s} {'proven%':>8s} {'patterns':>9s} "
+        f"{'SAT ok':>7s} {'refuted':>8s}",
+        "-" * 68,
+    ]
+    totals = [0, 0, 0, 0, 0, 0]
+    for report, check in entries:
+        if report.degraded:
+            lines.append(
+                f"{report.component:6s} {report.n_classes:8d} "
+                f"{'- degraded: ' + report.degrade_reason}"
+            )
+            totals[0] += report.n_classes
+            continue
+        pct = (
+            100.0 * report.n_proven / report.n_classes
+            if report.n_classes else 0.0
+        )
+        row = (
+            report.n_classes, report.n_exercised, report.n_proven,
+            report.n_unknown, check.n_checked, len(check.refuted),
+        )
+        totals = [t + v for t, v in zip(totals, row, strict=True)]
+        lines.append(
+            f"{report.component:6s} {row[0]:8d} {row[1]:10d} {row[2]:7d} "
+            f"{row[3]:8d} {pct:7.1f}% {report.n_patterns:9d} "
+            f"{row[4] - row[5]:7d} {row[5]:8d}"
+        )
+    lines.append("-" * 68)
+    pct = 100.0 * totals[2] / totals[0] if totals[0] else 0.0
+    lines.append(
+        f"{'total':6s} {totals[0]:8d} {totals[1]:10d} {totals[2]:7d} "
+        f"{totals[3]:8d} {pct:7.1f}% {'':9s} "
+        f"{totals[4] - totals[5]:7d} {totals[5]:8d}"
+    )
+    return "\n".join(lines)
+
+
+def formal_table_json(screens) -> list[dict]:
+    """:func:`render_formal_table` rows as JSON-safe dicts (``--json``)."""
+    return [
+        {
+            "component": screen.component,
+            "classes": screen.n_classes,
+            "structural": len(screen.structural),
+            "proven": len(screen.proven),
+            "witnessed": len(screen.witnessed),
+            "unconfirmed": len(screen.unconfirmed),
+            "conflicts": screen.conflicts,
+        }
+        for screen in screens
+    ]
+
+
+def collapse_table_json(entries) -> list[dict]:
+    """:func:`render_collapse_table` rows as JSON-safe dicts."""
+    rows = []
+    for cmap, check in entries:
+        refuted = len(check.refuted_equivalence) + len(
+            check.refuted_dominance
+        )
+        rows.append(
+            {
+                "component": cmap.netlist.name,
+                "classes": cmap.n_classes,
+                "supers": cmap.n_supers,
+                "ratio": round(cmap.ratio, 4),
+                "merges": len(cmap.merges),
+                "dominance_edges": len(cmap.edges),
+                "sat_checked": check.n_equivalence + check.n_dominance,
+                "sat_refuted": refuted,
+            }
+        )
+    return rows
+
+
+def reach_table_json(entries) -> list[dict]:
+    """:func:`render_reach_table` rows as JSON-safe dicts."""
+    rows = []
+    for report, check in entries:
+        rows.append(
+            {
+                "component": report.component,
+                "program_digest": report.program_digest,
+                "classes": report.n_classes,
+                "exercised": report.n_exercised,
+                "proven_unexercised": report.n_proven,
+                "unknown": report.n_unknown,
+                "patterns": report.n_patterns,
+                "degraded": report.degraded,
+                "degrade_reason": report.degrade_reason,
+                "reach_hash": report.reach_hash,
+                "sat_checked": check.n_checked,
+                "sat_refuted": len(check.refuted),
+            }
+        )
+    return rows
+
+
 def render_testability_table() -> str:
     """Per-component testability: Section 2.2 scores made quantitative.
 

@@ -31,8 +31,17 @@ import asyncio
 import contextlib
 import json
 
-from repro.service.jobs import CampaignService, QuotaExceeded, ServiceConfig
-from repro.service.schemas import SchemaError, parse_campaign_request
+from repro.service.jobs import (
+    CampaignJob,
+    CampaignService,
+    QuotaExceeded,
+    ServiceConfig,
+)
+from repro.service.schemas import (
+    SchemaError,
+    ValidationIssue,
+    parse_campaign_request,
+)
 from repro.service.sse import KEEPALIVE, format_event, format_sse
 
 #: Reject absurd requests before reading them.
@@ -54,7 +63,7 @@ class _HttpError(Exception):
     """Internal: unwinds request handling into one JSON error response."""
 
     def __init__(self, status: int, message: str, *,
-                 issues: list | None = None,
+                 issues: list[ValidationIssue] | None = None,
                  headers: dict[str, str] | None = None):
         self.status = status
         self.message = message
@@ -80,8 +89,9 @@ class ServiceServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
-        self.port = self._server.sockets[0].getsockname()[1]
-        return self.port
+        port = int(self._server.sockets[0].getsockname()[1])
+        self.port = port
+        return port
 
     async def stop(self) -> None:
         if self._server is not None:
@@ -164,7 +174,8 @@ class ServiceServer:
         return await reader.readexactly(n) if n else b""
 
     async def _send(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict, *,
+        self, writer: asyncio.StreamWriter, status: int,
+        payload: dict[str, object], *,
         extra_headers: dict[str, str] | None = None,
     ) -> None:
         body = (json.dumps(payload, sort_keys=True) + "\n").encode()
@@ -182,7 +193,7 @@ class ServiceServer:
     async def _send_error(
         self, writer: asyncio.StreamWriter, exc: _HttpError
     ) -> None:
-        payload: dict = {"error": exc.message}
+        payload: dict[str, object] = {"error": exc.message}
         if exc.issues:
             payload["issues"] = [issue.to_json() for issue in exc.issues]
         with contextlib.suppress(ConnectionError, OSError):
@@ -256,7 +267,9 @@ class ServiceServer:
 
     # ---------------------------------------------------------------- SSE
 
-    async def _stream_events(self, writer: asyncio.StreamWriter, job) -> None:
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, job: CampaignJob
+    ) -> None:
         headers = (
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: text/event-stream\r\n"

@@ -46,6 +46,7 @@ import time
 from dataclasses import dataclass, field
 from hashlib import blake2b
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.errors import JobCancelled, ReproError
 from repro.faultsim.store import TraceStore
@@ -54,6 +55,13 @@ from repro.runtime.events import EventLog
 from repro.runtime.policy import RetryPolicy, RuntimeConfig
 from repro.service.schemas import CampaignRequest
 from repro.service.sse import event_payload
+
+if TYPE_CHECKING:
+    from repro.core.campaign import CampaignOutcome
+    from repro.core.methodology import SelfTestProgram
+
+    #: One live SSE subscription; ``None`` is the end-of-stream mark.
+    EventQueue = asyncio.Queue["dict[str, object] | None"]
 
 #: Job lifecycle states.  ``cancelling`` covers the window between the
 #: DELETE and the grading thread observing the cancel hook.
@@ -131,23 +139,23 @@ class CampaignJob:
     #: How many submissions resolved to this job (1 = never deduped).
     attached: int = 1
     #: Replayable SSE history (loop thread only).
-    history: list[dict] = field(default_factory=list)
+    history: list[dict[str, object]] = field(default_factory=list)
     #: Live SSE subscriber queues (loop thread only).
-    subscribers: set = field(default_factory=set)
+    subscribers: set[EventQueue] = field(default_factory=set)
     #: The grading-side event stream; the service subscribes at creation.
     events: EventLog = field(default_factory=EventLog)
     #: Set by DELETE; polled by the runtime's cancel hook.
     cancel_event: threading.Event = field(default_factory=threading.Event)
     #: Final result payload (coverage tables etc.) once ``done``.
-    result: dict | None = None
+    result: dict[str, object] | None = None
 
     @property
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
 
-    def status_payload(self) -> dict:
+    def status_payload(self) -> dict[str, object]:
         """The GET /v1/campaigns/{id} body."""
-        payload = {
+        payload: dict[str, object] = {
             "id": self.id,
             "key": self.key,
             "state": self.state,
@@ -188,12 +196,12 @@ class CampaignService:
         self._heap: list[tuple[int, int, CampaignJob]] = []
         self._seq = 0
         self._wakeup: asyncio.Condition | None = None
-        self._executors: list[asyncio.Task] = []
+        self._executors: list[asyncio.Task[None]] = []
         self._busy = 0
         self._stopping = False
         self._loop: asyncio.AbstractEventLoop | None = None
         #: phases -> built self-test program (pure function of phases).
-        self._programs: dict[str, object] = {}
+        self._programs: dict[str, SelfTestProgram] = {}
 
     # ---------------------------------------------------------- lifecycle
 
@@ -224,7 +232,7 @@ class CampaignService:
 
     # --------------------------------------------------------- submission
 
-    def _program_for(self, phases: str):
+    def _program_for(self, phases: str) -> SelfTestProgram:
         """Build (once) the deterministic self-test program for ``phases``."""
         program = self._programs.get(phases)
         if program is None:
@@ -256,6 +264,7 @@ class CampaignService:
         )
         digest.update(request.to_options().fingerprint().encode())
         digest.update(b"collapse" if request.collapse else b"")
+        digest.update(b"reach" if request.reach else b"")
         return digest.hexdigest()
 
     async def submit(
@@ -303,7 +312,9 @@ class CampaignService:
         self.counters["submitted"] += 1
         # Bridge grading-thread events onto the loop before anything can
         # be emitted, so SSE replay is complete by construction.
-        loop = self._loop
+        if self._loop is None:
+            raise RuntimeError("service not started (call start() first)")
+        loop: asyncio.AbstractEventLoop = self._loop
         job.events.subscribe(
             lambda ev, job=job: loop.call_soon_threadsafe(
                 self._publish, job, event_payload(ev)
@@ -317,6 +328,7 @@ class CampaignService:
         )
         self._seq += 1
         heapq.heappush(self._heap, (request.priority, self._seq, job))
+        assert self._wakeup is not None  # set by start()
         async with self._wakeup:
             self._wakeup.notify(1)
         return job, False
@@ -355,6 +367,7 @@ class CampaignService:
                 self._busy -= 1
 
     async def _next_job(self) -> CampaignJob | None:
+        assert self._wakeup is not None  # set by start()
         async with self._wakeup:
             while not self._heap and not self._stopping:
                 await self._wakeup.wait()
@@ -383,7 +396,7 @@ class CampaignService:
             job.result = self._result_payload(job, outcome)
             self._finalize(job, "done")
 
-    def _execute(self, job: CampaignJob):
+    def _execute(self, job: CampaignJob) -> CampaignOutcome:
         """Grade one campaign (worker thread)."""
         from repro.core.campaign import grade_program
 
@@ -418,7 +431,9 @@ class CampaignService:
             options=options,
         )
 
-    def _result_payload(self, job: CampaignJob, outcome) -> dict:
+    def _result_payload(
+        self, job: CampaignJob, outcome: CampaignOutcome
+    ) -> dict[str, object]:
         """The JSON the client sees for a finished campaign."""
         graded = list(outcome.results)
         cache_hit = bool(graded) and set(outcome.cached_components) == set(
@@ -431,6 +446,9 @@ class CampaignService:
             ),
             "n_inferred": sum(
                 r.n_inferred for r in outcome.results.values()
+            ),
+            "n_reach_skipped": sum(
+                r.n_reach_skipped for r in outcome.results.values()
             ),
             "cached_components": list(outcome.cached_components),
             "degraded_components": list(outcome.degraded_components),
@@ -464,7 +482,7 @@ class CampaignService:
         if self._loop is not None:
             self._loop.call_soon(self._close_streams, job)
 
-    def _publish(self, job: CampaignJob, payload: dict) -> None:
+    def _publish(self, job: CampaignJob, payload: dict[str, object]) -> None:
         """Loop-side fan-out of one bridged event (replay + live)."""
         job.history.append(payload)
         for queue in list(job.subscribers):
@@ -474,13 +492,15 @@ class CampaignService:
         for queue in list(job.subscribers):
             queue.put_nowait(None)
 
-    def open_stream(self, job: CampaignJob) -> tuple[list[dict], asyncio.Queue]:
+    def open_stream(
+        self, job: CampaignJob
+    ) -> tuple[list[dict[str, object]], EventQueue]:
         """Begin one SSE subscription: ``(history snapshot, live queue)``.
 
         Loop-side only; the snapshot and the queue never overlap or gap
         because both are touched only from the loop thread.
         """
-        queue: asyncio.Queue = asyncio.Queue()
+        queue: EventQueue = asyncio.Queue()
         history = list(job.history)
         if job.terminal:
             queue.put_nowait(None)
@@ -488,12 +508,12 @@ class CampaignService:
             job.subscribers.add(queue)
         return history, queue
 
-    def close_stream(self, job: CampaignJob, queue: asyncio.Queue) -> None:
+    def close_stream(self, job: CampaignJob, queue: EventQueue) -> None:
         job.subscribers.discard(queue)
 
     # -------------------------------------------------------------- stats
 
-    def stats_payload(self) -> dict:
+    def stats_payload(self) -> dict[str, object]:
         """The GET /v1/stats body."""
         queued = sum(1 for j in self.jobs.values() if j.state == "queued")
         running = sum(
@@ -506,7 +526,7 @@ class CampaignService:
                 tenants[j.request.tenant] = (
                     tenants.get(j.request.tenant, 0) + 1
                 )
-        payload = {
+        payload: dict[str, object] = {
             "uptime_seconds": time.time() - self.started_at,
             "queue_depth": queued,
             "queue_limit": self.config.queue_limit,

@@ -17,9 +17,13 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import FaultSimError, ReproError
 from repro.faultsim.options import DEFAULT_LANES, GradeOptions
+
+if TYPE_CHECKING:
+    from repro.faultsim.store import TraceStore
 
 #: Phase configurations the methodology accepts (Section 3 of the
 #: paper: phases are cumulative).
@@ -34,6 +38,7 @@ KNOWN_FIELDS = (
     "engine",
     "lanes",
     "collapse",
+    "reach",
     "prune_untestable",
     "jobs",
     "tenant",
@@ -80,6 +85,9 @@ class CampaignRequest:
         engine: fault-sim engine name or ``"auto"``.
         lanes: packed-engine lane groups per word.
         collapse: grade through the structural collapse map.
+        reach: apply the program-aware unexercised-fault screen
+            (:mod:`repro.analysis.reach`); verdicts are unchanged, the
+            proven-unexercised classes just skip simulation.
         prune_untestable: ``False`` / ``"structural"`` / ``"proven"``.
         jobs: per-campaign shard workers (1 = in-process grading).
         tenant: quota accounting identity.
@@ -92,13 +100,14 @@ class CampaignRequest:
     engine: str = "auto"
     lanes: int = DEFAULT_LANES
     collapse: bool = True
+    reach: bool = False
     prune_untestable: bool | str = False
     jobs: int = 1
     tenant: str = "default"
     priority: int = 0
     cache: bool = True
 
-    def to_options(self, cache=None) -> GradeOptions:
+    def to_options(self, cache: TraceStore | None = None) -> GradeOptions:
         """Lower to the grading configuration (``cache`` = the service's
         :class:`~repro.faultsim.store.TraceStore`, honoured only when
         the request asked for caching)."""
@@ -106,11 +115,12 @@ class CampaignRequest:
             engine=self.engine,
             prune_untestable=self.prune_untestable,
             collapse=self.collapse,
+            reach=self.reach,
             cache=cache if self.cache else None,
             lanes=self.lanes,
         )
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, object]:
         """The request as echoed back in status payloads."""
         return {
             "phases": self.phases,
@@ -120,6 +130,7 @@ class CampaignRequest:
             "engine": self.engine,
             "lanes": self.lanes,
             "collapse": self.collapse,
+            "reach": self.reach,
             "prune_untestable": self.prune_untestable,
             "jobs": self.jobs,
             "tenant": self.tenant,
@@ -132,13 +143,16 @@ class CampaignRequest:
 class _Checker:
     """Accumulates diagnostics while pulling typed fields from a dict."""
 
-    body: dict
+    body: dict[str, Any]
     issues: list[ValidationIssue] = field(default_factory=list)
 
     def problem(self, fieldname: str, message: str) -> None:
         self.issues.append(ValidationIssue(fieldname, message))
 
-    def get(self, name: str, kind, default, *, kinds_label: str):
+    def get(
+        self, name: str, kind: type[object], default: Any, *,
+        kinds_label: str,
+    ) -> Any:
         value = self.body.get(name, default)
         if value is None and default is None:
             return None
@@ -156,7 +170,9 @@ class _Checker:
         return value
 
 
-def parse_campaign_request(raw: bytes | str | dict) -> CampaignRequest:
+def parse_campaign_request(
+    raw: bytes | str | dict[str, Any]
+) -> CampaignRequest:
     """Validate one submission body into a :class:`CampaignRequest`.
 
     Accepts raw JSON bytes/text (the HTTP layer passes the body through
@@ -200,6 +216,7 @@ def parse_campaign_request(raw: bytes | str | dict) -> CampaignRequest:
     engine = check.get("engine", str, "auto", kinds_label="a string")
     lanes = check.get("lanes", int, DEFAULT_LANES, kinds_label="an integer")
     collapse = check.get("collapse", bool, True, kinds_label="a boolean")
+    reach = check.get("reach", bool, False, kinds_label="a boolean")
     prune = body.get("prune_untestable", False)
     if not (isinstance(prune, bool) or prune in ("structural", "proven")):
         check.problem(
@@ -236,6 +253,7 @@ def parse_campaign_request(raw: bytes | str | dict) -> CampaignRequest:
             engine=engine,
             lanes=lanes,
             collapse=collapse,
+            reach=reach,
             prune_untestable=prune,
             jobs=jobs,
             tenant=tenant,

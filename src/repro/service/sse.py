@@ -30,19 +30,20 @@ from repro.runtime.events import JobEvent
 KEEPALIVE = b": keepalive\n\n"
 
 
-def event_payload(event: JobEvent) -> dict:
+def event_payload(event: JobEvent) -> dict[str, object]:
     """A :class:`JobEvent` as the JSON object shipped over SSE."""
-    payload = {
+    return {
         key: value
         for key, value in asdict(event).items()
         if value not in (None, "")
     }
-    return payload
 
 
-def format_sse(data: dict, event: str = "", event_id: int | None = None) -> bytes:
+def format_sse(
+    data: dict[str, object], event: str = "", event_id: int | None = None
+) -> bytes:
     """Frame one SSE message (``event:`` / ``id:`` / ``data:`` lines)."""
-    lines = []
+    lines: list[str] = []
     if event:
         lines.append(f"event: {event}")
     if event_id is not None:
@@ -52,7 +53,7 @@ def format_sse(data: dict, event: str = "", event_id: int | None = None) -> byte
     return ("\n".join(lines) + "\n\n").encode()
 
 
-def format_event(event_dict: dict, event_id: int) -> bytes:
+def format_event(event_dict: dict[str, object], event_id: int) -> bytes:
     """Frame one bridged job event; the SSE event name is the kind."""
     return format_sse(
         event_dict, event=str(event_dict.get("kind", "message")),

@@ -18,7 +18,7 @@ class TestRules:
     def test_registry_namespaces(self):
         for rule_id, rule in RULES.items():
             assert rule.rule_id == rule_id
-            assert rule_id.startswith(("PR", "NL", "FV"))
+            assert rule_id.startswith(("PR", "NL", "FV", "RC"))
             assert rule.title
 
     def test_known_severities(self):

@@ -32,7 +32,7 @@ SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 
 #: Quoted rule IDs only: string literals are how analyzers emit rules;
 #: the word PR123 inside prose must not count as a reference.
-_REFERENCE = re.compile(r"[\"']((?:PR|NL|FV)\d{3})[\"']")
+_REFERENCE = re.compile(r"[\"']((?:PR|NL|FV|RC)\d{3})[\"']")
 
 
 def _source_references() -> dict[str, set[str]]:
@@ -57,6 +57,11 @@ class TestShippedTable:
         assert RULES["NL201"].severity is Severity.INFO
         assert RULES["NL202"].severity is Severity.ERROR
         assert RULES["NL203"].severity is Severity.ERROR
+
+    def test_reach_rules_registered(self):
+        assert RULES["RC301"].severity is Severity.INFO
+        assert RULES["RC302"].severity is Severity.ERROR
+        assert RULES["RC303"].severity is Severity.WARNING
 
 
 class TestValidation:

@@ -9,6 +9,7 @@ from repro.cli import (
     EXIT_ANALYZE_FORMAL,
     EXIT_ANALYZE_NETLIST,
     EXIT_ANALYZE_PROGRAM,
+    EXIT_ANALYZE_REACH,
     EXIT_DEGRADED,
     EXIT_WATCHDOG,
     main,
@@ -433,6 +434,105 @@ class TestAnalyzeCollapse:
         out = capsys.readouterr().out
         assert "NL202" in out
         assert "forged claim" in out
+
+
+class TestAnalyzeReach:
+    def test_exit_code_constant(self):
+        assert EXIT_ANALYZE_REACH == 11
+
+    def test_phase_a_over_components_with_table(self, capsys):
+        assert main(["analyze", "reach", "--component", "GL",
+                     "--component", "CTRL", "--sat-samples", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "RC301" in out
+        assert "proven%" in out  # the reach summary table header
+        assert "refuted" in out
+        assert "0 with errors" in out
+
+    def test_assembly_file_target(self, sample_file, capsys):
+        assert main(["analyze", "reach", sample_file,
+                     "--component", "GL", "--sat-samples", "2"]) == 0
+        out = capsys.readouterr().out
+        assert sample_file in out
+
+    def test_json_output(self, capsys):
+        assert main(["analyze", "reach", "--component", "GL",
+                     "--sat-samples", "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        report, = doc["reports"]
+        assert report["kind"] == "reach"
+        row, = doc["reach"]
+        assert row["component"] == "GL"
+        assert row["proven_unexercised"] > 0
+        assert row["sat_refuted"] == 0
+
+    def test_refuted_claim_exits_with_reach_code(self, capsys, monkeypatch):
+        from repro.analysis import reach as reach_mod
+
+        def refute(netlist, report, samples=8):
+            return reach_mod.ReachCheck(
+                n_checked=1, refuted=("forged reach claim",)
+            )
+
+        monkeypatch.setattr(reach_mod, "reach_spot_check", refute)
+        code = main(["analyze", "reach", "--component", "GL"])
+        assert code == EXIT_ANALYZE_REACH
+        out = capsys.readouterr().out
+        assert "RC302" in out
+        assert "forged reach claim" in out
+
+
+class TestAnalyzeJsonEnvelope:
+    """Every analyze subcommand emits the same versioned JSON envelope."""
+
+    @pytest.mark.parametrize(
+        "args, section",
+        [
+            (["program"], None),
+            (["netlist", "GL"], None),
+            (["formal", "GL"], "formal"),
+            (["collapse", "GL", "--sat-samples", "2"], "collapse"),
+            (["reach", "--component", "GL", "--sat-samples", "2"],
+             "reach"),
+        ],
+    )
+    def test_envelope_shape(self, args, section, capsys):
+        assert main(["analyze", *args, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 1
+        assert isinstance(doc["ok"], bool)
+        assert isinstance(doc["reports"], list)
+        for report in doc["reports"]:
+            assert set(report) == {
+                "target", "kind", "ok", "errors", "warnings",
+                "diagnostics",
+            }
+        if section is not None:
+            # The analyzer's summary table rides along in JSON mode too
+            # (text mode prints it after the reports).
+            rows = doc[section]
+            assert rows and all("component" in row for row in rows)
+
+
+class TestCampaignReach:
+    def test_reach_flag_matches_plain_tables(self, capsys):
+        import re
+
+        def normalized(text):
+            # Wall-clock durations and the reach accounting (the
+            # "N reach-screened" note) may differ; the tables must not.
+            text = re.sub(r"\d+\.\d+s", "_s", text)
+            return re.sub(r", \d+ reach-screened", "", text)
+
+        assert main(["campaign", "--phases", "A",
+                     "--components", "GL", "--reach"]) == 0
+        screened = capsys.readouterr().out
+        assert "reach-screened" in screened
+        assert main(["campaign", "--phases", "A",
+                     "--components", "GL"]) == 0
+        plain = capsys.readouterr().out
+        assert normalized(screened) == normalized(plain)
 
 
 class TestCampaignCollapse:
